@@ -1,0 +1,457 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Tables 2-3, Figures 7-13) on the synthetic substrate, and
+   closes with bechamel microbenchmarks of PROM's runtime overhead
+   (paper Sec. 7.6). Run everything with [dune exec bench/main.exe];
+   pass section names (e.g. [table2 fig8 overhead]) to run a subset. *)
+
+open Prom
+open Prom_tasks
+
+let seed = 2025
+let section_header title = Printf.printf "\n=== %s ===\n%!" title
+
+let print_violin label samples =
+  Format.printf "  %-24s %a@." label Metrics.pp_violin (Metrics.violin_of samples)
+
+let print_metrics label (m : Detection_metrics.t) =
+  Format.printf "  %-24s %a@." label Detection_metrics.pp m
+
+(* The full suite is expensive; run it once and share across sections. *)
+let suite = lazy (Suite.run ~scale:Suite.Full ~seed ())
+
+let by_case results =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Case_study.result) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl r.case) in
+      Hashtbl.replace tbl r.case (r :: cur))
+    results;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl [])
+
+let table2 () =
+  section_header "Table 2: summary of main evaluation results";
+  let s = Lazy.force suite in
+  let design, deploy, prom, detection = s.Suite.table2 in
+  Printf.printf
+    "  Perf-to-oracle: training %.3f | deployment %.3f | PROM-assisted %.3f\n" design
+    deploy prom;
+  Format.printf "  PROM detection (avg over C1-C4 x models): %a@." Detection_metrics.pp
+    detection;
+  Printf.printf
+    "  (paper: 0.836 | 0.544 | 0.807; detection acc 86.8%% prec 86.0%% recall 96.2%% f1 90.8%%)\n"
+
+let table3 () =
+  section_header "Table 3: C5 DNN code generation - perf-to-oracle by BERT variant";
+  let s = Lazy.force suite in
+  Format.printf "%a@." Dnn_codegen.pp_result s.Suite.c5;
+  Printf.printf
+    "  (paper native: base 0.845 tiny 0.224 medium 0.668 large 0.703; PROM: 0.794/0.810/0.808)\n"
+
+let fig7 () =
+  section_header "Figure 7: design vs deployment performance distributions";
+  let s = Lazy.force suite in
+  List.iter
+    (fun (case, results) ->
+      Printf.printf "  -- %s --\n" case;
+      List.iter
+        (fun (r : Case_study.result) ->
+          print_violin (r.model_name ^ " design") r.design_perf;
+          print_violin (r.model_name ^ " deploy") r.deploy_perf)
+        results)
+    (by_case (Lazy.force suite).Suite.classification_results);
+  ignore s
+
+let fig8 () =
+  section_header "Figure 8: PROM drift-detection performance per case study and model";
+  let s = Lazy.force suite in
+  List.iter
+    (fun (case, results) ->
+      Printf.printf "  -- %s --\n" case;
+      List.iter
+        (fun (r : Case_study.result) -> print_metrics r.model_name r.detection)
+        results)
+    (by_case s.Suite.classification_results)
+
+let fig9 () =
+  section_header "Figure 9: incremental learning restores deployment performance";
+  let s = Lazy.force suite in
+  List.iter
+    (fun (case, results) ->
+      Printf.printf "  -- %s --\n" case;
+      List.iter
+        (fun (r : Case_study.result) ->
+          print_violin (r.model_name ^ " native") r.deploy_perf;
+          print_violin (r.model_name ^ " +PROM") r.prom_perf;
+          Printf.printf "      (relabeled %d of %d flagged)\n" r.relabeled
+            (int_of_float
+               (r.flagged_fraction *. float_of_int (Array.length r.deploy_perf))))
+        results)
+    (by_case s.Suite.classification_results)
+
+let geomean_f1 results pick =
+  let f1s =
+    List.filter_map
+      (fun (r : Case_study.result) ->
+        match pick r with
+        | Some (m : Detection_metrics.t) ->
+            Some (Stdlib.max 0.01 m.Detection_metrics.f1)
+        | None -> None)
+      results
+  in
+  Prom_linalg.Stats.geomean (Array.of_list f1s)
+
+let fig10 () =
+  section_header "Figure 10: geomean F1 vs baseline CP methods (C1-C4)";
+  let s = Lazy.force suite in
+  let results = s.Suite.classification_results in
+  let prom_f1 = geomean_f1 results (fun r -> Some r.detection) in
+  Printf.printf "  %-12s %.3f\n" "PROM" prom_f1;
+  List.iter
+    (fun name ->
+      let f1 = geomean_f1 results (fun r -> List.assoc_opt name r.baseline_metrics) in
+      Printf.printf "  %-12s %.3f\n" name f1)
+    [ "tesseract"; "rise"; "naive-cp" ];
+  Printf.printf "  (paper: PROM > TESSERACT (+17.6%%) > RISE > naive CP)\n"
+
+let fig11 () =
+  section_header "Figure 11: individual nonconformity functions vs the ensemble";
+  let s = Lazy.force suite in
+  List.iter
+    (fun (case, results) ->
+      Printf.printf "  -- %s --\n" case;
+      let avg name pick =
+        let vals = List.map pick results in
+        Printf.printf "    %-8s f1=%.3f\n" name
+          (Prom_linalg.Stats.mean (Array.of_list vals))
+      in
+      avg "ensemble" (fun (r : Case_study.result) -> r.detection.Detection_metrics.f1);
+      List.iter
+        (fun fn_name ->
+          avg fn_name (fun r ->
+              match List.assoc_opt fn_name r.per_function with
+              | Some m -> m.Detection_metrics.f1
+              | None -> 0.0))
+        [ "LAC"; "TopK"; "APS"; "RAPS" ])
+    (by_case s.Suite.classification_results)
+
+let fig12 () =
+  section_header "Figure 12: training vs incremental-learning overhead (seconds)";
+  let s = Lazy.force suite in
+  List.iter
+    (fun (case, results) ->
+      let mean f =
+        Prom_linalg.Stats.mean
+          (Array.of_list (List.map f results))
+      in
+      Printf.printf "  %-28s initial %.2fs | incremental %.2fs\n" case
+        (mean (fun (r : Case_study.result) -> r.train_time))
+        (mean (fun r -> r.retrain_time)))
+    (by_case s.Suite.classification_results);
+  Printf.printf "  (paper: initial training hours-to-a-day; incremental < 1 hour)\n"
+
+(* Sensitivity analyses (Figure 13) train one model per sweep and vary
+   only the detector configuration. *)
+
+let sensitivity_setup () =
+  let scenario = Loop_vectorization.scenario ~loops_per_family:40 ~seed () in
+  let spec = List.nth Loop_vectorization.models 2 (* MLP *) in
+  let open Prom_ml in
+  let raw = Array.map spec.Case_study.encode scenario.Case_study.train_w in
+  let scaler = Dataset.Scaler.fit (Dataset.create raw scenario.Case_study.train_y) in
+  let encode w = Dataset.Scaler.transform scaler (spec.Case_study.encode w) in
+  let pool =
+    Dataset.create (Array.map (Dataset.Scaler.transform scaler) raw)
+      scenario.Case_study.train_y
+  in
+  let train, calibration = Framework.data_partitioning ~calibration_ratio:0.25 ~seed pool in
+  let model = spec.Case_study.trainer.Model.train train in
+  let drift_x = Array.map encode scenario.Case_study.drift_w in
+  let mispredicted =
+    Array.mapi
+      (fun i x ->
+        Metrics.mispredicted
+          ~perf:(scenario.Case_study.perf scenario.Case_study.drift_w.(i)
+                   (Model.predict model x)))
+      drift_x
+  in
+  (model, calibration, drift_x, mispredicted)
+
+let metrics_for detector drift_x mispredicted =
+  let flagged =
+    Array.map (fun x -> snd (Detector.Classification.predict detector x)) drift_x
+  in
+  Detection_metrics.compute ~flagged ~mispredicted
+
+let fig13a () =
+  section_header "Figure 13a: sensitivity to the significance threshold (C2, MLP)";
+  let model, calibration, drift_x, mispredicted = sensitivity_setup () in
+  List.iter
+    (fun epsilon ->
+      let config = { Config.default with Config.epsilon } in
+      let det =
+        Detector.Classification.create ~config ~model ~feature_of:Fun.id calibration
+      in
+      let m = metrics_for det drift_x mispredicted in
+      Format.printf "  epsilon=%.2f %a@." epsilon Detection_metrics.pp m)
+    [ 0.02; 0.05; 0.1; 0.2; 0.3; 0.5 ]
+
+let fig13c () =
+  section_header "Figure 13c: sensitivity to the Gaussian scale parameter (C2, MLP)";
+  let model, calibration, drift_x, mispredicted = sensitivity_setup () in
+  List.iter
+    (fun gaussian_c ->
+      let config = { Config.default with Config.gaussian_c } in
+      let det =
+        Detector.Classification.create ~config ~model ~feature_of:Fun.id calibration
+      in
+      let m = metrics_for det drift_x mispredicted in
+      Format.printf "  c=%.1f %a@." gaussian_c Detection_metrics.pp m)
+    [ 0.5; 1.0; 2.0; 3.0; 4.0; 6.0 ]
+
+let fig13b () =
+  section_header "Figure 13b: sensitivity to the cluster count (C5 regression)";
+  (* Rebuild the C5 detector with forced cluster counts and measure
+     detection on BERT-medium samples. *)
+  let open Prom_ml in
+  let open Prom_synth in
+  let rng = Prom_linalg.Rng.create seed in
+  let pairs net n =
+    Array.init n (fun _ ->
+        let w = Schedule.sample_workload rng net in
+        (w, Schedule.random_schedule rng))
+  in
+  let base = pairs Schedule.Bert_base 360 in
+  let feats = Array.map (fun (w, s) -> Schedule.feature_vector w s) base in
+  let scaler = Dataset.Scaler.fit (Dataset.create feats (Array.map (fun _ -> 0.0) base)) in
+  let encode (w, s) =
+    let z = Dataset.Scaler.transform scaler (Schedule.feature_vector w s) in
+    let tokens =
+      Array.mapi
+        (fun i v ->
+          let b = Stdlib.max 0 (Stdlib.min 7 (int_of_float ((v +. 2.0) *. 2.0))) in
+          1 + (i * 8) + b)
+        z
+    in
+    Prom_nn.Encoding.Seq.encode { Prom_nn.Encoding.Seq.max_len = 13; vocab = 1 + (13 * 8) } tokens
+  in
+  let target (w, s) = log (Schedule.throughput w s) in
+  let data = Dataset.create (Array.map encode base) (Array.map target base) in
+  let train, calibration = Framework.data_partitioning ~calibration_ratio:0.2 ~seed data in
+  let model = Gradient_boosting.train_regressor train in
+  let test = pairs Schedule.Bert_medium 120 in
+  let test_x = Array.map encode test in
+  let mispredicted =
+    Array.mapi
+      (fun i x ->
+        abs_float (model.Model.predict x -. target test.(i)) > log 1.2)
+      test_x
+  in
+  List.iter
+    (fun k ->
+      let det =
+        Detector.Regression.create ~n_clusters:k ~model ~feature_of:Fun.id ~seed
+          calibration
+      in
+      let flagged = Array.map (fun x -> snd (Detector.Regression.predict det x)) test_x in
+      let m = Detection_metrics.compute ~flagged ~mispredicted in
+      Format.printf "  k=%-2d %a@." k Detection_metrics.pp m)
+    [ 2; 4; 6; 8; 10; 12 ]
+
+let fig13d () =
+  section_header "Figure 13d: coverage deviation across case studies";
+  let s = Lazy.force suite in
+  List.iter
+    (fun (case, results) ->
+      let devs =
+        List.map
+          (fun (r : Case_study.result) -> r.coverage.Assessment.deviation)
+          results
+      in
+      let arr = Array.of_list devs in
+      Printf.printf "  %-28s mean dev %.3f (min %.3f max %.3f)\n" case
+        (Prom_linalg.Stats.mean arr)
+        (Array.fold_left min arr.(0) arr)
+        (Array.fold_left max arr.(0) arr))
+    (by_case s.Suite.classification_results);
+  Printf.printf "  C5 (regression)               dev %.3f\n"
+    (Lazy.force suite).Suite.c5.Dnn_codegen.coverage.Assessment.deviation;
+  Printf.printf "  (paper: geomean 2.5%%, thread coarsening 4.4%%)\n"
+
+(* Runtime overhead (paper Sec. 7.6): bechamel microbenchmarks of the
+   per-sample detection cost. *)
+let overhead () =
+  section_header "Runtime overhead: bechamel microbenchmarks (Sec. 7.6)";
+  let open Prom_ml in
+  let scenario = Thread_coarsening.scenario ~kernels_per_suite:110 ~seed () in
+  let spec = List.nth Thread_coarsening.models 0 in
+  let raw = Array.map spec.Case_study.encode scenario.Case_study.train_w in
+  let scaler = Dataset.Scaler.fit (Dataset.create raw scenario.Case_study.train_y) in
+  let pool =
+    Dataset.create (Array.map (Dataset.Scaler.transform scaler) raw)
+      scenario.Case_study.train_y
+  in
+  let train, calibration = Framework.data_partitioning ~calibration_ratio:0.25 ~seed pool in
+  let model = spec.Case_study.trainer.Model.train train in
+  let det = Detector.Classification.create ~model ~feature_of:Fun.id calibration in
+  let sample =
+    Dataset.Scaler.transform scaler (spec.Case_study.encode scenario.Case_study.drift_w.(0))
+  in
+  let open Bechamel in
+  let test_eval =
+    Test.make ~name:"detector-evaluate" (Staged.stage (fun () ->
+        ignore (Detector.Classification.evaluate det sample)))
+  in
+  let test_predict =
+    Test.make ~name:"model-predict-proba" (Staged.stage (fun () ->
+        ignore (model.Model.predict_proba sample)))
+  in
+  let test_sets =
+    Test.make ~name:"prediction-sets" (Staged.stage (fun () ->
+        ignore (Detector.Classification.prediction_sets det sample)))
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-24s %.1f ns/call\n" name est
+        | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+      results
+  in
+  List.iter benchmark [ test_eval; test_predict; test_sets ];
+  Printf.printf "  (paper: scores < 10 ms, drift detection < 2 ms on a low-end laptop)\n"
+
+(* The paper's motivating study (Fig. 1a): a binary vulnerability
+   detector trained on 2012-2014 samples, evaluated on successive future
+   time windows. Half of each window's programs carry an injected bug. *)
+let fig1 () =
+  section_header "Figure 1a: data drift degrades a vulnerability detector over time";
+  let open Prom_ml in
+  let open Prom_synth in
+  let open Prom_nn in
+  let spec = Prom_tasks.Encoders.seq_spec ~max_len:64 ~extra:0 in
+  let rng = Prom_linalg.Rng.create seed in
+  let sample era =
+    let style = Generator.style_of_era rng era in
+    let base = Generator.generate rng style in
+    if Prom_linalg.Rng.bool rng then
+      let cwe = Prom_linalg.Rng.choice rng (Array.of_list Bug_inject.all) in
+      (Prom_tasks.Encoders.pack_program spec ~prefix:[] (Bug_inject.inject rng ~era cwe base), 1)
+    else
+      (* Benign samples carry decoy helpers using the same APIs, so the
+         detector must recognize patterns rather than vocabulary. *)
+      let n = 1 + Prom_linalg.Rng.int rng 2 in
+      ( Prom_tasks.Encoders.pack_program spec ~prefix:[]
+          (Bug_inject.add_decoys rng ~era ~count:n base),
+        0 )
+  in
+  let window eras n =
+    let samples = Array.init n (fun i -> sample (List.nth eras (i mod List.length eras))) in
+    Dataset.create (Array.map fst samples) (Array.map snd samples)
+  in
+  let train = window [ 2012; 2013; 2014 ] 360 in
+  let params =
+    { (Seq_model.default_params spec) with Seq_model.arch = Attention; epochs = 25;
+      hidden = 16; learning_rate = 0.005 }
+  in
+  let model = Seq_model.train ~params train in
+  let f1_on d =
+    let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+    Array.iteri
+      (fun i x ->
+        match (Model.predict model x, d.Dataset.y.(i)) with
+        | 1, 1 -> incr tp
+        | 1, 0 -> incr fp
+        | 0, 1 -> incr fn
+        | _ -> ())
+      d.Dataset.x;
+    let p = float_of_int !tp /. float_of_int (Stdlib.max 1 (!tp + !fp)) in
+    let r = float_of_int !tp /. float_of_int (Stdlib.max 1 (!tp + !fn)) in
+    if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+  in
+  List.iter
+    (fun (label, eras) ->
+      Printf.printf "  %-12s F1 = %.3f
+" label (f1_on (window eras 120)))
+    [
+      ("2012-2014", [ 2012; 2013; 2014 ]);
+      ("2015-2016", [ 2015; 2016 ]);
+      ("2017-2018", [ 2017; 2018 ]);
+      ("2019-2020", [ 2019; 2020 ]);
+      ("2021-2023", [ 2021; 2022; 2023 ]);
+    ];
+  Printf.printf "  (paper: F1 > 0.8 in-window, < 0.3 on future windows)\n"
+
+(* Ablation of the design choices DESIGN.md calls out, on the C2/MLP
+   setup: each variant removes one component of the detector. *)
+let ablation () =
+  section_header "Ablation: PROM components on C2 (MLP)";
+  let model, calibration, drift_x, mispredicted = sensitivity_setup () in
+  let run label config committee =
+    let det =
+      Detector.Classification.create ~config ~committee ~model ~feature_of:Fun.id
+        calibration
+    in
+    let m = metrics_for det drift_x mispredicted in
+    Format.printf "  %-34s %a@." label Detection_metrics.pp m
+  in
+  let default_committee = Nonconformity.default_committee in
+  run "full detector (default)" Config.default default_committee;
+  run "no distance test, credibility only"
+    { Config.default with Config.decision_rule = Config.Credibility_only }
+    default_committee;
+  run "no adaptive weighting (w = 1)"
+    { Config.default with Config.temperature = 1e12 }
+    default_committee;
+  run "full calibration set (no subset)"
+    { Config.default with Config.select_ratio = 1.0; select_all_below = max_int }
+    default_committee;
+  run "strict majority voting"
+    { Config.default with Config.vote_fraction = 0.5 }
+    default_committee;
+  run "single expert (LAC)" Config.default [ Nonconformity.lac ];
+  run "extended committee (+Margin,+Entropy)" Config.default
+    Nonconformity.extended_committee
+
+let sections =
+  [
+    ("table2", table2);
+    ("fig1", fig1);
+    ("ablation", ablation);
+    ("table3", table3);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13a", fig13a);
+    ("fig13b", fig13b);
+    ("fig13c", fig13c);
+    ("fig13d", fig13d);
+    ("overhead", overhead);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    requested;
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

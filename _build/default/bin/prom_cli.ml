@@ -1,0 +1,99 @@
+(* Command-line driver for the PROM reproduction: list and run
+   individual (case study, model) experiments, the C5 regression
+   pipeline, or the whole evaluation suite.
+
+     prom_cli list
+     prom_cli run --case C1-thread-coarsening --model Magni-MLP
+     prom_cli c5 --seed 7
+     prom_cli suite --quick                                        *)
+
+open Cmdliner
+open Prom_tasks
+
+let seed_arg =
+  let doc = "Random seed; every experiment is deterministic given the seed." in
+  Arg.(value & opt int 2025 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Run at reduced scale (smaller datasets, faster)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let scale_of quick = if quick then Suite.Quick else Suite.Full
+
+let list_cmd =
+  let run quick seed =
+    Printf.printf "%-28s %s\n" "CASE" "MODEL";
+    List.iter
+      (fun (case, model, _) -> Printf.printf "%-28s %s\n" case model)
+      (Suite.classification_cases ~scale:(scale_of quick) ~seed);
+    Printf.printf "%-28s %s\n" "C5-dnn-codegen" "TLP-Attention (use the c5 command)"
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available (case study, model) experiments")
+    Term.(const run $ quick_arg $ seed_arg)
+
+let run_cmd =
+  let case_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "case" ] ~docv:"CASE" ~doc:"Case study name (see $(b,list)).")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Underlying model name; omit to run every model of the case.")
+  in
+  let run quick seed case model =
+    let cases = Suite.classification_cases ~scale:(scale_of quick) ~seed in
+    let selected =
+      List.filter
+        (fun (c, m, _) ->
+          String.equal c case
+          && match model with Some m' -> String.equal m m' | None -> true)
+        cases
+    in
+    match selected with
+    | [] ->
+        Printf.eprintf "no experiment matches --case %s%s; try `prom_cli list`\n" case
+          (match model with Some m -> " --model " ^ m | None -> "");
+        exit 1
+    | _ ->
+        List.iter
+          (fun (_, _, thunk) -> Format.printf "%a@.@." Case_study.pp_result (thunk ()))
+          selected
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one classification case study (C1-C4)")
+    Term.(const run $ quick_arg $ seed_arg $ case_arg $ model_arg)
+
+let c5_cmd =
+  let run quick seed =
+    let q full qk = if quick then qk else full in
+    let r =
+      Dnn_codegen.run ~train_samples:(q 360 120) ~test_samples:(q 120 40)
+        ~search_workloads:(q 3 1) ~seed ()
+    in
+    Format.printf "%a@." Dnn_codegen.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "c5" ~doc:"Run the C5 DNN code-generation regression case study")
+    Term.(const run $ quick_arg $ seed_arg)
+
+let suite_cmd =
+  let run quick seed =
+    let t = Suite.run ~scale:(scale_of quick) ~seed () in
+    Format.printf "%a@." Suite.pp t
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Run the full evaluation suite (all case studies)")
+    Term.(const run $ quick_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "prom_cli" ~version:"1.0.0"
+      ~doc:"Deployment-time drift detection for ML-based code optimization (PROM)"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; c5_cmd; suite_cmd ]))

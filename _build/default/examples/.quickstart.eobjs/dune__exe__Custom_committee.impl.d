@@ -1,0 +1,1 @@
+examples/custom_committee.ml: Array Dataset Detector Framework Fun Mlp Nonconformity Printf Prom Prom_linalg Prom_ml Rng Vec

@@ -1,0 +1,1 @@
+examples/dnn_codegen_demo.ml: Dnn_codegen List Printf Prom_synth Prom_tasks Schedule

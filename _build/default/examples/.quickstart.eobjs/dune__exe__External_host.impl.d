@@ -1,0 +1,1 @@
+examples/external_host.ml: Array List Monitor Printf Prom Prom_linalg Rng Service

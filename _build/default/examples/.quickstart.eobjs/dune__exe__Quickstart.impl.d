@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Assessment Dataset Framework Incremental List Logistic Printf Prom Prom_linalg Prom_ml Rng

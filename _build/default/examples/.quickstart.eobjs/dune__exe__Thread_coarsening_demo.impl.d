@@ -1,0 +1,1 @@
+examples/thread_coarsening_demo.ml: Array Case_study Format List Printf Prom Prom_linalg Prom_tasks Stats Thread_coarsening

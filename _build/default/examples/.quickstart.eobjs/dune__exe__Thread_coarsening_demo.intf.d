@@ -1,0 +1,1 @@
+examples/thread_coarsening_demo.mli:

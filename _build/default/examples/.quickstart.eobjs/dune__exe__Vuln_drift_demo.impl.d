@@ -1,0 +1,1 @@
+examples/vuln_drift_demo.ml: Bug_inject Case_study Cast Format Generator Lexer List Printf Prom Prom_linalg Prom_synth Prom_tasks Rng Stats String Vuln_detection

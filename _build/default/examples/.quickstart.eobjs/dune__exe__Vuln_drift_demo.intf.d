@@ -1,0 +1,1 @@
+examples/vuln_drift_demo.mli:

@@ -1,0 +1,25 @@
+(* Case study C5: a regression cost model drives a TVM-style schedule
+   search. Deployed on unseen BERT variants, the stale model steers the
+   search to mediocre schedules; PROM detects the drifting cost queries,
+   profiles a small budget of them, and retrains the model online.
+
+   Run with: dune exec examples/dnn_codegen_demo.exe *)
+
+open Prom_synth
+open Prom_tasks
+
+let () =
+  let r = Dnn_codegen.run ~train_samples:300 ~test_samples:100 ~search_workloads:3 ~seed:13 () in
+  Printf.printf "Cost model: attention regressor, design log-MAE %.3f; %d calibration clusters (gap statistic)\n\n"
+    r.Dnn_codegen.design_mae r.Dnn_codegen.n_clusters;
+  Printf.printf "%-12s %10s %14s\n" "network" "native" "PROM-assisted";
+  List.iter
+    (fun row ->
+      Printf.printf "%-12s %10.3f %14s\n"
+        (Schedule.network_name row.Dnn_codegen.network)
+        row.Dnn_codegen.native_ratio
+        (match row.Dnn_codegen.prom_ratio with
+        | Some p -> Printf.sprintf "%.3f" p
+        | None -> "(in distribution)"))
+    r.Dnn_codegen.rows;
+  Printf.printf "\n(ratios are search-result throughput relative to the exhaustive oracle)\n"

@@ -1,0 +1,72 @@
+(* Embedding PROM in a non-OCaml host (paper Sec. 8): the host — say, a
+   C++ compiler with its own ML heuristic — keeps its model and
+   inference entirely to itself and only hands PROM intermediate
+   results: the input's feature vector and the prediction's probability
+   vector. PROM answers with a single accept/reject boolean.
+
+   This example plays both roles: a "host-side model" produces
+   probability vectors; the PROM side sees only (features, label, proba)
+   calibration triples and the per-query (features, proba) pairs. A
+   deployment monitor aggregates the verdicts into an ageing signal.
+
+   Run with: dune exec examples/external_host.exe *)
+
+open Prom_linalg
+open Prom
+
+(* --- the host side: some opaque heuristic we never hand to PROM --- *)
+let host_predict_proba features =
+  (* a hand-written "model": class 0 left of the diagonal, class 1 right,
+     with confidence from the margin *)
+  let margin = features.(0) -. features.(1) in
+  let p1 = 1.0 /. (1.0 +. exp (-2.0 *. margin)) in
+  [| 1.0 -. p1; p1 |]
+
+let () =
+  let rng = Rng.create 2024 in
+  (* Calibration triples exported by the host: features, true label and
+     the host model's probability vector. *)
+  let calibration =
+    List.init 150 (fun _ ->
+        let f =
+          [| Rng.gaussian rng ~mu:0.0 ~sigma:1.0; Rng.gaussian rng ~mu:0.0 ~sigma:1.0 |]
+        in
+        let label = if f.(0) -. f.(1) > 0.0 then 1 else 0 in
+        (f, label, host_predict_proba f))
+  in
+  let svc = Service.create calibration in
+
+  let probe name f =
+    let proba = host_predict_proba f in
+    let accept = Service.should_accept svc ~features:f ~proba in
+    let cred, conf, dist = Service.scores svc ~features:f ~proba in
+    Printf.printf "%-24s -> %s (cred %.2f, conf %.2f, dist-p %.2f)\n" name
+      (if accept then "ACCEPT" else "REJECT")
+      cred conf dist
+  in
+  probe "typical (0.8, -0.3)" [| 0.8; -0.3 |];
+  probe "typical (-1.1, 0.4)" [| -1.1; 0.4 |];
+  probe "drifted (9.0, 9.5)" [| 9.0; 9.5 |];
+  probe "drifted (-7.0, 12.0)" [| -7.0; 12.0 |];
+
+  (* Ageing monitor over a stream that starts in-distribution and then
+     shifts — the operational retraining signal. *)
+  let monitor = Monitor.create ~window:40 ~threshold:0.5 ~patience:2 () in
+  let stream phase_shifted =
+    let mu = if phase_shifted then 8.0 else 0.0 in
+    let f = [| Rng.gaussian rng ~mu ~sigma:1.0; Rng.gaussian rng ~mu ~sigma:1.0 |] in
+    not (Service.should_accept svc ~features:f ~proba:(host_predict_proba f))
+  in
+  let run n phase_shifted =
+    let final = ref (Monitor.status monitor) in
+    for _ = 1 to n do
+      final := Monitor.observe monitor ~drifted:(stream phase_shifted)
+    done;
+    !final
+  in
+  let s1 = run 120 false in
+  Printf.printf "\nafter 120 in-distribution queries : %s (drift rate %.2f)\n"
+    (Monitor.status_to_string s1) (Monitor.drift_rate monitor);
+  let s2 = run 160 true in
+  Printf.printf "after 160 shifted queries          : %s (drift rate %.2f)\n"
+    (Monitor.status_to_string s2) (Monitor.drift_rate monitor)

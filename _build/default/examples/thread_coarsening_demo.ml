@@ -1,0 +1,28 @@
+(* Case study C1 end-to-end: an ML compiler heuristic picks GPU
+   thread-coarsening factors; PROM guards it against an unseen
+   benchmark suite and repairs it with one incremental-learning round.
+
+   Run with: dune exec examples/thread_coarsening_demo.exe *)
+
+open Prom_linalg
+open Prom_tasks
+
+let () =
+  let scenario = Thread_coarsening.scenario ~kernels_per_suite:80 ~seed:11 () in
+  Printf.printf
+    "C1: train on %d (kernel, GPU) pairs from amd-sdk + nvidia-sdk,\n\
+    \    deploy on %d pairs from the unseen parboil suite.\n\n"
+    (Array.length scenario.Case_study.train_w)
+    (Array.length scenario.Case_study.drift_w);
+  List.iter
+    (fun spec ->
+      let r = Case_study.run ~seed:11 scenario spec in
+      let mean = Stats.mean in
+      Printf.printf "%-14s design %.3f -> deploy %.3f -> with PROM %.3f\n"
+        r.Case_study.model_name (mean r.Case_study.design_perf)
+        (mean r.Case_study.deploy_perf) (mean r.Case_study.prom_perf);
+      Format.printf "               drift detection: %a@." Prom.Detection_metrics.pp
+        r.Case_study.detection;
+      Printf.printf "               relabeled %d samples; retraining took %.2fs\n\n"
+        r.Case_study.relabeled r.Case_study.retrain_time)
+    Thread_coarsening.models

@@ -1,0 +1,38 @@
+(* Case study C4: the paper's motivating example. A bug detector trained
+   on early-era CVE-style samples faces 2021-2023 code where the same
+   vulnerability classes hide behind helper functions and thread loops
+   (paper Fig. 1). PROM flags the drifting inputs; relabeling a few of
+   them restores most of the lost accuracy.
+
+   Run with: dune exec examples/vuln_drift_demo.exe *)
+
+open Prom_linalg
+open Prom_synth
+open Prom_tasks
+
+let () =
+  (* Show what the drift looks like at the source level. *)
+  let rng = Rng.create 5 in
+  let show era =
+    let style = Generator.style_of_era rng era in
+    let program =
+      Bug_inject.inject rng ~era Bug_inject.Double_free (Generator.generate rng style)
+    in
+    let src = Cast.to_string program in
+    Printf.printf "--- a %d double-free (%d tokens) ---\n%s\n\n" era
+      (List.length (Lexer.tokenize src))
+      (String.sub src 0 (min 430 (String.length src)))
+  in
+  show 2013;
+  show 2023;
+
+  let scenario = Vuln_detection.scenario ~per_era:48 ~seed:5 () in
+  let spec = List.hd Vuln_detection.models (* VulDeePecker-style LSTM *) in
+  let r = Case_study.run ~seed:5 scenario spec in
+  let mean = Stats.mean in
+  Printf.printf "%s on 8-class CWE classification:\n" r.Case_study.model_name;
+  Printf.printf "  design-time accuracy    %.3f\n" (mean r.Case_study.design_perf);
+  Printf.printf "  deployment (2021-2023)  %.3f\n" (mean r.Case_study.deploy_perf);
+  Printf.printf "  after incremental fix   %.3f (relabeled %d)\n"
+    (mean r.Case_study.prom_perf) r.Case_study.relabeled;
+  Format.printf "  drift detection: %a@." Prom.Detection_metrics.pp r.Case_study.detection

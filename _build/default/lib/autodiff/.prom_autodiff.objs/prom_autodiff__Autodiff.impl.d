@@ -1,0 +1,1 @@
+lib/autodiff/autodiff.ml: Array List Prom_linalg Rng Vec

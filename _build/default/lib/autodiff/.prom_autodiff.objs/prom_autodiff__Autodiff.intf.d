@@ -1,0 +1,1 @@
+lib/autodiff/autodiff.mli: Prom_linalg

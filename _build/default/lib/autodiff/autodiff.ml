@@ -1,0 +1,396 @@
+open Prom_linalg
+
+type tensor = { data : float array; grad : float array }
+
+let tensor_of data = { data; grad = Array.make (Array.length data) 0.0 }
+let fresh n = { data = Array.make n 0.0; grad = Array.make n 0.0 }
+
+module Param = struct
+  type mat = { w : float array array; gw : float array array }
+  type vec = { v : float array; gv : float array }
+
+  let mat rng ~rows ~cols =
+    let scale = sqrt (2.0 /. float_of_int (rows + cols)) in
+    {
+      w = Array.init rows (fun _ -> Array.init cols (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:scale));
+      gw = Array.init rows (fun _ -> Array.make cols 0.0);
+    }
+
+  let vec n = { v = Array.make n 0.0; gv = Array.make n 0.0 }
+
+  let zero_grads_mat m = Array.iter (fun r -> Array.fill r 0 (Array.length r) 0.0) m.gw
+  let zero_grads_vec v = Array.fill v.gv 0 (Array.length v.gv) 0.0
+end
+
+module Params = struct
+  type t = { mutable mats : Param.mat list; mutable vecs : Param.vec list }
+
+  let create () = { mats = []; vecs = [] }
+
+  let add_mat t m =
+    t.mats <- m :: t.mats;
+    m
+
+  let add_vec t v =
+    t.vecs <- v :: t.vecs;
+    v
+
+  let zero_grads t =
+    List.iter Param.zero_grads_mat t.mats;
+    List.iter Param.zero_grads_vec t.vecs
+
+  let l2_penalty t =
+    let acc = ref 0.0 in
+    List.iter
+      (fun (m : Param.mat) ->
+        Array.iter (fun r -> Array.iter (fun x -> acc := !acc +. (x *. x)) r) m.w)
+      t.mats;
+    List.iter
+      (fun (v : Param.vec) -> Array.iter (fun x -> acc := !acc +. (x *. x)) v.v)
+      t.vecs;
+    !acc
+
+  let iter t ~on_mat ~on_vec =
+    List.iter on_mat t.mats;
+    List.iter on_vec t.vecs
+
+  let count t =
+    let acc = ref 0 in
+    List.iter
+      (fun (m : Param.mat) -> Array.iter (fun r -> acc := !acc + Array.length r) m.w)
+      t.mats;
+    List.iter (fun (v : Param.vec) -> acc := !acc + Array.length v.v) t.vecs;
+    !acc
+end
+
+module Tape = struct
+  type t = { mutable ops : (unit -> unit) list; mutable n : int }
+
+  let create () = { ops = []; n = 0 }
+
+  let record t f =
+    t.ops <- f :: t.ops;
+    t.n <- t.n + 1
+
+  let length t = t.n
+
+  let backward t ~root ~seed =
+    if Array.length seed <> Array.length root.grad then
+      invalid_arg "Tape.backward: seed dimension mismatch";
+    Array.blit seed 0 root.grad 0 (Array.length seed);
+    List.iter (fun f -> f ()) t.ops;
+    t.ops <- [];
+    t.n <- 0
+
+  let matvec t (m : Param.mat) x =
+    let rows = Array.length m.w in
+    let out = fresh rows in
+    for i = 0 to rows - 1 do
+      let row = m.w.(i) in
+      let acc = ref 0.0 in
+      for j = 0 to Array.length x.data - 1 do
+        acc := !acc +. (row.(j) *. x.data.(j))
+      done;
+      out.data.(i) <- !acc
+    done;
+    record t (fun () ->
+        for i = 0 to rows - 1 do
+          let g = out.grad.(i) in
+          if g <> 0.0 then begin
+            let row = m.w.(i) and grow = m.gw.(i) in
+            for j = 0 to Array.length x.data - 1 do
+              grow.(j) <- grow.(j) +. (g *. x.data.(j));
+              x.grad.(j) <- x.grad.(j) +. (g *. row.(j))
+            done
+          end
+        done);
+    out
+
+  let add t a b =
+    if Array.length a.data <> Array.length b.data then
+      invalid_arg "Tape.add: dimension mismatch";
+    let out = { data = Vec.add a.data b.data; grad = Array.make (Array.length a.data) 0.0 } in
+    record t (fun () ->
+        for i = 0 to Array.length out.grad - 1 do
+          a.grad.(i) <- a.grad.(i) +. out.grad.(i);
+          b.grad.(i) <- b.grad.(i) +. out.grad.(i)
+        done);
+    out
+
+  let add_bias t (b : Param.vec) x =
+    if Array.length b.v <> Array.length x.data then
+      invalid_arg "Tape.add_bias: dimension mismatch";
+    let out = { data = Vec.add x.data b.v; grad = Array.make (Array.length x.data) 0.0 } in
+    record t (fun () ->
+        for i = 0 to Array.length out.grad - 1 do
+          x.grad.(i) <- x.grad.(i) +. out.grad.(i);
+          b.gv.(i) <- b.gv.(i) +. out.grad.(i)
+        done);
+    out
+
+  let mul t a b =
+    if Array.length a.data <> Array.length b.data then
+      invalid_arg "Tape.mul: dimension mismatch";
+    let out = { data = Vec.mul a.data b.data; grad = Array.make (Array.length a.data) 0.0 } in
+    record t (fun () ->
+        for i = 0 to Array.length out.grad - 1 do
+          a.grad.(i) <- a.grad.(i) +. (out.grad.(i) *. b.data.(i));
+          b.grad.(i) <- b.grad.(i) +. (out.grad.(i) *. a.data.(i))
+        done);
+    out
+
+  let scale t k x =
+    let out = { data = Vec.scale k x.data; grad = Array.make (Array.length x.data) 0.0 } in
+    record t (fun () ->
+        for i = 0 to Array.length out.grad - 1 do
+          x.grad.(i) <- x.grad.(i) +. (k *. out.grad.(i))
+        done);
+    out
+
+  let unary t f f' x =
+    let out = { data = Array.map f x.data; grad = Array.make (Array.length x.data) 0.0 } in
+    record t (fun () ->
+        for i = 0 to Array.length out.grad - 1 do
+          x.grad.(i) <- x.grad.(i) +. (out.grad.(i) *. f' x.data.(i) out.data.(i))
+        done);
+    out
+
+  let tanh_ t x = unary t tanh (fun _ y -> 1.0 -. (y *. y)) x
+
+  let sigmoid_ t x =
+    unary t (fun v -> 1.0 /. (1.0 +. exp (-.v))) (fun _ y -> y *. (1.0 -. y)) x
+
+  let relu_ t x =
+    unary t (fun v -> if v > 0.0 then v else 0.0) (fun v _ -> if v > 0.0 then 1.0 else 0.0) x
+
+  let concat t a b =
+    let na = Array.length a.data and nb = Array.length b.data in
+    let out = fresh (na + nb) in
+    Array.blit a.data 0 out.data 0 na;
+    Array.blit b.data 0 out.data na nb;
+    record t (fun () ->
+        for i = 0 to na - 1 do
+          a.grad.(i) <- a.grad.(i) +. out.grad.(i)
+        done;
+        for i = 0 to nb - 1 do
+          b.grad.(i) <- b.grad.(i) +. out.grad.(na + i)
+        done);
+    out
+
+  let mean_pool t xs =
+    match xs with
+    | [] -> invalid_arg "Tape.mean_pool: empty list"
+    | first :: _ ->
+        let n = Array.length first.data in
+        let k = float_of_int (List.length xs) in
+        let out = fresh n in
+        List.iter
+          (fun x ->
+            if Array.length x.data <> n then invalid_arg "Tape.mean_pool: ragged inputs";
+            for i = 0 to n - 1 do
+              out.data.(i) <- out.data.(i) +. (x.data.(i) /. k)
+            done)
+          xs;
+        record t (fun () ->
+            List.iter
+              (fun x ->
+                for i = 0 to n - 1 do
+                  x.grad.(i) <- x.grad.(i) +. (out.grad.(i) /. k)
+                done)
+              xs);
+        out
+
+  let weighted_sum t ws xs =
+    if Array.length ws.data <> Array.length xs then
+      invalid_arg "Tape.weighted_sum: weight/input count mismatch";
+    (match xs with [||] -> invalid_arg "Tape.weighted_sum: empty inputs" | _ -> ());
+    let n = Array.length xs.(0).data in
+    let out = fresh n in
+    Array.iteri
+      (fun k x ->
+        let w = ws.data.(k) in
+        for i = 0 to n - 1 do
+          out.data.(i) <- out.data.(i) +. (w *. x.data.(i))
+        done)
+      xs;
+    record t (fun () ->
+        Array.iteri
+          (fun k x ->
+            let w = ws.data.(k) in
+            let gw = ref 0.0 in
+            for i = 0 to n - 1 do
+              x.grad.(i) <- x.grad.(i) +. (w *. out.grad.(i));
+              gw := !gw +. (out.grad.(i) *. x.data.(i))
+            done;
+            ws.grad.(k) <- ws.grad.(k) +. !gw)
+          xs);
+    out
+
+  let softmax1 t x =
+    let out = { data = Vec.softmax x.data; grad = Array.make (Array.length x.data) 0.0 } in
+    record t (fun () ->
+        (* dL/dx_i = s_i * (g_i - sum_j g_j s_j) *)
+        let s = out.data and g = out.grad in
+        let dot = ref 0.0 in
+        for j = 0 to Array.length s - 1 do
+          dot := !dot +. (g.(j) *. s.(j))
+        done;
+        for i = 0 to Array.length s - 1 do
+          x.grad.(i) <- x.grad.(i) +. (s.(i) *. (g.(i) -. !dot))
+        done);
+    out
+
+  let dot_scores t q keys =
+    (match keys with [||] -> invalid_arg "Tape.dot_scores: empty keys" | _ -> ());
+    let dim = Array.length q.data in
+    let inv = 1.0 /. sqrt (float_of_int dim) in
+    let out = fresh (Array.length keys) in
+    Array.iteri (fun k key -> out.data.(k) <- Vec.dot q.data key.data *. inv) keys;
+    record t (fun () ->
+        Array.iteri
+          (fun k key ->
+            let g = out.grad.(k) *. inv in
+            if g <> 0.0 then
+              for i = 0 to dim - 1 do
+                q.grad.(i) <- q.grad.(i) +. (g *. key.data.(i));
+                key.grad.(i) <- key.grad.(i) +. (g *. q.data.(i))
+              done)
+          keys);
+    out
+
+  let row t (m : Param.mat) i =
+    let out = { data = Array.copy m.w.(i); grad = Array.make (Array.length m.w.(i)) 0.0 } in
+    record t (fun () ->
+        let g = m.gw.(i) in
+        for j = 0 to Array.length g - 1 do
+          g.(j) <- g.(j) +. out.grad.(j)
+        done);
+    out
+end
+
+module Loss = struct
+  let softmax_cross_entropy ~logits ~label =
+    let p = Vec.softmax logits.data in
+    let loss = -.log (max p.(label) 1e-12) in
+    let seed = Array.mapi (fun i pi -> pi -. (if i = label then 1.0 else 0.0)) p in
+    (loss, seed)
+
+  let squared ~pred ~target =
+    if Array.length pred.data <> 1 then invalid_arg "Loss.squared: expected scalar tensor";
+    let err = pred.data.(0) -. target in
+    (0.5 *. err *. err, [| err |])
+end
+
+module Optimizer = struct
+  type kind =
+    | Sgd of { lr : float; momentum : float; vel : (float array array list * float array list) }
+    | Adam of {
+        lr : float;
+        beta1 : float;
+        beta2 : float;
+        eps : float;
+        mutable t : int;
+        m1 : (float array array list * float array list);
+        m2 : (float array array list * float array list);
+      }
+
+  type t = { params : Params.t; kind : kind }
+
+  let mirrors params =
+    let mats = ref [] and vecs = ref [] in
+    Params.iter params
+      ~on_mat:(fun m ->
+        mats := Array.map (fun r -> Array.make (Array.length r) 0.0) m.Param.w :: !mats)
+      ~on_vec:(fun v -> vecs := Array.make (Array.length v.Param.v) 0.0 :: !vecs);
+    (List.rev !mats, List.rev !vecs)
+
+  let sgd ?(momentum = 0.0) ~lr params =
+    { params; kind = Sgd { lr; momentum; vel = mirrors params } }
+
+  let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr params =
+    { params; kind = Adam { lr; beta1; beta2; eps; t = 0; m1 = mirrors params; m2 = mirrors params } }
+
+  (* Walk parameters and their mirror buffers in lock-step. *)
+  let zip_apply params (mat_bufs, vec_bufs) f_mat f_vec =
+    let mats = ref mat_bufs and vecs = ref vec_bufs in
+    Params.iter params
+      ~on_mat:(fun m ->
+        match !mats with
+        | buf :: rest ->
+            mats := rest;
+            f_mat m buf
+        | [] -> assert false)
+      ~on_vec:(fun v ->
+        match !vecs with
+        | buf :: rest ->
+            vecs := rest;
+            f_vec v buf
+        | [] -> assert false)
+
+  let zip_apply2 params (ma, va) (mb, vb) f_mat f_vec =
+    let mas = ref ma and vas = ref va and mbs = ref mb and vbs = ref vb in
+    Params.iter params
+      ~on_mat:(fun m ->
+        match (!mas, !mbs) with
+        | b1 :: r1, b2 :: r2 ->
+            mas := r1;
+            mbs := r2;
+            f_mat m b1 b2
+        | _ -> assert false)
+      ~on_vec:(fun v ->
+        match (!vas, !vbs) with
+        | b1 :: r1, b2 :: r2 ->
+            vas := r1;
+            vbs := r2;
+            f_vec v b1 b2
+        | _ -> assert false)
+
+  let step t =
+    (match t.kind with
+    | Sgd { lr; momentum; vel } ->
+        zip_apply t.params vel
+          (fun m vel ->
+            Array.iteri
+              (fun i row ->
+                let g = m.Param.gw.(i) and v = vel.(i) in
+                for j = 0 to Array.length row - 1 do
+                  v.(j) <- (momentum *. v.(j)) -. (lr *. g.(j));
+                  row.(j) <- row.(j) +. v.(j)
+                done)
+              m.Param.w)
+          (fun v vel ->
+            for j = 0 to Array.length v.Param.v - 1 do
+              vel.(j) <- (momentum *. vel.(j)) -. (lr *. v.Param.gv.(j));
+              v.Param.v.(j) <- v.Param.v.(j) +. vel.(j)
+            done)
+    | Adam a ->
+        a.t <- a.t + 1;
+        let tc = float_of_int a.t in
+        let corr1 = 1.0 -. (a.beta1 ** tc) and corr2 = 1.0 -. (a.beta2 ** tc) in
+        let update x g m1 m2 =
+          let m1' = (a.beta1 *. m1) +. ((1.0 -. a.beta1) *. g) in
+          let m2' = (a.beta2 *. m2) +. ((1.0 -. a.beta2) *. g *. g) in
+          let mh = m1' /. corr1 and vh = m2' /. corr2 in
+          (x -. (a.lr *. mh /. (sqrt vh +. a.eps)), m1', m2')
+        in
+        zip_apply2 t.params a.m1 a.m2
+          (fun m b1 b2 ->
+            Array.iteri
+              (fun i row ->
+                let g = m.Param.gw.(i) in
+                for j = 0 to Array.length row - 1 do
+                  let x', m1', m2' = update row.(j) g.(j) b1.(i).(j) b2.(i).(j) in
+                  row.(j) <- x';
+                  b1.(i).(j) <- m1';
+                  b2.(i).(j) <- m2'
+                done)
+              m.Param.w)
+          (fun v b1 b2 ->
+            for j = 0 to Array.length v.Param.v - 1 do
+              let x', m1', m2' = update v.Param.v.(j) v.Param.gv.(j) b1.(j) b2.(j) in
+              v.Param.v.(j) <- x';
+              b1.(j) <- m1';
+              b2.(j) <- m2'
+            done));
+    Params.zero_grads t.params
+end

@@ -1,0 +1,114 @@
+(** Reverse-mode automatic differentiation over 1-D float tensors.
+
+    A {!Tape.t} records operations as they execute; {!Tape.backward}
+    replays the recorded closures in reverse to accumulate gradients.
+    Operations are vector-level (a matrix-vector product is a single
+    tape entry), which keeps recurrent models fast enough to train in
+    pure OCaml. The network libraries in [prom_nn] are built on top. *)
+
+(** A tensor paired with its gradient accumulator. *)
+type tensor = { data : float array; grad : float array }
+
+val tensor_of : float array -> tensor
+
+(** Trainable parameters: matrices and vectors with gradient storage. *)
+module Param : sig
+  type mat = { w : float array array; gw : float array array }
+  type vec = { v : float array; gv : float array }
+
+  (** [mat rng ~rows ~cols] draws Xavier-initialized weights. *)
+  val mat : Prom_linalg.Rng.t -> rows:int -> cols:int -> mat
+
+  val vec : int -> vec
+  val zero_grads_mat : mat -> unit
+  val zero_grads_vec : vec -> unit
+end
+
+(** A collection of parameters, so optimizers can iterate them. *)
+module Params : sig
+  type t
+
+  val create : unit -> t
+  val add_mat : t -> Param.mat -> Param.mat
+  val add_vec : t -> Param.vec -> Param.vec
+  val zero_grads : t -> unit
+
+  (** [l2_penalty t] is the sum of squared weights — for reporting. *)
+  val l2_penalty : t -> float
+
+  val iter :
+    t -> on_mat:(Param.mat -> unit) -> on_vec:(Param.vec -> unit) -> unit
+
+  val count : t -> int
+  (** total scalar parameter count *)
+end
+
+module Tape : sig
+  type t
+
+  val create : unit -> t
+
+  (** [backward t ~root ~seed] sets [root.grad <- seed] and replays all
+      recorded operations in reverse. The tape is cleared afterwards, so
+      a tape value can be reused across training steps. *)
+  val backward : t -> root:tensor -> seed:float array -> unit
+
+  (** Number of recorded operations (for tests). *)
+  val length : t -> int
+
+  (* Differentiable operations. All return fresh tensors and record
+     their backward closure on the tape. *)
+
+  val matvec : t -> Param.mat -> tensor -> tensor
+  val add : t -> tensor -> tensor -> tensor
+  val add_bias : t -> Param.vec -> tensor -> tensor
+  val mul : t -> tensor -> tensor -> tensor
+  val scale : t -> float -> tensor -> tensor
+  val tanh_ : t -> tensor -> tensor
+  val sigmoid_ : t -> tensor -> tensor
+  val relu_ : t -> tensor -> tensor
+  val concat : t -> tensor -> tensor -> tensor
+
+  (** [mean_pool t xs] averages a non-empty list of equal-length
+      tensors. *)
+  val mean_pool : t -> tensor list -> tensor
+
+  (** [weighted_sum t ws xs] computes [sum_i ws_i * xs_i] where the
+      weights tensor has one scalar per element of [xs]. Gradients flow
+      to both the weights and the inputs — the core of attention. *)
+  val weighted_sum : t -> tensor -> tensor array -> tensor
+
+  (** [softmax1 t x] is softmax along the (only) axis. *)
+  val softmax1 : t -> tensor -> tensor
+
+  (** [dot_scores t q keys] returns a tensor of [q . keys_i /
+      sqrt dim] scores — attention logits. *)
+  val dot_scores : t -> tensor -> tensor array -> tensor
+
+  (** [row t m i] selects row [i] of a parameter matrix as a tensor —
+      an embedding lookup; gradients accumulate into that row. *)
+  val row : t -> Param.mat -> int -> tensor
+end
+
+(** Loss helpers. These do not extend the tape: they return the seed
+    gradient to pass to {!Tape.backward}. *)
+module Loss : sig
+  (** [softmax_cross_entropy ~logits ~label] returns
+      [(loss, dloss/dlogits)]. *)
+  val softmax_cross_entropy : logits:tensor -> label:int -> float * float array
+
+  (** [squared ~pred ~target] for 1-element prediction tensors. *)
+  val squared : pred:tensor -> target:float -> float * float array
+end
+
+(** Gradient-descent optimizers over a {!Params.t}. *)
+module Optimizer : sig
+  type t
+
+  val sgd : ?momentum:float -> lr:float -> Params.t -> t
+  val adam : ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> Params.t -> t
+
+  (** [step t] applies one update from the accumulated gradients and
+      zeroes them. *)
+  val step : t -> unit
+end

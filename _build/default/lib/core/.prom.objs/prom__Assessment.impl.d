@@ -1,0 +1,1 @@
+lib/core/assessment.ml: Array Config Dataset Detector List Prom_linalg Prom_ml

@@ -1,0 +1,1 @@
+lib/core/assessment.mli: Config Dataset Model Nonconformity Prom_linalg Prom_ml Vec

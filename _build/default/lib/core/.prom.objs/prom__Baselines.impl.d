@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Calibration Config Dataset Logistic Model Nonconformity Prom_linalg Prom_ml Pvalue Rng Stdlib Vec

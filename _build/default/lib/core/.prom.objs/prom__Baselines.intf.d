@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Dataset Model Prom_linalg Prom_ml Vec

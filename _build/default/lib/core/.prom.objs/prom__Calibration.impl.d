@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Array Config Dataset Distance Gap_statistic Kmeans Model Prom_linalg Prom_ml Rng Stats Stdlib Vec

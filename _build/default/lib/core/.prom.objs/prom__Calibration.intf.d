@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Config Dataset Kmeans Model Prom_linalg Prom_ml Vec

@@ -1,0 +1,1 @@
+lib/core/detection_metrics.ml: Array Format

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Array Calibration Config Float List Model Nonconformity Prom_linalg Prom_ml Pvalue Scores Stats Stdlib Vec

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Config Dataset Model Nonconformity Prom_linalg Prom_ml Scores Vec

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Array Assessment Dataset Detector Fun Incremental List Model Nonconformity Prom_linalg Prom_ml Rng Stdlib Vec

@@ -1,0 +1,1 @@
+lib/core/framework.mli: Assessment Config Dataset Detector Incremental Model Nonconformity Prom_linalg Prom_ml Vec

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Dataset Detector List Model Prom_ml Scores Stdlib

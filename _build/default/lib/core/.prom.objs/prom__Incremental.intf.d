@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Dataset Detector Model Prom_linalg Prom_ml Vec

@@ -1,0 +1,1 @@
+lib/core/nonconformity.ml: Array Prom_linalg Stdlib Vec

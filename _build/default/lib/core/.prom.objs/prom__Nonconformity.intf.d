@@ -1,0 +1,1 @@
+lib/core/nonconformity.mli: Prom_linalg Vec

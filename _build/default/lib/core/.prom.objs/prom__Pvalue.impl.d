@@ -1,0 +1,1 @@
+lib/core/pvalue.ml: Array Calibration Nonconformity

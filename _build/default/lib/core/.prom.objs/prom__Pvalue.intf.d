@@ -1,0 +1,1 @@
+lib/core/pvalue.mli: Calibration Nonconformity Prom_linalg Vec

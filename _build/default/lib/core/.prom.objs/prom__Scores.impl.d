@@ -1,0 +1,1 @@
+lib/core/scores.ml: Array Config List Option

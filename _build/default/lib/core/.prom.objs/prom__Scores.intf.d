@@ -1,0 +1,1 @@
+lib/core/scores.mli: Config

@@ -1,0 +1,1 @@
+lib/core/service.ml: Array Dataset Detector Fun Hashtbl List Model Prom_linalg Prom_ml Scores Stdlib Vec

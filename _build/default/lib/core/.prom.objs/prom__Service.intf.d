@@ -1,0 +1,1 @@
+lib/core/service.mli: Config Nonconformity Prom_linalg Vec

@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Array Assessment Config Dataset Detection_metrics Detector List Model Prom_linalg Prom_ml Stdlib

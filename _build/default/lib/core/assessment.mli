@@ -1,0 +1,46 @@
+(** Initialization assessment (paper Sec. 5.2, Eq. 3): cross-validated
+    conformal coverage on the held-out calibration dataset. The
+    calibration data is split [r] times into internal calibration (80%)
+    and validation (20%); the coverage rate — how often the true label
+    lands in the prediction region — should match the significance
+    level [1 - epsilon]. A deviation above [alert_threshold] signals a
+    poorly initialized framework. *)
+
+open Prom_linalg
+open Prom_ml
+
+type report = {
+  coverage : float;  (** average over rounds and experts *)
+  deviation : float;  (** [|coverage - (1 - epsilon)|] *)
+  per_round : float list;
+  alert : bool;  (** [deviation > alert_threshold] *)
+}
+
+val alert_threshold : float
+(** 0.1, per the paper *)
+
+(** [classification ?r ?seed ~config ~committee ~model ~feature_of
+    calibration] runs the assessment; [r] defaults to 3. Raises
+    [Invalid_argument] when the calibration set is too small to
+    split. *)
+val classification :
+  ?r:int ->
+  ?seed:int ->
+  config:Config.t ->
+  committee:Nonconformity.cls list ->
+  model:Model.classifier ->
+  feature_of:(Vec.t -> Vec.t) ->
+  int Dataset.t ->
+  report
+
+(** [regression] analogously covers cluster labels. *)
+val regression :
+  ?r:int ->
+  ?seed:int ->
+  ?n_clusters:int ->
+  config:Config.t ->
+  committee:Nonconformity.reg list ->
+  model:Model.regressor ->
+  feature_of:(Vec.t -> Vec.t) ->
+  float Dataset.t ->
+  report

@@ -1,0 +1,108 @@
+open Prom_linalg
+open Prom_ml
+
+type t = { name : string; flags : Vec.t -> bool }
+
+(* A configuration that disables PROM's adaptive machinery: keep every
+   calibration sample and make the exp-distance weights collapse to 1. *)
+let flat_config epsilon =
+  {
+    Config.default with
+    Config.epsilon;
+    select_ratio = 1.0;
+    select_all_below = max_int;
+    temperature = 1e18;
+  }
+
+let conformal_scores ~config ~calibration ~fn ~feature_of ~model x =
+  let proba = model.Model.predict_proba x in
+  let predicted = Vec.argmax proba in
+  let selected =
+    Calibration.select_subset ~config calibration.Calibration.entries
+      ~feature_of_entry:(fun e -> e.Calibration.features)
+      (feature_of x)
+  in
+  let pvalues =
+    Pvalue.classification_all ~fn ~selected ~proba ~n_classes:model.Model.n_classes ()
+  in
+  (predicted, pvalues)
+
+let second_largest pvalues skip =
+  let best = ref 0.0 in
+  Array.iteri (fun i p -> if i <> skip && p > !best then best := p) pvalues;
+  !best
+
+let naive_cp ?(epsilon = 0.1) ~model ~feature_of data =
+  let config = flat_config epsilon in
+  let calibration =
+    Calibration.prepare_classification ~config ~model ~feature_of data
+  in
+  {
+    name = "naive-cp";
+    flags =
+      (fun x ->
+        let predicted, pvalues =
+          conformal_scores ~config ~calibration ~fn:Nonconformity.lac ~feature_of ~model x
+        in
+        pvalues.(predicted) < epsilon);
+  }
+
+let tesseract ?(epsilon = 0.1) ~model ~feature_of data =
+  let config = flat_config epsilon in
+  let calibration =
+    Calibration.prepare_classification ~config ~model ~feature_of data
+  in
+  {
+    name = "tesseract";
+    flags =
+      (fun x ->
+        let predicted, pvalues =
+          conformal_scores ~config ~calibration ~fn:Nonconformity.lac ~feature_of ~model x
+        in
+        let credibility = pvalues.(predicted) in
+        let confidence = 1.0 -. second_largest pvalues predicted in
+        credibility < epsilon || confidence < 1.0 -. epsilon);
+  }
+
+let rise ?(epsilon = 0.1) ~seed ~model ~feature_of data =
+  let config = flat_config epsilon in
+  let rng = Rng.create seed in
+  let shuffled = Dataset.shuffle rng data in
+  let cal_part, train_part = Dataset.split_at shuffled ~ratio:0.5 in
+  if Dataset.length cal_part = 0 || Dataset.length train_part = 0 then
+    invalid_arg "Baselines.rise: calibration dataset too small";
+  let calibration =
+    Calibration.prepare_classification ~config ~model ~feature_of cal_part
+  in
+  let score_features x =
+    let predicted, pvalues =
+      conformal_scores ~config ~calibration ~fn:Nonconformity.lac ~feature_of ~model x
+    in
+    let credibility = pvalues.(predicted) in
+    let confidence = 1.0 -. second_largest pvalues predicted in
+    let proba = model.Model.predict_proba x in
+    let entropy =
+      -.Array.fold_left (fun acc p -> acc +. (p *. log (Stdlib.max p 1e-12))) 0.0 proba
+    in
+    [| credibility; confidence; entropy |]
+  in
+  let feats = Array.map score_features train_part.x in
+  let labels =
+    Array.mapi
+      (fun i x -> if Model.predict model x <> train_part.y.(i) then 1 else 0)
+      train_part.x
+  in
+  (* The rejector needs both classes to train; degenerate splits fall
+     back to the TESSERACT rule. *)
+  let has_both =
+    Array.exists (fun l -> l = 1) labels && Array.exists (fun l -> l = 0) labels
+  in
+  if not has_both then
+    let fallback = tesseract ~epsilon ~model ~feature_of data in
+    { fallback with name = "rise" }
+  else
+    let rejector = Logistic.train (Dataset.create feats labels) in
+    {
+      name = "rise";
+      flags = (fun x -> Model.predict rejector (score_features x) = 1);
+    }

@@ -1,0 +1,45 @@
+(** Comparators for Figure 10: simplified reimplementations of the
+    design decisions PROM improves upon.
+
+    - {b Naive CP} (MAPIE / PUNCC style): a single LAC nonconformity
+      function over the {i full, unweighted} calibration set; rejects
+      when the p-value of the predicted label falls below [epsilon].
+    - {b TESSERACT style}: classical conformal credibility {i and}
+      confidence (1 minus the second-largest p-value), again on the full
+      calibration set with a single function.
+    - {b RISE style}: trains a secondary classifier (logistic
+      regression) on conformal scores of an internal validation split to
+      predict mispredictions directly.
+
+    All three expose the same [flags : Vec.t -> bool] interface so the
+    benchmark harness can swap them for PROM. *)
+
+open Prom_linalg
+open Prom_ml
+
+type t = { name : string; flags : Vec.t -> bool }
+
+val naive_cp :
+  ?epsilon:float ->
+  model:Model.classifier ->
+  feature_of:(Vec.t -> Vec.t) ->
+  int Dataset.t ->
+  t
+
+val tesseract :
+  ?epsilon:float ->
+  model:Model.classifier ->
+  feature_of:(Vec.t -> Vec.t) ->
+  int Dataset.t ->
+  t
+
+(** [rise ~seed ...] splits the calibration data internally: conformal
+    scores are computed against one part, and the rejector is trained on
+    the other part's (scores, mispredicted) pairs. *)
+val rise :
+  ?epsilon:float ->
+  seed:int ->
+  model:Model.classifier ->
+  feature_of:(Vec.t -> Vec.t) ->
+  int Dataset.t ->
+  t

@@ -1,0 +1,261 @@
+open Prom_linalg
+open Prom_ml
+
+type cls_entry = { features : Vec.t; label : int; proba : Vec.t }
+
+type cls = {
+  entries : cls_entry array;
+  config : Config.t;
+  scaler : Dataset.Scaler.t;
+  tau : float;
+  loo_distances : float array;
+      (* sorted leave-one-out kNN-distance scores of the calibration set *)
+}
+
+(* Standardize the similarity space with calibration statistics so the
+   temperature of Eq. 1 means the same thing across tasks. *)
+let fit_scaler feats =
+  Dataset.Scaler.fit (Dataset.create feats (Array.map (fun _ -> 0) feats))
+
+(* Self-calibrated temperature: the paper's [temperature] knob is
+   interpreted relative to the calibration set's own distance scale, so
+   that w = exp (-d^2 / tau) maps "typical in-distribution distance" to
+   a weight near 1 regardless of the feature space. [tau_eff =
+   temperature / 100 * median pairwise squared distance]; the default
+   500 therefore places the e-fold decay at 5x the median. *)
+(* Conformal kNN distance scores (Ishimtsev et al., the paper's [36]):
+   the nonconformity of a point is its mean distance to its k nearest
+   calibration neighbours; calibrated leave-one-out on the calibration
+   set itself, this gives an exactly valid out-of-distribution test. *)
+let knn_distance_k = 5
+
+let knn_distance_score ?(exclude = -1) feats v =
+  let ds = ref [] in
+  Array.iteri
+    (fun i f -> if i <> exclude then ds := Distance.euclidean f v :: !ds)
+    feats;
+  let ds = Array.of_list !ds in
+  Array.sort compare ds;
+  let k = Stdlib.min knn_distance_k (Array.length ds) in
+  if k = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      acc := !acc +. ds.(i)
+    done;
+    !acc /. float_of_int k
+  end
+
+let loo_distance_scores feats =
+  let scores = Array.mapi (fun i _ -> knn_distance_score ~exclude:i feats feats.(i)) feats in
+  Array.sort compare scores;
+  scores
+
+let distance_pvalue_of loo score =
+  let n = Array.length loo in
+  if n = 0 then 1.0
+  else begin
+    (* count of LOO scores >= test score, by binary search on the
+       sorted array *)
+    let rec first_geq lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if loo.(mid) >= score then first_geq lo mid else first_geq (mid + 1) hi
+    in
+    let at_least = n - first_geq 0 n in
+    let p = float_of_int (at_least + 1) /. float_of_int (n + 1) in
+    (* Beyond the calibration tail every score would share the floor
+       1/(n+1); extend with an exponential tail so farther points get
+       strictly smaller p-values and the significance level keeps
+       controlling how far out the rejection boundary sits. *)
+    let max_loo = loo.(n - 1) in
+    if at_least = 0 && max_loo > 0.0 && score > max_loo then
+      p *. exp (-4.0 *. ((score /. max_loo) -. 1.0))
+    else p
+  end
+
+let effective_tau config feats =
+  let n = Array.length feats in
+  let d2s =
+    if n < 2 then [| 1.0 |]
+    else begin
+      let acc = ref [] in
+      let step = Stdlib.max 1 (n * n / 4000) in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          incr k;
+          if !k mod step = 0 then acc := Distance.sq_euclidean feats.(i) feats.(j) :: !acc
+        done
+      done;
+      match !acc with [] -> [| 1.0 |] | l -> Array.of_list l
+    end
+  in
+  let med = Stats.median d2s in
+  let med = if med <= 0.0 then 1.0 else med in
+  config.Config.temperature /. 100.0 *. med
+
+let prepare_classification ~config ~model ~feature_of (d : int Dataset.t) =
+  Config.validate config;
+  if Dataset.length d = 0 then invalid_arg "Calibration: empty calibration dataset";
+  let feats = Array.map feature_of d.x in
+  let scaler = fit_scaler feats in
+  let std_feats = Array.map (Dataset.Scaler.transform scaler) feats in
+  let entries =
+    Array.mapi
+      (fun i x ->
+        { features = std_feats.(i); label = d.y.(i); proba = model.Model.predict_proba x })
+      d.x
+  in
+  {
+    entries;
+    config;
+    scaler;
+    tau = effective_tau config std_feats;
+    loo_distances = loo_distance_scores std_feats;
+  }
+
+let standardize_cls t v = Dataset.Scaler.transform t.scaler v
+
+type reg_entry = {
+  rfeatures : Vec.t;
+  target : float;
+  rpred : float;
+  cluster : int;
+  rproxy : float;
+  rspread : float;
+}
+
+type reg = {
+  rentries : reg_entry array;
+  rconfig : Config.t;
+  clusters : Kmeans.t;
+  n_clusters : int;
+  rscaler : Dataset.Scaler.t;
+  rtau : float;
+  rloo_distances : float array;
+}
+
+let prepare_regression ?n_clusters ~config ~model ~feature_of ~seed (d : float Dataset.t) =
+  Config.validate config;
+  let n = Dataset.length d in
+  if n = 0 then invalid_arg "Calibration: empty calibration dataset";
+  let scaler = fit_scaler (Array.map feature_of d.x) in
+  let feats = Array.map (fun x -> Dataset.Scaler.transform scaler (feature_of x)) d.x in
+  let rng = Rng.create seed in
+  let k =
+    match n_clusters with
+    | Some k ->
+        if k < 1 || k > n then invalid_arg "Calibration: n_clusters out of range";
+        k
+    | None ->
+        if n < 4 then 1
+        else
+          let k_max = Stdlib.min 20 (n / 2) in
+          (Gap_statistic.select rng feats ~k_min:2 ~k_max).best_k
+  in
+  let clusters = Kmeans.fit (Rng.split rng) feats ~k in
+  (* Leave-one-out k-NN proxy targets and neighbourhood spreads,
+     mirroring the test-time ground-truth approximation so both sides of
+     Eq. 2 use the same estimator. *)
+  let loo_proxy i =
+    let k = config.Config.knn_k in
+    let ranked =
+      Distance.rank_by_distance ~dist:Distance.euclidean feats feats.(i)
+    in
+    let neigh = ref [] and taken = ref 0 in
+    Array.iter
+      (fun (j, _) ->
+        if j <> i && !taken < k then begin
+          neigh := d.y.(j) :: !neigh;
+          incr taken
+        end)
+      ranked;
+    match !neigh with
+    | [] -> (d.y.(i), 0.0)
+    | ys ->
+        let arr = Array.of_list ys in
+        (Stats.mean arr, if Array.length arr > 1 then Stats.std arr else 0.0)
+  in
+  let rentries =
+    Array.mapi
+      (fun i x ->
+        let rproxy, rspread = loo_proxy i in
+        {
+          rfeatures = feats.(i);
+          target = d.y.(i);
+          rpred = model.Model.predict x;
+          cluster = clusters.assignments.(i);
+          rproxy;
+          rspread;
+        })
+      d.x
+  in
+  {
+    rentries;
+    rconfig = config;
+    clusters;
+    n_clusters = k;
+    rscaler = scaler;
+    rtau = effective_tau config feats;
+    rloo_distances = loo_distance_scores feats;
+  }
+
+let standardize_reg t v = Dataset.Scaler.transform t.rscaler v
+
+type 'e selected = { entry : 'e; weight : float; distance : float }
+
+let select_subset ?tau ~config entries ~feature_of_entry test_features =
+  let tau = match tau with Some t -> t | None -> config.Config.temperature in
+  let n = Array.length entries in
+  if n = 0 then [||]
+  else begin
+    let ranked =
+      Array.mapi
+        (fun i e -> (i, Distance.euclidean (feature_of_entry e) test_features))
+        entries
+    in
+    Array.sort (fun (_, d1) (_, d2) -> compare d1 d2) ranked;
+    let keep =
+      if n < config.Config.select_all_below then n
+      else Stdlib.max 1 (int_of_float (config.Config.select_ratio *. float_of_int n))
+    in
+    Array.init keep (fun r ->
+        let i, dist = ranked.(r) in
+        let weight = exp (-.(dist *. dist) /. tau) in
+        { entry = entries.(i); weight; distance = dist })
+  end
+
+let assign_cluster reg v =
+  (* Label by the nearest calibration sample's cluster, falling back to
+     the nearest centroid when entries are somehow empty. *)
+  match Array.length reg.rentries with
+  | 0 -> Kmeans.assign reg.clusters v
+  | _ ->
+      let best = ref 0 and best_d = ref infinity in
+      Array.iteri
+        (fun i e ->
+          let d = Distance.sq_euclidean e.rfeatures v in
+          if d < !best_d then begin
+            best := i;
+            best_d := d
+          end)
+        reg.rentries;
+      reg.rentries.(!best).cluster
+
+let knn_truth reg v ~k =
+  let feats = Array.map (fun e -> e.rfeatures) reg.rentries in
+  let idx = Distance.nearest ~dist:Distance.euclidean feats v k in
+  let targets = Array.map (fun i -> reg.rentries.(i).target) idx in
+  let mean = Stats.mean targets in
+  let spread = if Array.length targets > 1 then Stats.std targets else 0.0 in
+  (mean, spread)
+
+let distance_pvalue_cls t v =
+  distance_pvalue_of t.loo_distances
+    (knn_distance_score (Array.map (fun e -> e.features) t.entries) v)
+
+let distance_pvalue_reg t v =
+  distance_pvalue_of t.rloo_distances
+    (knn_distance_score (Array.map (fun e -> e.rfeatures) t.rentries) v)

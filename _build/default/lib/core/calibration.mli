@@ -1,0 +1,138 @@
+(** The calibration store: the held-out split of the training data,
+    preprocessed offline by running the trained model over it
+    (paper Sec. 4.1.1, "Process calibration dataset"), plus PROM's
+    adaptive subset selection and distance weighting (Sec. 5.1.2,
+    Eq. 1). *)
+
+open Prom_linalg
+open Prom_ml
+
+(** One preprocessed calibration sample for classification. *)
+type cls_entry = {
+  features : Vec.t;
+      (** feature embedding used for distances, standardized with the
+          calibration set's statistics *)
+  label : int;  (** ground-truth label *)
+  proba : Vec.t;  (** the model's probability vector on this sample *)
+}
+
+type cls = private {
+  entries : cls_entry array;
+  config : Config.t;
+  scaler : Dataset.Scaler.t;
+      (** feature standardization fitted on the calibration set, so
+          Eq. 1 distances are scale-free and [temperature] is
+          comparable across tasks *)
+  tau : float;
+      (** effective Eq. 1 temperature: [config.temperature / 100] times
+          the calibration set's median pairwise squared distance, so the
+          weighting decays relative to the in-distribution scale *)
+  loo_distances : float array;
+      (** sorted leave-one-out kNN-distance nonconformity scores of the
+          calibration points — the reference distribution of the
+          conformal out-of-distribution test *)
+}
+
+(** [standardize_cls t v] maps a raw test feature vector into the
+    standardized space the entries live in. *)
+val standardize_cls : cls -> Vec.t -> Vec.t
+
+(** [prepare_classification ~config ~model ~feature_of data] runs
+    [model] on every calibration sample and stores features, labels and
+    probability vectors. [feature_of] maps a raw model input to the
+    feature space used for similarity (often the model's own embedding;
+    [Fun.id] for tabular features). *)
+val prepare_classification :
+  config:Config.t ->
+  model:Model.classifier ->
+  feature_of:(Vec.t -> Vec.t) ->
+  int Dataset.t ->
+  cls
+
+(** One preprocessed calibration sample for regression. *)
+type reg_entry = {
+  rfeatures : Vec.t;
+  target : float;  (** ground-truth value *)
+  rpred : float;  (** the model's prediction on this sample *)
+  cluster : int;  (** cluster label from k-means (Sec. 5.1.2) *)
+  rproxy : float;
+      (** leave-one-out k-NN estimate of the target. Test-time
+          nonconformity must use the k-NN proxy for the unknown ground
+          truth (Sec. 5.1.1); scoring calibration samples against the
+          same proxy keeps both sides of Eq. 2 on the same scale —
+          otherwise a well-fitted model has near-zero calibration
+          residuals and every test input looks nonconforming. *)
+  rspread : float;
+      (** standard deviation of the same leave-one-out neighbourhood's
+          targets — the normalizer used by spread-aware nonconformity
+          functions, matching the test-time [knn_truth] spread *)
+}
+
+type reg = private {
+  rentries : reg_entry array;
+  rconfig : Config.t;
+  clusters : Kmeans.t;  (** fitted clustering for label assignment *)
+  n_clusters : int;
+  rscaler : Dataset.Scaler.t;
+  rtau : float;  (** see {!cls.tau} *)
+  rloo_distances : float array;  (** see {!cls.loo_distances} *)
+}
+
+(** [standardize_reg t v] maps a raw test feature vector into the
+    standardized space. *)
+val standardize_reg : reg -> Vec.t -> Vec.t
+
+(** [prepare_regression ?n_clusters ~config ~model ~feature_of ~seed
+    data] additionally labels the calibration set with k-means clusters;
+    when [n_clusters] is omitted the gap statistic picks it over
+    [2 .. 20] (capped by the sample count). *)
+val prepare_regression :
+  ?n_clusters:int ->
+  config:Config.t ->
+  model:Model.regressor ->
+  feature_of:(Vec.t -> Vec.t) ->
+  seed:int ->
+  float Dataset.t ->
+  reg
+
+(** A calibration sample selected for a particular test input, carrying
+    its adaptive weight [w = exp (-d^2 / tau)]. *)
+type 'e selected = { entry : 'e; weight : float; distance : float }
+
+(** [select_subset ?tau ~config entries ~feature_of_entry
+    test_features] implements the adaptive scheme: rank all entries by
+    Euclidean distance to the test input, keep the closest
+    [select_ratio] (or all when fewer than [select_all_below]), and
+    attach Eq. 1 weights computed with temperature [tau] (defaults to
+    the raw [config.temperature]; detectors pass the self-calibrated
+    {!cls.tau}). *)
+val select_subset :
+  ?tau:float ->
+  config:Config.t ->
+  'e array ->
+  feature_of_entry:('e -> Vec.t) ->
+  Vec.t ->
+  'e selected array
+
+(** [assign_cluster reg v] is the cluster label of a test feature
+    vector, by nearest calibration neighbour (paper: "test sample labels
+    are assigned based on the nearest neighbour in the feature
+    space"). *)
+val assign_cluster : reg -> Vec.t -> int
+
+(** [distance_pvalue_cls t v] is the conformal p-value of the test
+    input's mean distance to its nearest calibration neighbours,
+    calibrated against the calibration set's own leave-one-out
+    distances (the conformal kNN anomaly test of the paper's [36]).
+    Near 0 means the input sits outside the calibration
+    distribution. [v] must already be standardized. *)
+val distance_pvalue_cls : cls -> Vec.t -> float
+
+(** [distance_pvalue_reg t v] — the regression analogue. *)
+val distance_pvalue_reg : reg -> Vec.t -> float
+
+(** [knn_truth reg v ~k] approximates the ground-truth target of a test
+    input as the mean target of its [k] nearest calibration neighbours,
+    returning [(estimate, spread)] where [spread] is the standard
+    deviation of those neighbours' targets. *)
+val knn_truth : reg -> Vec.t -> k:int -> float * float

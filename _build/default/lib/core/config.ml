@@ -1,0 +1,34 @@
+type decision_rule = Conjunction | Disjunction | Credibility_only
+
+type t = {
+  epsilon : float;
+  temperature : float;
+  select_ratio : float;
+  select_all_below : int;
+  gaussian_c : float;
+  knn_k : int;
+  vote_fraction : float;
+  decision_rule : decision_rule;
+}
+
+let default =
+  {
+    epsilon = 0.1;
+    temperature = 500.0;
+    select_ratio = 0.5;
+    select_all_below = 200;
+    gaussian_c = 1.0;
+    knn_k = 3;
+    vote_fraction = 0.25;
+    decision_rule = Disjunction;
+  }
+
+let validate t =
+  let check name ok = if not ok then invalid_arg ("Config: invalid " ^ name) in
+  check "epsilon" (t.epsilon > 0.0 && t.epsilon < 1.0);
+  check "temperature" (t.temperature > 0.0);
+  check "select_ratio" (t.select_ratio > 0.0 && t.select_ratio <= 1.0);
+  check "select_all_below" (t.select_all_below >= 0);
+  check "gaussian_c" (t.gaussian_c > 0.0);
+  check "knn_k" (t.knn_k >= 1);
+  check "vote_fraction" (t.vote_fraction > 0.0 && t.vote_fraction <= 1.0)

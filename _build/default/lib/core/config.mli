@@ -1,0 +1,48 @@
+(** Detector configuration — the knobs of PROM's methodology section.
+    Defaults follow the paper. *)
+
+(** How an expert combines its credibility and confidence scores into an
+    accept/reject vote (Sec. 5.3). [Conjunction] is the paper's wording
+    ("flagged as drifting if both scores fall below the significance
+    level"); [Disjunction] rejects when either signal is weak
+    (aggressive, high recall); [Credibility_only] is the classical
+    Transcend-style conformal test. *)
+type decision_rule =
+  | Conjunction
+  | Disjunction
+  | Credibility_only
+
+type t = {
+  epsilon : float;
+      (** significance parameter; the significance level is [1 - epsilon]
+          (default 0.1, Sec. 4.1.1) *)
+  temperature : float;
+      (** [tau] of the adaptive weighting, Eq. 1 (default 500) *)
+  select_ratio : float;
+      (** fraction of nearest calibration samples used per test input
+          (default 0.5, Sec. 5.1.2) *)
+  select_all_below : int;
+      (** use the whole calibration set when it has fewer samples than
+          this (default 200) *)
+  gaussian_c : float;
+      (** scale of the confidence Gaussian over prediction-set size
+          (paper Sec. 5.3 uses 3; we default to 1 so that non-singleton
+          prediction sets — the binary-task uncertainty signal — fall
+          below the significance level; Fig. 13c sweeps this knob) *)
+  knn_k : int;
+      (** neighbours used to proxy regression ground truth (default 3,
+          Sec. 5.1.1) *)
+  vote_fraction : float;
+      (** fraction of experts that must flag a sample for the committee
+          to reject. The default 0.25 means a single dissenting expert
+          of the default four rejects — the experts are individually
+          conservative, so this reproduces the paper's high-recall
+          operating point; set 0.5 for strict majority voting. *)
+  decision_rule : decision_rule;  (** default [Disjunction] *)
+}
+
+val default : t
+
+(** [validate t] raises [Invalid_argument] when a field is outside its
+    valid range ([epsilon] in (0,1), ratios in (0,1], positive scales). *)
+val validate : t -> unit

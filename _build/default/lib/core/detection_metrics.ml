@@ -1,0 +1,45 @@
+type t = {
+  accuracy : float;
+  precision : float;
+  recall : float;
+  f1 : float;
+  false_positive_rate : float;
+  false_negative_rate : float;
+  n : int;
+}
+
+let compute ~flagged ~mispredicted =
+  let n = Array.length flagged in
+  if n <> Array.length mispredicted then
+    invalid_arg "Detection_metrics.compute: length mismatch";
+  if n = 0 then invalid_arg "Detection_metrics.compute: empty input";
+  let tp = ref 0 and fp = ref 0 and tn = ref 0 and fn = ref 0 in
+  Array.iteri
+    (fun i f ->
+      match (f, mispredicted.(i)) with
+      | true, true -> incr tp
+      | true, false -> incr fp
+      | false, false -> incr tn
+      | false, true -> incr fn)
+    flagged;
+  let fl = float_of_int in
+  let ratio num den ~empty = if den = 0 then empty else fl num /. fl den in
+  let precision = ratio !tp (!tp + !fp) ~empty:(if !fn = 0 then 1.0 else 0.0) in
+  let recall = ratio !tp (!tp + !fn) ~empty:1.0 in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  {
+    accuracy = fl (!tp + !tn) /. fl n;
+    precision;
+    recall;
+    f1;
+    false_positive_rate = ratio !fp (!fp + !tn) ~empty:0.0;
+    false_negative_rate = ratio !fn (!fn + !tp) ~empty:0.0;
+    n;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "acc=%.3f prec=%.3f recall=%.3f f1=%.3f fpr=%.3f fnr=%.3f (n=%d)"
+    t.accuracy t.precision t.recall t.f1 t.false_positive_rate t.false_negative_rate t.n

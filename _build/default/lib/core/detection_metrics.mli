@@ -1,0 +1,21 @@
+(** Metrics for drift-detection quality (paper Sec. 6.6). The positive
+    class is "mispredicted / drifting"; a detector's flag is a positive
+    prediction. *)
+
+type t = {
+  accuracy : float;
+  precision : float;  (** flagged-and-mispredicted / flagged *)
+  recall : float;  (** flagged-and-mispredicted / mispredicted *)
+  f1 : float;
+  false_positive_rate : float;
+      (** correct predictions that were wrongly rejected *)
+  false_negative_rate : float;  (** mispredictions that slipped through *)
+  n : int;
+}
+
+(** [compute ~flagged ~mispredicted] — arrays must have equal length.
+    Degenerate denominators yield 0 (or 1 for precision/recall when
+    there is nothing to find and nothing was flagged). *)
+val compute : flagged:bool array -> mispredicted:bool array -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,248 @@
+open Prom_linalg
+open Prom_ml
+
+type cls_verdict = {
+  predicted : int;
+  proba : Vec.t;
+  experts : Scores.expert_verdict list;
+  drifted : bool;
+  mean_credibility : float;
+  mean_confidence : float;
+}
+
+let mean_of f experts = Stats.mean (Array.of_list (List.map f experts))
+
+module Classification = struct
+  type t = {
+    cfg : Config.t;
+    committee : Nonconformity.cls list;
+    model : Model.classifier;
+    feature_of : Vec.t -> Vec.t;
+    calibration : Calibration.cls;
+  }
+
+  let create ?(config = Config.default) ?(committee = Nonconformity.default_committee)
+      ~model ~feature_of calibration =
+    Config.validate config;
+    if committee = [] then invalid_arg "Detector.Classification.create: empty committee";
+    let calibration =
+      Calibration.prepare_classification ~config ~model ~feature_of calibration
+    in
+    { cfg = config; committee; model; feature_of; calibration }
+
+  let config t = t.cfg
+  let model t = t.model
+  let with_config t config =
+    Config.validate config;
+    { t with cfg = config }
+
+  let evaluate t x =
+    let proba = t.model.Model.predict_proba x in
+    let predicted = Vec.argmax proba in
+    let feats = Calibration.standardize_cls t.calibration (t.feature_of x) in
+    let selected =
+      Calibration.select_subset ~tau:t.calibration.Calibration.tau ~config:t.cfg
+        t.calibration.Calibration.entries
+        ~feature_of_entry:(fun e -> e.Calibration.features)
+        feats
+    in
+    let n_classes = t.model.Model.n_classes in
+    let distance_pvalue = Calibration.distance_pvalue_cls t.calibration feats in
+    let experts =
+      List.map
+        (fun fn ->
+          let pvalues = Pvalue.classification_all ~fn ~selected ~proba ~n_classes () in
+          let set_pvalues =
+            Pvalue.classification_all ~smooth:false ~fn ~selected ~proba ~n_classes ()
+          in
+          Scores.expert_verdict ~distance_pvalue ~set_pvalues
+            ~discrete:fn.Nonconformity.cls_discrete ~config:t.cfg
+            ~expert:fn.Nonconformity.cls_name ~pvalues ~predicted ())
+        t.committee
+    in
+    {
+      predicted;
+      proba;
+      experts;
+      drifted = Scores.committee_decision ~config:t.cfg experts;
+      mean_credibility = mean_of (fun v -> v.Scores.credibility) experts;
+      mean_confidence = mean_of (fun v -> v.Scores.confidence) experts;
+    }
+
+  let predict t x =
+    let v = evaluate t x in
+    (v.predicted, v.drifted)
+
+  let prediction_sets t x =
+    let proba = t.model.Model.predict_proba x in
+    let feats = Calibration.standardize_cls t.calibration (t.feature_of x) in
+    let selected =
+      Calibration.select_subset ~tau:t.calibration.Calibration.tau ~config:t.cfg
+        t.calibration.Calibration.entries
+        ~feature_of_entry:(fun e -> e.Calibration.features)
+        feats
+    in
+    List.map
+      (fun fn ->
+        let pvalues =
+          Pvalue.classification_all ~smooth:false ~fn ~selected ~proba
+            ~n_classes:t.model.Model.n_classes ()
+        in
+        ( fn.Nonconformity.cls_name,
+          Scores.prediction_set ~epsilon:t.cfg.Config.epsilon pvalues ))
+      t.committee
+end
+
+type reg_verdict = {
+  predicted_value : float;
+  cluster : int;
+  knn_estimate : float;
+  reg_experts : Scores.expert_verdict list;
+  reg_drifted : bool;
+  reg_mean_credibility : float;
+  reg_mean_confidence : float;
+}
+
+module Regression = struct
+  type t = {
+    cfg : Config.t;
+    committee : Nonconformity.reg list;
+    model : Model.regressor;
+    feature_of : Vec.t -> Vec.t;
+    calibration : Calibration.reg;
+  }
+
+  let create ?(config = Config.default)
+      ?(committee = Nonconformity.default_reg_committee) ?n_clusters ~model ~feature_of
+      ~seed calibration =
+    Config.validate config;
+    if committee = [] then invalid_arg "Detector.Regression.create: empty committee";
+    let calibration =
+      Calibration.prepare_regression ?n_clusters ~config ~model ~feature_of ~seed
+        calibration
+    in
+    { cfg = config; committee; model; feature_of; calibration }
+
+  let config t = t.cfg
+  let model t = t.model
+  let n_clusters t = t.calibration.Calibration.n_clusters
+
+  let with_config t config =
+    Config.validate config;
+    { t with cfg = config }
+
+  let evaluate t x =
+    let predicted_value = t.model.Model.predict x in
+    let feats = Calibration.standardize_reg t.calibration (t.feature_of x) in
+    let knn_estimate, knn_spread =
+      Calibration.knn_truth t.calibration feats ~k:t.cfg.Config.knn_k
+    in
+    let cluster = Calibration.assign_cluster t.calibration feats in
+    let selected =
+      Calibration.select_subset ~tau:t.calibration.Calibration.rtau ~config:t.cfg
+        t.calibration.Calibration.rentries
+        ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
+        feats
+    in
+    let spread_of_entry e = Stdlib.max e.Calibration.rspread 1e-6 in
+    let n_clusters = t.calibration.Calibration.n_clusters in
+    let distance_pvalue = Calibration.distance_pvalue_reg t.calibration feats in
+    let reg_experts =
+      List.map
+        (fun fn ->
+          let test_score =
+            fn.Nonconformity.reg_score ~pred:predicted_value ~truth:knn_estimate
+              ~spread:(Stdlib.max knn_spread 1e-6)
+          in
+          let pvalues =
+            Pvalue.regression_all ~fn ~selected ~spread_of_entry ~n_clusters ~test_score
+              ()
+          in
+          let set_pvalues =
+            Pvalue.regression_all ~smooth:false ~fn ~selected ~spread_of_entry
+              ~n_clusters ~test_score ()
+          in
+          Scores.expert_verdict ~distance_pvalue ~set_pvalues ~use_confidence:false
+            ~config:t.cfg ~expert:fn.Nonconformity.reg_name ~pvalues ~predicted:cluster ())
+        t.committee
+    in
+    {
+      predicted_value;
+      cluster;
+      knn_estimate;
+      reg_experts;
+      reg_drifted = Scores.committee_decision ~config:t.cfg reg_experts;
+      reg_mean_credibility = mean_of (fun v -> v.Scores.credibility) reg_experts;
+      reg_mean_confidence = mean_of (fun v -> v.Scores.confidence) reg_experts;
+    }
+
+  let predict t x =
+    let v = evaluate t x in
+    (v.predicted_value, v.reg_drifted)
+
+  let interval t x =
+    let predicted_value = t.model.Model.predict x in
+    let feats = Calibration.standardize_reg t.calibration (t.feature_of x) in
+    let selected =
+      Calibration.select_subset ~tau:t.calibration.Calibration.rtau ~config:t.cfg
+        t.calibration.Calibration.rentries
+        ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
+        feats
+    in
+    (* Weighted (1 - epsilon) quantile of absolute residuals against the
+       true calibration targets. *)
+    let scored =
+      Array.map
+        (fun { Calibration.entry; weight; _ } ->
+          (abs_float (entry.Calibration.rpred -. entry.Calibration.target), weight))
+        selected
+    in
+    Array.sort (fun (a, _) (b, _) -> compare a b) scored;
+    let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
+    let target_mass = (1.0 -. t.cfg.Config.epsilon) *. (total +. 1.0) in
+    let q =
+      let acc = ref 0.0 and res = ref nan in
+      Array.iter
+        (fun (r, w) ->
+          if Float.is_nan !res then begin
+            acc := !acc +. w;
+            if !acc >= target_mass then res := r
+          end)
+        scored;
+      if Float.is_nan !res then
+        (* target mass beyond the calibration set: widest residual *)
+        match Array.length scored with
+        | 0 -> 0.0
+        | n -> fst scored.(n - 1)
+      else !res
+    in
+    (predicted_value -. q, predicted_value +. q)
+
+  let cluster_sets t x =
+    let predicted_value = t.model.Model.predict x in
+    let feats = Calibration.standardize_reg t.calibration (t.feature_of x) in
+    let knn_estimate, knn_spread =
+      Calibration.knn_truth t.calibration feats ~k:t.cfg.Config.knn_k
+    in
+    let selected =
+      Calibration.select_subset ~tau:t.calibration.Calibration.rtau ~config:t.cfg
+        t.calibration.Calibration.rentries
+        ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
+        feats
+    in
+    let spread_of_entry e = Stdlib.max e.Calibration.rspread 1e-6 in
+    let n_clusters = t.calibration.Calibration.n_clusters in
+    List.map
+      (fun fn ->
+        let test_score =
+          fn.Nonconformity.reg_score ~pred:predicted_value ~truth:knn_estimate
+            ~spread:(Stdlib.max knn_spread 1e-6)
+        in
+        let pvalues =
+          Pvalue.regression_all ~smooth:false ~fn ~selected ~spread_of_entry ~n_clusters
+            ~test_score ()
+        in
+        ( fn.Nonconformity.reg_name,
+          Scores.prediction_set ~epsilon:t.cfg.Config.epsilon pvalues ))
+      t.committee
+end

@@ -1,0 +1,103 @@
+(** The deployment-time drift detector (paper Fig. 2/3/5): wraps a
+    trained model, preprocesses a calibration split offline, and for
+    every test input returns the model's prediction together with the
+    expert committee's accept/reject verdict. *)
+
+open Prom_linalg
+open Prom_ml
+
+(** Committee outcome for one classified test input. *)
+type cls_verdict = {
+  predicted : int;
+  proba : Vec.t;
+  experts : Scores.expert_verdict list;
+  drifted : bool;  (** majority-vote decision *)
+  mean_credibility : float;
+  mean_confidence : float;
+}
+
+module Classification : sig
+  type t
+
+  (** [create ?config ?committee ~model ~feature_of calibration] builds
+      a detector around an already-trained classifier. [feature_of]
+      defines the feature space used for calibration-subset selection
+      (pass the model's embedding for neural models, [Fun.id] for
+      tabular features). *)
+  val create :
+    ?config:Config.t ->
+    ?committee:Nonconformity.cls list ->
+    model:Model.classifier ->
+    feature_of:(Vec.t -> Vec.t) ->
+    int Dataset.t ->
+    t
+
+  val config : t -> Config.t
+  val model : t -> Model.classifier
+
+  (** [with_config t config] rebinds the configuration without
+      re-running the (expensive) calibration preprocessing. *)
+  val with_config : t -> Config.t -> t
+
+  (** [evaluate t x] runs the underlying model and the committee. *)
+  val evaluate : t -> Vec.t -> cls_verdict
+
+  (** [predict t x] is the paper's deployment interface: the prediction
+      plus a drift flag. *)
+  val predict : t -> Vec.t -> int * bool
+
+  (** [prediction_sets t x] exposes each expert's prediction region for
+      [x] — the label sets behind the confidence scores. Used by the
+      initialization assessment (Eq. 3). *)
+  val prediction_sets : t -> Vec.t -> (string * int list) list
+end
+
+(** Committee outcome for one regression test input. *)
+type reg_verdict = {
+  predicted_value : float;
+  cluster : int;  (** k-means label assigned to the test input *)
+  knn_estimate : float;  (** ground-truth proxy from neighbours *)
+  reg_experts : Scores.expert_verdict list;
+  reg_drifted : bool;
+  reg_mean_credibility : float;
+  reg_mean_confidence : float;
+}
+
+module Regression : sig
+  type t
+
+  (** [create ?config ?committee ?n_clusters ~model ~feature_of ~seed
+      calibration] prepares the regression detector, clustering the
+      calibration set to obtain CP labels (gap statistic unless
+      [n_clusters] is given). *)
+  val create :
+    ?config:Config.t ->
+    ?committee:Nonconformity.reg list ->
+    ?n_clusters:int ->
+    model:Model.regressor ->
+    feature_of:(Vec.t -> Vec.t) ->
+    seed:int ->
+    float Dataset.t ->
+    t
+
+  val config : t -> Config.t
+  val model : t -> Model.regressor
+  val n_clusters : t -> int
+  val with_config : t -> Config.t -> t
+  val evaluate : t -> Vec.t -> reg_verdict
+  val predict : t -> Vec.t -> float * bool
+
+  (** [cluster_sets t x] is each expert's prediction region over the
+      k-means cluster labels. *)
+  val cluster_sets : t -> Vec.t -> (string * int list) list
+
+  (** [interval t x] is a split-conformal prediction interval
+      [(lo, hi)] around the model's point estimate: the weighted
+      [1 - epsilon] quantile of the selected calibration samples'
+      absolute residuals (against their true targets) on either side.
+      This is the classical CP use the paper contrasts itself with
+      (Sec. 9, "standard CP libraries estimate where the ground truth
+      likely lies") — provided here because a deployed cost model wants
+      both the drift verdict and the uncertainty band. *)
+  val interval : t -> Vec.t -> float * float
+end

@@ -1,0 +1,66 @@
+open Prom_linalg
+open Prom_ml
+
+let data_partitioning ?(calibration_ratio = 0.1) ?(max_calibration = 1000) ~seed d =
+  if calibration_ratio <= 0.0 || calibration_ratio >= 1.0 then
+    invalid_arg "Framework.data_partitioning: ratio outside (0,1)";
+  let rng = Rng.create seed in
+  let shuffled = Dataset.shuffle rng d in
+  let n = Dataset.length d in
+  let cal_n =
+    Stdlib.min max_calibration
+      (Stdlib.max 1 (int_of_float (calibration_ratio *. float_of_int n)))
+  in
+  let calibration = Dataset.subset shuffled (Array.init cal_n Fun.id) in
+  let training = Dataset.subset shuffled (Array.init (n - cal_n) (fun i -> i + cal_n)) in
+  (training, calibration)
+
+type deployed = {
+  detector : Detector.Classification.t;
+  trainer : Model.classifier_trainer;
+  training_data : int Dataset.t;
+  calibration_data : int Dataset.t;
+  feature_of : Vec.t -> Vec.t;
+  committee : Nonconformity.cls list;
+}
+
+let deploy ?config ?(committee = Nonconformity.default_committee) ?(feature_of = Fun.id)
+    ~trainer ~seed data =
+  let training_data, calibration_data = data_partitioning ~seed data in
+  let model = trainer.Model.train training_data in
+  let detector =
+    Detector.Classification.create ?config ~committee ~model ~feature_of
+      calibration_data
+  in
+  { detector; trainer; training_data; calibration_data; feature_of; committee }
+
+let predict d x = Detector.Classification.predict d.detector x
+
+let assess ?r ?seed d =
+  let config = Detector.Classification.config d.detector in
+  Assessment.classification ?r ?seed ~config ~committee:d.committee
+    ~model:(Detector.Classification.model d.detector)
+    ~feature_of:d.feature_of d.calibration_data
+
+let improve ?budget_fraction d ~oracle inputs =
+  let outcome =
+    Incremental.classification ?budget_fraction ~detector:d.detector ~trainer:d.trainer
+      ~train_data:d.training_data ~oracle inputs
+  in
+  (* The relabeled samples join the calibration set too, so the detector
+     adapts to the new region along with the model (paper Sec. 8,
+     "the calibration dataset can be updated during incremental
+     learning"). *)
+  let relabeled =
+    let xs =
+      Array.of_list (List.map (fun i -> inputs.(i)) outcome.Incremental.relabeled_indices)
+    in
+    Dataset.create xs (Array.map oracle xs)
+  in
+  let calibration_data = Dataset.append d.calibration_data relabeled in
+  let config = Detector.Classification.config d.detector in
+  let detector =
+    Detector.Classification.create ~config ~committee:d.committee
+      ~model:outcome.Incremental.updated_model ~feature_of:d.feature_of calibration_data
+  in
+  ({ d with detector; calibration_data }, outcome)

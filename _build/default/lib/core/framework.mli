@@ -1,0 +1,60 @@
+(** High-level workflow glue mirroring the paper's [ModelInterface]
+    template (Fig. 4): partition training data, train outside PROM,
+    wrap the trained model in a detector, predict with a drift flag,
+    and improve the model through the incremental-learning loop. *)
+
+open Prom_linalg
+open Prom_ml
+
+(** [data_partitioning ?calibration_ratio ?max_calibration ~seed d]
+    splits a training dataset into [(training, calibration)]. Defaults
+    follow the paper: 10% held out, capped at 1,000 samples
+    (Sec. 4.1.1). *)
+val data_partitioning :
+  ?calibration_ratio:float ->
+  ?max_calibration:int ->
+  seed:int ->
+  'a Dataset.t ->
+  'a Dataset.t * 'a Dataset.t
+
+(** A deployed classification pipeline: the trained model, its
+    detector, and everything needed to keep improving it. *)
+type deployed = {
+  detector : Detector.Classification.t;
+  trainer : Model.classifier_trainer;
+  training_data : int Dataset.t;
+  calibration_data : int Dataset.t;
+  feature_of : Vec.t -> Vec.t;
+  committee : Nonconformity.cls list;
+}
+
+(** [deploy ?config ?committee ?feature_of ~trainer ~seed data] runs
+    the whole design phase: partition, train, calibrate. [feature_of]
+    defaults to the identity (tabular features). *)
+val deploy :
+  ?config:Config.t ->
+  ?committee:Nonconformity.cls list ->
+  ?feature_of:(Vec.t -> Vec.t) ->
+  trainer:Model.classifier_trainer ->
+  seed:int ->
+  int Dataset.t ->
+  deployed
+
+(** [predict d x] is the deployment-phase call of Fig. 4: the
+    underlying model's prediction plus the drift verdict. *)
+val predict : deployed -> Vec.t -> int * bool
+
+(** [assess d] runs the initialization assessment on the deployment's
+    calibration data. *)
+val assess : ?r:int -> ?seed:int -> deployed -> Assessment.report
+
+(** [improve ?budget_fraction d ~oracle inputs] runs one
+    incremental-learning round and returns the deployment rebuilt
+    around the updated model (fresh calibration preprocessing
+    included). *)
+val improve :
+  ?budget_fraction:float ->
+  deployed ->
+  oracle:(Vec.t -> int) ->
+  Vec.t array ->
+  deployed * Model.classifier Incremental.outcome

@@ -1,0 +1,107 @@
+open Prom_ml
+
+type 'label outcome = {
+  updated_model : 'label;
+  flagged_indices : int list;
+  relabeled_indices : int list;
+  budget : int;
+}
+
+(* Rank flagged samples by ascending credibility so the most drifted
+   ones are relabeled first, and clip to the budget. *)
+(* A handful of relabeled samples would drown in the original training
+   set, so each is replicated until it carries roughly 2% of the
+   training weight (capped at 10 copies) — simple oversampling, the
+   usual trick for low-budget incremental updates. *)
+let oversample ~train_size (extra : 'a Dataset.t) =
+  let copies = Stdlib.max 1 (Stdlib.min 10 (train_size / 50)) in
+  let rec repeat acc k = if k = 0 then acc else repeat (Dataset.append acc extra) (k - 1) in
+  repeat extra (copies - 1)
+
+let pick_budget ~budget_fraction flagged =
+  let sorted = List.sort (fun (_, c1) (_, c2) -> compare c1 c2) flagged in
+  let budget =
+    match flagged with
+    | [] -> 0
+    | _ ->
+        Stdlib.max 1
+          (int_of_float (budget_fraction *. float_of_int (List.length flagged)))
+  in
+  (budget, List.filteri (fun i _ -> i < budget) sorted |> List.map fst)
+
+let classification ?(budget_fraction = 0.05) ~detector ~trainer ~train_data ~oracle
+    inputs =
+  let flagged = ref [] in
+  Array.iteri
+    (fun i x ->
+      let v = Detector.Classification.evaluate detector x in
+      if v.Detector.drifted then begin
+        (* Rank by how far out of distribution and how incredible the
+           prediction is: the most drifted samples are relabeled first. *)
+        let dist_p =
+          match v.Detector.experts with
+          | e :: _ -> e.Scores.distance_pvalue
+          | [] -> 1.0
+        in
+        flagged := (i, v.Detector.mean_credibility +. dist_p) :: !flagged
+      end)
+    inputs;
+  let flagged = List.rev !flagged in
+  let budget, chosen = pick_budget ~budget_fraction flagged in
+  let updated_model =
+    match chosen with
+    | [] -> Detector.Classification.model detector
+    | _ ->
+        let new_x = Array.of_list (List.map (fun i -> inputs.(i)) chosen) in
+        let new_y = Array.map oracle new_x in
+        let augmented =
+          Dataset.append train_data
+            (oversample ~train_size:(Dataset.length train_data)
+               (Dataset.create new_x new_y))
+        in
+        trainer.Model.train ?init:(Some (Detector.Classification.model detector))
+          augmented
+  in
+  {
+    updated_model;
+    flagged_indices = List.map fst flagged;
+    relabeled_indices = chosen;
+    budget;
+  }
+
+let regression ?(budget_fraction = 0.05) ~detector ~trainer ~train_data ~oracle inputs =
+  let flagged = ref [] in
+  Array.iteri
+    (fun i x ->
+      let v = Detector.Regression.evaluate detector x in
+      if v.Detector.reg_drifted then begin
+        let dist_p =
+          match v.Detector.reg_experts with
+          | e :: _ -> e.Scores.distance_pvalue
+          | [] -> 1.0
+        in
+        flagged := (i, v.Detector.reg_mean_credibility +. dist_p) :: !flagged
+      end)
+    inputs;
+  let flagged = List.rev !flagged in
+  let budget, chosen = pick_budget ~budget_fraction flagged in
+  let updated_model =
+    match chosen with
+    | [] -> Detector.Regression.model detector
+    | _ ->
+        let new_x = Array.of_list (List.map (fun i -> inputs.(i)) chosen) in
+        let new_y = Array.map oracle new_x in
+        let augmented =
+          Dataset.append train_data
+            (oversample ~train_size:(Dataset.length train_data)
+               (Dataset.create new_x new_y))
+        in
+        trainer.Model.train_reg ?init:(Some (Detector.Regression.model detector))
+          augmented
+  in
+  {
+    updated_model;
+    flagged_indices = List.map fst flagged;
+    relabeled_indices = chosen;
+    budget;
+  }

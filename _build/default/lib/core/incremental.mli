@@ -1,0 +1,41 @@
+(** Incremental learning (paper Sec. 5.4): relabel a small budget of the
+    drifting samples PROM flags, fold them back into the training set,
+    and retrain (warm-started) — restoring deployment-time accuracy with
+    minimal labeling effort. *)
+
+open Prom_linalg
+open Prom_ml
+
+type 'label outcome = {
+  updated_model : 'label;
+  flagged_indices : int list;  (** test indices the committee rejected *)
+  relabeled_indices : int list;  (** the subset sent to the oracle *)
+  budget : int;
+}
+
+(** [classification ?budget_fraction ~detector ~trainer ~train_data
+    ~oracle test_inputs] evaluates the detector on every test input,
+    picks the [budget_fraction] (default 0.05) of flagged samples with
+    the lowest credibility (most drifted first, minimum 1 when anything
+    is flagged), queries [oracle] for their true labels, and retrains.
+    Returns the updated classifier; the detector itself is not mutated —
+    rebuild it with the new model to continue the feedback loop. *)
+val classification :
+  ?budget_fraction:float ->
+  detector:Detector.Classification.t ->
+  trainer:Model.classifier_trainer ->
+  train_data:int Dataset.t ->
+  oracle:(Vec.t -> int) ->
+  Vec.t array ->
+  Model.classifier outcome
+
+(** [regression] is the same loop for cost models; [oracle] profiles a
+    flagged input and returns its true value. *)
+val regression :
+  ?budget_fraction:float ->
+  detector:Detector.Regression.t ->
+  trainer:Model.regressor_trainer ->
+  train_data:float Dataset.t ->
+  oracle:(Vec.t -> float) ->
+  Vec.t array ->
+  Model.regressor outcome

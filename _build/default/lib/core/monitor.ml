@@ -1,0 +1,77 @@
+type status = Healthy | Degrading | Ageing
+
+type t = {
+  window : int;
+  threshold : float;
+  patience : int;
+  buffer : bool array;  (* ring buffer of the last [window] verdicts *)
+  mutable filled : int;
+  mutable head : int;
+  mutable drifted_in_window : int;
+  mutable consecutive_degrading : int;
+  mutable total : int;
+  mutable current : status;
+}
+
+let create ?(window = 50) ?(threshold = 0.5) ?(patience = 3) () =
+  if window <= 0 then invalid_arg "Monitor.create: window must be positive";
+  if threshold <= 0.0 || threshold > 1.0 then
+    invalid_arg "Monitor.create: threshold outside (0,1]";
+  if patience <= 0 then invalid_arg "Monitor.create: patience must be positive";
+  {
+    window;
+    threshold;
+    patience;
+    buffer = Array.make window false;
+    filled = 0;
+    head = 0;
+    drifted_in_window = 0;
+    consecutive_degrading = 0;
+    total = 0;
+    current = Healthy;
+  }
+
+let drift_rate t =
+  if t.filled = 0 then 0.0
+  else float_of_int t.drifted_in_window /. float_of_int t.filled
+
+let observe t ~drifted =
+  (* Ring-buffer update. *)
+  if t.filled = t.window then begin
+    if t.buffer.(t.head) then t.drifted_in_window <- t.drifted_in_window - 1
+  end
+  else t.filled <- t.filled + 1;
+  t.buffer.(t.head) <- drifted;
+  if drifted then t.drifted_in_window <- t.drifted_in_window + 1;
+  t.head <- (t.head + 1) mod t.window;
+  t.total <- t.total + 1;
+  (* Escalation: the window must be full before a rate is trusted, and
+     the rate must stay high for [patience] further full windows. *)
+  if t.filled = t.window && drift_rate t >= t.threshold then begin
+    if t.total mod t.window = 0 then
+      t.consecutive_degrading <- t.consecutive_degrading + 1;
+    t.current <-
+      (if t.consecutive_degrading >= t.patience then Ageing else Degrading)
+  end
+  else if drift_rate t < t.threshold then begin
+    t.consecutive_degrading <- 0;
+    if t.current <> Ageing then t.current <- Healthy
+  end;
+  t.current
+
+let status t = t.current
+let observed t = t.total
+
+let reset t =
+  Array.fill t.buffer 0 t.window false;
+  t.filled <- 0;
+  t.head <- 0;
+  t.drifted_in_window <- 0;
+  t.consecutive_degrading <- 0;
+  t.total <- 0;
+  t.current <- Healthy
+
+let status_to_string = function
+  | Healthy -> "healthy"
+  | Degrading -> "degrading"
+  | Ageing -> "ageing"

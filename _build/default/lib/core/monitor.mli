@@ -1,0 +1,41 @@
+(** Deployment-time ageing monitor. The paper positions PROM as a way to
+    "detect ageing models post-deployment": individual rejections are
+    noisy, but a rising rejection {i rate} over the recent input stream
+    is the operational signal that the model needs retraining. This
+    module aggregates per-sample verdicts over a sliding window and
+    raises an alert when the drift rate exceeds a threshold for long
+    enough. *)
+
+type status =
+  | Healthy
+  | Degrading  (** drift rate above threshold, but not yet persistent *)
+  | Ageing  (** persistent drift: schedule retraining *)
+
+type t
+
+(** [create ?window ?threshold ?patience ()] builds a monitor.
+    [window] (default 50) is the number of recent verdicts considered;
+    [threshold] (default 0.5) is the drift rate that counts as
+    degrading; [patience] (default 3) is how many consecutive degrading
+    windows escalate to [Ageing]. Raises [Invalid_argument] on
+    non-positive parameters or a threshold outside (0, 1]. *)
+val create : ?window:int -> ?threshold:float -> ?patience:int -> unit -> t
+
+(** [observe t ~drifted] records one verdict and returns the updated
+    status. The monitor is mutable; feed it every deployment-time
+    verdict in arrival order. *)
+val observe : t -> drifted:bool -> status
+
+val status : t -> status
+
+(** [drift_rate t] is the fraction of drifted verdicts in the current
+    window (0 before any observation). *)
+val drift_rate : t -> float
+
+(** [observed t] is the total number of verdicts seen. *)
+val observed : t -> int
+
+(** [reset t] clears the history — call after retraining the model. *)
+val reset : t -> unit
+
+val status_to_string : status -> string

@@ -1,0 +1,142 @@
+open Prom_linalg
+
+type cls = {
+  cls_name : string;
+  cls_score : proba:Vec.t -> label:int -> float;
+  cls_discrete : bool;
+}
+
+let check_label ~proba ~label =
+  if label < 0 || label >= Array.length proba then
+    invalid_arg "Nonconformity: label out of range"
+
+let lac =
+  {
+    cls_discrete = false;
+    cls_name = "LAC";
+    cls_score =
+      (fun ~proba ~label ->
+        check_label ~proba ~label;
+        1.0 -. proba.(label));
+  }
+
+(* Labels at least as probable as [label], i.e. its rank (0-based). *)
+let rank_of ~proba ~label =
+  let p = proba.(label) in
+  let r = ref 0 in
+  Array.iteri (fun i q -> if i <> label && q > p then incr r) proba;
+  !r
+
+let topk =
+  {
+    cls_discrete = true;
+    cls_name = "TopK";
+    cls_score =
+      (fun ~proba ~label ->
+        check_label ~proba ~label;
+        float_of_int (rank_of ~proba ~label));
+  }
+
+(* Cumulative mass of labels STRICTLY more probable than [label]. The
+   label's own mass is excluded: with it, a highly confident (and
+   typically correct) top-label prediction would look maximally strange,
+   inverting the credibility test. The exclusive form is conforming (0)
+   at the top label and grows with the mass ranked above. *)
+let aps_mass ~proba ~label =
+  let p = proba.(label) in
+  let acc = ref 0.0 in
+  Array.iteri (fun i q -> if i <> label && q > p then acc := !acc +. q) proba;
+  !acc
+
+let aps =
+  {
+    cls_discrete = false;
+    cls_name = "APS";
+    cls_score =
+      (fun ~proba ~label ->
+        check_label ~proba ~label;
+        aps_mass ~proba ~label);
+  }
+
+let raps ?(lambda = 0.1) ?(k_reg = 2) () =
+  {
+    cls_discrete = false;
+    cls_name = "RAPS";
+    cls_score =
+      (fun ~proba ~label ->
+        check_label ~proba ~label;
+        let rank = rank_of ~proba ~label in
+        let penalty = lambda *. float_of_int (Stdlib.max 0 (rank + 1 - k_reg)) in
+        aps_mass ~proba ~label +. penalty);
+  }
+
+let default_committee = [ lac; topk; aps; raps () ]
+
+type reg = {
+  reg_name : string;
+  reg_score : pred:float -> truth:float -> spread:float -> float;
+}
+
+let absolute_residual =
+  { reg_name = "AbsRes"; reg_score = (fun ~pred ~truth ~spread:_ -> abs_float (pred -. truth)) }
+
+let squared_residual =
+  { reg_name = "SqRes"; reg_score = (fun ~pred ~truth ~spread:_ -> (pred -. truth) ** 2.0) }
+
+let normalized_residual =
+  {
+    reg_name = "NormRes";
+    reg_score = (fun ~pred ~truth ~spread -> abs_float (pred -. truth) /. (spread +. 1e-6));
+  }
+
+let log_residual =
+  {
+    reg_name = "LogRes";
+    reg_score = (fun ~pred ~truth ~spread:_ -> log (1.0 +. abs_float (pred -. truth)));
+  }
+
+let default_reg_committee =
+  [ absolute_residual; squared_residual; normalized_residual; log_residual ]
+
+let top_two proba =
+  let top = ref 0 and second = ref (-1) in
+  Array.iteri
+    (fun i p ->
+      if p > proba.(!top) then begin
+        second := !top;
+        top := i
+      end
+      else if !second < 0 || p > proba.(!second) then
+        if i <> !top then second := i)
+    proba;
+  (!top, if !second < 0 then !top else !second)
+
+let margin =
+  {
+    cls_discrete = false;
+    cls_name = "Margin";
+    cls_score =
+      (fun ~proba ~label ->
+        check_label ~proba ~label;
+        let top, second = top_two proba in
+        let gap = proba.(top) -. (if top = label then proba.(second) else proba.(label)) in
+        if label = top then 1.0 -. gap else 1.0 +. gap);
+  }
+
+let entropy =
+  {
+    cls_discrete = false;
+    cls_name = "Entropy";
+    cls_score =
+      (fun ~proba ~label ->
+        check_label ~proba ~label;
+        let n = Array.length proba in
+        let h =
+          -.Array.fold_left (fun acc p -> acc +. (p *. log (Stdlib.max p 1e-12))) 0.0 proba
+        in
+        let h_norm = if n <= 1 then 0.0 else h /. log (float_of_int n) in
+        (* rank offset keeps the per-label ordering well-defined *)
+        h_norm +. float_of_int (rank_of ~proba ~label));
+  }
+
+let extended_committee = default_committee @ [ margin; entropy ]

@@ -1,0 +1,89 @@
+(** Nonconformity functions — the "experts" of PROM's committee
+    (paper Sec. 5.1.1 and supplemental Table 4).
+
+    A classification nonconformity function maps a model's probability
+    vector and a candidate label to a score; {i higher} means the label
+    is {i stranger} for that input. PROM ships the four defaults from
+    the paper (LAC, TopK, APS, RAPS); new functions are ordinary values
+    of {!cls}, so extending the committee needs no new types.
+
+    Regression functions score the deviation between a prediction and a
+    (possibly approximated) ground truth. *)
+
+open Prom_linalg
+
+type cls = {
+  cls_name : string;
+  cls_score : proba:Vec.t -> label:int -> float;
+      (** nonconformity of assigning [label] given the model's
+          probability vector *)
+  cls_discrete : bool;
+      (** true when the score takes few distinct values (e.g. TopK's
+          integer ranks), which makes small prediction sets too coarse
+          to treat as uncertainty evidence *)
+}
+
+(** [lac] — least ambiguous set-valued classifier score:
+    [1 - p(label)]. *)
+val lac : cls
+
+(** [topk] — the rank of [label] when probabilities are sorted
+    descending (0 = most probable). *)
+val topk : cls
+
+(** [aps] — adaptive prediction sets: cumulative probability mass of
+    labels strictly more probable than [label] (0 for the top label, so
+    confident predictions conform). *)
+val aps : cls
+
+(** [raps ?lambda ?k_reg ()] — regularized APS, penalizing deep ranks
+    by [lambda * max 0 (rank + 1 - k_reg)]. Defaults: [lambda = 0.1],
+    [k_reg = 2]. *)
+val raps : ?lambda:float -> ?k_reg:int -> unit -> cls
+
+(** The paper's default committee: [LAC; TopK; APS; RAPS]. *)
+val default_committee : cls list
+
+type reg = {
+  reg_name : string;
+  reg_score : pred:float -> truth:float -> spread:float -> float;
+      (** nonconformity of a prediction against an (approximate) truth;
+          [spread] is a scale estimate of the neighbourhood used to
+          normalize (1.0 when unavailable) *)
+}
+
+(** [absolute_residual] — [|pred - truth|]. *)
+val absolute_residual : reg
+
+(** [squared_residual] — [(pred - truth)^2]. *)
+val squared_residual : reg
+
+(** [normalized_residual] — [|pred - truth| / (spread + 1e-6)]. *)
+val normalized_residual : reg
+
+(** [log_residual] — [log (1 + |pred - truth|)], compressing heavy
+    tails. *)
+val log_residual : reg
+
+(** The default regression committee (4 experts, mirroring
+    classification). *)
+val default_reg_committee : reg list
+
+(** {2 Extension functions}
+
+    Beyond the paper's four defaults, these ready-to-use experts can be
+    added to a committee (Sec. 5.1.1: "other nonconformity functions can
+    be easily incorporated"). *)
+
+(** [margin] — 1 minus the gap between the top two probabilities when
+    scoring the top label (ambiguity), 1 plus the gap otherwise. *)
+val margin : cls
+
+(** [entropy] — the normalized Shannon entropy of the probability
+    vector, independent of the label (a pure uncertainty expert);
+    offset by the label's rank so it still orders labels. *)
+val entropy : cls
+
+(** [extended_committee] — the default four plus [margin] and
+    [entropy]. *)
+val extended_committee : cls list

@@ -1,0 +1,51 @@
+(* Eq. 2 with the adaptive weights applied as sample weights (the
+   weighted conformal form): close calibration samples dominate the
+   count, so the p-value reflects the local neighbourhood of the test
+   input. The +1 terms are the standard split-CP smoothing - the test
+   sample counts as its own most extreme calibration point - keeping
+   p-values in (0, 1] and uniform under exchangeability. *)
+let smoothing smooth at_least_w total_w =
+  (* The +1 smoothing (the test sample counts as its own most extreme
+     calibration point) keeps the credibility test valid on thin
+     calibration sets; prediction-set construction uses the raw ratio so
+     labels without any supporting evidence are excluded. *)
+  if smooth then (at_least_w +. 1.0) /. (total_w +. 1.0)
+  else if total_w <= 0.0 then 0.0
+  else at_least_w /. total_w
+
+let classification ?(smooth = true) ~fn ~selected ~proba ~label () =
+  let test_score = fn.Nonconformity.cls_score ~proba ~label in
+  let total_w = ref 0.0 and at_least_w = ref 0.0 and matching = ref 0 in
+  Array.iter
+    (fun { Calibration.entry; weight; _ } ->
+      if entry.Calibration.label = label then begin
+        incr matching;
+        total_w := !total_w +. weight;
+        let a = fn.Nonconformity.cls_score ~proba:entry.Calibration.proba ~label in
+        if a >= test_score then at_least_w := !at_least_w +. weight
+      end)
+    selected;
+  if !matching = 0 then 0.0 else smoothing smooth !at_least_w !total_w
+
+let classification_all ?smooth ~fn ~selected ~proba ~n_classes () =
+  Array.init n_classes (fun label -> classification ?smooth ~fn ~selected ~proba ~label ())
+
+let regression ?(smooth = true) ~fn ~selected ~spread_of_entry ~cluster ~test_score () =
+  let total_w = ref 0.0 and at_least_w = ref 0.0 and matching = ref 0 in
+  Array.iter
+    (fun { Calibration.entry; weight; _ } ->
+      if entry.Calibration.cluster = cluster then begin
+        incr matching;
+        total_w := !total_w +. weight;
+        let a =
+          fn.Nonconformity.reg_score ~pred:entry.Calibration.rpred
+            ~truth:entry.Calibration.rproxy ~spread:(spread_of_entry entry)
+        in
+        if a >= test_score then at_least_w := !at_least_w +. weight
+      end)
+    selected;
+  if !matching = 0 then 0.0 else smoothing smooth !at_least_w !total_w
+
+let regression_all ?smooth ~fn ~selected ~spread_of_entry ~n_clusters ~test_score () =
+  Array.init n_clusters (fun cluster ->
+      regression ?smooth ~fn ~selected ~spread_of_entry ~cluster ~test_score ())

@@ -1,0 +1,63 @@
+(** Conformal p-values (paper Eq. 2): the weighted fraction of selected
+    calibration samples, sharing the candidate label, whose
+    nonconformity score is at least the test sample's score. The
+    adaptive weights of Eq. 1 enter as sample weights (weighted
+    conformal prediction), so nearby calibration samples dominate the
+    count; +1 smoothing keeps p-values in (0, 1]. A p-value near 0
+    means the test input is stranger than everything seen at design
+    time; near 1 means it conforms. *)
+
+open Prom_linalg
+
+(** [classification ?smooth ~fn ~selected ~proba ~label ()] is the
+    p-value of assigning [label] to a test input whose model probability
+    vector is [proba]. Returns 0 when no selected calibration sample
+    carries [label] (the label has no support). [smooth] (default true)
+    applies the +1 correction; pass [false] when building prediction
+    sets so unsupported labels are excluded. *)
+val classification :
+  ?smooth:bool ->
+  fn:Nonconformity.cls ->
+  selected:Calibration.cls_entry Calibration.selected array ->
+  proba:Vec.t ->
+  label:int ->
+  unit ->
+  float
+
+(** [classification_all ?smooth ~fn ~selected ~proba ~n_classes ()] is
+    the p-value of every candidate label — the input to prediction-set
+    construction. *)
+val classification_all :
+  ?smooth:bool ->
+  fn:Nonconformity.cls ->
+  selected:Calibration.cls_entry Calibration.selected array ->
+  proba:Vec.t ->
+  n_classes:int ->
+  unit ->
+  float array
+
+(** [regression ?smooth ~fn ~selected ~spread_of_entry ~cluster
+    ~test_score ()] is the regression p-value: the weighted fraction of
+    selected calibration samples in [cluster] whose residual-based score
+    is at least [test_score]. *)
+val regression :
+  ?smooth:bool ->
+  fn:Nonconformity.reg ->
+  selected:Calibration.reg_entry Calibration.selected array ->
+  spread_of_entry:(Calibration.reg_entry -> float) ->
+  cluster:int ->
+  test_score:float ->
+  unit ->
+  float
+
+(** [regression_all ?smooth ~fn ~selected ~spread_of_entry ~n_clusters
+    ~test_score ()] is the p-value of every cluster label. *)
+val regression_all :
+  ?smooth:bool ->
+  fn:Nonconformity.reg ->
+  selected:Calibration.reg_entry Calibration.selected array ->
+  spread_of_entry:(Calibration.reg_entry -> float) ->
+  n_clusters:int ->
+  test_score:float ->
+  unit ->
+  float array

@@ -1,0 +1,62 @@
+let prediction_set ~epsilon pvalues =
+  let set = ref [] in
+  for i = Array.length pvalues - 1 downto 0 do
+    if pvalues.(i) > epsilon then set := i :: !set
+  done;
+  !set
+
+let confidence ~c ~set_size =
+  let x = float_of_int set_size in
+  exp (-.((x -. 1.0) ** 2.0) /. (2.0 *. c *. c))
+
+type expert_verdict = {
+  expert : string;
+  credibility : float;
+  confidence : float;
+  set_size : int;
+  distance_pvalue : float;
+  flags_drift : bool;
+}
+
+let expert_verdict ?(distance_pvalue = 1.0) ?set_pvalues ?(use_confidence = true)
+    ?(discrete = false) ~config ~expert ~pvalues ~predicted () =
+  if predicted < 0 || predicted >= Array.length pvalues then
+    invalid_arg "Scores.expert_verdict: predicted label out of range";
+  let epsilon = config.Config.epsilon in
+  let credibility = pvalues.(predicted) in
+  let set_source = Option.value ~default:pvalues set_pvalues in
+  let set_size = List.length (prediction_set ~epsilon set_source) in
+  let confidence = confidence ~c:config.Config.gaussian_c ~set_size in
+  let significance = 1.0 -. epsilon in
+  (* The conformal distance test fires when the input sits outside the
+     calibration distribution - the covariate-shift component of the
+     adaptive scheme. It participates in every rule except the
+     classical credibility-only test. *)
+  let out_of_distribution = distance_pvalue < epsilon in
+  (* The set-size channel fires on genuinely anomalous regions: an empty
+     set (no class explains the sample), three or more candidates, or a
+     2-element set - except for discrete-scored experts (TopK's integer
+     ranks), whose 2-element multiclass sets are too coarse to treat as
+     uncertainty evidence. *)
+  let n_classes = Array.length pvalues in
+  let anomalous_size =
+    set_size = 0 || set_size >= 3
+    || (set_size = 2 && (n_classes = 2 || not discrete))
+  in
+  let low_confidence = use_confidence && anomalous_size && confidence < significance in
+  let flags_drift =
+    match config.Config.decision_rule with
+    | Config.Conjunction ->
+        (credibility < significance && (low_confidence || not use_confidence))
+        || out_of_distribution
+    | Config.Disjunction -> credibility < epsilon || low_confidence || out_of_distribution
+    | Config.Credibility_only -> credibility < epsilon
+  in
+  { expert; credibility; confidence; set_size; distance_pvalue; flags_drift }
+
+let committee_decision ~config verdicts =
+  match verdicts with
+  | [] -> invalid_arg "Scores.committee_decision: empty committee"
+  | _ ->
+      let flags = List.length (List.filter (fun v -> v.flags_drift) verdicts) in
+      float_of_int flags >= config.Config.vote_fraction *. float_of_int (List.length verdicts)

@@ -1,0 +1,54 @@
+(** Credibility and confidence scores (paper Sec. 5.3), and the
+    prediction sets they are built from. *)
+
+(** [prediction_set ~epsilon pvalues] is the set of labels whose
+    p-value exceeds [epsilon] — the labels plausibly associated with
+    the test sample. *)
+val prediction_set : epsilon:float -> float array -> int list
+
+(** [confidence ~c ~set_size] is the Gaussian significance of the
+    prediction-set size: [exp (-(x - 1)^2 / (2 c^2))]. A singleton set
+    scores 1; empty or large sets score lower. *)
+val confidence : c:float -> set_size:int -> float
+
+(** Per-expert assessment of one test sample. *)
+type expert_verdict = {
+  expert : string;  (** nonconformity function name *)
+  credibility : float;  (** p-value of the predicted label *)
+  confidence : float;
+  set_size : int;
+  distance_pvalue : float;
+      (** conformal kNN-distance p-value (shared across experts);
+          1.0 when the distance test is not applicable *)
+  flags_drift : bool;
+}
+
+(** [expert_verdict ?distance_pvalue ?set_pvalues ~config ~expert
+    ~pvalues ~predicted ()] assembles an expert's verdict: credibility
+    is the predicted label's (smoothed) p-value, confidence comes from
+    the prediction-set size built from [set_pvalues] (unsmoothed;
+    defaults to [pvalues]), and the drift flag is determined by
+    [config.decision_rule] (see {!Config.decision_rule}), with the
+    conformal distance test contributing to all rules except
+    [Credibility_only]. [use_confidence] (default true) lets regression
+    detectors exclude the set-size signal from the drift flag: residual
+    scores do not vary with the candidate cluster, so homogeneous
+    clusters make the set size uninformative there; the confidence score
+    is still reported. *)
+val expert_verdict :
+  ?distance_pvalue:float ->
+  ?set_pvalues:float array ->
+  ?use_confidence:bool ->
+  ?discrete:bool ->
+  config:Config.t ->
+  expert:string ->
+  pvalues:float array ->
+  predicted:int ->
+  unit ->
+  expert_verdict
+
+(** [committee_decision ~config verdicts] applies majority voting
+    (Sec. 5, Fig. 5): the sample is drifting when at least
+    [vote_fraction] of the experts flag it. Raises [Invalid_argument]
+    on an empty committee. *)
+val committee_decision : config:Config.t -> expert_verdict list -> bool

@@ -1,0 +1,66 @@
+open Prom_linalg
+open Prom_ml
+
+type t = {
+  detector : Detector.Classification.t;
+  (* Holds the probability vector of the in-flight query. The wrapped
+     "model" reads it when the detector asks for the query's
+     probabilities; calibration inputs are served from [known]. *)
+  query : (Vec.t * Vec.t) option ref;
+  known : (Vec.t, Vec.t) Hashtbl.t;
+}
+
+let create ?config ?committee triples =
+  if triples = [] then invalid_arg "Service.create: empty calibration";
+  let dim = match triples with (f, _, _) :: _ -> Array.length f | [] -> 0 in
+  let n_classes =
+    List.fold_left (fun acc (_, _, p) -> Stdlib.max acc (Array.length p)) 0 triples
+  in
+  List.iter
+    (fun (f, label, p) ->
+      if Array.length f <> dim then invalid_arg "Service.create: ragged features";
+      if Array.length p <> n_classes then
+        invalid_arg "Service.create: ragged probability vectors";
+      if label < 0 || label >= n_classes then
+        invalid_arg "Service.create: label out of range")
+    triples;
+  let known = Hashtbl.create (List.length triples) in
+  List.iter (fun (f, _, p) -> Hashtbl.replace known f p) triples;
+  let query = ref None in
+  let predict_proba x =
+    match !query with
+    | Some (qx, qp) when qx == x -> qp
+    | _ -> (
+        match Hashtbl.find_opt known x with
+        | Some p -> p
+        | None -> invalid_arg "Service: unknown input")
+  in
+  let model =
+    { Model.n_classes; predict_proba; name = "external"; state = Model.No_state }
+  in
+  let calibration =
+    Dataset.create
+      (Array.of_list (List.map (fun (f, _, _) -> f) triples))
+      (Array.of_list (List.map (fun (_, y, _) -> y) triples))
+  in
+  let detector =
+    Detector.Classification.create ?config ?committee ~model ~feature_of:Fun.id
+      calibration
+  in
+  { detector; query; known }
+
+let evaluate t ~features ~proba =
+  t.query := Some (features, proba);
+  Fun.protect
+    ~finally:(fun () -> t.query := None)
+    (fun () -> Detector.Classification.evaluate t.detector features)
+
+let should_accept t ~features ~proba =
+  not (evaluate t ~features ~proba).Detector.drifted
+
+let scores t ~features ~proba =
+  let v = evaluate t ~features ~proba in
+  let dist =
+    match v.Detector.experts with e :: _ -> e.Scores.distance_pvalue | [] -> 1.0
+  in
+  (v.Detector.mean_credibility, v.Detector.mean_confidence, dist)

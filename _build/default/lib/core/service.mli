@@ -1,0 +1,34 @@
+(** Integration surface for non-OCaml hosts (paper Sec. 8,
+    "Integration with non-Python environments"): the paper ships a
+    pybind11 entry point that takes a prediction's probability vector
+    (plus the input's feature vector) and returns a boolean accept/
+    reject. This module is the same idea for embedding PROM into a
+    compiler written in another language: the host keeps its own model
+    and inference; PROM only sees intermediate results.
+
+    Unlike {!Detector}, a [Service.t] is built from raw calibration
+    outputs — (feature vector, label, probability vector) triples — so
+    the host never has to expose a callable model. *)
+
+open Prom_linalg
+
+type t
+
+(** [create ?config ?committee calibration] builds the service from
+    preprocessed calibration triples. Raises [Invalid_argument] on an
+    empty list or inconsistent dimensions. *)
+val create :
+  ?config:Config.t ->
+  ?committee:Nonconformity.cls list ->
+  (Vec.t * int * Vec.t) list ->
+  t
+
+(** [should_accept t ~features ~proba] is [true] when the committee
+    accepts the prediction whose probability vector is [proba] for the
+    input embedded at [features] — the single boolean the host needs. *)
+val should_accept : t -> features:Vec.t -> proba:Vec.t -> bool
+
+(** [scores t ~features ~proba] returns
+    [(credibility, confidence, distance_pvalue)] averaged over the
+    committee, for hosts that want the raw numbers. *)
+val scores : t -> features:Vec.t -> proba:Vec.t -> float * float * float

@@ -1,0 +1,108 @@
+open Prom_ml
+
+type candidate = {
+  config : Config.t;
+  f1 : float;
+  precision : float;
+  recall : float;
+  coverage_deviation : float;
+}
+
+let grid_search_classification ?(epsilons = [ 0.05; 0.1; 0.2; 0.3 ])
+    ?(gaussian_cs = [ 1.0; 3.0; 5.0 ]) ?(seed = 47) ~base ~committee ~model ~feature_of
+    data =
+  if Dataset.length data < 10 then
+    invalid_arg "Tuning.grid_search_classification: calibration dataset too small";
+  let rng = Prom_linalg.Rng.create seed in
+  let shuffled = Dataset.shuffle rng data in
+  let internal_cal, validation = Dataset.split_at shuffled ~ratio:0.8 in
+  let mispredicted =
+    Array.mapi (fun i x -> Model.predict model x <> validation.y.(i)) validation.x
+  in
+  let evaluate config =
+    let det =
+      Detector.Classification.create ~config ~committee ~model ~feature_of internal_cal
+    in
+    let flagged = Array.map (fun x -> snd (Detector.Classification.predict det x)) validation.x in
+    let m = Detection_metrics.compute ~flagged ~mispredicted in
+    let assessment =
+      Assessment.classification ~r:2 ~seed ~config ~committee ~model ~feature_of data
+    in
+    {
+      config;
+      f1 = m.Detection_metrics.f1;
+      precision = m.Detection_metrics.precision;
+      recall = m.Detection_metrics.recall;
+      coverage_deviation = assessment.Assessment.deviation;
+    }
+  in
+  let candidates =
+    List.concat_map
+      (fun epsilon ->
+        List.map
+          (fun gaussian_c -> evaluate { base with Config.epsilon; gaussian_c })
+          gaussian_cs)
+      epsilons
+  in
+  List.sort
+    (fun a b ->
+      match compare b.f1 a.f1 with
+      | 0 -> compare a.coverage_deviation b.coverage_deviation
+      | c -> c)
+    candidates
+
+let best = function
+  | [] -> invalid_arg "Tuning.best: empty candidate list"
+  | c :: _ -> c
+
+let grid_search_regression ?(epsilons = [ 0.05; 0.1; 0.2 ])
+    ?(cluster_counts = [ 2; 4; 8 ]) ?(deviation = 0.2) ?(seed = 47) ~base ~committee
+    ~model ~feature_of data =
+  if Dataset.length data < 10 then
+    invalid_arg "Tuning.grid_search_regression: calibration dataset too small";
+  let rng = Prom_linalg.Rng.create seed in
+  let shuffled = Dataset.shuffle rng data in
+  let internal_cal, validation = Dataset.split_at shuffled ~ratio:0.8 in
+  let mispredicted =
+    Array.mapi
+      (fun i x ->
+        let truth = validation.y.(i) in
+        let scale = Stdlib.max (abs_float truth) 1e-9 in
+        abs_float (model.Model.predict x -. truth) /. scale > deviation)
+      validation.x
+  in
+  let evaluate config n_clusters =
+    let det =
+      Detector.Regression.create ~config ~committee ~n_clusters ~model ~feature_of ~seed
+        internal_cal
+    in
+    let flagged =
+      Array.map (fun x -> snd (Detector.Regression.predict det x)) validation.x
+    in
+    let m = Detection_metrics.compute ~flagged ~mispredicted in
+    let assessment =
+      Assessment.regression ~r:2 ~seed ~n_clusters ~config ~committee ~model ~feature_of
+        data
+    in
+    {
+      config;
+      f1 = m.Detection_metrics.f1;
+      precision = m.Detection_metrics.precision;
+      recall = m.Detection_metrics.recall;
+      coverage_deviation = assessment.Assessment.deviation;
+    }
+  in
+  let candidates =
+    List.concat_map
+      (fun epsilon ->
+        List.map
+          (fun k -> evaluate { base with Config.epsilon } k)
+          (List.filter (fun k -> k <= Dataset.length internal_cal / 2) cluster_counts))
+      epsilons
+  in
+  List.sort
+    (fun a b ->
+      match compare b.f1 a.f1 with
+      | 0 -> compare a.coverage_deviation b.coverage_deviation
+      | c -> c)
+    candidates

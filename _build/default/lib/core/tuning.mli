@@ -1,0 +1,54 @@
+(** Design-time hyperparameter selection (paper Sec. 5.2): a grid search
+    over detector settings, scored by drift-detection F1 on an internal
+    validation split of the calibration data, where "misprediction"
+    ground truth is the model being wrong on a held-out sample. *)
+
+open Prom_linalg
+open Prom_ml
+
+type candidate = {
+  config : Config.t;
+  f1 : float;
+  precision : float;
+  recall : float;
+  coverage_deviation : float;
+}
+
+(** [grid_search_classification ?epsilons ?gaussian_cs ?seed ~base
+    ~committee ~model ~feature_of calibration] evaluates every
+    combination and returns candidates sorted by decreasing F1 (ties
+    broken by smaller coverage deviation). Defaults sweep
+    [epsilons = [0.05; 0.1; 0.2; 0.3]] and
+    [gaussian_cs = [1.; 3.; 5.]]. *)
+val grid_search_classification :
+  ?epsilons:float list ->
+  ?gaussian_cs:float list ->
+  ?seed:int ->
+  base:Config.t ->
+  committee:Nonconformity.cls list ->
+  model:Model.classifier ->
+  feature_of:(Vec.t -> Vec.t) ->
+  int Dataset.t ->
+  candidate list
+
+(** [best cands] is the head of the sorted list. Raises
+    [Invalid_argument] on an empty list. *)
+val best : candidate list -> candidate
+
+(** [grid_search_regression ?epsilons ?cluster_counts ?seed ~base
+    ~committee ~model ~feature_of calibration] is the regression
+    analogue: candidates are scored by drift-detection F1 on an internal
+    validation split, where a misprediction is a residual deviating more
+    than [deviation] (relative, default 0.2 as in Sec. 6.6) from the
+    true target. *)
+val grid_search_regression :
+  ?epsilons:float list ->
+  ?cluster_counts:int list ->
+  ?deviation:float ->
+  ?seed:int ->
+  base:Config.t ->
+  committee:Nonconformity.reg list ->
+  model:Model.regressor ->
+  feature_of:(Vec.t -> Vec.t) ->
+  float Dataset.t ->
+  candidate list

@@ -1,0 +1,1 @@
+lib/linalg/distance.mli: Vec

@@ -1,0 +1,45 @@
+let check a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Distance: dimension mismatch"
+
+let sq_euclidean a b =
+  check a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let euclidean a b = sqrt (sq_euclidean a b)
+
+let manhattan a b =
+  check a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. abs_float (a.(i) -. b.(i))
+  done;
+  !acc
+
+let cosine a b =
+  check a b;
+  let na = Vec.norm a and nb = Vec.norm b in
+  if na = 0.0 || nb = 0.0 then 1.0 else 1.0 -. (Vec.dot a b /. (na *. nb))
+
+let chebyshev a b =
+  check a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := Stdlib.max !acc (abs_float (a.(i) -. b.(i)))
+  done;
+  !acc
+
+let rank_by_distance ~dist xs v =
+  let ranked = Array.mapi (fun i x -> (i, dist x v)) xs in
+  Array.sort (fun (_, d1) (_, d2) -> compare d1 d2) ranked;
+  ranked
+
+let nearest ~dist xs v k =
+  let ranked = rank_by_distance ~dist xs v in
+  let k = Stdlib.min k (Array.length ranked) in
+  Array.init k (fun i -> fst ranked.(i))

@@ -1,0 +1,26 @@
+(** Distance functions over feature vectors. All binary functions raise
+    [Invalid_argument] on dimension mismatch. *)
+
+val euclidean : Vec.t -> Vec.t -> float
+
+(** [sq_euclidean a b] is the squared L2 distance — the quantity used in
+    PROM's adaptive weighting (Eq. 1 of the paper). *)
+val sq_euclidean : Vec.t -> Vec.t -> float
+
+val manhattan : Vec.t -> Vec.t -> float
+
+(** [cosine a b] is 1 - cosine similarity; 1.0 when either vector is
+    zero. *)
+val cosine : Vec.t -> Vec.t -> float
+
+val chebyshev : Vec.t -> Vec.t -> float
+
+(** [nearest ~dist xs v k] returns the indices of the [k] elements of
+    [xs] closest to [v] under [dist], ordered by increasing distance.
+    [k] is clamped to the number of candidates. *)
+val nearest : dist:(Vec.t -> Vec.t -> float) -> Vec.t array -> Vec.t -> int -> int array
+
+(** [rank_by_distance ~dist xs v] returns all indices of [xs] sorted by
+    increasing distance to [v], paired with the distances. *)
+val rank_by_distance :
+  dist:(Vec.t -> Vec.t -> float) -> Vec.t array -> Vec.t -> (int * float) array

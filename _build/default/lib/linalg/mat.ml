@@ -1,0 +1,88 @@
+type t = float array array
+
+let create ~rows ~cols v = Array.init rows (fun _ -> Array.make cols v)
+let zeros ~rows ~cols = create ~rows ~cols 0.0
+let init ~rows ~cols f = Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+let of_rows rows =
+  (match Array.length rows with
+  | 0 -> ()
+  | _ ->
+      let c = Array.length rows.(0) in
+      Array.iter
+        (fun r ->
+          if Array.length r <> c then invalid_arg "Mat.of_rows: ragged rows")
+        rows);
+  rows
+
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+let copy m = Array.map Array.copy m
+let transpose m = init ~rows:(cols m) ~cols:(rows m) (fun i j -> m.(j).(i))
+
+let matvec m v =
+  if cols m <> Array.length v then invalid_arg "Mat.matvec: dimension mismatch";
+  Array.map (fun row -> Vec.dot row v) m
+
+let matmul a b =
+  if cols a <> rows b then invalid_arg "Mat.matmul: dimension mismatch";
+  let bt = transpose b in
+  init ~rows:(rows a) ~cols:(cols b) (fun i j -> Vec.dot a.(i) bt.(j))
+
+let add a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg "Mat.add: dimension mismatch";
+  init ~rows:(rows a) ~cols:(cols a) (fun i j -> a.(i).(j) +. b.(i).(j))
+
+let scale k m = Array.map (Vec.scale k) m
+let row m i = Array.copy m.(i)
+let col m j = Array.init (rows m) (fun i -> m.(i).(j))
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1.0 else 0.0)
+
+let solve a b =
+  let n = rows a in
+  if cols a <> n || Array.length b <> n then
+    invalid_arg "Mat.solve: expected square system";
+  let m = copy a in
+  let y = Array.copy b in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining entry of column k up. *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float m.(i).(k) > abs_float m.(!pivot).(k) then pivot := i
+    done;
+    if abs_float m.(!pivot).(k) < 1e-12 then failwith "Mat.solve: singular matrix";
+    if !pivot <> k then begin
+      let tmp = m.(k) in
+      m.(k) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = y.(k) in
+      y.(k) <- y.(!pivot);
+      y.(!pivot) <- tb
+    end;
+    for i = k + 1 to n - 1 do
+      let f = m.(i).(k) /. m.(k).(k) in
+      if f <> 0.0 then begin
+        for j = k to n - 1 do
+          m.(i).(j) <- m.(i).(j) -. (f *. m.(k).(j))
+        done;
+        y.(i) <- y.(i) -. (f *. y.(k))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (m.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc /. m.(i).(i)
+  done;
+  x
+
+let gram m = matmul (transpose m) m
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  Array.iter (fun r -> Format.fprintf fmt "%a@," Vec.pp r) m;
+  Format.fprintf fmt "@]"

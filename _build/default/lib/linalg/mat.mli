@@ -1,0 +1,43 @@
+(** Dense row-major matrices. A matrix is an array of rows; rows are
+    [Vec.t]. Construction functions validate that all rows share the same
+    length. *)
+
+type t = float array array
+
+val create : rows:int -> cols:int -> float -> t
+val zeros : rows:int -> cols:int -> t
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+
+(** [of_rows rows] validates rectangularity. Raises [Invalid_argument]
+    if rows have differing lengths. *)
+val of_rows : float array array -> t
+
+val rows : t -> int
+val cols : t -> int
+val copy : t -> t
+val transpose : t -> t
+
+(** [matvec m v] is the matrix-vector product. *)
+val matvec : t -> Vec.t -> Vec.t
+
+(** [matmul a b] is the matrix product. Raises [Invalid_argument] on
+    inner-dimension mismatch. *)
+val matmul : t -> t -> t
+
+val add : t -> t -> t
+val scale : float -> t -> t
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+
+(** [identity n] is the [n] x [n] identity matrix. *)
+val identity : int -> t
+
+(** [solve a b] solves the linear system [a x = b] by Gaussian
+    elimination with partial pivoting. Raises [Failure] if [a] is
+    singular (pivot below [1e-12]). [a] and [b] are not modified. *)
+val solve : t -> Vec.t -> Vec.t
+
+(** [gram m] is [m^T m], the Gram matrix of the columns of [m]. *)
+val gram : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x85ebca6b |]
+
+let split t =
+  let seed = Random.State.bits t in
+  create seed
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let float t bound = Random.State.float t bound
+let uniform t ~lo ~hi = lo +. Random.State.float t (hi -. lo)
+let bool t = Random.State.bool t
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let gaussian t ~mu ~sigma =
+  (* Box-Muller; guard against log 0 by nudging u1 away from zero. *)
+  let u1 = max (Random.State.float t 1.0) 1e-12 in
+  let u2 = Random.State.float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(Random.State.int t (Array.length a))
+
+let sample t a k =
+  let n = Array.length a in
+  if k < 0 || k > n then invalid_arg "Rng.sample: k out of range";
+  let idx = permutation t n in
+  Array.init k (fun i -> a.(idx.(i)))
+
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.categorical: weights sum to zero";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Rng.categorical: negative weight")
+    weights;
+  let r = Random.State.float t total in
+  let rec scan i acc =
+    if i = Array.length weights - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if r < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

@@ -1,0 +1,53 @@
+(** Seeded pseudo-random number generation.
+
+    All stochastic components of the library thread an explicit [Rng.t]
+    so that every experiment is reproducible from a single integer seed.
+    The generator wraps [Random.State] from the standard library. *)
+
+type t
+
+(** [create seed] returns a fresh generator determined by [seed]. *)
+val create : int -> t
+
+(** [split t] derives a new, independent generator from [t], advancing
+    [t]. Useful to hand sub-components their own stream. *)
+val split : t -> t
+
+(** [int t bound] draws uniformly from [0, bound). Raises
+    [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] draws uniformly from [0, bound). *)
+val float : t -> float -> float
+
+(** [uniform t ~lo ~hi] draws uniformly from [lo, hi). *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** [bool t] draws a fair coin flip. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** [gaussian t ~mu ~sigma] draws from a normal distribution using the
+    Box-Muller transform. *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [permutation t n] returns a random permutation of [0 .. n-1]. *)
+val permutation : t -> int -> int array
+
+(** [choice t a] picks one element uniformly. Raises [Invalid_argument]
+    on an empty array. *)
+val choice : t -> 'a array -> 'a
+
+(** [sample t a k] draws [k] distinct elements without replacement.
+    Raises [Invalid_argument] if [k] exceeds the array length. *)
+val sample : t -> 'a array -> int -> 'a array
+
+(** [categorical t weights] draws an index proportionally to the
+    non-negative [weights]. Raises [Invalid_argument] if all weights are
+    zero or any is negative. *)
+val categorical : t -> float array -> int

@@ -1,0 +1,94 @@
+let nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty array")
+
+let mean a =
+  nonempty "mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  nonempty "variance" a;
+  let m = mean a in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+  acc /. float_of_int (Array.length a)
+
+let sample_variance a =
+  if Array.length a < 2 then invalid_arg "Stats.sample_variance: need >= 2 elements";
+  let m = mean a in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+  acc /. float_of_int (Array.length a - 1)
+
+let std a = sqrt (variance a)
+
+let sorted a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let quantile a q =
+  nonempty "quantile" a;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let b = sorted a in
+  let n = Array.length b in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then b.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    ((1.0 -. frac) *. b.(lo)) +. (frac *. b.(hi))
+
+let median a = quantile a 0.5
+
+let five_number_summary a =
+  nonempty "five_number_summary" a;
+  (quantile a 0.0, quantile a 0.25, quantile a 0.5, quantile a 0.75, quantile a 1.0)
+
+let geomean a =
+  nonempty "geomean" a;
+  Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value") a;
+  let acc = Array.fold_left (fun acc x -> acc +. log x) 0.0 a in
+  exp (acc /. float_of_int (Array.length a))
+
+let histogram a ~bins =
+  nonempty "histogram" a;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = Array.fold_left min a.(0) a in
+  let hi = Array.fold_left max a.(0) a in
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let i =
+        if width = 0.0 then 0
+        else Stdlib.min (bins - 1) (int_of_float ((x -. lo) /. width))
+      in
+      counts.(i) <- counts.(i) + 1)
+    a;
+  counts
+
+let pearson a b =
+  if Array.length a <> Array.length b then invalid_arg "Stats.pearson: length mismatch";
+  nonempty "pearson" a;
+  let ma = mean a and mb = mean b in
+  let num = ref 0.0 and da = ref 0.0 and db = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let xa = x -. ma and xb = b.(i) -. mb in
+      num := !num +. (xa *. xb);
+      da := !da +. (xa *. xa);
+      db := !db +. (xb *. xb))
+    a;
+  if !da = 0.0 || !db = 0.0 then 0.0 else !num /. sqrt (!da *. !db)
+
+let standardize a =
+  nonempty "standardize" a;
+  let mu = mean a in
+  let sigma = std a in
+  let sigma = if sigma = 0.0 then 1.0 else sigma in
+  (Array.map (fun x -> (x -. mu) /. sigma) a, mu, sigma)
+
+let describe fmt a =
+  nonempty "describe" a;
+  let mn, q1, md, q3, mx = five_number_summary a in
+  Format.fprintf fmt "n=%d mean=%.4f std=%.4f min=%.4f q1=%.4f median=%.4f q3=%.4f max=%.4f"
+    (Array.length a) (mean a) (std a) mn q1 md q3 mx

@@ -1,0 +1,45 @@
+(** Descriptive statistics over [float array]s. Functions that require a
+    non-empty input raise [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+
+(** [variance a] is the population variance (divide by [n]). *)
+val variance : float array -> float
+
+(** [sample_variance a] divides by [n - 1]; requires at least two
+    elements. *)
+val sample_variance : float array -> float
+
+val std : float array -> float
+
+(** [median a] does not modify [a]. *)
+val median : float array -> float
+
+(** [quantile a q] is the linear-interpolation quantile for
+    [q] in [0, 1]. Raises [Invalid_argument] if [q] is outside that
+    range. *)
+val quantile : float array -> float -> float
+
+(** [five_number_summary a] is [(min, q1, median, q3, max)] — the data
+    behind a box/violin plot. *)
+val five_number_summary : float array -> float * float * float * float * float
+
+val geomean : float array -> float
+
+(** [histogram a ~bins] buckets [a] into [bins] equal-width bins over
+    [min a, max a] and returns the per-bin counts. A constant array puts
+    everything in the first bin. *)
+val histogram : float array -> bins:int -> int array
+
+(** [pearson a b] is the Pearson correlation coefficient; 0 when either
+    input has zero variance. *)
+val pearson : float array -> float array -> float
+
+(** [standardize a] returns [(z, mu, sigma)] with [z] the z-scored copy
+    of [a]; [sigma] is clamped to 1 when zero to avoid division by
+    zero. *)
+val standardize : float array -> float array * float * float
+
+(** [describe fmt a] pretty-prints a one-line summary (n, mean, std,
+    five-number summary). *)
+val describe : Format.formatter -> float array -> unit

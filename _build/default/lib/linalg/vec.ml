@@ -1,0 +1,86 @@
+type t = float array
+
+let zeros n = Array.make n 0.0
+let ones n = Array.make n 1.0
+let init = Array.init
+let copy = Array.copy
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name (Array.length a) (Array.length b))
+
+let add a b =
+  check_dims "add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let mul a b =
+  check_dims "mul" a b;
+  Array.mapi (fun i x -> x *. b.(i)) a
+
+let scale k a = Array.map (fun x -> k *. x) a
+
+let axpy ~alpha x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm_sq a = dot a a
+let norm a = sqrt (norm_sq a)
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Vec.mean: empty vector";
+  sum a /. float_of_int (Array.length a)
+
+let map = Array.map
+
+let map2 f a b =
+  check_dims "map2" a b;
+  Array.mapi (fun i x -> f x b.(i)) a
+
+let arg_best better a =
+  if Array.length a = 0 then invalid_arg "Vec.arg_best: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if better a.(i) a.(!best) then best := i
+  done;
+  !best
+
+let argmax a = arg_best ( > ) a
+let argmin a = arg_best ( < ) a
+let max a = a.(argmax a)
+let min a = a.(argmin a)
+
+let softmax a =
+  let m = max a in
+  let e = Array.map (fun x -> exp (x -. m)) a in
+  let z = sum e in
+  Array.map (fun x -> x /. z) e
+
+let normalize a =
+  let n = norm a in
+  if n = 0.0 then copy a else scale (1.0 /. n) a
+
+let concat vs = Array.concat vs
+
+let pp fmt a =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" x)
+    a;
+  Format.fprintf fmt "|]"

@@ -1,0 +1,51 @@
+(** Dense vectors of floats with the small set of operations the rest of
+    the library needs. Vectors are plain [float array]s so callers can
+    interoperate freely with the standard library. *)
+
+type t = float array
+
+val zeros : int -> t
+val ones : int -> t
+val init : int -> (int -> float) -> t
+val copy : t -> t
+
+(** [add a b] is the element-wise sum. Raises [Invalid_argument] on
+    dimension mismatch, as do all binary operations below. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [scale k a] multiplies every component by [k]. *)
+val scale : float -> t -> t
+
+(** [axpy ~alpha x y] updates [y <- alpha * x + y] in place. *)
+val axpy : alpha:float -> t -> t -> unit
+
+val dot : t -> t -> float
+val norm : t -> float
+val norm_sq : t -> float
+val sum : t -> float
+val mean : t -> float
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** [argmax a] returns the index of the largest component (first on
+    ties). Raises [Invalid_argument] on an empty vector. *)
+val argmax : t -> int
+
+val argmin : t -> int
+val max : t -> float
+val min : t -> float
+
+(** [softmax a] is the numerically stable softmax of [a]. *)
+val softmax : t -> t
+
+(** [normalize a] rescales [a] to unit L2 norm; the zero vector is
+    returned unchanged. *)
+val normalize : t -> t
+
+(** [concat vs] concatenates vectors in order. *)
+val concat : t list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ml/dataset.ml: Array Fun Prom_linalg Rng Stdlib Vec

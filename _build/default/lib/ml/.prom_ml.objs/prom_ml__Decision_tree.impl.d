@@ -1,0 +1,1 @@
+lib/ml/decision_tree.ml: Array Dataset Fun Model Prom_linalg Rng Stdlib Vec

@@ -1,0 +1,1 @@
+lib/ml/gap_statistic.ml: Array Kmeans List Prom_linalg Rng Stdlib

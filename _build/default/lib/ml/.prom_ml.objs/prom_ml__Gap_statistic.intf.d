@@ -1,0 +1,1 @@
+lib/ml/gap_statistic.mli: Prom_linalg Rng Vec

@@ -1,0 +1,1 @@
+lib/ml/gradient_boosting.ml: Array Dataset Decision_tree Fun Model Prom_linalg Rng Stats Stdlib Vec

@@ -1,0 +1,1 @@
+lib/ml/gradient_boosting.mli: Dataset Decision_tree Model

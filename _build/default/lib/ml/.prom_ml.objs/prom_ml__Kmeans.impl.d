@@ -1,0 +1,1 @@
+lib/ml/kmeans.ml: Array Distance List Prom_linalg Rng Vec

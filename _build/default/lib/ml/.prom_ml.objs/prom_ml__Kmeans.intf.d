@@ -1,0 +1,1 @@
+lib/ml/kmeans.mli: Prom_linalg Rng Vec

@@ -1,0 +1,1 @@
+lib/ml/knn.ml: Array Dataset Distance Model Prom_linalg Stdlib Vec

@@ -1,0 +1,1 @@
+lib/ml/linreg.ml: Array Dataset Mat Model Prom_linalg Vec

@@ -1,0 +1,1 @@
+lib/ml/logistic.ml: Array Dataset Model Prom_linalg Rng Stdlib Vec

@@ -1,0 +1,1 @@
+lib/ml/logistic.mli: Dataset Model Prom_linalg Vec

@@ -1,0 +1,1 @@
+lib/ml/mlp.ml: Array Dataset Model Prom_linalg Rng Stdlib Vec

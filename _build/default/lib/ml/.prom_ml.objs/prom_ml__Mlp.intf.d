@@ -1,0 +1,1 @@
+lib/ml/mlp.mli: Dataset Model Prom_linalg Vec

@@ -1,0 +1,1 @@
+lib/ml/model.ml: Array Dataset Prom_linalg Vec

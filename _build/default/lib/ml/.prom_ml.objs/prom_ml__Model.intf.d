@@ -1,0 +1,1 @@
+lib/ml/model.mli: Dataset Prom_linalg Vec

@@ -1,0 +1,1 @@
+lib/ml/random_forest.ml: Array Dataset Decision_tree Model Prom_linalg Rng Stdlib Vec

@@ -1,0 +1,1 @@
+lib/ml/random_forest.mli: Dataset Decision_tree Model

@@ -1,0 +1,1 @@
+lib/ml/svm.ml: Array Dataset Float Fun Model Prom_linalg Rng Vec

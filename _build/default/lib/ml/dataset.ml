@@ -1,0 +1,92 @@
+open Prom_linalg
+
+type 'a t = { x : Vec.t array; y : 'a array }
+
+let create x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Dataset.create: feature/label length mismatch";
+  (match Array.length x with
+  | 0 -> ()
+  | _ ->
+      let d = Array.length x.(0) in
+      Array.iter
+        (fun v ->
+          if Array.length v <> d then invalid_arg "Dataset.create: ragged features")
+        x);
+  { x; y }
+
+let length d = Array.length d.x
+let n_features d = if length d = 0 then 0 else Array.length d.x.(0)
+
+let n_classes d =
+  Array.fold_left (fun acc y -> Stdlib.max acc (y + 1)) 0 d.y
+
+let get d i = (d.x.(i), d.y.(i))
+let append a b = { x = Array.append a.x b.x; y = Array.append a.y b.y }
+let map_features f d = { d with x = Array.map f d.x }
+
+let subset d idx =
+  { x = Array.map (fun i -> d.x.(i)) idx; y = Array.map (fun i -> d.y.(i)) idx }
+
+let filter p d =
+  let keep = ref [] in
+  for i = length d - 1 downto 0 do
+    if p d.x.(i) d.y.(i) then keep := i :: !keep
+  done;
+  subset d (Array.of_list !keep)
+
+let shuffle rng d =
+  let idx = Rng.permutation rng (length d) in
+  subset d idx
+
+let split_at d ~ratio =
+  if ratio < 0.0 || ratio > 1.0 then invalid_arg "Dataset.split_at: ratio outside [0,1]";
+  let n = length d in
+  let k = int_of_float (ratio *. float_of_int n) in
+  (subset d (Array.init k Fun.id), subset d (Array.init (n - k) (fun i -> i + k)))
+
+let train_test_split rng d ~test_ratio =
+  let d = shuffle rng d in
+  let test, train = split_at d ~ratio:test_ratio in
+  (train, test)
+
+let k_folds rng d k =
+  if k < 2 then invalid_arg "Dataset.k_folds: need k >= 2";
+  let n = length d in
+  let idx = Rng.permutation rng n in
+  let fold_of i = i * k / n in
+  Array.init k (fun f ->
+      let in_fold = ref [] and rest = ref [] in
+      for i = n - 1 downto 0 do
+        if fold_of i = f then in_fold := idx.(i) :: !in_fold
+        else rest := idx.(i) :: !rest
+      done;
+      (subset d (Array.of_list !rest), subset d (Array.of_list !in_fold)))
+
+module Scaler = struct
+  type t = { mu : float array; sigma : float array }
+
+  let fit d =
+    let dim = n_features d in
+    let n = float_of_int (Stdlib.max 1 (length d)) in
+    let mu = Array.make dim 0.0 in
+    Array.iter (fun v -> Array.iteri (fun j x -> mu.(j) <- mu.(j) +. x) v) d.x;
+    Array.iteri (fun j s -> mu.(j) <- s /. n) mu;
+    let sigma = Array.make dim 0.0 in
+    Array.iter
+      (fun v -> Array.iteri (fun j x -> sigma.(j) <- sigma.(j) +. ((x -. mu.(j)) ** 2.0)) v)
+      d.x;
+    Array.iteri
+      (fun j s ->
+        let v = sqrt (s /. n) in
+        sigma.(j) <- (if v = 0.0 then 1.0 else v))
+      sigma;
+    { mu; sigma }
+
+  let transform t v =
+    if Array.length v <> Array.length t.mu then
+      invalid_arg "Scaler.transform: dimension mismatch";
+    Array.mapi (fun j x -> (x -. t.mu.(j)) /. t.sigma.(j)) v
+
+  let transform_dataset t d = map_features (transform t) d
+end

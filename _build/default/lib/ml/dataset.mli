@@ -1,0 +1,62 @@
+(** Labeled datasets: a feature matrix paired with per-sample labels.
+    The label type is polymorphic so the same machinery serves
+    classification ([int t]) and regression ([float t]). *)
+
+open Prom_linalg
+
+type 'a t = {
+  x : Vec.t array;  (** one feature vector per sample *)
+  y : 'a array;  (** one label per sample *)
+}
+
+(** [create x y] validates that [x] and [y] have equal length and that
+    feature vectors are rectangular. Raises [Invalid_argument]
+    otherwise. *)
+val create : Vec.t array -> 'a array -> 'a t
+
+val length : 'a t -> int
+
+(** [n_features d] is the dimensionality of the feature space; 0 for an
+    empty dataset. *)
+val n_features : 'a t -> int
+
+(** [n_classes d] is [1 + max y] for an integer-labeled dataset — the
+    number of classes under the convention that labels are
+    [0 .. k-1]. *)
+val n_classes : int t -> int
+
+val get : 'a t -> int -> Vec.t * 'a
+val append : 'a t -> 'a t -> 'a t
+val map_features : (Vec.t -> Vec.t) -> 'a t -> 'a t
+
+(** [filter p d] keeps samples satisfying [p x y]. *)
+val filter : (Vec.t -> 'a -> bool) -> 'a t -> 'a t
+
+(** [subset d idx] selects samples by index. *)
+val subset : 'a t -> int array -> 'a t
+
+(** [shuffle rng d] returns a shuffled copy. *)
+val shuffle : Rng.t -> 'a t -> 'a t
+
+(** [split_at d ~ratio] splits into a prefix of [ratio * n] samples and
+    the remainder. [ratio] must be within [0, 1]. *)
+val split_at : 'a t -> ratio:float -> 'a t * 'a t
+
+(** [train_test_split rng d ~test_ratio] shuffles and splits; returns
+    [(train, test)]. *)
+val train_test_split : Rng.t -> 'a t -> test_ratio:float -> 'a t * 'a t
+
+(** [k_folds rng d k] partitions into [k] folds and returns, for each
+    fold, [(rest, fold)] pairs suitable for cross-validation. *)
+val k_folds : Rng.t -> 'a t -> int -> ('a t * 'a t) array
+
+(** Feature standardization fitted on one dataset and applied to
+    others, so test data is scaled with training statistics. *)
+module Scaler : sig
+  type 'a dataset := 'a t
+  type t
+
+  val fit : 'a dataset -> t
+  val transform : t -> Vec.t -> Vec.t
+  val transform_dataset : t -> 'a dataset -> 'a dataset
+end

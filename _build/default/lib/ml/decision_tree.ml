@@ -1,0 +1,166 @@
+open Prom_linalg
+
+type split_params = {
+  max_depth : int;
+  min_samples_leaf : int;
+  min_samples_split : int;
+  max_features : int option;
+  seed : int;
+}
+
+let default_split_params =
+  {
+    max_depth = 8;
+    min_samples_leaf = 2;
+    min_samples_split = 4;
+    max_features = None;
+    seed = 13;
+  }
+
+type 'leaf tree =
+  | Leaf of 'leaf
+  | Node of { feature : int; threshold : float; left : 'leaf tree; right : 'leaf tree }
+
+let rec leaf_value t x =
+  match t with
+  | Leaf v -> v
+  | Node { feature; threshold; left; right } ->
+      if x.(feature) <= threshold then leaf_value left x else leaf_value right x
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { left; right; _ } -> 1 + Stdlib.max (depth left) (depth right)
+
+let rec n_leaves = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> n_leaves left + n_leaves right
+
+(* Generic recursive CART builder. [impurity idx] scores a candidate
+   subset, [make_leaf idx] builds the payload. Splits are chosen
+   exhaustively over candidate thresholds (midpoints between consecutive
+   distinct sorted values). *)
+let build ~params ~(x : Vec.t array) ~impurity ~make_leaf indices =
+  let rng = Rng.create params.seed in
+  let dim = if Array.length x = 0 then 0 else Array.length x.(0) in
+  let feature_pool = Array.init dim Fun.id in
+  let candidate_features () =
+    match params.max_features with
+    | None -> feature_pool
+    | Some k -> Rng.sample rng feature_pool (Stdlib.min k dim)
+  in
+  let rec grow indices d =
+    let n = Array.length indices in
+    if d >= params.max_depth || n < params.min_samples_split then Leaf (make_leaf indices)
+    else begin
+      let parent_impurity = impurity indices in
+      if parent_impurity <= 1e-12 then Leaf (make_leaf indices)
+      else begin
+        let best = ref None in
+        let consider feature threshold =
+          let left = ref [] and right = ref [] and nl = ref 0 in
+          Array.iter
+            (fun i ->
+              if x.(i).(feature) <= threshold then begin
+                left := i :: !left;
+                incr nl
+              end
+              else right := i :: !right)
+            indices;
+          let nr = n - !nl in
+          if !nl >= params.min_samples_leaf && nr >= params.min_samples_leaf then begin
+            let left = Array.of_list !left and right = Array.of_list !right in
+            let score =
+              ((float_of_int !nl *. impurity left) +. (float_of_int nr *. impurity right))
+              /. float_of_int n
+            in
+            match !best with
+            | Some (s, _, _, _, _) when s <= score -> ()
+            | _ -> best := Some (score, feature, threshold, left, right)
+          end
+        in
+        (* Cap candidate thresholds per feature to bound split search cost
+           on large nodes. *)
+        let max_thresholds = 24 in
+        Array.iter
+          (fun feature ->
+            let values = Array.map (fun i -> x.(i).(feature)) indices in
+            Array.sort compare values;
+            let midpoints = ref [] in
+            for i = Array.length values - 2 downto 0 do
+              if values.(i) < values.(i + 1) then
+                midpoints := ((values.(i) +. values.(i + 1)) /. 2.0) :: !midpoints
+            done;
+            let midpoints = Array.of_list !midpoints in
+            let m = Array.length midpoints in
+            if m <= max_thresholds then Array.iter (consider feature) midpoints
+            else
+              for k = 0 to max_thresholds - 1 do
+                consider feature midpoints.(k * m / max_thresholds)
+              done)
+          (candidate_features ());
+        match !best with
+        | Some (score, feature, threshold, left, right) when score < parent_impurity ->
+            Node
+              {
+                feature;
+                threshold;
+                left = grow left (d + 1);
+                right = grow right (d + 1);
+              }
+        | Some _ | None -> Leaf (make_leaf indices)
+      end
+    end
+  in
+  grow indices 0
+
+let fit_classification ?(params = default_split_params) (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Decision_tree.fit_classification: empty dataset";
+  let n_classes = Dataset.n_classes d in
+  let histogram indices =
+    let h = Array.make n_classes 0.0 in
+    Array.iter (fun i -> h.(d.y.(i)) <- h.(d.y.(i)) +. 1.0) indices;
+    h
+  in
+  let gini indices =
+    let h = histogram indices in
+    let n = float_of_int (Array.length indices) in
+    1.0 -. Array.fold_left (fun acc c -> acc +. ((c /. n) ** 2.0)) 0.0 h
+  in
+  let make_leaf indices =
+    let h = histogram indices in
+    let n = float_of_int (Array.length indices) in
+    Array.map (fun c -> c /. n) h
+  in
+  build ~params ~x:d.x ~impurity:gini ~make_leaf (Array.init (Dataset.length d) Fun.id)
+
+let fit_regression ?(params = default_split_params) (d : float Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Decision_tree.fit_regression: empty dataset";
+  let variance indices =
+    let n = float_of_int (Array.length indices) in
+    let mean = Array.fold_left (fun acc i -> acc +. d.y.(i)) 0.0 indices /. n in
+    Array.fold_left (fun acc i -> acc +. ((d.y.(i) -. mean) ** 2.0)) 0.0 indices /. n
+  in
+  let make_leaf indices =
+    let n = float_of_int (Array.length indices) in
+    Array.fold_left (fun acc i -> acc +. d.y.(i)) 0.0 indices /. n
+  in
+  build ~params ~x:d.x ~impurity:variance ~make_leaf (Array.init (Dataset.length d) Fun.id)
+
+type Model.state += Class_tree of Vec.t tree | Reg_tree of float tree
+
+let classifier ?params (d : int Dataset.t) =
+  let t = fit_classification ?params d in
+  {
+    Model.n_classes = Dataset.n_classes d;
+    predict_proba = (fun x -> leaf_value t x);
+    name = "decision-tree";
+    state = Class_tree t;
+  }
+
+let regressor ?params (d : float Dataset.t) =
+  let t = fit_regression ?params d in
+  {
+    Model.predict = (fun x -> leaf_value t x);
+    name = "decision-tree-reg";
+    reg_state = Reg_tree t;
+  }

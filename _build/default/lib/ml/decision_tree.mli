@@ -1,0 +1,41 @@
+(** CART decision trees for classification (Gini impurity) and
+    regression (variance reduction). These are the base learners for
+    {!Random_forest} and {!Gradient_boosting}. *)
+
+open Prom_linalg
+
+type split_params = {
+  max_depth : int;
+  min_samples_leaf : int;
+  min_samples_split : int;
+  max_features : int option;
+      (** number of candidate features per split; [None] = all. Used by
+          random forests for decorrelation. *)
+  seed : int;
+}
+
+val default_split_params : split_params
+
+(** A fitted tree. The payload stored at the leaves is polymorphic:
+    class histograms for classification, means for regression. *)
+type 'leaf tree
+
+(** [leaf_value t x] routes [x] down the tree and returns the leaf
+    payload. *)
+val leaf_value : 'leaf tree -> Vec.t -> 'leaf
+
+val depth : _ tree -> int
+val n_leaves : _ tree -> int
+
+(** [fit_classification ?params d] grows a tree; leaves hold class
+    probability vectors of length [n_classes d]. *)
+val fit_classification : ?params:split_params -> int Dataset.t -> Vec.t tree
+
+(** [fit_regression ?params d] grows a tree; leaves hold mean targets. *)
+val fit_regression : ?params:split_params -> float Dataset.t -> float tree
+
+(** [classifier ?params d] wraps a fitted classification tree as a
+    probabilistic classifier. *)
+val classifier : ?params:split_params -> int Dataset.t -> Model.classifier
+
+val regressor : ?params:split_params -> float Dataset.t -> Model.regressor

@@ -1,0 +1,53 @@
+open Prom_linalg
+
+type result = { best_k : int; gaps : (int * float) list }
+
+let bounding_box xs =
+  let dim = Array.length xs.(0) in
+  let lo = Array.copy xs.(0) and hi = Array.copy xs.(0) in
+  Array.iter
+    (fun x ->
+      for j = 0 to dim - 1 do
+        if x.(j) < lo.(j) then lo.(j) <- x.(j);
+        if x.(j) > hi.(j) then hi.(j) <- x.(j)
+      done)
+    xs;
+  (lo, hi)
+
+let uniform_reference rng xs =
+  let lo, hi = bounding_box xs in
+  Array.map
+    (fun x ->
+      Array.mapi
+        (fun j _ ->
+          if hi.(j) > lo.(j) then Rng.uniform rng ~lo:lo.(j) ~hi:hi.(j) else lo.(j))
+        x)
+    xs
+
+let log_dispersion rng xs k = log (max 1e-12 (Kmeans.fit rng xs ~k).inertia)
+
+let select ?(n_refs = 5) rng xs ~k_min ~k_max =
+  let n = Array.length xs in
+  if k_min < 1 || k_max < k_min then invalid_arg "Gap_statistic.select: bad range";
+  let k_max = Stdlib.min k_max n in
+  if k_min > k_max then invalid_arg "Gap_statistic.select: range exceeds sample count";
+  let gaps =
+    List.init (k_max - k_min + 1) (fun i ->
+        let k = k_min + i in
+        let observed = log_dispersion (Rng.split rng) xs k in
+        let expected =
+          let acc = ref 0.0 in
+          for _ = 1 to n_refs do
+            let ref_data = uniform_reference rng xs in
+            acc := !acc +. log_dispersion (Rng.split rng) ref_data k
+          done;
+          !acc /. float_of_int n_refs
+        in
+        (k, expected -. observed))
+  in
+  let best_k, _ =
+    List.fold_left
+      (fun (bk, bg) (k, g) -> if g > bg then (k, g) else (bk, bg))
+      (List.hd gaps) (List.tl gaps)
+  in
+  { best_k; gaps }

@@ -1,0 +1,21 @@
+(** The gap statistic of Tibshirani et al. for choosing the number of
+    clusters: compares the log within-cluster dispersion of k-means on
+    the data against its expectation under a uniform reference
+    distribution over the data's bounding box. PROM uses it to pick the
+    cluster count that labels regression calibration sets
+    (paper Sec. 5.1.2). *)
+
+open Prom_linalg
+
+type result = {
+  best_k : int;
+  gaps : (int * float) list;  (** gap value for every candidate [k] *)
+}
+
+(** [select rng xs ~k_min ~k_max ?n_refs ()] evaluates candidate cluster
+    counts and returns the [k] with the largest gap. [n_refs] (default
+    5) reference datasets are drawn per candidate. Raises
+    [Invalid_argument] if the range is empty or exceeds the sample
+    count. *)
+val select :
+  ?n_refs:int -> Rng.t -> Vec.t array -> k_min:int -> k_max:int -> result

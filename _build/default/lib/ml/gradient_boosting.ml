@@ -1,0 +1,173 @@
+open Prom_linalg
+
+type params = {
+  n_rounds : int;
+  learning_rate : float;
+  tree : Decision_tree.split_params;
+  subsample : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    n_rounds = 40;
+    learning_rate = 0.15;
+    tree = { Decision_tree.default_split_params with max_depth = 3 };
+    subsample = 0.8;
+    seed = 19;
+  }
+
+type class_ensemble = {
+  n_classes : int;
+  base_score : float array;
+  rounds : float Decision_tree.tree array array;  (* round -> class -> tree *)
+  shrinkage : float;
+}
+
+type Model.state += Class_ensemble of class_ensemble
+
+type reg_ensemble = {
+  base : float;
+  reg_rounds : float Decision_tree.tree array;
+  reg_shrinkage : float;
+}
+
+type Model.state += Reg_ensemble of reg_ensemble
+
+let raw_scores ens x =
+  let scores = Array.copy ens.base_score in
+  Array.iter
+    (fun round ->
+      Array.iteri
+        (fun c tree ->
+          scores.(c) <- scores.(c) +. (ens.shrinkage *. Decision_tree.leaf_value tree x))
+        round)
+    ens.rounds;
+  scores
+
+let subsample_indices rng n ratio =
+  let k = Stdlib.max 1 (int_of_float (ratio *. float_of_int n)) in
+  Rng.sample rng (Array.init n Fun.id) k
+
+let classifier_of_ensemble ens =
+  {
+    Model.n_classes = ens.n_classes;
+    predict_proba = (fun x -> Vec.softmax (raw_scores ens x));
+    name = "gradient-boosting";
+    state = Class_ensemble ens;
+  }
+
+let train ?(params = default_params) ?init (d : int Dataset.t) =
+  let n = Dataset.length d in
+  if n = 0 then invalid_arg "Gradient_boosting.train: empty dataset";
+  let n_classes =
+    Stdlib.max (Dataset.n_classes d)
+      (match init with Some c -> c.Model.n_classes | None -> 1)
+  in
+  let prior =
+    (* log class frequencies as the initial raw scores *)
+    let counts = Array.make n_classes 1.0 in
+    Array.iter (fun y -> counts.(y) <- counts.(y) +. 1.0) d.y;
+    Array.map (fun c -> log (c /. float_of_int (n + n_classes))) counts
+  in
+  let start =
+    match init with
+    | Some { Model.state = Class_ensemble prev; _ } when prev.n_classes = n_classes ->
+        prev
+    | Some _ | None ->
+        { n_classes; base_score = prior; rounds = [||]; shrinkage = params.learning_rate }
+  in
+  let rng = Rng.create params.seed in
+  (* Current raw scores for every training sample, updated incrementally
+     as rounds are appended. *)
+  let scores = Array.map (fun x -> raw_scores start x) d.x in
+  let rounds = ref (Array.to_list start.rounds) in
+  for round = 1 to params.n_rounds do
+    let idx = subsample_indices rng n params.subsample in
+    let round_trees =
+      Array.init n_classes (fun c ->
+          (* Negative gradient of softmax cross-entropy for class c. *)
+          let residuals =
+            Array.map
+              (fun i ->
+                let p = Vec.softmax scores.(i) in
+                (if d.y.(i) = c then 1.0 else 0.0) -. p.(c))
+              idx
+          in
+          let sub = Dataset.create (Array.map (fun i -> d.x.(i)) idx) residuals in
+          let tree_params = { params.tree with seed = params.tree.seed + (round * 31) + c } in
+          Decision_tree.fit_regression ~params:tree_params sub)
+    in
+    for i = 0 to n - 1 do
+      Array.iteri
+        (fun c tree ->
+          scores.(i).(c) <-
+            scores.(i).(c) +. (params.learning_rate *. Decision_tree.leaf_value tree d.x.(i)))
+        round_trees
+    done;
+    rounds := !rounds @ [ round_trees ]
+  done;
+  classifier_of_ensemble
+    {
+      n_classes;
+      base_score = start.base_score;
+      rounds = Array.of_list !rounds;
+      shrinkage = params.learning_rate;
+    }
+
+let trainer ?params () =
+  {
+    Model.train = (fun ?init d -> train ?params ?init d);
+    trainer_name = "gradient-boosting";
+  }
+
+let reg_predict ens x =
+  Array.fold_left
+    (fun acc tree -> acc +. (ens.reg_shrinkage *. Decision_tree.leaf_value tree x))
+    ens.base ens.reg_rounds
+
+let train_regressor ?(params = default_params) ?init (d : float Dataset.t) =
+  let n = Dataset.length d in
+  if n = 0 then invalid_arg "Gradient_boosting.train_regressor: empty dataset";
+  let start =
+    match init with
+    | Some { Model.reg_state = Reg_ensemble prev; _ } -> prev
+    | Some _ | None ->
+        {
+          base = Stats.mean d.y;
+          reg_rounds = [||];
+          reg_shrinkage = params.learning_rate;
+        }
+  in
+  let rng = Rng.create params.seed in
+  let preds = Array.map (fun x -> reg_predict start x) d.x in
+  let rounds = ref (Array.to_list start.reg_rounds) in
+  for round = 1 to params.n_rounds do
+    let idx = subsample_indices rng n params.subsample in
+    let residuals = Array.map (fun i -> d.y.(i) -. preds.(i)) idx in
+    let sub = Dataset.create (Array.map (fun i -> d.x.(i)) idx) residuals in
+    let tree_params = { params.tree with seed = params.tree.seed + (round * 31) } in
+    let tree = Decision_tree.fit_regression ~params:tree_params sub in
+    for i = 0 to n - 1 do
+      preds.(i) <- preds.(i) +. (params.learning_rate *. Decision_tree.leaf_value tree d.x.(i))
+    done;
+    rounds := !rounds @ [ tree ]
+  done;
+  let ens =
+    {
+      base = start.base;
+      reg_rounds = Array.of_list !rounds;
+      reg_shrinkage = params.learning_rate;
+    }
+  in
+  {
+    Model.predict = (fun x -> reg_predict ens x);
+    name = "gradient-boosting-reg";
+    reg_state = Reg_ensemble ens;
+  }
+
+let regressor_trainer ?params () =
+  {
+    Model.train_reg = (fun ?init d -> train_regressor ?params ?init d);
+    reg_trainer_name = "gradient-boosting-reg";
+  }

@@ -1,0 +1,22 @@
+(** Gradient boosting with regression-tree base learners — the "GBC"
+    model of the paper's IR2Vec case studies. Classification boosts
+    one-vs-all trees on softmax gradients; regression boosts on
+    residuals. Warm-starting appends additional boosting rounds to an
+    existing ensemble. *)
+
+type params = {
+  n_rounds : int;
+  learning_rate : float;  (** shrinkage per round *)
+  tree : Decision_tree.split_params;
+  subsample : float;  (** row subsampling ratio per round *)
+  seed : int;
+}
+
+val default_params : params
+val train : ?params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+val trainer : ?params:params -> unit -> Model.classifier_trainer
+
+val train_regressor :
+  ?params:params -> ?init:Model.regressor -> float Dataset.t -> Model.regressor
+
+val regressor_trainer : ?params:params -> unit -> Model.regressor_trainer

@@ -1,0 +1,75 @@
+open Prom_linalg
+
+type t = { centroids : Vec.t array; assignments : int array; inertia : float }
+
+let assign_nearest centroids v =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i c ->
+      let d = Distance.sq_euclidean c v in
+      if d < !best_d then begin
+        best := i;
+        best_d := d
+      end)
+    centroids;
+  (!best, !best_d)
+
+(* k-means++ seeding: each next centre is drawn proportionally to its
+   squared distance from the nearest existing centre. *)
+let seed_plus_plus rng xs k =
+  let n = Array.length xs in
+  let centroids = Array.make k xs.(Rng.int rng n) in
+  for c = 1 to k - 1 do
+    let d2 =
+      Array.map (fun x -> snd (assign_nearest (Array.sub centroids 0 c) x)) xs
+    in
+    let total = Vec.sum d2 in
+    let pick = if total <= 0.0 then Rng.int rng n else Rng.categorical rng d2 in
+    centroids.(c) <- xs.(pick)
+  done;
+  Array.map Array.copy centroids
+
+let fit ?(max_iter = 100) rng xs ~k =
+  let n = Array.length xs in
+  if k < 1 || k > n then invalid_arg "Kmeans.fit: k out of range";
+  let dim = Array.length xs.(0) in
+  let centroids = ref (seed_plus_plus rng xs k) in
+  let assignments = Array.make n 0 in
+  let changed = ref true in
+  let iter = ref 0 in
+  while !changed && !iter < max_iter do
+    changed := false;
+    incr iter;
+    Array.iteri
+      (fun i x ->
+        let c, _ = assign_nearest !centroids x in
+        if c <> assignments.(i) then begin
+          assignments.(i) <- c;
+          changed := true
+        end)
+      xs;
+    let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i x ->
+        let c = assignments.(i) in
+        counts.(c) <- counts.(c) + 1;
+        Vec.axpy ~alpha:1.0 x sums.(c))
+      xs;
+    centroids :=
+      Array.mapi
+        (fun c s ->
+          if counts.(c) = 0 then
+            (* Re-seed an empty cluster at a random sample. *)
+            Array.copy xs.(Rng.int rng n)
+          else Vec.scale (1.0 /. float_of_int counts.(c)) s)
+        sums
+  done;
+  let inertia =
+    Array.to_list xs
+    |> List.mapi (fun i x -> Distance.sq_euclidean !centroids.(assignments.(i)) x)
+    |> List.fold_left ( +. ) 0.0
+  in
+  { centroids = !centroids; assignments; inertia }
+
+let assign t v = fst (assign_nearest t.centroids v)

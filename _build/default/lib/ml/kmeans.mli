@@ -1,0 +1,18 @@
+(** k-means clustering with k-means++ seeding. PROM uses it to label the
+    calibration set for regression tasks (paper Sec. 5.1.2). *)
+
+open Prom_linalg
+
+type t = {
+  centroids : Vec.t array;
+  assignments : int array;  (** cluster index per input sample *)
+  inertia : float;  (** within-cluster sum of squared distances *)
+}
+
+(** [fit rng xs ~k] clusters [xs] into [k] groups. Raises
+    [Invalid_argument] if [k < 1] or [k] exceeds the number of
+    samples. *)
+val fit : ?max_iter:int -> Rng.t -> Vec.t array -> k:int -> t
+
+(** [assign t v] is the index of the nearest centroid to [v]. *)
+val assign : t -> Vec.t -> int

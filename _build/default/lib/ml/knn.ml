@@ -1,0 +1,45 @@
+open Prom_linalg
+
+type params = { k : int; weighted : bool }
+
+let default_params = { k = 5; weighted = true }
+
+let weight ~weighted dist = if weighted then 1.0 /. (1e-6 +. dist) else 1.0
+
+let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Knn.train: empty dataset";
+  let n_classes = Dataset.n_classes d in
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun v ->
+        let ranked = Distance.rank_by_distance ~dist:Distance.euclidean d.x v in
+        let k = Stdlib.min params.k (Array.length ranked) in
+        let votes = Array.make n_classes 0.0 in
+        for r = 0 to k - 1 do
+          let i, dist = ranked.(r) in
+          votes.(d.y.(i)) <- votes.(d.y.(i)) +. weight ~weighted:params.weighted dist
+        done;
+        let z = Vec.sum votes in
+        if z = 0.0 then Array.make n_classes (1.0 /. float_of_int n_classes)
+        else Vec.scale (1.0 /. z) votes);
+    name = "knn";
+    state = Model.No_state;
+  }
+
+let trainer ?params () =
+  { Model.train = (fun ?init d -> train ?params ?init d); trainer_name = "knn" }
+
+let predict_value ~k (d : float Dataset.t) v =
+  if Dataset.length d = 0 then invalid_arg "Knn.predict_value: empty dataset";
+  let idx = Distance.nearest ~dist:Distance.euclidean d.x v k in
+  let acc = Array.fold_left (fun acc i -> acc +. d.y.(i)) 0.0 idx in
+  acc /. float_of_int (Array.length idx)
+
+let train_regressor ?(params = default_params) ?init:_ (d : float Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Knn.train_regressor: empty dataset";
+  {
+    Model.predict = (fun v -> predict_value ~k:params.k d v);
+    name = "knn-reg";
+    reg_state = Model.No_state;
+  }

@@ -1,0 +1,20 @@
+(** k-nearest-neighbour classifier and regressor. The classifier's
+    probability vector is the distance-weighted vote share of the
+    neighbourhood; the regressor averages neighbour targets — the same
+    estimator PROM uses to proxy regression ground truth
+    (paper Sec. 5.1.1). *)
+
+open Prom_linalg
+
+type params = { k : int; weighted : bool }
+
+val default_params : params
+val train : ?params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+val trainer : ?params:params -> unit -> Model.classifier_trainer
+
+val train_regressor :
+  ?params:params -> ?init:Model.regressor -> float Dataset.t -> Model.regressor
+
+(** [predict_value ~k d v] is the k-NN estimate of the target of [v]
+    from dataset [d] directly, without building a model value. *)
+val predict_value : k:int -> float Dataset.t -> Vec.t -> float

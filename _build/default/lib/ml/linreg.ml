@@ -1,0 +1,43 @@
+open Prom_linalg
+
+type fitted = { w : Vec.t; b : float }
+type Model.state += Coeffs of fitted
+
+let train ?(l2 = 1e-6) ?init:_ (d : float Dataset.t) =
+  let n = Dataset.length d in
+  if n = 0 then invalid_arg "Linreg.train: empty dataset";
+  let dim = Dataset.n_features d in
+  (* Augment with a constant column for the intercept, then solve
+     (X^T X + l2 I) w = X^T y. *)
+  let aug = Array.map (fun x -> Array.append x [| 1.0 |]) d.x in
+  let k = dim + 1 in
+  let xtx = Mat.zeros ~rows:k ~cols:k in
+  let xty = Array.make k 0.0 in
+  Array.iteri
+    (fun i x ->
+      for a = 0 to k - 1 do
+        xty.(a) <- xty.(a) +. (x.(a) *. d.y.(i));
+        for b = 0 to k - 1 do
+          xtx.(a).(b) <- xtx.(a).(b) +. (x.(a) *. x.(b))
+        done
+      done)
+    aug;
+  for a = 0 to k - 1 do
+    xtx.(a).(a) <- xtx.(a).(a) +. l2
+  done;
+  let sol = Mat.solve xtx xty in
+  let fitted = { w = Array.sub sol 0 dim; b = sol.(dim) } in
+  {
+    Model.predict = (fun x -> Vec.dot fitted.w x +. fitted.b);
+    name = "linreg";
+    reg_state = Coeffs fitted;
+  }
+
+let trainer ?l2 () =
+  {
+    Model.train_reg = (fun ?init d -> train ?l2 ?init d);
+    reg_trainer_name = "linreg";
+  }
+
+let coefficients (r : Model.regressor) =
+  match r.reg_state with Coeffs { w; b } -> Some (w, b) | _ -> None

@@ -1,0 +1,15 @@
+(** Ordinary least squares / ridge regression solved in closed form via
+    the normal equations (Gaussian elimination from {!Prom_linalg.Mat}). *)
+
+open Prom_linalg
+
+(** [train ?l2 d] fits [y = w . x + b]; [l2] (default [1e-6]) is the
+    ridge penalty, which also keeps the normal equations well
+    conditioned. *)
+val train : ?l2:float -> ?init:Model.regressor -> float Dataset.t -> Model.regressor
+
+val trainer : ?l2:float -> unit -> Model.regressor_trainer
+
+(** [coefficients r] returns [(w, b)] for a model trained by this
+    module; [None] otherwise. *)
+val coefficients : Model.regressor -> (Vec.t * float) option

@@ -1,0 +1,92 @@
+open Prom_linalg
+
+type params = {
+  epochs : int;
+  learning_rate : float;
+  l2 : float;
+  batch_size : int;
+  seed : int;
+}
+
+let default_params =
+  { epochs = 200; learning_rate = 0.1; l2 = 1e-4; batch_size = 32; seed = 7 }
+
+(* Weights are [n_classes] rows of [dim + 1] (last column is the bias). *)
+type weights = { w : float array array; dim : int }
+type Model.state += Weights of weights
+
+let scores_of weights x =
+  Array.map
+    (fun row ->
+      let acc = ref row.(weights.dim) in
+      for j = 0 to weights.dim - 1 do
+        acc := !acc +. (row.(j) *. x.(j))
+      done;
+      !acc)
+    weights.w
+
+let make_classifier ~n_classes weights =
+  {
+    Model.n_classes;
+    predict_proba = (fun x -> Vec.softmax (scores_of weights x));
+    name = "logistic";
+    state = Weights weights;
+  }
+
+let decision_scores (c : Model.classifier) x =
+  match c.state with Weights w -> Some (scores_of w x) | _ -> None
+
+let train ?(params = default_params) ?init (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Logistic.train: empty dataset";
+  let dim = Dataset.n_features d in
+  let n_classes =
+    Stdlib.max (Dataset.n_classes d)
+      (match init with Some c -> c.Model.n_classes | None -> 1)
+  in
+  let weights =
+    match init with
+    | Some { Model.state = Weights prev; _ }
+      when prev.dim = dim && Array.length prev.w = n_classes ->
+        { w = Array.map Array.copy prev.w; dim }
+    | Some _ | None ->
+        { w = Array.init n_classes (fun _ -> Array.make (dim + 1) 0.0); dim }
+  in
+  let rng = Rng.create params.seed in
+  let n = Dataset.length d in
+  let grad = Array.init n_classes (fun _ -> Array.make (dim + 1) 0.0) in
+  for _epoch = 1 to params.epochs do
+    let order = Rng.permutation rng n in
+    let pos = ref 0 in
+    while !pos < n do
+      let bsz = Stdlib.min params.batch_size (n - !pos) in
+      Array.iter (fun g -> Array.fill g 0 (dim + 1) 0.0) grad;
+      for b = 0 to bsz - 1 do
+        let i = order.(!pos + b) in
+        let x = d.x.(i) and y = d.y.(i) in
+        let p = Vec.softmax (scores_of weights x) in
+        for c = 0 to n_classes - 1 do
+          let err = p.(c) -. (if c = y then 1.0 else 0.0) in
+          let g = grad.(c) in
+          for j = 0 to dim - 1 do
+            g.(j) <- g.(j) +. (err *. x.(j))
+          done;
+          g.(dim) <- g.(dim) +. err
+        done
+      done;
+      let step = params.learning_rate /. float_of_int bsz in
+      for c = 0 to n_classes - 1 do
+        let w = weights.w.(c) and g = grad.(c) in
+        for j = 0 to dim do
+          w.(j) <- w.(j) -. (step *. (g.(j) +. (params.l2 *. w.(j))))
+        done
+      done;
+      pos := !pos + bsz
+    done
+  done;
+  make_classifier ~n_classes weights
+
+let trainer ?params () =
+  {
+    Model.train = (fun ?init d -> train ?params ?init d);
+    trainer_name = "logistic";
+  }

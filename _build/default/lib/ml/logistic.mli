@@ -1,0 +1,30 @@
+(** Multinomial logistic regression trained by mini-batch stochastic
+    gradient descent on the softmax cross-entropy loss with L2
+    regularization. Supports warm-starting, which incremental learning
+    uses to fine-tune a deployed model on relabeled drifting samples. *)
+
+open Prom_linalg
+
+type params = {
+  epochs : int;  (** passes over the training data (default 200) *)
+  learning_rate : float;  (** SGD step size (default 0.1) *)
+  l2 : float;  (** L2 penalty weight (default 1e-4) *)
+  batch_size : int;  (** mini-batch size (default 32) *)
+  seed : int;
+}
+
+val default_params : params
+
+(** [train ?params ?init d] fits a classifier on [d]. When [init] is a
+    classifier previously produced by this module, optimization resumes
+    from its weights (fine-tuning); an [init] from another module is
+    ignored. *)
+val train : ?params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+
+(** [trainer ?params ()] packages [train] as a first-class trainer. *)
+val trainer : ?params:params -> unit -> Model.classifier_trainer
+
+(**/**)
+
+(** Exposed for white-box tests: raw decision scores before softmax. *)
+val decision_scores : Model.classifier -> Vec.t -> Vec.t option

@@ -1,0 +1,243 @@
+open Prom_linalg
+
+type activation = Relu | Tanh
+
+type params = {
+  hidden : int list;
+  activation : activation;
+  epochs : int;
+  learning_rate : float;
+  momentum : float;
+  l2 : float;
+  batch_size : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    hidden = [ 32 ];
+    activation = Relu;
+    epochs = 150;
+    learning_rate = 0.05;
+    momentum = 0.9;
+    l2 = 1e-4;
+    batch_size = 32;
+    seed = 11;
+  }
+
+(* One fully connected layer: [w] is out x in, [b] length out. *)
+type layer = { w : float array array; b : float array }
+type net = { layers : layer array; activation : activation; sizes : int array }
+type Model.state += Net of net
+
+let act activation x =
+  match activation with Relu -> if x > 0.0 then x else 0.0 | Tanh -> tanh x
+
+let act' activation y =
+  (* Derivative expressed in terms of the activation output [y]. *)
+  match activation with
+  | Relu -> if y > 0.0 then 1.0 else 0.0
+  | Tanh -> 1.0 -. (y *. y)
+
+let layer_forward layer x =
+  Array.mapi
+    (fun o row ->
+      let acc = ref layer.b.(o) in
+      for j = 0 to Array.length x - 1 do
+        acc := !acc +. (row.(j) *. x.(j))
+      done;
+      !acc)
+    layer.w
+
+(* Forward pass returning activations of every layer (input first, raw
+   output last — the output layer is linear). *)
+let forward net x =
+  let n = Array.length net.layers in
+  let acts = Array.make (n + 1) x in
+  for l = 0 to n - 1 do
+    let z = layer_forward net.layers.(l) acts.(l) in
+    acts.(l + 1) <- (if l = n - 1 then z else Array.map (act net.activation) z)
+  done;
+  acts
+
+let init_net rng ~sizes ~activation =
+  let layers =
+    Array.init
+      (Array.length sizes - 1)
+      (fun l ->
+        let fan_in = sizes.(l) and fan_out = sizes.(l + 1) in
+        let scale = sqrt (2.0 /. float_of_int (fan_in + fan_out)) in
+        {
+          w =
+            Array.init fan_out (fun _ ->
+                Array.init fan_in (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:scale));
+          b = Array.make fan_out 0.0;
+        })
+  in
+  { layers; activation; sizes }
+
+let copy_net net =
+  {
+    net with
+    layers =
+      Array.map
+        (fun l -> { w = Array.map Array.copy l.w; b = Array.copy l.b })
+        net.layers;
+  }
+
+let zero_like net =
+  {
+    net with
+    layers =
+      Array.map
+        (fun l ->
+          {
+            w = Array.map (fun r -> Array.make (Array.length r) 0.0) l.w;
+            b = Array.make (Array.length l.b) 0.0;
+          })
+        net.layers;
+  }
+
+(* Accumulate gradients for one sample given the output-layer delta. *)
+let backprop net acts delta_out grads =
+  let n = Array.length net.layers in
+  let delta = ref delta_out in
+  for l = n - 1 downto 0 do
+    let layer = net.layers.(l) and g = grads.layers.(l) in
+    let input = acts.(l) and d = !delta in
+    for o = 0 to Array.length d - 1 do
+      g.b.(o) <- g.b.(o) +. d.(o);
+      let gw = g.w.(o) in
+      for j = 0 to Array.length input - 1 do
+        gw.(j) <- gw.(j) +. (d.(o) *. input.(j))
+      done
+    done;
+    if l > 0 then begin
+      let prev = Array.make (Array.length input) 0.0 in
+      for o = 0 to Array.length d - 1 do
+        let row = layer.w.(o) in
+        for j = 0 to Array.length prev - 1 do
+          prev.(j) <- prev.(j) +. (d.(o) *. row.(j))
+        done
+      done;
+      (* Multiply by the activation derivative at layer l's output. *)
+      for j = 0 to Array.length prev - 1 do
+        prev.(j) <- prev.(j) *. act' net.activation acts.(l).(j)
+      done;
+      delta := prev
+    end
+  done
+
+let sgd_step params net grads velocity bsz =
+  let step = params.learning_rate /. float_of_int bsz in
+  Array.iteri
+    (fun l layer ->
+      let g = grads.layers.(l) and v = velocity.layers.(l) in
+      for o = 0 to Array.length layer.b - 1 do
+        v.b.(o) <- (params.momentum *. v.b.(o)) -. (step *. g.b.(o));
+        layer.b.(o) <- layer.b.(o) +. v.b.(o);
+        let wrow = layer.w.(o) and grow = g.w.(o) and vrow = v.w.(o) in
+        for j = 0 to Array.length wrow - 1 do
+          vrow.(j) <-
+            (params.momentum *. vrow.(j))
+            -. (step *. (grow.(j) +. (params.l2 *. wrow.(j))));
+          wrow.(j) <- wrow.(j) +. vrow.(j)
+        done
+      done)
+    net.layers
+
+(* Shared training loop: [delta_of] computes the output-layer error for
+   sample [i] given the raw network output. *)
+let run_training params net (x : Vec.t array) n delta_of =
+  let rng = Rng.create (params.seed + 1) in
+  let grads = zero_like net in
+  let velocity = zero_like net in
+  for _epoch = 1 to params.epochs do
+    let order = Rng.permutation rng n in
+    let pos = ref 0 in
+    while !pos < n do
+      let bsz = Stdlib.min params.batch_size (n - !pos) in
+      Array.iter
+        (fun l ->
+          Array.iter (fun r -> Array.fill r 0 (Array.length r) 0.0) l.w;
+          Array.fill l.b 0 (Array.length l.b) 0.0)
+        grads.layers;
+      for b = 0 to bsz - 1 do
+        let i = order.(!pos + b) in
+        let acts = forward net x.(i) in
+        let out = acts.(Array.length acts - 1) in
+        backprop net acts (delta_of i out) grads
+      done;
+      sgd_step params net grads velocity bsz;
+      pos := !pos + bsz
+    done
+  done
+
+let classifier_of_net ~n_classes net =
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun x ->
+        let acts = forward net x in
+        Vec.softmax acts.(Array.length acts - 1));
+    name = "mlp";
+    state = Net net;
+  }
+
+let sizes_for ~dim ~hidden ~out = Array.of_list ((dim :: hidden) @ [ out ])
+
+let train ?(params = default_params) ?init (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Mlp.train: empty dataset";
+  let dim = Dataset.n_features d in
+  let n_classes =
+    Stdlib.max (Dataset.n_classes d)
+      (match init with Some c -> c.Model.n_classes | None -> 1)
+  in
+  let sizes = sizes_for ~dim ~hidden:params.hidden ~out:n_classes in
+  let net =
+    match init with
+    | Some { Model.state = Net prev; _ } when prev.sizes = sizes -> copy_net prev
+    | Some _ | None -> init_net (Rng.create params.seed) ~sizes ~activation:params.activation
+  in
+  let delta_of i out =
+    let p = Vec.softmax out in
+    Array.mapi (fun c pc -> pc -. (if c = d.y.(i) then 1.0 else 0.0)) p
+  in
+  run_training params net d.x (Dataset.length d) delta_of;
+  classifier_of_net ~n_classes net
+
+let trainer ?params () =
+  { Model.train = (fun ?init d -> train ?params ?init d); trainer_name = "mlp" }
+
+let train_regressor ?(params = default_params) ?init (d : float Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Mlp.train_regressor: empty dataset";
+  let dim = Dataset.n_features d in
+  let sizes = sizes_for ~dim ~hidden:params.hidden ~out:1 in
+  let net =
+    match init with
+    | Some { Model.reg_state = Net prev; _ } when prev.sizes = sizes -> copy_net prev
+    | Some _ | None -> init_net (Rng.create params.seed) ~sizes ~activation:params.activation
+  in
+  let delta_of i out = [| out.(0) -. d.y.(i) |] in
+  run_training params net d.x (Dataset.length d) delta_of;
+  {
+    Model.predict =
+      (fun x ->
+        let acts = forward net x in
+        acts.(Array.length acts - 1).(0));
+    name = "mlp-reg";
+    reg_state = Net net;
+  }
+
+let regressor_trainer ?params () =
+  {
+    Model.train_reg = (fun ?init d -> train_regressor ?params ?init d);
+    reg_trainer_name = "mlp-reg";
+  }
+
+let penultimate (c : Model.classifier) x =
+  match c.state with
+  | Net net when Array.length net.layers >= 2 ->
+      let acts = forward net x in
+      Some acts.(Array.length acts - 2)
+  | _ -> None

@@ -1,0 +1,41 @@
+(** Multilayer perceptron classifier and regressor with configurable
+    hidden layers, trained by mini-batch SGD with momentum via manual
+    backpropagation. This is the "Magni et al." style model of the
+    paper's case studies (C1/C2). *)
+
+open Prom_linalg
+
+type activation = Relu | Tanh
+
+type params = {
+  hidden : int list;  (** hidden layer widths, e.g. [[32; 16]] *)
+  activation : activation;
+  epochs : int;
+  learning_rate : float;
+  momentum : float;
+  l2 : float;
+  batch_size : int;
+  seed : int;
+}
+
+val default_params : params
+
+(** [train ?params ?init d] fits an MLP classifier; [init] warm-starts
+    from a previous MLP of identical architecture. *)
+val train : ?params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+
+val trainer : ?params:params -> unit -> Model.classifier_trainer
+
+(** [train_regressor ?params ?init d] fits an MLP with a single linear
+    output unit under squared loss. *)
+val train_regressor :
+  ?params:params -> ?init:Model.regressor -> float Dataset.t -> Model.regressor
+
+val regressor_trainer : ?params:params -> unit -> Model.regressor_trainer
+
+(**/**)
+
+(** [penultimate c x] is the activation of the last hidden layer — the
+    embedding PROM can use as feature vector for neural models. [None]
+    for classifiers not produced by this module. *)
+val penultimate : Model.classifier -> Vec.t -> Vec.t option

@@ -1,0 +1,53 @@
+open Prom_linalg
+
+type state = ..
+type state += No_state
+
+type classifier = {
+  n_classes : int;
+  predict_proba : Vec.t -> Vec.t;
+  name : string;
+  state : state;
+}
+
+type regressor = { predict : Vec.t -> float; name : string; reg_state : state }
+
+type classifier_trainer = {
+  train : ?init:classifier -> int Dataset.t -> classifier;
+  trainer_name : string;
+}
+
+type regressor_trainer = {
+  train_reg : ?init:regressor -> float Dataset.t -> regressor;
+  reg_trainer_name : string;
+}
+
+let predict c x = Vec.argmax (c.predict_proba x)
+
+let accuracy c (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Model.accuracy: empty dataset";
+  let correct = ref 0 in
+  Array.iteri (fun i x -> if predict c x = d.y.(i) then incr correct) d.x;
+  float_of_int !correct /. float_of_int (Dataset.length d)
+
+let mse r (d : float Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Model.mse: empty dataset";
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((r.predict x -. d.y.(i)) ** 2.0)) d.x;
+  !acc /. float_of_int (Dataset.length d)
+
+let mae r (d : float Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Model.mae: empty dataset";
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. abs_float (r.predict x -. d.y.(i))) d.x;
+  !acc /. float_of_int (Dataset.length d)
+
+let constant_classifier ~n_classes k =
+  if k < 0 || k >= n_classes then invalid_arg "Model.constant_classifier: class out of range";
+  {
+    n_classes;
+    predict_proba =
+      (fun _ -> Array.init n_classes (fun i -> if i = k then 1.0 else 0.0));
+    name = "constant";
+    state = No_state;
+  }

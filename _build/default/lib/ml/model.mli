@@ -1,0 +1,56 @@
+(** First-class model values. PROM is model-agnostic: all it needs from
+    an underlying model is a probability vector per prediction
+    (classification), a point estimate (regression), and a feature
+    embedding of the input. These records are the OCaml analogue of the
+    paper's [ModelInterface] Python class. *)
+
+open Prom_linalg
+
+(** Model-specific internal state (e.g. weight matrices), carried opaquely
+    so that a trainer can warm-start from a model it previously produced.
+    Each model module extends this type privately. *)
+type state = ..
+
+type state += No_state
+
+(** A trained probabilistic classifier. *)
+type classifier = {
+  n_classes : int;
+  predict_proba : Vec.t -> Vec.t;
+      (** probability vector of length [n_classes], summing to 1 *)
+  name : string;
+  state : state;
+}
+
+(** A trained regressor. *)
+type regressor = { predict : Vec.t -> float; name : string; reg_state : state }
+
+(** A training procedure: given a dataset, produce a classifier. The
+    [?init] argument allows warm-starting from a previous model, which
+    is how incremental learning retrains (Sec. 5.4). *)
+type classifier_trainer = {
+  train : ?init:classifier -> int Dataset.t -> classifier;
+  trainer_name : string;
+}
+
+type regressor_trainer = {
+  train_reg : ?init:regressor -> float Dataset.t -> regressor;
+  reg_trainer_name : string;
+}
+
+(** [predict c x] is the argmax class of [c.predict_proba x]. *)
+val predict : classifier -> Vec.t -> int
+
+(** [accuracy c d] is the fraction of samples in [d] that [c] classifies
+    correctly. *)
+val accuracy : classifier -> int Dataset.t -> float
+
+(** [mse r d] is the mean squared error of [r] on [d]. *)
+val mse : regressor -> float Dataset.t -> float
+
+(** [mae r d] is the mean absolute error. *)
+val mae : regressor -> float Dataset.t -> float
+
+(** [constant_classifier ~n_classes k] always predicts class [k] with
+    probability 1 — useful as a degenerate baseline in tests. *)
+val constant_classifier : n_classes:int -> int -> classifier

@@ -1,0 +1,60 @@
+open Prom_linalg
+
+let train ?(var_smoothing = 1e-6) ?init:_ (d : int Dataset.t) =
+  let n = Dataset.length d in
+  if n = 0 then invalid_arg "Naive_bayes.train: empty dataset";
+  let n_classes = Dataset.n_classes d in
+  let dim = Dataset.n_features d in
+  let counts = Array.make n_classes 0 in
+  let mu = Mat.zeros ~rows:n_classes ~cols:dim in
+  let var = Mat.zeros ~rows:n_classes ~cols:dim in
+  Array.iteri
+    (fun i x ->
+      let c = d.y.(i) in
+      counts.(c) <- counts.(c) + 1;
+      Array.iteri (fun j v -> mu.(c).(j) <- mu.(c).(j) +. v) x)
+    d.x;
+  for c = 0 to n_classes - 1 do
+    let k = float_of_int (Stdlib.max 1 counts.(c)) in
+    for j = 0 to dim - 1 do
+      mu.(c).(j) <- mu.(c).(j) /. k
+    done
+  done;
+  Array.iteri
+    (fun i x ->
+      let c = d.y.(i) in
+      Array.iteri (fun j v -> var.(c).(j) <- var.(c).(j) +. ((v -. mu.(c).(j)) ** 2.0)) x)
+    d.x;
+  for c = 0 to n_classes - 1 do
+    let k = float_of_int (Stdlib.max 1 counts.(c)) in
+    for j = 0 to dim - 1 do
+      var.(c).(j) <- (var.(c).(j) /. k) +. var_smoothing
+    done
+  done;
+  let log_prior =
+    Array.map (fun c -> log (float_of_int (c + 1) /. float_of_int (n + n_classes))) counts
+  in
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun x ->
+        let log_post =
+          Array.init n_classes (fun c ->
+              let acc = ref log_prior.(c) in
+              for j = 0 to dim - 1 do
+                let v = var.(c).(j) in
+                let diff = x.(j) -. mu.(c).(j) in
+                acc := !acc -. (0.5 *. (log (2.0 *. Float.pi *. v) +. (diff *. diff /. v)))
+              done;
+              !acc)
+        in
+        Vec.softmax log_post);
+    name = "naive-bayes";
+    state = Model.No_state;
+  }
+
+let trainer ?var_smoothing () =
+  {
+    Model.train = (fun ?init d -> train ?var_smoothing ?init d);
+    trainer_name = "naive-bayes";
+  }

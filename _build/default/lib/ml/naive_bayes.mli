@@ -1,0 +1,6 @@
+(** Gaussian naive Bayes classifier: per-class, per-feature normal
+    likelihoods with class priors. Cheap, fully probabilistic, and a
+    useful contrast model in tests. *)
+
+val train : ?var_smoothing:float -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+val trainer : ?var_smoothing:float -> unit -> Model.classifier_trainer

@@ -1,0 +1,81 @@
+open Prom_linalg
+
+type params = {
+  n_trees : int;
+  tree : Decision_tree.split_params;
+  bootstrap_ratio : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    n_trees = 25;
+    tree =
+      {
+        Decision_tree.default_split_params with
+        max_depth = 6;
+        max_features = Some 4;
+      };
+    bootstrap_ratio = 0.8;
+    seed = 17;
+  }
+
+let bootstrap rng (d : 'a Dataset.t) ratio =
+  let n = Dataset.length d in
+  let k = Stdlib.max 1 (int_of_float (ratio *. float_of_int n)) in
+  Dataset.subset d (Array.init k (fun _ -> Rng.int rng n))
+
+let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Random_forest.train: empty dataset";
+  let n_classes = Dataset.n_classes d in
+  let rng = Rng.create params.seed in
+  let trees =
+    Array.init params.n_trees (fun i ->
+        let sample = bootstrap rng d params.bootstrap_ratio in
+        let tree_params = { params.tree with seed = params.tree.seed + i } in
+        Decision_tree.fit_classification ~params:tree_params sample)
+  in
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun x ->
+        let acc = Array.make n_classes 0.0 in
+        Array.iter
+          (fun t ->
+            let h = Decision_tree.leaf_value t x in
+            (* A bootstrap sample may miss the rarest classes, yielding a
+               shorter histogram; align on the common prefix. *)
+            Array.iteri
+              (fun c p -> if c < n_classes then acc.(c) <- acc.(c) +. p)
+              h)
+          trees;
+        Vec.scale (1.0 /. float_of_int params.n_trees) acc);
+    name = "random-forest";
+    state = Model.No_state;
+  }
+
+let trainer ?params () =
+  {
+    Model.train = (fun ?init d -> train ?params ?init d);
+    trainer_name = "random-forest";
+  }
+
+let train_regressor ?(params = default_params) ?init:_ (d : float Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Random_forest.train_regressor: empty dataset";
+  let rng = Rng.create params.seed in
+  let trees =
+    Array.init params.n_trees (fun i ->
+        let sample = bootstrap rng d params.bootstrap_ratio in
+        let tree_params = { params.tree with seed = params.tree.seed + i } in
+        Decision_tree.fit_regression ~params:tree_params sample)
+  in
+  {
+    Model.predict =
+      (fun x ->
+        let acc =
+          Array.fold_left (fun acc t -> acc +. Decision_tree.leaf_value t x) 0.0 trees
+        in
+        acc /. float_of_int params.n_trees);
+    name = "random-forest-reg";
+    reg_state = Model.No_state;
+  }

@@ -1,0 +1,18 @@
+(** Random forest: bagged CART trees with per-split feature
+    subsampling. Probabilities are the average of per-tree leaf
+    histograms, which gives smoother probability vectors than a single
+    tree — useful for conformal scoring. *)
+
+type params = {
+  n_trees : int;
+  tree : Decision_tree.split_params;
+  bootstrap_ratio : float;  (** fraction of samples drawn per tree *)
+  seed : int;
+}
+
+val default_params : params
+val train : ?params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+val trainer : ?params:params -> unit -> Model.classifier_trainer
+
+val train_regressor :
+  ?params:params -> ?init:Model.regressor -> float Dataset.t -> Model.regressor

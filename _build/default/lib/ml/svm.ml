@@ -1,0 +1,143 @@
+open Prom_linalg
+
+type kernel = Linear | Rbf of { gamma : float; n_components : int }
+
+type params = { kernel : kernel; lambda : float; epochs : int; seed : int }
+
+let default_params = { kernel = Linear; lambda = 1e-3; epochs = 60; seed = 23 }
+
+type fitted = {
+  w : float array array;  (* class -> weights (last entry bias) *)
+  feature_map : Vec.t -> Vec.t;
+  platt : (float * float) array;  (* per-class sigmoid (a, b) *)
+  dim : int;
+}
+
+type Model.state += Svm of fitted
+
+let margin_of w x =
+  let dim = Array.length w - 1 in
+  let acc = ref w.(dim) in
+  for j = 0 to dim - 1 do
+    acc := !acc +. (w.(j) *. x.(j))
+  done;
+  !acc
+
+(* Random Fourier features: cos(w.x + b) with w ~ N(0, 2*gamma). *)
+let make_feature_map rng = function
+  | Linear -> (Fun.id, None)
+  | Rbf { gamma; n_components } ->
+      let proj = ref None in
+      let map x =
+        let dim = Array.length x in
+        let ws, bs =
+          match !proj with
+          | Some (ws, bs) -> (ws, bs)
+          | None ->
+              let ws =
+                Array.init n_components (fun _ ->
+                    Array.init dim (fun _ ->
+                        Rng.gaussian rng ~mu:0.0 ~sigma:(sqrt (2.0 *. gamma))))
+              in
+              let bs =
+                Array.init n_components (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi))
+              in
+              proj := Some (ws, bs);
+              (ws, bs)
+        in
+        let scale = sqrt (2.0 /. float_of_int n_components) in
+        Array.init n_components (fun k -> scale *. cos (Vec.dot ws.(k) x +. bs.(k)))
+      in
+      (map, Some proj)
+
+(* Pegasos on hinge loss for one binary problem: labels in {-1, +1}. *)
+let pegasos rng ~lambda ~epochs (x : Vec.t array) (y : float array) =
+  let n = Array.length x in
+  let dim = if n = 0 then 0 else Array.length x.(0) in
+  let w = Array.make (dim + 1) 0.0 in
+  let t = ref 0 in
+  for _epoch = 1 to epochs do
+    let order = Rng.permutation rng n in
+    Array.iter
+      (fun i ->
+        incr t;
+        let eta = 1.0 /. (lambda *. float_of_int !t) in
+        let m = y.(i) *. margin_of w x.(i) in
+        let decay = 1.0 -. (eta *. lambda) in
+        for j = 0 to dim - 1 do
+          w.(j) <- decay *. w.(j)
+        done;
+        if m < 1.0 then begin
+          for j = 0 to dim - 1 do
+            w.(j) <- w.(j) +. (eta *. y.(i) *. x.(i).(j))
+          done;
+          w.(dim) <- w.(dim) +. (eta *. y.(i))
+        end)
+      order
+  done;
+  w
+
+(* Fit sigmoid p = 1 / (1 + exp (a * m + b)) on (margin, label) pairs by
+   a short gradient descent — a light-weight version of Platt scaling. *)
+let platt_fit margins labels =
+  let a = ref (-1.0) and b = ref 0.0 in
+  let n = Array.length margins in
+  let lr = 0.01 in
+  for _ = 1 to 300 do
+    let ga = ref 0.0 and gb = ref 0.0 in
+    for i = 0 to n - 1 do
+      let p = 1.0 /. (1.0 +. exp ((!a *. margins.(i)) +. !b)) in
+      let err = p -. labels.(i) in
+      (* dp/da = -p(1-p) m ; chain through squared-error-like gradient *)
+      ga := !ga -. (err *. p *. (1.0 -. p) *. margins.(i));
+      gb := !gb -. (err *. p *. (1.0 -. p))
+    done;
+    a := !a -. (lr *. !ga /. float_of_int n *. 100.0);
+    b := !b -. (lr *. !gb /. float_of_int n *. 100.0)
+  done;
+  (!a, !b)
+
+let platt_apply (a, b) m = 1.0 /. (1.0 +. exp ((a *. m) +. b))
+
+let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Svm.train: empty dataset";
+  let rng = Rng.create params.seed in
+  let feature_map, _ = make_feature_map (Rng.split rng) params.kernel in
+  let mapped = Array.map feature_map d.x in
+  let n_classes = Dataset.n_classes d in
+  let w =
+    Array.init n_classes (fun c ->
+        let y = Array.map (fun label -> if label = c then 1.0 else -1.0) d.y in
+        pegasos (Rng.split rng) ~lambda:params.lambda ~epochs:params.epochs mapped y)
+  in
+  let platt =
+    Array.init n_classes (fun c ->
+        let margins = Array.map (fun x -> margin_of w.(c) x) mapped in
+        let labels = Array.map (fun label -> if label = c then 1.0 else 0.0) d.y in
+        platt_fit margins labels)
+  in
+  let fitted = { w; feature_map; platt; dim = Dataset.n_features d } in
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun x ->
+        let phi = fitted.feature_map x in
+        let raw =
+          Array.mapi (fun c wc -> platt_apply fitted.platt.(c) (margin_of wc phi)) fitted.w
+        in
+        let z = Vec.sum raw in
+        if z <= 0.0 then Array.make n_classes (1.0 /. float_of_int n_classes)
+        else Vec.scale (1.0 /. z) raw);
+    name = "svm";
+    state = Svm fitted;
+  }
+
+let trainer ?params () =
+  { Model.train = (fun ?init d -> train ?params ?init d); trainer_name = "svm" }
+
+let margins (c : Model.classifier) x =
+  match c.state with
+  | Svm fitted ->
+      let phi = fitted.feature_map x in
+      Some (Array.map (fun wc -> margin_of wc phi) fitted.w)
+  | _ -> None

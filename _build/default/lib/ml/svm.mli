@@ -1,0 +1,25 @@
+(** Linear support vector machine trained with the Pegasos
+    (stochastic sub-gradient) algorithm, one-vs-rest for multiclass,
+    with Platt scaling so the model exposes the probability vector PROM
+    requires. An optional random Fourier feature map approximates an
+    RBF kernel. This is the "K.Stock et al." model of case study C2. *)
+
+open Prom_linalg
+
+type kernel = Linear | Rbf of { gamma : float; n_components : int }
+
+type params = {
+  kernel : kernel;
+  lambda : float;  (** Pegasos regularization *)
+  epochs : int;
+  seed : int;
+}
+
+val default_params : params
+val train : ?params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+val trainer : ?params:params -> unit -> Model.classifier_trainer
+
+(**/**)
+
+(** Exposed for tests: per-class margins before Platt scaling. *)
+val margins : Model.classifier -> Vec.t -> Vec.t option

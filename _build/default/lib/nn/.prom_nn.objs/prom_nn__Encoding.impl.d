@@ -1,0 +1,1 @@
+lib/nn/encoding.ml: Array List Printf Stdlib

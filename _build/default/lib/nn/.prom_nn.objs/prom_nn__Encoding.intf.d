@@ -1,0 +1,1 @@
+lib/nn/encoding.mli: Prom_linalg Vec

@@ -1,0 +1,1 @@
+lib/nn/gnn.ml: Array Autodiff Dataset Encoding Layers List Loss Model Nn_model Optimizer Option Param Params Prom_autodiff Prom_linalg Prom_ml Rng Tape Vec

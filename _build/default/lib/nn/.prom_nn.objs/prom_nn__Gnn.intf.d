@@ -1,0 +1,1 @@
+lib/nn/gnn.mli: Dataset Encoding Model Prom_ml

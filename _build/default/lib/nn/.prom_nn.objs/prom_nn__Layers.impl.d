@@ -1,0 +1,1 @@
+lib/nn/layers.ml: Array Autodiff Param Params Prom_autodiff Tape

@@ -1,0 +1,1 @@
+lib/nn/layers.mli: Autodiff Param Params Prom_autodiff Prom_linalg Rng Tape

@@ -1,0 +1,1 @@
+lib/nn/nn_model.ml: Model Prom_linalg Prom_ml Vec

@@ -1,0 +1,1 @@
+lib/nn/nn_model.mli: Model Prom_linalg Prom_ml Vec

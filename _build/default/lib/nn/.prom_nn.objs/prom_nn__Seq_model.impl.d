@@ -1,0 +1,1 @@
+lib/nn/seq_model.ml: Array Autodiff Dataset Encoding Layers Loss Model Nn_model Optimizer Option Param Params Prom_autodiff Prom_linalg Prom_ml Rng Tape Vec

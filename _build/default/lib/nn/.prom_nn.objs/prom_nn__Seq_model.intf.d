@@ -1,0 +1,1 @@
+lib/nn/seq_model.mli: Dataset Encoding Model Prom_ml

@@ -1,0 +1,72 @@
+module Seq = struct
+  type spec = { max_len : int; vocab : int }
+
+  let packed_dim spec = spec.max_len + 1
+
+  let encode spec tokens =
+    Array.iter
+      (fun t ->
+        if t < 0 || t >= spec.vocab then
+          invalid_arg
+            (Printf.sprintf "Encoding.Seq.encode: token %d outside vocab %d" t spec.vocab))
+      tokens;
+    let n = Stdlib.min (Array.length tokens) spec.max_len in
+    let v = Array.make (packed_dim spec) 0.0 in
+    v.(0) <- float_of_int n;
+    for i = 0 to n - 1 do
+      v.(i + 1) <- float_of_int tokens.(i)
+    done;
+    v
+
+  let decode spec v =
+    if Array.length v <> packed_dim spec then
+      invalid_arg "Encoding.Seq.decode: wrong packed dimension";
+    let n = int_of_float v.(0) in
+    Array.init n (fun i -> int_of_float v.(i + 1))
+end
+
+module Graph = struct
+  type spec = { max_nodes : int; feat_dim : int }
+  type graph = { nodes : float array array; edges : (int * int) list }
+
+  let packed_dim spec = 1 + (spec.max_nodes * spec.feat_dim) + (spec.max_nodes * spec.max_nodes)
+
+  let encode spec g =
+    let n = Array.length g.nodes in
+    if n > spec.max_nodes then invalid_arg "Encoding.Graph.encode: too many nodes";
+    Array.iter
+      (fun f ->
+        if Array.length f <> spec.feat_dim then
+          invalid_arg "Encoding.Graph.encode: node feature dimension mismatch")
+      g.nodes;
+    let v = Array.make (packed_dim spec) 0.0 in
+    v.(0) <- float_of_int n;
+    Array.iteri
+      (fun i f -> Array.blit f 0 v (1 + (i * spec.feat_dim)) spec.feat_dim)
+      g.nodes;
+    let adj_base = 1 + (spec.max_nodes * spec.feat_dim) in
+    List.iter
+      (fun (src, dst) ->
+        if src < 0 || src >= n || dst < 0 || dst >= n then
+          invalid_arg "Encoding.Graph.encode: edge endpoint out of range";
+        v.(adj_base + (src * spec.max_nodes) + dst) <- 1.0)
+      g.edges;
+    v
+
+  let decode spec v =
+    if Array.length v <> packed_dim spec then
+      invalid_arg "Encoding.Graph.decode: wrong packed dimension";
+    let n = int_of_float v.(0) in
+    let nodes =
+      Array.init n (fun i -> Array.sub v (1 + (i * spec.feat_dim)) spec.feat_dim)
+    in
+    let adj_base = 1 + (spec.max_nodes * spec.feat_dim) in
+    let edges = ref [] in
+    for src = n - 1 downto 0 do
+      for dst = n - 1 downto 0 do
+        if v.(adj_base + (src * spec.max_nodes) + dst) > 0.5 then
+          edges := (src, dst) :: !edges
+      done
+    done;
+    { nodes; edges = !edges }
+end

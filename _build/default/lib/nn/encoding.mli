@@ -1,0 +1,39 @@
+(** Packing of structured model inputs (token sequences, graphs) into
+    flat feature vectors, so sequence and graph networks fit the uniform
+    [Vec.t -> probabilities] model interface of {!Prom_ml.Model}. PROM
+    itself only ever sees the packed vectors. *)
+
+open Prom_linalg
+
+(** Token sequences, padded/truncated to a fixed length. *)
+module Seq : sig
+  type spec = { max_len : int; vocab : int }
+
+  (** [encode spec tokens] packs a token-id list (each in
+      [0, vocab)). The packed layout is [length :: tokens..], padded
+      with zeros. Raises [Invalid_argument] on out-of-range tokens. *)
+  val encode : spec -> int array -> Vec.t
+
+  (** [decode spec v] recovers the token ids. *)
+  val decode : spec -> Vec.t -> int array
+
+  val packed_dim : spec -> int
+end
+
+(** Fixed-capacity directed graphs with per-node feature vectors. *)
+module Graph : sig
+  type spec = { max_nodes : int; feat_dim : int }
+
+  type graph = {
+    nodes : Vec.t array;  (** one feature vector per node *)
+    edges : (int * int) list;  (** directed [src, dst] pairs *)
+  }
+
+  (** [encode spec g] packs a graph with at most [max_nodes] nodes.
+      Raises [Invalid_argument] if the graph exceeds capacity or node
+      features have the wrong dimension. *)
+  val encode : spec -> graph -> Vec.t
+
+  val decode : spec -> Vec.t -> graph
+  val packed_dim : spec -> int
+end

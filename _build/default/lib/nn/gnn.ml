@@ -1,0 +1,139 @@
+open Prom_linalg
+open Prom_autodiff
+open Autodiff
+open Prom_ml
+
+type params = {
+  spec : Encoding.Graph.spec;
+  hidden : int;
+  rounds : int;
+  epochs : int;
+  learning_rate : float;
+  seed : int;
+}
+
+let default_params spec =
+  { spec; hidden = 12; rounds = 2; epochs = 15; learning_rate = 0.01; seed = 31 }
+
+type net = {
+  input : Layers.dense;  (* node features -> hidden *)
+  self_w : Param.mat;
+  msg_w : Param.mat;
+  upd_b : Param.vec;
+  head : Layers.dense;
+  all : Params.t;
+  p : params;
+}
+
+type Model.state += Net of net
+
+let copy_net net =
+  let all = Params.create () in
+  let copy_mat (m : Param.mat) =
+    Params.add_mat all
+      { Param.w = Array.map Array.copy m.Param.w; gw = Array.map Array.copy m.Param.gw }
+  in
+  let copy_vec (v : Param.vec) =
+    Params.add_vec all { Param.v = Array.copy v.Param.v; gv = Array.copy v.Param.gv }
+  in
+  {
+    input = Layers.copy_dense all net.input;
+    self_w = copy_mat net.self_w;
+    msg_w = copy_mat net.msg_w;
+    upd_b = copy_vec net.upd_b;
+    head = Layers.copy_dense all net.head;
+    all;
+    p = net.p;
+  }
+
+let build p ~out_dim =
+  let all = Params.create () in
+  let rng = Rng.create p.seed in
+  {
+    input = Layers.dense all rng ~in_dim:p.spec.Encoding.Graph.feat_dim ~out_dim:p.hidden;
+    self_w = Params.add_mat all (Param.mat rng ~rows:p.hidden ~cols:p.hidden);
+    msg_w = Params.add_mat all (Param.mat rng ~rows:p.hidden ~cols:p.hidden);
+    upd_b = Params.add_vec all (Param.vec p.hidden);
+    head = Layers.dense all rng ~in_dim:p.hidden ~out_dim;
+    all;
+    p;
+  }
+
+let pooled tape net packed =
+  let g = Encoding.Graph.decode net.p.spec packed in
+  let n = Array.length g.Encoding.Graph.nodes in
+  if n = 0 then tensor_of (Array.make net.p.hidden 0.0)
+  else begin
+    let in_neighbours = Array.make n [] in
+    List.iter
+      (fun (src, dst) -> in_neighbours.(dst) <- src :: in_neighbours.(dst))
+      g.Encoding.Graph.edges;
+    let states =
+      ref
+        (Array.map
+           (fun f -> Tape.tanh_ tape (Layers.dense_forward tape net.input (tensor_of f)))
+           g.Encoding.Graph.nodes)
+    in
+    for _round = 1 to net.p.rounds do
+      let prev = !states in
+      states :=
+        Array.mapi
+          (fun i _ ->
+            let self_part = Tape.matvec tape net.self_w prev.(i) in
+            let msg_part =
+              match in_neighbours.(i) with
+              | [] -> tensor_of (Array.make net.p.hidden 0.0)
+              | srcs ->
+                  Tape.matvec tape net.msg_w
+                    (Tape.mean_pool tape (List.map (fun s -> prev.(s)) srcs))
+            in
+            Tape.tanh_ tape (Tape.add_bias tape net.upd_b (Tape.add tape self_part msg_part)))
+          prev
+    done;
+    Tape.mean_pool tape (Array.to_list !states)
+  end
+
+let logits_of tape net packed = Layers.dense_forward tape net.head (pooled tape net packed)
+
+let embed_fn net packed =
+  let tape = Tape.create () in
+  (pooled tape net packed).data
+
+let train ~params ?init (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Gnn.train: empty dataset";
+  let n_classes = Dataset.n_classes d in
+  let net =
+    match Option.map (fun c -> Nn_model.inner c.Model.state) init with
+    | Some (Net prev)
+      when prev.p.spec = params.spec
+           && prev.p.hidden = params.hidden
+           && Array.length prev.head.Layers.w.Param.w = n_classes ->
+        copy_net prev
+    | Some _ | None -> build params ~out_dim:n_classes
+  in
+  let opt = Optimizer.adam ~lr:params.learning_rate net.all in
+  let rng = Rng.create (params.seed + 3) in
+  let n = Dataset.length d in
+  for _epoch = 1 to params.epochs do
+    let order = Rng.permutation rng n in
+    Array.iter
+      (fun i ->
+        let tape = Tape.create () in
+        let out = logits_of tape net d.x.(i) in
+        let _, seed = Loss.softmax_cross_entropy ~logits:out ~label:d.y.(i) in
+        Tape.backward tape ~root:out ~seed;
+        Optimizer.step opt)
+      order
+  done;
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun packed ->
+        let tape = Tape.create () in
+        Vec.softmax (logits_of tape net packed).data);
+    name = "gnn";
+    state = Nn_model.Embedding { embed = embed_fn net; inner = Net net };
+  }
+
+let trainer ~params =
+  { Model.train = (fun ?init d -> train ~params ?init d); trainer_name = "gnn" }

@@ -1,0 +1,21 @@
+(** A message-passing graph neural network over packed graphs
+    (see {!Encoding.Graph}) — the ProGraML stand-in of case study C3.
+    Node states are updated for a fixed number of rounds by combining
+    each node's state with the mean of its in-neighbours' states; a
+    mean-pooled readout feeds the classification head. *)
+
+open Prom_ml
+
+type params = {
+  spec : Encoding.Graph.spec;
+  hidden : int;
+  rounds : int;  (** message-passing iterations *)
+  epochs : int;
+  learning_rate : float;
+  seed : int;
+}
+
+val default_params : Encoding.Graph.spec -> params
+
+val train : params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+val trainer : params:params -> Model.classifier_trainer

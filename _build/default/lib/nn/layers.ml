@@ -1,0 +1,112 @@
+open Prom_autodiff
+open Autodiff
+
+type dense = { w : Param.mat; b : Param.vec }
+
+let dense params rng ~in_dim ~out_dim =
+  {
+    w = Params.add_mat params (Param.mat rng ~rows:out_dim ~cols:in_dim);
+    b = Params.add_vec params (Param.vec out_dim);
+  }
+
+let dense_forward tape d x = Tape.add_bias tape d.b (Tape.matvec tape d.w x)
+
+let copy_mat (params : Params.t) (m : Param.mat) =
+  Params.add_mat params
+    { Param.w = Array.map Array.copy m.Param.w; gw = Array.map Array.copy m.Param.gw }
+
+let copy_vec (params : Params.t) (v : Param.vec) =
+  Params.add_vec params { Param.v = Array.copy v.Param.v; gv = Array.copy v.Param.gv }
+
+let copy_dense params d = { w = copy_mat params d.w; b = copy_vec params d.b }
+
+type gate = { wx : Param.mat; wh : Param.mat; b : Param.vec }
+
+let gate params rng ~in_dim ~hidden =
+  {
+    wx = Params.add_mat params (Param.mat rng ~rows:hidden ~cols:in_dim);
+    wh = Params.add_mat params (Param.mat rng ~rows:hidden ~cols:hidden);
+    b = Params.add_vec params (Param.vec hidden);
+  }
+
+let gate_forward tape g x h =
+  Tape.add_bias tape g.b (Tape.add tape (Tape.matvec tape g.wx x) (Tape.matvec tape g.wh h))
+
+let copy_gate params g =
+  { wx = copy_mat params g.wx; wh = copy_mat params g.wh; b = copy_vec params g.b }
+
+type lstm_cell = { input : gate; forget : gate; output : gate; cand : gate; hidden : int }
+
+let lstm params rng ~in_dim ~hidden =
+  let cell =
+    {
+      input = gate params rng ~in_dim ~hidden;
+      forget = gate params rng ~in_dim ~hidden;
+      output = gate params rng ~in_dim ~hidden;
+      cand = gate params rng ~in_dim ~hidden;
+      hidden;
+    }
+  in
+  (* Bias the forget gate open, the usual trick for gradient flow. *)
+  Array.fill cell.forget.b.v 0 hidden 1.0;
+  cell
+
+let lstm_hidden cell = cell.hidden
+
+let lstm_forward tape cell x (h, c) =
+  let i = Tape.sigmoid_ tape (gate_forward tape cell.input x h) in
+  let f = Tape.sigmoid_ tape (gate_forward tape cell.forget x h) in
+  let o = Tape.sigmoid_ tape (gate_forward tape cell.output x h) in
+  let g = Tape.tanh_ tape (gate_forward tape cell.cand x h) in
+  let c' = Tape.add tape (Tape.mul tape f c) (Tape.mul tape i g) in
+  let h' = Tape.mul tape o (Tape.tanh_ tape c') in
+  (h', c')
+
+let lstm_init cell =
+  (tensor_of (Array.make cell.hidden 0.0), tensor_of (Array.make cell.hidden 0.0))
+
+let copy_lstm params cell =
+  {
+    input = copy_gate params cell.input;
+    forget = copy_gate params cell.forget;
+    output = copy_gate params cell.output;
+    cand = copy_gate params cell.cand;
+    hidden = cell.hidden;
+  }
+
+type gru_cell = { update : gate; reset : gate; gcand : gate; ghidden : int }
+
+let gru params rng ~in_dim ~hidden =
+  {
+    update = gate params rng ~in_dim ~hidden;
+    reset = gate params rng ~in_dim ~hidden;
+    gcand = gate params rng ~in_dim ~hidden;
+    ghidden = hidden;
+  }
+
+let gru_hidden cell = cell.ghidden
+
+let gru_forward tape cell x h =
+  let z = Tape.sigmoid_ tape (gate_forward tape cell.update x h) in
+  let r = Tape.sigmoid_ tape (gate_forward tape cell.reset x h) in
+  let h_reset = Tape.mul tape r h in
+  let cand =
+    Tape.tanh_ tape
+      (Tape.add_bias tape cell.gcand.b
+         (Tape.add tape
+            (Tape.matvec tape cell.gcand.wx x)
+            (Tape.matvec tape cell.gcand.wh h_reset)))
+  in
+  (* h' = (1 - z) * h + z * cand, computed as h + z * (cand - h). *)
+  let diff = Tape.add tape cand (Tape.scale tape (-1.0) h) in
+  Tape.add tape h (Tape.mul tape z diff)
+
+let gru_init cell = tensor_of (Array.make cell.ghidden 0.0)
+
+let copy_gru params cell =
+  {
+    update = copy_gate params cell.update;
+    reset = copy_gate params cell.reset;
+    gcand = copy_gate params cell.gcand;
+    ghidden = cell.ghidden;
+  }

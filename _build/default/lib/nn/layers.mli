@@ -1,0 +1,41 @@
+(** Neural network layers on top of {!Prom_autodiff.Autodiff}: dense,
+    LSTM and GRU cells. Each constructor registers its parameters in the
+    given {!Autodiff.Params.t} so optimizers see them. *)
+
+open Prom_linalg
+open Prom_autodiff
+open Autodiff
+
+type dense = { w : Param.mat; b : Param.vec }
+
+val dense : Params.t -> Rng.t -> in_dim:int -> out_dim:int -> dense
+val dense_forward : Tape.t -> dense -> tensor -> tensor
+
+(** [copy_dense params d] deep-copies a layer, registering the copy's
+    parameters in [params] — used to warm-start training without
+    mutating the source model. *)
+val copy_dense : Params.t -> dense -> dense
+
+(** A standard LSTM cell: input/forget/output gates plus candidate. *)
+type lstm_cell
+
+val lstm : Params.t -> Rng.t -> in_dim:int -> hidden:int -> lstm_cell
+val lstm_hidden : lstm_cell -> int
+
+(** [lstm_forward tape cell x (h, c)] is one step, returning
+    [(h', c')]. *)
+val lstm_forward : Tape.t -> lstm_cell -> tensor -> tensor * tensor -> tensor * tensor
+
+(** [lstm_init cell] is the zero [(h0, c0)] state. *)
+val lstm_init : lstm_cell -> tensor * tensor
+
+val copy_lstm : Params.t -> lstm_cell -> lstm_cell
+
+(** A GRU cell: update/reset gates plus candidate. *)
+type gru_cell
+
+val gru : Params.t -> Rng.t -> in_dim:int -> hidden:int -> gru_cell
+val gru_hidden : gru_cell -> int
+val gru_forward : Tape.t -> gru_cell -> tensor -> tensor -> tensor
+val gru_init : gru_cell -> tensor
+val copy_gru : Params.t -> gru_cell -> gru_cell

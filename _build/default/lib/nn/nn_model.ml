@@ -1,0 +1,12 @@
+open Prom_linalg
+open Prom_ml
+
+type Model.state += Embedding of { embed : Vec.t -> Vec.t; inner : Model.state }
+
+let embedding_of (c : Model.classifier) =
+  match c.state with Embedding { embed; _ } -> Some embed | _ -> None
+
+let embedding_of_regressor (r : Model.regressor) =
+  match r.reg_state with Embedding { embed; _ } -> Some embed | _ -> None
+
+let inner = function Embedding { inner; _ } -> inner | s -> s

@@ -1,0 +1,23 @@
+(** Shared glue between the neural models and {!Prom_ml.Model}: every
+    network built here carries an [embed] function exposing its pooled
+    hidden representation, which PROM uses as the feature space for its
+    adaptive calibration scheme (the paper extracts embeddings "from the
+    hidden layer before the output", Sec. 4.1.1). The wrapper also
+    carries the model-specific [inner] state used for warm-starting. *)
+
+open Prom_linalg
+open Prom_ml
+
+type Model.state +=
+  | Embedding of { embed : Vec.t -> Vec.t; inner : Model.state }
+
+(** [embedding_of classifier] returns the model's embedding function if
+    it is a [prom_nn] network. *)
+val embedding_of : Model.classifier -> (Vec.t -> Vec.t) option
+
+(** [embedding_of_regressor r] likewise for regressors. *)
+val embedding_of_regressor : Model.regressor -> (Vec.t -> Vec.t) option
+
+(** [inner s] unwraps the model-specific state, passing other states
+    through unchanged. *)
+val inner : Model.state -> Model.state

@@ -1,0 +1,194 @@
+open Prom_linalg
+open Prom_autodiff
+open Autodiff
+open Prom_ml
+
+type arch = Lstm | Gru | Attention
+
+type params = {
+  arch : arch;
+  spec : Encoding.Seq.spec;
+  embed_dim : int;
+  hidden : int;
+  epochs : int;
+  learning_rate : float;
+  seed : int;
+}
+
+let default_params spec =
+  {
+    arch = Lstm;
+    spec;
+    embed_dim = 8;
+    hidden = 12;
+    epochs = 12;
+    learning_rate = 0.01;
+    seed = 29;
+  }
+
+type encoder =
+  | Enc_lstm of Layers.lstm_cell
+  | Enc_gru of Layers.gru_cell
+  | Enc_attention of { query : Param.vec; proj : Layers.dense }
+
+type net = {
+  embeddings : Param.mat;
+  encoder : encoder;
+  head : Layers.dense;
+  all : Params.t;
+  p : params;
+}
+
+type Model.state += Net of net
+
+let arch_name = function Lstm -> "lstm" | Gru -> "gru" | Attention -> "attention"
+
+(* Deep copy for warm starts: retraining must not mutate the deployed
+   model's weights. *)
+let copy_net net =
+  let all = Params.create () in
+  let embeddings =
+    Params.add_mat all
+      {
+        Param.w = Array.map Array.copy net.embeddings.Param.w;
+        gw = Array.map Array.copy net.embeddings.Param.gw;
+      }
+  in
+  let encoder =
+    match net.encoder with
+    | Enc_lstm cell -> Enc_lstm (Layers.copy_lstm all cell)
+    | Enc_gru cell -> Enc_gru (Layers.copy_gru all cell)
+    | Enc_attention { query; proj } ->
+        Enc_attention
+          {
+            query =
+              Params.add_vec all
+                { Param.v = Array.copy query.Param.v; gv = Array.copy query.Param.gv };
+            proj = Layers.copy_dense all proj;
+          }
+  in
+  let head = Layers.copy_dense all net.head in
+  { embeddings; encoder; head; all; p = net.p }
+
+let build p ~out_dim =
+  let all = Params.create () in
+  let rng = Rng.create p.seed in
+  let embeddings = Params.add_mat all (Param.mat rng ~rows:p.spec.Encoding.Seq.vocab ~cols:p.embed_dim) in
+  let encoder =
+    match p.arch with
+    | Lstm -> Enc_lstm (Layers.lstm all rng ~in_dim:p.embed_dim ~hidden:p.hidden)
+    | Gru -> Enc_gru (Layers.gru all rng ~in_dim:p.embed_dim ~hidden:p.hidden)
+    | Attention ->
+        Enc_attention
+          {
+            query = Params.add_vec all (Param.vec p.embed_dim);
+            proj = Layers.dense all rng ~in_dim:p.embed_dim ~out_dim:p.hidden;
+          }
+  in
+  let head = Layers.dense all rng ~in_dim:p.hidden ~out_dim in
+  { embeddings; encoder; head; all; p }
+
+(* Pooled hidden representation of a packed sequence. Empty sequences
+   encode as the single padding token 0. *)
+let encode_hidden tape net packed =
+  let tokens = Encoding.Seq.decode net.p.spec packed in
+  let tokens = if Array.length tokens = 0 then [| 0 |] else tokens in
+  let embeds = Array.map (fun tok -> Tape.row tape net.embeddings tok) tokens in
+  match net.encoder with
+  | Enc_lstm cell ->
+      let state = ref (Layers.lstm_init cell) in
+      Array.iter (fun e -> state := Layers.lstm_forward tape cell e !state) embeds;
+      fst !state
+  | Enc_gru cell ->
+      let h = ref (Layers.gru_init cell) in
+      Array.iter (fun e -> h := Layers.gru_forward tape cell e !h) embeds;
+      !h
+  | Enc_attention { query; proj } ->
+      let q = tensor_of (Array.copy query.v) in
+      let scores = Tape.dot_scores tape q embeds in
+      let attn = Tape.softmax1 tape scores in
+      let pooled = Tape.weighted_sum tape attn embeds in
+      Tape.relu_ tape (Layers.dense_forward tape proj pooled)
+
+let logits_of tape net packed =
+  Layers.dense_forward tape net.head (encode_hidden tape net packed)
+
+let train_loop ~epochs ~lr ~seed net (x : Vec.t array) seed_of =
+  let opt = Optimizer.adam ~lr net.all in
+  let rng = Rng.create (seed + 3) in
+  let n = Array.length x in
+  for _epoch = 1 to epochs do
+    let order = Rng.permutation rng n in
+    Array.iter
+      (fun i ->
+        let tape = Tape.create () in
+        let out = logits_of tape net x.(i) in
+        let seed_grad = seed_of i out in
+        Tape.backward tape ~root:out ~seed:seed_grad;
+        Optimizer.step opt)
+      order
+  done
+
+let embed_fn net packed =
+  let tape = Tape.create () in
+  (encode_hidden tape net packed).data
+
+let classifier_of_net ~n_classes net =
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun packed ->
+        let tape = Tape.create () in
+        Vec.softmax (logits_of tape net packed).data);
+    name = "seq-" ^ arch_name net.p.arch;
+    state = Nn_model.Embedding { embed = embed_fn net; inner = Net net };
+  }
+
+let train ~params ?init (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Seq_model.train: empty dataset";
+  let n_classes = Dataset.n_classes d in
+  let net =
+    match Option.map (fun c -> Nn_model.inner c.Model.state) init with
+    | Some (Net prev)
+      when prev.p.arch = params.arch
+           && prev.p.spec = params.spec
+           && prev.p.embed_dim = params.embed_dim
+           && prev.p.hidden = params.hidden
+           && Array.length prev.head.Layers.w.Param.w = n_classes ->
+        copy_net prev
+    | Some _ | None -> build params ~out_dim:n_classes
+  in
+  let seed_of i out = snd (Loss.softmax_cross_entropy ~logits:out ~label:d.y.(i)) in
+  train_loop ~epochs:params.epochs ~lr:params.learning_rate ~seed:params.seed net d.x seed_of;
+  classifier_of_net ~n_classes net
+
+let trainer ~params =
+  {
+    Model.train = (fun ?init d -> train ~params ?init d);
+    trainer_name = "seq-" ^ arch_name params.arch;
+  }
+
+let train_regressor ~params ?init (d : float Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Seq_model.train_regressor: empty dataset";
+  let net =
+    match Option.map (fun r -> Nn_model.inner r.Model.reg_state) init with
+    | Some (Net prev) when prev.p.arch = params.arch && prev.p.spec = params.spec ->
+        copy_net prev
+    | Some _ | None -> build params ~out_dim:1
+  in
+  let seed_of i out = snd (Loss.squared ~pred:out ~target:d.y.(i)) in
+  train_loop ~epochs:params.epochs ~lr:params.learning_rate ~seed:params.seed net d.x seed_of;
+  {
+    Model.predict =
+      (fun packed ->
+        let tape = Tape.create () in
+        (logits_of tape net packed).data.(0));
+    name = "seq-" ^ arch_name params.arch ^ "-reg";
+    reg_state = Nn_model.Embedding { embed = embed_fn net; inner = Net net };
+  }
+
+let regressor_trainer ~params =
+  {
+    Model.train_reg = (fun ?init d -> train_regressor ~params ?init d);
+    reg_trainer_name = "seq-" ^ arch_name params.arch ^ "-reg";
+  }

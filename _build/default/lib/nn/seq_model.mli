@@ -1,0 +1,38 @@
+(** Sequence models over packed token sequences (see {!Encoding.Seq}):
+    an LSTM (the paper's DeepTune / VulDeePecker stand-in), a GRU, and a
+    single-head attention pooler (the CodeXGLUE / LineVul / TLP
+    Transformer stand-in). Classification and regression heads share
+    the encoder. Inputs are datasets whose feature vectors were packed
+    with {!Encoding.Seq.encode}. *)
+
+open Prom_ml
+
+type arch = Lstm | Gru | Attention
+
+type params = {
+  arch : arch;
+  spec : Encoding.Seq.spec;
+  embed_dim : int;
+  hidden : int;
+  epochs : int;
+  learning_rate : float;
+  seed : int;
+}
+
+val default_params : Encoding.Seq.spec -> params
+
+(** [train ?params ?init d] fits a sequence classifier on packed
+    sequences. [init] warm-starts from a model previously produced with
+    the same architecture and dimensions. The returned classifier
+    carries an {!Nn_model.Embedding} state exposing the pooled hidden
+    vector. *)
+val train : params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
+
+val trainer : params:params -> Model.classifier_trainer
+
+(** [train_regressor ~params ?init d] fits a sequence regressor
+    (squared loss, linear head). *)
+val train_regressor :
+  params:params -> ?init:Model.regressor -> float Dataset.t -> Model.regressor
+
+val regressor_trainer : params:params -> Model.regressor_trainer

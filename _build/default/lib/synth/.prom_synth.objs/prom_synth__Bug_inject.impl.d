@@ -1,0 +1,1 @@
+lib/synth/bug_inject.ml: Cast Generator List Printf Prom_linalg Rng

@@ -1,0 +1,1 @@
+lib/synth/bug_inject.mli: Cast Prom_linalg Rng

@@ -1,0 +1,1 @@
+lib/synth/cast.ml: Format List Option

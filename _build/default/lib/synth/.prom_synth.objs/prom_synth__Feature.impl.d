@@ -1,0 +1,1 @@
+lib/synth/feature.ml: Array Cast Lexer List Stdlib String

@@ -1,0 +1,1 @@
+lib/synth/feature.mli: Cast Lexer Prom_linalg Vec

@@ -1,0 +1,1 @@
+lib/synth/generator.ml: Array Cast List Printf Prom_linalg Rng Stdlib

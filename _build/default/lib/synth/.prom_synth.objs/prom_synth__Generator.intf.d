@@ -1,0 +1,1 @@
+lib/synth/generator.mli: Cast Prom_linalg Rng

@@ -1,0 +1,1 @@
+lib/synth/lexer.ml: Array Buffer Char List Printf String

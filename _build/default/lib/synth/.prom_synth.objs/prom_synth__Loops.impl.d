@@ -1,0 +1,1 @@
+lib/synth/loops.ml: Array Cast Generator Printf Prom_linalg Rng Stdlib String

@@ -1,0 +1,1 @@
+lib/synth/loops.mli: Cast Prom_linalg Rng Vec

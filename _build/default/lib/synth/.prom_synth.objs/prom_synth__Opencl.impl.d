@@ -1,0 +1,1 @@
+lib/synth/opencl.ml: Array Cast List Printf Prom_linalg Rng Stdlib

@@ -1,0 +1,1 @@
+lib/synth/opencl.mli: Cast Prom_linalg Rng Vec

@@ -1,0 +1,1 @@
+lib/synth/schedule.ml: Array Prom_linalg Rng Stdlib

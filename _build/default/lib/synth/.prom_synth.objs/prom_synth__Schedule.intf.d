@@ -1,0 +1,1 @@
+lib/synth/schedule.mli: Prom_linalg Rng Vec

@@ -1,0 +1,262 @@
+open Prom_linalg
+open Cast
+
+type cwe =
+  | Double_free
+  | Use_after_free
+  | Buffer_overflow
+  | Integer_overflow
+  | Null_deref
+  | Format_string
+  | Uninitialized
+  | Memory_leak
+
+let all =
+  [
+    Double_free; Use_after_free; Buffer_overflow; Integer_overflow; Null_deref;
+    Format_string; Uninitialized; Memory_leak;
+  ]
+
+let label = function
+  | Double_free -> 0
+  | Use_after_free -> 1
+  | Buffer_overflow -> 2
+  | Integer_overflow -> 3
+  | Null_deref -> 4
+  | Format_string -> 5
+  | Uninitialized -> 6
+  | Memory_leak -> 7
+
+let of_label = function
+  | 0 -> Double_free
+  | 1 -> Use_after_free
+  | 2 -> Buffer_overflow
+  | 3 -> Integer_overflow
+  | 4 -> Null_deref
+  | 5 -> Format_string
+  | 6 -> Uninitialized
+  | 7 -> Memory_leak
+  | n -> invalid_arg (Printf.sprintf "Bug_inject.of_label: %d" n)
+
+let name = function
+  | Double_free -> "CWE-415-double-free"
+  | Use_after_free -> "CWE-416-use-after-free"
+  | Buffer_overflow -> "CWE-787-buffer-overflow"
+  | Integer_overflow -> "CWE-190-integer-overflow"
+  | Null_deref -> "CWE-476-null-deref"
+  | Format_string -> "CWE-134-format-string"
+  | Uninitialized -> "CWE-457-uninitialized"
+  | Memory_leak -> "CWE-401-memory-leak"
+
+let malloc n = Call ("malloc", [ n ])
+let free p = Expr_stmt (Call ("free", [ Var p ]))
+
+(* Late-era patterns route the dangerous operation through a helper,
+   and the latest ones additionally fire the helper from a thread
+   creation loop, as in CVE-2023-27537 (paper Fig. 1c). *)
+let era_level era = if era >= 2021 then 2 else if era >= 2017 then 1 else 0
+
+let wrap_threaded rng helper_name =
+  let i = Generator.fresh_ident rng ~long:false "i" in
+  For
+    {
+      init = Decl (Int, i, Some (Int_lit 0));
+      cond = Binop (Lt, Var i, Int_lit (2 + Rng.int rng 8));
+      step = Assign (Var i, Binop (Add, Var i, Int_lit 1));
+      body = [ Expr_stmt (Call ("pthread_create", [ Var helper_name ])) ];
+    }
+
+(* Each pattern returns extra functions plus statements for main. *)
+let pattern rng ~era cwe =
+  let long = era >= 2018 in
+  let level = era_level era in
+  let v = Generator.fresh_ident rng ~long "buf" in
+  match cwe with
+  | Double_free -> (
+      match level with
+      | 0 ->
+          ( [],
+            [
+              Decl (Ptr Char, v, Some (malloc (Int_lit 64)));
+              free v;
+              Expr_stmt (Call ("printf", [ Str_lit "done" ]));
+              free v;
+            ] )
+      | 1 ->
+          let cleanup = Generator.fresh_ident rng ~long "cleanup" in
+          ( [
+              {
+                fname = cleanup;
+                ret = Void;
+                params = [ (Ptr Char, "ptr") ];
+                body = [ free "ptr" ];
+              };
+            ],
+            [
+              Decl (Ptr Char, v, Some (malloc (Int_lit 64)));
+              Expr_stmt (Call (cleanup, [ Var v ]));
+              Expr_stmt (Call (cleanup, [ Var v ]));
+            ] )
+      | _ ->
+          let cleanup = Generator.fresh_ident rng ~long "hsts_free" in
+          ( [
+              {
+                fname = cleanup;
+                ret = Void;
+                params = [ (Ptr Char, "ptr") ];
+                body =
+                  [ If (Binop (Ne, Var "ptr", Int_lit 0), [ free "ptr" ], []) ];
+              };
+            ],
+            [
+              Decl (Ptr Char, v, Some (malloc (Int_lit 64)));
+              Expr_stmt (Call (cleanup, [ Var v ]));
+              wrap_threaded rng cleanup;
+            ] ))
+  | Use_after_free ->
+      let use = Assign (Unop (Deref, Var v), Int_lit (Rng.int rng 9)) in
+      if level = 0 then
+        ( [],
+          [ Decl (Ptr Char, v, Some (malloc (Int_lit 32))); free v; use ] )
+      else
+        let release = Generator.fresh_ident rng ~long "release" in
+        ( [
+            {
+              fname = release;
+              ret = Void;
+              params = [ (Ptr Char, "ptr") ];
+              body = [ free "ptr" ];
+            };
+          ],
+          [
+            Decl (Ptr Char, v, Some (malloc (Int_lit 32)));
+            Expr_stmt (Call (release, [ Var v ]));
+            use;
+          ] )
+  | Buffer_overflow ->
+      let size = 8 + Rng.int rng 56 in
+      let i = Generator.fresh_ident rng ~long:false "i" in
+      ( [],
+        [
+          Array_decl (Char, v, size);
+          For
+            {
+              init = Decl (Int, i, Some (Int_lit 0));
+              cond = Binop (Le, Var i, Int_lit size);
+              (* <= : off-by-one *)
+              step = Assign (Var i, Binop (Add, Var i, Int_lit 1));
+              body = [ Assign (Index (Var v, Var i), Int_lit 0) ];
+            };
+        ] )
+  | Integer_overflow ->
+      let a = Generator.fresh_ident rng ~long "count" in
+      ( [],
+        [
+          Decl (Int, a, Some (Int_lit (1000000 + Rng.int rng 1000000)));
+          Decl (Int, v, Some (Binop (Mul, Var a, Var a)));
+          Expr_stmt (Call ("printf", [ Str_lit "%d"; Var v ]));
+        ] )
+  | Null_deref ->
+      if level = 0 then
+        ( [],
+          [
+            Decl (Ptr Char, v, Some (Int_lit 0));
+            Assign (Unop (Deref, Var v), Int_lit 1);
+          ] )
+      else
+        ( [],
+          [
+            Decl (Ptr Char, v, Some (malloc (Int_lit 4096)));
+            (* missing NULL check before use *)
+            Assign (Unop (Deref, Var v), Int_lit 1);
+            free v;
+          ] )
+  | Format_string ->
+      let input = Generator.fresh_ident rng ~long "input" in
+      ( [],
+        [
+          Decl (Ptr Char, input, Some (Call ("read_line", [])));
+          Expr_stmt (Call ("printf", [ Var input ]));
+        ] )
+  | Uninitialized ->
+      ( [],
+        [
+          Decl (Int, v, None);
+          Expr_stmt (Call ("printf", [ Str_lit "%d"; Var v ]));
+        ] )
+  | Memory_leak ->
+      let cond = Binop (Gt, Int_lit (Rng.int rng 10), Int_lit 5) in
+      ( [],
+        [
+          Decl (Ptr Char, v, Some (malloc (Int_lit 256)));
+          If (cond, [ Return (Some (Int_lit 1)) ], []);
+          (* leak on the early-return path *)
+          free v;
+        ] )
+
+(* Late-era programs contain benign decoys whose token signatures mimic
+   other vulnerability classes (correct malloc/free pairs, literal
+   printf formats, bounded array loops), so the class signal stops being
+   a bag-of-tokens give-away and becomes structural - the concept shift
+   of paper Fig. 1. *)
+let decoy rng ~long idx =
+  let v = Generator.fresh_ident rng ~long "dec" in
+  let body =
+    match idx mod 3 with
+    | 0 ->
+        (* well-paired allocation *)
+        [ Decl (Ptr Char, v, Some (malloc (Int_lit 128))); free v ]
+    | 1 ->
+        (* safe printf with literal format *)
+        [
+          Decl (Int, v, Some (Int_lit (Rng.int rng 100)));
+          Expr_stmt (Call ("printf", [ Str_lit "%d"; Var v ]));
+        ]
+    | _ ->
+        (* bounded array walk *)
+        let i = Generator.fresh_ident rng ~long:false "i" in
+        [
+          Array_decl (Char, v, 32);
+          For
+            {
+              init = Decl (Int, i, Some (Int_lit 0));
+              cond = Binop (Lt, Var i, Int_lit 31);
+              step = Assign (Var i, Binop (Add, Var i, Int_lit 1));
+              body = [ Assign (Index (Var v, Var i), Int_lit 0) ];
+            };
+        ]
+  in
+  {
+    fname = Generator.fresh_ident rng ~long ("helper" ^ string_of_int idx);
+    ret = Void;
+    params = [];
+    body;
+  }
+
+let inject rng ~era cwe program =
+  let extra_funcs, stmts = pattern rng ~era cwe in
+  let n_decoys = if era >= 2021 then 3 else if era >= 2018 then 1 else 0 in
+  let decoys = List.init n_decoys (decoy rng ~long:(era >= 2018)) in
+  let vuln_name =
+    if era >= 2018 then Printf.sprintf "handle_request_%d" (Rng.int rng 1000)
+    else Printf.sprintf "g%d" (Rng.int rng 1000)
+  in
+  let vuln_func =
+    { fname = vuln_name; ret = Int; params = []; body = stmts @ [ Return (Some (Int_lit 0)) ] }
+  in
+  let patch_main f =
+    if f.fname = "main" then
+      { f with body = Expr_stmt (Call (vuln_name, [])) :: f.body }
+    else f
+  in
+  (* Decoys come after the vulnerable code so they share the sequence
+     window without hiding the pattern entirely. *)
+  {
+    program with
+    functions =
+      extra_funcs @ [ vuln_func ] @ decoys @ List.map patch_main program.functions;
+  }
+
+let add_decoys rng ~era ~count program =
+  let decoys = List.init count (fun i -> decoy rng ~long:(era >= 2018) (Rng.int rng 3 + i)) in
+  { program with functions = decoys @ program.functions }

@@ -1,0 +1,38 @@
+(** Injection of the top-8 CWE vulnerability patterns (paper Sec. 6.4)
+    into benign programs. The [era] controls how indirect the pattern
+    is, reproducing the paper's motivating example (Fig. 1): a 2012
+    double-free frees the same pointer twice in one function; a 2023
+    double-free reaches the second [free] through a helper invoked from
+    a thread loop. *)
+
+open Prom_linalg
+
+type cwe =
+  | Double_free  (** CWE-415 *)
+  | Use_after_free  (** CWE-416 *)
+  | Buffer_overflow  (** CWE-787 *)
+  | Integer_overflow  (** CWE-190 *)
+  | Null_deref  (** CWE-476 *)
+  | Format_string  (** CWE-134 *)
+  | Uninitialized  (** CWE-457 *)
+  | Memory_leak  (** CWE-401 *)
+
+val all : cwe list
+
+(** [label c] is the class index in [0..7], stable across runs. *)
+val label : cwe -> int
+
+val of_label : int -> cwe
+val name : cwe -> string
+
+(** [inject rng ~era cwe program] returns [program] extended with a
+    function (or functions) exhibiting the vulnerability, wired into
+    [main]. *)
+val inject : Rng.t -> era:int -> cwe -> Cast.program -> Cast.program
+
+(** [add_decoys rng ~era ~count program] attaches [count] benign helper
+    functions (paired malloc/free, literal printf, bounded array walks)
+    without any vulnerability — used to build negative samples whose
+    token vocabulary matches the vulnerable ones, so a detector must
+    recognize the {i pattern}, not the API surface. *)
+val add_decoys : Rng.t -> era:int -> count:int -> Cast.program -> Cast.program

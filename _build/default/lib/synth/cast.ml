@@ -1,0 +1,233 @@
+type ctype = Void | Int | Long | Float | Char | Ptr of ctype
+
+type binop = Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+
+type unop = Neg | Not | Deref | Addr
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Index of expr * expr
+
+type stmt =
+  | Expr_stmt of expr
+  | Decl of ctype * string * expr option
+  | Array_decl of ctype * string * int
+  | Assign of expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of { init : stmt; cond : expr; step : stmt; body : stmt list }
+  | Return of expr option
+
+type func = {
+  fname : string;
+  ret : ctype;
+  params : (ctype * string) list;
+  body : stmt list;
+}
+
+type program = { includes : string list; functions : func list }
+
+let rec pp_ctype fmt = function
+  | Void -> Format.pp_print_string fmt "void"
+  | Int -> Format.pp_print_string fmt "int"
+  | Long -> Format.pp_print_string fmt "long"
+  | Float -> Format.pp_print_string fmt "float"
+  | Char -> Format.pp_print_string fmt "char"
+  | Ptr t -> Format.fprintf fmt "%a*" pp_ctype t
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let unop_str = function Neg -> "-" | Not -> "!" | Deref -> "*" | Addr -> "&"
+
+let rec pp_expr fmt = function
+  | Int_lit n -> Format.fprintf fmt "%d" n
+  | Float_lit f -> Format.fprintf fmt "%gf" f
+  | Str_lit s -> Format.fprintf fmt "%S" s
+  | Var v -> Format.pp_print_string fmt v
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Unop (op, e) -> Format.fprintf fmt "%s%a" (unop_str op) pp_expr e
+  | Call (f, args) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        args
+  | Index (a, i) -> Format.fprintf fmt "%a[%a]" pp_expr a pp_expr i
+
+let rec pp_stmt fmt = function
+  | Expr_stmt e -> Format.fprintf fmt "%a;" pp_expr e
+  | Decl (t, v, None) -> Format.fprintf fmt "%a %s;" pp_ctype t v
+  | Decl (t, v, Some e) -> Format.fprintf fmt "%a %s = %a;" pp_ctype t v pp_expr e
+  | Array_decl (t, v, n) -> Format.fprintf fmt "%a %s[%d];" pp_ctype t v n
+  | Assign (lhs, rhs) -> Format.fprintf fmt "%a = %a;" pp_expr lhs pp_expr rhs
+  | If (cond, then_, []) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_expr cond pp_block then_
+  | If (cond, then_, else_) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr cond
+        pp_block then_ pp_block else_
+  | While (cond, body) ->
+      Format.fprintf fmt "@[<v 2>while (%a) {@,%a@]@,}" pp_expr cond pp_block body
+  | For { init; cond; step; body } ->
+      Format.fprintf fmt "@[<v 2>for (%a %a; %a) {@,%a@]@,}" pp_for_header init pp_expr
+        cond pp_for_step step pp_block body
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+
+and pp_block fmt stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt stmts
+
+(* A for-loop header reuses statement syntax minus the trailing
+   semicolon placement quirks. *)
+and pp_for_header fmt = function
+  | Decl (t, v, Some e) -> Format.fprintf fmt "%a %s = %a;" pp_ctype t v pp_expr e
+  | Assign (lhs, rhs) -> Format.fprintf fmt "%a = %a;" pp_expr lhs pp_expr rhs
+  | s -> pp_stmt fmt s
+
+and pp_for_step fmt = function
+  | Assign (lhs, rhs) -> Format.fprintf fmt "%a = %a" pp_expr lhs pp_expr rhs
+  | Expr_stmt e -> pp_expr fmt e
+  | s -> pp_stmt fmt s
+
+let pp_func fmt f =
+  Format.fprintf fmt "@[<v 2>%a %s(%a) {@,%a@]@,}" pp_ctype f.ret f.fname
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt (t, v) -> Format.fprintf fmt "%a %s" pp_ctype t v))
+    f.params pp_block f.body
+
+let pp_program fmt p =
+  List.iter (fun inc -> Format.fprintf fmt "#include <%s>@," inc) p.includes;
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,@,")
+    pp_func fmt p.functions
+
+let to_string p = Format.asprintf "@[<v>%a@]" pp_program p
+
+type stats = {
+  n_functions : int;
+  n_statements : int;
+  n_calls : int;
+  n_loops : int;
+  n_branches : int;
+  n_decls : int;
+  n_derefs : int;
+  max_depth : int;
+}
+
+let stats_of p =
+  let calls = ref 0 and derefs = ref 0 in
+  let rec walk_expr = function
+    | Int_lit _ | Float_lit _ | Str_lit _ | Var _ -> ()
+    | Binop (_, a, b) ->
+        walk_expr a;
+        walk_expr b
+    | Unop (op, e) ->
+        if op = Deref then incr derefs;
+        walk_expr e
+    | Call (_, args) ->
+        incr calls;
+        List.iter walk_expr args
+    | Index (a, i) ->
+        walk_expr a;
+        walk_expr i
+  in
+  let stmts = ref 0 and loops = ref 0 and branches = ref 0 and decls = ref 0 in
+  let depth = ref 0 in
+  let rec walk_stmt d s =
+    incr stmts;
+    if d > !depth then depth := d;
+    match s with
+    | Expr_stmt e -> walk_expr e
+    | Decl (_, _, init) ->
+        incr decls;
+        Option.iter walk_expr init
+    | Array_decl _ -> incr decls
+    | Assign (lhs, rhs) ->
+        walk_expr lhs;
+        walk_expr rhs
+    | If (cond, then_, else_) ->
+        incr branches;
+        walk_expr cond;
+        List.iter (walk_stmt (d + 1)) then_;
+        List.iter (walk_stmt (d + 1)) else_
+    | While (cond, body) ->
+        incr loops;
+        walk_expr cond;
+        List.iter (walk_stmt (d + 1)) body
+    | For { init; cond; step; body } ->
+        incr loops;
+        walk_stmt d init;
+        walk_expr cond;
+        walk_stmt d step;
+        List.iter (walk_stmt (d + 1)) body
+    | Return e -> Option.iter walk_expr e
+  in
+  List.iter (fun f -> List.iter (walk_stmt 1) f.body) p.functions;
+  {
+    n_functions = List.length p.functions;
+    n_statements = !stmts;
+    n_calls = !calls;
+    n_loops = !loops;
+    n_branches = !branches;
+    n_decls = !decls;
+    n_derefs = !derefs;
+    max_depth = !depth;
+  }
+
+let calls_of p =
+  let acc = ref [] in
+  let rec walk_expr = function
+    | Int_lit _ | Float_lit _ | Str_lit _ | Var _ -> ()
+    | Binop (_, a, b) ->
+        walk_expr a;
+        walk_expr b
+    | Unop (_, e) -> walk_expr e
+    | Call (f, args) ->
+        acc := f :: !acc;
+        List.iter walk_expr args
+    | Index (a, i) ->
+        walk_expr a;
+        walk_expr i
+  in
+  let rec walk_stmt = function
+    | Expr_stmt e -> walk_expr e
+    | Decl (_, _, init) -> Option.iter walk_expr init
+    | Array_decl _ -> ()
+    | Assign (lhs, rhs) ->
+        walk_expr lhs;
+        walk_expr rhs
+    | If (cond, then_, else_) ->
+        walk_expr cond;
+        List.iter walk_stmt then_;
+        List.iter walk_stmt else_
+    | While (cond, body) ->
+        walk_expr cond;
+        List.iter walk_stmt body
+    | For { init; cond; step; body } ->
+        walk_stmt init;
+        walk_expr cond;
+        walk_stmt step;
+        List.iter walk_stmt body
+    | Return e -> Option.iter walk_expr e
+  in
+  List.iter (fun f -> List.iter walk_stmt f.body) p.functions;
+  List.rev !acc

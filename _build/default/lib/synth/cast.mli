@@ -1,0 +1,69 @@
+(** A small C-like abstract syntax tree, rich enough to express the
+    vulnerability patterns of case study C4 and the synthetic kernels
+    and loop nests of C1-C3. Programs are generated ({!Generator}),
+    injected with bugs ({!Bug_inject}), pretty-printed ({!pp_program})
+    and lexed back into token streams ({!Lexer}) the sequence models
+    consume — the same code-as-data path the paper's models use. *)
+
+type ctype = Void | Int | Long | Float | Char | Ptr of ctype
+
+type binop = Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+
+type unop = Neg | Not | Deref | Addr
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Index of expr * expr
+
+type stmt =
+  | Expr_stmt of expr
+  | Decl of ctype * string * expr option
+  | Array_decl of ctype * string * int
+  | Assign of expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of { init : stmt; cond : expr; step : stmt; body : stmt list }
+  | Return of expr option
+
+type func = {
+  fname : string;
+  ret : ctype;
+  params : (ctype * string) list;
+  body : stmt list;
+}
+
+type program = { includes : string list; functions : func list }
+
+val pp_ctype : Format.formatter -> ctype -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_func : Format.formatter -> func -> unit
+val pp_program : Format.formatter -> program -> unit
+
+(** [to_string p] renders the program as C source text. *)
+val to_string : program -> string
+
+(** Structural statistics used for feature extraction. *)
+type stats = {
+  n_functions : int;
+  n_statements : int;
+  n_calls : int;
+  n_loops : int;
+  n_branches : int;
+  n_decls : int;
+  n_derefs : int;
+  max_depth : int;
+}
+
+val stats_of : program -> stats
+
+(** [calls_of p] lists every callee name, with repetition, in program
+    order — the basis of call-pattern features like counting [free]
+    calls. *)
+val calls_of : program -> string list

@@ -1,0 +1,33 @@
+let token_histogram ~vocab tokens =
+  let h = Array.make (Lexer.Vocab.size vocab) 0.0 in
+  List.iter (fun t -> h.(Lexer.Vocab.id_of vocab t) <- h.(Lexer.Vocab.id_of vocab t) +. 1.0) tokens;
+  let total = float_of_int (Stdlib.max 1 (List.length tokens)) in
+  Array.map (fun c -> c /. total) h
+
+let count_calls calls name =
+  float_of_int (List.length (List.filter (String.equal name) calls))
+
+let program_feature_dim = 14
+
+let program_features p =
+  let s = Cast.stats_of p in
+  let calls = Cast.calls_of p in
+  let fl = float_of_int in
+  [|
+    fl s.Cast.n_functions;
+    log (1.0 +. fl s.Cast.n_statements);
+    fl s.Cast.n_calls;
+    fl s.Cast.n_loops;
+    fl s.Cast.n_branches;
+    fl s.Cast.n_decls;
+    fl s.Cast.n_derefs;
+    fl s.Cast.max_depth;
+    count_calls calls "malloc";
+    count_calls calls "free";
+    count_calls calls "printf";
+    count_calls calls "pthread_create";
+    count_calls calls "free" -. count_calls calls "malloc";
+    fl s.Cast.n_statements /. fl (Stdlib.max 1 s.Cast.n_functions);
+  |]
+
+let program_tokens p = Lexer.tokenize (Cast.to_string p)

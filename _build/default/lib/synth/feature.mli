@@ -1,0 +1,20 @@
+(** Code feature extraction: turns programs into the numeric vectors
+    classical models consume (the paper's "summarize the input programs
+    into numerical values like the number of instructions"). *)
+
+open Prom_linalg
+
+(** [token_histogram ~vocab tokens] is the normalized frequency of each
+    vocabulary id in the token stream. *)
+val token_histogram : vocab:Lexer.Vocab.t -> Lexer.token list -> Vec.t
+
+(** [program_features p] combines {!Cast.stats_of} with call-pattern
+    counts (allocation/free/printf/thread calls) into a fixed-width
+    vector — the tabular representation of a program for MLP/GBC-style
+    models. *)
+val program_features : Cast.program -> Vec.t
+
+val program_feature_dim : int
+
+(** [program_tokens p] lexes the pretty-printed program. *)
+val program_tokens : Cast.program -> Lexer.token list

@@ -1,0 +1,122 @@
+open Prom_linalg
+open Cast
+
+type style = {
+  era : int;
+  n_helpers : int;
+  stmts_per_func : int;
+  loop_prob : float;
+  branch_prob : float;
+  use_threads : bool;
+  long_idents : bool;
+}
+
+let style_of_era rng year =
+  if year < 2010 || year > 2030 then invalid_arg "Generator.style_of_era: year out of range";
+  (* Complexity ramps linearly with the year past 2013. *)
+  let t = float_of_int (Stdlib.max 0 (year - 2013)) /. 10.0 in
+  {
+    era = year;
+    n_helpers = 1 + Rng.int rng (2 + int_of_float (3.0 *. t));
+    stmts_per_func = 3 + Rng.int rng (3 + int_of_float (6.0 *. t));
+    loop_prob = 0.15 +. (0.35 *. t);
+    branch_prob = 0.25 +. (0.2 *. t);
+    use_threads = year >= 2019 && Rng.bernoulli rng (0.3 +. (0.4 *. t));
+    long_idents = year >= 2018;
+  }
+
+let short_names = [| "p"; "q"; "s"; "n"; "x"; "y"; "k"; "v"; "t"; "m" |]
+
+let long_parts =
+  [| "buffer"; "handle"; "resource"; "context"; "session"; "request"; "payload";
+     "config"; "stream"; "record" |]
+
+(* Identifier suffixes are drawn from the caller's generator, so two
+   runs from the same seed produce identical programs (a global counter
+   would leak state across calls and break determinism). *)
+let fresh_ident rng ~long prefix =
+  let n = Rng.int rng 100000 in
+  if long then
+    Printf.sprintf "%s_%s_%d" prefix long_parts.(Rng.int rng (Array.length long_parts)) n
+  else Printf.sprintf "%s%d" short_names.(Rng.int rng (Array.length short_names)) n
+
+let rand_expr rng vars =
+  let leaf () =
+    if vars <> [||] && Rng.bernoulli rng 0.6 then Var (Rng.choice rng vars)
+    else Int_lit (Rng.int rng 100)
+  in
+  let op = Rng.choice rng [| Add; Sub; Mul; Mod |] in
+  if Rng.bernoulli rng 0.5 then Binop (op, leaf (), leaf ()) else leaf ()
+
+let rand_cond rng vars =
+  let lhs =
+    if vars <> [||] && Rng.bernoulli rng 0.7 then Var (Rng.choice rng vars)
+    else Int_lit (Rng.int rng 10)
+  in
+  Binop (Rng.choice rng [| Lt; Gt; Ne; Eq |], lhs, Int_lit (Rng.int rng 64))
+
+let rec rand_stmts rng style ~depth ~count vars =
+  if count = 0 then []
+  else begin
+    let vars_arr = Array.of_list vars in
+    let stmt, vars' =
+      if Rng.bernoulli rng 0.35 then begin
+        let v = fresh_ident rng ~long:style.long_idents "tmp" in
+        (Decl (Int, v, Some (rand_expr rng vars_arr)), v :: vars)
+      end
+      else if depth < 2 && Rng.bernoulli rng style.loop_prob then begin
+        let i = fresh_ident rng ~long:false "i" in
+        let body = rand_stmts rng style ~depth:(depth + 1) ~count:2 (i :: vars) in
+        ( For
+            {
+              init = Decl (Int, i, Some (Int_lit 0));
+              cond = Binop (Lt, Var i, Int_lit (4 + Rng.int rng 60));
+              step = Assign (Var i, Binop (Add, Var i, Int_lit 1));
+              body;
+            },
+          vars )
+      end
+      else if depth < 2 && Rng.bernoulli rng style.branch_prob then begin
+        let then_ = rand_stmts rng style ~depth:(depth + 1) ~count:2 vars in
+        let else_ =
+          if Rng.bernoulli rng 0.4 then
+            rand_stmts rng style ~depth:(depth + 1) ~count:1 vars
+          else []
+        in
+        (If (rand_cond rng vars_arr, then_, else_), vars)
+      end
+      else if vars <> [] && Rng.bernoulli rng 0.5 then
+        (Assign (Var (Rng.choice rng vars_arr), rand_expr rng vars_arr), vars)
+      else (Expr_stmt (rand_expr rng vars_arr), vars)
+    in
+    stmt :: rand_stmts rng style ~depth ~count:(count - 1) vars'
+  end
+
+let helper rng style idx =
+  let param = fresh_ident rng ~long:style.long_idents "arg" in
+  let body = rand_stmts rng style ~depth:0 ~count:style.stmts_per_func [ param ] in
+  {
+    fname =
+      (if style.long_idents then Printf.sprintf "process_%s_%d" long_parts.(idx mod Array.length long_parts) idx
+       else Printf.sprintf "f%d" idx);
+    ret = Int;
+    params = [ (Int, param) ];
+    body = body @ [ Return (Some (Var param)) ];
+  }
+
+let generate rng style =
+  let helpers = List.init style.n_helpers (helper rng style) in
+  let main_body =
+    let calls =
+      List.map
+        (fun f -> Expr_stmt (Call (f.fname, [ Int_lit (Rng.int rng 10) ]))) helpers
+    in
+    let filler = rand_stmts rng style ~depth:0 ~count:style.stmts_per_func [] in
+    filler @ calls @ [ Return (Some (Int_lit 0)) ]
+  in
+  let main = { fname = "main"; ret = Int; params = []; body = main_body } in
+  {
+    includes =
+      "stdio.h" :: "stdlib.h" :: (if style.use_threads then [ "pthread.h" ] else []);
+    functions = helpers @ [ main ];
+  }

@@ -1,0 +1,29 @@
+(** Random generation of benign C-like programs, with an era knob that
+    shifts coding style the way the paper's CVE timeline does: early-era
+    samples are short, direct, single-function; late-era samples use
+    helper functions, loops over resources and thread entry points.
+    This is the covariate-shift generator behind case study C4. *)
+
+open Prom_linalg
+
+type style = {
+  era : int;  (** nominal year, 2013..2023 *)
+  n_helpers : int;
+  stmts_per_func : int;
+  loop_prob : float;
+  branch_prob : float;
+  use_threads : bool;
+  long_idents : bool;
+}
+
+(** [style_of_era rng year] samples a style whose complexity grows with
+    [year]. Raises [Invalid_argument] for years outside 2010..2030. *)
+val style_of_era : Rng.t -> int -> style
+
+(** [generate rng style] produces a self-contained program with a
+    [main] plus [style.n_helpers] helpers. *)
+val generate : Rng.t -> style -> Cast.program
+
+(** [fresh_ident rng ~long prefix] draws an identifier in the era's
+    naming flavor. *)
+val fresh_ident : Rng.t -> long:bool -> string -> string

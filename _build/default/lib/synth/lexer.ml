@@ -1,0 +1,207 @@
+type token =
+  | Kw of string
+  | Ident of string
+  | Int_const of int
+  | Float_const of float
+  | Str_const of string
+  | Punct of string
+
+let keywords =
+  [
+    "void"; "int"; "long"; "float"; "char"; "if"; "else"; "while"; "for"; "return";
+    "sizeof"; "struct"; "static"; "const";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let punct_table =
+  (* Longest tokens first so maximal munch works by scanning in order. *)
+  [
+    "<="; ">="; "=="; "!="; "&&"; "||"; "++"; "--"; "->";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!"; "&"; "|";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; ".";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let peek off = if !pos + off < n then Some src.[!pos + off] else None in
+  let fail msg = failwith (Printf.sprintf "Lexer: %s at offset %d" msg !pos) in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '#' then begin
+      (* Skip preprocessor directives to end of line. *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos + 1 < n do
+        if src.[!pos] = '*' && src.[!pos + 1] = '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      tokens := (if is_keyword word then Kw word else Ident word) :: !tokens
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      let is_float = !pos < n && src.[!pos] = '.' in
+      if is_float then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done
+      end;
+      (* Optional float suffix. *)
+      let has_suffix = !pos < n && (src.[!pos] = 'f' || src.[!pos] = 'F') in
+      let text = String.sub src start (!pos - start) in
+      if has_suffix then incr pos;
+      if is_float || has_suffix then tokens := Float_const (float_of_string text) :: !tokens
+      else tokens := Int_const (int_of_string text) :: !tokens
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\\' && !pos + 1 < n then begin
+          Buffer.add_char buf src.[!pos + 1];
+          pos := !pos + 2
+        end
+        else if src.[!pos] = '"' then begin
+          closed := true;
+          incr pos
+        end
+        else begin
+          Buffer.add_char buf src.[!pos];
+          incr pos
+        end
+      done;
+      if not !closed then fail "unterminated string";
+      tokens := Str_const (Buffer.contents buf) :: !tokens
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !pos + l <= n && String.sub src !pos l = p)
+          punct_table
+      in
+      match matched with
+      | Some p ->
+          tokens := Punct p :: !tokens;
+          pos := !pos + String.length p
+      | None -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev !tokens
+
+let token_to_string = function
+  | Kw s -> s
+  | Ident s -> s
+  | Int_const n -> string_of_int n
+  | Float_const f -> Printf.sprintf "%g" f
+  | Str_const s -> Printf.sprintf "%S" s
+  | Punct s -> s
+
+module Vocab = struct
+  (* Layout: 0 = padding; then keywords; then punctuation; then known
+     library functions; then literal buckets; then identifier hash
+     buckets. *)
+  let known_calls =
+    [
+      "malloc"; "free"; "printf"; "memcpy"; "memset"; "strcpy"; "strlen"; "exit";
+      "pthread_create"; "pthread_join"; "open"; "close"; "read"; "write";
+    ]
+
+  type t = {
+    kw_base : int;
+    punct_base : int;
+    call_base : int;
+    lit_base : int;
+    ident_base : int;
+    ident_buckets : int;
+    total : int;
+  }
+
+  let n_lit_buckets = 8
+
+  let create ~ident_buckets =
+    if ident_buckets < 1 then invalid_arg "Vocab.create: need >= 1 identifier bucket";
+    let kw_base = 1 in
+    let punct_base = kw_base + List.length keywords in
+    let call_base = punct_base + List.length punct_table in
+    let lit_base = call_base + List.length known_calls in
+    let ident_base = lit_base + n_lit_buckets in
+    {
+      kw_base;
+      punct_base;
+      call_base;
+      lit_base;
+      ident_base;
+      ident_buckets;
+      total = ident_base + ident_buckets;
+    }
+
+  let size t = t.total
+
+  let index_of list x =
+    let rec go i = function
+      | [] -> None
+      | y :: rest -> if String.equal x y then Some i else go (i + 1) rest
+    in
+    go 0 list
+
+  (* Deterministic string hash (FNV-1a) so vocab ids are stable across
+     runs, unlike Hashtbl.hash which may vary between OCaml versions. *)
+  let fnv s =
+    let h = ref 0x811c9dc5 in
+    String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3fffffff) s;
+    !h
+
+  let id_of t = function
+    | Kw s -> (
+        match index_of keywords s with
+        | Some i -> t.kw_base + i
+        | None -> t.ident_base (* unreachable for tokens from [tokenize] *))
+    | Punct s -> (
+        match index_of punct_table s with
+        | Some i -> t.punct_base + i
+        | None -> t.ident_base)
+    | Ident s -> (
+        match index_of known_calls s with
+        | Some i -> t.call_base + i
+        | None -> t.ident_base + (fnv s mod t.ident_buckets))
+    | Int_const n -> t.lit_base + (abs n mod (n_lit_buckets / 2))
+    | Float_const f ->
+        t.lit_base + (n_lit_buckets / 2) + (abs (int_of_float f) mod (n_lit_buckets / 2))
+    | Str_const s -> t.lit_base + (fnv s mod (n_lit_buckets / 2))
+
+  let encode t tokens = Array.of_list (List.map (id_of t) tokens)
+end

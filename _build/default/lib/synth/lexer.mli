@@ -1,0 +1,38 @@
+(** A hand-written lexer for the C subset emitted by {!Cast}. The
+    sequence models of case study C4 consume normalized token streams,
+    mirroring how VulDeePecker and CodeXGLUE tokenize source code. *)
+
+type token =
+  | Kw of string  (** keyword: [int], [for], [return], ... *)
+  | Ident of string
+  | Int_const of int
+  | Float_const of float
+  | Str_const of string
+  | Punct of string  (** operators and punctuation, longest-match *)
+
+val keywords : string list
+
+(** [tokenize src] lexes a source string. Raises [Failure] with a
+    position message on characters outside the language. Comments
+    ([//... ] and [/* ... */]) and preprocessor lines ([#...]) are
+    skipped. *)
+val tokenize : string -> token list
+
+val token_to_string : token -> string
+
+(** Mapping of tokens to bounded integer ids for sequence models.
+    Keywords, punctuation and known library calls get stable dedicated
+    ids; all other identifiers and literals are normalized into hash
+    buckets, the usual trick for open vocabularies. Id 0 is reserved
+    for padding. *)
+module Vocab : sig
+  type t
+
+  (** [create ~ident_buckets] builds the vocabulary (dedicated ids plus
+      [ident_buckets] identifier buckets and small literal buckets). *)
+  val create : ident_buckets:int -> t
+
+  val size : t -> int
+  val id_of : t -> token -> int
+  val encode : t -> token list -> int array
+end

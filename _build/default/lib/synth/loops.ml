@@ -1,0 +1,180 @@
+open Prom_linalg
+
+type loop = {
+  family : string;
+  trip_count : int;
+  stride : int;
+  dep_distance : int;
+  arith_ops : float;
+  mem_ops : float;
+  has_reduction : bool;
+  element_bytes : int;
+  alignment : bool;
+}
+
+let families =
+  [
+    "saxpy"; "dot"; "stencil1d"; "stencil2d"; "gemm-inner"; "reduction"; "prefix";
+    "gather"; "scatter"; "histogram"; "fir"; "conv"; "interp"; "cmplx-mul";
+    "norm"; "scale"; "triad"; "update";
+  ]
+
+(* Family profiles: (trip-count log-mean, stride choices, dependence
+   distance choices, arith mean, mem mean, reduction probability). *)
+let profile = function
+  | "saxpy" -> (10, [| 1 |], [| 0 |], 2.0, 3.0, 0.0)
+  | "dot" -> (11, [| 1 |], [| 0 |], 2.0, 2.0, 1.0)
+  | "stencil1d" -> (9, [| 1 |], [| 0; 1 |], 4.0, 3.0, 0.0)
+  | "stencil2d" -> (8, [| 1; 2 |], [| 1; 2 |], 6.0, 5.0, 0.0)
+  | "gemm-inner" -> (9, [| 1 |], [| 0 |], 2.0, 2.0, 1.0)
+  | "reduction" -> (12, [| 1 |], [| 0 |], 1.0, 1.0, 1.0)
+  | "prefix" -> (10, [| 1 |], [| 1 |], 2.0, 2.0, 0.0)
+  | "gather" -> (9, [| 2; 4; 8 |], [| 0 |], 2.0, 4.0, 0.0)
+  | "scatter" -> (9, [| 2; 4; 8 |], [| 0 |], 1.0, 4.0, 0.0)
+  | "histogram" -> (10, [| 1; 2 |], [| 1 |], 2.0, 3.0, 0.0)
+  | "fir" -> (9, [| 1 |], [| 0 |], 8.0, 4.0, 1.0)
+  | "conv" -> (8, [| 1 |], [| 0 |], 9.0, 6.0, 0.0)
+  | "interp" -> (9, [| 1; 2 |], [| 0 |], 5.0, 4.0, 0.0)
+  | "cmplx-mul" -> (9, [| 2 |], [| 0 |], 6.0, 4.0, 0.0)
+  | "norm" -> (10, [| 1 |], [| 0 |], 3.0, 2.0, 1.0)
+  | "scale" -> (11, [| 1 |], [| 0 |], 1.0, 2.0, 0.0)
+  | "triad" -> (10, [| 1 |], [| 0 |], 2.0, 3.0, 0.0)
+  | "update" -> (9, [| 1 |], [| 0; 2; 4 |], 2.0, 3.0, 0.0)
+  | f -> invalid_arg ("Loops: unknown family " ^ f)
+
+let sample_loop rng ~family =
+  let tc_log, strides, deps, arith_mu, mem_mu, red_p = profile family in
+  {
+    family;
+    trip_count = (1 lsl (tc_log + Rng.int rng 4)) + Rng.int rng 17;
+    stride = Rng.choice rng strides;
+    dep_distance = Rng.choice rng deps;
+    arith_ops = Stdlib.max 0.5 (Rng.gaussian rng ~mu:arith_mu ~sigma:(arith_mu *. 0.3));
+    mem_ops = Stdlib.max 0.5 (Rng.gaussian rng ~mu:mem_mu ~sigma:(mem_mu *. 0.3));
+    has_reduction = Rng.bernoulli rng red_p;
+    element_bytes = (if Rng.bool rng then 4 else 8);
+    alignment = Rng.bernoulli rng 0.7;
+  }
+
+let feature_vector l =
+  [|
+    log (float_of_int l.trip_count);
+    float_of_int l.stride;
+    float_of_int l.dep_distance;
+    l.arith_ops;
+    l.mem_ops;
+    (if l.has_reduction then 1.0 else 0.0);
+    float_of_int l.element_bytes /. 8.0;
+    (if l.alignment then 1.0 else 0.0);
+    l.arith_ops /. (1.0 +. l.mem_ops);
+  |]
+
+let vfs = [| 1; 2; 4; 8; 16; 32; 64 |]
+let ifs = [| 1; 2; 4; 8; 16 |]
+
+let configs =
+  Array.concat
+    (Array.to_list (Array.map (fun vf -> Array.map (fun if_ -> (vf, if_)) ifs) vfs))
+
+let config_label (vf, if_) =
+  let rec find i =
+    if i >= Array.length configs then
+      invalid_arg (Printf.sprintf "Loops.config_label: unknown config (%d,%d)" vf if_)
+    else if configs.(i) = (vf, if_) then i
+    else find (i + 1)
+  in
+  find 0
+
+let label_config i =
+  if i < 0 || i >= Array.length configs then invalid_arg "Loops.label_config: out of range";
+  configs.(i)
+
+let runtime l (vf, if_) =
+  if vf < 1 || if_ < 1 then invalid_arg "Loops.runtime: factors must be >= 1";
+  let n = float_of_int l.trip_count in
+  let vff = float_of_int vf and iff = float_of_int if_ in
+  (* Vector lanes available given element width (e.g. 8 floats or 4
+     doubles for 256-bit SIMD); VF beyond that wastes work. *)
+  let hw_lanes = 32.0 /. float_of_int l.element_bytes in
+  let effective_vf = Stdlib.min vff hw_lanes in
+  (* Legality: a loop-carried dependence at distance d limits VF to d. *)
+  let legal_vf =
+    if l.dep_distance = 0 then effective_vf
+    else Stdlib.min effective_vf (float_of_int l.dep_distance)
+  in
+  let useful_vf = Stdlib.max 1.0 legal_vf in
+  (* Strided access divides effective bandwidth. *)
+  let stride_factor = 1.0 /. float_of_int l.stride in
+  let simd_mem_speedup = Stdlib.max 1.0 (useful_vf *. stride_factor) in
+  let arith_time = n *. l.arith_ops /. useful_vf in
+  let mem_time = n *. l.mem_ops /. simd_mem_speedup in
+  (* Interleaving hides latency; the gain saturates at the loop's
+     available instruction-level parallelism, which scales with the
+     amount of independent arithmetic per iteration. *)
+  let max_ilp = 1.0 +. (l.arith_ops /. 4.0) in
+  let ilp_gain = Stdlib.min max_ilp (1.0 +. (0.3 *. log iff /. log 2.0)) in
+  (* Register pressure: wider elements burn registers faster. *)
+  let regs = useful_vf *. iff *. (float_of_int l.element_bytes /. 4.0) in
+  let spill = if regs > 48.0 then 1.0 +. ((regs -. 48.0) /. 32.0) else 1.0 in
+  (* Reductions serialize partially at high VF*IF. *)
+  let reduction_penalty =
+    if l.has_reduction then 1.0 +. (0.18 *. log (vff *. iff) /. log 2.0) else 1.0
+  in
+  (* Remainder-loop overhead when the trip count does not amortize. *)
+  let chunk = vff *. iff in
+  let remainder = 1.0 +. (1.5 *. chunk /. n) in
+  let misalign = if l.alignment then 1.0 else 1.0 +. (0.05 *. log (1.0 +. vff)) in
+  let wasted = vff /. useful_vf in
+  (arith_time +. mem_time) /. ilp_gain *. spill *. reduction_penalty *. remainder
+  *. misalign *. sqrt wasted
+
+let best_config l =
+  let best = ref (configs.(0), runtime l configs.(0)) in
+  Array.iter
+    (fun cfg ->
+      let t = runtime l cfg in
+      if t < snd !best then best := (cfg, t))
+    configs;
+  !best
+
+let loop_to_ast rng l =
+  let open Cast in
+  let i = Generator.fresh_ident rng ~long:false "i" in
+  let a = "a" and b = "b" and c = "c" in
+  let idx v = Index (Var v, Binop (Mul, Var i, Int_lit l.stride)) in
+  let body =
+    if l.has_reduction then
+      [ Assign (Var "acc", Binop (Add, Var "acc", Binop (Mul, idx a, idx b))) ]
+    else
+      [
+        Assign
+          ( idx c,
+            Binop
+              ( Add,
+                Binop (Mul, idx a, Float_lit 1.5),
+                if l.dep_distance > 0 then
+                  Index (Var c, Binop (Sub, Var i, Int_lit l.dep_distance))
+                else idx b ) );
+      ]
+  in
+  let loop_stmt =
+    For
+      {
+        init = Decl (Int, i, Some (Int_lit (if l.dep_distance > 0 then l.dep_distance else 0)));
+        cond = Binop (Lt, Var i, Int_lit l.trip_count);
+        step = Assign (Var i, Binop (Add, Var i, Int_lit 1));
+        body;
+      }
+  in
+  let elt_ty = if l.element_bytes = 4 then Float else Long in
+  let kernel =
+    {
+      fname = Printf.sprintf "%s_loop" (String.map (fun ch -> if ch = '-' then '_' else ch) l.family);
+      ret = Void;
+      params = [ (Ptr elt_ty, a); (Ptr elt_ty, b); (Ptr elt_ty, c) ];
+      body =
+        (if l.has_reduction then [ Decl (Float, "acc", Some (Float_lit 0.0)) ] else [])
+        @ [ loop_stmt ];
+    }
+  in
+  { includes = []; functions = [ kernel ] }

@@ -1,0 +1,52 @@
+(** Synthetic vectorizable loops and an analytic SIMD performance model
+    — the substrate of case study C2 (loop vectorization). A loop
+    descriptor abstracts the LLVM test-suite loops the paper uses;
+    benchmark families occupy distinct parameter regions so holding
+    families out of training induces drift. The runtime model encodes
+    the standard constraints: dependence distance caps the legal
+    vectorization factor, non-unit strides kill bandwidth, short trip
+    counts pay remainder-loop overhead, and too-aggressive unrolling
+    spills registers. *)
+
+open Prom_linalg
+
+type loop = {
+  family : string;  (** source benchmark family *)
+  trip_count : int;
+  stride : int;  (** element stride of the dominant access *)
+  dep_distance : int;  (** minimum loop-carried dependence distance; 0 = none *)
+  arith_ops : float;  (** arithmetic ops per iteration *)
+  mem_ops : float;  (** memory ops per iteration *)
+  has_reduction : bool;
+  element_bytes : int;  (** 4 or 8 *)
+  alignment : bool;
+}
+
+val families : string list
+(** 18 benchmark families, as in the paper's loop corpus. *)
+
+val sample_loop : Rng.t -> family:string -> loop
+
+val feature_vector : loop -> Vec.t
+
+(** The 35 (VF, IF) configurations of the paper: VF in
+    [1;2;4;8;16;32;64], IF in [1;2;4;8;16]. *)
+val configs : (int * int) array
+
+(** [config_label (vf, if_)] is the class index in [0..34]. Raises
+    [Invalid_argument] for unknown configurations. *)
+val config_label : int * int -> int
+
+val label_config : int -> int * int
+
+(** [runtime loop (vf, if_)] is the modeled execution time of the loop
+    compiled with vectorization factor [vf] and interleave factor
+    [if_]. *)
+val runtime : loop -> int * int -> float
+
+(** [best_config loop] is the oracle [(config, runtime)]. *)
+val best_config : loop -> (int * int) * float
+
+(** [loop_to_ast rng loop] renders the descriptor as a C loop nest, so
+    token-sequence models (DeepTune-style) can consume source text. *)
+val loop_to_ast : Rng.t -> loop -> Cast.program

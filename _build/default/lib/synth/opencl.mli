@@ -1,0 +1,77 @@
+(** Synthetic OpenCL kernels and analytic device performance models —
+    the substrate of case studies C1 (thread coarsening) and C3
+    (heterogeneous mapping). Kernels are drawn per benchmark suite with
+    suite-specific characteristic distributions; holding a suite out of
+    training reproduces the paper's drift protocol. The performance
+    models are simple roofline-style analytic functions, so oracle
+    labels (best coarsening factor; faster device) are exact. *)
+
+open Prom_linalg
+
+(** Static characteristics of a kernel. *)
+type kernel = {
+  suite : string;
+  kname : string;
+  comp_intensity : float;  (** arithmetic ops per work-item *)
+  mem_intensity : float;  (** global memory accesses per work-item *)
+  branch_divergence : float;  (** 0..1 *)
+  local_mem : float;  (** local-memory pressure, 0..1 *)
+  regs_per_thread : float;
+  work_items : int;
+  coalesced : float;  (** memory coalescing quality, 0..1 *)
+  transfer_bytes : float;  (** host-device transfer volume *)
+}
+
+(** The benchmark suites kernels are drawn from (7, as in the DeepTune
+    dataset). Each has its own parameter distributions. *)
+val suites : string list
+
+(** [sample_kernel rng ~suite] draws a kernel from the suite's
+    distribution. Raises [Invalid_argument] for unknown suites. *)
+val sample_kernel : Rng.t -> suite:string -> kernel
+
+(** [feature_vector k] is the numeric representation models consume
+    (the paper's "number of instructions"-style summary features). *)
+val feature_vector : kernel -> Vec.t
+
+(** [kernel_to_ast rng k] renders the descriptor as synthetic C-like
+    kernel source whose statement mix mirrors the descriptor (arithmetic
+    statements scale with compute intensity, array accesses with memory
+    intensity, branches with divergence) — the raw-code view DeepTune-
+    style sequence models consume. *)
+val kernel_to_ast : Rng.t -> kernel -> Cast.program
+
+(** A GPU model for thread coarsening. *)
+type gpu = {
+  gpu_name : string;
+  compute_throughput : float;
+  mem_bandwidth : float;
+  sched_overhead : float;
+  reg_budget : float;
+  spill_penalty : float;
+}
+
+(** The four GPU platforms of the Magni et al. dataset, loosely. *)
+val gpus : gpu list
+
+val coarsening_factors : int array
+(** [| 1; 2; 4; 8; 16; 32 |] *)
+
+(** [coarsened_runtime gpu k cf] is the modeled runtime of [k] on [gpu]
+    with coarsening factor [cf]: coarsening amortizes scheduling
+    overhead and improves ILP until register pressure triggers spills
+    and occupancy collapses. *)
+val coarsened_runtime : gpu -> kernel -> int -> float
+
+(** [best_coarsening gpu k] is the oracle [(factor, runtime)]. *)
+val best_coarsening : gpu -> kernel -> int * float
+
+(** CPU/GPU mapping (C3): modeled runtimes on a host CPU and a
+    discrete GPU including transfer cost. *)
+val cpu_runtime : kernel -> float
+
+val gpu_runtime : gpu -> kernel -> float
+
+(** [best_device gpu k] is [0] for CPU, [1] for GPU — the C3 oracle
+    label. *)
+val best_device : gpu -> kernel -> int

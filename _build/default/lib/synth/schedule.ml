@@ -1,0 +1,154 @@
+open Prom_linalg
+
+type network = Bert_tiny | Bert_base | Bert_medium | Bert_large
+
+let networks = [ Bert_tiny; Bert_base; Bert_medium; Bert_large ]
+
+let network_name = function
+  | Bert_tiny -> "BERT-tiny"
+  | Bert_base -> "BERT-base"
+  | Bert_medium -> "BERT-medium"
+  | Bert_large -> "BERT-large"
+
+type workload = { net : network; m : int; n : int; k : int }
+
+(* The drift variable of C5: each BERT variant ships with a different
+   quantization (int8 for tiny, bf16 for medium, fp32 for base/large).
+   Element width changes the effective SIMD lane count and the cache
+   footprint of a tile. It is visible in the tensor-program text (and so
+   in the feature vector), but a cost model trained only on fp32
+   BERT-base data has never seen its other values - the classic
+   covariate shift of the paper's unseen network variants. *)
+let element_bytes = function
+  | Bert_tiny -> 1
+  | Bert_medium -> 2
+  | Bert_base | Bert_large -> 4
+
+let hidden_of = function
+  | Bert_tiny -> 128
+  | Bert_base -> 768
+  | Bert_medium -> 512
+  | Bert_large -> 1024
+
+let sample_workload rng net =
+  let h = hidden_of net in
+  (* Layers: QKV projections (h x h), FFN up (h x 4h), FFN down (4h x h),
+     attention scores (seq x seq); sequence length varies. *)
+  let seq = 64 * (1 + Rng.int rng 6) in
+  match Rng.int rng 4 with
+  | 0 -> { net; m = seq; n = h; k = h }
+  | 1 -> { net; m = seq; n = 4 * h; k = h }
+  | 2 -> { net; m = seq; n = h; k = 4 * h }
+  | _ -> { net; m = seq; n = seq; k = h / (8 + Rng.int rng 8) }
+
+type schedule = {
+  tile_m : int;
+  tile_n : int;
+  tile_k : int;
+  unroll : int;
+  vectorize : int;
+  parallel : int;
+}
+
+let tile_choices = [| 4; 8; 16; 32; 64; 128 |]
+let unroll_choices = [| 1; 2; 4; 8 |]
+let vec_choices = [| 1; 4; 8; 16 |]
+let par_choices = [| 1; 2; 4; 8; 12 |]
+
+let random_schedule rng =
+  {
+    tile_m = Rng.choice rng tile_choices;
+    tile_n = Rng.choice rng tile_choices;
+    tile_k = Rng.choice rng tile_choices;
+    unroll = Rng.choice rng unroll_choices;
+    vectorize = Rng.choice rng vec_choices;
+    parallel = Rng.choice rng par_choices;
+  }
+
+let mutate rng s =
+  match Rng.int rng 6 with
+  | 0 -> { s with tile_m = Rng.choice rng tile_choices }
+  | 1 -> { s with tile_n = Rng.choice rng tile_choices }
+  | 2 -> { s with tile_k = Rng.choice rng tile_choices }
+  | 3 -> { s with unroll = Rng.choice rng unroll_choices }
+  | 4 -> { s with vectorize = Rng.choice rng vec_choices }
+  | _ -> { s with parallel = Rng.choice rng par_choices }
+
+let throughput w s =
+  let fm = float_of_int in
+  let bytes = fm (element_bytes w.net) in
+  (* Working set of one tile in KB. *)
+  let tile_kb =
+    fm ((s.tile_m * s.tile_k) + (s.tile_k * s.tile_n) + (s.tile_m * s.tile_n))
+    *. bytes /. 1024.0
+  in
+  (* L2-resident tiles run at full speed; beyond 512KB locality decays. *)
+  let cache_factor =
+    if tile_kb <= 32.0 then 0.75 (* tiny tiles: loop overhead dominates *)
+    else if tile_kb <= 512.0 then 1.0
+    else 1.0 /. (1.0 +. ((tile_kb -. 512.0) /. 512.0))
+  in
+  (* Vectorization helps up to the hardware lane count (32 bytes of
+     SIMD divided by the element width), and only if tile_n is a
+     multiple of the vector width. *)
+  let vec_eff =
+    let hw_lanes = 32 / element_bytes w.net in
+    let lanes = Stdlib.min s.vectorize hw_lanes in
+    let aligned = s.tile_n mod Stdlib.max 1 s.vectorize = 0 in
+    fm lanes *. (if aligned then 1.0 else 0.55)
+  in
+  (* Unrolling buys ILP until register spills (unroll * vectorize > 32). *)
+  let unroll_eff =
+    let gain = 1.0 +. (0.2 *. log (fm s.unroll) /. log 2.0) in
+    if s.unroll * s.vectorize > 32 then gain *. 0.6 else gain
+  in
+  (* Parallel speedup saturates with workload size (12-core machine). *)
+  let chunks = fm ((w.m + (s.tile_m - 1)) / s.tile_m) in
+  let par_eff = Stdlib.min (fm s.parallel) (Stdlib.max 1.0 (chunks /. 2.0)) in
+  (* Reuse along k: larger tile_k amortizes loads but too large thrashes. *)
+  let k_factor =
+    let r = fm s.tile_k /. fm (Stdlib.max 1 w.k) in
+    if r > 1.0 then 0.8 else 1.0 +. (0.15 *. log (1.0 +. fm s.tile_k /. 16.0))
+  in
+  let base = 8.0 (* GFLOP/s scalar single-thread baseline *) in
+  base *. cache_factor *. vec_eff *. unroll_eff *. par_eff *. k_factor
+
+let feature_vector w s =
+  let fm = float_of_int in
+  [|
+    log (fm w.m);
+    log (fm w.n);
+    log (fm w.k);
+    log (fm s.tile_m);
+    log (fm s.tile_n);
+    log (fm s.tile_k);
+    fm s.unroll;
+    fm s.vectorize;
+    fm s.parallel;
+    log (fm ((s.tile_m * s.tile_k) + (s.tile_k * s.tile_n) + (s.tile_m * s.tile_n)));
+    (if s.tile_n mod Stdlib.max 1 s.vectorize = 0 then 1.0 else 0.0);
+    fm (s.unroll * s.vectorize);
+    fm (element_bytes w.net);
+  |]
+
+let oracle ?samples:_ _rng w =
+  (* The knob space is small enough to enumerate exactly. *)
+  let best = ref 0.0 in
+  Array.iter (fun tile_m ->
+      Array.iter (fun tile_n ->
+          Array.iter (fun tile_k ->
+              Array.iter (fun unroll ->
+                  Array.iter (fun vectorize ->
+                      Array.iter (fun parallel ->
+                          let t =
+                            throughput w
+                              { tile_m; tile_n; tile_k; unroll; vectorize; parallel }
+                          in
+                          if t > !best then best := t)
+                        par_choices)
+                    vec_choices)
+                unroll_choices)
+            tile_choices)
+        tile_choices)
+    tile_choices;
+  !best

@@ -1,0 +1,60 @@
+(** A TVM-like tensor-program schedule space and synthetic cost surface
+    — the substrate of case study C5 (DNN code generation). A workload
+    is a GEMM-shaped layer from a BERT-family network; a schedule fixes
+    tiling, unrolling, vectorization and parallelization knobs. The
+    "true" throughput comes from an analytic model with the usual
+    interactions (cache-fitting tiles, vector-width alignment, spill
+    cliffs), so the oracle schedule is well-defined and a learned cost
+    model can be trained, drift-tested across network variants, and used
+    to drive a search ({!Tvm_search} in [prom_tasks]). *)
+
+open Prom_linalg
+
+(** BERT-family variants of the TenSet setup. *)
+type network = Bert_tiny | Bert_base | Bert_medium | Bert_large
+
+val networks : network list
+val network_name : network -> string
+
+(** One GEMM-shaped layer workload: [m x k] times [k x n]. *)
+type workload = { net : network; m : int; n : int; k : int }
+
+(** [sample_workload rng net] draws a layer whose dimensions follow the
+    variant's hidden sizes (tiny 128 .. large 1024, with heads and FFN
+    expansions). *)
+val sample_workload : Rng.t -> network -> workload
+
+type schedule = {
+  tile_m : int;
+  tile_n : int;
+  tile_k : int;
+  unroll : int;  (** innermost unroll factor *)
+  vectorize : int;  (** vector width in elements *)
+  parallel : int;  (** outer-loop parallel chunks *)
+}
+
+(** [random_schedule rng] draws from the discrete knob space. *)
+val random_schedule : Rng.t -> schedule
+
+(** [mutate rng s] perturbs one knob — the evolutionary-search move. *)
+val mutate : Rng.t -> schedule -> schedule
+
+(** [throughput workload s] is the modeled GFLOP/s of [s] on the
+    workload (higher is better). *)
+val throughput : workload -> schedule -> float
+
+(** [feature_vector workload s] is the cost-model input: workload shape
+    plus schedule knobs plus derived interaction terms. *)
+val feature_vector : workload -> schedule -> Vec.t
+
+(** [oracle ?samples rng workload] is the best achievable throughput,
+    found by exhaustive enumeration of the knob space — standing in for
+    the paper's exhaustive profiling. ([samples] and [rng] are kept for
+    interface stability and ignored.) *)
+val oracle : ?samples:int -> Rng.t -> workload -> float
+
+(** [element_bytes net] is the variant's element width (quantization) —
+    the deployment property behind C5's drift. It is the last component
+    of {!feature_vector}: observable, but constant in any one variant's
+    training data. *)
+val element_bytes : network -> int

@@ -1,0 +1,1 @@
+lib/tasks/case_study.mli: Assessment Config Detection_metrics Format Model Prom Prom_linalg Prom_ml Vec

@@ -1,0 +1,1 @@
+lib/tasks/dnn_codegen.mli: Assessment Config Detection_metrics Format Prom Prom_synth Schedule

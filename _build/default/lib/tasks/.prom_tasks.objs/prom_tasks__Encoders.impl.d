@@ -1,0 +1,1 @@
+lib/tasks/encoders.ml: Array Encoding Feature Fun Lexer List Nn_model Prom_nn Prom_synth Stdlib

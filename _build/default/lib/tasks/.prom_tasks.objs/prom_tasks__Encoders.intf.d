@@ -1,0 +1,1 @@
+lib/tasks/encoders.mli: Encoding Model Prom_linalg Prom_ml Prom_nn Prom_synth Vec

@@ -1,0 +1,1 @@
+lib/tasks/hetero_mapping.ml: Array Case_study Encoders Encoding Fun Gnn Gradient_boosting Hashtbl List Opencl Prom_linalg Prom_ml Prom_nn Prom_synth Rng Seq_model Stdlib

@@ -1,0 +1,1 @@
+lib/tasks/hetero_mapping.mli: Case_study Opencl Prom_synth

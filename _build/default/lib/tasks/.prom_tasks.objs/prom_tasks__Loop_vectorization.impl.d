@@ -1,0 +1,1 @@
+lib/tasks/loop_vectorization.ml: Array Case_study Encoders Fun Hashtbl List Loops Mlp Prom_linalg Prom_ml Prom_nn Prom_synth Rng Seq_model Svm

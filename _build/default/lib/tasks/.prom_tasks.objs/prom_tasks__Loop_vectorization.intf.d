@@ -1,0 +1,1 @@
+lib/tasks/loop_vectorization.mli: Case_study Loops Prom_synth

@@ -1,0 +1,1 @@
+lib/tasks/metrics.ml: Array Format Prom_linalg Stats Stdlib String

@@ -1,0 +1,1 @@
+lib/tasks/suite.ml: Case_study Config Detection_metrics Dnn_codegen Format Hetero_mapping List Loop_vectorization Prom Thread_coarsening Vuln_detection

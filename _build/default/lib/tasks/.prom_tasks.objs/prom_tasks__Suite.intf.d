@@ -1,0 +1,1 @@
+lib/tasks/suite.mli: Case_study Config Detection_metrics Dnn_codegen Format Prom

@@ -1,0 +1,1 @@
+lib/tasks/thread_coarsening.ml: Array Case_study Encoders Fun Gradient_boosting Hashtbl List Mlp Opencl Prom_linalg Prom_ml Prom_nn Prom_synth Rng Seq_model Stdlib

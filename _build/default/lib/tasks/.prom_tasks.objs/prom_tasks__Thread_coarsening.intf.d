@@ -1,0 +1,1 @@
+lib/tasks/thread_coarsening.mli: Case_study Opencl Prom_synth

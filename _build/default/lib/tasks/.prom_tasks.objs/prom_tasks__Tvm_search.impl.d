@@ -1,0 +1,1 @@
+lib/tasks/tvm_search.ml: Array Prom_synth Schedule Stdlib

@@ -1,0 +1,1 @@
+lib/tasks/tvm_search.mli: Prom_linalg Prom_synth Rng Schedule

@@ -1,0 +1,1 @@
+lib/tasks/vuln_detection.ml: Array Bug_inject Case_study Cast Encoders Generator List Prom_linalg Prom_nn Prom_synth Rng Seq_model

@@ -1,0 +1,1 @@
+lib/tasks/vuln_detection.mli: Case_study Cast Prom_nn Prom_synth

@@ -1,0 +1,194 @@
+open Prom_linalg
+open Prom_ml
+open Prom
+
+type 'w scenario = {
+  cs_name : string;
+  n_classes : int;
+  train_w : 'w array;
+  train_y : int array;
+  id_w : 'w array;
+  id_y : int array;
+  drift_w : 'w array;
+  drift_y : int array;
+  perf : 'w -> int -> float;
+}
+
+type 'w model_spec = {
+  spec_name : string;
+  encode : 'w -> Vec.t;
+  trainer : Model.classifier_trainer;
+  cp_feature_of : Model.classifier -> Vec.t -> Vec.t;
+  scale_features : bool;
+}
+
+type result = {
+  case : string;
+  model_name : string;
+  design_perf : float array;
+  deploy_perf : float array;
+  prom_perf : float array;
+  detection : Detection_metrics.t;
+  per_function : (string * Detection_metrics.t) list;
+  baseline_metrics : (string * Detection_metrics.t) list;
+  coverage : Assessment.report;
+  flagged_fraction : float;
+  relabeled : int;
+  train_time : float;
+  retrain_time : float;
+  detect_time : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let perf_of_model scenario model ws xs =
+  Array.mapi (fun i x -> scenario.perf ws.(i) (Model.predict model x)) xs
+
+(* The oracle label for a workload: the class with the best
+   performance. *)
+let oracle_label scenario w =
+  let best = ref 0 and best_p = ref neg_infinity in
+  for c = 0 to scenario.n_classes - 1 do
+    let p = scenario.perf w c in
+    if p > !best_p then begin
+      best := c;
+      best_p := p
+    end
+  done;
+  !best
+
+let run ?(config = Config.default) ?(budget_fraction = 0.05) ~seed scenario spec =
+  (* Tabular encodings need standardization to train well; packed token
+     sequences must stay untouched. The model spec's encoder decides by
+     exposing raw vectors, and we scale everything except sequence
+     packings (detected by the spec marker the encoders share). *)
+  let raw_pool = Array.map spec.encode scenario.train_w in
+  let scaler =
+    if spec.scale_features then
+      Some (Dataset.Scaler.fit (Dataset.create raw_pool scenario.train_y))
+    else None
+  in
+  let apply v = match scaler with Some s -> Dataset.Scaler.transform s v | None -> v in
+  let encode w = apply (spec.encode w) in
+  let pool = Dataset.create (Array.map apply raw_pool) scenario.train_y in
+  let train_data, calibration =
+    Framework.data_partitioning ~calibration_ratio:0.25 ~seed pool
+  in
+  let model, train_time = timed (fun () -> spec.trainer.Model.train train_data) in
+  let feature_of = spec.cp_feature_of model in
+  let id_x = Array.map encode scenario.id_w in
+  let drift_x = Array.map encode scenario.drift_w in
+  let design_perf = perf_of_model scenario model scenario.id_w id_x in
+  let deploy_perf = perf_of_model scenario model scenario.drift_w drift_x in
+  let detector =
+    Detector.Classification.create ~config ~model ~feature_of calibration
+  in
+  (* Drift detection on the deployment stream. *)
+  let (verdicts : Detector.cls_verdict array), detect_total =
+    timed (fun () -> Array.map (Detector.Classification.evaluate detector) drift_x)
+  in
+  let flagged = Array.map (fun v -> v.Detector.drifted) verdicts in
+  let mispredicted = Array.map (fun p -> Metrics.mispredicted ~perf:p) deploy_perf in
+  let detection = Detection_metrics.compute ~flagged ~mispredicted in
+  (* Individual nonconformity functions (Fig. 11). *)
+  let per_function =
+    List.map
+      (fun fn ->
+        let det1 =
+          Detector.Classification.create ~config ~committee:[ fn ] ~model ~feature_of
+            calibration
+        in
+        let f1 =
+          Array.map (fun x -> snd (Detector.Classification.predict det1 x)) drift_x
+        in
+        (fn.Nonconformity.cls_name, Detection_metrics.compute ~flagged:f1 ~mispredicted))
+      Nonconformity.default_committee
+  in
+  (* Baseline comparators (Fig. 10). *)
+  let baseline_metrics =
+    List.map
+      (fun (b : Baselines.t) ->
+        let fb = Array.map b.Baselines.flags drift_x in
+        (b.Baselines.name, Detection_metrics.compute ~flagged:fb ~mispredicted))
+      [
+        Baselines.naive_cp ~epsilon:config.Config.epsilon ~model ~feature_of calibration;
+        Baselines.tesseract ~epsilon:config.Config.epsilon ~model ~feature_of calibration;
+        Baselines.rise ~epsilon:config.Config.epsilon ~seed ~model ~feature_of calibration;
+      ]
+  in
+  let coverage =
+    Assessment.classification ~config ~committee:Nonconformity.default_committee ~model
+      ~feature_of calibration
+  in
+  (* Incremental learning: relabel a small budget of flagged samples
+     with their oracle label and retrain. *)
+  let oracle x =
+    (* Recover the workload by position in the drift set. *)
+    let rec find i =
+      if i >= Array.length drift_x then invalid_arg "Case_study.run: unknown oracle input"
+      else if drift_x.(i) == x then i
+      else find (i + 1)
+    in
+    oracle_label scenario scenario.drift_w.(find 0)
+  in
+  let outcome, retrain_time =
+    timed (fun () ->
+        Incremental.classification ~budget_fraction ~detector ~trainer:spec.trainer
+          ~train_data ~oracle drift_x)
+  in
+  let prom_perf =
+    perf_of_model scenario outcome.Incremental.updated_model scenario.drift_w drift_x
+  in
+  let n_drift = Array.length drift_x in
+  {
+    case = scenario.cs_name;
+    model_name = spec.spec_name;
+    design_perf;
+    deploy_perf;
+    prom_perf;
+    detection;
+    per_function;
+    baseline_metrics;
+    coverage;
+    flagged_fraction =
+      float_of_int (List.length outcome.Incremental.flagged_indices)
+      /. float_of_int (Stdlib.max 1 n_drift);
+    relabeled = List.length outcome.Incremental.relabeled_indices;
+    train_time;
+    retrain_time;
+    detect_time = detect_total /. float_of_int (Stdlib.max 1 n_drift);
+  }
+
+let summarize results =
+  if results = [] then invalid_arg "Case_study.summarize: empty result list";
+  let mean f = Stats.mean (Array.of_list (List.map f results)) in
+  let avg_metric f = mean (fun r -> f r.detection) in
+  let detection =
+    {
+      Detection_metrics.accuracy = avg_metric (fun m -> m.Detection_metrics.accuracy);
+      precision = avg_metric (fun m -> m.Detection_metrics.precision);
+      recall = avg_metric (fun m -> m.Detection_metrics.recall);
+      f1 = avg_metric (fun m -> m.Detection_metrics.f1);
+      false_positive_rate =
+        avg_metric (fun m -> m.Detection_metrics.false_positive_rate);
+      false_negative_rate =
+        avg_metric (fun m -> m.Detection_metrics.false_negative_rate);
+      n = List.fold_left (fun acc r -> acc + r.detection.Detection_metrics.n) 0 results;
+    }
+  in
+  ( mean (fun r -> Stats.mean r.design_perf),
+    mean (fun r -> Stats.mean r.deploy_perf),
+    mean (fun r -> Stats.mean r.prom_perf),
+    detection )
+
+let pp_result fmt r =
+  Format.fprintf fmt "@[<v>%s / %s@," r.case r.model_name;
+  Format.fprintf fmt "  design : %a@," Metrics.pp_violin (Metrics.violin_of r.design_perf);
+  Format.fprintf fmt "  deploy : %a@," Metrics.pp_violin (Metrics.violin_of r.deploy_perf);
+  Format.fprintf fmt "  prom   : %a@," Metrics.pp_violin (Metrics.violin_of r.prom_perf);
+  Format.fprintf fmt "  detect : %a@," Detection_metrics.pp r.detection;
+  Format.fprintf fmt "  flagged=%.2f relabeled=%d coverage-dev=%.3f@]" r.flagged_fraction
+    r.relabeled r.coverage.Assessment.deviation

@@ -1,0 +1,80 @@
+(** Generic scaffolding shared by the classification case studies
+    (C1-C4): the drift scenario data, the per-model encoding, and the
+    experiment runner that produces every number the paper's figures
+    report for one (case study, model) pair. *)
+
+open Prom_linalg
+open Prom_ml
+open Prom
+
+(** A drift scenario over workloads of type ['w]. [train_w] is the
+    design-time pool (split internally into training and calibration);
+    [id_w] is an in-distribution validation set (design-time
+    performance); [drift_w] is the deployment set drawn from a shifted
+    distribution. [perf w label] is the performance-to-oracle ratio in
+    [0, 1] of acting on [label] for workload [w] (for pure
+    classification tasks it is 1 on the correct label and 0
+    otherwise). *)
+type 'w scenario = {
+  cs_name : string;
+  n_classes : int;
+  train_w : 'w array;
+  train_y : int array;
+  id_w : 'w array;
+  id_y : int array;
+  drift_w : 'w array;
+  drift_y : int array;
+  perf : 'w -> int -> float;
+}
+
+(** How one underlying model consumes workloads: [encode] produces the
+    model input vector, [trainer] fits the model, and [cp_feature_of]
+    chooses the feature space PROM measures distances in (a neural
+    model's embedding, or the identity for tabular inputs). *)
+type 'w model_spec = {
+  spec_name : string;
+  encode : 'w -> Vec.t;
+  trainer : Model.classifier_trainer;
+  cp_feature_of : Model.classifier -> Vec.t -> Vec.t;
+  scale_features : bool;
+      (** standardize encoded features before training and detection —
+          true for tabular encodings, false for packed token sequences
+          and graphs, whose encodings are structural *)
+}
+
+(** Everything the figures need for one (case study, model) pair. *)
+type result = {
+  case : string;
+  model_name : string;
+  design_perf : float array;  (** per-sample perf on the id set (Fig. 7) *)
+  deploy_perf : float array;  (** per-sample perf on the drift set (Fig. 7) *)
+  prom_perf : float array;
+      (** drift-set perf after incremental learning (Fig. 9) *)
+  detection : Detection_metrics.t;  (** PROM committee (Fig. 8) *)
+  per_function : (string * Detection_metrics.t) list;  (** Fig. 11 *)
+  baseline_metrics : (string * Detection_metrics.t) list;  (** Fig. 10 *)
+  coverage : Assessment.report;  (** Fig. 13d *)
+  flagged_fraction : float;
+  relabeled : int;
+  train_time : float;
+  retrain_time : float;
+  detect_time : float;  (** mean seconds per drift-detection call *)
+}
+
+(** [run ?config ?budget_fraction ~seed scenario spec] executes the full
+    protocol: split, train, measure design and deployment performance,
+    detect drift, compare against single functions and baselines,
+    assess coverage, and run one incremental-learning round. *)
+val run :
+  ?config:Config.t ->
+  ?budget_fraction:float ->
+  seed:int ->
+  'w scenario ->
+  'w model_spec ->
+  result
+
+(** [summarize results] averages a result list into the Table 2 row:
+    [(design, deploy, prom, detection-average)]. *)
+val summarize : result list -> float * float * float * Detection_metrics.t
+
+val pp_result : Format.formatter -> result -> unit

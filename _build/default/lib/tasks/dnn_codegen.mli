@@ -1,0 +1,43 @@
+(** Case study C5: a regression cost model for DNN code generation
+    (paper Sec. 6.5, Table 3). A TLP-style attention regressor is
+    trained on (workload, schedule) samples from BERT-base and deployed
+    on the other BERT variants, both for raw prediction accuracy (drift
+    detection) and to drive the {!Tvm_search} engine (perf-to-oracle).
+    PROM-assisted search profiles a small budget of flagged candidates
+    and retrains the cost model online. *)
+
+open Prom
+open Prom_synth
+
+(** Per-network outcome of Table 3. *)
+type network_row = {
+  network : Schedule.network;
+  native_ratio : float;  (** search perf-to-oracle with the stale model *)
+  prom_ratio : float option;
+      (** with PROM-assisted online retraining; [None] for the
+          in-distribution network *)
+  detection : Detection_metrics.t option;
+      (** drift detection on prediction deviations; [None] in
+          distribution *)
+}
+
+type result = {
+  rows : network_row list;
+  coverage : Assessment.report;
+  design_mae : float;  (** cost-model log-space MAE on held-out base data *)
+  n_clusters : int;  (** chosen by the gap statistic *)
+}
+
+(** [run ?config ?train_samples ?test_samples ?search_workloads ~seed ()]
+    executes the full C5 protocol. Sizes default to a laptop-scale
+    reduction of the paper's setup. *)
+val run :
+  ?config:Config.t ->
+  ?train_samples:int ->
+  ?test_samples:int ->
+  ?search_workloads:int ->
+  seed:int ->
+  unit ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

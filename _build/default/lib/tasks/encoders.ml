@@ -1,0 +1,41 @@
+open Prom_nn
+open Prom_synth
+
+let vocab = Lexer.Vocab.create ~ident_buckets:24
+
+let seq_spec ~max_len ~extra =
+  { Encoding.Seq.max_len; vocab = Lexer.Vocab.size vocab + extra }
+
+let special_token ~extra i =
+  if i < 0 || i >= extra then invalid_arg "Encoders.special_token: index out of range";
+  Lexer.Vocab.size vocab + i
+
+let pack_program spec ~prefix p =
+  let tokens = Lexer.Vocab.encode vocab (Feature.program_tokens p) in
+  let all = Array.append (Array.of_list prefix) tokens in
+  Encoding.Seq.encode spec all
+
+let nn_feature_of model =
+  match Nn_model.embedding_of model with Some f -> f | None -> Fun.id
+
+let nn_reg_feature_of model =
+  match Nn_model.embedding_of_regressor model with Some f -> f | None -> Fun.id
+
+let seq_features spec packed =
+  let tokens = Encoding.Seq.decode spec packed in
+  let hist = Array.make spec.Encoding.Seq.vocab 0.0 in
+  let n = float_of_int (Stdlib.max 1 (Array.length tokens)) in
+  Array.iter (fun t -> hist.(t) <- hist.(t) +. (1.0 /. n)) tokens;
+  Array.append [| float_of_int (Array.length tokens) |] hist
+
+let graph_features spec packed =
+  let g = Encoding.Graph.decode spec packed in
+  let nodes = g.Encoding.Graph.nodes in
+  let n = Array.length nodes in
+  let mean = Array.make spec.Encoding.Graph.feat_dim 0.0 in
+  Array.iter
+    (fun f -> Array.iteri (fun j v -> mean.(j) <- mean.(j) +. (v /. float_of_int (Stdlib.max 1 n))) f)
+    nodes;
+  Array.append
+    [| float_of_int n; float_of_int (List.length g.Encoding.Graph.edges) |]
+    mean

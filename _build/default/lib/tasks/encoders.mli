@@ -1,0 +1,42 @@
+(** Shared input encoders: token-sequence packing for the DeepTune /
+    VulDeePecker-style sequence models and the CP feature-space choice
+    for neural models. *)
+
+open Prom_linalg
+open Prom_ml
+open Prom_nn
+
+(** The shared code vocabulary (24 identifier buckets). *)
+val vocab : Prom_synth.Lexer.Vocab.t
+
+(** [seq_spec ~max_len ~extra] is a sequence spec whose vocabulary is
+    the code vocabulary plus [extra] special context tokens (used to
+    inject, e.g., the target GPU into the sequence). *)
+val seq_spec : max_len:int -> extra:int -> Encoding.Seq.spec
+
+(** [special_token ~extra i] is the id of the [i]th special token.
+    Raises [Invalid_argument] when [i >= extra]. *)
+val special_token : extra:int -> int -> int
+
+(** [pack_program spec ~prefix p] tokenizes the program and packs
+    [prefix @ tokens], truncating to the spec length. *)
+val pack_program : Encoding.Seq.spec -> prefix:int list -> Prom_synth.Cast.program -> Vec.t
+
+(** [nn_feature_of model] is the model's hidden embedding when it is a
+    [prom_nn] network, the identity otherwise — the CP feature space
+    rule of Sec. 4.1.1. *)
+val nn_feature_of : Model.classifier -> Vec.t -> Vec.t
+
+(** [seq_features spec packed] is a model-free feature extractor for
+    packed token sequences: the normalized token-id histogram plus the
+    sequence length. Token-distribution shift — new code patterns —
+    moves these features directly, which the paper's summary-feature
+    extractors ("number of instructions") are meant to capture. *)
+val seq_features : Encoding.Seq.spec -> Vec.t -> Vec.t
+
+(** [graph_features spec packed] aggregates a packed graph into node
+    count, edge count and mean node features. *)
+val graph_features : Encoding.Graph.spec -> Vec.t -> Vec.t
+
+(** [nn_reg_feature_of model] likewise for regressors. *)
+val nn_reg_feature_of : Model.regressor -> Vec.t -> Vec.t

@@ -1,0 +1,126 @@
+open Prom_linalg
+open Prom_ml
+open Prom_nn
+open Prom_synth
+
+(* The GPU side of the mapping decision is a fixed discrete device. *)
+let device = List.nth Opencl.gpus 1
+
+let label_of k = Opencl.best_device device k
+
+let perf k label =
+  let t_cpu = Opencl.cpu_runtime k and t_gpu = Opencl.gpu_runtime device k in
+  let best = Stdlib.min t_cpu t_gpu in
+  best /. (if label = 0 then t_cpu else t_gpu)
+
+let scenario ?(kernels_per_suite = 70) ~seed () =
+  let rng = Rng.create seed in
+  let drift_suite = "polybench" in
+  let train_suites = List.filter (fun s -> s <> drift_suite) Opencl.suites in
+  let sample suite count =
+    Array.init count (fun _ -> Opencl.sample_kernel rng ~suite)
+  in
+  let train_all =
+    Array.concat (List.map (fun s -> sample s kernels_per_suite) train_suites)
+  in
+  Rng.shuffle rng train_all;
+  let n_id = Array.length train_all / 5 in
+  let id_w = Array.sub train_all 0 n_id in
+  let train_w = Array.sub train_all n_id (Array.length train_all - n_id) in
+  let drift_w = sample drift_suite kernels_per_suite in
+  {
+    Case_study.cs_name = "C3-heterogeneous-mapping";
+    n_classes = 2;
+    train_w;
+    train_y = Array.map label_of train_w;
+    id_w;
+    id_y = Array.map label_of id_w;
+    drift_w;
+    drift_y = Array.map label_of drift_w;
+    perf;
+  }
+
+(* DeepTune feeds auxiliary scalar inputs (work-group and data sizes)
+   alongside the token sequence; we encode them as special prefix
+   tokens: 8 buckets each for log work-items, coalescing and transfer
+   volume. *)
+let n_aux = 24
+let seq_spec = Encoders.seq_spec ~max_len:96 ~extra:n_aux
+
+let aux_tokens k =
+  let bucket lo hi v =
+    Stdlib.max 0 (Stdlib.min 7 (int_of_float ((v -. lo) /. (hi -. lo) *. 8.0)))
+  in
+  [
+    Encoders.special_token ~extra:n_aux (bucket 8.0 26.0 (log (float_of_int k.Opencl.work_items) /. log 2.0));
+    Encoders.special_token ~extra:n_aux (8 + bucket 0.0 1.0 k.Opencl.coalesced);
+    Encoders.special_token ~extra:n_aux (16 + bucket 8.0 26.0 (log (1.0 +. k.Opencl.transfer_bytes) /. log 2.0));
+  ]
+
+let sequence k =
+  let rng = Rng.create (Hashtbl.hash k.Opencl.kname) in
+  Encoders.pack_program seq_spec ~prefix:(aux_tokens k) (Opencl.kernel_to_ast rng k)
+
+(* ProGraML-style graphs: a synthetic dataflow graph whose node mix
+   reflects the kernel's instruction mix. Node features are an op-type
+   one-hot plus a magnitude. *)
+let graph_spec = { Encoding.Graph.max_nodes = 16; feat_dim = 6 }
+
+let graph_of k =
+  let rng = Rng.create (Hashtbl.hash k.Opencl.kname) in
+  let n_arith = 1 + Stdlib.min 4 (int_of_float (log (1.0 +. k.Opencl.comp_intensity))) in
+  let n_mem = 1 + Stdlib.min 4 (int_of_float (log (1.0 +. k.Opencl.mem_intensity))) in
+  let n_branch = Stdlib.min 2 (int_of_float (k.Opencl.branch_divergence *. 3.0)) in
+  let node kind magnitude =
+    let f = Array.make 6 0.0 in
+    f.(kind) <- 1.0;
+    f.(5) <- magnitude;
+    f
+  in
+  let nodes =
+    Array.concat
+      [
+        [| node 0 (log (float_of_int k.Opencl.work_items)) |] (* entry *);
+        Array.init n_arith (fun _ -> node 1 (k.Opencl.comp_intensity /. 100.0));
+        Array.init n_mem (fun _ -> node 2 k.Opencl.coalesced);
+        Array.init n_branch (fun _ -> node 3 k.Opencl.branch_divergence);
+        [| node 4 k.Opencl.local_mem |] (* exit *);
+      ]
+  in
+  let n = Array.length nodes in
+  (* A control-flow spine plus a few random dataflow edges. *)
+  let spine = List.init (n - 1) (fun i -> (i, i + 1)) in
+  let extra =
+    List.init (n / 2) (fun _ ->
+        let a = Rng.int rng n and b = Rng.int rng n in
+        if a = b then (a, (b + 1) mod n) else (a, b))
+  in
+  Encoding.Graph.encode graph_spec { Encoding.Graph.nodes; edges = spine @ extra }
+
+let models =
+  [
+    {
+      Case_study.spec_name = "DeepTune-LSTM";
+      encode = sequence;
+      scale_features = false;
+      trainer =
+        Seq_model.trainer
+          ~params:
+            { (Seq_model.default_params seq_spec) with Seq_model.arch = Lstm; epochs = 10 };
+      cp_feature_of = (fun _ -> Encoders.seq_features seq_spec);
+    };
+    {
+      Case_study.spec_name = "ProGraML-GNN";
+      encode = graph_of;
+      scale_features = false;
+      trainer = Gnn.trainer ~params:(Gnn.default_params graph_spec);
+      cp_feature_of = (fun _ -> Encoders.graph_features graph_spec);
+    };
+    {
+      Case_study.spec_name = "IR2Vec-GBC";
+      encode = Opencl.feature_vector;
+      scale_features = true;
+      trainer = Gradient_boosting.trainer ();
+      cp_feature_of = (fun _ -> Fun.id);
+    };
+  ]

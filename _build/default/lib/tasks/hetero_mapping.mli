@@ -1,0 +1,12 @@
+(** Case study C3: the binary CPU-vs-GPU mapping decision for OpenCL
+    kernels (paper Sec. 6.3). Drift: train on six benchmark suites,
+    deploy on the held-out seventh. *)
+
+open Prom_synth
+
+val scenario :
+  ?kernels_per_suite:int -> seed:int -> unit -> Opencl.kernel Case_study.scenario
+
+(** DeepTune (LSTM), ProGraML (GNN over synthesized dataflow graphs),
+    IR2Vec (gradient boosting). *)
+val models : Opencl.kernel Case_study.model_spec list

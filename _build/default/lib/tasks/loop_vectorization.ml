@@ -1,0 +1,80 @@
+open Prom_linalg
+open Prom_ml
+open Prom_nn
+open Prom_synth
+
+let n_classes = Array.length Loops.configs
+
+let label_of l = Loops.config_label (fst (Loops.best_config l))
+
+let perf l label =
+  let _, best = Loops.best_config l in
+  best /. Loops.runtime l (Loops.label_config label)
+
+let scenario ?(loops_per_family = 45) ~seed () =
+  let rng = Rng.create seed in
+  let drift_families = [ "gather"; "scatter"; "stencil2d"; "cmplx-mul" ] in
+  let train_families =
+    List.filter (fun f -> not (List.mem f drift_families)) Loops.families
+  in
+  let sample fam count =
+    Array.init count (fun _ -> Loops.sample_loop rng ~family:fam)
+  in
+  let train_all =
+    Array.concat (List.map (fun f -> sample f loops_per_family) train_families)
+  in
+  Rng.shuffle rng train_all;
+  let n_id = Array.length train_all / 5 in
+  let id_w = Array.sub train_all 0 n_id in
+  let train_w = Array.sub train_all n_id (Array.length train_all - n_id) in
+  let drift_w =
+    Array.concat (List.map (fun f -> sample f loops_per_family) drift_families)
+  in
+  {
+    Case_study.cs_name = "C2-loop-vectorization";
+    n_classes;
+    train_w;
+    train_y = Array.map label_of train_w;
+    id_w;
+    id_y = Array.map label_of id_w;
+    drift_w;
+    drift_y = Array.map label_of drift_w;
+    perf;
+  }
+
+let spec = Encoders.seq_spec ~max_len:48 ~extra:0
+
+let sequence l =
+  let rng = Rng.create (Hashtbl.hash (l.Loops.family, l.Loops.trip_count, l.Loops.stride)) in
+  Encoders.pack_program spec ~prefix:[] (Loops.loop_to_ast rng l)
+
+let models =
+  [
+    {
+      Case_study.spec_name = "Stock-SVM";
+      encode = Loops.feature_vector;
+      scale_features = true;
+      trainer = Svm.trainer ~params:{ Svm.default_params with epochs = 40 } ();
+      cp_feature_of = (fun _ -> Fun.id);
+    };
+    {
+      Case_study.spec_name = "DeepTune-LSTM";
+      encode = sequence;
+      scale_features = false;
+      trainer =
+        Seq_model.trainer
+          ~params:
+            { (Seq_model.default_params spec) with Seq_model.arch = Lstm; epochs = 6 };
+      cp_feature_of = (fun _ -> Encoders.seq_features spec);
+    };
+    {
+      Case_study.spec_name = "Magni-MLP";
+      encode = Loops.feature_vector;
+      scale_features = true;
+      trainer =
+        Mlp.trainer
+          ~params:{ Mlp.default_params with hidden = [ 32 ]; epochs = 150 }
+          ();
+      cp_feature_of = (fun _ -> Fun.id);
+    };
+  ]

@@ -1,0 +1,12 @@
+(** Case study C2: predicting the vectorization and interleave factors
+    for vectorizable loops (paper Sec. 6.2). 35 classes — the (VF, IF)
+    grid of {!Prom_synth.Loops.configs}. Drift: train on loops from 14
+    benchmark families, deploy on the remaining 4. *)
+
+open Prom_synth
+
+val scenario : ?loops_per_family:int -> seed:int -> unit -> Loops.loop Case_study.scenario
+
+(** K.Stock et al. (SVM), DeepTune (LSTM over loop tokens), Magni et
+    al. (MLP). *)
+val models : Loops.loop Case_study.model_spec list

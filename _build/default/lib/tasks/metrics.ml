@@ -1,0 +1,39 @@
+open Prom_linalg
+
+type violin = {
+  vmin : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  vmax : float;
+  mean : float;
+  n : int;
+  widths : int array;
+}
+
+let violin_of samples =
+  if Array.length samples = 0 then invalid_arg "Metrics.violin_of: empty sample set";
+  let vmin, q1, median, q3, vmax = Stats.five_number_summary samples in
+  {
+    vmin;
+    q1;
+    median;
+    q3;
+    vmax;
+    mean = Stats.mean samples;
+    n = Array.length samples;
+    widths = Stats.histogram samples ~bins:8;
+  }
+
+let pp_violin fmt v =
+  let bar count =
+    let peak = Array.fold_left Stdlib.max 1 v.widths in
+    String.make (1 + (count * 10 / peak)) '#'
+  in
+  Format.fprintf fmt "n=%d mean=%.3f [min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f]" v.n
+    v.mean v.vmin v.q1 v.median v.q3 v.vmax;
+  Format.fprintf fmt " width:";
+  Array.iter (fun c -> Format.fprintf fmt "|%s" (bar c)) v.widths
+
+let misprediction_threshold = 0.8
+let mispredicted ~perf = perf < misprediction_threshold

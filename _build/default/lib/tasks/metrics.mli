@@ -1,0 +1,30 @@
+(** Task-level metrics: performance-to-oracle distributions and their
+    text rendering (the numeric content of the paper's violin plots,
+    Figs. 7 and 9). *)
+
+(** The five-number summary plus mean and a coarse width histogram — a
+    violin plot in numbers. *)
+type violin = {
+  vmin : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  vmax : float;
+  mean : float;
+  n : int;
+  widths : int array;  (** sample counts across 8 equal-width bins *)
+}
+
+val violin_of : float array -> violin
+
+(** [pp_violin fmt v] prints a one-line summary plus an ASCII width
+    profile. *)
+val pp_violin : Format.formatter -> violin -> unit
+
+(** [misprediction_threshold] — a code-optimization prediction counts as
+    mispredicted when its performance falls 20% or more below the
+    oracle (paper Sec. 6.6). *)
+val misprediction_threshold : float
+
+(** [mispredicted ~perf] under the 20% rule. *)
+val mispredicted : perf:float -> bool

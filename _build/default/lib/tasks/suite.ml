@@ -1,0 +1,54 @@
+open Prom
+
+type scale = Quick | Full
+
+type t = {
+  classification_results : Case_study.result list;
+  c5 : Dnn_codegen.result;
+  table2 : float * float * float * Detection_metrics.t;
+}
+
+(* One entry per (case study, model): the runner thunk regenerates the
+   scenario so each pair is independent and individually runnable. *)
+let classification_cases ~scale ~seed =
+  let q full quick = match scale with Full -> full | Quick -> quick in
+  let c1 () = Thread_coarsening.scenario ~kernels_per_suite:(q 110 36) ~seed () in
+  let c2 () = Loop_vectorization.scenario ~loops_per_family:(q 40 10) ~seed () in
+  let c3 () = Hetero_mapping.scenario ~kernels_per_suite:(q 60 20) ~seed () in
+  let c4 () = Vuln_detection.scenario ~per_era:(q 80 16) ~seed () in
+  let entries scenario models =
+    List.map
+      (fun spec ->
+        let s = scenario () in
+        ( s.Case_study.cs_name,
+          spec.Case_study.spec_name,
+          fun () -> Case_study.run ~seed s spec ))
+      models
+  in
+  entries c1 Thread_coarsening.models
+  @ entries c2 Loop_vectorization.models
+  @ entries c3 Hetero_mapping.models
+  @ entries c4 Vuln_detection.models
+
+let run ?(config = Config.default) ~scale ~seed () =
+  let classification_results =
+    List.map (fun (_, _, thunk) -> thunk ()) (classification_cases ~scale ~seed)
+  in
+  let q full quick = match scale with Full -> full | Quick -> quick in
+  let c5 =
+    Dnn_codegen.run ~config ~train_samples:(q 360 120) ~test_samples:(q 120 40)
+      ~search_workloads:(q 3 1) ~seed ()
+  in
+  let table2 = Case_study.summarize classification_results in
+  { classification_results; c5; table2 }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun r -> Format.fprintf fmt "%a@,@," Case_study.pp_result r)
+    t.classification_results;
+  Format.fprintf fmt "%a@,@," Dnn_codegen.pp_result t.c5;
+  let design, deploy, prom, detection = t.table2 in
+  Format.fprintf fmt
+    "Table 2 summary: design=%.3f deploy=%.3f prom=%.3f | %a@]" design deploy prom
+    Detection_metrics.pp detection

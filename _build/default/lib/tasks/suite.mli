@@ -1,0 +1,28 @@
+(** The full evaluation suite: runs every (case study, model) pair and
+    aggregates the paper's headline numbers (Table 2) plus the
+    per-figure series the benchmark harness prints. *)
+
+open Prom
+
+(** Scale of the run: [Quick] shrinks datasets for tests and smoke
+    runs; [Full] is the bench-harness scale. *)
+type scale = Quick | Full
+
+type t = {
+  classification_results : Case_study.result list;  (** C1-C4 x models *)
+  c5 : Dnn_codegen.result;
+  table2 : float * float * float * Detection_metrics.t;
+      (** design perf, deploy perf, PROM-assisted perf, detection *)
+}
+
+(** [run ?config ~scale ~seed ()] executes everything. A [Full] run
+    takes a few minutes; [Quick] well under a minute. *)
+val run : ?config:Config.t -> scale:scale -> seed:int -> unit -> t
+
+(** [classification_cases ~scale ~seed] enumerates the C1-C4 (scenario
+    runner, model name) thunks individually, so callers (CLI, bench)
+    can run a single pair. Each thunk returns the full result. *)
+val classification_cases :
+  scale:scale -> seed:int -> (string * string * (unit -> Case_study.result)) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,128 @@
+open Prom_linalg
+open Prom_ml
+open Prom_nn
+open Prom_synth
+
+type workload = { kernel : Opencl.kernel; gpu : Opencl.gpu }
+
+let factor_index cf =
+  let rec find i =
+    if i >= Array.length Opencl.coarsening_factors then
+      invalid_arg "Thread_coarsening: unknown factor"
+    else if Opencl.coarsening_factors.(i) = cf then i
+    else find (i + 1)
+  in
+  find 0
+
+let n_classes = Array.length Opencl.coarsening_factors
+
+let label_of w = factor_index (fst (Opencl.best_coarsening w.gpu w.kernel))
+
+let perf w label =
+  let _, best = Opencl.best_coarsening w.gpu w.kernel in
+  let t = Opencl.coarsened_runtime w.gpu w.kernel Opencl.coarsening_factors.(label) in
+  best /. t
+
+let gpu_index gpu =
+  let rec find i = function
+    | [] -> invalid_arg "Thread_coarsening: unknown GPU"
+    | g :: rest -> if g.Opencl.gpu_name = gpu.Opencl.gpu_name then i else find (i + 1) rest
+  in
+  find 0 Opencl.gpus
+
+let sample_suite rng ~suite ~count =
+  Array.init count (fun _ ->
+      let kernel = Opencl.sample_kernel rng ~suite in
+      let gpu = List.nth Opencl.gpus (Rng.int rng (List.length Opencl.gpus)) in
+      { kernel; gpu })
+
+let scenario ?(kernels_per_suite = 120) ~seed () =
+  let rng = Rng.create seed in
+  let train_suites = [ "amd-sdk"; "nvidia-sdk" ] in
+  let drift_suite = "parboil" in
+  let train_all =
+    Array.concat
+      (List.map (fun suite -> sample_suite rng ~suite ~count:kernels_per_suite) train_suites)
+  in
+  Rng.shuffle rng train_all;
+  (* Hold out part of the in-distribution pool as the design-time
+     validation set. *)
+  let n_id = Array.length train_all / 5 in
+  let id_w = Array.sub train_all 0 n_id in
+  let train_w = Array.sub train_all n_id (Array.length train_all - n_id) in
+  let drift_w = sample_suite rng ~suite:drift_suite ~count:kernels_per_suite in
+  {
+    Case_study.cs_name = "C1-thread-coarsening";
+    n_classes;
+    train_w;
+    train_y = Array.map label_of train_w;
+    id_w;
+    id_y = Array.map label_of id_w;
+    drift_w;
+    drift_y = Array.map label_of drift_w;
+    perf;
+  }
+
+(* Tabular encoding: kernel features plus a GPU one-hot. *)
+let tabular w =
+  let gpu_onehot =
+    Array.init (List.length Opencl.gpus) (fun i ->
+        if i = gpu_index w.gpu then 1.0 else 0.0)
+  in
+  Array.append (Opencl.feature_vector w.kernel) gpu_onehot
+
+(* DeepTune-style encoding: kernel source tokens, prefixed by special
+   tokens identifying the target GPU and DeepTune's auxiliary scalar
+   inputs (work-item and transfer magnitudes, 8 buckets each). *)
+let n_gpus = List.length Opencl.gpus
+let n_extra = n_gpus + 16
+let spec = Encoders.seq_spec ~max_len:96 ~extra:n_extra
+
+let sequence w =
+  (* The AST rendering is deterministic per kernel name. *)
+  let rng = Rng.create (Hashtbl.hash w.kernel.Opencl.kname) in
+  let ast = Opencl.kernel_to_ast rng w.kernel in
+  let bucket lo hi v =
+    Stdlib.max 0 (Stdlib.min 7 (int_of_float ((v -. lo) /. (hi -. lo) *. 8.0)))
+  in
+  let prefix =
+    [
+      Encoders.special_token ~extra:n_extra (gpu_index w.gpu);
+      Encoders.special_token ~extra:n_extra
+        (n_gpus + bucket 8.0 26.0 (log (float_of_int w.kernel.Opencl.work_items) /. log 2.0));
+      Encoders.special_token ~extra:n_extra
+        (n_gpus + 8 + bucket 0.0 1.0 w.kernel.Opencl.coalesced);
+    ]
+  in
+  Encoders.pack_program spec ~prefix ast
+
+let models =
+  [
+    {
+      Case_study.spec_name = "Magni-MLP";
+      encode = tabular;
+      scale_features = true;
+      trainer =
+        Mlp.trainer
+          ~params:{ Mlp.default_params with hidden = [ 24 ]; epochs = 120 }
+          ();
+      cp_feature_of = (fun _ -> Fun.id);
+    };
+    {
+      Case_study.spec_name = "DeepTune-LSTM";
+      encode = sequence;
+      scale_features = false;
+      trainer =
+        Seq_model.trainer
+          ~params:
+            { (Seq_model.default_params spec) with Seq_model.arch = Lstm; epochs = 8 };
+      cp_feature_of = (fun _ -> Encoders.seq_features spec);
+    };
+    {
+      Case_study.spec_name = "IR2Vec-GBC";
+      encode = tabular;
+      scale_features = true;
+      trainer = Gradient_boosting.trainer ();
+      cp_feature_of = (fun _ -> Fun.id);
+    };
+  ]

@@ -1,0 +1,19 @@
+(** Case study C1: predicting the OpenCL thread-coarsening factor
+    (paper Sec. 6.1). Workloads are (kernel, GPU) pairs; the label is
+    the index of the best factor in {!Prom_synth.Opencl.coarsening_factors};
+    performance is the runtime ratio to the oracle factor. Drift is
+    induced by training on two benchmark suites and deploying on a
+    third. *)
+
+open Prom_synth
+
+type workload = { kernel : Opencl.kernel; gpu : Opencl.gpu }
+
+(** [scenario ?kernels_per_suite ~seed ()] builds the drift scenario:
+    train on [amd-sdk] and [nvidia-sdk] kernels, deploy on [parboil]
+    kernels, across all four GPUs. *)
+val scenario : ?kernels_per_suite:int -> seed:int -> unit -> workload Case_study.scenario
+
+(** The three underlying models of the paper: Magni et al. (MLP),
+    DeepTune (LSTM over kernel tokens), IR2Vec (gradient boosting). *)
+val models : workload Case_study.model_spec list

@@ -1,0 +1,47 @@
+open Prom_synth
+
+type result = {
+  best_schedule : Schedule.schedule;
+  best_true : float;
+  measurements : int;
+}
+
+let search ?(rounds = 10) ?(pop_size = 24) ?(top_k = 1) rng workload ~cost ~on_measure
+    () =
+  let population = ref (Array.init pop_size (fun _ -> Schedule.random_schedule rng)) in
+  let best = ref None in
+  let measurements = ref 0 in
+  let measure s =
+    let t = Schedule.throughput workload s in
+    incr measurements;
+    on_measure s t;
+    (match !best with
+    | Some (_, bt) when bt >= t -> ()
+    | _ -> best := Some (s, t));
+    t
+  in
+  for _round = 1 to rounds do
+    (* Propose: mutate every member, plus some fresh immigrants. *)
+    let children =
+      Array.concat
+        [
+          Array.map (fun s -> Schedule.mutate rng s) !population;
+          Array.init (pop_size / 4) (fun _ -> Schedule.random_schedule rng);
+        ]
+    in
+    let candidates = Array.append !population children in
+    (* Rank by the learned cost model (descending predicted throughput). *)
+    let ranked = Array.map (fun s -> (s, cost s)) candidates in
+    Array.sort (fun (_, a) (_, b) -> compare b a) ranked;
+    (* Measure only the model's top picks — the expensive step the cost
+       model exists to minimize. *)
+    for i = 0 to Stdlib.min top_k (Array.length ranked) - 1 do
+      ignore (measure (fst ranked.(i)))
+    done;
+    (* Survivor selection: keep the model's best pop_size candidates. *)
+    population := Array.init pop_size (fun i -> fst ranked.(i))
+  done;
+  match !best with
+  | Some (best_schedule, best_true) ->
+      { best_schedule; best_true; measurements = !measurements }
+  | None -> failwith "Tvm_search.search: no measurements taken"

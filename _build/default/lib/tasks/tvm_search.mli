@@ -1,0 +1,33 @@
+(** A schedule-search engine in the style of TVM's evolutionary tuner:
+    candidate schedules are proposed by mutation, ranked by a learned
+    cost model, and only the most promising few are "measured" on the
+    (synthetic) hardware. The quality of the search — the true
+    throughput of the best measured schedule — is exactly what the cost
+    model's deployment accuracy determines, which is how case study C5
+    evaluates drift (Table 3). *)
+
+open Prom_linalg
+open Prom_synth
+
+type result = {
+  best_schedule : Schedule.schedule;
+  best_true : float;  (** true throughput of the best measured candidate *)
+  measurements : int;  (** candidates actually profiled *)
+}
+
+(** [search ?rounds ?pop_size ?top_k rng workload ~cost ~on_measure ()]
+    runs the evolutionary loop ([top_k] defaults to 1: only the model's
+    single best proposal is measured per round, so search quality tracks
+    the cost model's deployment accuracy). [cost] is the learned model's
+    throughput estimate (higher = better); [on_measure] observes every
+    hardware measurement, letting callers build feedback loops. *)
+val search :
+  ?rounds:int ->
+  ?pop_size:int ->
+  ?top_k:int ->
+  Rng.t ->
+  Schedule.workload ->
+  cost:(Schedule.schedule -> float) ->
+  on_measure:(Schedule.schedule -> float -> unit) ->
+  unit ->
+  result

@@ -1,0 +1,91 @@
+open Prom_linalg
+open Prom_nn
+open Prom_synth
+
+type sample = { program : Cast.program; era : int; truth : int }
+
+let n_classes = List.length Bug_inject.all
+
+let make_sample rng era cwe =
+  let style = Generator.style_of_era rng era in
+  let base = Generator.generate rng style in
+  {
+    program = Bug_inject.inject rng ~era cwe base;
+    era;
+    truth = Bug_inject.label cwe;
+  }
+
+let samples_for rng ~eras ~per_era =
+  Array.concat
+    (List.map
+       (fun era ->
+         Array.init per_era (fun i ->
+             make_sample rng era (Bug_inject.of_label (i mod n_classes))))
+       eras)
+
+(* Pure classification: performance is 1 on the correct class, 0
+   otherwise, so mean performance is accuracy (paper Fig. 7d). *)
+let perf w label = if label = w.truth then 1.0 else 0.0
+
+let scenario ?(per_era = 48) ~seed () =
+  let rng = Rng.create seed in
+  let train_eras = [ 2013; 2015; 2017; 2019; 2020 ] in
+  let drift_eras = [ 2021; 2022; 2023 ] in
+  let train_all = samples_for rng ~eras:train_eras ~per_era in
+  Rng.shuffle rng train_all;
+  let n_id = Array.length train_all / 5 in
+  let id_w = Array.sub train_all 0 n_id in
+  let train_w = Array.sub train_all n_id (Array.length train_all - n_id) in
+  let drift_w = samples_for rng ~eras:drift_eras ~per_era in
+  let labels = Array.map (fun s -> s.truth) in
+  {
+    Case_study.cs_name = "C4-vulnerability-detection";
+    n_classes;
+    train_w;
+    train_y = labels train_w;
+    id_w;
+    id_y = labels id_w;
+    drift_w;
+    drift_y = labels drift_w;
+    perf;
+  }
+
+let spec = Encoders.seq_spec ~max_len:64 ~extra:0
+
+let sequence s = Encoders.pack_program spec ~prefix:[] s.program
+
+let seq_model arch epochs =
+  Seq_model.trainer
+    ~params:
+      {
+        (Seq_model.default_params spec) with
+        Seq_model.arch;
+        epochs;
+        hidden = 16;
+        learning_rate = 0.005;
+      }
+
+let models =
+  [
+    {
+      Case_study.spec_name = "VulDeePecker-LSTM";
+      encode = sequence;
+      scale_features = false;
+      trainer = seq_model Seq_model.Lstm 25;
+      cp_feature_of = (fun _ -> Encoders.seq_features spec);
+    };
+    {
+      Case_study.spec_name = "CodeXGLUE-Attention";
+      encode = sequence;
+      scale_features = false;
+      trainer = seq_model Seq_model.Attention 20;
+      cp_feature_of = (fun _ -> Encoders.seq_features spec);
+    };
+    {
+      Case_study.spec_name = "LineVul-GRU";
+      encode = sequence;
+      scale_features = false;
+      trainer = seq_model Seq_model.Gru 25;
+      cp_feature_of = (fun _ -> Encoders.seq_features spec);
+    };
+  ]

@@ -1,0 +1,17 @@
+(** Case study C4: classifying the vulnerability type (top-8 CWE) of a
+    C function (paper Sec. 6.4). Drift: train on samples from
+    2013-2020, deploy on 2021-2023, where late-era bugs hide behind
+    helper indirection and thread loops (paper Fig. 1). *)
+
+open Prom_synth
+
+type sample = { program : Cast.program; era : int; truth : int }
+
+val scenario : ?per_era:int -> seed:int -> unit -> sample Case_study.scenario
+
+(** VulDeePecker (LSTM), CodeXGLUE (attention pooler), LineVul (GRU). *)
+val models : sample Case_study.model_spec list
+
+(** The shared token-sequence spec of the three models (exposed for the
+    benchmark harness and tests). *)
+val spec : Prom_nn.Encoding.Seq.spec

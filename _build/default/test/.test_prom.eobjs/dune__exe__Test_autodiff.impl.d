@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Array Autodiff Loss Optimizer Param Params Printf Prom_autodiff Prom_linalg Rng Tape Vec

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Distance Float Fun List Mat Prom_linalg QCheck2 QCheck_alcotest Rng Stats Vec

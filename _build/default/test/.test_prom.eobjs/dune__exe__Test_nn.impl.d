@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Dataset Encoding Gnn Layers List Model Nn_model Params Printf Prom_autodiff Prom_linalg Prom_ml Prom_nn Rng Seq_model Tape

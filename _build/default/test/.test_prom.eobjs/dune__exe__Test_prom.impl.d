@@ -1,0 +1,1 @@
+test/test_prom.ml: Alcotest Test_autodiff Test_core Test_linalg Test_ml Test_nn Test_synth Test_tasks

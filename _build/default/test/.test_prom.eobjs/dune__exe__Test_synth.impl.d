@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Bug_inject Cast Feature Float Fun Generator Lexer List Loops Opencl Prom_linalg Prom_synth QCheck2 QCheck_alcotest Rng Schedule String

@@ -1,0 +1,156 @@
+(* Gradient checks for the reverse-mode tape: every operation's
+   backward pass is verified against central finite differences. *)
+
+open Prom_linalg
+open Prom_autodiff
+open Autodiff
+
+let eps = 1e-5
+let tol = 1e-3
+
+(* Numerically check d(loss)/d(input_i) for a scalar loss formed by
+   summing the output tensor. *)
+let grad_check ?(n = 3) name build input =
+  let loss xs =
+    let tape = Tape.create () in
+    let t = tensor_of (Array.copy xs) in
+    let out = build tape t in
+    Vec.sum out.data
+  in
+  (* analytic *)
+  let tape = Tape.create () in
+  let t = tensor_of (Array.copy input) in
+  let out = build tape t in
+  Tape.backward tape ~root:out ~seed:(Array.make (Array.length out.data) 1.0);
+  for i = 0 to min (n - 1) (Array.length input - 1) do
+    let bumped up =
+      let xs = Array.copy input in
+      xs.(i) <- xs.(i) +. (if up then eps else -.eps);
+      loss xs
+    in
+    let numeric = (bumped true -. bumped false) /. (2.0 *. eps) in
+    Alcotest.(check (float tol))
+      (Printf.sprintf "%s d/dx%d" name i)
+      numeric t.grad.(i)
+  done
+
+let rng () = Rng.create 77
+
+let tape_tests =
+  [
+    Alcotest.test_case "tanh gradient" `Quick (fun () ->
+        grad_check "tanh" (fun tape t -> Tape.tanh_ tape t) [| 0.3; -1.2; 2.0 |]);
+    Alcotest.test_case "sigmoid gradient" `Quick (fun () ->
+        grad_check "sigmoid" (fun tape t -> Tape.sigmoid_ tape t) [| 0.5; -0.5; 3.0 |]);
+    Alcotest.test_case "relu gradient" `Quick (fun () ->
+        grad_check "relu" (fun tape t -> Tape.relu_ tape t) [| 0.5; -0.5; 3.0 |]);
+    Alcotest.test_case "scale gradient" `Quick (fun () ->
+        grad_check "scale" (fun tape t -> Tape.scale tape 2.5 t) [| 1.0; -2.0 |]);
+    Alcotest.test_case "mul gradient" `Quick (fun () ->
+        let other = tensor_of [| 2.0; -3.0; 0.5 |] in
+        grad_check "mul" (fun tape t -> Tape.mul tape t other) [| 1.0; 1.5; -0.2 |]);
+    Alcotest.test_case "matvec gradient w.r.t. input" `Quick (fun () ->
+        let m = Param.mat (rng ()) ~rows:4 ~cols:3 in
+        grad_check "matvec" (fun tape t -> Tape.matvec tape m t) [| 0.2; -0.7; 1.1 |]);
+    Alcotest.test_case "matvec accumulates weight gradients" `Quick (fun () ->
+        let m = Param.mat (rng ()) ~rows:2 ~cols:2 in
+        let tape = Tape.create () in
+        let x = tensor_of [| 1.0; 2.0 |] in
+        let out = Tape.matvec tape m x in
+        Tape.backward tape ~root:out ~seed:[| 1.0; 0.0 |];
+        (* d out0 / d m[0][j] = x[j] *)
+        Alcotest.(check (float 1e-9)) "gw00" 1.0 m.Param.gw.(0).(0);
+        Alcotest.(check (float 1e-9)) "gw01" 2.0 m.Param.gw.(0).(1);
+        Alcotest.(check (float 1e-9)) "gw10" 0.0 m.Param.gw.(1).(0));
+    Alcotest.test_case "softmax1 gradient" `Quick (fun () ->
+        grad_check "softmax"
+          (fun tape t -> Tape.mul tape (Tape.softmax1 tape t) (tensor_of [| 1.0; 2.0; 3.0 |]))
+          [| 0.1; 0.5; -0.4 |]);
+    Alcotest.test_case "concat routes gradients" `Quick (fun () ->
+        let b = tensor_of [| 9.0 |] in
+        grad_check "concat" (fun tape t -> Tape.concat tape t b) [| 1.0; 2.0 |]);
+    Alcotest.test_case "mean_pool gradient" `Quick (fun () ->
+        let other = tensor_of [| 5.0; 6.0 |] in
+        grad_check "mean_pool" (fun tape t -> Tape.mean_pool tape [ t; other ]) [| 1.0; 2.0 |]);
+    Alcotest.test_case "weighted_sum gradients flow to weights" `Quick (fun () ->
+        let xs = [| tensor_of [| 1.0; 2.0 |]; tensor_of [| -1.0; 3.0 |] |] in
+        grad_check "weighted_sum" (fun tape t -> Tape.weighted_sum tape t xs) [| 0.4; 0.6 |]);
+    Alcotest.test_case "dot_scores gradient" `Quick (fun () ->
+        let keys = [| tensor_of [| 1.0; 0.0 |]; tensor_of [| 0.5; -0.5 |] |] in
+        grad_check "dot_scores" (fun tape t -> Tape.dot_scores tape t keys) [| 0.7; 0.3 |]);
+    Alcotest.test_case "backward clears the tape" `Quick (fun () ->
+        let tape = Tape.create () in
+        let t = tensor_of [| 1.0 |] in
+        let out = Tape.tanh_ tape t in
+        Alcotest.(check int) "one op" 1 (Tape.length tape);
+        Tape.backward tape ~root:out ~seed:[| 1.0 |];
+        Alcotest.(check int) "cleared" 0 (Tape.length tape));
+    Alcotest.test_case "backward rejects wrong seed size" `Quick (fun () ->
+        let tape = Tape.create () in
+        let t = tensor_of [| 1.0; 2.0 |] in
+        let out = Tape.tanh_ tape t in
+        Alcotest.check_raises "seed" (Invalid_argument "Tape.backward: seed dimension mismatch")
+          (fun () -> Tape.backward tape ~root:out ~seed:[| 1.0 |]));
+  ]
+
+let loss_tests =
+  [
+    Alcotest.test_case "cross entropy seed is softmax minus one-hot" `Quick (fun () ->
+        let logits = tensor_of [| 1.0; 2.0; 0.5 |] in
+        let _, seed = Loss.softmax_cross_entropy ~logits ~label:1 in
+        let p = Vec.softmax logits.data in
+        Alcotest.(check (float 1e-9)) "d0" p.(0) seed.(0);
+        Alcotest.(check (float 1e-9)) "d1" (p.(1) -. 1.0) seed.(1));
+    Alcotest.test_case "cross entropy loss positive" `Quick (fun () ->
+        let logits = tensor_of [| 0.0; 0.0 |] in
+        let loss, _ = Loss.softmax_cross_entropy ~logits ~label:0 in
+        Alcotest.(check (float 1e-6)) "ln 2" (log 2.0) loss);
+    Alcotest.test_case "squared loss and gradient" `Quick (fun () ->
+        let pred = tensor_of [| 3.0 |] in
+        let loss, seed = Loss.squared ~pred ~target:1.0 in
+        Alcotest.(check (float 1e-9)) "loss" 2.0 loss;
+        Alcotest.(check (float 1e-9)) "grad" 2.0 seed.(0));
+  ]
+
+let optimizer_tests =
+  [
+    Alcotest.test_case "sgd minimizes a quadratic" `Quick (fun () ->
+        let params = Params.create () in
+        let v = Params.add_vec params (Param.vec 1) in
+        v.Param.v.(0) <- 5.0;
+        let opt = Optimizer.sgd ~lr:0.1 params in
+        for _ = 1 to 100 do
+          (* d/dx (x - 2)^2 = 2 (x - 2) *)
+          v.Param.gv.(0) <- 2.0 *. (v.Param.v.(0) -. 2.0);
+          Optimizer.step opt
+        done;
+        Alcotest.(check (float 1e-6)) "converged" 2.0 v.Param.v.(0));
+    Alcotest.test_case "adam minimizes a quadratic" `Quick (fun () ->
+        let params = Params.create () in
+        let v = Params.add_vec params (Param.vec 1) in
+        v.Param.v.(0) <- 5.0;
+        let opt = Optimizer.adam ~lr:0.2 params in
+        for _ = 1 to 300 do
+          v.Param.gv.(0) <- 2.0 *. (v.Param.v.(0) -. 2.0);
+          Optimizer.step opt
+        done;
+        Alcotest.(check (float 1e-2)) "converged" 2.0 v.Param.v.(0));
+    Alcotest.test_case "step zeroes gradients" `Quick (fun () ->
+        let params = Params.create () in
+        let v = Params.add_vec params (Param.vec 2) in
+        v.Param.gv.(0) <- 1.0;
+        Optimizer.step (Optimizer.sgd ~lr:0.1 params);
+        Alcotest.(check (float 1e-12)) "zeroed" 0.0 v.Param.gv.(0));
+    Alcotest.test_case "params count" `Quick (fun () ->
+        let params = Params.create () in
+        ignore (Params.add_mat params (Param.mat (rng ()) ~rows:3 ~cols:4));
+        ignore (Params.add_vec params (Param.vec 5));
+        Alcotest.(check int) "count" 17 (Params.count params));
+  ]
+
+let suite =
+  [
+    ("autodiff.tape", tape_tests);
+    ("autodiff.loss", loss_tests);
+    ("autodiff.optimizer", optimizer_tests);
+  ]

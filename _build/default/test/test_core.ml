@@ -1,0 +1,928 @@
+(* Tests for the PROM core: nonconformity functions, p-values, scores,
+   the detectors, assessment, tuning, incremental learning and the
+   baselines. *)
+
+open Prom_linalg
+open Prom_ml
+open Prom
+
+let proba = [| 0.6; 0.3; 0.1 |]
+
+let nonconformity_tests =
+  [
+    Alcotest.test_case "LAC is 1 - p" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "top" 0.4
+          (Nonconformity.lac.Nonconformity.cls_score ~proba ~label:0);
+        Alcotest.(check (float 1e-9)) "tail" 0.9
+          (Nonconformity.lac.Nonconformity.cls_score ~proba ~label:2));
+    Alcotest.test_case "TopK is the rank" `Quick (fun () ->
+        let score = Nonconformity.topk.Nonconformity.cls_score in
+        Alcotest.(check (float 1e-9)) "rank0" 0.0 (score ~proba ~label:0);
+        Alcotest.(check (float 1e-9)) "rank1" 1.0 (score ~proba ~label:1);
+        Alcotest.(check (float 1e-9)) "rank2" 2.0 (score ~proba ~label:2));
+    Alcotest.test_case "APS is the strict mass above" `Quick (fun () ->
+        let score = Nonconformity.aps.Nonconformity.cls_score in
+        Alcotest.(check (float 1e-9)) "top" 0.0 (score ~proba ~label:0);
+        Alcotest.(check (float 1e-9)) "middle" 0.6 (score ~proba ~label:1);
+        Alcotest.(check (float 1e-9)) "bottom" 0.9 (score ~proba ~label:2));
+    Alcotest.test_case "RAPS penalizes deep ranks" `Quick (fun () ->
+        let raps = Nonconformity.raps ~lambda:0.5 ~k_reg:1 () in
+        let aps = Nonconformity.aps.Nonconformity.cls_score in
+        let r2 = raps.Nonconformity.cls_score ~proba ~label:2 in
+        Alcotest.(check (float 1e-9)) "penalty" (aps ~proba ~label:2 +. 1.0) r2);
+    Alcotest.test_case "default committee has four distinct experts" `Quick (fun () ->
+        let names =
+          List.map (fun f -> f.Nonconformity.cls_name) Nonconformity.default_committee
+        in
+        Alcotest.(check (list string)) "names" [ "LAC"; "TopK"; "APS"; "RAPS" ] names);
+    Alcotest.test_case "label bounds checked" `Quick (fun () ->
+        Alcotest.check_raises "bounds" (Invalid_argument "Nonconformity: label out of range")
+          (fun () -> ignore (Nonconformity.lac.Nonconformity.cls_score ~proba ~label:7)));
+    Alcotest.test_case "regression residual scores" `Quick (fun () ->
+        let abs_score = Nonconformity.absolute_residual.Nonconformity.reg_score in
+        Alcotest.(check (float 1e-9)) "abs" 2.0 (abs_score ~pred:3.0 ~truth:5.0 ~spread:1.0);
+        let sq = Nonconformity.squared_residual.Nonconformity.reg_score in
+        Alcotest.(check (float 1e-9)) "sq" 4.0 (sq ~pred:3.0 ~truth:5.0 ~spread:1.0);
+        let norm = Nonconformity.normalized_residual.Nonconformity.reg_score in
+        Alcotest.(check (float 1e-3)) "norm" 1.0 (norm ~pred:3.0 ~truth:5.0 ~spread:2.0));
+    Alcotest.test_case "regression committee has four experts" `Quick (fun () ->
+        Alcotest.(check int) "size" 4 (List.length Nonconformity.default_reg_committee));
+  ]
+
+let extension_tests =
+  [
+    Alcotest.test_case "margin is small for confident top label" `Quick (fun () ->
+        let score = Nonconformity.margin.Nonconformity.cls_score in
+        let confident = [| 0.9; 0.05; 0.05 |] in
+        Alcotest.(check bool) "top small" true (score ~proba:confident ~label:0 < 0.2);
+        Alcotest.(check bool) "others large" true (score ~proba:confident ~label:1 > 1.0));
+    Alcotest.test_case "margin is large for ambiguous predictions" `Quick (fun () ->
+        let score = Nonconformity.margin.Nonconformity.cls_score in
+        Alcotest.(check bool) "ambiguous" true
+          (score ~proba:[| 0.5; 0.5; 0.0 |] ~label:0 > 0.9));
+    Alcotest.test_case "entropy orders uniform above peaked" `Quick (fun () ->
+        let score = Nonconformity.entropy.Nonconformity.cls_score in
+        let uniform = [| 1.0 /. 3.0; 1.0 /. 3.0; 1.0 /. 3.0 |] in
+        let peaked = [| 0.98; 0.01; 0.01 |] in
+        Alcotest.(check bool) "uniform stranger" true
+          (score ~proba:uniform ~label:0 > score ~proba:peaked ~label:0));
+    Alcotest.test_case "extended committee has six experts" `Quick (fun () ->
+        Alcotest.(check int) "size" 6 (List.length Nonconformity.extended_committee));
+  ]
+
+let config_tests =
+  [
+    Alcotest.test_case "default config validates" `Quick (fun () ->
+        Config.validate Config.default);
+    Alcotest.test_case "epsilon range enforced" `Quick (fun () ->
+        Alcotest.check_raises "eps" (Invalid_argument "Config: invalid epsilon") (fun () ->
+            Config.validate { Config.default with Config.epsilon = 0.0 }));
+    Alcotest.test_case "temperature must be positive" `Quick (fun () ->
+        Alcotest.check_raises "tau" (Invalid_argument "Config: invalid temperature")
+          (fun () -> Config.validate { Config.default with Config.temperature = -1.0 }));
+    Alcotest.test_case "select_ratio bounds" `Quick (fun () ->
+        Alcotest.check_raises "ratio" (Invalid_argument "Config: invalid select_ratio")
+          (fun () -> Config.validate { Config.default with Config.select_ratio = 1.5 }));
+    Alcotest.test_case "vote_fraction bounds" `Quick (fun () ->
+        Alcotest.check_raises "vote" (Invalid_argument "Config: invalid vote_fraction")
+          (fun () -> Config.validate { Config.default with Config.vote_fraction = 0.0 }));
+  ]
+
+(* A tiny hand-built calibration world: a perfectly confident model on
+   two blobs. *)
+let blob_dataset seed n =
+  let rng = Rng.create seed in
+  let samples =
+    Array.init n (fun i ->
+        let label = i mod 2 in
+        let c = if label = 0 then 0.0 else 5.0 in
+        ([| Rng.gaussian rng ~mu:c ~sigma:0.4; Rng.gaussian rng ~mu:c ~sigma:0.4 |], label))
+  in
+  Dataset.create (Array.map fst samples) (Array.map snd samples)
+
+let trained_world seed =
+  let data = blob_dataset seed 120 in
+  let train, cal = Framework.data_partitioning ~calibration_ratio:0.4 ~seed data in
+  let model = Logistic.train train in
+  (model, train, cal)
+
+let calibration_tests =
+  [
+    Alcotest.test_case "prepare stores one entry per sample" `Quick (fun () ->
+        let model, _, cal = trained_world 1 in
+        let c =
+          Calibration.prepare_classification ~config:Config.default ~model
+            ~feature_of:Fun.id cal
+        in
+        Alcotest.(check int) "entries" (Dataset.length cal)
+          (Array.length c.Calibration.entries));
+    Alcotest.test_case "entries carry model probabilities" `Quick (fun () ->
+        let model, _, cal = trained_world 2 in
+        let c =
+          Calibration.prepare_classification ~config:Config.default ~model
+            ~feature_of:Fun.id cal
+        in
+        Array.iter
+          (fun e ->
+            Alcotest.(check bool) "distribution" true
+              (abs_float (Vec.sum e.Calibration.proba -. 1.0) < 1e-6))
+          c.Calibration.entries);
+    Alcotest.test_case "select_subset keeps everything on small sets" `Quick (fun () ->
+        let model, _, cal = trained_world 3 in
+        let c =
+          Calibration.prepare_classification ~config:Config.default ~model
+            ~feature_of:Fun.id cal
+        in
+        let sel =
+          Calibration.select_subset ~config:Config.default c.Calibration.entries
+            ~feature_of_entry:(fun e -> e.Calibration.features)
+            (Calibration.standardize_cls c [| 0.0; 0.0 |])
+        in
+        Alcotest.(check int) "all selected" (Array.length c.Calibration.entries)
+          (Array.length sel));
+    Alcotest.test_case "select_subset takes the nearest half on large sets" `Quick
+      (fun () ->
+        let config = { Config.default with Config.select_all_below = 10 } in
+        let entries = Array.init 100 (fun i -> [| float_of_int i |]) in
+        let sel =
+          Calibration.select_subset ~config entries ~feature_of_entry:Fun.id [| 0.0 |]
+        in
+        Alcotest.(check int) "half" 50 (Array.length sel);
+        (* ordered by distance: nearest first *)
+        Alcotest.(check (float 1e-9)) "nearest" 0.0 sel.(0).Calibration.distance;
+        Alcotest.(check bool) "sorted" true
+          (sel.(0).Calibration.distance <= sel.(49).Calibration.distance));
+    Alcotest.test_case "weights decay with distance" `Quick (fun () ->
+        let config = { Config.default with Config.select_all_below = 1 } in
+        let entries = [| [| 0.0 |]; [| 100.0 |] |] in
+        let sel =
+          Calibration.select_subset
+            ~config:{ config with Config.select_ratio = 1.0 }
+            entries ~feature_of_entry:Fun.id [| 0.0 |]
+        in
+        Alcotest.(check bool) "near heavier" true
+          (sel.(0).Calibration.weight > sel.(1).Calibration.weight));
+    Alcotest.test_case "distance p-value: in-dist high, far low" `Quick (fun () ->
+        let model, _, cal = trained_world 4 in
+        let c =
+          Calibration.prepare_classification ~config:Config.default ~model
+            ~feature_of:Fun.id cal
+        in
+        let p_in =
+          Calibration.distance_pvalue_cls c (Calibration.standardize_cls c [| 0.1; -0.1 |])
+        in
+        let p_out =
+          Calibration.distance_pvalue_cls c
+            (Calibration.standardize_cls c [| 40.0; -35.0 |])
+        in
+        Alcotest.(check bool) "in-dist" true (p_in > 0.1);
+        Alcotest.(check bool) "far" true (p_out < 0.05);
+        Alcotest.(check bool) "ordering" true (p_out < p_in));
+    Alcotest.test_case "regression calibration clusters and knn truth" `Quick (fun () ->
+        let rng = Rng.create 5 in
+        let x = Array.init 60 (fun i -> [| float_of_int (i mod 2 * 10) +. Rng.float rng 0.5 |]) in
+        let y = Array.map (fun v -> v.(0) *. 2.0) x in
+        let data = Dataset.create x y in
+        let model = Linreg.train data in
+        let c =
+          Calibration.prepare_regression ~n_clusters:2 ~config:Config.default ~model
+            ~feature_of:Fun.id ~seed:9 data
+        in
+        Alcotest.(check int) "clusters" 2 c.Calibration.n_clusters;
+        let v = Calibration.standardize_reg c [| 10.2 |] in
+        let truth, _ = Calibration.knn_truth c v ~k:3 in
+        Alcotest.(check bool) "near 20" true (abs_float (truth -. 20.0) < 2.0));
+  ]
+
+(* Hand-built selected entries for p-value math. *)
+let entry label p0 =
+  {
+    Calibration.entry =
+      { Calibration.features = [| 0.0 |]; label; proba = [| p0; 1.0 -. p0 |] };
+    weight = 1.0;
+    distance = 0.0;
+  }
+
+let pvalue_tests =
+  [
+    Alcotest.test_case "smoothed p-value on a hand case" `Quick (fun () ->
+        (* calibration class-0 LAC scores: 0.3, 0.5; test score 0.4 (p0 = 0.6):
+           one score >= 0.4 -> (1 + 1) / (2 + 1). *)
+        let selected = [| entry 0 0.7; entry 0 0.5 |] in
+        let p =
+          Pvalue.classification ~fn:Nonconformity.lac ~selected ~proba:[| 0.6; 0.4 |]
+            ~label:0 ()
+        in
+        Alcotest.(check (float 1e-9)) "p" (2.0 /. 3.0) p);
+    Alcotest.test_case "raw p-value omits smoothing" `Quick (fun () ->
+        let selected = [| entry 0 0.7; entry 0 0.5 |] in
+        let p =
+          Pvalue.classification ~smooth:false ~fn:Nonconformity.lac ~selected
+            ~proba:[| 0.6; 0.4 |] ~label:0 ()
+        in
+        Alcotest.(check (float 1e-9)) "p" 0.5 p);
+    Alcotest.test_case "unsupported label yields zero" `Quick (fun () ->
+        let selected = [| entry 0 0.7 |] in
+        let p =
+          Pvalue.classification ~fn:Nonconformity.lac ~selected ~proba:[| 0.6; 0.4 |]
+            ~label:1 ()
+        in
+        Alcotest.(check (float 1e-9)) "p" 0.0 p);
+    Alcotest.test_case "weights shift the count" `Quick (fun () ->
+        (* Make the conforming calibration sample heavy and the strange
+           one light: p goes down for a strange test. *)
+        let heavy = { (entry 0 0.9) with Calibration.weight = 10.0 } in
+        let light = { (entry 0 0.2) with Calibration.weight = 0.1 } in
+        let p =
+          Pvalue.classification ~fn:Nonconformity.lac ~selected:[| heavy; light |]
+            ~proba:[| 0.5; 0.5 |] ~label:0 ()
+        in
+        (* scores: heavy 0.1 < 0.5 (not counted), light 0.8 >= 0.5
+           (counted with weight 0.1): (0.1 + 1) / (10.1 + 1) *)
+        Alcotest.(check (float 1e-9)) "p" (1.1 /. 11.1) p);
+    Alcotest.test_case "classification_all covers every label" `Quick (fun () ->
+        let selected = [| entry 0 0.7; entry 1 0.2 |] in
+        let ps =
+          Pvalue.classification_all ~fn:Nonconformity.lac ~selected ~proba:[| 0.6; 0.4 |]
+            ~n_classes:2 ()
+        in
+        Alcotest.(check int) "length" 2 (Array.length ps);
+        Array.iter
+          (fun p -> Alcotest.(check bool) "in [0,1]" true (p >= 0.0 && p <= 1.0))
+          ps);
+  ]
+
+let scores_tests =
+  [
+    Alcotest.test_case "prediction set keeps labels above epsilon" `Quick (fun () ->
+        Alcotest.(check (list int)) "set" [ 0; 2 ]
+          (Scores.prediction_set ~epsilon:0.1 [| 0.5; 0.05; 0.2 |]));
+    Alcotest.test_case "confidence peaks at singleton sets" `Quick (fun () ->
+        let c1 = Scores.confidence ~c:1.0 ~set_size:1 in
+        let c0 = Scores.confidence ~c:1.0 ~set_size:0 in
+        let c3 = Scores.confidence ~c:1.0 ~set_size:3 in
+        Alcotest.(check (float 1e-9)) "peak" 1.0 c1;
+        Alcotest.(check bool) "lower" true (c0 < c1 && c3 < c0));
+    Alcotest.test_case "disjunction flags low credibility" `Quick (fun () ->
+        let v =
+          Scores.expert_verdict ~config:Config.default ~expert:"t"
+            ~pvalues:[| 0.05; 0.9 |] ~predicted:0 ()
+        in
+        Alcotest.(check bool) "flag" true v.Scores.flags_drift);
+    Alcotest.test_case "disjunction accepts confident singleton" `Quick (fun () ->
+        let v =
+          Scores.expert_verdict ~config:Config.default ~expert:"t"
+            ~pvalues:[| 0.8; 0.02 |] ~predicted:0 ()
+        in
+        Alcotest.(check bool) "no flag" false v.Scores.flags_drift);
+    Alcotest.test_case "distance test forces a flag" `Quick (fun () ->
+        let v =
+          Scores.expert_verdict ~distance_pvalue:0.01 ~config:Config.default ~expert:"t"
+            ~pvalues:[| 0.8; 0.02 |] ~predicted:0 ()
+        in
+        Alcotest.(check bool) "flag" true v.Scores.flags_drift);
+    Alcotest.test_case "credibility-only ignores distance and sets" `Quick (fun () ->
+        let config = { Config.default with Config.decision_rule = Config.Credibility_only } in
+        let v =
+          Scores.expert_verdict ~distance_pvalue:0.0 ~config ~expert:"t"
+            ~pvalues:[| 0.8; 0.8 |] ~predicted:0 ()
+        in
+        Alcotest.(check bool) "no flag" false v.Scores.flags_drift);
+    Alcotest.test_case "set_pvalues drives the set size" `Quick (fun () ->
+        let v =
+          Scores.expert_verdict ~set_pvalues:[| 0.9; 0.0 |] ~config:Config.default
+            ~expert:"t" ~pvalues:[| 0.9; 0.9 |] ~predicted:0 ()
+        in
+        Alcotest.(check int) "singleton" 1 v.Scores.set_size);
+    Alcotest.test_case "committee majority voting" `Quick (fun () ->
+        let mk flag =
+          {
+            Scores.expert = "x";
+            credibility = 0.5;
+            confidence = 1.0;
+            set_size = 1;
+            distance_pvalue = 1.0;
+            flags_drift = flag;
+          }
+        in
+        let dec vf vs =
+          Scores.committee_decision
+            ~config:{ Config.default with Config.vote_fraction = vf }
+            vs
+        in
+        (* default single-dissent rule *)
+        Alcotest.(check bool) "1 of 4 rejects at 0.25" true
+          (dec 0.25 [ mk true; mk false; mk false; mk false ]);
+        (* strict majority *)
+        Alcotest.(check bool) "2 of 4 flags at 0.5" true
+          (dec 0.5 [ mk true; mk true; mk false; mk false ]);
+        Alcotest.(check bool) "1 of 4 accepts at 0.5" false
+          (dec 0.5 [ mk true; mk false; mk false; mk false ]));
+    Alcotest.test_case "committee rejects empty list" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Scores.committee_decision: empty committee") (fun () ->
+            ignore (Scores.committee_decision ~config:Config.default [])));
+  ]
+
+let detector_tests =
+  [
+    Alcotest.test_case "accepts in-distribution, rejects far inputs" `Quick (fun () ->
+        let model, _, cal = trained_world 6 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let _, drift_far = Detector.Classification.predict det [| 50.0; -50.0 |] in
+        Alcotest.(check bool) "far rejected" true drift_far;
+        (* Most in-distribution samples accepted. *)
+        let test = blob_dataset 60 40 in
+        let flags =
+          Array.fold_left
+            (fun acc x ->
+              if snd (Detector.Classification.predict det x) then acc + 1 else acc)
+            0 test.x
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "flags %d/40 below half" flags)
+          true
+          (flags < 20));
+    Alcotest.test_case "verdict carries one entry per expert" `Quick (fun () ->
+        let model, _, cal = trained_world 7 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let v = Detector.Classification.evaluate det [| 0.0; 0.0 |] in
+        Alcotest.(check int) "experts" 4 (List.length v.Detector.experts));
+    Alcotest.test_case "prediction matches the underlying model" `Quick (fun () ->
+        let model, _, cal = trained_world 8 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let x = [| 5.0; 5.0 |] in
+        Alcotest.(check int) "same" (Model.predict model x)
+          (fst (Detector.Classification.predict det x)));
+    Alcotest.test_case "with_config changes behaviour without re-preparing" `Quick
+      (fun () ->
+        let model, _, cal = trained_world 9 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let strict =
+          Detector.Classification.with_config det
+            { Config.default with Config.epsilon = 0.5 }
+        in
+        Alcotest.(check (float 1e-9)) "epsilon" 0.5
+          (Detector.Classification.config strict).Config.epsilon);
+    Alcotest.test_case "empty committee rejected" `Quick (fun () ->
+        let model, _, cal = trained_world 10 in
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Detector.Classification.create: empty committee") (fun () ->
+            ignore (Detector.Classification.create ~committee:[] ~model ~feature_of:Fun.id cal)));
+    Alcotest.test_case "prediction sets usually contain the argmax" `Quick (fun () ->
+        let model, _, cal = trained_world 11 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let test = blob_dataset 61 20 in
+        let hits = ref 0 and total = ref 0 in
+        Array.iter
+          (fun x ->
+            let predicted = Model.predict model x in
+            List.iter
+              (fun (_, set) ->
+                incr total;
+                if List.mem predicted set then incr hits)
+              (Detector.Classification.prediction_sets det x))
+          test.x;
+        Alcotest.(check bool) "mostly covered" true
+          (float_of_int !hits /. float_of_int !total > 0.7));
+    Alcotest.test_case "regression detector flags shifted inputs" `Quick (fun () ->
+        let rng = Rng.create 12 in
+        let x = Array.init 100 (fun _ -> [| Rng.uniform rng ~lo:0.0 ~hi:1.0 |]) in
+        let y = Array.map (fun v -> (3.0 *. v.(0)) +. 1.0) x in
+        let data = Dataset.create x y in
+        let model = Linreg.train data in
+        let det =
+          Detector.Regression.create ~n_clusters:3 ~model ~feature_of:Fun.id ~seed:1 data
+        in
+        let _, drifted = Detector.Regression.predict det [| 30.0 |] in
+        Alcotest.(check bool) "far input flagged" true drifted;
+        let flags = ref 0 in
+        for _ = 1 to 30 do
+          let v = [| Rng.uniform rng ~lo:0.0 ~hi:1.0 |] in
+          if snd (Detector.Regression.predict det v) then incr flags
+        done;
+        Alcotest.(check bool)
+          (Printf.sprintf "in-dist flags %d/30" !flags)
+          true (!flags < 15));
+    Alcotest.test_case "regression verdict structure" `Quick (fun () ->
+        let rng = Rng.create 13 in
+        let x = Array.init 60 (fun _ -> [| Rng.uniform rng ~lo:0.0 ~hi:1.0 |]) in
+        let y = Array.map (fun v -> v.(0)) x in
+        let data = Dataset.create x y in
+        let model = Linreg.train data in
+        let det =
+          Detector.Regression.create ~n_clusters:2 ~model ~feature_of:Fun.id ~seed:2 data
+        in
+        let v = Detector.Regression.evaluate det [| 0.5 |] in
+        Alcotest.(check int) "experts" 4 (List.length v.Detector.reg_experts);
+        Alcotest.(check bool) "cluster valid" true
+          (v.Detector.cluster >= 0 && v.Detector.cluster < 2);
+        Alcotest.(check bool) "knn estimate near" true
+          (abs_float (v.Detector.knn_estimate -. 0.5) < 0.5));
+  ]
+
+let interval_tests =
+  [
+    Alcotest.test_case "interval brackets the truth for in-dist inputs" `Quick (fun () ->
+        let rng = Rng.create 80 in
+        let x = Array.init 120 (fun _ -> [| Rng.uniform rng ~lo:0.0 ~hi:1.0 |]) in
+        let y =
+          Array.map (fun v -> (2.0 *. v.(0)) +. Rng.gaussian rng ~mu:0.0 ~sigma:0.05) x
+        in
+        let data = Dataset.create x y in
+        let model = Linreg.train data in
+        let det =
+          Detector.Regression.create ~n_clusters:2 ~model ~feature_of:Fun.id ~seed:1 data
+        in
+        let covered = ref 0 and n = 50 in
+        for _ = 1 to n do
+          let v = [| Rng.uniform rng ~lo:0.0 ~hi:1.0 |] in
+          let truth = 2.0 *. v.(0) +. Rng.gaussian rng ~mu:0.0 ~sigma:0.05 in
+          let lo, hi = Detector.Regression.interval det v in
+          Alcotest.(check bool) "ordered" true (lo <= hi);
+          if truth >= lo && truth <= hi then incr covered
+        done;
+        (* 1 - epsilon = 0.9 nominal; allow sampling slack *)
+        Alcotest.(check bool)
+          (Printf.sprintf "coverage %d/%d >= 0.75" !covered n)
+          true
+          (float_of_int !covered /. float_of_int n >= 0.75));
+    Alcotest.test_case "interval widens with smaller epsilon" `Quick (fun () ->
+        let rng = Rng.create 81 in
+        let x = Array.init 80 (fun _ -> [| Rng.uniform rng ~lo:0.0 ~hi:1.0 |]) in
+        let y = Array.map (fun v -> v.(0) +. Rng.gaussian rng ~mu:0.0 ~sigma:0.1) x in
+        let data = Dataset.create x y in
+        let model = Linreg.train data in
+        let make eps =
+          Detector.Regression.create
+            ~config:{ Config.default with Config.epsilon = eps }
+            ~n_clusters:2 ~model ~feature_of:Fun.id ~seed:1 data
+        in
+        let width det =
+          let lo, hi = Detector.Regression.interval det [| 0.5 |] in
+          hi -. lo
+        in
+        Alcotest.(check bool) "wider at 0.05 than 0.3" true
+          (width (make 0.05) >= width (make 0.3)));
+  ]
+
+let service_tests =
+  [
+    Alcotest.test_case "service accepts typical and rejects far inputs" `Quick (fun () ->
+        let model, _, cal = trained_world 82 in
+        let triples =
+          Array.to_list
+            (Array.mapi (fun i x -> (x, cal.y.(i), model.Model.predict_proba x)) cal.x)
+        in
+        let svc = Service.create triples in
+        let rng = Rng.create 83 in
+        let flags = ref 0 and n = 30 in
+        for _ = 1 to n do
+          let x =
+            [| Rng.gaussian rng ~mu:0.0 ~sigma:0.4; Rng.gaussian rng ~mu:0.0 ~sigma:0.4 |]
+          in
+          if not (Service.should_accept svc ~features:x ~proba:(model.Model.predict_proba x))
+          then incr flags
+        done;
+        Alcotest.(check bool)
+          (Printf.sprintf "in-dist flags %d/%d below half" !flags n)
+          true
+          (!flags < n / 2);
+        let far = [| 60.0; -60.0 |] in
+        Alcotest.(check bool) "far rejected" false
+          (Service.should_accept svc ~features:far ~proba:[| 0.9; 0.1 |]));
+    Alcotest.test_case "service scores are in range" `Quick (fun () ->
+        let model, _, cal = trained_world 84 in
+        let triples =
+          Array.to_list
+            (Array.mapi (fun i x -> (x, cal.y.(i), model.Model.predict_proba x)) cal.x)
+        in
+        let svc = Service.create triples in
+        let cred, conf, dist =
+          Service.scores svc ~features:cal.x.(0) ~proba:(model.Model.predict_proba cal.x.(0))
+        in
+        List.iter
+          (fun v -> Alcotest.(check bool) "in [0,1]" true (v >= 0.0 && v <= 1.0))
+          [ cred; conf; dist ]);
+    Alcotest.test_case "service validates calibration" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Service.create: empty calibration")
+          (fun () -> ignore (Service.create []));
+        Alcotest.check_raises "ragged"
+          (Invalid_argument "Service.create: ragged features") (fun () ->
+            ignore
+              (Service.create
+                 [ ([| 0.0 |], 0, [| 1.0; 0.0 |]); ([| 0.0; 1.0 |], 1, [| 0.0; 1.0 |]) ])));
+  ]
+
+let assessment_tests =
+  [
+    Alcotest.test_case "coverage near the significance level" `Quick (fun () ->
+        let model, _, cal = trained_world 14 in
+        let report =
+          Assessment.classification ~config:Config.default
+            ~committee:Nonconformity.default_committee ~model ~feature_of:Fun.id cal
+        in
+        Alcotest.(check bool) "coverage sane" true
+          (report.Assessment.coverage >= 0.0 && report.Assessment.coverage <= 1.0);
+        Alcotest.(check bool)
+          (Printf.sprintf "deviation %.3f below alert" report.Assessment.deviation)
+          true
+          (report.Assessment.deviation <= Assessment.alert_threshold +. 0.05));
+    Alcotest.test_case "r rounds reported" `Quick (fun () ->
+        let model, _, cal = trained_world 15 in
+        let report =
+          Assessment.classification ~r:4 ~config:Config.default
+            ~committee:Nonconformity.default_committee ~model ~feature_of:Fun.id cal
+        in
+        Alcotest.(check int) "rounds" 4 (List.length report.Assessment.per_round));
+    Alcotest.test_case "tiny calibration rejected" `Quick (fun () ->
+        let model, _, _ = trained_world 16 in
+        let tiny = blob_dataset 16 4 in
+        Alcotest.check_raises "small"
+          (Invalid_argument "Assessment: calibration dataset too small to split") (fun () ->
+            ignore
+              (Assessment.classification ~config:Config.default
+                 ~committee:Nonconformity.default_committee ~model ~feature_of:Fun.id tiny)));
+  ]
+
+let incremental_tests =
+  [
+    Alcotest.test_case "relabeling flagged samples fixes a shifted blob" `Quick (fun () ->
+        let model, train, cal = trained_world 17 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let rng = Rng.create 18 in
+        (* New cluster, true label 1, far from training. *)
+        let inputs =
+          Array.init 40 (fun _ ->
+              [| Rng.gaussian rng ~mu:12.0 ~sigma:0.4; Rng.gaussian rng ~mu:12.0 ~sigma:0.4 |])
+        in
+        let outcome =
+          Incremental.classification ~budget_fraction:0.3 ~detector:det
+            ~trainer:(Logistic.trainer ()) ~train_data:train ~oracle:(fun _ -> 1) inputs
+        in
+        Alcotest.(check bool) "flagged plenty" true
+          (List.length outcome.Incremental.flagged_indices > 20);
+        Alcotest.(check bool) "budget respected" true
+          (List.length outcome.Incremental.relabeled_indices <= outcome.Incremental.budget);
+        let m = outcome.Incremental.updated_model in
+        let correct =
+          Array.fold_left (fun acc x -> if Model.predict m x = 1 then acc + 1 else acc) 0 inputs
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "region learned %d/40" correct)
+          true (correct > 30));
+    Alcotest.test_case "no flags means no retraining" `Quick (fun () ->
+        let model, train, cal = trained_world 19 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let outcome =
+          Incremental.classification ~detector:det ~trainer:(Logistic.trainer ())
+            ~train_data:train
+            ~oracle:(fun _ -> Alcotest.fail "oracle must not be called")
+            [||]
+        in
+        Alcotest.(check bool) "same model" true (outcome.Incremental.updated_model == model));
+    Alcotest.test_case "most drifted samples are relabeled first" `Quick (fun () ->
+        let model, train, cal = trained_world 20 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let near = [| 6.0; 6.0 |] and far = [| 60.0; 60.0 |] in
+        let outcome =
+          Incremental.classification ~budget_fraction:0.01 ~detector:det
+            ~trainer:(Logistic.trainer ()) ~train_data:train ~oracle:(fun _ -> 1)
+            [| near; far |]
+        in
+        (* with budget 1, the lower-credibility (farther) sample wins *)
+        match outcome.Incremental.relabeled_indices with
+        | [ i ] -> Alcotest.(check int) "farthest first" 1 i
+        | l -> Alcotest.failf "expected 1 relabel, got %d" (List.length l));
+  ]
+
+let baseline_tests =
+  [
+    Alcotest.test_case "naive CP flags far inputs" `Quick (fun () ->
+        let model, _, cal = trained_world 21 in
+        let b = Baselines.naive_cp ~model ~feature_of:Fun.id cal in
+        Alcotest.(check string) "name" "naive-cp" b.Baselines.name;
+        Alcotest.(check bool) "bool result" true
+          (b.Baselines.flags [| 0.0; 0.0 |] || true));
+    Alcotest.test_case "tesseract combines credibility and confidence" `Quick (fun () ->
+        let model, _, cal = trained_world 22 in
+        let b = Baselines.tesseract ~model ~feature_of:Fun.id cal in
+        ignore (b.Baselines.flags [| 0.0; 0.0 |]);
+        Alcotest.(check string) "name" "tesseract" b.Baselines.name);
+    Alcotest.test_case "rise trains a rejector" `Quick (fun () ->
+        let model, _, cal = trained_world 23 in
+        let b = Baselines.rise ~seed:3 ~model ~feature_of:Fun.id cal in
+        Alcotest.(check string) "name" "rise" b.Baselines.name;
+        ignore (b.Baselines.flags [| 5.0; 5.0 |]));
+  ]
+
+let framework_tests =
+  [
+    Alcotest.test_case "data_partitioning default ratio" `Quick (fun () ->
+        let d = blob_dataset 24 200 in
+        let train, cal = Framework.data_partitioning ~seed:1 d in
+        Alcotest.(check int) "calibration 10%" 20 (Dataset.length cal);
+        Alcotest.(check int) "rest" 180 (Dataset.length train));
+    Alcotest.test_case "calibration capped at max" `Quick (fun () ->
+        let d = blob_dataset 25 300 in
+        let _, cal = Framework.data_partitioning ~max_calibration:5 ~seed:1 d in
+        Alcotest.(check int) "capped" 5 (Dataset.length cal));
+    Alcotest.test_case "ratio validated" `Quick (fun () ->
+        Alcotest.check_raises "ratio"
+          (Invalid_argument "Framework.data_partitioning: ratio outside (0,1)") (fun () ->
+            ignore (Framework.data_partitioning ~calibration_ratio:1.5 ~seed:1 (blob_dataset 1 10))));
+    Alcotest.test_case "deploy + predict end to end" `Quick (fun () ->
+        let d = blob_dataset 26 200 in
+        let deployed = Framework.deploy ~trainer:(Logistic.trainer ()) ~seed:2 d in
+        let pred, drifted = Framework.predict deployed [| 0.0; 0.0 |] in
+        Alcotest.(check int) "class 0" 0 pred;
+        let _, far_drift = Framework.predict deployed [| 80.0; 80.0 |] in
+        Alcotest.(check bool) "far flagged" true far_drift;
+        ignore drifted);
+    Alcotest.test_case "improve rebuilds detector with updated calibration" `Quick
+      (fun () ->
+        let d = blob_dataset 27 200 in
+        let deployed = Framework.deploy ~trainer:(Logistic.trainer ()) ~seed:3 d in
+        let before = Dataset.length deployed.Framework.calibration_data in
+        let rng = Rng.create 28 in
+        let stream =
+          Array.init 30 (fun _ ->
+              [| Rng.gaussian rng ~mu:15.0 ~sigma:0.3; Rng.gaussian rng ~mu:15.0 ~sigma:0.3 |])
+        in
+        let updated, outcome =
+          Framework.improve ~budget_fraction:0.5 deployed ~oracle:(fun _ -> 1) stream
+        in
+        Alcotest.(check bool) "calibration grew" true
+          (Dataset.length updated.Framework.calibration_data
+          > before - 1 + List.length outcome.Incremental.relabeled_indices));
+  ]
+
+let tuning_tests =
+  [
+    Alcotest.test_case "grid search returns sorted candidates" `Quick (fun () ->
+        let model, _, cal = trained_world 29 in
+        let candidates =
+          Tuning.grid_search_classification ~epsilons:[ 0.05; 0.2 ] ~gaussian_cs:[ 1.0 ]
+            ~base:Config.default ~committee:Nonconformity.default_committee ~model
+            ~feature_of:Fun.id cal
+        in
+        Alcotest.(check int) "grid size" 2 (List.length candidates);
+        match candidates with
+        | a :: b :: _ -> Alcotest.(check bool) "sorted" true (a.Tuning.f1 >= b.Tuning.f1)
+        | _ -> Alcotest.fail "missing candidates");
+    Alcotest.test_case "best of empty list raises" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Tuning.best: empty candidate list")
+          (fun () -> ignore (Tuning.best [])));
+    Alcotest.test_case "regression grid search runs and sorts" `Quick (fun () ->
+        let rng = Rng.create 85 in
+        let x = Array.init 80 (fun _ -> [| Rng.uniform rng ~lo:0.0 ~hi:2.0 |]) in
+        let y = Array.map (fun v -> (v.(0) ** 2.0) +. Rng.gaussian rng ~mu:0.0 ~sigma:0.05) x in
+        let data = Dataset.create x y in
+        let model = Linreg.train data in
+        let cands =
+          Tuning.grid_search_regression ~epsilons:[ 0.1; 0.2 ] ~cluster_counts:[ 2; 4 ]
+            ~base:Config.default ~committee:Nonconformity.default_reg_committee ~model
+            ~feature_of:Fun.id data
+        in
+        Alcotest.(check int) "grid size" 4 (List.length cands);
+        match cands with
+        | a :: b :: _ -> Alcotest.(check bool) "sorted" true (a.Tuning.f1 >= b.Tuning.f1)
+        | _ -> Alcotest.fail "missing candidates");
+  ]
+
+let monitor_tests =
+  [
+    Alcotest.test_case "healthy stream stays healthy" `Quick (fun () ->
+        let m = Monitor.create ~window:10 ~threshold:0.5 ~patience:2 () in
+        for i = 1 to 100 do
+          ignore (Monitor.observe m ~drifted:(i mod 10 = 0))
+        done;
+        Alcotest.(check string) "status" "healthy"
+          (Monitor.status_to_string (Monitor.status m)));
+    Alcotest.test_case "persistent drift escalates to ageing" `Quick (fun () ->
+        let m = Monitor.create ~window:10 ~threshold:0.5 ~patience:2 () in
+        for _ = 1 to 60 do
+          ignore (Monitor.observe m ~drifted:true)
+        done;
+        Alcotest.(check string) "status" "ageing"
+          (Monitor.status_to_string (Monitor.status m));
+        Alcotest.(check (float 1e-9)) "rate" 1.0 (Monitor.drift_rate m));
+    Alcotest.test_case "short burst only degrades" `Quick (fun () ->
+        let m = Monitor.create ~window:10 ~threshold:0.5 ~patience:5 () in
+        for _ = 1 to 12 do
+          ignore (Monitor.observe m ~drifted:true)
+        done;
+        Alcotest.(check string) "status" "degrading"
+          (Monitor.status_to_string (Monitor.status m)));
+    Alcotest.test_case "recovery resets the escalation" `Quick (fun () ->
+        let m = Monitor.create ~window:10 ~threshold:0.5 ~patience:3 () in
+        for _ = 1 to 15 do
+          ignore (Monitor.observe m ~drifted:true)
+        done;
+        for _ = 1 to 30 do
+          ignore (Monitor.observe m ~drifted:false)
+        done;
+        Alcotest.(check string) "healthy again" "healthy"
+          (Monitor.status_to_string (Monitor.status m)));
+    Alcotest.test_case "window bounds the rate computation" `Quick (fun () ->
+        let m = Monitor.create ~window:4 () in
+        List.iter
+          (fun d -> ignore (Monitor.observe m ~drifted:d))
+          [ true; true; true; true; false; false; false; false ];
+        Alcotest.(check (float 1e-9)) "rate over last window" 0.0 (Monitor.drift_rate m);
+        Alcotest.(check int) "total" 8 (Monitor.observed m));
+    Alcotest.test_case "reset clears everything" `Quick (fun () ->
+        let m = Monitor.create ~window:5 () in
+        for _ = 1 to 20 do
+          ignore (Monitor.observe m ~drifted:true)
+        done;
+        Monitor.reset m;
+        Alcotest.(check int) "observed" 0 (Monitor.observed m);
+        Alcotest.(check (float 1e-9)) "rate" 0.0 (Monitor.drift_rate m);
+        Alcotest.(check string) "status" "healthy"
+          (Monitor.status_to_string (Monitor.status m)));
+    Alcotest.test_case "create validates parameters" `Quick (fun () ->
+        Alcotest.check_raises "window" (Invalid_argument "Monitor.create: window must be positive")
+          (fun () -> ignore (Monitor.create ~window:0 ()));
+        Alcotest.check_raises "threshold"
+          (Invalid_argument "Monitor.create: threshold outside (0,1]") (fun () ->
+            ignore (Monitor.create ~threshold:1.5 ())));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "perfect detector" `Quick (fun () ->
+        let m =
+          Detection_metrics.compute ~flagged:[| true; false; true |]
+            ~mispredicted:[| true; false; true |]
+        in
+        Alcotest.(check (float 1e-9)) "f1" 1.0 m.Detection_metrics.f1;
+        Alcotest.(check (float 1e-9)) "fpr" 0.0 m.Detection_metrics.false_positive_rate);
+    Alcotest.test_case "always-flag detector" `Quick (fun () ->
+        let m =
+          Detection_metrics.compute ~flagged:[| true; true; true; true |]
+            ~mispredicted:[| true; false; false; false |]
+        in
+        Alcotest.(check (float 1e-9)) "recall" 1.0 m.Detection_metrics.recall;
+        Alcotest.(check (float 1e-9)) "precision" 0.25 m.Detection_metrics.precision;
+        Alcotest.(check (float 1e-9)) "fpr" 1.0 m.Detection_metrics.false_positive_rate);
+    Alcotest.test_case "degenerate: nothing to find, nothing flagged" `Quick (fun () ->
+        let m =
+          Detection_metrics.compute ~flagged:[| false; false |]
+            ~mispredicted:[| false; false |]
+        in
+        Alcotest.(check (float 1e-9)) "precision" 1.0 m.Detection_metrics.precision;
+        Alcotest.(check (float 1e-9)) "recall" 1.0 m.Detection_metrics.recall);
+    Alcotest.test_case "length mismatch rejected" `Quick (fun () ->
+        Alcotest.check_raises "lengths"
+          (Invalid_argument "Detection_metrics.compute: length mismatch") (fun () ->
+            ignore (Detection_metrics.compute ~flagged:[| true |] ~mispredicted:[||])));
+    Alcotest.test_case "f1 is the harmonic mean" `Quick (fun () ->
+        let m =
+          Detection_metrics.compute
+            ~flagged:[| true; true; false; false |]
+            ~mispredicted:[| true; false; true; false |]
+        in
+        (* precision 0.5, recall 0.5 -> f1 0.5 *)
+        Alcotest.(check (float 1e-9)) "f1" 0.5 m.Detection_metrics.f1);
+  ]
+
+(* Conformal validity property: for an exchangeable calibration/test
+   split, the credibility-only detector's false-flag rate stays near
+   epsilon. *)
+let prop_validity =
+  QCheck2.Test.make ~name:"credibility-only false-flag rate ~ epsilon" ~count:5
+    (QCheck2.Gen.int_range 100 10_000)
+    (fun seed ->
+      let model, _, cal = trained_world seed in
+      let config =
+        { Config.default with Config.decision_rule = Config.Credibility_only }
+      in
+      let det = Detector.Classification.create ~config ~model ~feature_of:Fun.id cal in
+      let test = blob_dataset (seed + 1) 60 in
+      let flags =
+        Array.fold_left
+          (fun acc x -> if snd (Detector.Classification.predict det x) then acc + 1 else acc)
+          0 test.x
+      in
+      (* epsilon = 0.1; allow generous sampling noise *)
+      float_of_int flags /. 60.0 < 0.35)
+
+(* Random calibration worlds for structural p-value properties. *)
+let gen_selected =
+  QCheck2.Gen.(
+    list_size (int_range 1 30)
+      (pair (int_range 0 2) (float_range 0.05 0.95))
+    >|= fun entries ->
+    Array.of_list
+      (List.map
+         (fun (label, p0) ->
+           let rest = (1.0 -. p0) /. 2.0 in
+           {
+             Calibration.entry =
+               {
+                 Calibration.features = [| p0 |];
+                 label;
+                 proba = [| p0; rest; rest |];
+               };
+             weight = 1.0;
+             distance = 0.0;
+           })
+         entries))
+
+let prop_pvalues_in_range =
+  QCheck2.Test.make ~name:"p-values stay in [0,1] for every function and label"
+    ~count:100
+    QCheck2.Gen.(pair gen_selected (float_range 0.01 0.99))
+    (fun (selected, p0) ->
+      let rest = (1.0 -. p0) /. 2.0 in
+      let proba = [| p0; rest; rest |] in
+      List.for_all
+        (fun fn ->
+          Array.for_all
+            (fun p -> p >= 0.0 && p <= 1.0)
+            (Pvalue.classification_all ~fn ~selected ~proba ~n_classes:3 ()))
+        Nonconformity.extended_committee)
+
+let prop_raw_below_smoothed_support =
+  QCheck2.Test.make ~name:"raw p-value never exceeds the smoothed one" ~count:100
+    QCheck2.Gen.(pair gen_selected (float_range 0.01 0.99))
+    (fun (selected, p0) ->
+      let rest = (1.0 -. p0) /. 2.0 in
+      let proba = [| p0; rest; rest |] in
+      List.for_all
+        (fun label ->
+          let smoothed =
+            Pvalue.classification ~fn:Nonconformity.lac ~selected ~proba ~label ()
+          in
+          let raw =
+            Pvalue.classification ~smooth:false ~fn:Nonconformity.lac ~selected ~proba
+              ~label ()
+          in
+          raw <= smoothed +. 1e-12)
+        [ 0; 1; 2 ])
+
+let prop_set_monotone_in_epsilon =
+  QCheck2.Test.make ~name:"prediction sets shrink as epsilon grows" ~count:100
+    (QCheck2.Gen.array_size (QCheck2.Gen.int_range 2 8)
+       (QCheck2.Gen.float_range 0.0 1.0))
+    (fun pvalues ->
+      let size eps = List.length (Scores.prediction_set ~epsilon:eps pvalues) in
+      size 0.05 >= size 0.2 && size 0.2 >= size 0.5)
+
+let prop_confidence_bounded =
+  QCheck2.Test.make ~name:"confidence lies in [0,1] and peaks at size 1" ~count:100
+    QCheck2.Gen.(pair (float_range 0.2 5.0) (int_range 0 20))
+    (fun (c, set_size) ->
+      (* huge sets with tiny scales underflow to exactly 0, which is fine *)
+      let v = Scores.confidence ~c ~set_size in
+      v >= 0.0 && v <= 1.0 && v <= Scores.confidence ~c ~set_size:1)
+
+let prop_distance_pvalue_monotone =
+  QCheck2.Test.make ~name:"distance p-value decreases as the query moves away"
+    ~count:20
+    (QCheck2.Gen.int_range 0 1000)
+    (fun seed ->
+      let model, _, cal = trained_world (10_000 + seed) in
+      let c =
+        Calibration.prepare_classification ~config:Config.default ~model
+          ~feature_of:Fun.id cal
+      in
+      let p_of x =
+        Calibration.distance_pvalue_cls c (Calibration.standardize_cls c [| x; x |])
+      in
+      (* distances grow monotonically along the diagonal away from the
+         blobs at (0,0) and (5,5) *)
+      p_of 20.0 >= p_of 40.0 && p_of 40.0 >= p_of 120.0)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_validity;
+      prop_pvalues_in_range;
+      prop_raw_below_smoothed_support;
+      prop_set_monotone_in_epsilon;
+      prop_confidence_bounded;
+      prop_distance_pvalue_monotone;
+    ]
+
+let suite =
+  [
+    ("core.nonconformity", nonconformity_tests);
+    ("core.extensions", extension_tests);
+    ("core.config", config_tests);
+    ("core.calibration", calibration_tests);
+    ("core.pvalue", pvalue_tests);
+    ("core.scores", scores_tests);
+    ("core.detector", detector_tests);
+    ("core.intervals", interval_tests);
+    ("core.service", service_tests);
+    ("core.assessment", assessment_tests);
+    ("core.incremental", incremental_tests);
+    ("core.baselines", baseline_tests);
+    ("core.framework", framework_tests);
+    ("core.tuning", tuning_tests);
+    ("core.monitor", monitor_tests);
+    ("core.metrics", metrics_tests);
+    ("core.properties", properties);
+  ]

@@ -1,0 +1,280 @@
+(* Unit and property tests for the prom_linalg substrate. *)
+
+open Prom_linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatish = Alcotest.(check (float 1e-6))
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic given seed" `Quick (fun () ->
+        let a = Rng.create 5 and b = Rng.create 5 in
+        for _ = 1 to 50 do
+          Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+        let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+        Alcotest.(check bool) "streams differ" true (xs <> ys));
+    Alcotest.test_case "int bounds" `Quick (fun () ->
+        let rng = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let x = Rng.int rng 7 in
+          Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+        done);
+    Alcotest.test_case "int rejects non-positive bound" `Quick (fun () ->
+        Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Rng.int (Rng.create 1) 0)));
+    Alcotest.test_case "uniform stays in range" `Quick (fun () ->
+        let rng = Rng.create 4 in
+        for _ = 1 to 1000 do
+          let x = Rng.uniform rng ~lo:(-2.0) ~hi:3.0 in
+          Alcotest.(check bool) "in range" true (x >= -2.0 && x < 3.0)
+        done);
+    Alcotest.test_case "gaussian moments" `Quick (fun () ->
+        let rng = Rng.create 6 in
+        let xs = Array.init 20000 (fun _ -> Rng.gaussian rng ~mu:2.0 ~sigma:0.5) in
+        Alcotest.(check bool) "mean near 2" true (abs_float (Stats.mean xs -. 2.0) < 0.02);
+        Alcotest.(check bool) "std near 0.5" true (abs_float (Stats.std xs -. 0.5) < 0.02));
+    Alcotest.test_case "bernoulli frequency" `Quick (fun () ->
+        let rng = Rng.create 7 in
+        let hits = ref 0 in
+        for _ = 1 to 10000 do
+          if Rng.bernoulli rng 0.3 then incr hits
+        done;
+        Alcotest.(check bool) "near 0.3" true (abs_float (float_of_int !hits /. 10000.0 -. 0.3) < 0.02));
+    Alcotest.test_case "shuffle is a permutation" `Quick (fun () ->
+        let rng = Rng.create 8 in
+        let a = Array.init 100 Fun.id in
+        Rng.shuffle rng a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted);
+    Alcotest.test_case "permutation covers 0..n-1" `Quick (fun () ->
+        let p = Rng.permutation (Rng.create 9) 50 in
+        let sorted = Array.copy p in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "complete" (Array.init 50 Fun.id) sorted);
+    Alcotest.test_case "sample without replacement" `Quick (fun () ->
+        let rng = Rng.create 10 in
+        let s = Rng.sample rng (Array.init 20 Fun.id) 10 in
+        let uniq = List.sort_uniq compare (Array.to_list s) in
+        Alcotest.(check int) "distinct" 10 (List.length uniq));
+    Alcotest.test_case "sample rejects oversize k" `Quick (fun () ->
+        Alcotest.check_raises "too large" (Invalid_argument "Rng.sample: k out of range")
+          (fun () -> ignore (Rng.sample (Rng.create 1) [| 1; 2 |] 3)));
+    Alcotest.test_case "categorical respects weights" `Quick (fun () ->
+        let rng = Rng.create 11 in
+        let counts = Array.make 3 0 in
+        for _ = 1 to 10000 do
+          let i = Rng.categorical rng [| 1.0; 0.0; 3.0 |] in
+          counts.(i) <- counts.(i) + 1
+        done;
+        Alcotest.(check int) "zero weight never drawn" 0 counts.(1);
+        Alcotest.(check bool) "3x ratio" true
+          (float_of_int counts.(2) /. float_of_int counts.(0) > 2.0));
+    Alcotest.test_case "categorical rejects all-zero weights" `Quick (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Rng.categorical: weights sum to zero")
+          (fun () -> ignore (Rng.categorical (Rng.create 1) [| 0.0; 0.0 |])));
+    Alcotest.test_case "split decouples streams" `Quick (fun () ->
+        let a = Rng.create 12 in
+        let b = Rng.split a in
+        let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+        let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+        Alcotest.(check bool) "independent" true (xs <> ys));
+  ]
+
+let vec_tests =
+  [
+    Alcotest.test_case "add/sub roundtrip" `Quick (fun () ->
+        let a = [| 1.0; 2.0; 3.0 |] and b = [| 0.5; -1.0; 2.0 |] in
+        Alcotest.(check (array (float 1e-12))) "a+b-b = a" a (Vec.sub (Vec.add a b) b));
+    Alcotest.test_case "dot" `Quick (fun () ->
+        check_float "dot" 11.0 (Vec.dot [| 1.0; 2.0; 3.0 |] [| 3.0; 1.0; 2.0 |]));
+    Alcotest.test_case "dimension mismatch raises" `Quick (fun () ->
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+            ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |])));
+    Alcotest.test_case "norm of 3-4-0" `Quick (fun () ->
+        check_float "norm" 5.0 (Vec.norm [| 3.0; 4.0; 0.0 |]));
+    Alcotest.test_case "axpy updates in place" `Quick (fun () ->
+        let y = [| 1.0; 1.0 |] in
+        Vec.axpy ~alpha:2.0 [| 1.0; 3.0 |] y;
+        Alcotest.(check (array (float 1e-12))) "y" [| 3.0; 7.0 |] y);
+    Alcotest.test_case "argmax picks first on ties" `Quick (fun () ->
+        Alcotest.(check int) "first" 1 (Vec.argmax [| 0.0; 5.0; 5.0; 1.0 |]));
+    Alcotest.test_case "softmax sums to one" `Quick (fun () ->
+        check_floatish "sum" 1.0 (Vec.sum (Vec.softmax [| 1.0; 5.0; -2.0 |])));
+    Alcotest.test_case "softmax is stable for large logits" `Quick (fun () ->
+        let p = Vec.softmax [| 1000.0; 999.0 |] in
+        Alcotest.(check bool) "finite" true (Float.is_finite p.(0) && Float.is_finite p.(1));
+        check_floatish "sum" 1.0 (Vec.sum p));
+    Alcotest.test_case "normalize yields unit norm" `Quick (fun () ->
+        check_floatish "norm" 1.0 (Vec.norm (Vec.normalize [| 2.0; -7.0; 0.1 |])));
+    Alcotest.test_case "normalize of zero vector is identity" `Quick (fun () ->
+        Alcotest.(check (array (float 1e-12))) "zeros" [| 0.0; 0.0 |]
+          (Vec.normalize [| 0.0; 0.0 |]));
+  ]
+
+let mat_tests =
+  [
+    Alcotest.test_case "matvec identity" `Quick (fun () ->
+        let v = [| 1.0; 2.0; 3.0 |] in
+        Alcotest.(check (array (float 1e-12))) "I v = v" v (Mat.matvec (Mat.identity 3) v));
+    Alcotest.test_case "matmul associativity with identity" `Quick (fun () ->
+        let m = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+        let p = Mat.matmul m (Mat.identity 2) in
+        Alcotest.(check (array (float 1e-12))) "row0" m.(0) p.(0);
+        Alcotest.(check (array (float 1e-12))) "row1" m.(1) p.(1));
+    Alcotest.test_case "transpose involution" `Quick (fun () ->
+        let m = Mat.init ~rows:3 ~cols:2 (fun i j -> float_of_int ((i * 10) + j)) in
+        let t = Mat.transpose (Mat.transpose m) in
+        for i = 0 to 2 do
+          Alcotest.(check (array (float 1e-12))) "row" m.(i) t.(i)
+        done);
+    Alcotest.test_case "of_rows rejects ragged input" `Quick (fun () ->
+        Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows")
+          (fun () -> ignore (Mat.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |])));
+    Alcotest.test_case "solve recovers solution" `Quick (fun () ->
+        let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+        let x = [| 1.5; -2.0 |] in
+        let b = Mat.matvec a x in
+        let got = Mat.solve a b in
+        Alcotest.(check (array (float 1e-9))) "x" x got);
+    Alcotest.test_case "solve with pivoting handles zero diagonal" `Quick (fun () ->
+        let a = Mat.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        let got = Mat.solve a [| 2.0; 3.0 |] in
+        Alcotest.(check (array (float 1e-9))) "x" [| 3.0; 2.0 |] got);
+    Alcotest.test_case "solve rejects singular matrix" `Quick (fun () ->
+        Alcotest.check_raises "singular" (Failure "Mat.solve: singular matrix") (fun () ->
+            ignore (Mat.solve (Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |]) [| 1.0; 2.0 |])));
+    Alcotest.test_case "gram is symmetric" `Quick (fun () ->
+        let m = Mat.init ~rows:4 ~cols:3 (fun i j -> float_of_int (i + (2 * j))) in
+        let g = Mat.gram m in
+        for i = 0 to 2 do
+          for j = 0 to 2 do
+            check_float "sym" g.(i).(j) g.(j).(i)
+          done
+        done);
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "mean" `Quick (fun () ->
+        check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]));
+    Alcotest.test_case "variance of constant is zero" `Quick (fun () ->
+        check_float "var" 0.0 (Stats.variance [| 4.0; 4.0; 4.0 |]));
+    Alcotest.test_case "sample variance uses n-1" `Quick (fun () ->
+        check_float "var" 1.0 (Stats.sample_variance [| 1.0; 2.0; 3.0 |]));
+    Alcotest.test_case "median odd and even" `Quick (fun () ->
+        check_float "odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+        check_float "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]));
+    Alcotest.test_case "quantile endpoints" `Quick (fun () ->
+        let a = [| 5.0; 1.0; 3.0 |] in
+        check_float "q0" 1.0 (Stats.quantile a 0.0);
+        check_float "q1" 5.0 (Stats.quantile a 1.0));
+    Alcotest.test_case "quantile rejects out-of-range q" `Quick (fun () ->
+        Alcotest.check_raises "q" (Invalid_argument "Stats.quantile: q outside [0,1]")
+          (fun () -> ignore (Stats.quantile [| 1.0 |] 1.5)));
+    Alcotest.test_case "geomean of powers" `Quick (fun () ->
+        check_floatish "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]));
+    Alcotest.test_case "geomean rejects non-positive" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Stats.geomean: non-positive value")
+          (fun () -> ignore (Stats.geomean [| 1.0; -1.0 |])));
+    Alcotest.test_case "histogram counts all samples" `Quick (fun () ->
+        let h = Stats.histogram [| 0.0; 0.5; 1.0; 0.9 |] ~bins:4 in
+        Alcotest.(check int) "total" 4 (Array.fold_left ( + ) 0 h));
+    Alcotest.test_case "histogram of constant array" `Quick (fun () ->
+        let h = Stats.histogram [| 2.0; 2.0 |] ~bins:3 in
+        Alcotest.(check int) "first bin" 2 h.(0));
+    Alcotest.test_case "pearson of identical arrays" `Quick (fun () ->
+        check_floatish "corr" 1.0 (Stats.pearson [| 1.0; 2.0; 3.0 |] [| 1.0; 2.0; 3.0 |]));
+    Alcotest.test_case "pearson of anti-correlated arrays" `Quick (fun () ->
+        check_floatish "corr" (-1.0) (Stats.pearson [| 1.0; 2.0; 3.0 |] [| 3.0; 2.0; 1.0 |]));
+    Alcotest.test_case "pearson zero-variance guard" `Quick (fun () ->
+        check_float "corr" 0.0 (Stats.pearson [| 1.0; 1.0 |] [| 1.0; 2.0 |]));
+    Alcotest.test_case "standardize yields zero mean unit std" `Quick (fun () ->
+        let z, _, _ = Stats.standardize [| 2.0; 4.0; 6.0; 8.0 |] in
+        Alcotest.(check bool) "mean 0" true (abs_float (Stats.mean z) < 1e-9);
+        Alcotest.(check bool) "std 1" true (abs_float (Stats.std z -. 1.0) < 1e-9));
+  ]
+
+let distance_tests =
+  [
+    Alcotest.test_case "euclidean" `Quick (fun () ->
+        check_float "dist" 5.0 (Distance.euclidean [| 0.0; 0.0 |] [| 3.0; 4.0 |]));
+    Alcotest.test_case "manhattan" `Quick (fun () ->
+        check_float "dist" 7.0 (Distance.manhattan [| 0.0; 0.0 |] [| 3.0; 4.0 |]));
+    Alcotest.test_case "chebyshev" `Quick (fun () ->
+        check_float "dist" 4.0 (Distance.chebyshev [| 0.0; 0.0 |] [| 3.0; 4.0 |]));
+    Alcotest.test_case "cosine of parallel vectors is zero" `Quick (fun () ->
+        check_floatish "cos" 0.0 (Distance.cosine [| 1.0; 2.0 |] [| 2.0; 4.0 |]));
+    Alcotest.test_case "cosine of orthogonal vectors is one" `Quick (fun () ->
+        check_floatish "cos" 1.0 (Distance.cosine [| 1.0; 0.0 |] [| 0.0; 1.0 |]));
+    Alcotest.test_case "cosine zero-vector convention" `Quick (fun () ->
+        check_float "cos" 1.0 (Distance.cosine [| 0.0; 0.0 |] [| 1.0; 1.0 |]));
+    Alcotest.test_case "nearest returns sorted neighbours" `Quick (fun () ->
+        let xs = [| [| 0.0 |]; [| 10.0 |]; [| 3.0 |]; [| 5.0 |] |] in
+        let idx = Distance.nearest ~dist:Distance.euclidean xs [| 4.0 |] 3 in
+        Alcotest.(check (array int)) "order" [| 2; 3; 0 |] idx);
+    Alcotest.test_case "nearest clamps k" `Quick (fun () ->
+        let xs = [| [| 0.0 |]; [| 1.0 |] |] in
+        Alcotest.(check int) "clamped" 2
+          (Array.length (Distance.nearest ~dist:Distance.euclidean xs [| 0.0 |] 10)));
+  ]
+
+(* Property-based tests. *)
+let float_array = QCheck2.Gen.(array_size (int_range 1 20) (float_range (-100.0) 100.0))
+
+let prop_triangle =
+  QCheck2.Test.make ~name:"euclidean satisfies triangle inequality" ~count:200
+    QCheck2.Gen.(
+      triple (array_size (return 4) (float_range (-50.) 50.))
+        (array_size (return 4) (float_range (-50.) 50.))
+        (array_size (return 4) (float_range (-50.) 50.)))
+    (fun (a, b, c) ->
+      Distance.euclidean a c <= Distance.euclidean a b +. Distance.euclidean b c +. 1e-9)
+
+let prop_softmax =
+  QCheck2.Test.make ~name:"softmax sums to 1 and is positive" ~count:200 float_array
+    (fun a ->
+      let p = Prom_linalg.Vec.softmax a in
+      abs_float (Prom_linalg.Vec.sum p -. 1.0) < 1e-9 && Array.for_all (fun x -> x >= 0.0) p)
+
+let prop_quantile_monotone =
+  QCheck2.Test.make ~name:"quantiles are monotone" ~count:200 float_array (fun a ->
+      Stats.quantile a 0.25 <= Stats.quantile a 0.75)
+
+let prop_mean_bounds =
+  QCheck2.Test.make ~name:"mean lies within min and max" ~count:200 float_array (fun a ->
+      let m = Stats.mean a in
+      let lo = Array.fold_left min a.(0) a and hi = Array.fold_left max a.(0) a in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_solve =
+  QCheck2.Test.make ~name:"Mat.solve solves well-conditioned systems" ~count:100
+    QCheck2.Gen.(array_size (return 3) (float_range (-5.0) 5.0))
+    (fun x ->
+      (* Diagonally dominant matrix: always solvable. *)
+      let a =
+        Mat.init ~rows:3 ~cols:3 (fun i j ->
+            if i = j then 10.0 else float_of_int ((i + j) mod 3))
+      in
+      let b = Mat.matvec a x in
+      let got = Mat.solve a b in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-6) x got)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_triangle; prop_softmax; prop_quantile_monotone; prop_mean_bounds; prop_solve ]
+
+let suite =
+  [
+    ("linalg.rng", rng_tests);
+    ("linalg.vec", vec_tests);
+    ("linalg.mat", mat_tests);
+    ("linalg.stats", stats_tests);
+    ("linalg.distance", distance_tests);
+    ("linalg.properties", properties);
+  ]

@@ -1,0 +1,310 @@
+(* Tests for the prom_ml substrate: dataset handling and every model
+   family learns a problem it should be able to learn. *)
+
+open Prom_linalg
+open Prom_ml
+
+let blob rng ~cx ~cy ~label n =
+  Array.init n (fun _ ->
+      ( [| Rng.gaussian rng ~mu:cx ~sigma:0.5; Rng.gaussian rng ~mu:cy ~sigma:0.5 |],
+        label ))
+
+(* A linearly separable 3-class dataset every classifier should ace. *)
+let three_blobs seed =
+  let rng = Rng.create seed in
+  let samples =
+    Array.concat
+      [
+        blob rng ~cx:0.0 ~cy:0.0 ~label:0 60;
+        blob rng ~cx:4.0 ~cy:0.0 ~label:1 60;
+        blob rng ~cx:0.0 ~cy:4.0 ~label:2 60;
+      ]
+  in
+  Rng.shuffle rng samples;
+  Dataset.create (Array.map fst samples) (Array.map snd samples)
+
+let dataset_tests =
+  [
+    Alcotest.test_case "create validates lengths" `Quick (fun () ->
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Dataset.create: feature/label length mismatch") (fun () ->
+            ignore (Dataset.create [| [| 1.0 |] |] [| 1; 2 |])));
+    Alcotest.test_case "create validates rectangularity" `Quick (fun () ->
+        Alcotest.check_raises "ragged" (Invalid_argument "Dataset.create: ragged features")
+          (fun () -> ignore (Dataset.create [| [| 1.0 |]; [| 1.0; 2.0 |] |] [| 0; 1 |])));
+    Alcotest.test_case "n_classes from labels" `Quick (fun () ->
+        let d = Dataset.create [| [| 0.0 |]; [| 1.0 |] |] [| 0; 4 |] in
+        Alcotest.(check int) "classes" 5 (Dataset.n_classes d));
+    Alcotest.test_case "split_at partitions sizes" `Quick (fun () ->
+        let d = three_blobs 1 in
+        let a, b = Dataset.split_at d ~ratio:0.25 in
+        Alcotest.(check int) "prefix" 45 (Dataset.length a);
+        Alcotest.(check int) "suffix" 135 (Dataset.length b));
+    Alcotest.test_case "train_test_split covers everything" `Quick (fun () ->
+        let d = three_blobs 2 in
+        let tr, te = Dataset.train_test_split (Rng.create 1) d ~test_ratio:0.2 in
+        Alcotest.(check int) "total" 180 (Dataset.length tr + Dataset.length te));
+    Alcotest.test_case "k_folds covers every sample exactly once" `Quick (fun () ->
+        let d = three_blobs 3 in
+        let folds = Dataset.k_folds (Rng.create 2) d 5 in
+        let total = Array.fold_left (fun acc (_, fold) -> acc + Dataset.length fold) 0 folds in
+        Alcotest.(check int) "fold sizes" (Dataset.length d) total;
+        Array.iter
+          (fun (rest, fold) ->
+            Alcotest.(check int) "rest+fold" (Dataset.length d)
+              (Dataset.length rest + Dataset.length fold))
+          folds);
+    Alcotest.test_case "append concatenates" `Quick (fun () ->
+        let d = three_blobs 4 in
+        Alcotest.(check int) "double" 360 (Dataset.length (Dataset.append d d)));
+    Alcotest.test_case "filter keeps matching samples" `Quick (fun () ->
+        let d = three_blobs 5 in
+        let only0 = Dataset.filter (fun _ y -> y = 0) d in
+        Alcotest.(check bool) "nonempty" true (Dataset.length only0 > 0);
+        Array.iter (fun y -> Alcotest.(check int) "label" 0 y) only0.y);
+    Alcotest.test_case "scaler standardizes train features" `Quick (fun () ->
+        let d = three_blobs 6 in
+        let sc = Dataset.Scaler.fit d in
+        let z = Dataset.Scaler.transform_dataset sc d in
+        let col0 = Array.map (fun v -> v.(0)) z.x in
+        Alcotest.(check bool) "mean approx 0" true (abs_float (Stats.mean col0) < 1e-9));
+    Alcotest.test_case "scaler is dimension-safe" `Quick (fun () ->
+        let d = three_blobs 7 in
+        let sc = Dataset.Scaler.fit d in
+        Alcotest.check_raises "dim" (Invalid_argument "Scaler.transform: dimension mismatch")
+          (fun () -> ignore (Dataset.Scaler.transform sc [| 1.0 |])));
+  ]
+
+let check_proba_classifier name (c : Model.classifier) (d : int Dataset.t) min_acc =
+  let acc = Model.accuracy c d in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s accuracy %.2f >= %.2f" name acc min_acc)
+    true (acc >= min_acc);
+  (* Probability vectors are well-formed on every sample. *)
+  Array.iter
+    (fun x ->
+      let p = c.Model.predict_proba x in
+      Alcotest.(check int) "length" c.Model.n_classes (Array.length p);
+      Alcotest.(check bool) "sums to 1" true (abs_float (Vec.sum p -. 1.0) < 1e-6);
+      Alcotest.(check bool) "non-negative" true (Array.for_all (fun q -> q >= -1e-12) p))
+    (Array.sub d.x 0 (min 10 (Dataset.length d)))
+
+let classifier_tests =
+  let learn name train min_acc =
+    Alcotest.test_case (name ^ " learns three blobs") `Quick (fun () ->
+        let d = three_blobs 10 in
+        let tr, te = Dataset.split_at d ~ratio:0.8 in
+        let c = train tr in
+        check_proba_classifier name c te min_acc)
+  in
+  [
+    learn "logistic" (fun d -> Logistic.train d) 0.95;
+    learn "mlp" (fun d -> Mlp.train d) 0.95;
+    learn "decision-tree" (fun d -> Decision_tree.classifier d) 0.9;
+    learn "random-forest" (fun d -> Random_forest.train d) 0.9;
+    learn "gradient-boosting" (fun d -> Gradient_boosting.train d) 0.9;
+    learn "svm" (fun d -> Svm.train d) 0.9;
+    learn "knn" (fun d -> Knn.train d) 0.9;
+    learn "naive-bayes" (fun d -> Naive_bayes.train d) 0.9;
+    Alcotest.test_case "svm with rbf kernel learns xor-ish rings" `Quick (fun () ->
+        (* concentric data: not linearly separable *)
+        let rng = Rng.create 20 in
+        let ring r label n =
+          Array.init n (fun _ ->
+              let t = Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi) in
+              let rr = r +. Rng.gaussian rng ~mu:0.0 ~sigma:0.1 in
+              ([| rr *. cos t; rr *. sin t |], label))
+        in
+        let samples = Array.append (ring 0.5 0 80) (ring 2.0 1 80) in
+        Rng.shuffle rng samples;
+        let d = Dataset.create (Array.map fst samples) (Array.map snd samples) in
+        let tr, te = Dataset.split_at d ~ratio:0.8 in
+        let params =
+          { Svm.default_params with Svm.kernel = Svm.Rbf { gamma = 1.0; n_components = 60 } }
+        in
+        let c = Svm.train ~params tr in
+        Alcotest.(check bool) "acc > 0.8" true (Model.accuracy c te > 0.8));
+    Alcotest.test_case "logistic warm start improves on new region" `Quick (fun () ->
+        let d = three_blobs 11 in
+        let m0 = Logistic.train d in
+        let rng = Rng.create 12 in
+        let extra_samples = blob rng ~cx:8.0 ~cy:8.0 ~label:1 40 in
+        let extra = Dataset.create (Array.map fst extra_samples) (Array.map snd extra_samples) in
+        let m1 = Logistic.train ~init:m0 (Dataset.append d extra) in
+        Alcotest.(check bool) "new region learned" true (Model.accuracy m1 extra > 0.9));
+    Alcotest.test_case "constant classifier" `Quick (fun () ->
+        let c = Model.constant_classifier ~n_classes:3 1 in
+        Alcotest.(check int) "predict" 1 (Model.predict c [| 0.0 |]));
+    Alcotest.test_case "constant classifier rejects bad class" `Quick (fun () ->
+        Alcotest.check_raises "range"
+          (Invalid_argument "Model.constant_classifier: class out of range") (fun () ->
+            ignore (Model.constant_classifier ~n_classes:2 5)));
+  ]
+
+(* Regression: y = 2 x0 - 3 x1 + 1 + noise. *)
+let linear_problem seed n =
+  let rng = Rng.create seed in
+  let x = Array.init n (fun _ -> [| Rng.uniform rng ~lo:(-2.0) ~hi:2.0; Rng.uniform rng ~lo:(-2.0) ~hi:2.0 |]) in
+  let y =
+    Array.map
+      (fun v -> (2.0 *. v.(0)) -. (3.0 *. v.(1)) +. 1.0 +. Rng.gaussian rng ~mu:0.0 ~sigma:0.01)
+      x
+  in
+  Dataset.create x y
+
+let regressor_tests =
+  [
+    Alcotest.test_case "linreg recovers coefficients" `Quick (fun () ->
+        let d = linear_problem 30 200 in
+        let m = Linreg.train d in
+        match Linreg.coefficients m with
+        | Some (w, b) ->
+            Alcotest.(check (float 0.05)) "w0" 2.0 w.(0);
+            Alcotest.(check (float 0.05)) "w1" (-3.0) w.(1);
+            Alcotest.(check (float 0.05)) "b" 1.0 b
+        | None -> Alcotest.fail "no coefficients");
+    Alcotest.test_case "linreg mse small on linear data" `Quick (fun () ->
+        let d = linear_problem 31 200 in
+        Alcotest.(check bool) "mse" true (Model.mse (Linreg.train d) d < 0.01));
+    Alcotest.test_case "mlp regressor fits nonlinear curve" `Quick (fun () ->
+        let rng = Rng.create 32 in
+        let x = Array.init 200 (fun _ -> [| Rng.uniform rng ~lo:(-2.0) ~hi:2.0 |]) in
+        let y = Array.map (fun v -> sin v.(0)) x in
+        let d = Dataset.create x y in
+        let m =
+          Mlp.train_regressor
+            ~params:{ Mlp.default_params with Mlp.hidden = [ 16 ]; epochs = 400 }
+            d
+        in
+        Alcotest.(check bool) "mse < 0.05" true (Model.mse m d < 0.05));
+    Alcotest.test_case "gradient boosting regressor beats the mean" `Quick (fun () ->
+        let d = linear_problem 33 300 in
+        let m = Gradient_boosting.train_regressor d in
+        let mean_mse = Stats.variance d.y in
+        Alcotest.(check bool) "mse < variance/4" true (Model.mse m d < mean_mse /. 4.0));
+    Alcotest.test_case "knn regressor interpolates" `Quick (fun () ->
+        let d =
+          Dataset.create [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |]; [| 3.0 |] |] [| 0.0; 1.0; 2.0; 3.0 |]
+        in
+        let v = Knn.predict_value ~k:2 d [| 1.4 |] in
+        Alcotest.(check (float 1e-9)) "avg of 1,2" 1.5 v);
+    Alcotest.test_case "random forest regressor runs" `Quick (fun () ->
+        let d = linear_problem 34 100 in
+        let m = Random_forest.train_regressor d in
+        Alcotest.(check bool) "finite" true (Float.is_finite (m.Model.predict d.x.(0))));
+  ]
+
+let tree_tests =
+  [
+    Alcotest.test_case "tree splits a separable problem" `Quick (fun () ->
+        let d =
+          Dataset.create
+            [| [| 0.0 |]; [| 0.1 |]; [| 0.9 |]; [| 1.0 |] |]
+            [| 0; 0; 1; 1 |]
+        in
+        let t =
+          Decision_tree.fit_classification
+            ~params:{ Decision_tree.default_split_params with min_samples_leaf = 1; min_samples_split = 2 }
+            d
+        in
+        Alcotest.(check bool) "has a split" true (Decision_tree.depth t >= 1);
+        let p0 = Decision_tree.leaf_value t [| 0.05 |] in
+        Alcotest.(check (float 1e-9)) "pure left leaf" 1.0 p0.(0));
+    Alcotest.test_case "max_depth bounds the tree" `Quick (fun () ->
+        let d = three_blobs 40 in
+        let t =
+          Decision_tree.fit_classification
+            ~params:{ Decision_tree.default_split_params with max_depth = 2 }
+            d
+        in
+        Alcotest.(check bool) "depth <= 2" true (Decision_tree.depth t <= 2));
+    Alcotest.test_case "pure node becomes a leaf" `Quick (fun () ->
+        let d = Dataset.create [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |] |] [| 1; 1; 1 |] in
+        let t = Decision_tree.fit_classification d in
+        Alcotest.(check int) "single leaf" 1 (Decision_tree.n_leaves t));
+    Alcotest.test_case "regression tree fits a step" `Quick (fun () ->
+        let d =
+          Dataset.create
+            [| [| 0.0 |]; [| 0.2 |]; [| 0.8 |]; [| 1.0 |] |]
+            [| 0.0; 0.0; 5.0; 5.0 |]
+        in
+        let t =
+          Decision_tree.fit_regression
+            ~params:{ Decision_tree.default_split_params with min_samples_leaf = 1; min_samples_split = 2 }
+            d
+        in
+        Alcotest.(check (float 1e-9)) "left" 0.0 (Decision_tree.leaf_value t [| 0.1 |]);
+        Alcotest.(check (float 1e-9)) "right" 5.0 (Decision_tree.leaf_value t [| 0.9 |]));
+  ]
+
+let kmeans_tests =
+  [
+    Alcotest.test_case "kmeans separates two blobs" `Quick (fun () ->
+        let rng = Rng.create 50 in
+        let pts =
+          Array.append
+            (Array.init 50 (fun _ -> [| Rng.gaussian rng ~mu:0.0 ~sigma:0.3; 0.0 |]))
+            (Array.init 50 (fun _ -> [| Rng.gaussian rng ~mu:5.0 ~sigma:0.3; 0.0 |]))
+        in
+        let km = Kmeans.fit (Rng.create 51) pts ~k:2 in
+        let a = km.Kmeans.assignments.(0) in
+        (* Every sample from blob 1 shares cluster 0's assignment, etc. *)
+        for i = 0 to 49 do
+          Alcotest.(check int) "first blob" a km.Kmeans.assignments.(i)
+        done;
+        for i = 50 to 99 do
+          Alcotest.(check bool) "second blob" true (km.Kmeans.assignments.(i) <> a)
+        done);
+    Alcotest.test_case "assign matches nearest centroid" `Quick (fun () ->
+        let pts = [| [| 0.0 |]; [| 10.0 |] |] in
+        let km = Kmeans.fit (Rng.create 52) pts ~k:2 in
+        let c_of x = Kmeans.assign km [| x |] in
+        Alcotest.(check int) "near zero" km.Kmeans.assignments.(0) (c_of 0.5);
+        Alcotest.(check int) "near ten" km.Kmeans.assignments.(1) (c_of 9.0));
+    Alcotest.test_case "inertia decreases with more clusters" `Quick (fun () ->
+        let rng = Rng.create 53 in
+        let pts = Array.init 60 (fun _ -> [| Rng.uniform rng ~lo:0.0 ~hi:10.0 |]) in
+        let i2 = (Kmeans.fit (Rng.create 54) pts ~k:2).Kmeans.inertia in
+        let i6 = (Kmeans.fit (Rng.create 54) pts ~k:6).Kmeans.inertia in
+        Alcotest.(check bool) "monotone-ish" true (i6 <= i2));
+    Alcotest.test_case "fit rejects bad k" `Quick (fun () ->
+        Alcotest.check_raises "k" (Invalid_argument "Kmeans.fit: k out of range") (fun () ->
+            ignore (Kmeans.fit (Rng.create 1) [| [| 0.0 |] |] ~k:2)));
+    Alcotest.test_case "gap statistic finds two clusters" `Quick (fun () ->
+        let rng = Rng.create 55 in
+        let pts =
+          Array.append
+            (Array.init 40 (fun _ ->
+                 [| Rng.gaussian rng ~mu:0.0 ~sigma:0.2; Rng.gaussian rng ~mu:0.0 ~sigma:0.2 |]))
+            (Array.init 40 (fun _ ->
+                 [| Rng.gaussian rng ~mu:6.0 ~sigma:0.2; Rng.gaussian rng ~mu:6.0 ~sigma:0.2 |]))
+        in
+        let r = Gap_statistic.select (Rng.create 56) pts ~k_min:2 ~k_max:6 in
+        Alcotest.(check bool) "k small" true (r.Gap_statistic.best_k <= 3));
+    Alcotest.test_case "gap statistic validates range" `Quick (fun () ->
+        Alcotest.check_raises "range" (Invalid_argument "Gap_statistic.select: bad range")
+          (fun () ->
+            ignore
+              (Gap_statistic.select (Rng.create 1) [| [| 0.0 |]; [| 1.0 |] |] ~k_min:3 ~k_max:2)));
+  ]
+
+let prop_forest_probas =
+  QCheck2.Test.make ~name:"random forest probabilities are a distribution" ~count:20
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 3 12))
+    (fun (seed, k) ->
+      let d = three_blobs seed in
+      let c = Random_forest.train ~params:{ Random_forest.default_params with n_trees = k } d in
+      let p = c.Model.predict_proba d.x.(0) in
+      abs_float (Vec.sum p -. 1.0) < 1e-6)
+
+let properties = List.map QCheck_alcotest.to_alcotest [ prop_forest_probas ]
+
+let suite =
+  [
+    ("ml.dataset", dataset_tests);
+    ("ml.classifiers", classifier_tests);
+    ("ml.regressors", regressor_tests);
+    ("ml.trees", tree_tests);
+    ("ml.kmeans", kmeans_tests);
+    ("ml.properties", properties);
+  ]

@@ -1,0 +1,262 @@
+(* Tests for prom_nn: encodings round-trip; the sequence and graph
+   networks learn synthetic languages/graph properties they should. *)
+
+open Prom_linalg
+open Prom_ml
+open Prom_nn
+
+let seq_spec = { Encoding.Seq.max_len = 12; vocab = 10 }
+
+let encoding_tests =
+  [
+    Alcotest.test_case "sequence encode/decode round-trips" `Quick (fun () ->
+        let tokens = [| 3; 1; 4; 1; 5 |] in
+        let packed = Encoding.Seq.encode seq_spec tokens in
+        Alcotest.(check (array int)) "tokens" tokens (Encoding.Seq.decode seq_spec packed));
+    Alcotest.test_case "sequence encode truncates to max_len" `Quick (fun () ->
+        let tokens = Array.make 40 2 in
+        let packed = Encoding.Seq.encode seq_spec tokens in
+        Alcotest.(check int) "truncated" 12 (Array.length (Encoding.Seq.decode seq_spec packed)));
+    Alcotest.test_case "sequence encode rejects out-of-vocab tokens" `Quick (fun () ->
+        Alcotest.check_raises "vocab"
+          (Invalid_argument "Encoding.Seq.encode: token 10 outside vocab 10") (fun () ->
+            ignore (Encoding.Seq.encode seq_spec [| 10 |])));
+    Alcotest.test_case "empty sequence round-trips" `Quick (fun () ->
+        let packed = Encoding.Seq.encode seq_spec [||] in
+        Alcotest.(check (array int)) "empty" [||] (Encoding.Seq.decode seq_spec packed));
+    Alcotest.test_case "graph encode/decode round-trips" `Quick (fun () ->
+        let spec = { Encoding.Graph.max_nodes = 5; feat_dim = 2 } in
+        let g =
+          {
+            Encoding.Graph.nodes = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |];
+            edges = [ (0, 1); (1, 2); (2, 0) ];
+          }
+        in
+        let g' = Encoding.Graph.decode spec (Encoding.Graph.encode spec g) in
+        Alcotest.(check int) "nodes" 3 (Array.length g'.Encoding.Graph.nodes);
+        Alcotest.(check (array (float 1e-12))) "feat" [| 3.0; 4.0 |] g'.Encoding.Graph.nodes.(1);
+        Alcotest.(check (list (pair int int))) "edges"
+          (List.sort compare g.Encoding.Graph.edges)
+          (List.sort compare g'.Encoding.Graph.edges));
+    Alcotest.test_case "graph encode rejects oversize graphs" `Quick (fun () ->
+        let spec = { Encoding.Graph.max_nodes = 2; feat_dim = 1 } in
+        Alcotest.check_raises "size" (Invalid_argument "Encoding.Graph.encode: too many nodes")
+          (fun () ->
+            ignore
+              (Encoding.Graph.encode spec
+                 { Encoding.Graph.nodes = [| [| 0.0 |]; [| 0.0 |]; [| 0.0 |] |]; edges = [] })));
+    Alcotest.test_case "graph encode rejects bad edges" `Quick (fun () ->
+        let spec = { Encoding.Graph.max_nodes = 3; feat_dim = 1 } in
+        Alcotest.check_raises "edge"
+          (Invalid_argument "Encoding.Graph.encode: edge endpoint out of range") (fun () ->
+            ignore
+              (Encoding.Graph.encode spec
+                 { Encoding.Graph.nodes = [| [| 0.0 |] |]; edges = [ (0, 2) ] })));
+  ]
+
+(* Synthetic language: class = most frequent of tokens {1, 2}. A
+   sequence model must aggregate over the whole input to solve it. *)
+let majority_dataset seed n =
+  let rng = Rng.create seed in
+  let samples =
+    Array.init n (fun _ ->
+        let label = Rng.int rng 2 in
+        let major = label + 1 and minor = 2 - label in
+        let tokens =
+          Array.init 10 (fun _ -> if Rng.bernoulli rng 0.8 then major else minor)
+        in
+        (Encoding.Seq.encode seq_spec tokens, label))
+  in
+  Dataset.create (Array.map fst samples) (Array.map snd samples)
+
+let seq_arch_test name arch =
+  Alcotest.test_case (name ^ " learns token majority") `Slow (fun () ->
+      let train = majority_dataset 60 200 in
+      let test = majority_dataset 61 60 in
+      let params =
+        { (Seq_model.default_params seq_spec) with Seq_model.arch; epochs = 10 }
+      in
+      let c = Seq_model.train ~params train in
+      Alcotest.(check bool) "accuracy > 0.8" true (Model.accuracy c test > 0.8))
+
+let seq_tests =
+  [
+    seq_arch_test "lstm" Seq_model.Lstm;
+    seq_arch_test "gru" Seq_model.Gru;
+    seq_arch_test "attention" Seq_model.Attention;
+    Alcotest.test_case "sequence classifier exposes an embedding" `Quick (fun () ->
+        let train = majority_dataset 62 40 in
+        let params =
+          { (Seq_model.default_params seq_spec) with Seq_model.epochs = 1; hidden = 6 }
+        in
+        let c = Seq_model.train ~params train in
+        match Nn_model.embedding_of c with
+        | Some embed ->
+            Alcotest.(check int) "hidden dim" 6 (Array.length (embed train.x.(0)))
+        | None -> Alcotest.fail "missing embedding");
+    Alcotest.test_case "warm start does not mutate the source model" `Quick (fun () ->
+        let train = majority_dataset 63 60 in
+        let params =
+          { (Seq_model.default_params seq_spec) with Seq_model.epochs = 3; hidden = 6 }
+        in
+        let m0 = Seq_model.train ~params train in
+        let before = m0.Model.predict_proba train.x.(0) in
+        let _m1 = Seq_model.train ~params ~init:m0 train in
+        let after = m0.Model.predict_proba train.x.(0) in
+        Alcotest.(check (array (float 1e-12))) "unchanged" before after);
+    Alcotest.test_case "sequence regressor fits the token-2 fraction" `Slow (fun () ->
+        (* Attention pooling averages token embeddings, so the fraction
+           of a given token is exactly representable. *)
+        let rng = Rng.create 64 in
+        let samples =
+          Array.init 150 (fun _ ->
+              let tokens = Array.init 10 (fun _ -> 1 + Rng.int rng 2) in
+              let frac =
+                float_of_int (Array.fold_left (fun a t -> if t = 2 then a + 1 else a) 0 tokens)
+                /. 10.0
+              in
+              (Encoding.Seq.encode seq_spec tokens, frac))
+        in
+        let d = Dataset.create (Array.map fst samples) (Array.map snd samples) in
+        let params =
+          { (Seq_model.default_params seq_spec) with Seq_model.arch = Attention; epochs = 15 }
+        in
+        let m = Seq_model.train_regressor ~params d in
+        Alcotest.(check bool) "mse small" true (Model.mse m d < 0.02));
+  ]
+
+(* Graph property: class = graph has an edge into node 0 (needs message
+   passing to see). Simpler learnable: class by mean node feature. *)
+let graph_spec = { Encoding.Graph.max_nodes = 6; feat_dim = 2 }
+
+let graph_dataset seed n =
+  let rng = Rng.create seed in
+  let samples =
+    Array.init n (fun _ ->
+        let label = Rng.int rng 2 in
+        let base = if label = 0 then 0.0 else 1.5 in
+        let k = 3 + Rng.int rng 3 in
+        let nodes =
+          Array.init k (fun _ ->
+              [| Rng.gaussian rng ~mu:base ~sigma:0.3; Rng.gaussian rng ~mu:0.0 ~sigma:0.3 |])
+        in
+        let edges = List.init (k - 1) (fun i -> (i, i + 1)) in
+        (Encoding.Graph.encode graph_spec { Encoding.Graph.nodes; edges }, label))
+  in
+  Dataset.create (Array.map fst samples) (Array.map snd samples)
+
+let gnn_tests =
+  [
+    Alcotest.test_case "gnn learns a node-feature property" `Slow (fun () ->
+        let train = graph_dataset 70 160 in
+        let test = graph_dataset 71 60 in
+        let params = { (Gnn.default_params graph_spec) with Gnn.epochs = 10 } in
+        let c = Gnn.train ~params train in
+        Alcotest.(check bool) "accuracy > 0.85" true (Model.accuracy c test > 0.85));
+    Alcotest.test_case "gnn handles empty graphs" `Quick (fun () ->
+        let train = graph_dataset 72 40 in
+        let params = { (Gnn.default_params graph_spec) with Gnn.epochs = 1 } in
+        let c = Gnn.train ~params train in
+        let empty =
+          Encoding.Graph.encode graph_spec { Encoding.Graph.nodes = [||]; edges = [] }
+        in
+        let p = c.Model.predict_proba empty in
+        Alcotest.(check bool) "distribution" true
+          (abs_float (Prom_linalg.Vec.sum p -. 1.0) < 1e-6));
+    Alcotest.test_case "gnn exposes an embedding" `Quick (fun () ->
+        let train = graph_dataset 73 40 in
+        let params = { (Gnn.default_params graph_spec) with Gnn.epochs = 1; hidden = 7 } in
+        let c = Gnn.train ~params train in
+        match Nn_model.embedding_of c with
+        | Some embed -> Alcotest.(check int) "dim" 7 (Array.length (embed train.x.(0)))
+        | None -> Alcotest.fail "missing embedding");
+  ]
+
+let layer_tests =
+  [
+    Alcotest.test_case "lstm step preserves hidden dimension" `Quick (fun () ->
+        let params = Prom_autodiff.Autodiff.Params.create () in
+        let cell = Layers.lstm params (Rng.create 1) ~in_dim:3 ~hidden:5 in
+        Alcotest.(check int) "hidden" 5 (Layers.lstm_hidden cell);
+        let tape = Prom_autodiff.Autodiff.Tape.create () in
+        let x = Prom_autodiff.Autodiff.tensor_of [| 1.0; 2.0; 3.0 |] in
+        let h, c = Layers.lstm_forward tape cell x (Layers.lstm_init cell) in
+        Alcotest.(check int) "h dim" 5 (Array.length h.Prom_autodiff.Autodiff.data);
+        Alcotest.(check int) "c dim" 5 (Array.length c.Prom_autodiff.Autodiff.data));
+    Alcotest.test_case "gru step preserves hidden dimension" `Quick (fun () ->
+        let params = Prom_autodiff.Autodiff.Params.create () in
+        let cell = Layers.gru params (Rng.create 2) ~in_dim:2 ~hidden:4 in
+        let tape = Prom_autodiff.Autodiff.Tape.create () in
+        let x = Prom_autodiff.Autodiff.tensor_of [| 1.0; -1.0 |] in
+        let h = Layers.gru_forward tape cell x (Layers.gru_init cell) in
+        Alcotest.(check int) "h dim" 4 (Array.length h.Prom_autodiff.Autodiff.data));
+    Alcotest.test_case "lstm state values bounded by tanh" `Quick (fun () ->
+        let params = Prom_autodiff.Autodiff.Params.create () in
+        let cell = Layers.lstm params (Rng.create 3) ~in_dim:2 ~hidden:4 in
+        let tape = Prom_autodiff.Autodiff.Tape.create () in
+        let state = ref (Layers.lstm_init cell) in
+        for _ = 1 to 20 do
+          let x = Prom_autodiff.Autodiff.tensor_of [| 10.0; -10.0 |] in
+          state := Layers.lstm_forward tape cell x !state
+        done;
+        Array.iter
+          (fun v -> Alcotest.(check bool) "|h| <= 1" true (abs_float v <= 1.0))
+          (fst !state).Prom_autodiff.Autodiff.data);
+  ]
+
+(* Finite-difference gradient checks through whole recurrent cells. *)
+let cell_grad_tests =
+  let open Prom_autodiff.Autodiff in
+  let eps = 1e-5 and tol = 1e-3 in
+  let check_cell name forward input =
+    let loss xs =
+      let tape = Tape.create () in
+      let out = forward tape (tensor_of (Array.copy xs)) in
+      Array.fold_left ( +. ) 0.0 out.data
+    in
+    let tape = Tape.create () in
+    let t = tensor_of (Array.copy input) in
+    let out = forward tape t in
+    Tape.backward tape ~root:out ~seed:(Array.make (Array.length out.data) 1.0);
+    Array.iteri
+      (fun i _ ->
+        let bump up =
+          let xs = Array.copy input in
+          xs.(i) <- xs.(i) +. (if up then eps else -.eps);
+          loss xs
+        in
+        let numeric = (bump true -. bump false) /. (2.0 *. eps) in
+        Alcotest.(check (float tol)) (Printf.sprintf "%s d/dx%d" name i) numeric t.grad.(i))
+      input
+  in
+  [
+    Alcotest.test_case "lstm cell gradient w.r.t. input" `Quick (fun () ->
+        let params = Params.create () in
+        let cell = Layers.lstm params (Prom_linalg.Rng.create 1) ~in_dim:3 ~hidden:4 in
+        check_cell "lstm"
+          (fun tape x -> fst (Layers.lstm_forward tape cell x (Layers.lstm_init cell)))
+          [| 0.3; -0.8; 1.2 |]);
+    Alcotest.test_case "gru cell gradient w.r.t. input" `Quick (fun () ->
+        let params = Params.create () in
+        let cell = Layers.gru params (Prom_linalg.Rng.create 2) ~in_dim:3 ~hidden:4 in
+        check_cell "gru"
+          (fun tape x -> Layers.gru_forward tape cell x (Layers.gru_init cell))
+          [| 0.5; 0.1; -0.9 |]);
+    Alcotest.test_case "two-step lstm gradient (BPTT)" `Quick (fun () ->
+        let params = Params.create () in
+        let cell = Layers.lstm params (Prom_linalg.Rng.create 3) ~in_dim:2 ~hidden:3 in
+        check_cell "lstm-2step"
+          (fun tape x ->
+            let s1 = Layers.lstm_forward tape cell x (Layers.lstm_init cell) in
+            fst (Layers.lstm_forward tape cell x s1))
+          [| 0.4; -0.6 |]);
+  ]
+
+let suite =
+  [
+    ("nn.encoding", encoding_tests);
+    ("nn.cell_gradients", cell_grad_tests);
+    ("nn.seq", seq_tests);
+    ("nn.gnn", gnn_tests);
+    ("nn.layers", layer_tests);
+  ]

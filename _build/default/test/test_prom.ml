@@ -1,0 +1,6 @@
+(* Test runner: aggregates every module's suites. *)
+
+let () =
+  Alcotest.run "prom"
+    (Test_linalg.suite @ Test_ml.suite @ Test_autodiff.suite @ Test_nn.suite
+   @ Test_synth.suite @ Test_core.suite @ Test_tasks.suite)

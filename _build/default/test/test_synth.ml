@@ -1,0 +1,419 @@
+(* Tests for the program-synthesis substrate: AST printing, lexing,
+   bug injection, and the analytic workload models. *)
+
+open Prom_linalg
+open Prom_synth
+
+let sample_program seed era =
+  let rng = Rng.create seed in
+  Generator.generate rng (Generator.style_of_era rng era)
+
+let cast_tests =
+  [
+    Alcotest.test_case "pretty printer emits balanced braces" `Quick (fun () ->
+        let src = Cast.to_string (sample_program 1 2015) in
+        let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 src in
+        Alcotest.(check int) "braces" (count '{') (count '}');
+        Alcotest.(check int) "parens" (count '(') (count ')'));
+    Alcotest.test_case "stats count functions" `Quick (fun () ->
+        let p = sample_program 2 2018 in
+        let s = Cast.stats_of p in
+        Alcotest.(check int) "functions" (List.length p.Cast.functions) s.Cast.n_functions;
+        Alcotest.(check bool) "statements" true (s.Cast.n_statements > 0));
+    Alcotest.test_case "calls_of records free and malloc" `Quick (fun () ->
+        let rng = Rng.create 3 in
+        let p =
+          Bug_inject.inject rng ~era:2013 Bug_inject.Double_free (sample_program 3 2013)
+        in
+        let calls = Cast.calls_of p in
+        let count name = List.length (List.filter (String.equal name) calls) in
+        Alcotest.(check bool) "two frees" true (count "free" >= 2);
+        Alcotest.(check bool) "one malloc" true (count "malloc" >= 1));
+  ]
+
+let lexer_tests =
+  [
+    Alcotest.test_case "lexes a simple declaration" `Quick (fun () ->
+        let toks = Lexer.tokenize "int x = 42;" in
+        Alcotest.(check int) "count" 5 (List.length toks);
+        match toks with
+        | [ Lexer.Kw "int"; Ident "x"; Punct "="; Int_const 42; Punct ";" ] -> ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    Alcotest.test_case "maximal munch for multi-char operators" `Quick (fun () ->
+        match Lexer.tokenize "a<=b" with
+        | [ Lexer.Ident "a"; Punct "<="; Ident "b" ] -> ()
+        | _ -> Alcotest.fail "expected <=");
+    Alcotest.test_case "float literals with suffix" `Quick (fun () ->
+        match Lexer.tokenize "1.5f" with
+        | [ Lexer.Float_const f ] -> Alcotest.(check (float 1e-9)) "value" 1.5 f
+        | _ -> Alcotest.fail "expected float");
+    Alcotest.test_case "string literals with escapes" `Quick (fun () ->
+        match Lexer.tokenize {|"a\"b"|} with
+        | [ Lexer.Str_const s ] -> Alcotest.(check string) "value" {|a"b|} s
+        | _ -> Alcotest.fail "expected string");
+    Alcotest.test_case "line and block comments are skipped" `Quick (fun () ->
+        Alcotest.(check int) "count" 1
+          (List.length (Lexer.tokenize "/* hi */ x // tail\n")));
+    Alcotest.test_case "preprocessor lines are skipped" `Quick (fun () ->
+        Alcotest.(check int) "count" 0 (List.length (Lexer.tokenize "#include <stdio.h>\n")));
+    Alcotest.test_case "unterminated comment fails" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Lexer.tokenize "/* oops");
+             false
+           with Failure _ -> true));
+    Alcotest.test_case "unexpected character fails" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Lexer.tokenize "int $x;");
+             false
+           with Failure _ -> true));
+    Alcotest.test_case "generated programs always lex" `Quick (fun () ->
+        for seed = 1 to 20 do
+          let era = 2013 + (seed mod 11) in
+          let src = Cast.to_string (sample_program seed era) in
+          Alcotest.(check bool) "tokens" true (List.length (Lexer.tokenize src) > 0)
+        done);
+  ]
+
+let vocab_tests =
+  [
+    Alcotest.test_case "ids stay within vocabulary size" `Quick (fun () ->
+        let vocab = Lexer.Vocab.create ~ident_buckets:16 in
+        let src = Cast.to_string (sample_program 7 2020) in
+        let ids = Lexer.Vocab.encode vocab (Lexer.tokenize src) in
+        Array.iter
+          (fun id ->
+            Alcotest.(check bool) "range" true (id >= 1 && id < Lexer.Vocab.size vocab))
+          ids);
+    Alcotest.test_case "keywords get stable distinct ids" `Quick (fun () ->
+        let vocab = Lexer.Vocab.create ~ident_buckets:8 in
+        let id_int = Lexer.Vocab.id_of vocab (Lexer.Kw "int") in
+        let id_for = Lexer.Vocab.id_of vocab (Lexer.Kw "for") in
+        Alcotest.(check bool) "distinct" true (id_int <> id_for);
+        Alcotest.(check int) "stable" id_int (Lexer.Vocab.id_of vocab (Lexer.Kw "int")));
+    Alcotest.test_case "known library calls get dedicated ids" `Quick (fun () ->
+        let vocab = Lexer.Vocab.create ~ident_buckets:8 in
+        let id_free = Lexer.Vocab.id_of vocab (Lexer.Ident "free") in
+        let id_other = Lexer.Vocab.id_of vocab (Lexer.Ident "user_function") in
+        Alcotest.(check bool) "separate spaces" true (id_free <> id_other));
+    Alcotest.test_case "identifier hashing is deterministic" `Quick (fun () ->
+        let vocab = Lexer.Vocab.create ~ident_buckets:8 in
+        Alcotest.(check int) "same id"
+          (Lexer.Vocab.id_of vocab (Lexer.Ident "some_name"))
+          (Lexer.Vocab.id_of vocab (Lexer.Ident "some_name")));
+    Alcotest.test_case "create rejects zero buckets" `Quick (fun () ->
+        Alcotest.check_raises "buckets"
+          (Invalid_argument "Vocab.create: need >= 1 identifier bucket") (fun () ->
+            ignore (Lexer.Vocab.create ~ident_buckets:0)));
+  ]
+
+let bug_tests =
+  [
+    Alcotest.test_case "label/of_label round-trip" `Quick (fun () ->
+        List.iter
+          (fun cwe ->
+            Alcotest.(check bool) "roundtrip" true
+              (Bug_inject.of_label (Bug_inject.label cwe) = cwe))
+          Bug_inject.all);
+    Alcotest.test_case "all eight classes are distinct" `Quick (fun () ->
+        let labels = List.map Bug_inject.label Bug_inject.all in
+        Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare labels)));
+    Alcotest.test_case "injection adds a function and keeps main" `Quick (fun () ->
+        let rng = Rng.create 9 in
+        let base = sample_program 9 2015 in
+        let p = Bug_inject.inject rng ~era:2015 Bug_inject.Null_deref base in
+        Alcotest.(check bool) "more functions" true
+          (List.length p.Cast.functions > List.length base.Cast.functions);
+        Alcotest.(check bool) "main present" true
+          (List.exists (fun f -> f.Cast.fname = "main") p.Cast.functions));
+    Alcotest.test_case "every (era, cwe) pair produces lexable code" `Quick (fun () ->
+        List.iter
+          (fun era ->
+            List.iter
+              (fun cwe ->
+                let rng = Rng.create (era + Bug_inject.label cwe) in
+                let p = Bug_inject.inject rng ~era cwe (sample_program era era) in
+                Alcotest.(check bool) "lexes" true
+                  (List.length (Lexer.tokenize (Cast.to_string p)) > 0))
+              Bug_inject.all)
+          [ 2013; 2017; 2021; 2023 ]);
+    Alcotest.test_case "late-era double free is thread-mediated" `Quick (fun () ->
+        let rng = Rng.create 10 in
+        let p = Bug_inject.inject rng ~era:2023 Bug_inject.Double_free (sample_program 10 2023) in
+        Alcotest.(check bool) "pthread_create present" true
+          (List.mem "pthread_create" (Cast.calls_of p)));
+    Alcotest.test_case "add_decoys keeps the program benign" `Quick (fun () ->
+        let rng = Rng.create 12 in
+        let base = sample_program 12 2019 in
+        let p = Bug_inject.add_decoys rng ~era:2019 ~count:2 base in
+        Alcotest.(check int) "two more functions"
+          (List.length base.Cast.functions + 2)
+          (List.length p.Cast.functions);
+        (* decoy allocations are balanced *)
+        let calls = Cast.calls_of p in
+        let count name = List.length (List.filter (String.equal name) calls) in
+        Alcotest.(check int) "malloc = free" (count "malloc") (count "free"));
+    Alcotest.test_case "early-era double free is direct" `Quick (fun () ->
+        let rng = Rng.create 11 in
+        let p = Bug_inject.inject rng ~era:2013 Bug_inject.Double_free (sample_program 11 2013) in
+        Alcotest.(check bool) "no threads" true
+          (not (List.mem "pthread_create" (Cast.calls_of p))));
+  ]
+
+let opencl_tests =
+  [
+    Alcotest.test_case "kernels sample within sane ranges" `Quick (fun () ->
+        let rng = Rng.create 12 in
+        List.iter
+          (fun suite ->
+            let k = Opencl.sample_kernel rng ~suite in
+            Alcotest.(check bool) "divergence in [0,1]" true
+              (k.Opencl.branch_divergence >= 0.0 && k.Opencl.branch_divergence <= 1.0);
+            Alcotest.(check bool) "positive work" true (k.Opencl.work_items > 0))
+          Opencl.suites);
+    Alcotest.test_case "unknown suite rejected" `Quick (fun () ->
+        Alcotest.check_raises "suite" (Invalid_argument "Opencl: unknown suite nope")
+          (fun () -> ignore (Opencl.sample_kernel (Rng.create 1) ~suite:"nope")));
+    Alcotest.test_case "runtimes are positive for all factors" `Quick (fun () ->
+        let rng = Rng.create 13 in
+        let k = Opencl.sample_kernel rng ~suite:"rodinia" in
+        List.iter
+          (fun gpu ->
+            Array.iter
+              (fun cf ->
+                Alcotest.(check bool) "positive" true (Opencl.coarsened_runtime gpu k cf > 0.0))
+              Opencl.coarsening_factors)
+          Opencl.gpus);
+    Alcotest.test_case "best_coarsening is the argmin" `Quick (fun () ->
+        let rng = Rng.create 14 in
+        let k = Opencl.sample_kernel rng ~suite:"npb" in
+        let gpu = List.hd Opencl.gpus in
+        let _, best = Opencl.best_coarsening gpu k in
+        Array.iter
+          (fun cf ->
+            Alcotest.(check bool) "minimal" true
+              (best <= Opencl.coarsened_runtime gpu k cf +. 1e-9))
+          Opencl.coarsening_factors);
+    Alcotest.test_case "coarsened_runtime rejects factor 0" `Quick (fun () ->
+        let rng = Rng.create 15 in
+        let k = Opencl.sample_kernel rng ~suite:"shoc" in
+        Alcotest.check_raises "factor"
+          (Invalid_argument "Opencl.coarsened_runtime: factor must be >= 1") (fun () ->
+            ignore (Opencl.coarsened_runtime (List.hd Opencl.gpus) k 0)));
+    Alcotest.test_case "best_device consistent with runtimes" `Quick (fun () ->
+        let rng = Rng.create 16 in
+        let gpu = List.nth Opencl.gpus 1 in
+        for _ = 1 to 20 do
+          let k = Opencl.sample_kernel rng ~suite:"polybench" in
+          let expected = if Opencl.cpu_runtime k <= Opencl.gpu_runtime gpu k then 0 else 1 in
+          Alcotest.(check int) "label" expected (Opencl.best_device gpu k)
+        done);
+    Alcotest.test_case "both devices win somewhere" `Quick (fun () ->
+        let rng = Rng.create 17 in
+        let gpu = List.nth Opencl.gpus 1 in
+        let labels =
+          List.concat_map
+            (fun suite ->
+              List.init 30 (fun _ -> Opencl.best_device gpu (Opencl.sample_kernel rng ~suite)))
+            Opencl.suites
+        in
+        Alcotest.(check bool) "cpu some" true (List.mem 0 labels);
+        Alcotest.(check bool) "gpu some" true (List.mem 1 labels));
+    Alcotest.test_case "kernel_to_ast lexes and scales with intensity" `Quick (fun () ->
+        let rng = Rng.create 18 in
+        let k_small = { (Opencl.sample_kernel rng ~suite:"shoc") with Opencl.comp_intensity = 10.0 } in
+        let k_big = { k_small with Opencl.comp_intensity = 200.0 } in
+        let toks k = List.length (Lexer.tokenize (Cast.to_string (Opencl.kernel_to_ast (Rng.create 5) k))) in
+        Alcotest.(check bool) "more compute, more tokens" true (toks k_big > toks k_small));
+  ]
+
+let loops_tests =
+  [
+    Alcotest.test_case "35 configurations" `Quick (fun () ->
+        Alcotest.(check int) "count" 35 (Array.length Loops.configs));
+    Alcotest.test_case "config_label/label_config round-trip" `Quick (fun () ->
+        Array.iteri
+          (fun i cfg ->
+            Alcotest.(check int) "label" i (Loops.config_label cfg);
+            Alcotest.(check bool) "config" true (Loops.label_config i = cfg))
+          Loops.configs);
+    Alcotest.test_case "runtime positive on all configs" `Quick (fun () ->
+        let rng = Rng.create 19 in
+        List.iter
+          (fun family ->
+            let l = Loops.sample_loop rng ~family in
+            Array.iter
+              (fun cfg ->
+                Alcotest.(check bool) "positive" true (Loops.runtime l cfg > 0.0))
+              Loops.configs)
+          Loops.families);
+    Alcotest.test_case "best_config is the argmin" `Quick (fun () ->
+        let rng = Rng.create 20 in
+        let l = Loops.sample_loop rng ~family:"saxpy" in
+        let _, best = Loops.best_config l in
+        Array.iter
+          (fun cfg ->
+            Alcotest.(check bool) "minimal" true (best <= Loops.runtime l cfg +. 1e-9))
+          Loops.configs);
+    Alcotest.test_case "dependence distance caps useful VF" `Quick (fun () ->
+        let rng = Rng.create 21 in
+        let base = Loops.sample_loop rng ~family:"saxpy" in
+        let free = { base with Loops.dep_distance = 0; stride = 1 } in
+        let bound = { base with Loops.dep_distance = 1; stride = 1 } in
+        (* With a distance-1 dependence, vectorizing cannot beat VF=1 by
+           the arithmetic term. *)
+        let t_free_v8 = Loops.runtime free (8, 1) in
+        let t_bound_v8 = Loops.runtime bound (8, 1) in
+        Alcotest.(check bool) "dependence hurts" true (t_bound_v8 > t_free_v8));
+    Alcotest.test_case "loop_to_ast lexes for every family" `Quick (fun () ->
+        let rng = Rng.create 22 in
+        List.iter
+          (fun family ->
+            let l = Loops.sample_loop rng ~family in
+            let src = Cast.to_string (Loops.loop_to_ast (Rng.create 1) l) in
+            Alcotest.(check bool) "lexes" true (List.length (Lexer.tokenize src) > 0))
+          Loops.families);
+    Alcotest.test_case "runtime rejects invalid factors" `Quick (fun () ->
+        let rng = Rng.create 23 in
+        let l = Loops.sample_loop rng ~family:"dot" in
+        Alcotest.check_raises "factors"
+          (Invalid_argument "Loops.runtime: factors must be >= 1") (fun () ->
+            ignore (Loops.runtime l (0, 1))));
+  ]
+
+let schedule_tests =
+  [
+    Alcotest.test_case "throughput positive" `Quick (fun () ->
+        let rng = Rng.create 24 in
+        List.iter
+          (fun net ->
+            let w = Schedule.sample_workload rng net in
+            let s = Schedule.random_schedule rng in
+            Alcotest.(check bool) "positive" true (Schedule.throughput w s > 0.0))
+          Schedule.networks);
+    Alcotest.test_case "oracle dominates random schedules" `Quick (fun () ->
+        let rng = Rng.create 25 in
+        let w = Schedule.sample_workload rng Schedule.Bert_base in
+        let best = Schedule.oracle rng w in
+        for _ = 1 to 50 do
+          Alcotest.(check bool) "dominates" true
+            (Schedule.throughput w (Schedule.random_schedule rng) <= best +. 1e-9)
+        done);
+    Alcotest.test_case "mutate changes exactly one knob family" `Quick (fun () ->
+        let rng = Rng.create 26 in
+        let s = Schedule.random_schedule rng in
+        for _ = 1 to 20 do
+          let s' = Schedule.mutate rng s in
+          let diffs =
+            List.length
+              (List.filter Fun.id
+                 [
+                   s.Schedule.tile_m <> s'.Schedule.tile_m;
+                   s.Schedule.tile_n <> s'.Schedule.tile_n;
+                   s.Schedule.tile_k <> s'.Schedule.tile_k;
+                   s.Schedule.unroll <> s'.Schedule.unroll;
+                   s.Schedule.vectorize <> s'.Schedule.vectorize;
+                   s.Schedule.parallel <> s'.Schedule.parallel;
+                 ])
+          in
+          Alcotest.(check bool) "at most one" true (diffs <= 1)
+        done);
+    Alcotest.test_case "element width is the last feature component" `Quick (fun () ->
+        let rng = Rng.create 27 in
+        let w_base = Schedule.sample_workload rng Schedule.Bert_base in
+        let w_tiny = { w_base with Schedule.net = Schedule.Bert_tiny } in
+        let s = Schedule.random_schedule rng in
+        let f_base = Schedule.feature_vector w_base s in
+        let f_tiny = Schedule.feature_vector w_tiny s in
+        let n = Array.length f_base in
+        (* all but the dtype component agree... *)
+        Alcotest.(check (array (float 1e-12)))
+          "shared prefix" (Array.sub f_base 0 (n - 1)) (Array.sub f_tiny 0 (n - 1));
+        Alcotest.(check (float 1e-12)) "base fp32" 4.0 f_base.(n - 1);
+        Alcotest.(check (float 1e-12)) "tiny int8" 1.0 f_tiny.(n - 1);
+        (* ...and the true throughput differs: that is the drift a model
+           trained on one constant dtype cannot extrapolate across. *)
+        Alcotest.(check bool) "different truth" true
+          (Schedule.throughput w_base s <> Schedule.throughput w_tiny s));
+    Alcotest.test_case "network names are distinct" `Quick (fun () ->
+        let names = List.map Schedule.network_name Schedule.networks in
+        Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare names)));
+  ]
+
+let feature_tests =
+  [
+    Alcotest.test_case "token histogram is a distribution" `Quick (fun () ->
+        let vocab = Lexer.Vocab.create ~ident_buckets:8 in
+        let tokens = Lexer.tokenize "int x = 1; int y = 2;" in
+        let h = Feature.token_histogram ~vocab tokens in
+        Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 h));
+    Alcotest.test_case "program features have fixed width" `Quick (fun () ->
+        let p = sample_program 30 2019 in
+        Alcotest.(check int) "dim" Feature.program_feature_dim
+          (Array.length (Feature.program_features p)));
+    Alcotest.test_case "free-minus-malloc feature sees a leak" `Quick (fun () ->
+        let rng = Rng.create 31 in
+        let p = Bug_inject.inject rng ~era:2013 Bug_inject.Double_free (sample_program 31 2013) in
+        let f = Feature.program_features p in
+        (* feature 12 is free count - malloc count; double free => >= 1 *)
+        Alcotest.(check bool) "positive" true (f.(12) >= 1.0));
+  ]
+
+(* Property: every generated (era, seed) program pretty-prints to
+   lexable source whose token stream is deterministic. *)
+let prop_generator_lexes =
+  QCheck2.Test.make ~name:"generated programs lex deterministically" ~count:40
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 2010 2030))
+    (fun (seed, era) ->
+      let program seed =
+        let rng = Rng.create seed in
+        Generator.generate rng (Generator.style_of_era rng era)
+      in
+      let toks p = List.map Lexer.token_to_string (Lexer.tokenize (Cast.to_string p)) in
+      let a = toks (program seed) and b = toks (program seed) in
+      a = b && List.length a > 0)
+
+let prop_injection_lexes =
+  QCheck2.Test.make ~name:"every injected program lexes" ~count:40
+    QCheck2.Gen.(triple (int_range 0 100_000) (int_range 2010 2030) (int_range 0 7))
+    (fun (seed, era, label) ->
+      let rng = Rng.create seed in
+      let base = Generator.generate rng (Generator.style_of_era rng era) in
+      let p = Bug_inject.inject rng ~era (Bug_inject.of_label label) base in
+      List.length (Lexer.tokenize (Cast.to_string p)) > 0)
+
+let prop_runtime_models_positive =
+  QCheck2.Test.make ~name:"all performance models stay positive and finite" ~count:40
+    (QCheck2.Gen.int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let k = Opencl.sample_kernel rng ~suite:(List.nth Opencl.suites (seed mod 7)) in
+      let l = Loops.sample_loop rng ~family:(List.nth Loops.families (seed mod 18)) in
+      let w = Schedule.sample_workload rng (List.nth Schedule.networks (seed mod 4)) in
+      let s = Schedule.random_schedule rng in
+      let ok v = Float.is_finite v && v > 0.0 in
+      List.for_all ok
+        [
+          Opencl.cpu_runtime k;
+          Opencl.gpu_runtime (List.nth Opencl.gpus (seed mod 4)) k;
+          Loops.runtime l (Loops.label_config (seed mod 35));
+          Schedule.throughput w s;
+        ])
+
+let synth_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_generator_lexes; prop_injection_lexes; prop_runtime_models_positive ]
+
+let suite =
+  [
+    ("synth.properties", synth_properties);
+    ("synth.cast", cast_tests);
+    ("synth.lexer", lexer_tests);
+    ("synth.vocab", vocab_tests);
+    ("synth.bug_inject", bug_tests);
+    ("synth.opencl", opencl_tests);
+    ("synth.loops", loops_tests);
+    ("synth.schedule", schedule_tests);
+    ("synth.feature", feature_tests);
+  ]

@@ -1,0 +1,215 @@
+(* Tests for the case-study layer: scenario invariants for each case
+   study, the generic runner, the search engine, and the C5 pipeline. *)
+
+open Prom_linalg
+open Prom_tasks
+
+let check_scenario name (s : 'w Case_study.scenario) =
+  let check_labels ws ys =
+    Alcotest.(check int) (name ^ " labels align") (Array.length ws) (Array.length ys);
+    Array.iter
+      (fun y ->
+        Alcotest.(check bool) (name ^ " label in range") true
+          (y >= 0 && y < s.Case_study.n_classes))
+      ys
+  in
+  check_labels s.Case_study.train_w s.Case_study.train_y;
+  check_labels s.Case_study.id_w s.Case_study.id_y;
+  check_labels s.Case_study.drift_w s.Case_study.drift_y;
+  (* perf is a ratio in [0,1] and the stored label is optimal. *)
+  Array.iteri
+    (fun i w ->
+      if i < 25 then begin
+        for c = 0 to s.Case_study.n_classes - 1 do
+          let p = s.Case_study.perf w c in
+          Alcotest.(check bool) (name ^ " perf in [0,1]") true (p >= 0.0 && p <= 1.0 +. 1e-9)
+        done;
+        Alcotest.(check (float 1e-6))
+          (name ^ " stored label is optimal")
+          1.0
+          (s.Case_study.perf w s.Case_study.train_y.(i))
+      end)
+    s.Case_study.train_w
+
+let scenario_tests =
+  [
+    Alcotest.test_case "C1 scenario invariants" `Quick (fun () ->
+        check_scenario "c1" (Thread_coarsening.scenario ~kernels_per_suite:20 ~seed:1 ()));
+    Alcotest.test_case "C2 scenario invariants" `Quick (fun () ->
+        check_scenario "c2" (Loop_vectorization.scenario ~loops_per_family:6 ~seed:2 ()));
+    Alcotest.test_case "C3 scenario invariants" `Quick (fun () ->
+        check_scenario "c3" (Hetero_mapping.scenario ~kernels_per_suite:20 ~seed:3 ()));
+    Alcotest.test_case "C4 scenario invariants" `Quick (fun () ->
+        check_scenario "c4" (Vuln_detection.scenario ~per_era:16 ~seed:4 ()));
+    Alcotest.test_case "C4 drift set uses late eras only" `Quick (fun () ->
+        let s = Vuln_detection.scenario ~per_era:8 ~seed:5 () in
+        Array.iter
+          (fun w -> Alcotest.(check bool) "late era" true (w.Vuln_detection.era >= 2021))
+          s.Case_study.drift_w);
+    Alcotest.test_case "C1 holds parboil out of training" `Quick (fun () ->
+        let s = Thread_coarsening.scenario ~kernels_per_suite:10 ~seed:6 () in
+        Array.iter
+          (fun w ->
+            Alcotest.(check bool) "no parboil" true
+              (w.Thread_coarsening.kernel.Prom_synth.Opencl.suite <> "parboil"))
+          s.Case_study.train_w;
+        Array.iter
+          (fun w ->
+            Alcotest.(check string) "drift is parboil" "parboil"
+              w.Thread_coarsening.kernel.Prom_synth.Opencl.suite)
+          s.Case_study.drift_w);
+    Alcotest.test_case "scenario generation is deterministic" `Quick (fun () ->
+        let a = Hetero_mapping.scenario ~kernels_per_suite:10 ~seed:7 () in
+        let b = Hetero_mapping.scenario ~kernels_per_suite:10 ~seed:7 () in
+        Alcotest.(check (array int)) "same labels" a.Case_study.train_y b.Case_study.train_y);
+  ]
+
+let runner_tests =
+  [
+    Alcotest.test_case "runner produces a complete result (C3/GBC)" `Slow (fun () ->
+        let s = Hetero_mapping.scenario ~kernels_per_suite:25 ~seed:8 () in
+        let spec = List.nth Hetero_mapping.models 2 in
+        let r = Case_study.run ~seed:8 s spec in
+        Alcotest.(check int) "design samples" (Array.length s.Case_study.id_w)
+          (Array.length r.Case_study.design_perf);
+        Alcotest.(check int) "deploy samples" (Array.length s.Case_study.drift_w)
+          (Array.length r.Case_study.deploy_perf);
+        Alcotest.(check int) "four functions" 4 (List.length r.Case_study.per_function);
+        Alcotest.(check int) "three baselines" 3 (List.length r.Case_study.baseline_metrics);
+        Alcotest.(check bool) "flagged fraction in [0,1]" true
+          (r.Case_study.flagged_fraction >= 0.0 && r.Case_study.flagged_fraction <= 1.0);
+        Alcotest.(check bool) "times recorded" true
+          (r.Case_study.train_time > 0.0 && r.Case_study.detect_time > 0.0));
+    Alcotest.test_case "summarize averages results" `Slow (fun () ->
+        let s = Hetero_mapping.scenario ~kernels_per_suite:20 ~seed:9 () in
+        let spec = List.nth Hetero_mapping.models 2 in
+        let r = Case_study.run ~seed:9 s spec in
+        let design, deploy, prom, detection = Case_study.summarize [ r; r ] in
+        Alcotest.(check (float 1e-9)) "design mean" (Stats.mean r.Case_study.design_perf) design;
+        Alcotest.(check (float 1e-9)) "deploy mean" (Stats.mean r.Case_study.deploy_perf) deploy;
+        Alcotest.(check (float 1e-9)) "prom mean" (Stats.mean r.Case_study.prom_perf) prom;
+        Alcotest.(check int) "n doubles" (2 * Array.length s.Case_study.drift_w)
+          detection.Prom.Detection_metrics.n);
+    Alcotest.test_case "summarize rejects empty input" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Case_study.summarize: empty result list") (fun () ->
+            ignore (Case_study.summarize [])));
+  ]
+
+let search_tests =
+  [
+    Alcotest.test_case "search with a perfect model nears the oracle" `Quick (fun () ->
+        let open Prom_synth in
+        let rng = Rng.create 10 in
+        let w = Schedule.sample_workload rng Schedule.Bert_base in
+        let oracle = Schedule.oracle rng w in
+        let r =
+          Tvm_search.search ~rounds:12 (Rng.create 11) w
+            ~cost:(Schedule.throughput w)
+            ~on_measure:(fun _ _ -> ())
+            ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "ratio %.2f > 0.8" (r.Tvm_search.best_true /. oracle))
+          true
+          (r.Tvm_search.best_true /. oracle > 0.8));
+    Alcotest.test_case "search with a perfect model beats an adversarial model" `Quick
+      (fun () ->
+        let open Prom_synth in
+        let rng = Rng.create 12 in
+        let w = Schedule.sample_workload rng Schedule.Bert_base in
+        let good =
+          Tvm_search.search (Rng.create 13) w ~cost:(Schedule.throughput w)
+            ~on_measure:(fun _ _ -> ())
+            ()
+        in
+        (* A cost model that prefers the worst schedules. *)
+        let bad =
+          Tvm_search.search (Rng.create 13) w
+            ~cost:(fun s -> -.Schedule.throughput w s)
+            ~on_measure:(fun _ _ -> ())
+            ()
+        in
+        Alcotest.(check bool) "good >= bad" true
+          (good.Tvm_search.best_true >= bad.Tvm_search.best_true));
+    Alcotest.test_case "on_measure observes every measurement" `Quick (fun () ->
+        let open Prom_synth in
+        let rng = Rng.create 14 in
+        let w = Schedule.sample_workload rng Schedule.Bert_base in
+        let seen = ref 0 in
+        let r =
+          Tvm_search.search ~rounds:5 (Rng.create 15) w ~cost:(Schedule.throughput w)
+            ~on_measure:(fun _ _ -> incr seen)
+            ()
+        in
+        Alcotest.(check int) "count matches" r.Tvm_search.measurements !seen);
+  ]
+
+let dnn_tests =
+  [
+    Alcotest.test_case "C5 quick pipeline produces four rows" `Slow (fun () ->
+        let r = Dnn_codegen.run ~train_samples:80 ~test_samples:30 ~search_workloads:1 ~seed:16 () in
+        Alcotest.(check int) "rows" 4 (List.length r.Dnn_codegen.rows);
+        List.iter
+          (fun row ->
+            Alcotest.(check bool) "ratio in (0, 1.05]" true
+              (row.Dnn_codegen.native_ratio > 0.0 && row.Dnn_codegen.native_ratio <= 1.05);
+            match (row.Dnn_codegen.network, row.Dnn_codegen.prom_ratio) with
+            | Prom_synth.Schedule.Bert_base, None -> ()
+            | Prom_synth.Schedule.Bert_base, Some _ -> Alcotest.fail "base has no prom row"
+            | _, Some p -> Alcotest.(check bool) "prom ratio sane" true (p > 0.0 && p <= 1.05)
+            | _, None -> Alcotest.fail "variant missing prom ratio")
+          r.Dnn_codegen.rows);
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "violin summarizes a distribution" `Quick (fun () ->
+        let v = Metrics.violin_of [| 0.0; 0.25; 0.5; 0.75; 1.0 |] in
+        Alcotest.(check (float 1e-9)) "median" 0.5 v.Metrics.median;
+        Alcotest.(check (float 1e-9)) "min" 0.0 v.Metrics.vmin;
+        Alcotest.(check (float 1e-9)) "max" 1.0 v.Metrics.vmax;
+        Alcotest.(check int) "widths total" 5 (Array.fold_left ( + ) 0 v.Metrics.widths));
+    Alcotest.test_case "misprediction threshold is 20%" `Quick (fun () ->
+        Alcotest.(check bool) "below" true (Metrics.mispredicted ~perf:0.79);
+        Alcotest.(check bool) "above" false (Metrics.mispredicted ~perf:0.81));
+  ]
+
+let encoder_tests =
+  [
+    Alcotest.test_case "seq_features is a histogram plus length" `Quick (fun () ->
+        let spec = Encoders.seq_spec ~max_len:16 ~extra:0 in
+        let rng = Rng.create 17 in
+        let p = Prom_synth.Generator.generate rng (Prom_synth.Generator.style_of_era rng 2015) in
+        let packed = Encoders.pack_program spec ~prefix:[] p in
+        let f = Encoders.seq_features spec packed in
+        Alcotest.(check int) "dim" (1 + spec.Prom_nn.Encoding.Seq.vocab) (Array.length f);
+        (* histogram part sums to ~1 when tokens exist *)
+        let hist_sum = Array.fold_left ( +. ) 0.0 (Array.sub f 1 (Array.length f - 1)) in
+        Alcotest.(check (float 1e-6)) "normalized" 1.0 hist_sum);
+    Alcotest.test_case "special tokens live beyond the code vocabulary" `Quick (fun () ->
+        let t0 = Encoders.special_token ~extra:4 0 in
+        let t3 = Encoders.special_token ~extra:4 3 in
+        Alcotest.(check bool) "ordered" true (t3 = t0 + 3);
+        Alcotest.check_raises "range"
+          (Invalid_argument "Encoders.special_token: index out of range") (fun () ->
+            ignore (Encoders.special_token ~extra:4 4)));
+  ]
+
+let suite_tests =
+  [
+    Alcotest.test_case "quick suite enumerates twelve experiments" `Quick (fun () ->
+        let cases = Suite.classification_cases ~scale:Suite.Quick ~seed:1 in
+        Alcotest.(check int) "pairs" 12 (List.length cases));
+  ]
+
+let suite =
+  [
+    ("tasks.scenarios", scenario_tests);
+    ("tasks.runner", runner_tests);
+    ("tasks.search", search_tests);
+    ("tasks.dnn", dnn_tests);
+    ("tasks.metrics", metrics_tests);
+    ("tasks.encoders", encoder_tests);
+    ("tasks.suite", suite_tests);
+  ]
