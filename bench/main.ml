@@ -327,6 +327,282 @@ let overhead () =
   List.iter benchmark [ test_eval; test_predict; test_sets ];
   Printf.printf "  (paper: scores < 10 ms, drift detection < 2 ms on a low-end laptop)\n"
 
+(* Inference-engine head-to-head: the seed's sort-based sequential hot
+   path vs the batched top-k engine, on a synthetic detector with a
+   large calibration set. Emits queries/sec to a JSON file so future
+   PRs can track the trajectory. *)
+
+module Seed_path = struct
+  (* The seed implementation of the per-query hot path, kept verbatim
+     for the comparison: full O(n log n) sorts with polymorphic
+     compare, list-building kNN scores, and per-query rebuilds of the
+     calibration feature array. *)
+  open Prom_linalg
+  open Prom_ml
+
+  let knn_distance_score feats v =
+    let ds = ref [] in
+    Array.iteri (fun _ f -> ds := Distance.euclidean f v :: !ds) feats;
+    let ds = Array.of_list !ds in
+    Array.sort compare ds;
+    let k = Stdlib.min 5 (Array.length ds) in
+    if k = 0 then 0.0
+    else begin
+      let acc = ref 0.0 in
+      for i = 0 to k - 1 do
+        acc := !acc +. ds.(i)
+      done;
+      !acc /. float_of_int k
+    end
+
+  let distance_pvalue_of loo score =
+    let n = Array.length loo in
+    if n = 0 then 1.0
+    else begin
+      let rec first_geq lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if loo.(mid) >= score then first_geq lo mid else first_geq (mid + 1) hi
+      in
+      let at_least = n - first_geq 0 n in
+      let p = float_of_int (at_least + 1) /. float_of_int (n + 1) in
+      let max_loo = loo.(n - 1) in
+      if at_least = 0 && max_loo > 0.0 && score > max_loo then
+        p *. exp (-4.0 *. ((score /. max_loo) -. 1.0))
+      else p
+    end
+
+  let select_subset ~tau ~config entries ~feature_of_entry test_features =
+    let n = Array.length entries in
+    if n = 0 then [||]
+    else begin
+      let ranked =
+        Array.mapi
+          (fun i e -> (i, Distance.euclidean (feature_of_entry e) test_features))
+          entries
+      in
+      Array.sort (fun (_, d1) (_, d2) -> compare d1 d2) ranked;
+      let keep =
+        if n < config.Config.select_all_below then n
+        else Stdlib.max 1 (int_of_float (config.Config.select_ratio *. float_of_int n))
+      in
+      Array.init keep (fun r ->
+          let i, dist = ranked.(r) in
+          let weight = exp (-.(dist *. dist) /. tau) in
+          { Calibration.index = i; entry = entries.(i); weight; distance = dist })
+    end
+
+  let evaluate ~config ~committee ~(model : Model.classifier)
+      (calibration : Calibration.cls) x =
+    let proba = model.Model.predict_proba x in
+    let predicted = Vec.argmax proba in
+    let feats = Calibration.standardize_cls calibration x in
+    let selected =
+      select_subset ~tau:calibration.Calibration.tau ~config
+        calibration.Calibration.entries
+        ~feature_of_entry:(fun e -> e.Calibration.features)
+        feats
+    in
+    let n_classes = model.Model.n_classes in
+    let distance_pvalue =
+      distance_pvalue_of calibration.Calibration.loo_distances
+        (knn_distance_score
+           (Array.map (fun e -> e.Calibration.features) calibration.Calibration.entries)
+           feats)
+    in
+    let experts =
+      List.map
+        (fun fn ->
+          let pvalues = Pvalue.classification_all ~fn ~selected ~proba ~n_classes () in
+          let set_pvalues =
+            Pvalue.classification_all ~smooth:false ~fn ~selected ~proba ~n_classes ()
+          in
+          Scores.expert_verdict ~distance_pvalue ~set_pvalues
+            ~discrete:fn.Nonconformity.cls_discrete ~config
+            ~expert:fn.Nonconformity.cls_name ~pvalues ~predicted ())
+        committee
+    in
+    let mean_of f = Prom_linalg.Stats.mean (Array.of_list (List.map f experts)) in
+    {
+      Detector.predicted;
+      proba;
+      experts;
+      drifted = Scores.committee_decision ~config experts;
+      mean_credibility = mean_of (fun v -> v.Scores.credibility);
+      mean_confidence = mean_of (fun v -> v.Scores.confidence);
+    }
+end
+
+let ns_per_call ~quota test =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let est = ref nan in
+  Hashtbl.iter
+    (fun _ r -> match Analyze.OLS.estimates r with Some [ e ] -> est := e | _ -> ())
+    results;
+  !est
+
+let inference_world ~n_cal ~n_queries =
+  let open Prom_ml in
+  let rng = Prom_linalg.Rng.create seed in
+  let dim = 16 and n_classes = 4 in
+  (* Class-dependent Gaussian blobs; the model is a fixed linear scorer
+     so the benchmark isolates the detector overhead, mirroring the
+     external-host setting where inference is cheap and PROM is the
+     added cost. *)
+  let weights =
+    Array.init n_classes (fun _ ->
+        Array.init dim (fun _ -> Prom_linalg.Rng.uniform rng ~lo:(-1.0) ~hi:1.0))
+  in
+  let predict_proba x =
+    let scores = Array.map (fun w -> Prom_linalg.Vec.dot w x) weights in
+    let m = Array.fold_left Stdlib.max neg_infinity scores in
+    let exps = Array.map (fun s -> exp (s -. m)) scores in
+    let z = Prom_linalg.Vec.sum exps in
+    Prom_linalg.Vec.scale (1.0 /. z) exps
+  in
+  let model =
+    { Model.n_classes; predict_proba; name = "linear-softmax"; state = Model.No_state }
+  in
+  let sample_x label =
+    Array.init dim (fun j ->
+        float_of_int (label * (1 + (j mod 3)))
+        +. Prom_linalg.Rng.gaussian rng ~mu:0.0 ~sigma:1.5)
+  in
+  let labels = Array.init n_cal (fun i -> i mod n_classes) in
+  let xs = Array.map sample_x labels in
+  let calibration = Dataset.create xs labels in
+  let queries = Array.init n_queries (fun i -> sample_x (i mod n_classes)) in
+  (model, calibration, queries)
+
+let inference_section ~n_cal ~n_queries ~quota ~json_path () =
+  section_header
+    (Printf.sprintf "Inference engine: batched top-k vs seed sequential (n=%d)" n_cal);
+  let model, calibration, queries = inference_world ~n_cal ~n_queries in
+  let config = Config.default in
+  let committee = Nonconformity.default_committee in
+  let det = Detector.Classification.create ~config ~committee ~model ~feature_of:Fun.id calibration in
+  let cal = Calibration.prepare_classification ~config ~model ~feature_of:Fun.id calibration in
+  let n_domains = Stdlib.max 2 (Prom_parallel.Pool.default_size ()) in
+  let pool = Prom_parallel.Pool.create n_domains in
+  (* Cross-check: batch results must equal the sequential map, and the
+     seed path should agree with the new kernels on tie-free inputs. *)
+  let seq = Array.map (Detector.Classification.evaluate det) queries in
+  let batch = Detector.Classification.evaluate_batch ~pool det queries in
+  let identical = seq = batch in
+  Printf.printf "  batch = sequential (bit-identical): %b\n" identical;
+  if not identical then failwith "inference bench: batch diverged from sequential";
+  let seed_agree =
+    let agree = ref 0 in
+    Array.iteri
+      (fun i q ->
+        let v = Seed_path.evaluate ~config ~committee ~model cal q in
+        if v = seq.(i) then incr agree)
+      queries;
+    !agree
+  in
+  Printf.printf "  seed path agrees on %d/%d queries\n" seed_agree (Array.length queries);
+  let open Bechamel in
+  let q0 = queries.(0) in
+  let seed_ns =
+    ns_per_call ~quota
+      (Test.make ~name:"seed-sequential" (Staged.stage (fun () ->
+           ignore (Seed_path.evaluate ~config ~committee ~model cal q0))))
+  in
+  let new_ns =
+    ns_per_call ~quota
+      (Test.make ~name:"new-sequential" (Staged.stage (fun () ->
+           ignore (Detector.Classification.evaluate det q0))))
+  in
+  let batch_ns =
+    let per_batch =
+      ns_per_call ~quota
+        (Test.make ~name:"new-batch" (Staged.stage (fun () ->
+             ignore (Detector.Classification.evaluate_batch ~pool det queries))))
+    in
+    per_batch /. float_of_int (Array.length queries)
+  in
+  (* Kernel-level head-to-head on one query. *)
+  let entries = cal.Calibration.entries in
+  let feats = Calibration.standardize_cls cal q0 in
+  let select_seed_ns =
+    ns_per_call ~quota
+      (Test.make ~name:"select-sort" (Staged.stage (fun () ->
+           ignore
+             (Seed_path.select_subset ~tau:cal.Calibration.tau ~config entries
+                ~feature_of_entry:(fun e -> e.Calibration.features)
+                feats))))
+  in
+  let select_new_ns =
+    ns_per_call ~quota
+      (Test.make ~name:"select-topk" (Staged.stage (fun () ->
+           ignore
+             (Calibration.select_subset ~tau:cal.Calibration.tau
+                ~featmat:cal.Calibration.feat_matrix ~config entries
+                ~feature_of_entry:(fun e -> e.Calibration.features)
+                feats))))
+  in
+  let qps ns = 1e9 /. ns in
+  Printf.printf "  seed sequential   %10.0f ns/query  (%8.0f queries/sec)\n" seed_ns
+    (qps seed_ns);
+  Printf.printf "  new sequential    %10.0f ns/query  (%8.0f queries/sec)\n" new_ns
+    (qps new_ns);
+  Printf.printf "  new batch (%d dom) %9.0f ns/query  (%8.0f queries/sec)\n" n_domains
+    batch_ns (qps batch_ns);
+  Printf.printf "  select_subset     sort %8.0f ns -> top-k %8.0f ns (%.1fx)\n"
+    select_seed_ns select_new_ns (select_seed_ns /. select_new_ns);
+  Printf.printf "  speedup: sequential %.2fx | batch %.2fx\n" (seed_ns /. new_ns)
+    (seed_ns /. batch_ns);
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    {|{
+  "calibration_entries": %d,
+  "batch_queries": %d,
+  "num_domains": %d,
+  "ns_per_query": {
+    "seed_sequential": %.1f,
+    "new_sequential": %.1f,
+    "new_batch": %.1f
+  },
+  "queries_per_sec": {
+    "seed_sequential": %.1f,
+    "new_sequential": %.1f,
+    "new_batch": %.1f
+  },
+  "speedup_vs_seed": {
+    "new_sequential": %.3f,
+    "new_batch": %.3f
+  },
+  "kernels_ns": {
+    "select_subset_sort": %.1f,
+    "select_subset_topk": %.1f
+  }
+}
+|}
+    n_cal (Array.length queries) n_domains seed_ns new_ns batch_ns (qps seed_ns)
+    (qps new_ns) (qps batch_ns) (seed_ns /. new_ns) (seed_ns /. batch_ns)
+    select_seed_ns select_new_ns;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path;
+  Prom_parallel.Pool.shutdown pool
+
+let inference () =
+  inference_section ~n_cal:1200 ~n_queries:64 ~quota:1.0
+    ~json_path:"BENCH_inference.json" ()
+
+(* Tiny-scale variant so CI (the [bench-smoke] alias) can exercise the
+   whole harness in seconds. *)
+let inference_smoke () =
+  inference_section ~n_cal:250 ~n_queries:16 ~quota:0.05
+    ~json_path:"BENCH_inference_smoke.json" ()
+
 (* The paper's motivating study (Fig. 1a): a binary vulnerability
    detector trained on 2012-2014 samples, evaluated on successive future
    time windows. Half of each window's programs carry an injected bug. *)
@@ -436,13 +712,17 @@ let sections =
     ("fig13c", fig13c);
     ("fig13d", fig13d);
     ("overhead", overhead);
+    ("inference", inference);
+    ("inference-smoke", inference_smoke);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    (* [inference-smoke] is for the bench-smoke CI alias only; the
+       default run uses the full-scale inference section. *)
+    | _ -> List.filter (( <> ) "inference-smoke") (List.map fst sections)
   in
   let t0 = Unix.gettimeofday () in
   List.iter

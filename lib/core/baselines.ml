@@ -18,7 +18,8 @@ let conformal_scores ~config ~calibration ~fn ~feature_of ~model x =
   let proba = model.Model.predict_proba x in
   let predicted = Vec.argmax proba in
   let selected =
-    Calibration.select_subset ~config calibration.Calibration.entries
+    Calibration.select_subset ~featmat:calibration.Calibration.feat_matrix ~config
+      calibration.Calibration.entries
       ~feature_of_entry:(fun e -> e.Calibration.features)
       (feature_of x)
   in

@@ -1,5 +1,6 @@
 open Prom_linalg
 open Prom_ml
+module Pool = Prom_parallel.Pool
 
 type cls_entry = { features : Vec.t; label : int; proba : Vec.t }
 
@@ -10,6 +11,9 @@ type cls = {
   tau : float;
   loo_distances : float array;
       (* sorted leave-one-out kNN-distance scores of the calibration set *)
+  feat_matrix : Featmat.t;
+      (* the entries' feature vectors packed row-major, built once so the
+         per-query distance scans never rebuild the feature array *)
 }
 
 (* Standardize the similarity space with calibration statistics so the
@@ -29,26 +33,16 @@ let fit_scaler feats =
    set itself, this gives an exactly valid out-of-distribution test. *)
 let knn_distance_k = 5
 
-let knn_distance_score ?(exclude = -1) feats v =
-  let ds = ref [] in
-  Array.iteri
-    (fun i f -> if i <> exclude then ds := Distance.euclidean f v :: !ds)
-    feats;
-  let ds = Array.of_list !ds in
-  Array.sort compare ds;
-  let k = Stdlib.min knn_distance_k (Array.length ds) in
-  if k = 0 then 0.0
-  else begin
-    let acc = ref 0.0 in
-    for i = 0 to k - 1 do
-      acc := !acc +. ds.(i)
-    done;
-    !acc /. float_of_int k
-  end
+let knn_distance_score fm v = Featmat.knn_mean_dist fm v ~k:knn_distance_k
 
-let loo_distance_scores feats =
-  let scores = Array.mapi (fun i _ -> knn_distance_score ~exclude:i feats feats.(i)) feats in
-  Array.sort compare scores;
+(* The O(n^2) leave-one-out scan, fanned across the pool; each row's
+   score is independent, so chunked evaluation is deterministic. *)
+let loo_distance_scores ?pool fm =
+  let scores =
+    Pool.init ?pool ~min_chunk:16 (Featmat.length fm) (fun i ->
+        Featmat.knn_mean_dist_rows fm ~row:i ~k:knn_distance_k)
+  in
+  Array.sort Float.compare scores;
   scores
 
 let distance_pvalue_of loo score =
@@ -75,33 +69,44 @@ let distance_pvalue_of loo score =
     else p
   end
 
-let effective_tau config feats =
-  let n = Array.length feats in
+(* Pairwise-median sampling for the temperature. The sampled pair set is
+   defined by the pair's position in the row-major enumeration —
+   [offset i + (j - i)] is exactly the counter value the sequential
+   double loop would have reached — so the parallel scan samples the
+   same pairs the sequential one did. *)
+let effective_tau ?pool config fm =
+  let n = Featmat.length fm in
   let d2s =
     if n < 2 then [| 1.0 |]
     else begin
-      let acc = ref [] in
       let step = Stdlib.max 1 (n * n / 4000) in
-      let k = ref 0 in
-      for i = 0 to n - 1 do
-        for j = i + 1 to n - 1 do
-          incr k;
-          if !k mod step = 0 then acc := Distance.sq_euclidean feats.(i) feats.(j) :: !acc
-        done
-      done;
-      match !acc with [] -> [| 1.0 |] | l -> Array.of_list l
+      let offset i = (i * (n - 1)) - (i * (i - 1) / 2) in
+      let rows =
+        Pool.init ?pool ~min_chunk:64 (n - 1) (fun i ->
+            let base = offset i in
+            let acc = ref [] in
+            for j = i + 1 to n - 1 do
+              if (base + j - i) mod step = 0 then
+                acc := Featmat.sq_dist_rows fm i j :: !acc
+            done;
+            Array.of_list !acc)
+      in
+      match Array.concat (Array.to_list rows) with
+      | [||] -> [| 1.0 |]
+      | arr -> arr
     end
   in
   let med = Stats.median d2s in
   let med = if med <= 0.0 then 1.0 else med in
   config.Config.temperature /. 100.0 *. med
 
-let prepare_classification ~config ~model ~feature_of (d : int Dataset.t) =
+let prepare_classification ?pool ~config ~model ~feature_of (d : int Dataset.t) =
   Config.validate config;
   if Dataset.length d = 0 then invalid_arg "Calibration: empty calibration dataset";
   let feats = Array.map feature_of d.x in
   let scaler = fit_scaler feats in
   let std_feats = Array.map (Dataset.Scaler.transform scaler) feats in
+  let feat_matrix = Featmat.of_rows std_feats in
   let entries =
     Array.mapi
       (fun i x ->
@@ -112,8 +117,9 @@ let prepare_classification ~config ~model ~feature_of (d : int Dataset.t) =
     entries;
     config;
     scaler;
-    tau = effective_tau config std_feats;
-    loo_distances = loo_distance_scores std_feats;
+    tau = effective_tau ?pool config feat_matrix;
+    loo_distances = loo_distance_scores ?pool feat_matrix;
+    feat_matrix;
   }
 
 let standardize_cls t v = Dataset.Scaler.transform t.scaler v
@@ -135,14 +141,17 @@ type reg = {
   rscaler : Dataset.Scaler.t;
   rtau : float;
   rloo_distances : float array;
+  rfeat_matrix : Featmat.t;
 }
 
-let prepare_regression ?n_clusters ~config ~model ~feature_of ~seed (d : float Dataset.t) =
+let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
+    (d : float Dataset.t) =
   Config.validate config;
   let n = Dataset.length d in
   if n = 0 then invalid_arg "Calibration: empty calibration dataset";
   let scaler = fit_scaler (Array.map feature_of d.x) in
   let feats = Array.map (fun x -> Dataset.Scaler.transform scaler (feature_of x)) d.x in
+  let rfeat_matrix = Featmat.of_rows feats in
   let rng = Rng.create seed in
   let k =
     match n_clusters with
@@ -158,30 +167,23 @@ let prepare_regression ?n_clusters ~config ~model ~feature_of ~seed (d : float D
   let clusters = Kmeans.fit (Rng.split rng) feats ~k in
   (* Leave-one-out k-NN proxy targets and neighbourhood spreads,
      mirroring the test-time ground-truth approximation so both sides of
-     Eq. 2 use the same estimator. *)
+     Eq. 2 use the same estimator. The O(n^2) scan fans across the
+     pool; neighbour targets are accumulated farthest-first, matching
+     the order the sequential reference produced. *)
   let loo_proxy i =
     let k = config.Config.knn_k in
-    let ranked =
-      Distance.rank_by_distance ~dist:Distance.euclidean feats feats.(i)
-    in
-    let neigh = ref [] and taken = ref 0 in
-    Array.iter
-      (fun (j, _) ->
-        if j <> i && !taken < k then begin
-          neigh := d.y.(j) :: !neigh;
-          incr taken
-        end)
-      ranked;
-    match !neigh with
-    | [] -> (d.y.(i), 0.0)
-    | ys ->
-        let arr = Array.of_list ys in
-        (Stats.mean arr, if Array.length arr > 1 then Stats.std arr else 0.0)
+    let near = Featmat.nearest ~exclude:i rfeat_matrix feats.(i) ~k in
+    match Array.length near with
+    | 0 -> (d.y.(i), 0.0)
+    | m ->
+        let arr = Array.init m (fun r -> d.y.(fst near.(m - 1 - r))) in
+        (Stats.mean arr, if m > 1 then Stats.std arr else 0.0)
   in
+  let proxies = Pool.init ?pool ~min_chunk:16 n loo_proxy in
   let rentries =
     Array.mapi
       (fun i x ->
-        let rproxy, rspread = loo_proxy i in
+        let rproxy, rspread = proxies.(i) in
         {
           rfeatures = feats.(i);
           target = d.y.(i);
@@ -198,33 +200,92 @@ let prepare_regression ?n_clusters ~config ~model ~feature_of ~seed (d : float D
     clusters;
     n_clusters = k;
     rscaler = scaler;
-    rtau = effective_tau config feats;
-    rloo_distances = loo_distance_scores feats;
+    rtau = effective_tau ?pool config rfeat_matrix;
+    rloo_distances = loo_distance_scores ?pool rfeat_matrix;
+    rfeat_matrix;
   }
 
 let standardize_reg t v = Dataset.Scaler.transform t.rscaler v
 
-type 'e selected = { entry : 'e; weight : float; distance : float }
+type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
 
-let select_subset ?tau ~config entries ~feature_of_entry test_features =
-  let tau = match tau with Some t -> t | None -> config.Config.temperature in
+type selection = { sel_idxs : int array; sel_weights : float array; sel_count : int }
+
+(* Per-domain selection workspace: the distance buffer, the selection's
+   permutation arrays and the weight buffer are reused across queries
+   (one workspace per domain, so pooled batch evaluation never shares
+   one), keeping the per-query hot path free of heap churn. Queries are
+   evaluated synchronously within a domain, so reuse is safe. *)
+type query_scratch = { sel : Select.scratch; mutable weights : float array }
+
+let query_scratch : query_scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { sel = Select.scratch_create (); weights = [||] })
+
+(* Partial top-k selection instead of the former full sort: distances
+   are scanned once (from the cached matrix when available) and only the
+   kept prefix is ordered, O(n + keep log keep). Selection runs on
+   squared distances — the ordering is the same — and the square root is
+   taken only for the kept entries, whose weights reproduce the
+   exp(-d^2/tau) of the sort-based reference bit for bit. On return the
+   workspace prefix holds the ascending (squared distance, index) pairs
+   of the kept entries. *)
+let select_core scratch ?featmat ~config entries ~feature_of_entry test_features =
   let n = Array.length entries in
-  if n = 0 then [||]
+  let keep =
+    if n < config.Config.select_all_below then n
+    else Stdlib.max 1 (int_of_float (config.Config.select_ratio *. float_of_int n))
+  in
+  let sq = Select.scratch_keys scratch n in
+  (match featmat with
+  | Some fm ->
+      if Featmat.length fm <> n then
+        invalid_arg "Calibration.select_subset: matrix/entries size mismatch";
+      Featmat.sq_dists_into fm test_features sq
+  | None ->
+      for i = 0 to n - 1 do
+        sq.(i) <- Distance.sq_euclidean (feature_of_entry entries.(i)) test_features
+      done);
+  Select.select_in_place scratch ~n ~k:keep;
+  keep
+
+let select_subset ?tau ?featmat ~config entries ~feature_of_entry test_features =
+  let tau = match tau with Some t -> t | None -> config.Config.temperature in
+  if Array.length entries = 0 then [||]
   else begin
-    let ranked =
-      Array.mapi
-        (fun i e -> (i, Distance.euclidean (feature_of_entry e) test_features))
-        entries
-    in
-    Array.sort (fun (_, d1) (_, d2) -> compare d1 d2) ranked;
-    let keep =
-      if n < config.Config.select_all_below then n
-      else Stdlib.max 1 (int_of_float (config.Config.select_ratio *. float_of_int n))
-    in
+    let scratch = (Domain.DLS.get query_scratch).sel in
+    let keep = select_core scratch ?featmat ~config entries ~feature_of_entry test_features in
+    let vals = Select.scratch_vals scratch and idxs = Select.scratch_idxs scratch in
     Array.init keep (fun r ->
-        let i, dist = ranked.(r) in
+        let i = idxs.(r) in
+        let dist = sqrt vals.(r) in
         let weight = exp (-.(dist *. dist) /. tau) in
-        { entry = entries.(i); weight; distance = dist })
+        { index = i; entry = entries.(i); weight; distance = dist })
+  end
+
+(* Allocation-free variant for the per-query hot path. Materializing the
+   [selected] record array costs far more than it looks: at typical
+   sizes (hundreds of entries) the pointer array is allocated directly
+   on the major heap, and filling it with freshly minted minor-heap
+   records drives the write barrier hard enough to force a minor
+   collection per call — each of which is a stop-the-world handshake
+   every domain must join. The packed form instead reuses a per-domain
+   index buffer and weight buffer; the returned view is a few words on
+   the minor heap. The buffers are valid until the next selection on the
+   same domain, which is exactly the lifetime of one query evaluation. *)
+let select_packed ?tau ?featmat ~config entries ~feature_of_entry test_features =
+  let tau = match tau with Some t -> t | None -> config.Config.temperature in
+  if Array.length entries = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0 }
+  else begin
+    let qs = Domain.DLS.get query_scratch in
+    let keep = select_core qs.sel ?featmat ~config entries ~feature_of_entry test_features in
+    let vals = Select.scratch_vals qs.sel in
+    if Array.length qs.weights < keep then qs.weights <- Array.make (Array.length vals) 0.0;
+    let weights = qs.weights in
+    for r = 0 to keep - 1 do
+      let dist = sqrt vals.(r) in
+      weights.(r) <- exp (-.(dist *. dist) /. tau)
+    done;
+    { sel_idxs = Select.scratch_idxs qs.sel; sel_weights = weights; sel_count = keep }
   end
 
 let assign_cluster reg v =
@@ -232,30 +293,17 @@ let assign_cluster reg v =
      the nearest centroid when entries are somehow empty. *)
   match Array.length reg.rentries with
   | 0 -> Kmeans.assign reg.clusters v
-  | _ ->
-      let best = ref 0 and best_d = ref infinity in
-      Array.iteri
-        (fun i e ->
-          let d = Distance.sq_euclidean e.rfeatures v in
-          if d < !best_d then begin
-            best := i;
-            best_d := d
-          end)
-        reg.rentries;
-      reg.rentries.(!best).cluster
+  | _ -> reg.rentries.(Featmat.argmin_sq reg.rfeat_matrix v).cluster
 
 let knn_truth reg v ~k =
-  let feats = Array.map (fun e -> e.rfeatures) reg.rentries in
-  let idx = Distance.nearest ~dist:Distance.euclidean feats v k in
-  let targets = Array.map (fun i -> reg.rentries.(i).target) idx in
+  let idx = Featmat.nearest reg.rfeat_matrix v ~k in
+  let targets = Array.map (fun (i, _) -> reg.rentries.(i).target) idx in
   let mean = Stats.mean targets in
   let spread = if Array.length targets > 1 then Stats.std targets else 0.0 in
   (mean, spread)
 
 let distance_pvalue_cls t v =
-  distance_pvalue_of t.loo_distances
-    (knn_distance_score (Array.map (fun e -> e.features) t.entries) v)
+  distance_pvalue_of t.loo_distances (knn_distance_score t.feat_matrix v)
 
 let distance_pvalue_reg t v =
-  distance_pvalue_of t.rloo_distances
-    (knn_distance_score (Array.map (fun e -> e.rfeatures) t.rentries) v)
+  distance_pvalue_of t.rloo_distances (knn_distance_score t.rfeat_matrix v)

@@ -31,18 +31,23 @@ type cls = private {
       (** sorted leave-one-out kNN-distance nonconformity scores of the
           calibration points — the reference distribution of the
           conformal out-of-distribution test *)
+  feat_matrix : Featmat.t;
+      (** the entries' feature vectors packed row-major once at
+          preparation time, so per-query distance scans never rebuild
+          the feature array *)
 }
 
 (** [standardize_cls t v] maps a raw test feature vector into the
     standardized space the entries live in. *)
 val standardize_cls : cls -> Vec.t -> Vec.t
 
-(** [prepare_classification ~config ~model ~feature_of data] runs
+(** [prepare_classification ?pool ~config ~model ~feature_of data] runs
     [model] on every calibration sample and stores features, labels and
     probability vectors. [feature_of] maps a raw model input to the
     feature space used for similarity (often the model's own embedding;
     [Fun.id] for tabular features). *)
 val prepare_classification :
+  ?pool:Prom_parallel.Pool.t ->
   config:Config.t ->
   model:Model.classifier ->
   feature_of:(Vec.t -> Vec.t) ->
@@ -76,17 +81,19 @@ type reg = private {
   rscaler : Dataset.Scaler.t;
   rtau : float;  (** see {!cls.tau} *)
   rloo_distances : float array;  (** see {!cls.loo_distances} *)
+  rfeat_matrix : Featmat.t;  (** see {!cls.feat_matrix} *)
 }
 
 (** [standardize_reg t v] maps a raw test feature vector into the
     standardized space. *)
 val standardize_reg : reg -> Vec.t -> Vec.t
 
-(** [prepare_regression ?n_clusters ~config ~model ~feature_of ~seed
-    data] additionally labels the calibration set with k-means clusters;
+(** [prepare_regression ?pool ?n_clusters ~config ~model ~feature_of
+    ~seed data] additionally labels the calibration set with k-means clusters;
     when [n_clusters] is omitted the gap statistic picks it over
     [2 .. 20] (capped by the sample count). *)
 val prepare_regression :
+  ?pool:Prom_parallel.Pool.t ->
   ?n_clusters:int ->
   config:Config.t ->
   model:Model.regressor ->
@@ -96,8 +103,11 @@ val prepare_regression :
   reg
 
 (** A calibration sample selected for a particular test input, carrying
-    its adaptive weight [w = exp (-d^2 / tau)]. *)
-type 'e selected = { entry : 'e; weight : float; distance : float }
+    its adaptive weight [w = exp (-d^2 / tau)]. [index] is the sample's
+    position in the entries array it was selected from, so callers can
+    look up precomputed per-entry state (e.g. nonconformity score
+    tables) without re-deriving it. *)
+type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
 
 (** [select_subset ?tau ~config entries ~feature_of_entry
     test_features] implements the adaptive scheme: rank all entries by
@@ -105,14 +115,42 @@ type 'e selected = { entry : 'e; weight : float; distance : float }
     [select_ratio] (or all when fewer than [select_all_below]), and
     attach Eq. 1 weights computed with temperature [tau] (defaults to
     the raw [config.temperature]; detectors pass the self-calibrated
-    {!cls.tau}). *)
+    {!cls.tau}). When [featmat] (the packed feature matrix of the same
+    entries) is given, distances are scanned from it without consulting
+    [feature_of_entry]; selection keeps only the top-k via a bounded
+    heap instead of sorting the whole set. *)
 val select_subset :
   ?tau:float ->
+  ?featmat:Featmat.t ->
   config:Config.t ->
   'e array ->
   feature_of_entry:('e -> Vec.t) ->
   Vec.t ->
   'e selected array
+
+(** The same selection in packed (structure-of-arrays) form:
+    [sel_idxs.(r)] is the entries-array index of the [r]-th kept sample
+    (ascending by distance, ties by index) and [sel_weights.(r)] its
+    Eq. 1 weight, for [r < sel_count]. The arrays are per-domain
+    buffers reused by the next selection on the same domain — valid for
+    the duration of one query evaluation, which is the only lifetime
+    the hot path needs. Unlike {!select_subset} this form allocates no
+    per-query record array (at realistic calibration sizes that array
+    lands on the major heap and its initializing writes force a minor
+    collection — a stop-the-world synchronization — per query). *)
+type selection = private { sel_idxs : int array; sel_weights : float array; sel_count : int }
+
+(** [select_packed ?tau ?featmat ~config entries ~feature_of_entry
+    test_features] is {!select_subset} without the materialized record
+    array; the selected indices, order and weights are bit-identical. *)
+val select_packed :
+  ?tau:float ->
+  ?featmat:Featmat.t ->
+  config:Config.t ->
+  'e array ->
+  feature_of_entry:('e -> Vec.t) ->
+  Vec.t ->
+  selection
 
 (** [assign_cluster reg v] is the cluster label of a test feature
     vector, by nearest calibration neighbour (paper: "test sample labels

@@ -1,5 +1,6 @@
 open Prom_linalg
 open Prom_ml
+module Pool = Prom_parallel.Pool
 
 type cls_verdict = {
   predicted : int;
@@ -16,10 +17,28 @@ module Classification = struct
   type t = {
     cfg : Config.t;
     committee : Nonconformity.cls list;
+    (* Per committee member, the nonconformity score of each calibration
+       entry at its own label. The score depends only on the entry, so
+       computing it here (once) instead of inside every query's p-value
+       scan removes the dominant per-query cost. *)
+    committee_scores : float array list;
+    (* entry_labels.(i) = entries.(i).label: an unboxed table so the
+       p-value scan never dereferences entry records. *)
+    entry_labels : int array;
     model : Model.classifier;
     feature_of : Vec.t -> Vec.t;
     calibration : Calibration.cls;
   }
+
+  let entry_scores_of committee (calibration : Calibration.cls) =
+    List.map
+      (fun fn ->
+        Array.map
+          (fun e ->
+            fn.Nonconformity.cls_score ~proba:e.Calibration.proba
+              ~label:e.Calibration.label)
+          calibration.Calibration.entries)
+      committee
 
   let create ?(config = Config.default) ?(committee = Nonconformity.default_committee)
       ~model ~feature_of calibration =
@@ -28,7 +47,12 @@ module Classification = struct
     let calibration =
       Calibration.prepare_classification ~config ~model ~feature_of calibration
     in
-    { cfg = config; committee; model; feature_of; calibration }
+    let committee_scores = entry_scores_of committee calibration in
+    let entry_labels =
+      Array.map (fun e -> e.Calibration.label) calibration.Calibration.entries
+    in
+    { cfg = config; committee; committee_scores; entry_labels; model; feature_of;
+      calibration }
 
   let config t = t.cfg
   let model t = t.model
@@ -40,8 +64,9 @@ module Classification = struct
     let proba = t.model.Model.predict_proba x in
     let predicted = Vec.argmax proba in
     let feats = Calibration.standardize_cls t.calibration (t.feature_of x) in
-    let selected =
-      Calibration.select_subset ~tau:t.calibration.Calibration.tau ~config:t.cfg
+    let selection =
+      Calibration.select_packed ~tau:t.calibration.Calibration.tau
+        ~featmat:t.calibration.Calibration.feat_matrix ~config:t.cfg
         t.calibration.Calibration.entries
         ~feature_of_entry:(fun e -> e.Calibration.features)
         feats
@@ -49,16 +74,19 @@ module Classification = struct
     let n_classes = t.model.Model.n_classes in
     let distance_pvalue = Calibration.distance_pvalue_cls t.calibration feats in
     let experts =
-      List.map
-        (fun fn ->
-          let pvalues = Pvalue.classification_all ~fn ~selected ~proba ~n_classes () in
-          let set_pvalues =
-            Pvalue.classification_all ~smooth:false ~fn ~selected ~proba ~n_classes ()
+      List.map2
+        (fun fn entry_scores ->
+          let test_scores =
+            Array.init n_classes (fun label -> fn.Nonconformity.cls_score ~proba ~label)
+          in
+          let pvalues, set_pvalues =
+            Pvalue.classification_all_table ~entry_scores ~entry_labels:t.entry_labels
+              ~selection ~test_scores ~n_classes ()
           in
           Scores.expert_verdict ~distance_pvalue ~set_pvalues
             ~discrete:fn.Nonconformity.cls_discrete ~config:t.cfg
             ~expert:fn.Nonconformity.cls_name ~pvalues ~predicted ())
-        t.committee
+        t.committee t.committee_scores
     in
     {
       predicted;
@@ -73,11 +101,21 @@ module Classification = struct
     let v = evaluate t x in
     (v.predicted, v.drifted)
 
+  (* Queries are independent, so a batch fans across the pool in
+     deterministic chunks; with the default 1-domain pool this is a
+     plain sequential map, and the per-element results are identical
+     either way (no RNG or shared mutable state on the query path). *)
+  let evaluate_batch ?pool t xs = Pool.map ?pool ~min_chunk:1 (evaluate t) xs
+
+  let predict_batch ?pool t xs =
+    Array.map (fun v -> (v.predicted, v.drifted)) (evaluate_batch ?pool t xs)
+
   let prediction_sets t x =
     let proba = t.model.Model.predict_proba x in
     let feats = Calibration.standardize_cls t.calibration (t.feature_of x) in
     let selected =
-      Calibration.select_subset ~tau:t.calibration.Calibration.tau ~config:t.cfg
+      Calibration.select_subset ~tau:t.calibration.Calibration.tau
+        ~featmat:t.calibration.Calibration.feat_matrix ~config:t.cfg
         t.calibration.Calibration.entries
         ~feature_of_entry:(fun e -> e.Calibration.features)
         feats
@@ -107,10 +145,29 @@ module Regression = struct
   type t = {
     cfg : Config.t;
     committee : Nonconformity.reg list;
+    (* Per committee member, each calibration entry's residual score
+       (with the same spread floor the evaluate loop applies) —
+       precomputed once, see {!Classification.t.committee_scores}. *)
+    committee_scores : float array list;
+    (* entry_clusters.(i) = rentries.(i).cluster — see
+       {!Classification.t.entry_labels}. *)
+    entry_clusters : int array;
     model : Model.regressor;
     feature_of : Vec.t -> Vec.t;
     calibration : Calibration.reg;
   }
+
+  let spread_floor e = Stdlib.max e.Calibration.rspread 1e-6
+
+  let entry_scores_of committee (calibration : Calibration.reg) =
+    List.map
+      (fun fn ->
+        Array.map
+          (fun e ->
+            fn.Nonconformity.reg_score ~pred:e.Calibration.rpred
+              ~truth:e.Calibration.rproxy ~spread:(spread_floor e))
+          calibration.Calibration.rentries)
+      committee
 
   let create ?(config = Config.default)
       ?(committee = Nonconformity.default_reg_committee) ?n_clusters ~model ~feature_of
@@ -121,7 +178,12 @@ module Regression = struct
       Calibration.prepare_regression ?n_clusters ~config ~model ~feature_of ~seed
         calibration
     in
-    { cfg = config; committee; model; feature_of; calibration }
+    let committee_scores = entry_scores_of committee calibration in
+    let entry_clusters =
+      Array.map (fun e -> e.Calibration.cluster) calibration.Calibration.rentries
+    in
+    { cfg = config; committee; committee_scores; entry_clusters; model; feature_of;
+      calibration }
 
   let config t = t.cfg
   let model t = t.model
@@ -138,33 +200,29 @@ module Regression = struct
       Calibration.knn_truth t.calibration feats ~k:t.cfg.Config.knn_k
     in
     let cluster = Calibration.assign_cluster t.calibration feats in
-    let selected =
-      Calibration.select_subset ~tau:t.calibration.Calibration.rtau ~config:t.cfg
+    let selection =
+      Calibration.select_packed ~tau:t.calibration.Calibration.rtau
+        ~featmat:t.calibration.Calibration.rfeat_matrix ~config:t.cfg
         t.calibration.Calibration.rentries
         ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
         feats
     in
-    let spread_of_entry e = Stdlib.max e.Calibration.rspread 1e-6 in
     let n_clusters = t.calibration.Calibration.n_clusters in
     let distance_pvalue = Calibration.distance_pvalue_reg t.calibration feats in
     let reg_experts =
-      List.map
-        (fun fn ->
+      List.map2
+        (fun fn entry_scores ->
           let test_score =
             fn.Nonconformity.reg_score ~pred:predicted_value ~truth:knn_estimate
               ~spread:(Stdlib.max knn_spread 1e-6)
           in
-          let pvalues =
-            Pvalue.regression_all ~fn ~selected ~spread_of_entry ~n_clusters ~test_score
-              ()
-          in
-          let set_pvalues =
-            Pvalue.regression_all ~smooth:false ~fn ~selected ~spread_of_entry
-              ~n_clusters ~test_score ()
+          let pvalues, set_pvalues =
+            Pvalue.regression_all_table ~entry_scores ~entry_clusters:t.entry_clusters
+              ~selection ~n_clusters ~test_score ()
           in
           Scores.expert_verdict ~distance_pvalue ~set_pvalues ~use_confidence:false
             ~config:t.cfg ~expert:fn.Nonconformity.reg_name ~pvalues ~predicted:cluster ())
-        t.committee
+        t.committee t.committee_scores
     in
     {
       predicted_value;
@@ -180,11 +238,18 @@ module Regression = struct
     let v = evaluate t x in
     (v.predicted_value, v.reg_drifted)
 
+  (* See {!Classification.evaluate_batch}. *)
+  let evaluate_batch ?pool t xs = Pool.map ?pool ~min_chunk:1 (evaluate t) xs
+
+  let predict_batch ?pool t xs =
+    Array.map (fun v -> (v.predicted_value, v.reg_drifted)) (evaluate_batch ?pool t xs)
+
   let interval t x =
     let predicted_value = t.model.Model.predict x in
     let feats = Calibration.standardize_reg t.calibration (t.feature_of x) in
     let selected =
-      Calibration.select_subset ~tau:t.calibration.Calibration.rtau ~config:t.cfg
+      Calibration.select_subset ~tau:t.calibration.Calibration.rtau
+        ~featmat:t.calibration.Calibration.rfeat_matrix ~config:t.cfg
         t.calibration.Calibration.rentries
         ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
         feats
@@ -197,7 +262,7 @@ module Regression = struct
           (abs_float (entry.Calibration.rpred -. entry.Calibration.target), weight))
         selected
     in
-    Array.sort (fun (a, _) (b, _) -> compare a b) scored;
+    Array.sort (fun (a, _) (b, _) -> Float.compare a b) scored;
     let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
     let target_mass = (1.0 -. t.cfg.Config.epsilon) *. (total +. 1.0) in
     let q =
@@ -225,7 +290,8 @@ module Regression = struct
       Calibration.knn_truth t.calibration feats ~k:t.cfg.Config.knn_k
     in
     let selected =
-      Calibration.select_subset ~tau:t.calibration.Calibration.rtau ~config:t.cfg
+      Calibration.select_subset ~tau:t.calibration.Calibration.rtau
+        ~featmat:t.calibration.Calibration.rfeat_matrix ~config:t.cfg
         t.calibration.Calibration.rentries
         ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
         feats

@@ -46,6 +46,17 @@ module Classification : sig
       plus a drift flag. *)
   val predict : t -> Vec.t -> int * bool
 
+  (** [evaluate_batch ?pool t xs] evaluates independent queries fanned
+      across the domain pool (default {!Prom_parallel.Pool.default}) in
+      deterministic chunks. The result is element-for-element identical
+      to [Array.map (evaluate t) xs]. *)
+  val evaluate_batch :
+    ?pool:Prom_parallel.Pool.t -> t -> Vec.t array -> cls_verdict array
+
+  (** [predict_batch ?pool t xs] — batched {!predict}. *)
+  val predict_batch :
+    ?pool:Prom_parallel.Pool.t -> t -> Vec.t array -> (int * bool) array
+
   (** [prediction_sets t x] exposes each expert's prediction region for
       [x] — the label sets behind the confidence scores. Used by the
       initialization assessment (Eq. 3). *)
@@ -86,6 +97,13 @@ module Regression : sig
   val with_config : t -> Config.t -> t
   val evaluate : t -> Vec.t -> reg_verdict
   val predict : t -> Vec.t -> float * bool
+
+  (** Batched evaluation; see {!Classification.evaluate_batch}. *)
+  val evaluate_batch :
+    ?pool:Prom_parallel.Pool.t -> t -> Vec.t array -> reg_verdict array
+
+  val predict_batch :
+    ?pool:Prom_parallel.Pool.t -> t -> Vec.t array -> (float * bool) array
 
   (** [cluster_sets t x] is each expert's prediction region over the
       k-means cluster labels. *)

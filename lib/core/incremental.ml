@@ -19,7 +19,7 @@ let oversample ~train_size (extra : 'a Dataset.t) =
   repeat extra (copies - 1)
 
 let pick_budget ~budget_fraction flagged =
-  let sorted = List.sort (fun (_, c1) (_, c2) -> compare c1 c2) flagged in
+  let sorted = List.sort (fun (_, c1) (_, c2) -> Float.compare c1 c2) flagged in
   let budget =
     match flagged with
     | [] -> 0

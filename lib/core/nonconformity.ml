@@ -20,11 +20,16 @@ let lac =
         1.0 -. proba.(label));
   }
 
-(* Labels at least as probable as [label], i.e. its rank (0-based). *)
+(* Labels at least as probable as [label], i.e. its rank (0-based).
+   Plain loops here and below: these run per (entry, label) in the
+   p-value scans, and a closure over a ref would allocate on every
+   call. *)
 let rank_of ~proba ~label =
   let p = proba.(label) in
   let r = ref 0 in
-  Array.iteri (fun i q -> if i <> label && q > p then incr r) proba;
+  for i = 0 to Array.length proba - 1 do
+    if i <> label && proba.(i) > p then incr r
+  done;
   !r
 
 let topk =
@@ -45,7 +50,10 @@ let topk =
 let aps_mass ~proba ~label =
   let p = proba.(label) in
   let acc = ref 0.0 in
-  Array.iteri (fun i q -> if i <> label && q > p then acc := !acc +. q) proba;
+  for i = 0 to Array.length proba - 1 do
+    let q = proba.(i) in
+    if i <> label && q > p then acc := !acc +. q
+  done;
   !acc
 
 let aps =

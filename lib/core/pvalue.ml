@@ -30,6 +30,45 @@ let classification ?(smooth = true) ~fn ~selected ~proba ~label () =
 let classification_all ?smooth ~fn ~selected ~proba ~n_classes () =
   Array.init n_classes (fun label -> classification ?smooth ~fn ~selected ~proba ~label ())
 
+(* Hot-path form: a calibration entry only ever contributes to the
+   p-value of its own label, so one pass over the selected subset with
+   per-label accumulators covers every label at once; and its
+   nonconformity score depends only on the entry, so it comes from a
+   table precomputed at detector-construction time ([entry_scores],
+   indexed like [entry_labels] by position in the calibration entries
+   array) instead of a per-query closure call. The selection arrives in
+   the packed {!Calibration.selection} form, so the whole scan touches
+   only unboxed int/float arrays. The per-label accumulation order
+   equals the selected-subset order either way, so the sums - and both
+   the smoothed and raw p-values derived from them - are bit-identical
+   to {!classification_all}. *)
+let classification_all_table ~entry_scores ~entry_labels
+    ~(selection : Calibration.selection) ~test_scores ~n_classes () =
+  let total_w = Array.make n_classes 0.0 in
+  let at_least_w = Array.make n_classes 0.0 in
+  let matching = Array.make n_classes 0 in
+  let idxs = selection.Calibration.sel_idxs
+  and weights = selection.Calibration.sel_weights in
+  for r = 0 to selection.Calibration.sel_count - 1 do
+    let i = Array.unsafe_get idxs r in
+    let label = Array.unsafe_get (entry_labels : int array) i in
+    if label >= 0 && label < n_classes then begin
+      matching.(label) <- matching.(label) + 1;
+      let weight = Array.unsafe_get weights r in
+      total_w.(label) <- total_w.(label) +. weight;
+      if (entry_scores : float array).(i) >= (test_scores : float array).(label) then
+        at_least_w.(label) <- at_least_w.(label) +. weight
+    end
+  done;
+  let smoothed = Array.make n_classes 0.0 and raw = Array.make n_classes 0.0 in
+  for label = 0 to n_classes - 1 do
+    if matching.(label) > 0 then begin
+      smoothed.(label) <- smoothing true at_least_w.(label) total_w.(label);
+      raw.(label) <- smoothing false at_least_w.(label) total_w.(label)
+    end
+  done;
+  (smoothed, raw)
+
 let regression ?(smooth = true) ~fn ~selected ~spread_of_entry ~cluster ~test_score () =
   let total_w = ref 0.0 and at_least_w = ref 0.0 and matching = ref 0 in
   Array.iter
@@ -49,3 +88,32 @@ let regression ?(smooth = true) ~fn ~selected ~spread_of_entry ~cluster ~test_sc
 let regression_all ?smooth ~fn ~selected ~spread_of_entry ~n_clusters ~test_score () =
   Array.init n_clusters (fun cluster ->
       regression ?smooth ~fn ~selected ~spread_of_entry ~cluster ~test_score ())
+
+(* Regression analogue of {!classification_all_table}: one pass with
+   per-cluster accumulators and table lookups. *)
+let regression_all_table ~entry_scores ~entry_clusters
+    ~(selection : Calibration.selection) ~n_clusters ~test_score () =
+  let total_w = Array.make n_clusters 0.0 in
+  let at_least_w = Array.make n_clusters 0.0 in
+  let matching = Array.make n_clusters 0 in
+  let idxs = selection.Calibration.sel_idxs
+  and weights = selection.Calibration.sel_weights in
+  for r = 0 to selection.Calibration.sel_count - 1 do
+    let i = Array.unsafe_get idxs r in
+    let cluster = Array.unsafe_get (entry_clusters : int array) i in
+    if cluster >= 0 && cluster < n_clusters then begin
+      matching.(cluster) <- matching.(cluster) + 1;
+      let weight = Array.unsafe_get weights r in
+      total_w.(cluster) <- total_w.(cluster) +. weight;
+      if (entry_scores : float array).(i) >= (test_score : float) then
+        at_least_w.(cluster) <- at_least_w.(cluster) +. weight
+    end
+  done;
+  let smoothed = Array.make n_clusters 0.0 and raw = Array.make n_clusters 0.0 in
+  for cluster = 0 to n_clusters - 1 do
+    if matching.(cluster) > 0 then begin
+      smoothed.(cluster) <- smoothing true at_least_w.(cluster) total_w.(cluster);
+      raw.(cluster) <- smoothing false at_least_w.(cluster) total_w.(cluster)
+    end
+  done;
+  (smoothed, raw)

@@ -36,6 +36,26 @@ val classification_all :
   unit ->
   float array
 
+(** [classification_all_table ~entry_scores ~entry_labels ~selection
+    ~test_scores ~n_classes ()] is [(smoothed, raw)] — the smoothed and
+    raw p-values of every label from a single allocation-light scan
+    over the packed selection. [entry_scores.(i)] must be the
+    nonconformity score of calibration entry [i] at its own label and
+    [entry_labels.(i)] that entry's label (both precomputed once per
+    detector, since neither depends on the test input);
+    [test_scores.(l)] is the test input's score at label [l].
+    Bit-identical to the pair of {!classification_all} calls with
+    [smooth] true and false on the equivalent {!Calibration.selected}
+    array: the hot path of {!Detector.Classification.evaluate}. *)
+val classification_all_table :
+  entry_scores:float array ->
+  entry_labels:int array ->
+  selection:Calibration.selection ->
+  test_scores:float array ->
+  n_classes:int ->
+  unit ->
+  float array * float array
+
 (** [regression ?smooth ~fn ~selected ~spread_of_entry ~cluster
     ~test_score ()] is the regression p-value: the weighted fraction of
     selected calibration samples in [cluster] whose residual-based score
@@ -61,3 +81,16 @@ val regression_all :
   test_score:float ->
   unit ->
   float array
+
+(** [regression_all_table ~entry_scores ~entry_clusters ~selection
+    ~n_clusters ~test_score ()] is [(smoothed, raw)] from a single scan
+    with precomputed per-entry scores and cluster labels — the
+    regression analogue of {!classification_all_table}. *)
+val regression_all_table :
+  entry_scores:float array ->
+  entry_clusters:int array ->
+  selection:Calibration.selection ->
+  n_clusters:int ->
+  test_score:float ->
+  unit ->
+  float array * float array

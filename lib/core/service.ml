@@ -55,6 +55,31 @@ let evaluate t ~features ~proba =
     ~finally:(fun () -> t.query := None)
     (fun () -> Detector.Classification.evaluate t.detector features)
 
+(* Batched entry point. The single-query path smuggles the in-flight
+   probability vector through a ref the wrapped model reads — which is
+   not domain-safe — so the batch path instead binds every query's
+   probabilities in [known] for the duration of the batch (the table is
+   then only read concurrently) and restores the original bindings
+   afterwards. Queries whose feature vectors collide value-wise resolve
+   to the last binding, exactly like repeated single-query calls. *)
+let evaluate_batch ?pool t queries =
+  let saved = Array.map (fun (f, _) -> (f, Hashtbl.find_opt t.known f)) queries in
+  Array.iter (fun (f, p) -> Hashtbl.replace t.known f p) queries;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun (f, old) ->
+          match old with
+          | Some p -> Hashtbl.replace t.known f p
+          | None -> Hashtbl.remove t.known f)
+        saved)
+    (fun () ->
+      Detector.Classification.evaluate_batch ?pool t.detector
+        (Array.map fst queries))
+
+let should_accept_batch ?pool t queries =
+  Array.map (fun v -> not v.Detector.drifted) (evaluate_batch ?pool t queries)
+
 let should_accept t ~features ~proba =
   not (evaluate t ~features ~proba).Detector.drifted
 

@@ -23,6 +23,23 @@ val create :
   (Vec.t * int * Vec.t) list ->
   t
 
+(** [evaluate_batch ?pool t queries] evaluates a batch of
+    (features, probability vector) pairs, fanned across the domain pool
+    in deterministic chunks. Results are element-for-element identical
+    to evaluating each query alone. When several queries carry
+    value-equal feature vectors, the last probability vector wins —
+    the same resolution repeated single-query calls produce. *)
+val evaluate_batch :
+  ?pool:Prom_parallel.Pool.t ->
+  t ->
+  (Vec.t * Vec.t) array ->
+  Detector.cls_verdict array
+
+(** [should_accept_batch ?pool t queries] — batched
+    {!should_accept}. *)
+val should_accept_batch :
+  ?pool:Prom_parallel.Pool.t -> t -> (Vec.t * Vec.t) array -> bool array
+
 (** [should_accept t ~features ~proba] is [true] when the committee
     accepts the prediction whose probability vector is [proba] for the
     input embedded at [features] — the single boolean the host needs. *)

@@ -34,12 +34,20 @@ let chebyshev a b =
   done;
   !acc
 
+(* Monomorphic (distance, index) comparator: Float.compare avoids the
+   polymorphic-compare tax and the index tie-break makes rankings a
+   deterministic function of the input. *)
+let compare_ranked (i1, d1) (i2, d2) =
+  let c = Float.compare d1 d2 in
+  if c <> 0 then c else Int.compare i1 i2
+
 let rank_by_distance ~dist xs v =
   let ranked = Array.mapi (fun i x -> (i, dist x v)) xs in
-  Array.sort (fun (_, d1) (_, d2) -> compare d1 d2) ranked;
+  Array.sort compare_ranked ranked;
   ranked
 
-let nearest ~dist xs v k =
-  let ranked = rank_by_distance ~dist xs v in
-  let k = Stdlib.min k (Array.length ranked) in
-  Array.init k (fun i -> fst ranked.(i))
+let top_k ~dist xs v k =
+  let ds = Array.map (fun x -> dist x v) xs in
+  Select.smallest_k_pairs ds k
+
+let nearest ~dist xs v k = Array.map fst (top_k ~dist xs v k)

@@ -21,6 +21,13 @@ val chebyshev : Vec.t -> Vec.t -> float
 val nearest : dist:(Vec.t -> Vec.t -> float) -> Vec.t array -> Vec.t -> int -> int array
 
 (** [rank_by_distance ~dist xs v] returns all indices of [xs] sorted by
-    increasing distance to [v], paired with the distances. *)
+    increasing distance to [v], paired with the distances. Ties are
+    broken by index. *)
 val rank_by_distance :
   dist:(Vec.t -> Vec.t -> float) -> Vec.t array -> Vec.t -> (int * float) array
+
+(** [top_k ~dist xs v k] is the first [k] entries of
+    [rank_by_distance ~dist xs v], computed in O(n log k) via bounded
+    top-k selection instead of a full sort. *)
+val top_k :
+  dist:(Vec.t -> Vec.t -> float) -> Vec.t array -> Vec.t -> int -> (int * float) array

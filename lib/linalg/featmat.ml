@@ -1,0 +1,114 @@
+(* Flat row-major feature matrix: the calibration set's vectors packed
+   into one unboxed float array so the per-query distance scans touch
+   contiguous memory and allocate nothing. *)
+
+type t = { data : float array; n : int; dim : int }
+
+let length t = t.n
+let dim t = t.dim
+
+let of_rows rows =
+  let n = Array.length rows in
+  if n = 0 then { data = [||]; n = 0; dim = 0 }
+  else begin
+    let dim = Array.length rows.(0) in
+    let data = Array.make (n * dim) 0.0 in
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> dim then invalid_arg "Featmat.of_rows: ragged rows";
+        Array.blit row 0 data (i * dim) dim)
+      rows;
+    { data; n; dim }
+  end
+
+let row t i =
+  if i < 0 || i >= t.n then invalid_arg "Featmat.row: index out of bounds";
+  Array.sub t.data (i * t.dim) t.dim
+
+let check_query t v =
+  if Array.length v <> t.dim then invalid_arg "Featmat: dimension mismatch"
+
+let sq_dist_row t i v =
+  (* Bounds are fixed by construction ([i < n] checked by callers via
+     [check_query]/loop bounds), so the inner loop uses unsafe reads. *)
+  let off = i * t.dim in
+  let acc = ref 0.0 in
+  for j = 0 to t.dim - 1 do
+    let d = Array.unsafe_get t.data (off + j) -. Array.unsafe_get v j in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist_row t i v = sqrt (sq_dist_row t i v)
+
+let sq_dist_rows t i j =
+  let oi = i * t.dim and oj = j * t.dim in
+  let acc = ref 0.0 in
+  for c = 0 to t.dim - 1 do
+    let d = Array.unsafe_get t.data (oi + c) -. Array.unsafe_get t.data (oj + c) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* The k nearest rows by Euclidean distance, ties broken by row index.
+   Selection runs on squared distances (same ordering); the returned
+   distances take the square root afterwards so they match
+   [Distance.euclidean] bit for bit. *)
+let nearest ?(exclude = -1) t v ~k =
+  check_query t v;
+  if k < 0 then invalid_arg "Featmat.nearest: negative k";
+  let h = Select.heap_create (Stdlib.min k t.n) in
+  for i = 0 to t.n - 1 do
+    if i <> exclude then Select.offer h (sq_dist_row t i v) i
+  done;
+  Array.map (fun (i, sq) -> (i, sqrt sq)) (Select.drain_sorted h)
+
+(* Mean distance to the k nearest rows — the conformal kNN
+   nonconformity score. Sums ascending to mirror the sort-based
+   reference exactly. *)
+let knn_mean_dist ?(exclude = -1) t v ~k =
+  let near = nearest ~exclude t v ~k in
+  let m = Array.length near in
+  if m = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun (_, d) -> acc := !acc +. d) near;
+    !acc /. float_of_int m
+  end
+
+(* Leave-one-out variant: score of row [row] against all other rows,
+   without extracting the row vector. *)
+let knn_mean_dist_rows t ~row ~k =
+  if row < 0 || row >= t.n then invalid_arg "Featmat.knn_mean_dist_rows: bad row";
+  let h = Select.heap_create (Stdlib.min k (Stdlib.max 0 (t.n - 1))) in
+  for i = 0 to t.n - 1 do
+    if i <> row then Select.offer h (sq_dist_rows t row i) i
+  done;
+  let near = Select.drain_sorted h in
+  let m = Array.length near in
+  if m = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun (_, sq) -> acc := !acc +. sqrt sq) near;
+    !acc /. float_of_int m
+  end
+
+let argmin_sq t v =
+  check_query t v;
+  if t.n = 0 then invalid_arg "Featmat.argmin_sq: empty matrix";
+  let best = ref 0 and best_d = ref infinity in
+  for i = 0 to t.n - 1 do
+    let d = sq_dist_row t i v in
+    if d < !best_d then begin
+      best := i;
+      best_d := d
+    end
+  done;
+  !best
+
+let sq_dists_into t v out =
+  check_query t v;
+  if Array.length out < t.n then invalid_arg "Featmat.sq_dists_into: output too small";
+  for i = 0 to t.n - 1 do
+    out.(i) <- sq_dist_row t i v
+  done

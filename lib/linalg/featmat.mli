@@ -1,0 +1,50 @@
+(** Flat row-major feature matrix. The calibration set's feature
+    vectors are packed once into a single unboxed float array so every
+    per-query distance scan reads contiguous memory and allocates
+    nothing beyond its (bounded) result. This is the representation the
+    detectors cache instead of rebuilding [Vec.t array]s per query. *)
+
+type t
+
+(** [of_rows rows] packs the vectors; raises [Invalid_argument] on
+    ragged input. An empty array yields an empty matrix. *)
+val of_rows : Vec.t array -> t
+
+val length : t -> int
+
+val dim : t -> int
+
+(** [row t i] extracts row [i] as a fresh vector. *)
+val row : t -> int -> Vec.t
+
+(** [sq_dist_row t i v] is the squared Euclidean distance from row [i]
+    to [v]. Raises on dimension mismatch. *)
+val sq_dist_row : t -> int -> Vec.t -> float
+
+val dist_row : t -> int -> Vec.t -> float
+
+(** [sq_dist_rows t i j] is the squared distance between two rows. *)
+val sq_dist_rows : t -> int -> int -> float
+
+(** [nearest ?exclude t v ~k] is the [k] nearest rows to [v] by
+    Euclidean distance as (row, distance) pairs, ascending, ties broken
+    by row index; row [exclude] is skipped. *)
+val nearest : ?exclude:int -> t -> Vec.t -> k:int -> (int * float) array
+
+(** [knn_mean_dist ?exclude t v ~k] is the mean distance from [v] to
+    its [k] nearest rows (0 when the matrix is empty) — the conformal
+    kNN nonconformity score. *)
+val knn_mean_dist : ?exclude:int -> t -> Vec.t -> k:int -> float
+
+(** [knn_mean_dist_rows t ~row ~k] is the leave-one-out score of row
+    [row] against the other rows. *)
+val knn_mean_dist_rows : t -> row:int -> k:int -> float
+
+(** [argmin_sq t v] is the row index nearest to [v] (squared distance,
+    first minimum wins). Raises on an empty matrix. *)
+val argmin_sq : t -> Vec.t -> int
+
+(** [sq_dists_into t v out] fills the first [length t] slots of [out]
+    (which may be a larger reusable buffer) with the squared distances
+    from every row to [v]. *)
+val sq_dists_into : t -> Vec.t -> float array -> unit

@@ -1,0 +1,266 @@
+(* Bounded top-k selection over float keys. The comparisons are
+   monomorphic and the tie-break is the element index, so a selection is
+   a deterministic function of its input — the property the detectors
+   rely on to keep batched and sequential evaluation bit-identical. *)
+
+(* Lexicographic (value, index) order. The type annotations matter: they
+   specialize the comparisons to floats/ints at compile time (the
+   polymorphic versions are C calls that box every float), and inlining
+   keeps the arguments unboxed on the hot path. *)
+let[@inline] gt (a : float) (i : int) (b : float) (j : int) =
+  a > b || (a = b && i > j)
+
+let[@inline] lt (a : float) (i : int) (b : float) (j : int) =
+  a < b || (a = b && i < j)
+
+(* A bounded binary max-heap over (value, index) pairs kept in two
+   parallel unboxed arrays; the root is the current worst of the k best
+   seen so far. Used directly by streaming callers (distance scans) and
+   as the sorting engine for the prefix produced by quickselect. *)
+type heap = {
+  capacity : int;
+  vals : float array;
+  idxs : int array;
+  mutable size : int;
+}
+
+let heap_create capacity =
+  if capacity < 0 then invalid_arg "Select: negative k";
+  { capacity; vals = Array.make (Stdlib.max capacity 1) 0.0;
+    idxs = Array.make (Stdlib.max capacity 1) 0; size = 0 }
+
+(* Both sifts hold the moved element in locals and write it once at its
+   final slot — no swaps, no refs, no allocation on the hot path. *)
+let sift_up h j0 =
+  let v = Array.unsafe_get h.vals j0 and i = Array.unsafe_get h.idxs j0 in
+  let rec climb j =
+    if j = 0 then j
+    else begin
+      let parent = (j - 1) / 2 in
+      let pv = Array.unsafe_get h.vals parent and pi = Array.unsafe_get h.idxs parent in
+      if gt v i pv pi then begin
+        Array.unsafe_set h.vals j pv;
+        Array.unsafe_set h.idxs j pi;
+        climb parent
+      end
+      else j
+    end
+  in
+  let j = climb j0 in
+  Array.unsafe_set h.vals j v;
+  Array.unsafe_set h.idxs j i
+
+let sift_down h j0 =
+  let v = Array.unsafe_get h.vals j0 and i = Array.unsafe_get h.idxs j0 in
+  let rec descend j =
+    let l = (2 * j) + 1 in
+    if l >= h.size then j
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < h.size
+          && gt (Array.unsafe_get h.vals r) (Array.unsafe_get h.idxs r)
+               (Array.unsafe_get h.vals l) (Array.unsafe_get h.idxs l)
+        then r
+        else l
+      in
+      let cv = Array.unsafe_get h.vals c and ci = Array.unsafe_get h.idxs c in
+      if gt cv ci v i then begin
+        Array.unsafe_set h.vals j cv;
+        Array.unsafe_set h.idxs j ci;
+        descend c
+      end
+      else j
+    end
+  in
+  let j = descend j0 in
+  Array.unsafe_set h.vals j v;
+  Array.unsafe_set h.idxs j i
+
+(* Consider element [i] with key [v] for membership in the k smallest. *)
+let offer h v i =
+  if h.capacity > 0 then
+    if h.size < h.capacity then begin
+      h.vals.(h.size) <- v;
+      h.idxs.(h.size) <- i;
+      h.size <- h.size + 1;
+      sift_up h (h.size - 1)
+    end
+    else if gt h.vals.(0) h.idxs.(0) v i then begin
+      h.vals.(0) <- v;
+      h.idxs.(0) <- i;
+      sift_down h 0
+    end
+
+(* Drain the heap into (index, value) pairs sorted by ascending
+   (value, index). Destroys the heap. *)
+let drain_sorted h =
+  let n = h.size in
+  let out = Array.make n (0, 0.0) in
+  for slot = n - 1 downto 0 do
+    out.(slot) <- (h.idxs.(0), h.vals.(0));
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.vals.(0) <- h.vals.(h.size);
+      h.idxs.(0) <- h.idxs.(h.size);
+      sift_down h 0
+    end
+  done;
+  out
+
+(* --- Materialized selection: quickselect + heapsorted prefix. ---
+
+   When the keys already live in an array (the detector's per-query
+   distance scan), a bounded heap degrades towards a full sort as k
+   approaches n — every offer pays an O(log k) sift. A lexicographic
+   Hoare quickselect partitions the k smallest into the prefix in O(n),
+   after which only those k elements are heapsorted: O(n + k log k)
+   total, and the (value, index) order keeps every step deterministic
+   even with duplicate keys. *)
+
+let[@inline] swap2 vals idxs a b =
+  let va = Array.unsafe_get vals a and ia = Array.unsafe_get idxs a in
+  Array.unsafe_set vals a (Array.unsafe_get vals b);
+  Array.unsafe_set idxs a (Array.unsafe_get idxs b);
+  Array.unsafe_set vals b va;
+  Array.unsafe_set idxs b ia
+
+(* Insertion sort for tiny ranges (also the base case of the select). *)
+let insertion_sort vals idxs lo hi =
+  for a = lo + 1 to hi - 1 do
+    let v = Array.unsafe_get vals a and i = Array.unsafe_get idxs a in
+    let j = ref (a - 1) in
+    while
+      !j >= lo && lt v i (Array.unsafe_get vals !j) (Array.unsafe_get idxs !j)
+    do
+      Array.unsafe_set vals (!j + 1) (Array.unsafe_get vals !j);
+      Array.unsafe_set idxs (!j + 1) (Array.unsafe_get idxs !j);
+      decr j
+    done;
+    Array.unsafe_set vals (!j + 1) v;
+    Array.unsafe_set idxs (!j + 1) i
+  done
+
+(* Arrange [lo, hi) so that positions [lo, k) hold its (k - lo) smallest
+   elements, in arbitrary order. Requires lo < k < hi. Median-of-three
+   pivot; all (value, index) keys are distinct, so the Hoare partition
+   always splits strictly and the recursion terminates. *)
+let rec select_range vals idxs lo hi k =
+  if hi - lo <= 3 then insertion_sort vals idxs lo hi
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let last = hi - 1 in
+    (* median-of-three: sort (lo, mid, last) so the pivot at [mid] is
+       neither the minimum nor the maximum of the range *)
+    if
+      lt (Array.unsafe_get vals mid) (Array.unsafe_get idxs mid)
+        (Array.unsafe_get vals lo) (Array.unsafe_get idxs lo)
+    then swap2 vals idxs lo mid;
+    if
+      lt (Array.unsafe_get vals last) (Array.unsafe_get idxs last)
+        (Array.unsafe_get vals lo) (Array.unsafe_get idxs lo)
+    then swap2 vals idxs lo last;
+    if
+      lt (Array.unsafe_get vals last) (Array.unsafe_get idxs last)
+        (Array.unsafe_get vals mid) (Array.unsafe_get idxs mid)
+    then swap2 vals idxs mid last;
+    let pv = Array.unsafe_get vals mid and pi = Array.unsafe_get idxs mid in
+    (* Hoare partition: afterwards [lo, j] <= pivot <= (j, hi) with
+       j <= hi - 2 (the pivot is not the range maximum). *)
+    let a = ref (lo - 1) and b = ref hi in
+    let continue_ = ref true in
+    while !continue_ do
+      incr a;
+      while lt (Array.unsafe_get vals !a) (Array.unsafe_get idxs !a) pv pi do
+        incr a
+      done;
+      decr b;
+      while lt pv pi (Array.unsafe_get vals !b) (Array.unsafe_get idxs !b) do
+        decr b
+      done;
+      if !a >= !b then continue_ := false else swap2 vals idxs !a !b
+    done;
+    let j = !b in
+    if k <= j then select_range vals idxs lo (j + 1) k
+    else if k > j + 1 then select_range vals idxs (j + 1) hi k
+  end
+
+(* Ascending in-place heapsort of the first [k] positions. *)
+let sort_prefix vals idxs k =
+  if k > 1 then begin
+    let h = { capacity = k; vals; idxs; size = k } in
+    for j = (k / 2) - 1 downto 0 do
+      sift_down h j
+    done;
+    for e = k - 1 downto 1 do
+      swap2 vals idxs 0 e;
+      h.size <- h.size - 1;
+      sift_down h 0
+    done
+  end
+
+(* Reusable selection workspace. The per-query scratch arrays are large
+   enough to be allocated on the major heap; reusing one workspace per
+   domain (callers hold it in domain-local storage) keeps the hot path
+   from churning the major heap — major churn paces GC slices, and every
+   slice is a stop-the-world point that all domains must join, which is
+   expensive when domains outnumber cores. *)
+type scratch = {
+  mutable svals : float array;
+  mutable sidxs : int array;
+}
+
+let scratch_create () = { svals = [||]; sidxs = [||] }
+
+let scratch_keys s n =
+  if n < 0 then invalid_arg "Select.scratch_keys: negative length";
+  if Array.length s.svals < n then begin
+    s.svals <- Array.make n 0.0;
+    s.sidxs <- Array.make n 0
+  end;
+  s.svals
+
+let scratch_vals s = s.svals
+let scratch_idxs s = s.sidxs
+
+(* Arrange the k smallest (value, index) pairs of the keys in
+   [scratch_keys s n] into the prefix, ascending. Destroys the key
+   order. *)
+let select_in_place s ~n ~k =
+  if k < 0 || k > n then invalid_arg "Select.select_in_place: bad k";
+  if n > Array.length s.svals then invalid_arg "Select.select_in_place: bad n";
+  let idxs = s.sidxs in
+  for i = 0 to n - 1 do
+    idxs.(i) <- i
+  done;
+  if k > 0 && k < n then select_range s.svals idxs 0 n k;
+  sort_prefix s.svals idxs k
+
+(* Shared driver: the k smallest of [xs] sorted ascending, left in the
+   prefix of the returned (vals, idxs) scratch pair. *)
+let select_sorted xs k =
+  let n = Array.length xs in
+  let s = scratch_create () in
+  ignore (scratch_keys s n : float array);
+  Array.blit xs 0 s.svals 0 n;
+  select_in_place s ~n ~k;
+  (s.svals, s.sidxs)
+
+let smallest_k xs k =
+  if k < 0 then invalid_arg "Select.smallest_k: negative k";
+  let k = Stdlib.min k (Array.length xs) in
+  if k = 0 then [||]
+  else begin
+    let _, idxs = select_sorted xs k in
+    Array.sub idxs 0 k
+  end
+
+let smallest_k_pairs xs k =
+  if k < 0 then invalid_arg "Select.smallest_k_pairs: negative k";
+  let k = Stdlib.min k (Array.length xs) in
+  if k = 0 then [||]
+  else begin
+    let vals, idxs = select_sorted xs k in
+    Array.init k (fun j -> (idxs.(j), vals.(j)))
+  end

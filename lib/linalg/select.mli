@@ -1,0 +1,58 @@
+(** Top-k selection over float keys, replacing the full O(n log n)
+    sorts on the detector hot path: materialized selection runs a
+    lexicographic quickselect plus a heapsort of the k-prefix
+    (O(n + k log k)); streaming callers use a bounded max-heap
+    (O(n log k)). Ties are broken by element index, so results are a
+    deterministic function of the input. *)
+
+(** [smallest_k xs k] is the indices of the [k] smallest elements of
+    [xs], ordered by ascending (value, index). [k] is clamped to the
+    array length; raises [Invalid_argument] when negative. *)
+val smallest_k : float array -> int -> int array
+
+(** [smallest_k_pairs xs k] additionally pairs each index with its
+    value, in the same order. *)
+val smallest_k_pairs : float array -> int -> (int * float) array
+
+(** {2 Reusable workspace}
+
+    A selection workspace whose arrays are reused across calls. Hot
+    paths hold one per domain (e.g. via [Domain.DLS]) so repeated
+    selections do not churn the major heap with fresh scratch arrays —
+    major-heap churn paces stop-the-world GC slices, which are costly
+    when domains share cores. Not safe to share between concurrent
+    queries. *)
+type scratch
+
+val scratch_create : unit -> scratch
+
+(** [scratch_keys s n] grows the workspace to hold at least [n] keys and
+    returns the key buffer; the caller fills positions [0..n-1]. *)
+val scratch_keys : scratch -> int -> float array
+
+(** [select_in_place s ~n ~k] arranges the [k] smallest (value, index)
+    pairs of the first [n] keys into the prefix of the workspace,
+    ascending by (value, index) — read them back with {!scratch_vals}
+    and {!scratch_idxs}. Destroys the key order. *)
+val select_in_place : scratch -> n:int -> k:int -> unit
+
+val scratch_vals : scratch -> float array
+val scratch_idxs : scratch -> int array
+
+(** {2 Streaming heap}
+
+    A reusable bounded max-heap for callers that stream keys instead of
+    materializing a full array (e.g. distance scans over a feature
+    matrix). *)
+type heap
+
+(** [heap_create k] allocates a heap retaining the [k] smallest offered
+    elements. *)
+val heap_create : int -> heap
+
+(** [offer h v i] considers element [i] with key [v]. *)
+val offer : heap -> float -> int -> unit
+
+(** [drain_sorted h] empties the heap, returning (index, value) pairs by
+    ascending (value, index). The heap must not be reused afterwards. *)
+val drain_sorted : heap -> (int * float) array

@@ -21,7 +21,7 @@ let std a = sqrt (variance a)
 
 let sorted a =
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   b
 
 let quantile a q =

@@ -84,7 +84,7 @@ let build ~params ~(x : Vec.t array) ~impurity ~make_leaf indices =
         Array.iter
           (fun feature ->
             let values = Array.map (fun i -> x.(i).(feature)) indices in
-            Array.sort compare values;
+            Array.sort Float.compare values;
             let midpoints = ref [] in
             for i = Array.length values - 2 downto 0 do
               if values.(i) < values.(i + 1) then

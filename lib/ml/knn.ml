@@ -13,8 +13,8 @@ let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
     Model.n_classes;
     predict_proba =
       (fun v ->
-        let ranked = Distance.rank_by_distance ~dist:Distance.euclidean d.x v in
-        let k = Stdlib.min params.k (Array.length ranked) in
+        let ranked = Distance.top_k ~dist:Distance.euclidean d.x v params.k in
+        let k = Array.length ranked in
         let votes = Array.make n_classes 0.0 in
         for r = 0 to k - 1 do
           let i, dist = ranked.(r) in

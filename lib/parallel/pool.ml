@@ -1,0 +1,192 @@
+(* A fixed pool of OCaml 5 domains with deterministic, chunked
+   data-parallel operations. The pool exists because spawning domains is
+   expensive (~ms) while a detector query is sub-millisecond: workers
+   are spawned once and block on a shared queue.
+
+   Determinism: [init]/[map]/[iter] split the index range into
+   fixed-size chunks computed from the input length alone, each chunk
+   writes to its own slot, and results are concatenated in chunk order —
+   so the output never depends on scheduling. *)
+
+type t = {
+  n_domains : int;  (* total parallelism including the calling domain *)
+  mutable workers : unit Domain.t array;  (* n_domains - 1 spawned domains *)
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+}
+
+let size t = t.n_domains
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopped do
+    Condition.wait pool.work_available pool.mutex
+  done;
+  if Queue.is_empty pool.queue then begin
+    (* stopped and drained *)
+    Mutex.unlock pool.mutex
+  end
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create n_domains =
+  if n_domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let pool =
+    {
+      n_domains;
+      workers = [||];
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+    }
+  in
+  pool.workers <-
+    Array.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopped <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers
+
+let env_var = "PROM_NUM_DOMAINS"
+
+let default_size () =
+  match Sys.getenv_opt env_var with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* The shared default pool, created on first use. Guarded by a mutex so
+   concurrent first uses race safely. *)
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create (default_size ()) in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  pool
+
+let try_pop pool =
+  Mutex.lock pool.mutex;
+  let t = if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue) in
+  Mutex.unlock pool.mutex;
+  t
+
+(* Run every task, using the worker domains plus the calling domain
+   (which drains the queue itself, so a 1-domain pool degenerates to a
+   sequential loop and nested use cannot deadlock). The first exception
+   raised by any task is re-raised after all tasks finish. *)
+let run_all pool tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else begin
+    let remaining = Atomic.make n in
+    let first_error = Atomic.make None in
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let wrap task () =
+      (try task ()
+       with exn -> ignore (Atomic.compare_and_set first_error None (Some exn)));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* last task of the batch: wake the caller's completion latch *)
+        Mutex.lock done_mutex;
+        Condition.signal all_done;
+        Mutex.unlock done_mutex
+      end
+    in
+    Mutex.lock pool.mutex;
+    Array.iter (fun task -> Queue.push (wrap task) pool.queue) tasks;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex;
+    let rec help () =
+      match try_pop pool with
+      | Some task ->
+          task ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    (* Tasks still in flight on workers: block on the latch rather than
+       spin, so an oversubscribed machine (more domains than cores) can
+       hand the CPU to whoever holds the last chunk. *)
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    match Atomic.get first_error with Some exn -> raise exn | None -> ()
+  end
+
+let default_min_chunk = 32
+
+(* Chunks per batch: a few per domain for load balancing without
+   drowning in queue traffic. *)
+let chunk_size pool min_chunk n =
+  let target_chunks = pool.n_domains * 4 in
+  Stdlib.max min_chunk ((n + target_chunks - 1) / target_chunks)
+
+let init ?pool ?(min_chunk = default_min_chunk) n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  let pool = match pool with Some p -> p | None -> default () in
+  if n = 0 then [||]
+  else if pool.n_domains = 1 || n <= min_chunk then Array.init n f
+  else begin
+    let chunk = chunk_size pool min_chunk n in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let parts = Array.make n_chunks [||] in
+    let tasks =
+      Array.init n_chunks (fun c () ->
+          let off = c * chunk in
+          let len = Stdlib.min chunk (n - off) in
+          parts.(c) <- Array.init len (fun j -> f (off + j)))
+    in
+    run_all pool tasks;
+    Array.concat (Array.to_list parts)
+  end
+
+let mapi ?pool ?min_chunk f xs =
+  init ?pool ?min_chunk (Array.length xs) (fun i -> f i xs.(i))
+
+let map ?pool ?min_chunk f xs =
+  init ?pool ?min_chunk (Array.length xs) (fun i -> f xs.(i))
+
+let iteri ?pool ?(min_chunk = default_min_chunk) f xs =
+  let n = Array.length xs in
+  let pool = match pool with Some p -> p | None -> default () in
+  if n = 0 then ()
+  else if pool.n_domains = 1 || n <= min_chunk then Array.iteri f xs
+  else begin
+    let chunk = chunk_size pool min_chunk n in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let tasks =
+      Array.init n_chunks (fun c () ->
+          let off = c * chunk in
+          let stop = Stdlib.min n (off + chunk) in
+          for i = off to stop - 1 do
+            f i xs.(i)
+          done)
+    in
+    run_all pool tasks
+  end
+
+let iter ?pool ?min_chunk f xs = iteri ?pool ?min_chunk (fun _ x -> f x) xs

@@ -1,0 +1,54 @@
+(** A fixed pool of OCaml 5 domains with deterministic, chunked
+    data-parallel array operations — the engine behind PROM's batched
+    inference path.
+
+    All operations are deterministic: the index range is split into
+    chunks computed from the input length alone, each chunk writes its
+    own slot, and results are concatenated in chunk order, so output is
+    independent of scheduling. Pools of size 1 (and inputs at or below
+    [min_chunk]) run sequentially with no synchronization. *)
+
+type t
+
+(** [create n] spawns a pool with total parallelism [n] (the calling
+    domain counts as one; [n - 1] worker domains are spawned). Raises
+    [Invalid_argument] when [n < 1]. *)
+val create : int -> t
+
+(** Total parallelism of the pool (>= 1). *)
+val size : t -> int
+
+(** [shutdown t] drains the queue and joins the workers. The pool must
+    not be used afterwards. *)
+val shutdown : t -> unit
+
+(** Name of the environment variable controlling the default pool size:
+    ["PROM_NUM_DOMAINS"]. *)
+val env_var : string
+
+(** Size the default pool would have: [PROM_NUM_DOMAINS] when set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+val default_size : unit -> int
+
+(** The shared default pool, created on first use with
+    [default_size ()]. *)
+val default : unit -> t
+
+(** [run_all t tasks] runs every task to completion on the workers plus
+    the calling domain; re-raises the first task exception after all
+    tasks finish. Low-level building block. *)
+val run_all : t -> (unit -> unit) array -> unit
+
+(** [init ?pool ?min_chunk n f] is [Array.init n f] evaluated in
+    parallel chunks. [pool] defaults to {!default}; inputs of at most
+    [min_chunk] elements (default 32) run sequentially. [f] must be
+    safe to call from any domain. *)
+val init : ?pool:t -> ?min_chunk:int -> int -> (int -> 'a) -> 'a array
+
+val map : ?pool:t -> ?min_chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val mapi : ?pool:t -> ?min_chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val iter : ?pool:t -> ?min_chunk:int -> ('a -> unit) -> 'a array -> unit
+
+val iteri : ?pool:t -> ?min_chunk:int -> (int -> 'a -> unit) -> 'a array -> unit

@@ -86,9 +86,10 @@ let run ?(config = Config.default) ?(budget_fraction = 0.05) ~seed scenario spec
   let detector =
     Detector.Classification.create ~config ~model ~feature_of calibration
   in
-  (* Drift detection on the deployment stream. *)
+  (* Drift detection on the deployment stream, fanned across the domain
+     pool (identical results to a sequential map). *)
   let (verdicts : Detector.cls_verdict array), detect_total =
-    timed (fun () -> Array.map (Detector.Classification.evaluate detector) drift_x)
+    timed (fun () -> Detector.Classification.evaluate_batch detector drift_x)
   in
   let flagged = Array.map (fun v -> v.Detector.drifted) verdicts in
   let mispredicted = Array.map (fun p -> Metrics.mispredicted ~perf:p) deploy_perf in
@@ -102,7 +103,7 @@ let run ?(config = Config.default) ?(budget_fraction = 0.05) ~seed scenario spec
             calibration
         in
         let f1 =
-          Array.map (fun x -> snd (Detector.Classification.predict det1 x)) drift_x
+          Array.map snd (Detector.Classification.predict_batch det1 drift_x)
         in
         (fn.Nonconformity.cls_name, Detection_metrics.compute ~flagged:f1 ~mispredicted))
       Nonconformity.default_committee

@@ -193,7 +193,7 @@ let run ?(config = Config.default) ?(train_samples = 360) ?(test_samples = 120)
     let pairs = sample_pairs rng net test_samples in
     let xs = Array.map encode pairs in
     let truths = Array.map target pairs in
-    let flagged = Array.map (fun x -> snd (Detector.Regression.predict detector x)) xs in
+    let flagged = Array.map snd (Detector.Regression.predict_batch detector xs) in
     let mispredicted =
       Array.mapi
         (fun i x -> abs_float (model.Model.predict x -. truths.(i)) > log_deviation_limit)

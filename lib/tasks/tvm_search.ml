@@ -32,7 +32,7 @@ let search ?(rounds = 10) ?(pop_size = 24) ?(top_k = 1) rng workload ~cost ~on_m
     let candidates = Array.append !population children in
     (* Rank by the learned cost model (descending predicted throughput). *)
     let ranked = Array.map (fun s -> (s, cost s)) candidates in
-    Array.sort (fun (_, a) (_, b) -> compare b a) ranked;
+    Array.sort (fun (_, a) (_, b) -> Float.compare b a) ranked;
     (* Measure only the model's top picks — the expensive step the cost
        model exists to minimize. *)
     for i = 0 to Stdlib.min top_k (Array.length ranked) - 1 do

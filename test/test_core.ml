@@ -195,10 +195,10 @@ let calibration_tests =
   ]
 
 (* Hand-built selected entries for p-value math. *)
-let entry label p0 =
+let entry ?(index = 0) label p0 =
   {
-    Calibration.entry =
-      { Calibration.features = [| 0.0 |]; label; proba = [| p0; 1.0 -. p0 |] };
+    Calibration.index;
+    entry = { Calibration.features = [| 0.0 |]; label; proba = [| p0; 1.0 -. p0 |] };
     weight = 1.0;
     distance = 0.0;
   }
@@ -787,6 +787,187 @@ let metrics_tests =
         Alcotest.(check (float 1e-9)) "f1" 0.5 m.Detection_metrics.f1);
   ]
 
+(* --- Batched inference: the pooled paths must be bit-identical to the
+   sequential ones, and the packed selection to the record-based one. *)
+
+let reg_world seed n =
+  let rng = Rng.create seed in
+  let x = Array.init n (fun _ -> [| Rng.uniform rng ~lo:0.0 ~hi:1.0 |]) in
+  let y = Array.map (fun v -> (2.0 *. v.(0)) +. Rng.gaussian rng ~mu:0.0 ~sigma:0.05) x in
+  Dataset.create x y
+
+let with_pool n f =
+  let pool = Prom_parallel.Pool.create n in
+  Fun.protect ~finally:(fun () -> Prom_parallel.Pool.shutdown pool) (fun () -> f pool)
+
+let batch_tests =
+  [
+    Alcotest.test_case "classification batch is bit-identical to mapped evaluate"
+      `Quick (fun () ->
+        let model, _, cal = trained_world 40 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let rng = Rng.create 41 in
+        let queries =
+          Array.init 17 (fun _ ->
+              [| Rng.gaussian rng ~mu:2.5 ~sigma:3.0; Rng.gaussian rng ~mu:2.5 ~sigma:3.0 |])
+        in
+        let seq = Array.map (Detector.Classification.evaluate det) queries in
+        with_pool 2 (fun pool ->
+            Alcotest.(check bool) "identical" true
+              (Detector.Classification.evaluate_batch ~pool det queries = seq));
+        Alcotest.(check bool) "default pool identical" true
+          (Detector.Classification.evaluate_batch det queries = seq));
+    Alcotest.test_case "regression batch is bit-identical to mapped evaluate" `Quick
+      (fun () ->
+        let data = reg_world 42 90 in
+        let model = Linreg.train data in
+        let det =
+          Detector.Regression.create ~n_clusters:2 ~model ~feature_of:Fun.id ~seed:1 data
+        in
+        let rng = Rng.create 43 in
+        let queries =
+          Array.init 13 (fun _ -> [| Rng.uniform rng ~lo:(-1.0) ~hi:2.0 |])
+        in
+        let seq = Array.map (Detector.Regression.evaluate det) queries in
+        with_pool 2 (fun pool ->
+            Alcotest.(check bool) "identical" true
+              (Detector.Regression.evaluate_batch ~pool det queries = seq)));
+    Alcotest.test_case "service batch matches repeated single calls" `Quick (fun () ->
+        let model, _, cal = trained_world 44 in
+        let triples =
+          Array.to_list
+            (Array.mapi (fun i x -> (x, cal.y.(i), model.Model.predict_proba x)) cal.x)
+        in
+        let svc = Service.create triples in
+        let rng = Rng.create 45 in
+        let queries =
+          Array.init 11 (fun _ ->
+              let x =
+                [| Rng.gaussian rng ~mu:0.0 ~sigma:2.0; Rng.gaussian rng ~mu:0.0 ~sigma:2.0 |]
+              in
+              (x, model.Model.predict_proba x))
+        in
+        let singles =
+          Array.map
+            (fun (x, p) -> Service.should_accept svc ~features:x ~proba:p)
+            queries
+        in
+        with_pool 2 (fun pool ->
+            Alcotest.(check (array bool)) "accepts" singles
+              (Service.should_accept_batch ~pool svc queries)));
+    Alcotest.test_case "select_packed matches select_subset" `Quick (fun () ->
+        let model, _, cal = trained_world 46 in
+        let c =
+          Calibration.prepare_classification ~config:Config.default ~model
+            ~feature_of:Fun.id cal
+        in
+        let config = { Config.default with Config.select_all_below = 4 } in
+        let test = Calibration.standardize_cls c [| 1.0; 4.0 |] in
+        (* materialize the record form first: the packed view aliases
+           per-domain buffers that the next selection overwrites *)
+        let selected =
+          Calibration.select_subset ~tau:c.Calibration.tau
+            ~featmat:c.Calibration.feat_matrix ~config c.Calibration.entries
+            ~feature_of_entry:(fun e -> e.Calibration.features)
+            test
+        in
+        let sel =
+          Calibration.select_packed ~tau:c.Calibration.tau
+            ~featmat:c.Calibration.feat_matrix ~config c.Calibration.entries
+            ~feature_of_entry:(fun e -> e.Calibration.features)
+            test
+        in
+        Alcotest.(check int) "count" (Array.length selected) sel.Calibration.sel_count;
+        Array.iteri
+          (fun r { Calibration.index; weight; _ } ->
+            Alcotest.(check int) "index" index sel.Calibration.sel_idxs.(r);
+            Alcotest.(check (float 0.0)) "weight" weight sel.Calibration.sel_weights.(r))
+          selected);
+    Alcotest.test_case "classification_all_table equals the reference pair" `Quick
+      (fun () ->
+        let model, _, cal = trained_world 47 in
+        let c =
+          Calibration.prepare_classification ~config:Config.default ~model
+            ~feature_of:Fun.id cal
+        in
+        let entries = c.Calibration.entries in
+        let test = Calibration.standardize_cls c [| 3.0; 2.0 |] in
+        let proba = [| 0.45; 0.55 |] in
+        let selected =
+          Calibration.select_subset ~tau:c.Calibration.tau
+            ~featmat:c.Calibration.feat_matrix ~config:Config.default entries
+            ~feature_of_entry:(fun e -> e.Calibration.features)
+            test
+        in
+        let selection =
+          Calibration.select_packed ~tau:c.Calibration.tau
+            ~featmat:c.Calibration.feat_matrix ~config:Config.default entries
+            ~feature_of_entry:(fun e -> e.Calibration.features)
+            test
+        in
+        let entry_labels = Array.map (fun e -> e.Calibration.label) entries in
+        List.iter
+          (fun fn ->
+            let entry_scores =
+              Array.map
+                (fun e ->
+                  fn.Nonconformity.cls_score ~proba:e.Calibration.proba
+                    ~label:e.Calibration.label)
+                entries
+            in
+            let test_scores =
+              Array.init 2 (fun label -> fn.Nonconformity.cls_score ~proba ~label)
+            in
+            let smoothed, raw =
+              Pvalue.classification_all_table ~entry_scores ~entry_labels ~selection
+                ~test_scores ~n_classes:2 ()
+            in
+            Alcotest.(check (array (float 0.0)))
+              "smoothed"
+              (Pvalue.classification_all ~fn ~selected ~proba ~n_classes:2 ())
+              smoothed;
+            Alcotest.(check (array (float 0.0)))
+              "raw"
+              (Pvalue.classification_all ~smooth:false ~fn ~selected ~proba ~n_classes:2
+                 ())
+              raw)
+          Nonconformity.default_committee);
+  ]
+
+(* Property: pooled batches of random queries match the sequential map
+   exactly, for both detector kinds. *)
+let batch_world =
+  lazy
+    (let model, _, cal = trained_world 48 in
+     let cls = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+     let data = reg_world 49 80 in
+     let reg =
+       Detector.Regression.create ~n_clusters:2 ~model:(Linreg.train data)
+         ~feature_of:Fun.id ~seed:1 data
+     in
+     (cls, reg))
+
+let gen_queries dim =
+  QCheck2.Gen.(
+    array_size (int_range 0 12)
+      (array_size (return dim) (float_range (-10.0) 10.0)))
+
+let prop_cls_batch_equiv =
+  QCheck2.Test.make ~name:"classification evaluate_batch equals mapped evaluate"
+    ~count:30 (gen_queries 2) (fun queries ->
+      let cls, _ = Lazy.force batch_world in
+      with_pool 2 (fun pool ->
+          Detector.Classification.evaluate_batch ~pool cls queries
+          = Array.map (Detector.Classification.evaluate cls) queries))
+
+let prop_reg_batch_equiv =
+  QCheck2.Test.make ~name:"regression evaluate_batch equals mapped evaluate" ~count:30
+    (gen_queries 1) (fun queries ->
+      let _, reg = Lazy.force batch_world in
+      with_pool 2 (fun pool ->
+          Detector.Regression.evaluate_batch ~pool reg queries
+          = Array.map (Detector.Regression.evaluate reg) queries))
+
 (* Conformal validity property: for an exchangeable calibration/test
    split, the credibility-only detector's false-flag rate stays near
    epsilon. *)
@@ -815,11 +996,12 @@ let gen_selected =
       (pair (int_range 0 2) (float_range 0.05 0.95))
     >|= fun entries ->
     Array.of_list
-      (List.map
-         (fun (label, p0) ->
+      (List.mapi
+         (fun i (label, p0) ->
            let rest = (1.0 -. p0) /. 2.0 in
            {
-             Calibration.entry =
+             Calibration.index = i;
+             entry =
                {
                  Calibration.features = [| p0 |];
                  label;
@@ -904,6 +1086,8 @@ let properties =
       prop_set_monotone_in_epsilon;
       prop_confidence_bounded;
       prop_distance_pvalue_monotone;
+      prop_cls_batch_equiv;
+      prop_reg_batch_equiv;
     ]
 
 let suite =
@@ -915,6 +1099,7 @@ let suite =
     ("core.pvalue", pvalue_tests);
     ("core.scores", scores_tests);
     ("core.detector", detector_tests);
+    ("core.batch", batch_tests);
     ("core.intervals", interval_tests);
     ("core.service", service_tests);
     ("core.assessment", assessment_tests);

@@ -224,8 +224,133 @@ let distance_tests =
           (Array.length (Distance.nearest ~dist:Distance.euclidean xs [| 0.0 |] 10)));
   ]
 
+(* Sort-based reference for top-k selection: indices ordered by
+   ascending (value, index) — the contract Select must reproduce. *)
+let topk_reference xs k =
+  let n = Array.length xs in
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match Float.compare xs.(i) xs.(j) with 0 -> compare i j | c -> c)
+    idx;
+  Array.sub idx 0 (Stdlib.min k n)
+
+let select_tests =
+  [
+    Alcotest.test_case "smallest_k on a hand case" `Quick (fun () ->
+        Alcotest.(check (array int))
+          "order" [| 3; 0; 2 |]
+          (Select.smallest_k [| 2.0; 9.0; 5.0; 1.0 |] 3));
+    Alcotest.test_case "duplicate values break ties by index" `Quick (fun () ->
+        let xs = [| 1.0; 0.5; 0.5; 1.0; 0.5 |] in
+        Alcotest.(check (array int)) "ties" [| 1; 2; 4; 0 |] (Select.smallest_k xs 4));
+    Alcotest.test_case "k clamps to the array length" `Quick (fun () ->
+        Alcotest.(check (array int)) "all" [| 1; 0 |]
+          (Select.smallest_k [| 2.0; 1.0 |] 10));
+    Alcotest.test_case "negative k rejected" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Select.smallest_k: negative k")
+          (fun () -> ignore (Select.smallest_k [| 1.0 |] (-1))));
+    Alcotest.test_case "smallest_k_pairs carries the values" `Quick (fun () ->
+        let xs = [| 3.0; 1.0; 2.0 |] in
+        Array.iter
+          (fun (i, v) -> check_float "value" xs.(i) v)
+          (Select.smallest_k_pairs xs 3));
+    Alcotest.test_case "streaming heap agrees with the reference" `Quick (fun () ->
+        let xs = [| 4.0; 0.0; 4.0; 2.0; 7.0; 0.0; 2.0 |] in
+        let h = Select.heap_create 4 in
+        Array.iteri (fun i v -> Select.offer h v i) xs;
+        Alcotest.(check (array int))
+          "order" (topk_reference xs 4)
+          (Array.map fst (Select.drain_sorted h)));
+    Alcotest.test_case "select_in_place orders the prefix" `Quick (fun () ->
+        let xs = [| 5.0; 1.0; 3.0; 3.0; 0.0; 2.0 |] in
+        let s = Select.scratch_create () in
+        let keys = Select.scratch_keys s (Array.length xs) in
+        Array.blit xs 0 keys 0 (Array.length xs);
+        Select.select_in_place s ~n:(Array.length xs) ~k:4;
+        let idxs = Select.scratch_idxs s and vals = Select.scratch_vals s in
+        Alcotest.(check (array int)) "prefix" (topk_reference xs 4) (Array.sub idxs 0 4);
+        for r = 0 to 3 do
+          check_float "value follows index" xs.(idxs.(r)) vals.(r)
+        done);
+    Alcotest.test_case "scratch is reusable across sizes" `Quick (fun () ->
+        let s = Select.scratch_create () in
+        List.iter
+          (fun xs ->
+            let n = Array.length xs in
+            let keys = Select.scratch_keys s n in
+            Array.blit xs 0 keys 0 n;
+            Select.select_in_place s ~n ~k:n;
+            Alcotest.(check (array int))
+              "full sort" (topk_reference xs n)
+              (Array.sub (Select.scratch_idxs s) 0 n))
+          [ [| 3.0; 1.0 |]; [| 9.0; 2.0; 2.0; 7.0; 0.0 |]; [| 1.0 |] ])
+  ]
+
+let featmat_tests =
+  [
+    Alcotest.test_case "rows round-trip" `Quick (fun () ->
+        let rows = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+        let fm = Featmat.of_rows rows in
+        Alcotest.(check int) "n" 3 (Featmat.length fm);
+        Alcotest.(check int) "dim" 2 (Featmat.dim fm);
+        Array.iteri
+          (fun i row -> Alcotest.(check (array (float 0.0))) "row" row (Featmat.row fm i))
+          rows);
+    Alcotest.test_case "ragged rows rejected" `Quick (fun () ->
+        Alcotest.check_raises "ragged" (Invalid_argument "Featmat.of_rows: ragged rows")
+          (fun () -> ignore (Featmat.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |])));
+    Alcotest.test_case "sq_dist_row matches Distance" `Quick (fun () ->
+        let rows = [| [| 0.0; 1.0 |]; [| -2.0; 3.0 |] |] in
+        let fm = Featmat.of_rows rows in
+        let v = [| 1.5; -0.5 |] in
+        Array.iteri
+          (fun i row ->
+            check_float "sq" (Distance.sq_euclidean row v) (Featmat.sq_dist_row fm i v))
+          rows);
+    Alcotest.test_case "nearest agrees with the vector path" `Quick (fun () ->
+        let rows = Array.init 30 (fun i -> [| float_of_int (i mod 7); float_of_int i |]) in
+        let fm = Featmat.of_rows rows in
+        let v = [| 3.0; 11.0 |] in
+        let got = Featmat.nearest fm v ~k:5 in
+        let sq = Array.map (fun row -> Distance.sq_euclidean row v) rows in
+        Alcotest.(check (array int)) "indices" (topk_reference sq 5) (Array.map fst got);
+        Array.iter
+          (fun (i, d) -> check_float "distance" (Distance.euclidean rows.(i) v) d)
+          got);
+    Alcotest.test_case "sq_dists_into accepts a larger buffer" `Quick (fun () ->
+        let rows = [| [| 0.0 |]; [| 2.0 |]; [| 5.0 |] |] in
+        let fm = Featmat.of_rows rows in
+        let out = Array.make 10 nan in
+        Featmat.sq_dists_into fm [| 1.0 |] out;
+        Alcotest.(check (array (float 1e-12))) "prefix" [| 1.0; 1.0; 16.0 |]
+          (Array.sub out 0 3));
+    Alcotest.test_case "knn_mean_dist averages the k nearest" `Quick (fun () ->
+        let rows = [| [| 0.0 |]; [| 1.0 |]; [| 10.0 |] |] in
+        let fm = Featmat.of_rows rows in
+        check_float "mean" 0.5 (Featmat.knn_mean_dist fm [| 0.5 |] ~k:2));
+  ]
+
 (* Property-based tests. *)
 let float_array = QCheck2.Gen.(array_size (int_range 1 20) (float_range (-100.0) 100.0))
+
+(* Keys drawn from a small set force heavy duplication, exercising the
+   tie-break paths of the quickselect and the heap. *)
+let dup_keys =
+  QCheck2.Gen.(array_size (int_range 0 60) (map float_of_int (int_range 0 5)))
+
+let prop_smallest_k =
+  QCheck2.Test.make ~name:"smallest_k equals the sort-based reference" ~count:300
+    QCheck2.Gen.(pair dup_keys (int_range 0 70))
+    (fun (xs, k) -> Select.smallest_k xs k = topk_reference xs k)
+
+let prop_heap_topk =
+  QCheck2.Test.make ~name:"streaming heap equals the sort-based reference" ~count:300
+    QCheck2.Gen.(pair dup_keys (int_range 0 70))
+    (fun (xs, k) ->
+      let h = Select.heap_create (Stdlib.min k (Array.length xs)) in
+      Array.iteri (fun i v -> Select.offer h v i) xs;
+      Array.map fst (Select.drain_sorted h) = topk_reference xs k)
 
 let prop_triangle =
   QCheck2.Test.make ~name:"euclidean satisfies triangle inequality" ~count:200
@@ -267,7 +392,10 @@ let prop_solve =
 
 let properties =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_triangle; prop_softmax; prop_quantile_monotone; prop_mean_bounds; prop_solve ]
+    [
+      prop_triangle; prop_softmax; prop_quantile_monotone; prop_mean_bounds; prop_solve;
+      prop_smallest_k; prop_heap_topk;
+    ]
 
 let suite =
   [
@@ -276,5 +404,7 @@ let suite =
     ("linalg.mat", mat_tests);
     ("linalg.stats", stats_tests);
     ("linalg.distance", distance_tests);
+    ("linalg.select", select_tests);
+    ("linalg.featmat", featmat_tests);
     ("linalg.properties", properties);
   ]

@@ -1,0 +1,104 @@
+(* Tests for the domain pool: deterministic chunked operations,
+   sequential fallback, and error propagation. *)
+
+module Pool = Prom_parallel.Pool
+
+let with_pool n f =
+  let pool = Pool.create n in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let pool_tests =
+  [
+    Alcotest.test_case "create rejects non-positive sizes" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Pool.create: need at least one domain") (fun () ->
+            ignore (Pool.create 0)));
+    Alcotest.test_case "size reports total parallelism" `Quick (fun () ->
+        with_pool 3 (fun pool -> Alcotest.(check int) "size" 3 (Pool.size pool)));
+    Alcotest.test_case "default_size is positive" `Quick (fun () ->
+        Alcotest.(check bool) "positive" true (Pool.default_size () >= 1));
+    Alcotest.test_case "env var name" `Quick (fun () ->
+        Alcotest.(check string) "name" "PROM_NUM_DOMAINS" Pool.env_var);
+    Alcotest.test_case "map matches Array.map" `Quick (fun () ->
+        with_pool 2 (fun pool ->
+            let xs = Array.init 101 (fun i -> i - 50) in
+            Alcotest.(check (array int))
+              "same" (Array.map (fun x -> x * x) xs)
+              (Pool.map ~pool ~min_chunk:1 (fun x -> x * x) xs)));
+    Alcotest.test_case "init matches Array.init" `Quick (fun () ->
+        with_pool 4 (fun pool ->
+            Alcotest.(check (array int))
+              "same"
+              (Array.init 257 (fun i -> 3 * i))
+              (Pool.init ~pool ~min_chunk:1 257 (fun i -> 3 * i))));
+    Alcotest.test_case "mapi preserves indices" `Quick (fun () ->
+        with_pool 2 (fun pool ->
+            let xs = Array.init 77 (fun i -> i) in
+            Alcotest.(check (array int))
+              "same"
+              (Array.mapi (fun i x -> i + x) xs)
+              (Pool.mapi ~pool ~min_chunk:1 (fun i x -> i + x) xs)));
+    Alcotest.test_case "iteri visits every slot exactly once" `Quick (fun () ->
+        with_pool 3 (fun pool ->
+            let n = 123 in
+            let out = Array.make n (-1) in
+            Pool.iteri ~pool ~min_chunk:1 (fun i x -> out.(i) <- 2 * x)
+              (Array.init n (fun i -> i));
+            Alcotest.(check (array int)) "filled" (Array.init n (fun i -> 2 * i)) out));
+    Alcotest.test_case "iter counts every element" `Quick (fun () ->
+        with_pool 2 (fun pool ->
+            let hits = Atomic.make 0 in
+            Pool.iter ~pool ~min_chunk:1 (fun _ -> Atomic.incr hits)
+              (Array.init 64 (fun i -> i));
+            Alcotest.(check int) "count" 64 (Atomic.get hits)));
+    Alcotest.test_case "empty and tiny inputs" `Quick (fun () ->
+        with_pool 2 (fun pool ->
+            Alcotest.(check (array int)) "empty" [||]
+              (Pool.map ~pool ~min_chunk:1 (fun x -> x) [||]);
+            Alcotest.(check (array int)) "singleton" [| 9 |]
+              (Pool.map ~pool ~min_chunk:1 (fun x -> x + 4) [| 5 |])));
+    Alcotest.test_case "sequential fallback below min_chunk is identical" `Quick
+      (fun () ->
+        with_pool 2 (fun pool ->
+            let xs = Array.init 16 (fun i -> float_of_int i) in
+            Alcotest.(check (array (float 0.0)))
+              "same"
+              (Pool.map ~pool ~min_chunk:1 sqrt xs)
+              (Pool.map ~pool ~min_chunk:32 sqrt xs)));
+    Alcotest.test_case "task exceptions propagate" `Quick (fun () ->
+        with_pool 2 (fun pool ->
+            Alcotest.check_raises "boom" (Failure "boom") (fun () ->
+                ignore
+                  (Pool.map ~pool ~min_chunk:1
+                     (fun x -> if x = 37 then failwith "boom" else x)
+                     (Array.init 64 (fun i -> i))))));
+    Alcotest.test_case "pool survives a failed batch" `Quick (fun () ->
+        with_pool 2 (fun pool ->
+            (try
+               ignore
+                 (Pool.map ~pool ~min_chunk:1
+                    (fun x -> if x = 0 then failwith "first" else x)
+                    (Array.init 40 (fun i -> i)))
+             with Failure _ -> ());
+            Alcotest.(check (array int))
+              "usable after failure"
+              (Array.init 40 (fun i -> i + 1))
+              (Pool.map ~pool ~min_chunk:1 (fun x -> x + 1) (Array.init 40 (fun i -> i)))));
+  ]
+
+(* Property: pooled map over random arrays is Array.map, regardless of
+   pool size and chunking. *)
+let prop_map_equiv =
+  QCheck2.Test.make ~name:"Pool.map equals Array.map" ~count:50
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 0 200) (float_range (-1e6) 1e6))
+        (int_range 1 4))
+    (fun (xs, np) ->
+      with_pool np (fun pool ->
+          let f x = (x *. 3.0) -. 1.0 in
+          Pool.map ~pool ~min_chunk:1 f xs = Array.map f xs))
+
+let properties = List.map QCheck_alcotest.to_alcotest [ prop_map_equiv ]
+
+let suite = [ ("parallel.pool", pool_tests); ("parallel.properties", properties) ]
