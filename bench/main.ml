@@ -489,6 +489,14 @@ let inference_section ~n_cal ~n_queries ~quota ~json_path () =
   let config = Config.default in
   let committee = Nonconformity.default_committee in
   let det = Detector.Classification.create ~config ~committee ~model ~feature_of:Fun.id calibration in
+  (* The same detector with a live metrics registry, to price the
+     observability layer on the hot path. *)
+  let registry = Prom_obs.create_registry () in
+  let telemetry = Telemetry.create registry in
+  let det_inst =
+    Detector.Classification.create ~config ~committee ~telemetry ~model
+      ~feature_of:Fun.id calibration
+  in
   let cal = Calibration.prepare_classification ~config ~model ~feature_of:Fun.id calibration in
   let n_domains = Stdlib.max 2 (Prom_parallel.Pool.default_size ()) in
   let pool = Prom_parallel.Pool.create n_domains in
@@ -499,6 +507,9 @@ let inference_section ~n_cal ~n_queries ~quota ~json_path () =
   let identical = seq = batch in
   Printf.printf "  batch = sequential (bit-identical): %b\n" identical;
   if not identical then failwith "inference bench: batch diverged from sequential";
+  let inst = Array.map (Detector.Classification.evaluate det_inst) queries in
+  Printf.printf "  instrumented = uninstrumented (bit-identical): %b\n" (inst = seq);
+  if inst <> seq then failwith "inference bench: instrumentation changed verdicts";
   let seed_agree =
     let agree = ref 0 in
     Array.iteri
@@ -520,6 +531,11 @@ let inference_section ~n_cal ~n_queries ~quota ~json_path () =
     ns_per_call ~quota
       (Test.make ~name:"new-sequential" (Staged.stage (fun () ->
            ignore (Detector.Classification.evaluate det q0))))
+  in
+  let inst_ns =
+    ns_per_call ~quota
+      (Test.make ~name:"instrumented-sequential" (Staged.stage (fun () ->
+           ignore (Detector.Classification.evaluate det_inst q0))))
   in
   let batch_ns =
     let per_batch =
@@ -554,6 +570,9 @@ let inference_section ~n_cal ~n_queries ~quota ~json_path () =
     (qps seed_ns);
   Printf.printf "  new sequential    %10.0f ns/query  (%8.0f queries/sec)\n" new_ns
     (qps new_ns);
+  let overhead_pct = (inst_ns -. new_ns) /. new_ns *. 100.0 in
+  Printf.printf "  live registry     %10.0f ns/query  (%8.0f queries/sec, %+.1f%%)\n"
+    inst_ns (qps inst_ns) overhead_pct;
   Printf.printf "  new batch (%d dom) %9.0f ns/query  (%8.0f queries/sec)\n" n_domains
     batch_ns (qps batch_ns);
   Printf.printf "  select_subset     sort %8.0f ns -> top-k %8.0f ns (%.1fx)\n"
@@ -569,26 +588,29 @@ let inference_section ~n_cal ~n_queries ~quota ~json_path () =
   "ns_per_query": {
     "seed_sequential": %.1f,
     "new_sequential": %.1f,
+    "instrumented_sequential": %.1f,
     "new_batch": %.1f
   },
   "queries_per_sec": {
     "seed_sequential": %.1f,
     "new_sequential": %.1f,
+    "instrumented_sequential": %.1f,
     "new_batch": %.1f
   },
   "speedup_vs_seed": {
     "new_sequential": %.3f,
     "new_batch": %.3f
   },
+  "telemetry_overhead_pct": %.2f,
   "kernels_ns": {
     "select_subset_sort": %.1f,
     "select_subset_topk": %.1f
   }
 }
 |}
-    n_cal (Array.length queries) n_domains seed_ns new_ns batch_ns (qps seed_ns)
-    (qps new_ns) (qps batch_ns) (seed_ns /. new_ns) (seed_ns /. batch_ns)
-    select_seed_ns select_new_ns;
+    n_cal (Array.length queries) n_domains seed_ns new_ns inst_ns batch_ns
+    (qps seed_ns) (qps new_ns) (qps inst_ns) (qps batch_ns) (seed_ns /. new_ns)
+    (seed_ns /. batch_ns) overhead_pct select_seed_ns select_new_ns;
   close_out oc;
   Printf.printf "  wrote %s\n" json_path;
   Prom_parallel.Pool.shutdown pool

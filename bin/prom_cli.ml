@@ -82,6 +82,109 @@ let c5_cmd =
     (Cmd.info "c5" ~doc:"Run the C5 DNN code-generation regression case study")
     Term.(const run $ quick_arg $ seed_arg)
 
+(* One-shot observability dump: build the quickstart blob world with a
+   live registry, push a mixed (in-distribution + drifted) batch through
+   the service layer on a small domain pool, run one incremental round,
+   and print the resulting metrics. *)
+let metrics_cmd =
+  let json_arg =
+    let doc = "Emit the snapshot as JSON instead of Prometheus text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Validate the Prometheus exposition output and exit non-zero when malformed \
+       (implies text output)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run quick seed json check =
+    let open Prom_linalg in
+    let open Prom_ml in
+    let open Prom in
+    let module Pool = Prom_parallel.Pool in
+    let module Obs = Prom_obs in
+    let n_blob = if quick then 60 else 200 in
+    let rng = Rng.create seed in
+    let make_blob ~cx ~cy ~label n =
+      Array.init n (fun _ ->
+          ( [|
+              Rng.gaussian rng ~mu:cx ~sigma:0.7; Rng.gaussian rng ~mu:cy ~sigma:0.7;
+            |],
+            label ))
+    in
+    let samples =
+      Array.concat
+        [
+          make_blob ~cx:0.0 ~cy:0.0 ~label:0 n_blob;
+          make_blob ~cx:3.0 ~cy:3.0 ~label:1 n_blob;
+        ]
+    in
+    let data = Dataset.create (Array.map fst samples) (Array.map snd samples) in
+    let registry = Obs.create_registry () in
+    let telemetry = Telemetry.create registry in
+    let deployed =
+      Framework.deploy ~telemetry ~trainer:(Logistic.trainer ()) ~seed data
+    in
+    let pool = Pool.create 2 in
+    Pool.attach_metrics pool registry;
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        (* Service layer over the deployment's calibration set. *)
+        let model = Detector.Classification.model deployed.Framework.detector in
+        let cal = deployed.Framework.calibration_data in
+        let triples =
+          List.init (Dataset.length cal) (fun i ->
+              let x, y = Dataset.get cal i in
+              (x, y, model.Model.predict_proba x))
+        in
+        let service = Service.create ~telemetry triples in
+        let queries =
+          Array.concat
+            [
+              Array.map
+                (fun (x, _) -> (x, model.Model.predict_proba x))
+                (make_blob ~cx:0.0 ~cy:0.0 ~label:0 (n_blob / 4));
+              Array.map
+                (fun (x, _) -> (x, model.Model.predict_proba x))
+                (make_blob ~cx:8.0 ~cy:(-5.0) ~label:0 (n_blob / 4));
+            ]
+        in
+        let verdicts = Service.evaluate_batch ~pool service queries in
+        let monitor =
+          Monitor.create ~window:(Stdlib.max 5 (n_blob / 10)) ~threshold:0.5
+            ~patience:2 ~telemetry ()
+        in
+        Array.iter
+          (fun v -> ignore (Monitor.observe monitor ~drifted:v.Detector.drifted))
+          verdicts;
+        (* One incremental round so the relabel/retrain counters tick. *)
+        let drift_stream =
+          Array.map fst (make_blob ~cx:6.0 ~cy:(-3.0) ~label:0 (n_blob / 8))
+        in
+        ignore (Framework.improve ~budget_fraction:0.3 deployed ~oracle:(fun _ -> 0)
+            drift_stream);
+        let snapshot = Obs.Snapshot.take registry in
+        if json && not check then print_string (Obs.Snapshot.to_json snapshot)
+        else begin
+          let text = Obs.Snapshot.to_prometheus snapshot in
+          print_string text;
+          if check then
+            match Obs.validate_exposition text with
+            | Ok () -> prerr_endline "exposition: OK"
+            | Error e ->
+                Printf.eprintf "exposition: MALFORMED (%s)\n" e;
+                exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Dump deployment-time metrics (Prometheus text or JSON) from an \
+          instrumented quickstart world")
+    Term.(const run $ quick_arg $ seed_arg $ json_arg $ check_arg)
+
 let suite_cmd =
   let run quick seed =
     let t = Suite.run ~scale:(scale_of quick) ~seed () in
@@ -96,4 +199,4 @@ let () =
     Cmd.info "prom_cli" ~version:"1.0.0"
       ~doc:"Deployment-time drift detection for ML-based code optimization (PROM)"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; c5_cmd; suite_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; c5_cmd; suite_cmd; metrics_cmd ]))

@@ -248,8 +248,17 @@ let select_core scratch ?featmat ~config entries ~feature_of_entry test_features
   Select.select_in_place scratch ~n ~k:keep;
   keep
 
+(* The [?tau] override skips [Config.validate], so guard it here: a
+   non-positive (or NaN) tau makes [exp (-d²/tau)] collapse to 0/0 = NaN
+   for zero-distance neighbours, and one NaN weight poisons every
+   p-value accumulator downstream. *)
+let resolve_tau tau config =
+  let t = match tau with Some t -> t | None -> config.Config.temperature in
+  if not (t > 0.0) then invalid_arg "Calibration.select: tau must be positive";
+  t
+
 let select_subset ?tau ?featmat ~config entries ~feature_of_entry test_features =
-  let tau = match tau with Some t -> t | None -> config.Config.temperature in
+  let tau = resolve_tau tau config in
   if Array.length entries = 0 then [||]
   else begin
     let scratch = (Domain.DLS.get query_scratch).sel in
@@ -273,7 +282,7 @@ let select_subset ?tau ?featmat ~config entries ~feature_of_entry test_features 
    the minor heap. The buffers are valid until the next selection on the
    same domain, which is exactly the lifetime of one query evaluation. *)
 let select_packed ?tau ?featmat ~config entries ~feature_of_entry test_features =
-  let tau = match tau with Some t -> t | None -> config.Config.temperature in
+  let tau = resolve_tau tau config in
   if Array.length entries = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0 }
   else begin
     let qs = Domain.DLS.get query_scratch in

@@ -118,7 +118,9 @@ type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
     {!cls.tau}). When [featmat] (the packed feature matrix of the same
     entries) is given, distances are scanned from it without consulting
     [feature_of_entry]; selection keeps only the top-k via a bounded
-    heap instead of sorting the whole set. *)
+    heap instead of sorting the whole set. Raises [Invalid_argument]
+    when the effective tau is not strictly positive (a zero tau would
+    give NaN weights for zero-distance neighbours). *)
 val select_subset :
   ?tau:float ->
   ?featmat:Featmat.t ->

@@ -28,6 +28,11 @@ module Classification = struct
     model : Model.classifier;
     feature_of : Vec.t -> Vec.t;
     calibration : Calibration.cls;
+    tel : Telemetry.t option;
+    (* expert_flags.(i) is the flag counter for committee member i —
+       resolved at build time so the query path only increments. Empty
+       when [tel] is [None]. *)
+    expert_flags : Prom_obs.Counter.t array;
   }
 
   let entry_scores_of committee (calibration : Calibration.cls) =
@@ -41,7 +46,7 @@ module Classification = struct
       committee
 
   let create ?(config = Config.default) ?(committee = Nonconformity.default_committee)
-      ~model ~feature_of calibration =
+      ?telemetry ~model ~feature_of calibration =
     Config.validate config;
     if committee = [] then invalid_arg "Detector.Classification.create: empty committee";
     let calibration =
@@ -51,8 +56,17 @@ module Classification = struct
     let entry_labels =
       Array.map (fun e -> e.Calibration.label) calibration.Calibration.entries
     in
+    let expert_flags =
+      match telemetry with
+      | None -> [||]
+      | Some tel ->
+          Array.of_list
+            (List.map
+               (fun fn -> Telemetry.expert_flag_counter tel fn.Nonconformity.cls_name)
+               committee)
+    in
     { cfg = config; committee; committee_scores; entry_labels; model; feature_of;
-      calibration }
+      calibration; tel = telemetry; expert_flags }
 
   let config t = t.cfg
   let model t = t.model
@@ -60,7 +74,7 @@ module Classification = struct
     Config.validate config;
     { t with cfg = config }
 
-  let evaluate t x =
+  let evaluate_core t x =
     let proba = t.model.Model.predict_proba x in
     let predicted = Vec.argmax proba in
     let feats = Calibration.standardize_cls t.calibration (t.feature_of x) in
@@ -96,6 +110,26 @@ module Classification = struct
       mean_credibility = mean_of (fun v -> v.Scores.credibility) experts;
       mean_confidence = mean_of (fun v -> v.Scores.confidence) experts;
     }
+
+  (* Instrumentation never changes the verdict: the uninstrumented arm
+     is [evaluate_core] itself, and the instrumented arm only reads the
+     finished verdict — batch and sequential stay bit-identical. *)
+  let evaluate t x =
+    match t.tel with
+    | None -> evaluate_core t x
+    | Some tel ->
+        let t0 = Prom_obs.now () in
+        let v = evaluate_core t x in
+        Prom_obs.Histogram.observe tel.Telemetry.eval_latency (Prom_obs.now () -. t0);
+        Prom_obs.Counter.inc tel.Telemetry.queries_total;
+        Prom_obs.Counter.inc
+          (if v.drifted then tel.Telemetry.rejected_total
+           else tel.Telemetry.accepted_total);
+        List.iteri
+          (fun i e ->
+            if e.Scores.flags_drift then Prom_obs.Counter.inc t.expert_flags.(i))
+          v.experts;
+        v
 
   let predict t x =
     let v = evaluate t x in
@@ -155,6 +189,9 @@ module Regression = struct
     model : Model.regressor;
     feature_of : Vec.t -> Vec.t;
     calibration : Calibration.reg;
+    tel : Telemetry.t option;
+    (* See {!Classification.t.expert_flags}. *)
+    expert_flags : Prom_obs.Counter.t array;
   }
 
   let spread_floor e = Stdlib.max e.Calibration.rspread 1e-6
@@ -170,8 +207,8 @@ module Regression = struct
       committee
 
   let create ?(config = Config.default)
-      ?(committee = Nonconformity.default_reg_committee) ?n_clusters ~model ~feature_of
-      ~seed calibration =
+      ?(committee = Nonconformity.default_reg_committee) ?n_clusters ?telemetry ~model
+      ~feature_of ~seed calibration =
     Config.validate config;
     if committee = [] then invalid_arg "Detector.Regression.create: empty committee";
     let calibration =
@@ -182,8 +219,17 @@ module Regression = struct
     let entry_clusters =
       Array.map (fun e -> e.Calibration.cluster) calibration.Calibration.rentries
     in
+    let expert_flags =
+      match telemetry with
+      | None -> [||]
+      | Some tel ->
+          Array.of_list
+            (List.map
+               (fun fn -> Telemetry.expert_flag_counter tel fn.Nonconformity.reg_name)
+               committee)
+    in
     { cfg = config; committee; committee_scores; entry_clusters; model; feature_of;
-      calibration }
+      calibration; tel = telemetry; expert_flags }
 
   let config t = t.cfg
   let model t = t.model
@@ -193,7 +239,7 @@ module Regression = struct
     Config.validate config;
     { t with cfg = config }
 
-  let evaluate t x =
+  let evaluate_core t x =
     let predicted_value = t.model.Model.predict x in
     let feats = Calibration.standardize_reg t.calibration (t.feature_of x) in
     let knn_estimate, knn_spread =
@@ -233,6 +279,24 @@ module Regression = struct
       reg_mean_credibility = mean_of (fun v -> v.Scores.credibility) reg_experts;
       reg_mean_confidence = mean_of (fun v -> v.Scores.confidence) reg_experts;
     }
+
+  (* See {!Classification.evaluate}. *)
+  let evaluate t x =
+    match t.tel with
+    | None -> evaluate_core t x
+    | Some tel ->
+        let t0 = Prom_obs.now () in
+        let v = evaluate_core t x in
+        Prom_obs.Histogram.observe tel.Telemetry.eval_latency (Prom_obs.now () -. t0);
+        Prom_obs.Counter.inc tel.Telemetry.queries_total;
+        Prom_obs.Counter.inc
+          (if v.reg_drifted then tel.Telemetry.rejected_total
+           else tel.Telemetry.accepted_total);
+        List.iteri
+          (fun i e ->
+            if e.Scores.flags_drift then Prom_obs.Counter.inc t.expert_flags.(i))
+          v.reg_experts;
+        v
 
   let predict t x =
     let v = evaluate t x in

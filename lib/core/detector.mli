@@ -19,14 +19,19 @@ type cls_verdict = {
 module Classification : sig
   type t
 
-  (** [create ?config ?committee ~model ~feature_of calibration] builds
-      a detector around an already-trained classifier. [feature_of]
-      defines the feature space used for calibration-subset selection
-      (pass the model's embedding for neural models, [Fun.id] for
-      tabular features). *)
+  (** [create ?config ?committee ?telemetry ~model ~feature_of
+      calibration] builds a detector around an already-trained
+      classifier. [feature_of] defines the feature space used for
+      calibration-subset selection (pass the model's embedding for
+      neural models, [Fun.id] for tabular features). When [telemetry] is
+      given, every evaluation updates the bundle's query/accept/reject
+      counters, per-expert flag counters and latency histogram;
+      instrumentation never changes verdicts, and without it the query
+      path pays a single branch. *)
   val create :
     ?config:Config.t ->
     ?committee:Nonconformity.cls list ->
+    ?telemetry:Telemetry.t ->
     model:Model.classifier ->
     feature_of:(Vec.t -> Vec.t) ->
     int Dataset.t ->
@@ -85,6 +90,7 @@ module Regression : sig
     ?config:Config.t ->
     ?committee:Nonconformity.reg list ->
     ?n_clusters:int ->
+    ?telemetry:Telemetry.t ->
     model:Model.regressor ->
     feature_of:(Vec.t -> Vec.t) ->
     seed:int ->

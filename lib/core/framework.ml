@@ -22,17 +22,22 @@ type deployed = {
   calibration_data : int Dataset.t;
   feature_of : Vec.t -> Vec.t;
   committee : Nonconformity.cls list;
+  telemetry : Telemetry.t option;
 }
 
 let deploy ?config ?(committee = Nonconformity.default_committee) ?(feature_of = Fun.id)
-    ~trainer ~seed data =
+    ?telemetry ~trainer ~seed data =
   let training_data, calibration_data = data_partitioning ~seed data in
   let model = trainer.Model.train training_data in
   let detector =
-    Detector.Classification.create ?config ~committee ~model ~feature_of
+    Detector.Classification.create ?config ~committee ?telemetry ~model ~feature_of
       calibration_data
   in
-  { detector; trainer; training_data; calibration_data; feature_of; committee }
+  { detector; trainer; training_data; calibration_data; feature_of; committee; telemetry }
+
+let telemetry d = d.telemetry
+
+let metrics d = Option.map Telemetry.exposition d.telemetry
 
 let predict d x = Detector.Classification.predict d.detector x
 
@@ -44,8 +49,8 @@ let assess ?r ?seed d =
 
 let improve ?budget_fraction d ~oracle inputs =
   let outcome =
-    Incremental.classification ?budget_fraction ~detector:d.detector ~trainer:d.trainer
-      ~train_data:d.training_data ~oracle inputs
+    Incremental.classification ?budget_fraction ?telemetry:d.telemetry
+      ~detector:d.detector ~trainer:d.trainer ~train_data:d.training_data ~oracle inputs
   in
   (* The relabeled samples join the calibration set too, so the detector
      adapts to the new region along with the model (paper Sec. 8,
@@ -61,6 +66,7 @@ let improve ?budget_fraction d ~oracle inputs =
   let config = Detector.Classification.config d.detector in
   let detector =
     Detector.Classification.create ~config ~committee:d.committee
-      ~model:outcome.Incremental.updated_model ~feature_of:d.feature_of calibration_data
+      ?telemetry:d.telemetry ~model:outcome.Incremental.updated_model
+      ~feature_of:d.feature_of calibration_data
   in
   ({ d with detector; calibration_data }, outcome)

@@ -26,19 +26,30 @@ type deployed = {
   calibration_data : int Dataset.t;
   feature_of : Vec.t -> Vec.t;
   committee : Nonconformity.cls list;
+  telemetry : Telemetry.t option;
 }
 
-(** [deploy ?config ?committee ?feature_of ~trainer ~seed data] runs
-    the whole design phase: partition, train, calibrate. [feature_of]
-    defaults to the identity (tabular features). *)
+(** [deploy ?config ?committee ?feature_of ?telemetry ~trainer ~seed
+    data] runs the whole design phase: partition, train, calibrate.
+    [feature_of] defaults to the identity (tabular features).
+    [telemetry] instruments the detector (and every detector rebuilt by
+    {!improve}); it is kept on the deployment so {!metrics} can dump
+    the registry. *)
 val deploy :
   ?config:Config.t ->
   ?committee:Nonconformity.cls list ->
   ?feature_of:(Vec.t -> Vec.t) ->
+  ?telemetry:Telemetry.t ->
   trainer:Model.classifier_trainer ->
   seed:int ->
   int Dataset.t ->
   deployed
+
+val telemetry : deployed -> Telemetry.t option
+
+(** [metrics d] is the Prometheus text exposition of the deployment's
+    registry, or [None] when the deployment is uninstrumented. *)
+val metrics : deployed -> string option
 
 (** [predict d x] is the deployment-phase call of Fig. 4: the
     underlying model's prediction plus the drift verdict. *)

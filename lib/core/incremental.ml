@@ -29,8 +29,18 @@ let pick_budget ~budget_fraction flagged =
   in
   (budget, List.filteri (fun i _ -> i < budget) sorted |> List.map fst)
 
-let classification ?(budget_fraction = 0.05) ~detector ~trainer ~train_data ~oracle
-    inputs =
+let record_round ~telemetry ~flagged ~chosen =
+  match telemetry with
+  | None -> ()
+  | Some tel ->
+      Prom_obs.Counter.add tel.Telemetry.flagged_total
+        (float_of_int (List.length flagged));
+      Prom_obs.Counter.add tel.Telemetry.relabeled_total
+        (float_of_int (List.length chosen));
+      if chosen <> [] then Prom_obs.Counter.inc tel.Telemetry.retrain_total
+
+let classification ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~train_data
+    ~oracle inputs =
   let flagged = ref [] in
   Array.iteri
     (fun i x ->
@@ -48,6 +58,7 @@ let classification ?(budget_fraction = 0.05) ~detector ~trainer ~train_data ~ora
     inputs;
   let flagged = List.rev !flagged in
   let budget, chosen = pick_budget ~budget_fraction flagged in
+  record_round ~telemetry ~flagged ~chosen;
   let updated_model =
     match chosen with
     | [] -> Detector.Classification.model detector
@@ -69,7 +80,8 @@ let classification ?(budget_fraction = 0.05) ~detector ~trainer ~train_data ~ora
     budget;
   }
 
-let regression ?(budget_fraction = 0.05) ~detector ~trainer ~train_data ~oracle inputs =
+let regression ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~train_data
+    ~oracle inputs =
   let flagged = ref [] in
   Array.iteri
     (fun i x ->
@@ -85,6 +97,7 @@ let regression ?(budget_fraction = 0.05) ~detector ~trainer ~train_data ~oracle 
     inputs;
   let flagged = List.rev !flagged in
   let budget, chosen = pick_budget ~budget_fraction flagged in
+  record_round ~telemetry ~flagged ~chosen;
   let updated_model =
     match chosen with
     | [] -> Detector.Regression.model detector

@@ -19,9 +19,12 @@ type 'label outcome = {
     the lowest credibility (most drifted first, minimum 1 when anything
     is flagged), queries [oracle] for their true labels, and retrains.
     Returns the updated classifier; the detector itself is not mutated —
-    rebuild it with the new model to continue the feedback loop. *)
+    rebuild it with the new model to continue the feedback loop.
+    [telemetry] counts flagged inputs, oracle relabels and retraining
+    rounds on the bundle's incremental-learning counters. *)
 val classification :
   ?budget_fraction:float ->
+  ?telemetry:Telemetry.t ->
   detector:Detector.Classification.t ->
   trainer:Model.classifier_trainer ->
   train_data:int Dataset.t ->
@@ -33,6 +36,7 @@ val classification :
     flagged input and returns its true value. *)
 val regression :
   ?budget_fraction:float ->
+  ?telemetry:Telemetry.t ->
   detector:Detector.Regression.t ->
   trainer:Model.regressor_trainer ->
   train_data:float Dataset.t ->

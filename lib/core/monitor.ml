@@ -8,12 +8,19 @@ type t = {
   mutable filled : int;
   mutable head : int;
   mutable drifted_in_window : int;
+  (* Consecutive observations (window full) with the rate at or above
+     threshold. Escalation derives window counts from this streak, so it
+     cannot depend on how the drift burst aligns with [total]. *)
+  mutable above_streak : int;
   mutable consecutive_degrading : int;
   mutable total : int;
   mutable current : status;
+  tel : Telemetry.t option;
 }
 
-let create ?(window = 50) ?(threshold = 0.5) ?(patience = 3) () =
+let status_index = function Healthy -> 0.0 | Degrading -> 1.0 | Ageing -> 2.0
+
+let create ?(window = 50) ?(threshold = 0.5) ?(patience = 3) ?telemetry () =
   if window <= 0 then invalid_arg "Monitor.create: window must be positive";
   if threshold <= 0.0 || threshold > 1.0 then
     invalid_arg "Monitor.create: threshold outside (0,1]";
@@ -26,9 +33,11 @@ let create ?(window = 50) ?(threshold = 0.5) ?(patience = 3) () =
     filled = 0;
     head = 0;
     drifted_in_window = 0;
+    above_streak = 0;
     consecutive_degrading = 0;
     total = 0;
     current = Healthy;
+    tel = telemetry;
   }
 
 let drift_rate t =
@@ -45,18 +54,30 @@ let observe t ~drifted =
   if drifted then t.drifted_in_window <- t.drifted_in_window + 1;
   t.head <- (t.head + 1) mod t.window;
   t.total <- t.total + 1;
+  let before = t.current in
   (* Escalation: the window must be full before a rate is trusted, and
-     the rate must stay high for [patience] further full windows. *)
+     the rate must stay high for [patience] full windows' worth of
+     observations. The streak counts observations, not window-aligned
+     ticks, so a drift burst starting mid-window escalates after exactly
+     [patience * window] persistent samples regardless of phase. *)
   if t.filled = t.window && drift_rate t >= t.threshold then begin
-    if t.total mod t.window = 0 then
-      t.consecutive_degrading <- t.consecutive_degrading + 1;
+    t.above_streak <- t.above_streak + 1;
+    t.consecutive_degrading <- ((t.above_streak - 1) / t.window) + 1;
     t.current <-
       (if t.consecutive_degrading >= t.patience then Ageing else Degrading)
   end
   else if drift_rate t < t.threshold then begin
+    t.above_streak <- 0;
     t.consecutive_degrading <- 0;
     if t.current <> Ageing then t.current <- Healthy
   end;
+  (match t.tel with
+  | Some tel ->
+      Prom_obs.Gauge.set tel.Telemetry.drift_rate (drift_rate t);
+      Prom_obs.Gauge.set tel.Telemetry.monitor_status (status_index t.current);
+      if t.current <> before then
+        Prom_obs.Counter.inc tel.Telemetry.status_transitions
+  | None -> ());
   t.current
 
 let status t = t.current
@@ -67,9 +88,15 @@ let reset t =
   t.filled <- 0;
   t.head <- 0;
   t.drifted_in_window <- 0;
+  t.above_streak <- 0;
   t.consecutive_degrading <- 0;
   t.total <- 0;
-  t.current <- Healthy
+  t.current <- Healthy;
+  match t.tel with
+  | Some tel ->
+      Prom_obs.Gauge.set tel.Telemetry.drift_rate 0.0;
+      Prom_obs.Gauge.set tel.Telemetry.monitor_status (status_index Healthy)
+  | None -> ()
 
 let status_to_string = function
   | Healthy -> "healthy"

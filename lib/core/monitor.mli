@@ -13,13 +13,19 @@ type status =
 
 type t
 
-(** [create ?window ?threshold ?patience ()] builds a monitor.
-    [window] (default 50) is the number of recent verdicts considered;
-    [threshold] (default 0.5) is the drift rate that counts as
-    degrading; [patience] (default 3) is how many consecutive degrading
-    windows escalate to [Ageing]. Raises [Invalid_argument] on
-    non-positive parameters or a threshold outside (0, 1]. *)
-val create : ?window:int -> ?threshold:float -> ?patience:int -> unit -> t
+(** [create ?window ?threshold ?patience ?telemetry ()] builds a
+    monitor. [window] (default 50) is the number of recent verdicts
+    considered; [threshold] (default 0.5) is the drift rate that counts
+    as degrading; [patience] (default 3) is how many consecutive
+    degrading windows escalate to [Ageing] — counted as
+    [patience * window] consecutive observations with the (full-window)
+    rate at or above threshold, so escalation does not depend on how
+    the drift burst aligns with window boundaries. [telemetry] keeps
+    the bundle's drift-rate and status gauges current and counts status
+    transitions. Raises [Invalid_argument] on non-positive parameters
+    or a threshold outside (0, 1]. *)
+val create :
+  ?window:int -> ?threshold:float -> ?patience:int -> ?telemetry:Telemetry.t -> unit -> t
 
 (** [observe t ~drifted] records one verdict and returns the updated
     status. The monitor is mutable; feed it every deployment-time

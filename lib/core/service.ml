@@ -8,9 +8,10 @@ type t = {
      probabilities; calibration inputs are served from [known]. *)
   query : (Vec.t * Vec.t) option ref;
   known : (Vec.t, Vec.t) Hashtbl.t;
+  tel : Telemetry.t option;
 }
 
-let create ?config ?committee triples =
+let create ?config ?committee ?telemetry triples =
   if triples = [] then invalid_arg "Service.create: empty calibration";
   let dim = match triples with (f, _, _) :: _ -> Array.length f | [] -> 0 in
   let n_classes =
@@ -44,10 +45,10 @@ let create ?config ?committee triples =
       (Array.of_list (List.map (fun (_, y, _) -> y) triples))
   in
   let detector =
-    Detector.Classification.create ?config ?committee ~model ~feature_of:Fun.id
-      calibration
+    Detector.Classification.create ?config ?committee ?telemetry ~model
+      ~feature_of:Fun.id calibration
   in
-  { detector; query; known }
+  { detector; query; known; tel = telemetry }
 
 let evaluate t ~features ~proba =
   t.query := Some (features, proba);
@@ -57,14 +58,39 @@ let evaluate t ~features ~proba =
 
 (* Batched entry point. The single-query path smuggles the in-flight
    probability vector through a ref the wrapped model reads — which is
-   not domain-safe — so the batch path instead binds every query's
-   probabilities in [known] for the duration of the batch (the table is
-   then only read concurrently) and restores the original bindings
-   afterwards. Queries whose feature vectors collide value-wise resolve
-   to the last binding, exactly like repeated single-query calls. *)
+   not domain-safe — so the batch path instead binds each query's
+   probabilities in [known] for the duration of its evaluation (the
+   table is then only read concurrently) and restores the original
+   bindings afterwards.
+
+   Queries whose feature vectors are value-equal would clobber each
+   other's bindings, so the batch is split into rounds: the r-th
+   occurrence of a feature value goes to round r. Within a round every
+   binding is collision-free, so each query is evaluated against its own
+   probability vector — exactly what the corresponding single-query
+   call would see. Collision-free batches (the overwhelmingly common
+   case) run in one round. *)
 let evaluate_batch ?pool t queries =
+  let n = Array.length queries in
+  let occurrence = Hashtbl.create n in
+  let rounds =
+    Array.map
+      (fun (f, _) ->
+        let r = match Hashtbl.find_opt occurrence f with Some r -> r | None -> 0 in
+        Hashtbl.replace occurrence f (r + 1);
+        r)
+      queries
+  in
+  let n_rounds = Array.fold_left (fun acc r -> Stdlib.max acc (r + 1)) 0 rounds in
+  (match t.tel with
+  | Some tel ->
+      Prom_obs.Histogram.observe tel.Telemetry.batch_size (float_of_int n);
+      let collisions = n - Hashtbl.length occurrence in
+      if collisions > 0 then
+        Prom_obs.Counter.add tel.Telemetry.collision_rebinds (float_of_int collisions)
+  | None -> ());
   let saved = Array.map (fun (f, _) -> (f, Hashtbl.find_opt t.known f)) queries in
-  Array.iter (fun (f, p) -> Hashtbl.replace t.known f p) queries;
+  let results = Array.make n None in
   Fun.protect
     ~finally:(fun () ->
       Array.iter
@@ -74,8 +100,24 @@ let evaluate_batch ?pool t queries =
           | None -> Hashtbl.remove t.known f)
         saved)
     (fun () ->
-      Detector.Classification.evaluate_batch ?pool t.detector
-        (Array.map fst queries))
+      for round = 0 to n_rounds - 1 do
+        let idxs = ref [] in
+        for i = n - 1 downto 0 do
+          if rounds.(i) = round then idxs := i :: !idxs
+        done;
+        let idxs = Array.of_list !idxs in
+        Array.iter
+          (fun i ->
+            let f, p = queries.(i) in
+            Hashtbl.replace t.known f p)
+          idxs;
+        let verdicts =
+          Detector.Classification.evaluate_batch ?pool t.detector
+            (Array.map (fun i -> fst queries.(i)) idxs)
+        in
+        Array.iteri (fun j i -> results.(i) <- Some verdicts.(j)) idxs
+      done);
+  Array.map (function Some v -> v | None -> assert false) results
 
 let should_accept_batch ?pool t queries =
   Array.map (fun v -> not v.Detector.drifted) (evaluate_batch ?pool t queries)

@@ -14,21 +14,26 @@ open Prom_linalg
 
 type t
 
-(** [create ?config ?committee calibration] builds the service from
-    preprocessed calibration triples. Raises [Invalid_argument] on an
-    empty list or inconsistent dimensions. *)
+(** [create ?config ?committee ?telemetry calibration] builds the
+    service from preprocessed calibration triples. Raises
+    [Invalid_argument] on an empty list or inconsistent dimensions.
+    [telemetry] instruments the underlying detector and the batch
+    entry point (batch sizes, collision rebinds). *)
 val create :
   ?config:Config.t ->
   ?committee:Nonconformity.cls list ->
+  ?telemetry:Telemetry.t ->
   (Vec.t * int * Vec.t) list ->
   t
 
 (** [evaluate_batch ?pool t queries] evaluates a batch of
     (features, probability vector) pairs, fanned across the domain pool
     in deterministic chunks. Results are element-for-element identical
-    to evaluating each query alone. When several queries carry
-    value-equal feature vectors, the last probability vector wins —
-    the same resolution repeated single-query calls produce. *)
+    to evaluating each query alone — including when several queries
+    carry value-equal feature vectors with different probability
+    vectors: colliding queries are evaluated in separate rounds, each
+    against its own probability vector, matching the single-query path
+    (which keys the in-flight query by physical identity). *)
 val evaluate_batch :
   ?pool:Prom_parallel.Pool.t ->
   t ->

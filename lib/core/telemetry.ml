@@ -1,0 +1,69 @@
+module Obs = Prom_obs
+
+type t = {
+  registry : Obs.registry;
+  queries_total : Obs.Counter.t;
+  accepted_total : Obs.Counter.t;
+  rejected_total : Obs.Counter.t;
+  eval_latency : Obs.Histogram.t;
+  batch_size : Obs.Histogram.t;
+  collision_rebinds : Obs.Counter.t;
+  drift_rate : Obs.Gauge.t;
+  monitor_status : Obs.Gauge.t;
+  status_transitions : Obs.Counter.t;
+  flagged_total : Obs.Counter.t;
+  relabeled_total : Obs.Counter.t;
+  retrain_total : Obs.Counter.t;
+}
+
+let batch_size_buckets =
+  [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0 |]
+
+let create registry =
+  {
+    registry;
+    queries_total =
+      Obs.counter registry ~help:"Detector queries evaluated" "prom_queries_total";
+    accepted_total =
+      Obs.counter registry ~help:"Queries the committee accepted" "prom_accepted_total";
+    rejected_total =
+      Obs.counter registry ~help:"Queries the committee rejected as drifted"
+        "prom_rejected_total";
+    eval_latency =
+      Obs.histogram registry ~help:"Single-query evaluation latency"
+        "prom_eval_latency_seconds";
+    batch_size =
+      Obs.histogram registry ~help:"Service batch sizes" ~buckets:batch_size_buckets
+        "prom_service_batch_size";
+    collision_rebinds =
+      Obs.counter registry
+        ~help:"Batch queries rebound into extra rounds due to value-equal features"
+        "prom_service_collision_rebinds_total";
+    drift_rate =
+      Obs.gauge registry ~help:"Drift rate over the monitor window"
+        "prom_monitor_drift_rate";
+    monitor_status =
+      Obs.gauge registry ~help:"Monitor status (0 healthy, 1 degrading, 2 ageing)"
+        "prom_monitor_status";
+    status_transitions =
+      Obs.counter registry ~help:"Monitor status transitions"
+        "prom_monitor_transitions_total";
+    flagged_total =
+      Obs.counter registry ~help:"Inputs flagged during incremental learning"
+        "prom_incremental_flagged_total";
+    relabeled_total =
+      Obs.counter registry ~help:"Flagged inputs sent to the labeling oracle"
+        "prom_incremental_relabeled_total";
+    retrain_total =
+      Obs.counter registry ~help:"Incremental retraining rounds"
+        "prom_incremental_retrain_total";
+  }
+
+let registry t = t.registry
+
+let expert_flag_counter t name =
+  Obs.counter t.registry
+    ~labels:[ ("expert", name) ]
+    ~help:"Per-expert drift flags" "prom_expert_flags_total"
+
+let exposition t = Obs.Snapshot.to_prometheus (Obs.Snapshot.take t.registry)

@@ -1,0 +1,48 @@
+(** Pre-registered instrument bundle for the PROM serving path.
+
+    One [Telemetry.t] groups every metric the serving layers emit —
+    detector query/accept/reject counters and latency histogram, service
+    batch statistics, monitor drift gauges, incremental-learning event
+    counters — all registered on a single {!Prom_obs.registry}. The
+    bundle is created once at deployment time and threaded (as an
+    option) through {!Detector}, {!Service}, {!Monitor}, {!Incremental}
+    and {!Framework}; components given [None] skip instrumentation
+    entirely, paying one branch per call. *)
+
+type t = {
+  registry : Prom_obs.registry;
+  queries_total : Prom_obs.Counter.t;  (** [prom_queries_total] *)
+  accepted_total : Prom_obs.Counter.t;  (** [prom_accepted_total] *)
+  rejected_total : Prom_obs.Counter.t;  (** [prom_rejected_total] *)
+  eval_latency : Prom_obs.Histogram.t;  (** [prom_eval_latency_seconds] *)
+  batch_size : Prom_obs.Histogram.t;  (** [prom_service_batch_size] *)
+  collision_rebinds : Prom_obs.Counter.t;
+      (** [prom_service_collision_rebinds_total]: batch queries whose
+          feature vector value-collided with an earlier query in the
+          same batch and therefore needed an extra evaluation round. *)
+  drift_rate : Prom_obs.Gauge.t;  (** [prom_monitor_drift_rate] *)
+  monitor_status : Prom_obs.Gauge.t;
+      (** [prom_monitor_status]: 0 healthy, 1 degrading, 2 ageing. *)
+  status_transitions : Prom_obs.Counter.t;
+      (** [prom_monitor_transitions_total] *)
+  flagged_total : Prom_obs.Counter.t;  (** [prom_incremental_flagged_total] *)
+  relabeled_total : Prom_obs.Counter.t;
+      (** [prom_incremental_relabeled_total] *)
+  retrain_total : Prom_obs.Counter.t;  (** [prom_incremental_retrain_total] *)
+}
+
+(** [create registry] registers the full instrument bundle on
+    [registry]. Registration is get-or-create, so several bundles on the
+    same registry share series. *)
+val create : Prom_obs.registry -> t
+
+val registry : t -> Prom_obs.registry
+
+(** [expert_flag_counter t name] is the per-expert drift-flag counter
+    [prom_expert_flags_total{expert=name}]. Resolved once per committee
+    at detector-build time so the query path only increments. *)
+val expert_flag_counter : t -> string -> Prom_obs.Counter.t
+
+(** Prometheus text exposition of everything on the bundle's
+    registry. *)
+val exposition : t -> string

@@ -1,0 +1,609 @@
+(* Per-domain sharded metrics. Every update goes through Domain.DLS: the
+   calling domain owns a private unboxed float array per metric series,
+   so the hot path is a DLS lookup plus a plain array store — no lock,
+   no atomic RMW, no allocation after the domain's first touch. A shard
+   is published to the series' shard list exactly once, when the DLS
+   initializer runs on that domain, under the registry mutex; snapshots
+   read the shard list under the same mutex and sum cell-wise. Shard
+   cells are written without synchronization, which is sound here: a
+   64-bit float store is a single word write, and Prometheus-style
+   scrapes tolerate missing the last in-flight increments. *)
+
+let now () = Unix.gettimeofday ()
+
+type kind = KCounter | KGauge | KHistogram of float array
+
+type series = {
+  labels : (string * string) list;
+  mutable shards : float array list;
+  dls : float array Domain.DLS.key;
+  lock : Mutex.t; (* the owning registry's mutex, for merged reads *)
+}
+
+type family = {
+  fname : string;
+  fhelp : string;
+  fkind : kind;
+  mutable fseries : series list; (* newest first; reversed at snapshot *)
+}
+
+type registry = { rlock : Mutex.t; mutable families : family list (* newest first *) }
+
+let create_registry () = { rlock = Mutex.create (); families = [] }
+
+(* --- name and label validation (Prometheus data model) --- *)
+
+let valid_metric_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = ':')
+       name
+  && not (name.[0] >= '0' && name.[0] <= '9')
+
+let valid_label_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       name
+  && not (name.[0] >= '0' && name.[0] <= '9')
+
+let check_name name =
+  if not (valid_metric_name name) then
+    invalid_arg (Printf.sprintf "Obs: invalid metric name %S" name)
+
+let check_labels labels =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Obs: invalid label name %S" k))
+    labels
+
+let cell_size = function KCounter | KGauge -> 1 | KHistogram b -> Array.length b + 2
+
+(* A gauge is one shared cell (set semantics: last write wins); counters
+   and histograms get one shard per touching domain (sum semantics). *)
+let make_series ~lock ~kind labels =
+  let size = cell_size kind in
+  match kind with
+  | KGauge ->
+      let cell = Array.make size 0.0 in
+      { labels; shards = [ cell ]; dls = Domain.DLS.new_key (fun () -> cell); lock }
+  | KCounter | KHistogram _ ->
+      let forward = ref None in
+      let dls =
+        Domain.DLS.new_key (fun () ->
+            let cell = Array.make size 0.0 in
+            Mutex.lock lock;
+            (match !forward with
+            | Some s -> s.shards <- cell :: s.shards
+            | None -> ());
+            Mutex.unlock lock;
+            cell)
+      in
+      let s = { labels; shards = []; dls; lock } in
+      forward := Some s;
+      s
+
+let kind_name = function
+  | KCounter -> "counter"
+  | KGauge -> "gauge"
+  | KHistogram _ -> "histogram"
+
+let same_kind a b =
+  match (a, b) with
+  | KCounter, KCounter | KGauge, KGauge -> true
+  | KHistogram x, KHistogram y -> x = y
+  | _ -> false
+
+let normalize_labels labels = List.sort compare labels
+
+let get_or_create reg ~kind ~help ~labels name =
+  check_name name;
+  check_labels labels;
+  let labels = normalize_labels labels in
+  Mutex.lock reg.rlock;
+  let result =
+    try
+      let fam =
+        match List.find_opt (fun f -> f.fname = name) reg.families with
+        | Some f ->
+            if not (same_kind f.fkind kind) then
+              invalid_arg
+                (Printf.sprintf "Obs: %s already registered as a %s with %s" name
+                   (kind_name f.fkind)
+                   (match f.fkind with
+                   | KHistogram _ -> "different buckets or kind"
+                   | _ -> "a different kind"));
+            f
+        | None ->
+            let f = { fname = name; fhelp = help; fkind = kind; fseries = [] } in
+            reg.families <- f :: reg.families;
+            f
+      in
+      match List.find_opt (fun s -> s.labels = labels) fam.fseries with
+      | Some s -> Ok s
+      | None ->
+          let s = make_series ~lock:reg.rlock ~kind labels in
+          fam.fseries <- s :: fam.fseries;
+          Ok s
+    with exn -> Error exn
+  in
+  Mutex.unlock reg.rlock;
+  match result with Ok s -> s | Error exn -> raise exn
+
+(* [size] is the series' cell size: the shard list may be empty when no
+   domain has touched the metric yet, so the width cannot be read off
+   the shards themselves. *)
+let merged size s =
+  Mutex.lock s.lock;
+  let shards = s.shards in
+  Mutex.unlock s.lock;
+  let acc = Array.make size 0.0 in
+  List.iter (fun cell -> Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) cell) shards;
+  acc
+
+module Counter = struct
+  type t = series
+
+  let inc t =
+    let c = Domain.DLS.get t.dls in
+    c.(0) <- c.(0) +. 1.0
+
+  let add t v =
+    if not (v >= 0.0 && Float.is_finite v) then
+      invalid_arg "Obs.Counter.add: negative or non-finite increment";
+    let c = Domain.DLS.get t.dls in
+    c.(0) <- c.(0) +. v
+
+  let value t = (merged 1 t).(0)
+end
+
+module Gauge = struct
+  type t = series
+
+  let set t v =
+    let c = Domain.DLS.get t.dls in
+    c.(0) <- v
+
+  let value t = (merged 1 t).(0)
+end
+
+module Histogram = struct
+  type t = { series : series; buckets : float array }
+
+  let observe t v =
+    let c = Domain.DLS.get t.series.dls in
+    let n = Array.length t.buckets in
+    (* Linear scan: bucket counts are small (<= a few dozen) and the
+       bounds array is contiguous, so this beats binary search at the
+       sizes latency histograms use. *)
+    let rec slot i = if i >= n then n else if v <= t.buckets.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    c.(i) <- c.(i) +. 1.0;
+    c.(n + 1) <- c.(n + 1) +. v
+
+  let count t =
+    let m = merged (Array.length t.buckets + 2) t.series in
+    let n = Array.length t.buckets in
+    let acc = ref 0.0 in
+    for i = 0 to n do
+      acc := !acc +. m.(i)
+    done;
+    !acc
+
+  let sum t = (merged (Array.length t.buckets + 2) t.series).(Array.length t.buckets + 1)
+end
+
+let counter reg ?(labels = []) ?(help = "") name =
+  get_or_create reg ~kind:KCounter ~help ~labels name
+
+let gauge reg ?(labels = []) ?(help = "") name =
+  get_or_create reg ~kind:KGauge ~help ~labels name
+
+let default_latency_buckets =
+  [|
+    1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2; 5e-2;
+    0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0;
+  |]
+
+let histogram reg ?(labels = []) ?(help = "") ?(buckets = default_latency_buckets) name =
+  if Array.length buckets = 0 then invalid_arg "Obs.histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then invalid_arg "Obs.histogram: non-finite bucket bound";
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Obs.histogram: bucket bounds must be strictly increasing")
+    buckets;
+  let s = get_or_create reg ~kind:(KHistogram buckets) ~help ~labels name in
+  { Histogram.series = s; buckets }
+
+(* --- snapshots and rendering --- *)
+
+module Snapshot = struct
+  type svalue =
+    | Single of float
+    | Hist of { buckets : float array; counts : float array; inf : float; sum : float }
+
+  type smetric = {
+    sname : string;
+    shelp : string;
+    skind : string;
+    sseries : ((string * string) list * svalue) list;
+  }
+
+  type t = smetric list
+
+  let take reg =
+    Mutex.lock reg.rlock;
+    let families = List.rev reg.families in
+    let snap =
+      List.map
+        (fun f ->
+          let sseries =
+            List.rev_map
+              (fun s ->
+                (* merge inline: we already hold the registry lock *)
+                let m =
+                  match s.shards with
+                  | [] -> Array.make (cell_size f.fkind) 0.0
+                  | first :: _ ->
+                      let acc = Array.make (Array.length first) 0.0 in
+                      List.iter
+                        (fun cell -> Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) cell)
+                        s.shards;
+                      acc
+                in
+                let v =
+                  match f.fkind with
+                  | KCounter | KGauge -> Single m.(0)
+                  | KHistogram buckets ->
+                      let n = Array.length buckets in
+                      Hist
+                        {
+                          buckets;
+                          counts = Array.sub m 0 n;
+                          inf = m.(n);
+                          sum = m.(n + 1);
+                        }
+                in
+                (s.labels, v))
+              f.fseries
+          in
+          { sname = f.fname; shelp = f.fhelp; skind = kind_name f.fkind; sseries })
+        families
+    in
+    Mutex.unlock reg.rlock;
+    snap
+
+  let fmt_value v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.12g" v
+
+  let escape_label_value v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let render_labels = function
+    | [] -> ""
+    | labels ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+               labels)
+        ^ "}"
+
+  (* [le] carries an extra label slot appended to the series labels. *)
+  let render_labels_le labels le =
+    render_labels (labels @ [ ("le", le) ])
+
+  let to_prometheus t =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun m ->
+        if m.shelp <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.sname m.shelp);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" m.sname m.skind);
+        List.iter
+          (fun (labels, v) ->
+            match v with
+            | Single v ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %s\n" m.sname (render_labels labels) (fmt_value v))
+            | Hist { buckets; counts; inf; sum } ->
+                let acc = ref 0.0 in
+                Array.iteri
+                  (fun i b ->
+                    acc := !acc +. counts.(i);
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_bucket%s %s\n" m.sname
+                         (render_labels_le labels (fmt_value b))
+                         (fmt_value !acc)))
+                  buckets;
+                let total = !acc +. inf in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %s\n" m.sname
+                     (render_labels_le labels "+Inf") (fmt_value total));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_sum%s %s\n" m.sname (render_labels labels)
+                     (fmt_value sum));
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_count%s %s\n" m.sname (render_labels labels)
+                     (fmt_value total)))
+          m.sseries)
+      t;
+    Buffer.contents buf
+
+  let json_escape v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let json_float v =
+    if Float.is_finite v then fmt_value v else Printf.sprintf "%S" (Float.to_string v)
+
+  let to_json t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\"metrics\":[";
+    List.iteri
+      (fun i m ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "{\"name\":\"%s\",\"type\":\"%s\",\"help\":\"%s\",\"series\":["
+             (json_escape m.sname) m.skind (json_escape m.shelp));
+        List.iteri
+          (fun j (labels, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            let labels_json =
+              "{"
+              ^ String.concat ","
+                  (List.map
+                     (fun (k, v) ->
+                       Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+                     labels)
+              ^ "}"
+            in
+            match v with
+            | Single v ->
+                Buffer.add_string buf
+                  (Printf.sprintf "{\"labels\":%s,\"value\":%s}" labels_json (json_float v))
+            | Hist { buckets; counts; inf; sum } ->
+                let acc = ref 0.0 in
+                let bucket_json =
+                  String.concat ","
+                    (Array.to_list
+                       (Array.mapi
+                          (fun i b ->
+                            acc := !acc +. counts.(i);
+                            Printf.sprintf "{\"le\":%s,\"count\":%s}" (json_float b)
+                              (fmt_value !acc))
+                          buckets))
+                in
+                let total = !acc +. inf in
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "{\"labels\":%s,\"buckets\":[%s,{\"le\":\"+Inf\",\"count\":%s}],\"sum\":%s,\"count\":%s}"
+                     labels_json bucket_json (fmt_value total) (json_float sum)
+                     (fmt_value total)))
+          m.sseries;
+        Buffer.add_string buf "]}")
+      t;
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+end
+
+(* --- exposition validation (used by the bench-smoke CI check) --- *)
+
+let parse_sample_value s =
+  match s with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some nan
+  | s -> float_of_string_opt s
+
+(* Parse [name{k="v",...}] into (name, labels). Returns [None] on
+   malformed label syntax. *)
+let parse_series_part part =
+  match String.index_opt part '{' with
+  | None -> if valid_metric_name part then Some (part, []) else None
+  | Some lbrace ->
+      let name = String.sub part 0 lbrace in
+      if (not (valid_metric_name name)) || part.[String.length part - 1] <> '}' then None
+      else begin
+        let body = String.sub part (lbrace + 1) (String.length part - lbrace - 2) in
+        let n = String.length body in
+        let labels = ref [] in
+        let pos = ref 0 in
+        let ok = ref true in
+        while !ok && !pos < n do
+          (match String.index_from_opt body !pos '=' with
+          | None -> ok := false
+          | Some eq ->
+              let k = String.sub body !pos (eq - !pos) in
+              if (not (valid_label_name k)) || eq + 1 >= n || body.[eq + 1] <> '"' then
+                ok := false
+              else begin
+                (* scan the quoted value, honouring backslash escapes *)
+                let i = ref (eq + 2) in
+                let buf = Buffer.create 16 in
+                let closed = ref false in
+                while (not !closed) && !i < n do
+                  (match body.[!i] with
+                  | '\\' when !i + 1 < n ->
+                      Buffer.add_char buf body.[!i + 1];
+                      i := !i + 1
+                  | '"' -> closed := true
+                  | c -> Buffer.add_char buf c);
+                  incr i
+                done;
+                if not !closed then ok := false
+                else begin
+                  labels := (k, Buffer.contents buf) :: !labels;
+                  if !i < n && body.[!i] = ',' then pos := !i + 1
+                  else if !i = n then pos := n
+                  else ok := false
+                end
+              end);
+          ()
+        done;
+        if !ok then Some (name, List.rev !labels) else None
+      end
+
+let validate_exposition text =
+  let declared : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  (* histogram bookkeeping: (family, non-le labels) -> (le, value) in
+     order of appearance, plus the observed _count values *)
+  let hist_buckets : (string * (string * string) list, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let hist_counts : (string * (string * string) list, float) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let strip_suffix name suffix =
+    if String.length name > String.length suffix
+       && String.sub name (String.length name - String.length suffix) (String.length suffix)
+          = suffix
+    then Some (String.sub name 0 (String.length name - String.length suffix))
+    else None
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if !error = None && line <> "" then
+        if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+          | [ name; k ] ->
+              if not (valid_metric_name name) then
+                fail lineno (Printf.sprintf "invalid metric name %S in TYPE" name)
+              else if not (List.mem k [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+              then fail lineno (Printf.sprintf "unknown metric type %S" k)
+              else if Hashtbl.mem declared name then
+                fail lineno (Printf.sprintf "duplicate TYPE for %s" name)
+              else Hashtbl.add declared name k
+          | _ -> fail lineno "malformed TYPE line"
+        end
+        else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+          match String.index_from_opt line 7 ' ' with
+          | Some sp ->
+              let name = String.sub line 7 (sp - 7) in
+              if not (valid_metric_name name) then
+                fail lineno (Printf.sprintf "invalid metric name %S in HELP" name)
+          | None ->
+              let name = String.sub line 7 (String.length line - 7) in
+              if not (valid_metric_name name) then
+                fail lineno (Printf.sprintf "invalid metric name %S in HELP" name)
+        end
+        else if line.[0] = '#' then () (* free-form comment *)
+        else begin
+          match String.rindex_opt line ' ' with
+          | None -> fail lineno "sample line without a value"
+          | Some sp -> (
+              let series_part = String.sub line 0 sp in
+              let value_part = String.sub line (sp + 1) (String.length line - sp - 1) in
+              match (parse_series_part series_part, parse_sample_value value_part) with
+              | None, _ -> fail lineno (Printf.sprintf "malformed sample %S" series_part)
+              | _, None -> fail lineno (Printf.sprintf "unparseable value %S" value_part)
+              | Some (name, labels), Some v -> (
+                  (* resolve the family: exact, or histogram suffix *)
+                  let family =
+                    if Hashtbl.mem declared name then Some (name, name)
+                    else
+                      List.find_map
+                        (fun suffix ->
+                          match strip_suffix name suffix with
+                          | Some base
+                            when Hashtbl.find_opt declared base = Some "histogram" ->
+                              Some (base, name)
+                          | _ -> None)
+                        [ "_bucket"; "_sum"; "_count" ]
+                  in
+                  match family with
+                  | None ->
+                      fail lineno
+                        (Printf.sprintf "sample %s has no preceding TYPE declaration" name)
+                  | Some (base, full) ->
+                      if Hashtbl.find_opt declared base = Some "histogram" then begin
+                        if full = base ^ "_bucket" then begin
+                          match List.assoc_opt "le" labels with
+                          | None -> fail lineno "_bucket sample without le label"
+                          | Some le -> (
+                              match parse_sample_value le with
+                              | None -> fail lineno (Printf.sprintf "bad le value %S" le)
+                              | Some le_v ->
+                                  let key = (base, List.remove_assoc "le" labels) in
+                                  let cur =
+                                    match Hashtbl.find_opt hist_buckets key with
+                                    | Some l -> l
+                                    | None ->
+                                        let l = ref [] in
+                                        Hashtbl.add hist_buckets key l;
+                                        l
+                                  in
+                                  cur := (le_v, v) :: !cur)
+                        end
+                        else if full = base ^ "_count" then
+                          Hashtbl.replace hist_counts (base, labels) v
+                      end))
+        end)
+    lines;
+  (match !error with
+  | Some _ -> ()
+  | None ->
+      Hashtbl.iter
+        (fun (base, labels) buckets ->
+          let buckets = List.rev !buckets in
+          (match List.rev buckets with
+          | (le, last) :: _ ->
+              if le <> infinity then
+                fail 0 (Printf.sprintf "histogram %s lacks a +Inf bucket" base)
+              else begin
+                (match Hashtbl.find_opt hist_counts (base, labels) with
+                | Some c when c <> last ->
+                    fail 0
+                      (Printf.sprintf "histogram %s: _count %g <> +Inf bucket %g" base c
+                         last)
+                | _ -> ());
+                let rec check prev = function
+                  | [] -> ()
+                  | (_, v) :: rest ->
+                      if v < prev then
+                        fail 0
+                          (Printf.sprintf "histogram %s: bucket counts not cumulative" base)
+                      else check v rest
+                in
+                check 0.0 buckets
+              end
+          | [] -> ());
+          ())
+        hist_buckets);
+  match !error with None -> Ok () | Some e -> Error e

@@ -1,0 +1,127 @@
+(** Deployment-time observability: a lock-cheap, domain-safe metrics
+    subsystem for the PROM serving stack.
+
+    Counters and histograms are sharded per domain: an update fetches the
+    calling domain's shard through [Domain.DLS] and writes one cell of an
+    unboxed float array — no lock, no allocation, no cross-domain
+    contention on the hot path. The shards are merged only when a
+    {!Snapshot} is taken, so the cost of observability is paid at scrape
+    time, not per query.
+
+    All update operations are safe to call from any domain. Snapshot
+    reads are best-effort with respect to in-flight updates (a scrape
+    concurrent with updates may miss the very latest increments), which
+    is the standard contract for Prometheus-style instrumentation. *)
+
+type registry
+
+(** A fresh, empty registry. Registries are independent: metrics
+    registered on one never appear in another's snapshots, so a detector
+    can run fully uninstrumented next to an instrumented one. *)
+val create_registry : unit -> registry
+
+module Counter : sig
+  type t
+
+  (** Monotonic increment by 1. Allocation-free after the calling
+      domain's first touch of the metric. *)
+  val inc : t -> unit
+
+  (** [add t v] increments by [v]. Raises [Invalid_argument] on negative
+      or non-finite [v] — counters are monotonic. *)
+  val add : t -> float -> unit
+
+  (** Merged value across all domain shards. *)
+  val value : t -> float
+end
+
+module Gauge : sig
+  type t
+
+  (** Gauges are a single shared cell (last write wins, from any
+      domain) rather than per-domain shards: they represent
+      control-plane state such as a drift rate, where summing shards
+      would be meaningless. *)
+  val set : t -> float -> unit
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  (** [observe t v] adds [v] to the distribution: the first bucket whose
+      upper bound is [>= v] is incremented (Prometheus [le] semantics),
+      or the implicit [+Inf] bucket when [v] exceeds every bound. *)
+  val observe : t -> float -> unit
+
+  (** Merged observation count across shards. *)
+  val count : t -> float
+
+  (** Merged sum of observed values across shards. *)
+  val sum : t -> float
+end
+
+(** [counter reg ?labels ?help name] registers (or retrieves) the
+    counter [name] with the given label set. Registration is
+    get-or-create: asking twice for the same [(name, labels)] pair
+    returns the same metric, so independent subsystems can share a
+    series without coordination. Raises [Invalid_argument] when [name]
+    or a label name is not a valid Prometheus identifier, or when [name]
+    is already registered as a different metric kind. *)
+val counter :
+  registry -> ?labels:(string * string) list -> ?help:string -> string -> Counter.t
+
+val gauge :
+  registry -> ?labels:(string * string) list -> ?help:string -> string -> Gauge.t
+
+(** [histogram reg ?labels ?help ?buckets name] — [buckets] are the
+    upper bounds of the fixed buckets, strictly increasing and finite
+    (the [+Inf] overflow bucket is implicit; default
+    {!default_latency_buckets}). All series of one histogram family
+    share the family's bucket layout; passing different [buckets] for an
+    already-registered family raises [Invalid_argument]. *)
+val histogram :
+  registry ->
+  ?labels:(string * string) list ->
+  ?help:string ->
+  ?buckets:float array ->
+  string ->
+  Histogram.t
+
+(** Log-spaced latency bounds from 10 microseconds to 10 seconds,
+    suitable for sub-millisecond detector queries and multi-second
+    batch evaluations alike. *)
+val default_latency_buckets : float array
+
+(** Wall-clock seconds, for latency measurements
+    ([Unix.gettimeofday]). *)
+val now : unit -> float
+
+module Snapshot : sig
+  type t
+
+  (** [take reg] merges every metric's per-domain shards into an
+      immutable snapshot. Merging sums counter and histogram shards
+      cell-wise; since each shard is only ever written by its own
+      domain, the result is independent of the order domains first
+      touched the metric. *)
+  val take : registry -> t
+
+  (** Prometheus text exposition format (version 0.0.4): [# HELP] /
+      [# TYPE] headers followed by the samples; histograms render
+      cumulative [_bucket{le=...}] samples plus [_sum] and [_count]. *)
+  val to_prometheus : t -> string
+
+  (** The same snapshot as a JSON object, for log shippers that do not
+      speak the exposition format. *)
+  val to_json : t -> string
+end
+
+(** [validate_exposition text] checks that [text] is well-formed
+    Prometheus text exposition: valid metric and label names, every
+    sample preceded by a [# TYPE] declaration of its family, parseable
+    sample values, and per-histogram a [+Inf] bucket with cumulative
+    (non-decreasing) bucket counts matching [_count]. Returns
+    [Error reason] pointing at the offending line otherwise. *)
+val validate_exposition : string -> (unit, string) result

@@ -8,6 +8,12 @@
    writes to its own slot, and results are concatenated in chunk order —
    so the output never depends on scheduling. *)
 
+type metrics = {
+  m_tasks : Prom_obs.Counter.t;
+  m_chunk_items : Prom_obs.Histogram.t;
+  m_busy : Prom_obs.Counter.t;
+}
+
 type t = {
   n_domains : int;  (* total parallelism including the calling domain *)
   mutable workers : unit Domain.t array;  (* n_domains - 1 spawned domains *)
@@ -15,6 +21,7 @@ type t = {
   work_available : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable stopped : bool;
+  mutable metrics : metrics option;
 }
 
 let size t = t.n_domains
@@ -45,6 +52,7 @@ let create n_domains =
       work_available = Condition.create ();
       queue = Queue.create ();
       stopped = false;
+      metrics = None;
     }
   in
   pool.workers <-
@@ -85,6 +93,52 @@ let default () =
   in
   Mutex.unlock default_mutex;
   pool
+
+(* Chunk-size buckets: powers of two up to the largest batches the
+   inference path sees. *)
+let chunk_buckets = [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0 |]
+
+let attach_metrics pool registry =
+  let m =
+    {
+      m_tasks =
+        Prom_obs.counter registry ~help:"Chunk tasks executed by the pool"
+          "prom_pool_tasks_total";
+      m_chunk_items =
+        Prom_obs.histogram registry ~help:"Items per chunk task"
+          ~buckets:chunk_buckets "prom_pool_chunk_items";
+      m_busy =
+        Prom_obs.counter registry
+          ~help:"Seconds spent executing tasks, summed over domains (per-domain \
+                 shards internally)"
+          "prom_pool_busy_seconds_total";
+    }
+  in
+  Prom_obs.Gauge.set
+    (Prom_obs.gauge registry ~help:"Total parallelism of the pool" "prom_pool_domains")
+    (float_of_int pool.n_domains);
+  pool.metrics <- Some m
+
+(* [record_chunk] and the busy timer run on whichever domain executes
+   the chunk, so the counters land in that domain's shard — the merge at
+   snapshot time recovers the totals. *)
+let record_chunk pool ~items elapsed =
+  match pool.metrics with
+  | None -> ()
+  | Some m ->
+      Prom_obs.Counter.inc m.m_tasks;
+      Prom_obs.Histogram.observe m.m_chunk_items (float_of_int items);
+      Prom_obs.Counter.add m.m_busy elapsed
+
+(* Uninstrumented pools pay exactly one branch per chunk here. *)
+let timed pool ~items body =
+  match pool.metrics with
+  | None -> body ()
+  | Some _ ->
+      let t0 = Prom_obs.now () in
+      let r = body () in
+      record_chunk pool ~items (Prom_obs.now () -. t0);
+      r
 
 let try_pop pool =
   Mutex.lock pool.mutex;
@@ -149,7 +203,8 @@ let init ?pool ?(min_chunk = default_min_chunk) n f =
   if n < 0 then invalid_arg "Pool.init: negative length";
   let pool = match pool with Some p -> p | None -> default () in
   if n = 0 then [||]
-  else if pool.n_domains = 1 || n <= min_chunk then Array.init n f
+  else if pool.n_domains = 1 || n <= min_chunk then
+    timed pool ~items:n (fun () -> Array.init n f)
   else begin
     let chunk = chunk_size pool min_chunk n in
     let n_chunks = (n + chunk - 1) / chunk in
@@ -158,7 +213,8 @@ let init ?pool ?(min_chunk = default_min_chunk) n f =
       Array.init n_chunks (fun c () ->
           let off = c * chunk in
           let len = Stdlib.min chunk (n - off) in
-          parts.(c) <- Array.init len (fun j -> f (off + j)))
+          timed pool ~items:len (fun () ->
+              parts.(c) <- Array.init len (fun j -> f (off + j))))
     in
     run_all pool tasks;
     Array.concat (Array.to_list parts)
@@ -174,7 +230,8 @@ let iteri ?pool ?(min_chunk = default_min_chunk) f xs =
   let n = Array.length xs in
   let pool = match pool with Some p -> p | None -> default () in
   if n = 0 then ()
-  else if pool.n_domains = 1 || n <= min_chunk then Array.iteri f xs
+  else if pool.n_domains = 1 || n <= min_chunk then
+    timed pool ~items:n (fun () -> Array.iteri f xs)
   else begin
     let chunk = chunk_size pool min_chunk n in
     let n_chunks = (n + chunk - 1) / chunk in
@@ -182,9 +239,12 @@ let iteri ?pool ?(min_chunk = default_min_chunk) f xs =
       Array.init n_chunks (fun c () ->
           let off = c * chunk in
           let stop = Stdlib.min n (off + chunk) in
-          for i = off to stop - 1 do
-            f i xs.(i)
-          done)
+          timed pool
+            ~items:(stop - off)
+            (fun () ->
+              for i = off to stop - 1 do
+                f i xs.(i)
+              done))
     in
     run_all pool tasks
   end

@@ -22,6 +22,14 @@ val size : t -> int
     not be used afterwards. *)
 val shutdown : t -> unit
 
+(** [attach_metrics t registry] registers the pool's instruments on
+    [registry] — [prom_pool_tasks_total], [prom_pool_chunk_items],
+    [prom_pool_busy_seconds_total] (accumulated in per-domain shards by
+    whichever domain runs each chunk) and the [prom_pool_domains]
+    gauge — and starts recording. Pools without attached metrics pay a
+    single branch per chunk. *)
+val attach_metrics : t -> Prom_obs.registry -> unit
+
 (** Name of the environment variable controlling the default pool size:
     ["PROM_NUM_DOMAINS"]. *)
 val env_var : string

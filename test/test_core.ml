@@ -1077,6 +1077,211 @@ let prop_distance_pvalue_monotone =
          blobs at (0,0) and (5,5) *)
       p_of 20.0 >= p_of 40.0 && p_of 40.0 >= p_of 120.0)
 
+(* Property: the Eq. 1 selection weights exp(-d^2 / tau) stay finite and
+   in [0,1] for any positive tau and any query location — the guard in
+   [Calibration.resolve_tau] makes non-positive tau unreachable. *)
+let tau_world =
+  lazy
+    (let model, _, cal = trained_world 51 in
+     Calibration.prepare_classification ~config:Config.default ~model
+       ~feature_of:Fun.id cal)
+
+let prop_weights_finite =
+  QCheck2.Test.make ~name:"selection weights are finite and in [0,1] for positive tau"
+    ~count:100
+    QCheck2.Gen.(
+      triple (float_range 1e-6 1e6) (float_range (-20.0) 20.0)
+        (float_range (-20.0) 20.0))
+    (fun (tau, x, y) ->
+      let c = Lazy.force tau_world in
+      let test = Calibration.standardize_cls c [| x; y |] in
+      let selected =
+        Calibration.select_subset ~tau ~featmat:c.Calibration.feat_matrix
+          ~config:Config.default c.Calibration.entries
+          ~feature_of_entry:(fun e -> e.Calibration.features)
+          test
+      in
+      Array.for_all
+        (fun s ->
+          let w = s.Calibration.weight in
+          Float.is_finite w && w >= 0.0 && w <= 1.0)
+        selected)
+
+(* Regression tests for the hot-path fixes shipped with the
+   observability layer. *)
+let regression_tests =
+  [
+    Alcotest.test_case "monitor escalation is independent of window alignment" `Quick
+      (fun () ->
+        (* aligned: drift from the very first observation. The streak of
+           full-drift windows starts at observation 4 and reaches
+           patience * window = 8 persistent samples at observation 8. *)
+        let aligned = Monitor.create ~window:4 ~threshold:1.0 ~patience:2 () in
+        for _ = 1 to 7 do
+          ignore (Monitor.observe aligned ~drifted:true)
+        done;
+        Alcotest.(check bool) "aligned not ageing before 2w" true
+          (Monitor.status aligned <> Monitor.Ageing);
+        Alcotest.(check string) "aligned ageing at 2w" "ageing"
+          (Monitor.status_to_string (Monitor.observe aligned ~drifted:true));
+        (* offset: two clean samples push the burst out of phase with the
+           window boundary. The old [total mod window = 0] counter only
+           fired at totals 8 and 12 (ageing at 12); the alignment-free
+           streak escalates at total 10 — the same 8 persistent drift
+           samples as the aligned case. *)
+        let offset = Monitor.create ~window:4 ~threshold:1.0 ~patience:2 () in
+        ignore (Monitor.observe offset ~drifted:false);
+        ignore (Monitor.observe offset ~drifted:false);
+        for _ = 1 to 7 do
+          Alcotest.(check bool) "offset not ageing yet" true
+            (Monitor.observe offset ~drifted:true <> Monitor.Ageing)
+        done;
+        Alcotest.(check string) "offset ageing after patience*window drift" "ageing"
+          (Monitor.status_to_string (Monitor.observe offset ~drifted:true)));
+    Alcotest.test_case "batch with value-colliding features matches singles" `Quick
+      (fun () ->
+        let model, _, cal = trained_world 86 in
+        let triples =
+          Array.to_list
+            (Array.mapi (fun i x -> (x, cal.y.(i), model.Model.predict_proba x)) cal.x)
+        in
+        let svc = Service.create triples in
+        (* two physically distinct, value-equal feature vectors carrying
+           different probability vectors: the batch path must evaluate
+           each against its own proba, like the single-query path *)
+        let shared = [| 0.3; 0.4 |] in
+        let queries =
+          [|
+            (Array.copy shared, [| 0.95; 0.05 |]);
+            (Array.copy shared, [| 0.05; 0.95 |]);
+            ([| 1.0; 2.0 |], [| 0.6; 0.4 |]);
+          |]
+        in
+        with_pool 2 (fun pool ->
+            let batch = Service.evaluate_batch ~pool svc queries in
+            let singles =
+              Array.map (fun q -> (Service.evaluate_batch svc [| q |]).(0)) queries
+            in
+            Alcotest.(check bool) "bit-identical to singles" true (batch = singles);
+            Alcotest.(check bool) "colliding queries kept distinct" true
+              (batch.(0) <> batch.(1));
+            Alcotest.(check (array bool))
+              "should_accept_batch agrees"
+              (Array.map
+                 (fun (f, p) -> Service.should_accept svc ~features:f ~proba:p)
+                 queries)
+              (Service.should_accept_batch ~pool svc queries)));
+    Alcotest.test_case "select rejects non-positive tau" `Quick (fun () ->
+        let c = Lazy.force tau_world in
+        let test = Calibration.standardize_cls c [| 1.0; 1.0 |] in
+        List.iter
+          (fun tau ->
+            Alcotest.check_raises "positive tau required"
+              (Invalid_argument "Calibration.select: tau must be positive") (fun () ->
+                ignore
+                  (Calibration.select_subset ~tau ~featmat:c.Calibration.feat_matrix
+                     ~config:Config.default c.Calibration.entries
+                     ~feature_of_entry:(fun e -> e.Calibration.features)
+                     test)))
+          [ 0.0; -1.0; Float.nan ]);
+  ]
+
+(* End-to-end checks for the telemetry wiring: counters must balance,
+   and instrumentation must never change a verdict. *)
+let telemetry_tests =
+  [
+    Alcotest.test_case "queries_total = accepted + rejected after a mixed batch" `Quick
+      (fun () ->
+        let model, _, cal = trained_world 33 in
+        let tel = Telemetry.create (Prom_obs.create_registry ()) in
+        let det =
+          Detector.Classification.create ~model ~feature_of:Fun.id ~telemetry:tel cal
+        in
+        (* mixed stream: in-distribution blob points plus far outliers *)
+        let queries =
+          Array.append (blob_dataset 34 20).x
+            (Array.init 10 (fun i -> [| 40.0 +. float_of_int i; -30.0 |]))
+        in
+        with_pool 2 (fun pool ->
+            ignore (Detector.Classification.evaluate_batch ~pool det queries));
+        let q = Prom_obs.Counter.value tel.Telemetry.queries_total in
+        let a = Prom_obs.Counter.value tel.Telemetry.accepted_total in
+        let r = Prom_obs.Counter.value tel.Telemetry.rejected_total in
+        Alcotest.(check (float 0.0)) "every query counted"
+          (float_of_int (Array.length queries)) q;
+        Alcotest.(check (float 0.0)) "conservation" q (a +. r);
+        Alcotest.(check (float 0.0)) "one latency observation per query" q
+          (Prom_obs.Histogram.count tel.Telemetry.eval_latency);
+        Alcotest.(check bool) "outliers rejected" true (r > 0.0);
+        let text = Telemetry.exposition tel in
+        (match Prom_obs.validate_exposition text with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        List.iter
+          (fun name ->
+            Alcotest.(check bool) name true
+              (let nh = String.length text and nn = String.length name in
+               let rec go i =
+                 i + nn <= nh && (String.sub text i nn = name || go (i + 1))
+               in
+               go 0))
+          [
+            "prom_queries_total"; "prom_rejected_total"; "prom_eval_latency_seconds";
+            "prom_monitor_drift_rate";
+          ]);
+    Alcotest.test_case "instrumented evaluation is bit-identical" `Quick (fun () ->
+        let model, _, cal = trained_world 35 in
+        let plain = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let tel = Telemetry.create (Prom_obs.create_registry ()) in
+        let inst =
+          Detector.Classification.create ~model ~feature_of:Fun.id ~telemetry:tel cal
+        in
+        let queries = (blob_dataset 36 25).x in
+        Alcotest.(check bool) "same verdicts" true
+          (Array.map (Detector.Classification.evaluate plain) queries
+          = Array.map (Detector.Classification.evaluate inst) queries));
+    Alcotest.test_case "service batch telemetry counts sizes and collisions" `Quick
+      (fun () ->
+        let model, _, cal = trained_world 37 in
+        let triples =
+          Array.to_list
+            (Array.mapi (fun i x -> (x, cal.y.(i), model.Model.predict_proba x)) cal.x)
+        in
+        let tel = Telemetry.create (Prom_obs.create_registry ()) in
+        let svc = Service.create ~telemetry:tel triples in
+        let shared = [| 0.25; 0.5 |] in
+        let queries =
+          [|
+            (Array.copy shared, [| 0.9; 0.1 |]);
+            (Array.copy shared, [| 0.2; 0.8 |]);
+            ([| 1.0; 2.0 |], [| 0.6; 0.4 |]);
+          |]
+        in
+        ignore (Service.evaluate_batch svc queries);
+        Alcotest.(check (float 0.0)) "one collision" 1.0
+          (Prom_obs.Counter.value tel.Telemetry.collision_rebinds);
+        Alcotest.(check (float 0.0)) "one batch observed" 1.0
+          (Prom_obs.Histogram.count tel.Telemetry.batch_size);
+        Alcotest.(check (float 0.0)) "batch size summed" 3.0
+          (Prom_obs.Histogram.sum tel.Telemetry.batch_size));
+    Alcotest.test_case "monitor telemetry tracks status and transitions" `Quick
+      (fun () ->
+        let tel = Telemetry.create (Prom_obs.create_registry ()) in
+        let m = Monitor.create ~window:4 ~threshold:0.5 ~patience:2 ~telemetry:tel () in
+        for _ = 1 to 4 do
+          ignore (Monitor.observe m ~drifted:true)
+        done;
+        Alcotest.(check (float 0.0)) "drift rate gauge" 1.0
+          (Prom_obs.Gauge.value tel.Telemetry.drift_rate);
+        Alcotest.(check (float 0.0)) "status gauge degrading" 1.0
+          (Prom_obs.Gauge.value tel.Telemetry.monitor_status);
+        Alcotest.(check bool) "transition counted" true
+          (Prom_obs.Counter.value tel.Telemetry.status_transitions >= 1.0);
+        Monitor.reset m;
+        Alcotest.(check (float 0.0)) "reset clears the gauges" 0.0
+          (Prom_obs.Gauge.value tel.Telemetry.monitor_status));
+  ]
+
 let properties =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -1088,6 +1293,7 @@ let properties =
       prop_distance_pvalue_monotone;
       prop_cls_batch_equiv;
       prop_reg_batch_equiv;
+      prop_weights_finite;
     ]
 
 let suite =
@@ -1109,5 +1315,7 @@ let suite =
     ("core.tuning", tuning_tests);
     ("core.monitor", monitor_tests);
     ("core.metrics", metrics_tests);
+    ("core.regressions", regression_tests);
+    ("core.telemetry", telemetry_tests);
     ("core.properties", properties);
   ]

@@ -1,0 +1,305 @@
+(* Tests for the observability layer: per-domain shard merging,
+   snapshot determinism, histogram bucket semantics, registration
+   validation, and the exposition renderer/validator. *)
+
+module Obs = Prom_obs
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_contains text needle =
+  Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (contains text needle)
+
+let counter_tests =
+  [
+    Alcotest.test_case "inc and add merge into one value" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let c = Obs.counter reg "c_total" in
+        Obs.Counter.inc c;
+        Obs.Counter.inc c;
+        Obs.Counter.add c 3.5;
+        Alcotest.(check (float 0.0)) "value" 5.5 (Obs.Counter.value c));
+    Alcotest.test_case "add rejects negative and non-finite increments" `Quick
+      (fun () ->
+        let reg = Obs.create_registry () in
+        let c = Obs.counter reg "c_total" in
+        List.iter
+          (fun v ->
+            Alcotest.check_raises "monotonic"
+              (Invalid_argument "Obs.Counter.add: negative or non-finite increment")
+              (fun () -> Obs.Counter.add c v))
+          [ -1.0; Float.nan; Float.infinity ];
+        Alcotest.(check (float 0.0)) "untouched" 0.0 (Obs.Counter.value c));
+    Alcotest.test_case "shards merge across domains" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let c = Obs.counter reg "c_total" in
+        for _ = 1 to 50 do
+          Obs.Counter.inc c
+        done;
+        let workers =
+          Array.init 3 (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 100 do
+                    Obs.Counter.inc c
+                  done))
+        in
+        Array.iter Domain.join workers;
+        Alcotest.(check (float 0.0)) "merged" 350.0 (Obs.Counter.value c));
+    Alcotest.test_case "get-or-create returns the same series" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let a = Obs.counter reg ~labels:[ ("x", "1"); ("y", "2") ] "c_total" in
+        (* label order is normalized, so the reversed list hits the same
+           series *)
+        let b = Obs.counter reg ~labels:[ ("y", "2"); ("x", "1") ] "c_total" in
+        Obs.Counter.inc a;
+        Obs.Counter.inc b;
+        Alcotest.(check (float 0.0)) "shared" 2.0 (Obs.Counter.value a));
+    Alcotest.test_case "distinct labels are distinct series" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let a = Obs.counter reg ~labels:[ ("expert", "lac") ] "flags_total" in
+        let b = Obs.counter reg ~labels:[ ("expert", "aps" ) ] "flags_total" in
+        Obs.Counter.inc a;
+        Alcotest.(check (float 0.0)) "a" 1.0 (Obs.Counter.value a);
+        Alcotest.(check (float 0.0)) "b" 0.0 (Obs.Counter.value b));
+  ]
+
+let gauge_tests =
+  [
+    Alcotest.test_case "gauge is last-write-wins across domains" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let g = Obs.gauge reg "rate" in
+        Obs.Gauge.set g 1.0;
+        Domain.join (Domain.spawn (fun () -> Obs.Gauge.set g 7.0));
+        Alcotest.(check (float 0.0)) "worker write visible" 7.0 (Obs.Gauge.value g);
+        Obs.Gauge.set g 2.0;
+        Alcotest.(check (float 0.0)) "overwritten" 2.0 (Obs.Gauge.value g));
+  ]
+
+let histogram_tests =
+  [
+    Alcotest.test_case "bucket boundaries use le semantics" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let h = Obs.histogram reg ~buckets:[| 1.0; 2.0; 5.0 |] "h" in
+        (* a value exactly at a bound lands in that bound's bucket; above
+           the last bound it lands only in +Inf *)
+        List.iter (Obs.Histogram.observe h) [ 1.0; 1.5; 5.0; 5.1 ];
+        Alcotest.(check (float 0.0)) "count" 4.0 (Obs.Histogram.count h);
+        Alcotest.(check (float 1e-9)) "sum" 12.6 (Obs.Histogram.sum h);
+        let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.take reg) in
+        check_contains text "h_bucket{le=\"1\"} 1\n";
+        check_contains text "h_bucket{le=\"2\"} 2\n";
+        check_contains text "h_bucket{le=\"5\"} 3\n";
+        check_contains text "h_bucket{le=\"+Inf\"} 4\n";
+        check_contains text "h_count 4\n");
+    Alcotest.test_case "histogram shards merge across domains" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let h = Obs.histogram reg ~buckets:[| 10.0 |] "h" in
+        Obs.Histogram.observe h 1.0;
+        let workers =
+          Array.init 2 (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 10 do
+                    Obs.Histogram.observe h 2.0
+                  done))
+        in
+        Array.iter Domain.join workers;
+        Alcotest.(check (float 0.0)) "count" 21.0 (Obs.Histogram.count h);
+        Alcotest.(check (float 1e-9)) "sum" 41.0 (Obs.Histogram.sum h));
+    Alcotest.test_case "bucket bounds are validated" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        Alcotest.check_raises "empty" (Invalid_argument "Obs.histogram: empty bucket list")
+          (fun () -> ignore (Obs.histogram reg ~buckets:[||] "h"));
+        Alcotest.check_raises "non-increasing"
+          (Invalid_argument "Obs.histogram: bucket bounds must be strictly increasing")
+          (fun () -> ignore (Obs.histogram reg ~buckets:[| 1.0; 1.0 |] "h"));
+        Alcotest.check_raises "non-finite"
+          (Invalid_argument "Obs.histogram: non-finite bucket bound") (fun () ->
+            ignore (Obs.histogram reg ~buckets:[| 1.0; Float.infinity |] "h")));
+    Alcotest.test_case "default latency buckets are strictly increasing" `Quick
+      (fun () ->
+        let b = Obs.default_latency_buckets in
+        Alcotest.(check bool) "non-empty" true (Array.length b > 0);
+        for i = 1 to Array.length b - 1 do
+          Alcotest.(check bool) "increasing" true (b.(i) > b.(i - 1))
+        done);
+  ]
+
+let registration_tests =
+  [
+    Alcotest.test_case "kind mismatch raises" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        ignore (Obs.counter reg "m");
+        Alcotest.check_raises "gauge over counter"
+          (Invalid_argument "Obs: m already registered as a counter with a different kind")
+          (fun () -> ignore (Obs.gauge reg "m"));
+        ignore (Obs.histogram reg ~buckets:[| 1.0 |] "h");
+        Alcotest.check_raises "different buckets"
+          (Invalid_argument
+             "Obs: h already registered as a histogram with different buckets or kind")
+          (fun () -> ignore (Obs.histogram reg ~buckets:[| 2.0 |] "h")));
+    Alcotest.test_case "invalid names are rejected" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        Alcotest.check_raises "leading digit"
+          (Invalid_argument "Obs: invalid metric name \"9bad\"") (fun () ->
+            ignore (Obs.counter reg "9bad"));
+        Alcotest.check_raises "bad char"
+          (Invalid_argument "Obs: invalid metric name \"has space\"") (fun () ->
+            ignore (Obs.counter reg "has space"));
+        Alcotest.check_raises "label with colon"
+          (Invalid_argument "Obs: invalid label name \"bad:label\"") (fun () ->
+            ignore (Obs.counter reg ~labels:[ ("bad:label", "v") ] "ok")));
+    Alcotest.test_case "registries are independent" `Quick (fun () ->
+        let a = Obs.create_registry () and b = Obs.create_registry () in
+        Obs.Counter.inc (Obs.counter a "c_total");
+        Alcotest.(check (float 0.0)) "isolated" 0.0 (Obs.Counter.value (Obs.counter b "c_total")));
+  ]
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "snapshot is independent of domain touch order" `Quick
+      (fun () ->
+        (* same updates, shards created in opposite orders: merged output
+           must be identical because merging sums cell-wise *)
+        let build main_first =
+          let reg = Obs.create_registry () in
+          let c = Obs.counter reg ~help:"test counter" "c_total" in
+          let h = Obs.histogram reg ~buckets:[| 1.0; 4.0 |] "h" in
+          let from_worker () =
+            Domain.join
+              (Domain.spawn (fun () ->
+                   Obs.Counter.add c 2.0;
+                   Obs.Histogram.observe h 3.0))
+          in
+          let from_main () =
+            Obs.Counter.add c 5.0;
+            Obs.Histogram.observe h 0.5
+          in
+          if main_first then (from_main (); from_worker ())
+          else (from_worker (); from_main ());
+          Obs.Snapshot.to_prometheus (Obs.Snapshot.take reg)
+        in
+        Alcotest.(check string) "deterministic" (build true) (build false));
+    Alcotest.test_case "untouched metrics still render at zero" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        ignore (Obs.counter reg "c_total");
+        ignore (Obs.histogram reg ~buckets:[| 1.0 |] "h");
+        let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.take reg) in
+        check_contains text "c_total 0\n";
+        check_contains text "h_count 0\n";
+        check_contains text "h_bucket{le=\"+Inf\"} 0\n");
+    Alcotest.test_case "label values are escaped" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        ignore (Obs.counter reg ~labels:[ ("k", "a\"b\\c\nd") ] "c_total");
+        let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.take reg) in
+        check_contains text "c_total{k=\"a\\\"b\\\\c\\nd\"} 0\n";
+        Alcotest.(check bool) "still valid" true
+          (Result.is_ok (Obs.validate_exposition text)));
+    Alcotest.test_case "json output carries the same numbers" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let c = Obs.counter reg ~labels:[ ("expert", "lac") ] "c_total" in
+        Obs.Counter.add c 2.0;
+        let h = Obs.histogram reg ~buckets:[| 1.0 |] "h" in
+        Obs.Histogram.observe h 0.5;
+        let json = Obs.Snapshot.to_json (Obs.Snapshot.take reg) in
+        check_contains json "\"name\":\"c_total\"";
+        check_contains json "\"labels\":{\"expert\":\"lac\"}";
+        check_contains json "\"value\":2";
+        check_contains json "{\"le\":\"+Inf\",\"count\":1}";
+        check_contains json "\"sum\":0.5");
+  ]
+
+let validator_tests =
+  [
+    Alcotest.test_case "accepts its own exposition output" `Quick (fun () ->
+        let reg = Obs.create_registry () in
+        let c = Obs.counter reg ~help:"a counter" ~labels:[ ("k", "v") ] "c_total" in
+        Obs.Counter.add c 4.0;
+        Obs.Gauge.set (Obs.gauge reg "g") (-2.5);
+        let h = Obs.histogram reg ~help:"a histogram" "h_seconds" in
+        List.iter (Obs.Histogram.observe h) [ 1e-4; 0.2; 99.0 ];
+        let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.take reg) in
+        match Obs.validate_exposition text with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "rejects malformed expositions" `Quick (fun () ->
+        List.iter
+          (fun (label, text) ->
+            Alcotest.(check bool) label true
+              (Result.is_error (Obs.validate_exposition text)))
+          [
+            ("sample without TYPE", "foo 1\n");
+            ("unparseable value", "# TYPE foo counter\nfoo abc\n");
+            ("bad metric name", "# TYPE 9foo counter\n");
+            ("unknown type", "# TYPE foo widget\n");
+            ("unclosed label", "# TYPE foo counter\nfoo{k=\"v 1\n");
+            ( "histogram without +Inf",
+              "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n" );
+            ( "non-cumulative buckets",
+              "# TYPE h histogram\n\
+               h_bucket{le=\"1\"} 2\n\
+               h_bucket{le=\"+Inf\"} 1\n\
+               h_count 1\n" );
+            ( "count mismatch",
+              "# TYPE h histogram\n\
+               h_bucket{le=\"1\"} 1\n\
+               h_bucket{le=\"+Inf\"} 2\n\
+               h_count 3\n" );
+          ]);
+    Alcotest.test_case "accepts foreign but well-formed text" `Quick (fun () ->
+        let text =
+          "# HELP up whether the target is up\n\
+           # TYPE up gauge\n\
+           up{job=\"prom\"} 1\n\
+           # TYPE lat histogram\n\
+           lat_bucket{le=\"0.1\"} 3\n\
+           lat_bucket{le=\"+Inf\"} 5\n\
+           lat_sum 0.9\n\
+           lat_count 5\n"
+        in
+        Alcotest.(check bool) "ok" true (Result.is_ok (Obs.validate_exposition text)));
+  ]
+
+(* Property: a histogram's merged count/sum always agree with the raw
+   observation stream, whatever the values. *)
+let prop_hist_totals =
+  QCheck2.Test.make ~name:"histogram count and sum match the observations" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 50) (float_range 0.0 20.0))
+    (fun values ->
+      let reg = Obs.create_registry () in
+      let h = Obs.histogram reg ~buckets:[| 0.5; 2.0; 10.0 |] "h" in
+      List.iter (Obs.Histogram.observe h) values;
+      let total = List.fold_left ( +. ) 0.0 values in
+      Obs.Histogram.count h = float_of_int (List.length values)
+      && Float.abs (Obs.Histogram.sum h -. total) <= 1e-9 *. (1.0 +. Float.abs total))
+
+let prop_exposition_valid =
+  QCheck2.Test.make ~name:"any counter/gauge mix renders a valid exposition" ~count:50
+    QCheck2.Gen.(
+      list_size (int_range 0 8)
+        (triple (int_range 0 3) (float_range 0.0 100.0) bool))
+    (fun updates ->
+      let reg = Obs.create_registry () in
+      List.iter
+        (fun (slot, v, is_counter) ->
+          if is_counter then
+            Obs.Counter.add (Obs.counter reg (Printf.sprintf "c%d_total" slot)) v
+          else Obs.Gauge.set (Obs.gauge reg (Printf.sprintf "g%d" slot)) v)
+        updates;
+      Result.is_ok
+        (Obs.validate_exposition (Obs.Snapshot.to_prometheus (Obs.Snapshot.take reg))))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest [ prop_hist_totals; prop_exposition_valid ]
+
+let suite =
+  [
+    ("obs.counter", counter_tests);
+    ("obs.gauge", gauge_tests);
+    ("obs.histogram", histogram_tests);
+    ("obs.registration", registration_tests);
+    ("obs.snapshot", snapshot_tests);
+    ("obs.validator", validator_tests);
+    ("obs.properties", properties);
+  ]

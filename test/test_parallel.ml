@@ -72,6 +72,30 @@ let pool_tests =
                   (Pool.map ~pool ~min_chunk:1
                      (fun x -> if x = 37 then failwith "boom" else x)
                      (Array.init 64 (fun i -> i))))));
+    Alcotest.test_case "attach_metrics records tasks, items and domains" `Quick
+      (fun () ->
+        with_pool 2 (fun pool ->
+            let reg = Prom_obs.create_registry () in
+            Pool.attach_metrics pool reg;
+            ignore
+              (Pool.map ~pool ~min_chunk:1 (fun x -> x + 1) (Array.init 100 (fun i -> i)));
+            Alcotest.(check bool) "tasks recorded" true
+              (Prom_obs.Counter.value (Prom_obs.counter reg "prom_pool_tasks_total")
+              > 0.0);
+            let text = Prom_obs.Snapshot.to_prometheus (Prom_obs.Snapshot.take reg) in
+            (match Prom_obs.validate_exposition text with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            let contains needle =
+              let nh = String.length text and nn = String.length needle in
+              let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+              go 0
+            in
+            (* chunk items partition the input, so their sum is the array
+               length regardless of how many chunks ran *)
+            Alcotest.(check bool) "chunk items sum to input size" true
+              (contains "prom_pool_chunk_items_sum 100\n");
+            Alcotest.(check bool) "domain gauge" true (contains "prom_pool_domains 2\n")));
     Alcotest.test_case "pool survives a failed batch" `Quick (fun () ->
         with_pool 2 (fun pool ->
             (try
