@@ -35,13 +35,53 @@ let knn_distance_k = 5
 
 let knn_distance_score fm v = Featmat.knn_mean_dist fm v ~k:knn_distance_k
 
-(* The O(n^2) leave-one-out scan, fanned across the pool; each row's
-   score is independent, so chunked evaluation is deterministic. *)
-let loo_distance_scores ?pool fm =
-  let scores =
-    Pool.init ?pool ~min_chunk:16 (Featmat.length fm) (fun i ->
-        Featmat.knn_mean_dist_rows fm ~row:i ~k:knn_distance_k)
+(* Row block granted to one pool task in the O(n^2 . d) preparation
+   scans: the task computes its rows' distance block with the symmetric
+   tiled kernel and derives every row's statistic from the buffer, so
+   the matrix is streamed once per block instead of once per row pair. *)
+let prep_block = 16
+
+(* Iterate [f row dists_off buf] over all rows, block by block. [buf]
+   holds the block's distances query-major; each row's slice is the same
+   per-pair kernel the per-row scans used, so derived statistics are
+   bit-identical. Results are concatenated in row order regardless of
+   pool scheduling. *)
+let map_row_blocks ?pool fm f =
+  let n = Featmat.length fm in
+  let nblocks = (n + prep_block - 1) / prep_block in
+  let blocks =
+    Pool.init ?pool ~min_chunk:1 nblocks (fun b ->
+        let r0 = b * prep_block in
+        let r1 = Stdlib.min n (r0 + prep_block) in
+        let buf = Array.make ((r1 - r0) * n) 0.0 in
+        Featmat.sq_dists_rows_block fm ~r0 ~r1 buf;
+        Array.init (r1 - r0) (fun q -> f (r0 + q) (q * n) buf))
   in
+  Array.concat (Array.to_list blocks)
+
+(* Leave-one-out kNN mean distance of [row], read from its slice of the
+   block buffer: same bounded-heap selection (ascending, ties by index)
+   and same ascending square-root summation as
+   [Featmat.knn_mean_dist_rows]. *)
+let loo_knn_mean fm ~k row off buf =
+  let n = Featmat.length fm in
+  let h = Select.heap_create (Stdlib.min k (Stdlib.max 0 (n - 1))) in
+  for i = 0 to n - 1 do
+    if i <> row then Select.offer h (Array.unsafe_get buf (off + i)) i
+  done;
+  let near = Select.drain_sorted h in
+  let m = Array.length near in
+  if m = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun (_, sq) -> acc := !acc +. sqrt sq) near;
+    !acc /. float_of_int m
+  end
+
+(* The O(n^2) leave-one-out scan, fanned across the pool in row blocks;
+   each block is independent, so chunked evaluation is deterministic. *)
+let loo_distance_scores ?pool fm =
+  let scores = map_row_blocks ?pool fm (loo_knn_mean fm ~k:knn_distance_k) in
   Array.sort Float.compare scores;
   scores
 
@@ -69,31 +109,43 @@ let distance_pvalue_of loo score =
     else p
   end
 
-(* Pairwise-median sampling for the temperature. The sampled pair set is
-   defined by the pair's position in the row-major enumeration —
-   [offset i + (j - i)] is exactly the counter value the sequential
-   double loop would have reached — so the parallel scan samples the
-   same pairs the sequential one did. *)
+(* Pairwise-median sampling for the temperature. *)
 let effective_tau ?pool config fm =
   let n = Featmat.length fm in
   let d2s =
     if n < 2 then [| 1.0 |]
     else begin
       let step = Stdlib.max 1 (n * n / 4000) in
-      let offset i = (i * (n - 1)) - (i * (i - 1) / 2) in
-      let rows =
-        Pool.init ?pool ~min_chunk:64 (n - 1) (fun i ->
-            let base = offset i in
-            let acc = ref [] in
-            for j = i + 1 to n - 1 do
-              if (base + j - i) mod step = 0 then
-                acc := Featmat.sq_dist_rows fm i j :: !acc
-            done;
-            Array.of_list !acc)
-      in
-      match Array.concat (Array.to_list rows) with
-      | [||] -> [| 1.0 |]
-      | arr -> arr
+      if step = 1 then
+        (* Every pair is sampled: compute the upper triangle from the
+           block buffers instead of one kernel call per pair. The median
+           is order-independent, and each cell matches the per-pair
+           kernel bit for bit. *)
+        map_row_blocks ?pool fm (fun i off buf ->
+            Array.init (n - 1 - i) (fun r -> buf.(off + i + 1 + r)))
+        |> Array.to_list |> Array.concat
+      else begin
+        (* Sparse sampling: computing full blocks would do [step] times
+           the work, so keep the per-pair scan. The sampled pair set is
+           defined by the pair's position in the row-major enumeration —
+           [offset i + (j - i)] is exactly the counter value the
+           sequential double loop would have reached — so the parallel
+           scan samples the same pairs the sequential one did. *)
+        let offset i = (i * (n - 1)) - (i * (i - 1) / 2) in
+        let rows =
+          Pool.init ?pool ~min_chunk:64 (n - 1) (fun i ->
+              let base = offset i in
+              let acc = ref [] in
+              for j = i + 1 to n - 1 do
+                if (base + j - i) mod step = 0 then
+                  acc := Featmat.sq_dist_rows fm i j :: !acc
+              done;
+              Array.of_list !acc)
+        in
+        match Array.concat (Array.to_list rows) with
+        | [||] -> [| 1.0 |]
+        | arr -> arr
+      end
     end
   in
   let med = Stats.median d2s in
@@ -167,19 +219,25 @@ let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
   let clusters = Kmeans.fit (Rng.split rng) feats ~k in
   (* Leave-one-out k-NN proxy targets and neighbourhood spreads,
      mirroring the test-time ground-truth approximation so both sides of
-     Eq. 2 use the same estimator. The O(n^2) scan fans across the
-     pool; neighbour targets are accumulated farthest-first, matching
-     the order the sequential reference produced. *)
-  let loo_proxy i =
+     Eq. 2 use the same estimator. The O(n^2) scan runs over the same
+     row-block distance buffers as [loo_distance_scores]; the heap
+     selection matches [Featmat.nearest ~exclude] and neighbour targets
+     are accumulated farthest-first, matching the order the sequential
+     reference produced. *)
+  let loo_proxy row off buf =
     let k = config.Config.knn_k in
-    let near = Featmat.nearest ~exclude:i rfeat_matrix feats.(i) ~k in
+    let h = Select.heap_create (Stdlib.min k (Stdlib.max 0 (n - 1))) in
+    for i = 0 to n - 1 do
+      if i <> row then Select.offer h (Array.unsafe_get buf (off + i)) i
+    done;
+    let near = Select.drain_sorted h in
     match Array.length near with
-    | 0 -> (d.y.(i), 0.0)
+    | 0 -> (d.y.(row), 0.0)
     | m ->
         let arr = Array.init m (fun r -> d.y.(fst near.(m - 1 - r))) in
         (Stats.mean arr, if m > 1 then Stats.std arr else 0.0)
   in
-  let proxies = Pool.init ?pool ~min_chunk:16 n loo_proxy in
+  let proxies = map_row_blocks ?pool rfeat_matrix loo_proxy in
   let rentries =
     Array.mapi
       (fun i x ->
@@ -211,15 +269,98 @@ type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
 
 type selection = { sel_idxs : int array; sel_weights : float array; sel_count : int }
 
-(* Per-domain selection workspace: the distance buffer, the selection's
-   permutation arrays and the weight buffer are reused across queries
-   (one workspace per domain, so pooled batch evaluation never shares
-   one), keeping the per-query hot path free of heap churn. Queries are
-   evaluated synchronously within a domain, so reuse is safe. *)
-type query_scratch = { sel : Select.scratch; mutable weights : float array }
+(* Per-domain query workspace: the shared distance buffers, the
+   selection's permutation arrays, the weight buffer and the kNN heap
+   are reused across queries (one workspace per domain, so pooled batch
+   evaluation never shares one), keeping the per-query hot path free of
+   heap churn. Queries are evaluated synchronously within a domain, so
+   reuse is safe. *)
+type query_scratch = {
+  sel : Select.scratch;
+  aux : Select.scratch;
+      (* second workspace for sorts that must not clobber a live
+         selection (e.g. the interval quantile's residual sort) *)
+  mutable weights : float array;
+  mutable dists : float array;
+      (* the per-query shared squared-distance scan (Eq. 1 distances,
+         conformal kNN, cluster argmin all read this one buffer) *)
+  mutable block : float array;
+      (* tile-sized query-major distance block for batched evaluation *)
+  knn_heap : Select.heap;
+  mutable knn_idxs : int array;
+  mutable knn_vals : float array;
+}
 
 let query_scratch : query_scratch Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { sel = Select.scratch_create (); weights = [||] })
+  Domain.DLS.new_key (fun () ->
+      {
+        sel = Select.scratch_create ();
+        aux = Select.scratch_create ();
+        weights = [||];
+        dists = [||];
+        block = [||];
+        knn_heap = Select.heap_create 0;
+        knn_idxs = [||];
+        knn_vals = [||];
+      })
+
+(* A query's squared-distance vector against every calibration entry —
+   a view into a per-domain buffer, computed once per query and
+   consumed by selection, the conformal kNN score, the kNN ground-truth
+   proxy and cluster assignment. Valid until the next distance
+   computation on the same domain. *)
+type dists = { dbuf : float array; doff : int; dlen : int }
+
+let query_distances_of fm v =
+  let qs = Domain.DLS.get query_scratch in
+  let n = Featmat.length fm in
+  if Array.length qs.dists < n then qs.dists <- Array.make (Stdlib.max n 1) 0.0;
+  Featmat.sq_dists_into fm v qs.dists;
+  { dbuf = qs.dists; doff = 0; dlen = n }
+
+(* The tile form: one cache-blocked kernel call for the whole query
+   tile, returning per-query views into the block buffer. The views
+   stay valid while the tile's queries are evaluated (per-query
+   consumers use the other scratch buffers), until the next block on
+   the same domain. *)
+let query_distances_block_of fm queries =
+  let qs = Domain.DLS.get query_scratch in
+  let n = Featmat.length fm in
+  let nq = Array.length queries in
+  if Array.length qs.block < nq * n then qs.block <- Array.make (Stdlib.max (nq * n) 1) 0.0;
+  Featmat.sq_dists_block fm queries qs.block;
+  Array.init nq (fun q -> { dbuf = qs.block; doff = q * n; dlen = n })
+
+(* Bounded kNN selection over the shared buffer: offers in index order
+   (the order the matrix scans used) into the reusable per-domain heap
+   and drains in place — ascending (squared distance, index), exactly
+   [Featmat.nearest]'s ordering, without the per-call pair array. On
+   return the first [m] slots of [knn_idxs]/[knn_vals] hold the
+   neighbours; [m] is returned. *)
+let knn_from_dists qs d ~k =
+  let k = Stdlib.min k d.dlen in
+  Select.heap_reset qs.knn_heap k;
+  for i = 0 to d.dlen - 1 do
+    Select.offer qs.knn_heap (Array.unsafe_get d.dbuf (d.doff + i)) i
+  done;
+  if Array.length qs.knn_idxs < k then begin
+    qs.knn_idxs <- Array.make (Stdlib.max k 1) 0;
+    qs.knn_vals <- Array.make (Stdlib.max k 1) 0.0
+  end;
+  Select.drain_into qs.knn_heap ~idxs:qs.knn_idxs ~vals:qs.knn_vals
+
+(* Mean distance to the k nearest entries, from the shared buffer: sums
+   the square roots ascending, mirroring [Featmat.knn_mean_dist]. *)
+let knn_mean_from_dists qs d ~k =
+  let m = knn_from_dists qs d ~k in
+  if m = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for r = 0 to m - 1 do
+      acc := !acc +. sqrt qs.knn_vals.(r)
+    done;
+    !acc /. float_of_int m
+  end
 
 (* Partial top-k selection instead of the former full sort: distances
    are scanned once (from the cached matrix when available) and only the
@@ -229,12 +370,13 @@ let query_scratch : query_scratch Domain.DLS.key =
    exp(-d^2/tau) of the sort-based reference bit for bit. On return the
    workspace prefix holds the ascending (squared distance, index) pairs
    of the kept entries. *)
+let keep_count ~config n =
+  if n < config.Config.select_all_below then n
+  else Stdlib.max 1 (int_of_float (config.Config.select_ratio *. float_of_int n))
+
 let select_core scratch ?featmat ~config entries ~feature_of_entry test_features =
   let n = Array.length entries in
-  let keep =
-    if n < config.Config.select_all_below then n
-    else Stdlib.max 1 (int_of_float (config.Config.select_ratio *. float_of_int n))
-  in
+  let keep = keep_count ~config n in
   let sq = Select.scratch_keys scratch n in
   (match featmat with
   | Some fm ->
@@ -316,3 +458,112 @@ let distance_pvalue_cls t v =
 
 let distance_pvalue_reg t v =
   distance_pvalue_of t.rloo_distances (knn_distance_score t.rfeat_matrix v)
+
+(* --- Shared per-query distance pipeline. ---
+
+   The consumers below all derive their result from one [dists] view —
+   the distance vector the independent per-concern scans above each
+   recomputed. Every consumer replays its independent counterpart's
+   exact arithmetic over the buffer (same selection, same accumulation
+   order), so verdicts are bit-identical; only the number of matrix
+   scans changes. *)
+
+let query_distances_cls t v = query_distances_of t.feat_matrix v
+let query_distances_reg t v = query_distances_of t.rfeat_matrix v
+let query_distances_block_cls t vs = query_distances_block_of t.feat_matrix vs
+let query_distances_block_reg t vs = query_distances_block_of t.rfeat_matrix vs
+
+(* [select_packed] fed from the shared buffer instead of its own scan:
+   the keys are blitted into the selection workspace (selection
+   destroys key order, and the buffer must outlive it for the other
+   consumers), then selected and weighted exactly as [select_packed]
+   does. *)
+let select_packed_dists ?tau ~config d =
+  let tau = resolve_tau tau config in
+  let n = d.dlen in
+  if n = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0 }
+  else begin
+    let qs = Domain.DLS.get query_scratch in
+    let keep = keep_count ~config n in
+    let sq = Select.scratch_keys qs.sel n in
+    Array.blit d.dbuf d.doff sq 0 n;
+    Select.select_in_place qs.sel ~n ~k:keep;
+    let vals = Select.scratch_vals qs.sel in
+    if Array.length qs.weights < keep then qs.weights <- Array.make (Array.length vals) 0.0;
+    let weights = qs.weights in
+    for r = 0 to keep - 1 do
+      let dist = sqrt vals.(r) in
+      weights.(r) <- exp (-.(dist *. dist) /. tau)
+    done;
+    { sel_idxs = Select.scratch_idxs qs.sel; sel_weights = weights; sel_count = keep }
+  end
+
+let distance_pvalue_cls_dists t d =
+  let qs = Domain.DLS.get query_scratch in
+  distance_pvalue_of t.loo_distances (knn_mean_from_dists qs d ~k:knn_distance_k)
+
+let distance_pvalue_reg_dists t d =
+  let qs = Domain.DLS.get query_scratch in
+  distance_pvalue_of t.rloo_distances (knn_mean_from_dists qs d ~k:knn_distance_k)
+
+(* [knn_truth] from the buffer: the neighbour set and its ascending
+   order match [Featmat.nearest], and the targets array hands mean and
+   spread to the same [Stats] calls, so the estimate is bit-identical.
+   The targets array is [k] floats on the minor heap — the boxed
+   (index, distance) tuple array of the independent path is gone. *)
+let knn_truth_dists reg d ~k =
+  let qs = Domain.DLS.get query_scratch in
+  let m = knn_from_dists qs d ~k in
+  let targets = Array.init m (fun r -> reg.rentries.(qs.knn_idxs.(r)).target) in
+  let mean = Stats.mean targets in
+  let spread = if m > 1 then Stats.std targets else 0.0 in
+  (mean, spread)
+
+(* [assign_cluster]'s nearest-neighbour argmin read from the buffer:
+   strict [<] with ascending index, first minimum wins, exactly
+   [Featmat.argmin_sq]. *)
+let assign_cluster_dists reg d =
+  if d.dlen = 0 then invalid_arg "Calibration.assign_cluster_dists: empty calibration";
+  let best = ref 0 and best_d = ref infinity in
+  for i = 0 to d.dlen - 1 do
+    let v = Array.unsafe_get d.dbuf (d.doff + i) in
+    if v < !best_d then begin
+      best := i;
+      best_d := v
+    end
+  done;
+  reg.rentries.(!best).cluster
+
+(* Weighted (1 - epsilon) quantile of the selected entries' absolute
+   residuals — the split-conformal interval half-width. Runs in the
+   [aux] workspace so the live selection's buffers survive; replaces
+   the per-call (residual, weight) tuple array and sort of the former
+   [Detector.Regression.interval] body. Residual ties may sort in a
+   different order than the tuple sort used, but the quantile only
+   reads the residual value at the crossing, which ties share. *)
+let weighted_residual_quantile reg selection ~epsilon =
+  let k = selection.sel_count in
+  if k = 0 then 0.0
+  else begin
+    let qs = Domain.DLS.get query_scratch in
+    let keys = Select.scratch_keys qs.aux k in
+    for r = 0 to k - 1 do
+      let e = reg.rentries.(selection.sel_idxs.(r)) in
+      keys.(r) <- abs_float (e.rpred -. e.target)
+    done;
+    Select.select_in_place qs.aux ~n:k ~k;
+    let vals = Select.scratch_vals qs.aux and idxs = Select.scratch_idxs qs.aux in
+    let total = ref 0.0 in
+    for r = 0 to k - 1 do
+      total := !total +. selection.sel_weights.(idxs.(r))
+    done;
+    let target_mass = (1.0 -. epsilon) *. (!total +. 1.0) in
+    let acc = ref 0.0 and res = ref nan in
+    for r = 0 to k - 1 do
+      if Float.is_nan !res then begin
+        acc := !acc +. selection.sel_weights.(idxs.(r));
+        if !acc >= target_mass then res := vals.(r)
+      end
+    done;
+    if Float.is_nan !res then vals.(k - 1) else !res
+  end

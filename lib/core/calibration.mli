@@ -176,3 +176,66 @@ val distance_pvalue_reg : reg -> Vec.t -> float
     returning [(estimate, spread)] where [spread] is the standard
     deviation of those neighbours' targets. *)
 val knn_truth : reg -> Vec.t -> k:int -> float * float
+
+(** {2 Shared per-query distance pipeline}
+
+    The scans above ({!select_packed}, {!distance_pvalue_cls},
+    {!knn_truth}, {!assign_cluster}, …) each walk the calibration matrix
+    once per call, so one query evaluation pays two (classification) or
+    four (regression) O(n·d) scans against the same point. The pipeline
+    below computes the squared-distance vector once into a per-domain
+    buffer and derives every per-query statistic from it. Each [_dists]
+    consumer replays its independent counterpart's exact arithmetic over
+    the buffer (same kernel, same selection and accumulation order), so
+    results are bit-identical to the independent scans. *)
+
+(** A query's squared distances to every calibration entry — a view
+    into a per-domain scratch buffer. Valid until the next
+    {!query_distances_cls}/{!query_distances_reg} (respectively the next
+    [query_distances_block_*]) call on the same domain; the [_dists]
+    consumers below do not invalidate it, so one view serves a whole
+    query evaluation. Never share a view across domains. *)
+type dists
+
+(** [query_distances_cls t v] scans the calibration matrix once for the
+    (standardized) query [v]. *)
+val query_distances_cls : cls -> Vec.t -> dists
+
+val query_distances_reg : reg -> Vec.t -> dists
+
+(** [query_distances_block_cls t vs] computes a whole query tile's
+    distances with the cache-blocked kernel ({!Featmat.sq_dists_block}),
+    returning one view per query. All views alias the same per-domain
+    block buffer: they remain valid while the tile's queries are
+    evaluated, until the next block call on the same domain. *)
+val query_distances_block_cls : cls -> Vec.t array -> dists array
+
+val query_distances_block_reg : reg -> Vec.t array -> dists array
+
+(** [select_packed_dists ?tau ~config d] is {!select_packed} fed from
+    the shared buffer instead of its own matrix scan — indices, order
+    and weights are bit-identical. *)
+val select_packed_dists : ?tau:float -> config:Config.t -> dists -> selection
+
+(** [distance_pvalue_cls_dists t d] is {!distance_pvalue_cls} with the
+    conformal kNN score read from the shared buffer. *)
+val distance_pvalue_cls_dists : cls -> dists -> float
+
+val distance_pvalue_reg_dists : reg -> dists -> float
+
+(** [knn_truth_dists reg d ~k] is {!knn_truth} from the shared buffer,
+    draining the neighbour heap into reusable per-domain scratch instead
+    of materializing (index, distance) pairs. *)
+val knn_truth_dists : reg -> dists -> k:int -> float * float
+
+(** [assign_cluster_dists reg d] is {!assign_cluster} as an argmin over
+    the shared buffer. Raises [Invalid_argument] on an empty
+    calibration set (the vector form falls back to the centroids). *)
+val assign_cluster_dists : reg -> dists -> int
+
+(** [weighted_residual_quantile reg selection ~epsilon] is the weighted
+    [1 - epsilon] quantile of the selected entries' absolute residuals
+    [|rpred - target|] — the split-conformal interval half-width.
+    Sorts in a secondary per-domain workspace, so [selection]'s buffers
+    stay live. *)
+val weighted_residual_quantile : reg -> selection -> epsilon:float -> float

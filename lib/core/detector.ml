@@ -11,7 +11,21 @@ type cls_verdict = {
   mean_confidence : float;
 }
 
-let mean_of f experts = Stats.mean (Array.of_list (List.map f experts))
+(* Committee mean in one pass — [Stats.mean] over [Array.of_list
+   (List.map f experts)] built two lists and an array per call; the fold
+   adds the same terms in the same order, so the result is unchanged.
+   Committees are validated non-empty at construction. *)
+let mean_of f experts =
+  let rec go acc n = function
+    | [] -> acc /. float_of_int n
+    | e :: tl -> go (acc +. f e) (n + 1) tl
+  in
+  go 0.0 0 experts
+
+(* Query tile granted to one pool task in batched evaluation: the
+   tile's distance rows are computed by one cache-blocked kernel call
+   before the per-query evaluations consume them. *)
+let batch_tile = 8
 
 module Classification = struct
   type t = {
@@ -74,19 +88,23 @@ module Classification = struct
     Config.validate config;
     { t with cfg = config }
 
-  let evaluate_core t x =
+  let standardize t x = Calibration.standardize_cls t.calibration (t.feature_of x)
+
+  (* Evaluate one query from its shared distance view: the Eq. 1
+     selection and the conformal distance test both read the one buffer
+     [dists] points at, instead of each scanning the calibration matrix
+     (the former [evaluate_core] paid two O(n·d) scans per query). The
+     [_dists] consumers replay the independent scans' arithmetic
+     exactly, so verdicts are bit-identical. *)
+  let evaluate_with_dists t x dists =
     let proba = t.model.Model.predict_proba x in
     let predicted = Vec.argmax proba in
-    let feats = Calibration.standardize_cls t.calibration (t.feature_of x) in
     let selection =
-      Calibration.select_packed ~tau:t.calibration.Calibration.tau
-        ~featmat:t.calibration.Calibration.feat_matrix ~config:t.cfg
-        t.calibration.Calibration.entries
-        ~feature_of_entry:(fun e -> e.Calibration.features)
-        feats
+      Calibration.select_packed_dists ~tau:t.calibration.Calibration.tau ~config:t.cfg
+        dists
     in
     let n_classes = t.model.Model.n_classes in
-    let distance_pvalue = Calibration.distance_pvalue_cls t.calibration feats in
+    let distance_pvalue = Calibration.distance_pvalue_cls_dists t.calibration dists in
     let experts =
       List.map2
         (fun fn entry_scores ->
@@ -111,15 +129,17 @@ module Classification = struct
       mean_confidence = mean_of (fun v -> v.Scores.confidence) experts;
     }
 
+  let evaluate_core t x = evaluate_with_dists t x (Calibration.query_distances_cls t.calibration (standardize t x))
+
   (* Instrumentation never changes the verdict: the uninstrumented arm
-     is [evaluate_core] itself, and the instrumented arm only reads the
-     finished verdict — batch and sequential stay bit-identical. *)
-  let evaluate t x =
+     is [eval] itself, and the instrumented arm only reads the finished
+     verdict — batch and sequential stay bit-identical. *)
+  let instrumented t eval x =
     match t.tel with
-    | None -> evaluate_core t x
+    | None -> eval x
     | Some tel ->
         let t0 = Prom_obs.now () in
-        let v = evaluate_core t x in
+        let v = eval x in
         Prom_obs.Histogram.observe tel.Telemetry.eval_latency (Prom_obs.now () -. t0);
         Prom_obs.Counter.inc tel.Telemetry.queries_total;
         Prom_obs.Counter.inc
@@ -131,15 +151,34 @@ module Classification = struct
           v.experts;
         v
 
+  let evaluate t x = instrumented t (evaluate_core t) x
+
   let predict t x =
     let v = evaluate t x in
     (v.predicted, v.drifted)
 
+  (* One pool task: distances for the whole tile come from a single
+     cache-blocked kernel call, then each query is evaluated from its
+     view. Block cells equal the per-query scan's cells bit for bit, so
+     the tile's verdicts match sequential evaluation exactly. *)
+  let evaluate_tile t xs =
+    let feats = Array.map (standardize t) xs in
+    let views = Calibration.query_distances_block_cls t.calibration feats in
+    Array.mapi (fun i x -> instrumented t (fun x -> evaluate_with_dists t x views.(i)) x) xs
+
   (* Queries are independent, so a batch fans across the pool in
-     deterministic chunks; with the default 1-domain pool this is a
+     deterministic tiles; with the default 1-domain pool this is a
      plain sequential map, and the per-element results are identical
      either way (no RNG or shared mutable state on the query path). *)
-  let evaluate_batch ?pool t xs = Pool.map ?pool ~min_chunk:1 (evaluate t) xs
+  let evaluate_batch ?pool t xs =
+    let n = Array.length xs in
+    let ntiles = (n + batch_tile - 1) / batch_tile in
+    let tiles =
+      Pool.init ?pool ~min_chunk:1 ntiles (fun ti ->
+          let lo = ti * batch_tile in
+          evaluate_tile t (Array.sub xs lo (Stdlib.min batch_tile (n - lo))))
+    in
+    Array.concat (Array.to_list tiles)
 
   let predict_batch ?pool t xs =
     Array.map (fun v -> (v.predicted, v.drifted)) (evaluate_batch ?pool t xs)
@@ -239,22 +278,26 @@ module Regression = struct
     Config.validate config;
     { t with cfg = config }
 
-  let evaluate_core t x =
+  let standardize t x = Calibration.standardize_reg t.calibration (t.feature_of x)
+
+  (* Evaluate one query from its shared distance view. The former
+     [evaluate_core] scanned the calibration matrix four times per
+     query — kNN ground-truth proxy, cluster argmin, Eq. 1 selection
+     and the conformal distance test; all four now read the one buffer
+     [dists] points at, with each consumer replaying the independent
+     scan's arithmetic exactly, so verdicts are bit-identical. *)
+  let evaluate_with_dists t x dists =
     let predicted_value = t.model.Model.predict x in
-    let feats = Calibration.standardize_reg t.calibration (t.feature_of x) in
     let knn_estimate, knn_spread =
-      Calibration.knn_truth t.calibration feats ~k:t.cfg.Config.knn_k
+      Calibration.knn_truth_dists t.calibration dists ~k:t.cfg.Config.knn_k
     in
-    let cluster = Calibration.assign_cluster t.calibration feats in
+    let cluster = Calibration.assign_cluster_dists t.calibration dists in
     let selection =
-      Calibration.select_packed ~tau:t.calibration.Calibration.rtau
-        ~featmat:t.calibration.Calibration.rfeat_matrix ~config:t.cfg
-        t.calibration.Calibration.rentries
-        ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
-        feats
+      Calibration.select_packed_dists ~tau:t.calibration.Calibration.rtau ~config:t.cfg
+        dists
     in
     let n_clusters = t.calibration.Calibration.n_clusters in
-    let distance_pvalue = Calibration.distance_pvalue_reg t.calibration feats in
+    let distance_pvalue = Calibration.distance_pvalue_reg_dists t.calibration dists in
     let reg_experts =
       List.map2
         (fun fn entry_scores ->
@@ -280,13 +323,16 @@ module Regression = struct
       reg_mean_confidence = mean_of (fun v -> v.Scores.confidence) reg_experts;
     }
 
-  (* See {!Classification.evaluate}. *)
-  let evaluate t x =
+  let evaluate_core t x =
+    evaluate_with_dists t x (Calibration.query_distances_reg t.calibration (standardize t x))
+
+  (* See {!Classification.instrumented}. *)
+  let instrumented t eval x =
     match t.tel with
-    | None -> evaluate_core t x
+    | None -> eval x
     | Some tel ->
         let t0 = Prom_obs.now () in
-        let v = evaluate_core t x in
+        let v = eval x in
         Prom_obs.Histogram.observe tel.Telemetry.eval_latency (Prom_obs.now () -. t0);
         Prom_obs.Counter.inc tel.Telemetry.queries_total;
         Prom_obs.Counter.inc
@@ -298,52 +344,45 @@ module Regression = struct
           v.reg_experts;
         v
 
+  let evaluate t x = instrumented t (evaluate_core t) x
+
   let predict t x =
     let v = evaluate t x in
     (v.predicted_value, v.reg_drifted)
 
+  (* See {!Classification.evaluate_tile}. *)
+  let evaluate_tile t xs =
+    let feats = Array.map (standardize t) xs in
+    let views = Calibration.query_distances_block_reg t.calibration feats in
+    Array.mapi (fun i x -> instrumented t (fun x -> evaluate_with_dists t x views.(i)) x) xs
+
   (* See {!Classification.evaluate_batch}. *)
-  let evaluate_batch ?pool t xs = Pool.map ?pool ~min_chunk:1 (evaluate t) xs
+  let evaluate_batch ?pool t xs =
+    let n = Array.length xs in
+    let ntiles = (n + batch_tile - 1) / batch_tile in
+    let tiles =
+      Pool.init ?pool ~min_chunk:1 ntiles (fun ti ->
+          let lo = ti * batch_tile in
+          evaluate_tile t (Array.sub xs lo (Stdlib.min batch_tile (n - lo))))
+    in
+    Array.concat (Array.to_list tiles)
 
   let predict_batch ?pool t xs =
     Array.map (fun v -> (v.predicted_value, v.reg_drifted)) (evaluate_batch ?pool t xs)
 
   let interval t x =
     let predicted_value = t.model.Model.predict x in
-    let feats = Calibration.standardize_reg t.calibration (t.feature_of x) in
-    let selected =
-      Calibration.select_subset ~tau:t.calibration.Calibration.rtau
-        ~featmat:t.calibration.Calibration.rfeat_matrix ~config:t.cfg
-        t.calibration.Calibration.rentries
-        ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
-        feats
+    let dists = Calibration.query_distances_reg t.calibration (standardize t x) in
+    let selection =
+      Calibration.select_packed_dists ~tau:t.calibration.Calibration.rtau ~config:t.cfg
+        dists
     in
     (* Weighted (1 - epsilon) quantile of absolute residuals against the
-       true calibration targets. *)
-    let scored =
-      Array.map
-        (fun { Calibration.entry; weight; _ } ->
-          (abs_float (entry.Calibration.rpred -. entry.Calibration.target), weight))
-        selected
-    in
-    Array.sort (fun (a, _) (b, _) -> Float.compare a b) scored;
-    let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
-    let target_mass = (1.0 -. t.cfg.Config.epsilon) *. (total +. 1.0) in
+       true calibration targets; the sort and accumulation now run in
+       reusable workspace instead of a per-call tuple array. *)
     let q =
-      let acc = ref 0.0 and res = ref nan in
-      Array.iter
-        (fun (r, w) ->
-          if Float.is_nan !res then begin
-            acc := !acc +. w;
-            if !acc >= target_mass then res := r
-          end)
-        scored;
-      if Float.is_nan !res then
-        (* target mass beyond the calibration set: widest residual *)
-        match Array.length scored with
-        | 0 -> 0.0
-        | n -> fst scored.(n - 1)
-      else !res
+      Calibration.weighted_residual_quantile t.calibration selection
+        ~epsilon:t.cfg.Config.epsilon
     in
     (predicted_value -. q, predicted_value +. q)
 

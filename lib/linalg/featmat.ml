@@ -28,27 +28,40 @@ let row t i =
 let check_query t v =
   if Array.length v <> t.dim then invalid_arg "Featmat: dimension mismatch"
 
-let sq_dist_row t i v =
-  (* Bounds are fixed by construction ([i < n] checked by callers via
-     [check_query]/loop bounds), so the inner loop uses unsafe reads. *)
-  let off = i * t.dim in
+(* Squared distance between [a.(oa .. oa+dim)] and [b.(ob .. ob+dim)],
+   unrolled 4x. The unroll keeps a single accumulator and adds the
+   terms in index order, so the accumulation sequence — and therefore
+   the IEEE result — is exactly the naive loop's (and
+   [Distance.sq_euclidean]'s); only the loop-condition overhead is
+   amortized. Bounds are fixed by construction ([i < n] checked by
+   callers via [check_query]/loop bounds), so the reads are unsafe. *)
+let[@inline] sq_dist_segs a oa b ob dim =
   let acc = ref 0.0 in
-  for j = 0 to t.dim - 1 do
-    let d = Array.unsafe_get t.data (off + j) -. Array.unsafe_get v j in
-    acc := !acc +. (d *. d)
+  let j = ref 0 in
+  while !j + 4 <= dim do
+    let j0 = !j in
+    let d0 = Array.unsafe_get a (oa + j0) -. Array.unsafe_get b (ob + j0) in
+    acc := !acc +. (d0 *. d0);
+    let d1 = Array.unsafe_get a (oa + j0 + 1) -. Array.unsafe_get b (ob + j0 + 1) in
+    acc := !acc +. (d1 *. d1);
+    let d2 = Array.unsafe_get a (oa + j0 + 2) -. Array.unsafe_get b (ob + j0 + 2) in
+    acc := !acc +. (d2 *. d2);
+    let d3 = Array.unsafe_get a (oa + j0 + 3) -. Array.unsafe_get b (ob + j0 + 3) in
+    acc := !acc +. (d3 *. d3);
+    j := j0 + 4
+  done;
+  while !j < dim do
+    let d = Array.unsafe_get a (oa + !j) -. Array.unsafe_get b (ob + !j) in
+    acc := !acc +. (d *. d);
+    incr j
   done;
   !acc
+
+let sq_dist_row t i v = sq_dist_segs t.data (i * t.dim) v 0 t.dim
 
 let dist_row t i v = sqrt (sq_dist_row t i v)
 
-let sq_dist_rows t i j =
-  let oi = i * t.dim and oj = j * t.dim in
-  let acc = ref 0.0 in
-  for c = 0 to t.dim - 1 do
-    let d = Array.unsafe_get t.data (oi + c) -. Array.unsafe_get t.data (oj + c) in
-    acc := !acc +. (d *. d)
-  done;
-  !acc
+let sq_dist_rows t i j = sq_dist_segs t.data (i * t.dim) t.data (j * t.dim) t.dim
 
 (* The k nearest rows by Euclidean distance, ties broken by row index.
    Selection runs on squared distances (same ordering); the returned
@@ -110,5 +123,56 @@ let sq_dists_into t v out =
   check_query t v;
   if Array.length out < t.n then invalid_arg "Featmat.sq_dists_into: output too small";
   for i = 0 to t.n - 1 do
-    out.(i) <- sq_dist_row t i v
+    Array.unsafe_set out i (sq_dist_segs t.data (i * t.dim) v 0 t.dim)
+  done
+
+(* Rows per cache tile: ~32 KB of row data, so a tile loaded by the
+   first query stays resident while the remaining queries stream over
+   it. Tiling only reorders which (query, row) cell is computed when;
+   every cell is one [sq_dist_segs] call, so block results are
+   bit-identical to independent per-query scans. *)
+let rows_per_tile dim = Stdlib.max 16 (4096 / Stdlib.max 1 dim)
+
+let sq_dists_block t qs out =
+  let nq = Array.length qs in
+  Array.iter (fun q -> check_query t q) qs;
+  if Array.length out < nq * t.n then
+    invalid_arg "Featmat.sq_dists_block: output too small";
+  let tile = rows_per_tile t.dim in
+  let i0 = ref 0 in
+  while !i0 < t.n do
+    let i1 = Stdlib.min t.n (!i0 + tile) in
+    for q = 0 to nq - 1 do
+      let v = Array.unsafe_get qs q in
+      let base = q * t.n in
+      for i = !i0 to i1 - 1 do
+        Array.unsafe_set out (base + i) (sq_dist_segs t.data (i * t.dim) v 0 t.dim)
+      done
+    done;
+    i0 := i1
+  done
+
+(* Symmetric variant for the O(n^2 . d) calibration-preparation scans:
+   distances from query rows [r0, r1) to every row, without extracting
+   the query vectors. [(a-b)] and [(b-a)] negate exactly, so the
+   squared cells match [sq_dist_row] against the extracted row bit for
+   bit. *)
+let sq_dists_rows_block t ~r0 ~r1 out =
+  if r0 < 0 || r1 > t.n || r0 > r1 then
+    invalid_arg "Featmat.sq_dists_rows_block: bad row range";
+  let nq = r1 - r0 in
+  if Array.length out < nq * t.n then
+    invalid_arg "Featmat.sq_dists_rows_block: output too small";
+  let tile = rows_per_tile t.dim in
+  let i0 = ref 0 in
+  while !i0 < t.n do
+    let i1 = Stdlib.min t.n (!i0 + tile) in
+    for q = 0 to nq - 1 do
+      let oq = (r0 + q) * t.dim in
+      let base = q * t.n in
+      for i = !i0 to i1 - 1 do
+        Array.unsafe_set out (base + i) (sq_dist_segs t.data oq t.data (i * t.dim) t.dim)
+      done
+    done;
+    i0 := i1
   done

@@ -48,3 +48,18 @@ val argmin_sq : t -> Vec.t -> int
     (which may be a larger reusable buffer) with the squared distances
     from every row to [v]. *)
 val sq_dists_into : t -> Vec.t -> float array -> unit
+
+(** [sq_dists_block t qs out] fills [out] query-major —
+    [out.(q * length t + i)] is the squared distance from row [i] to
+    [qs.(q)] — processing the rows in cache-sized tiles that all
+    queries share. Every cell is the same kernel as {!sq_dist_row}, so
+    the block is bit-identical to [Array.length qs] independent
+    {!sq_dists_into} scans. [out] may be larger than
+    [Array.length qs * length t]. *)
+val sq_dists_block : t -> Vec.t array -> float array -> unit
+
+(** [sq_dists_rows_block t ~r0 ~r1 out] is the symmetric variant used by
+    the O(n²·d) calibration-preparation scans: [out.((r - r0) * length t
+    + i)] is the squared distance between rows [r] (for [r0 <= r < r1])
+    and [i], bit-identical to {!sq_dist_rows}. *)
+val sq_dists_rows_block : t -> r0:int -> r1:int -> float array -> unit

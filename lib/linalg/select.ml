@@ -18,9 +18,9 @@ let[@inline] lt (a : float) (i : int) (b : float) (j : int) =
    seen so far. Used directly by streaming callers (distance scans) and
    as the sorting engine for the prefix produced by quickselect. *)
 type heap = {
-  capacity : int;
-  vals : float array;
-  idxs : int array;
+  mutable capacity : int;
+  mutable vals : float array;
+  mutable idxs : int array;
   mutable size : int;
 }
 
@@ -28,6 +28,18 @@ let heap_create capacity =
   if capacity < 0 then invalid_arg "Select: negative k";
   { capacity; vals = Array.make (Stdlib.max capacity 1) 0.0;
     idxs = Array.make (Stdlib.max capacity 1) 0; size = 0 }
+
+(* Reuse a heap with a new bound: grows the backing arrays when needed
+   and empties the heap, so hot paths keep one heap per domain instead
+   of allocating per call. *)
+let heap_reset h capacity =
+  if capacity < 0 then invalid_arg "Select: negative k";
+  if Array.length h.vals < capacity then begin
+    h.vals <- Array.make capacity 0.0;
+    h.idxs <- Array.make capacity 0
+  end;
+  h.capacity <- capacity;
+  h.size <- 0
 
 (* Both sifts hold the moved element in locals and write it once at its
    final slot — no swaps, no refs, no allocation on the hot path. *)
@@ -93,6 +105,26 @@ let offer h v i =
       sift_down h 0
     end
 
+(* Drain the heap into caller-provided scratch, ascending by
+   (value, index); returns the element count. Empties the heap without
+   allocating — the in-place form of [drain_sorted] for hot paths that
+   reuse their result arrays across queries. *)
+let drain_into h ~idxs ~vals =
+  let n = h.size in
+  if Array.length idxs < n || Array.length vals < n then
+    invalid_arg "Select.drain_into: scratch too small";
+  for slot = n - 1 downto 0 do
+    idxs.(slot) <- h.idxs.(0);
+    vals.(slot) <- h.vals.(0);
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.vals.(0) <- h.vals.(h.size);
+      h.idxs.(0) <- h.idxs.(h.size);
+      sift_down h 0
+    end
+  done;
+  n
+
 (* Drain the heap into (index, value) pairs sorted by ascending
    (value, index). Destroys the heap. *)
 let drain_sorted h =
@@ -142,62 +174,128 @@ let insertion_sort vals idxs lo hi =
     Array.unsafe_set idxs (!j + 1) i
   done
 
+(* Median-of-three Hoare partition of [lo, hi): returns j with
+   [lo, j] <= pivot <= (j, hi) and j <= hi - 2 (the pivot is not the
+   range maximum). All (value, index) keys are distinct, so the split is
+   always strict and both callers' recursions terminate. Requires
+   hi - lo > 3. *)
+let partition_range vals idxs lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  let last = hi - 1 in
+  (* median-of-three: sort (lo, mid, last) so the pivot at [mid] is
+     neither the minimum nor the maximum of the range *)
+  if
+    lt (Array.unsafe_get vals mid) (Array.unsafe_get idxs mid)
+      (Array.unsafe_get vals lo) (Array.unsafe_get idxs lo)
+  then swap2 vals idxs lo mid;
+  if
+    lt (Array.unsafe_get vals last) (Array.unsafe_get idxs last)
+      (Array.unsafe_get vals lo) (Array.unsafe_get idxs lo)
+  then swap2 vals idxs lo last;
+  if
+    lt (Array.unsafe_get vals last) (Array.unsafe_get idxs last)
+      (Array.unsafe_get vals mid) (Array.unsafe_get idxs mid)
+  then swap2 vals idxs mid last;
+  let pv = Array.unsafe_get vals mid and pi = Array.unsafe_get idxs mid in
+  let a = ref (lo - 1) and b = ref hi in
+  let continue_ = ref true in
+  while !continue_ do
+    incr a;
+    while lt (Array.unsafe_get vals !a) (Array.unsafe_get idxs !a) pv pi do
+      incr a
+    done;
+    decr b;
+    while lt pv pi (Array.unsafe_get vals !b) (Array.unsafe_get idxs !b) do
+      decr b
+    done;
+    if !a >= !b then continue_ := false else swap2 vals idxs !a !b
+  done;
+  !b
+
 (* Arrange [lo, hi) so that positions [lo, k) hold its (k - lo) smallest
-   elements, in arbitrary order. Requires lo < k < hi. Median-of-three
-   pivot; all (value, index) keys are distinct, so the Hoare partition
-   always splits strictly and the recursion terminates. *)
+   elements, in arbitrary order. Requires lo < k < hi. *)
 let rec select_range vals idxs lo hi k =
   if hi - lo <= 3 then insertion_sort vals idxs lo hi
   else begin
-    let mid = lo + ((hi - lo) / 2) in
-    let last = hi - 1 in
-    (* median-of-three: sort (lo, mid, last) so the pivot at [mid] is
-       neither the minimum nor the maximum of the range *)
-    if
-      lt (Array.unsafe_get vals mid) (Array.unsafe_get idxs mid)
-        (Array.unsafe_get vals lo) (Array.unsafe_get idxs lo)
-    then swap2 vals idxs lo mid;
-    if
-      lt (Array.unsafe_get vals last) (Array.unsafe_get idxs last)
-        (Array.unsafe_get vals lo) (Array.unsafe_get idxs lo)
-    then swap2 vals idxs lo last;
-    if
-      lt (Array.unsafe_get vals last) (Array.unsafe_get idxs last)
-        (Array.unsafe_get vals mid) (Array.unsafe_get idxs mid)
-    then swap2 vals idxs mid last;
-    let pv = Array.unsafe_get vals mid and pi = Array.unsafe_get idxs mid in
-    (* Hoare partition: afterwards [lo, j] <= pivot <= (j, hi) with
-       j <= hi - 2 (the pivot is not the range maximum). *)
-    let a = ref (lo - 1) and b = ref hi in
-    let continue_ = ref true in
-    while !continue_ do
-      incr a;
-      while lt (Array.unsafe_get vals !a) (Array.unsafe_get idxs !a) pv pi do
-        incr a
-      done;
-      decr b;
-      while lt pv pi (Array.unsafe_get vals !b) (Array.unsafe_get idxs !b) do
-        decr b
-      done;
-      if !a >= !b then continue_ := false else swap2 vals idxs !a !b
-    done;
-    let j = !b in
+    let j = partition_range vals idxs lo hi in
     if k <= j then select_range vals idxs lo (j + 1) k
     else if k > j + 1 then select_range vals idxs (j + 1) hi k
   end
 
-(* Ascending in-place heapsort of the first [k] positions. *)
+(* Max-heap sift-down over the subarray [lo, lo + size), heap indices
+   relative to [lo]; the engine of the introsort's depth-limit
+   fallback. *)
+let sift_down_range vals idxs lo size j0 =
+  let v = Array.unsafe_get vals (lo + j0) and i = Array.unsafe_get idxs (lo + j0) in
+  let rec descend j =
+    let l = (2 * j) + 1 in
+    if l >= size then j
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < size
+          && gt
+               (Array.unsafe_get vals (lo + r))
+               (Array.unsafe_get idxs (lo + r))
+               (Array.unsafe_get vals (lo + l))
+               (Array.unsafe_get idxs (lo + l))
+        then r
+        else l
+      in
+      let cv = Array.unsafe_get vals (lo + c) and ci = Array.unsafe_get idxs (lo + c) in
+      if gt cv ci v i then begin
+        Array.unsafe_set vals (lo + j) cv;
+        Array.unsafe_set idxs (lo + j) ci;
+        descend c
+      end
+      else j
+    end
+  in
+  let j = descend j0 in
+  Array.unsafe_set vals (lo + j) v;
+  Array.unsafe_set idxs (lo + j) i
+
+let heapsort_range vals idxs lo hi =
+  let size = hi - lo in
+  if size > 1 then begin
+    for j = (size / 2) - 1 downto 0 do
+      sift_down_range vals idxs lo size j
+    done;
+    for e = size - 1 downto 1 do
+      swap2 vals idxs lo (lo + e);
+      sift_down_range vals idxs lo e 0
+    done
+  end
+
+(* Ascending introsort of [lo, hi): quicksort on the shared
+   median-of-three partition, insertion sort below 16 elements, heapsort
+   once the partition depth budget runs out. The keys are distinct, so
+   the ascending order — and therefore the result — is the same
+   whichever path runs; the quicksort's sequential partition scans are
+   what make the kept-prefix sort cheap (the heapsort this replaces as
+   the common case jumps across the range on every sift and dominated
+   the per-query selection cost). *)
+let rec introsort vals idxs lo hi depth =
+  if hi - lo <= 16 then insertion_sort vals idxs lo hi
+  else if depth = 0 then heapsort_range vals idxs lo hi
+  else begin
+    let j = partition_range vals idxs lo hi in
+    introsort vals idxs lo (j + 1) (depth - 1);
+    introsort vals idxs (j + 1) hi (depth - 1)
+  end
+
+(* Ascending in-place sort of the first [k] positions. The depth budget
+   is 2 * floor(log2 k): a partition sequence that degenerates past it
+   hands the range to heapsort, keeping the worst case O(k log k). *)
 let sort_prefix vals idxs k =
   if k > 1 then begin
-    let h = { capacity = k; vals; idxs; size = k } in
-    for j = (k / 2) - 1 downto 0 do
-      sift_down h j
+    let depth = ref 0 and m = ref k in
+    while !m > 1 do
+      incr depth;
+      m := !m lsr 1
     done;
-    for e = k - 1 downto 1 do
-      swap2 vals idxs 0 e;
-      h.size <- h.size - 1;
-      sift_down h 0
-    done
+    introsort vals idxs 0 k (2 * !depth)
   end
 
 (* Reusable selection workspace. The per-query scratch arrays are large

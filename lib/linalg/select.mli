@@ -50,8 +50,19 @@ type heap
     elements. *)
 val heap_create : int -> heap
 
+(** [heap_reset h k] empties [h] and rebounds it to retain the [k]
+    smallest elements, growing the backing arrays when needed — so a
+    per-domain heap can be reused across queries without allocating. *)
+val heap_reset : heap -> int -> unit
+
 (** [offer h v i] considers element [i] with key [v]. *)
 val offer : heap -> float -> int -> unit
+
+(** [drain_into h ~idxs ~vals] empties the heap into the prefixes of the
+    caller's scratch arrays, ascending by (value, index), and returns the
+    element count. The allocation-free form of {!drain_sorted}; the heap
+    is reusable afterwards via {!heap_reset}. *)
+val drain_into : heap -> idxs:int array -> vals:float array -> int
 
 (** [drain_sorted h] empties the heap, returning (index, value) pairs by
     ascending (value, index). The heap must not be reused afterwards. *)

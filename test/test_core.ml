@@ -934,6 +934,267 @@ let batch_tests =
           Nonconformity.default_committee);
   ]
 
+(* --- Shared-scan pipeline: the detectors now derive every per-query
+   statistic from one distance buffer. These tests rebuild each verdict
+   from the independent per-concern scans (each public API walking the
+   matrix itself) and demand *bit-identical* results. *)
+
+(* Independent-scan classification verdict, assembled exactly as the
+   pre-pipeline evaluate did: its own selection scan, its own conformal
+   distance scan. *)
+let reference_cls_verdict ~config ~model (c : Calibration.cls) x =
+  let proba = model.Model.predict_proba x in
+  let predicted = Vec.argmax proba in
+  let feats = Calibration.standardize_cls c x in
+  let selection =
+    Calibration.select_packed ~tau:c.Calibration.tau ~featmat:c.Calibration.feat_matrix
+      ~config c.Calibration.entries
+      ~feature_of_entry:(fun e -> e.Calibration.features)
+      feats
+  in
+  let distance_pvalue = Calibration.distance_pvalue_cls c feats in
+  let entry_labels = Array.map (fun e -> e.Calibration.label) c.Calibration.entries in
+  let experts =
+    List.map
+      (fun fn ->
+        let entry_scores =
+          Array.map
+            (fun e ->
+              fn.Nonconformity.cls_score ~proba:e.Calibration.proba
+                ~label:e.Calibration.label)
+            c.Calibration.entries
+        in
+        let test_scores =
+          Array.init 2 (fun label -> fn.Nonconformity.cls_score ~proba ~label)
+        in
+        let pvalues, set_pvalues =
+          Pvalue.classification_all_table ~entry_scores ~entry_labels ~selection
+            ~test_scores ~n_classes:2 ()
+        in
+        Scores.expert_verdict ~distance_pvalue ~set_pvalues
+          ~discrete:fn.Nonconformity.cls_discrete ~config ~expert:fn.Nonconformity.cls_name
+          ~pvalues ~predicted ())
+      Nonconformity.default_committee
+  in
+  {
+    Detector.predicted;
+    proba;
+    experts;
+    drifted = Scores.committee_decision ~config experts;
+    mean_credibility =
+      Stats.mean (Array.of_list (List.map (fun v -> v.Scores.credibility) experts));
+    mean_confidence =
+      Stats.mean (Array.of_list (List.map (fun v -> v.Scores.confidence) experts));
+  }
+
+(* Regression analogue: four independent scans (kNN truth, cluster
+   argmin, selection, conformal distance), as the pre-pipeline evaluate
+   performed them. *)
+let reference_reg_verdict ~config ~model (c : Calibration.reg) x =
+  let predicted_value = model.Model.predict x in
+  let feats = Calibration.standardize_reg c x in
+  let knn_estimate, knn_spread = Calibration.knn_truth c feats ~k:config.Config.knn_k in
+  let cluster = Calibration.assign_cluster c feats in
+  let selection =
+    Calibration.select_packed ~tau:c.Calibration.rtau ~featmat:c.Calibration.rfeat_matrix
+      ~config c.Calibration.rentries
+      ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
+      feats
+  in
+  let distance_pvalue = Calibration.distance_pvalue_reg c feats in
+  let entry_clusters =
+    Array.map (fun e -> e.Calibration.cluster) c.Calibration.rentries
+  in
+  let reg_experts =
+    List.map
+      (fun fn ->
+        let entry_scores =
+          Array.map
+            (fun e ->
+              fn.Nonconformity.reg_score ~pred:e.Calibration.rpred
+                ~truth:e.Calibration.rproxy
+                ~spread:(Stdlib.max e.Calibration.rspread 1e-6))
+            c.Calibration.rentries
+        in
+        let test_score =
+          fn.Nonconformity.reg_score ~pred:predicted_value ~truth:knn_estimate
+            ~spread:(Stdlib.max knn_spread 1e-6)
+        in
+        let pvalues, set_pvalues =
+          Pvalue.regression_all_table ~entry_scores ~entry_clusters ~selection
+            ~n_clusters:c.Calibration.n_clusters ~test_score ()
+        in
+        Scores.expert_verdict ~distance_pvalue ~set_pvalues ~use_confidence:false ~config
+          ~expert:fn.Nonconformity.reg_name ~pvalues ~predicted:cluster ())
+      Nonconformity.default_reg_committee
+  in
+  {
+    Detector.predicted_value;
+    cluster;
+    knn_estimate;
+    reg_experts;
+    reg_drifted = Scores.committee_decision ~config reg_experts;
+    reg_mean_credibility =
+      Stats.mean (Array.of_list (List.map (fun v -> v.Scores.credibility) reg_experts));
+    reg_mean_confidence =
+      Stats.mean (Array.of_list (List.map (fun v -> v.Scores.confidence) reg_experts));
+  }
+
+let shared_scan_tests =
+  [
+    Alcotest.test_case "classification verdicts equal the independent-scan reference"
+      `Quick (fun () ->
+        let model, _, cal = trained_world 90 in
+        let det = Detector.Classification.create ~model ~feature_of:Fun.id cal in
+        let c =
+          Calibration.prepare_classification ~config:Config.default ~model
+            ~feature_of:Fun.id cal
+        in
+        let rng = Rng.create 91 in
+        let queries =
+          Array.init 20 (fun _ ->
+              [| Rng.gaussian rng ~mu:2.5 ~sigma:3.0; Rng.gaussian rng ~mu:2.5 ~sigma:3.0 |])
+        in
+        Array.iter
+          (fun x ->
+            let expect = reference_cls_verdict ~config:Config.default ~model c x in
+            Alcotest.(check bool) "sequential bit-identical" true
+              (Detector.Classification.evaluate det x = expect))
+          queries;
+        let expect =
+          Array.map (reference_cls_verdict ~config:Config.default ~model c) queries
+        in
+        Alcotest.(check bool) "batched bit-identical" true
+          (Detector.Classification.evaluate_batch det queries = expect);
+        with_pool 2 (fun pool ->
+            Alcotest.(check bool) "pooled batch bit-identical" true
+              (Detector.Classification.evaluate_batch ~pool det queries = expect)))
+    ;
+    Alcotest.test_case "regression verdicts equal the independent-scan reference" `Quick
+      (fun () ->
+        let data = reg_world 92 90 in
+        let model = Linreg.train data in
+        let det =
+          Detector.Regression.create ~n_clusters:2 ~model ~feature_of:Fun.id ~seed:1 data
+        in
+        let c =
+          Calibration.prepare_regression ~n_clusters:2 ~config:Config.default ~model
+            ~feature_of:Fun.id ~seed:1 data
+        in
+        let rng = Rng.create 93 in
+        (* 13 queries: not a multiple of the batch tile, so the ragged
+           final tile is exercised too *)
+        let queries =
+          Array.init 13 (fun _ -> [| Rng.uniform rng ~lo:(-1.0) ~hi:2.0 |])
+        in
+        Array.iter
+          (fun x ->
+            let expect = reference_reg_verdict ~config:Config.default ~model c x in
+            Alcotest.(check bool) "sequential bit-identical" true
+              (Detector.Regression.evaluate det x = expect))
+          queries;
+        let expect =
+          Array.map (reference_reg_verdict ~config:Config.default ~model c) queries
+        in
+        Alcotest.(check bool) "batched bit-identical" true
+          (Detector.Regression.evaluate_batch det queries = expect));
+    Alcotest.test_case "dists consumers equal their independent-scan forms" `Quick
+      (fun () ->
+        let data = reg_world 94 80 in
+        let model = Linreg.train data in
+        let c =
+          Calibration.prepare_regression ~n_clusters:2 ~config:Config.default ~model
+            ~feature_of:Fun.id ~seed:1 data
+        in
+        let config = Config.default in
+        let rng = Rng.create 95 in
+        for _ = 1 to 10 do
+          let feats =
+            Calibration.standardize_reg c [| Rng.uniform rng ~lo:(-1.0) ~hi:2.0 |]
+          in
+          (* independent scans first; materialize the packed view before
+             the dists selection reuses the same per-domain buffers *)
+          let sel =
+            Calibration.select_packed ~tau:c.Calibration.rtau
+              ~featmat:c.Calibration.rfeat_matrix ~config c.Calibration.rentries
+              ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
+              feats
+          in
+          let expect_idxs = Array.sub sel.Calibration.sel_idxs 0 sel.Calibration.sel_count in
+          let expect_weights =
+            Array.sub sel.Calibration.sel_weights 0 sel.Calibration.sel_count
+          in
+          let expect_truth = Calibration.knn_truth c feats ~k:config.Config.knn_k in
+          let expect_cluster = Calibration.assign_cluster c feats in
+          let expect_pvalue = Calibration.distance_pvalue_reg c feats in
+          let d = Calibration.query_distances_reg c feats in
+          Alcotest.(check bool) "knn_truth" true
+            (Calibration.knn_truth_dists c d ~k:config.Config.knn_k = expect_truth);
+          Alcotest.(check int) "cluster" expect_cluster
+            (Calibration.assign_cluster_dists c d);
+          Alcotest.(check (float 0.0)) "distance p-value" expect_pvalue
+            (Calibration.distance_pvalue_reg_dists c d);
+          let sel' = Calibration.select_packed_dists ~tau:c.Calibration.rtau ~config d in
+          Alcotest.(check int) "count" (Array.length expect_idxs)
+            sel'.Calibration.sel_count;
+          Alcotest.(check (array int)) "indices" expect_idxs
+            (Array.sub sel'.Calibration.sel_idxs 0 sel'.Calibration.sel_count);
+          Alcotest.(check (array (float 0.0))) "weights" expect_weights
+            (Array.sub sel'.Calibration.sel_weights 0 sel'.Calibration.sel_count)
+        done);
+    Alcotest.test_case "interval matches the tuple-sort reference" `Quick (fun () ->
+        let data = reg_world 96 90 in
+        let model = Linreg.train data in
+        let det =
+          Detector.Regression.create ~n_clusters:2 ~model ~feature_of:Fun.id ~seed:1 data
+        in
+        let c =
+          Calibration.prepare_regression ~n_clusters:2 ~config:Config.default ~model
+            ~feature_of:Fun.id ~seed:1 data
+        in
+        let rng = Rng.create 97 in
+        for _ = 1 to 10 do
+          let x = [| Rng.uniform rng ~lo:(-1.0) ~hi:2.0 |] in
+          let predicted_value = model.Model.predict x in
+          let feats = Calibration.standardize_reg c x in
+          let selected =
+            Calibration.select_subset ~tau:c.Calibration.rtau
+              ~featmat:c.Calibration.rfeat_matrix ~config:Config.default
+              c.Calibration.rentries
+              ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
+              feats
+          in
+          let scored =
+            Array.map
+              (fun { Calibration.entry; weight; _ } ->
+                (abs_float (entry.Calibration.rpred -. entry.Calibration.target), weight))
+              selected
+          in
+          Array.sort (fun (a, _) (b, _) -> Float.compare a b) scored;
+          let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 scored in
+          let target_mass = (1.0 -. Config.default.Config.epsilon) *. (total +. 1.0) in
+          let q =
+            let acc = ref 0.0 and res = ref nan in
+            Array.iter
+              (fun (r, w) ->
+                if Float.is_nan !res then begin
+                  acc := !acc +. w;
+                  if !acc >= target_mass then res := r
+                end)
+              scored;
+            if Float.is_nan !res then
+              match Array.length scored with 0 -> 0.0 | n -> fst scored.(n - 1)
+            else !res
+          in
+          let lo, hi = Detector.Regression.interval det x in
+          (* the quantile workspace sums tied residuals' weights in
+             (residual, position) order, which the tuple sort leaves
+             unspecified — equality is up to summation order, not bits *)
+          Alcotest.(check (float 1e-9)) "lo" (predicted_value -. q) lo;
+          Alcotest.(check (float 1e-9)) "hi" (predicted_value +. q) hi
+        done);
+  ]
+
 (* Property: pooled batches of random queries match the sequential map
    exactly, for both detector kinds. *)
 let batch_world =
@@ -1306,6 +1567,7 @@ let suite =
     ("core.scores", scores_tests);
     ("core.detector", detector_tests);
     ("core.batch", batch_tests);
+    ("core.shared_scan", shared_scan_tests);
     ("core.intervals", interval_tests);
     ("core.service", service_tests);
     ("core.assessment", assessment_tests);

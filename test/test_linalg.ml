@@ -284,7 +284,33 @@ let select_tests =
             Alcotest.(check (array int))
               "full sort" (topk_reference xs n)
               (Array.sub (Select.scratch_idxs s) 0 n))
-          [ [| 3.0; 1.0 |]; [| 9.0; 2.0; 2.0; 7.0; 0.0 |]; [| 1.0 |] ])
+          [ [| 3.0; 1.0 |]; [| 9.0; 2.0; 2.0; 7.0; 0.0 |]; [| 1.0 |] ]);
+    Alcotest.test_case "heap_reset + drain_into reuse one heap" `Quick (fun () ->
+        let h = Select.heap_create 0 in
+        let idxs = Array.make 8 (-1) and vals = Array.make 8 nan in
+        List.iter
+          (fun (xs, k) ->
+            Select.heap_reset h k;
+            Array.iteri (fun i v -> Select.offer h v i) xs;
+            let m = Select.drain_into h ~idxs ~vals in
+            let expect = topk_reference xs k in
+            Alcotest.(check int) "count" (Array.length expect) m;
+            Alcotest.(check (array int)) "order" expect (Array.sub idxs 0 m);
+            Array.iteri
+              (fun r i -> check_float "value follows index" xs.(i) vals.(r))
+              (Array.sub idxs 0 m))
+          [
+            ([| 4.0; 0.0; 4.0; 2.0; 7.0; 0.0; 2.0 |], 4);
+            ([| 1.0; 1.0; 1.0 |], 8);
+            ([| 5.0 |], 1);
+            ([| 2.0; 3.0 |], 0);
+          ]);
+    Alcotest.test_case "drain_into rejects undersized scratch" `Quick (fun () ->
+        let h = Select.heap_create 3 in
+        Array.iteri (fun i v -> Select.offer h v i) [| 3.0; 1.0; 2.0 |];
+        Alcotest.check_raises "small"
+          (Invalid_argument "Select.drain_into: scratch too small") (fun () ->
+            ignore (Select.drain_into h ~idxs:(Array.make 2 0) ~vals:(Array.make 2 0.0))))
   ]
 
 let featmat_tests =
@@ -377,6 +403,66 @@ let prop_mean_bounds =
       let lo = Array.fold_left min a.(0) a and hi = Array.fold_left max a.(0) a in
       m >= lo -. 1e-9 && m <= hi +. 1e-9)
 
+(* Random matrices covering every unroll remainder (dim mod 4, including
+   dim < 4) plus the row-tile boundary, with query counts crossing the
+   block kernel's tile loop. The distance kernels promise *exact* float
+   equality with the naive scalar reference — the bit-identity the
+   shared-scan pipeline rests on — so the properties compare with [=],
+   not a tolerance. *)
+let matrix_gen =
+  QCheck2.Gen.(
+    int_range 1 24 >>= fun dim ->
+    int_range 1 40 >>= fun n ->
+    array_size (return n) (array_size (return dim) (float_range (-50.0) 50.0)))
+
+let queries_gen rows nq =
+  let dim = Array.length rows.(0) in
+  QCheck2.Gen.(array_size (int_range 1 nq) (array_size (return dim) (float_range (-50.0) 50.0)))
+
+let prop_sq_dist_row_exact =
+  QCheck2.Test.make ~name:"unrolled sq_dist_row bit-equals the scalar reference" ~count:200
+    QCheck2.Gen.(matrix_gen >>= fun rows -> pair (return rows) (queries_gen rows 1))
+    (fun (rows, qs) ->
+      let fm = Featmat.of_rows rows in
+      let v = qs.(0) in
+      Array.for_all
+        (fun i -> Featmat.sq_dist_row fm i v = Distance.sq_euclidean rows.(i) v)
+        (Array.init (Array.length rows) Fun.id))
+
+let prop_sq_dists_block_exact =
+  QCheck2.Test.make ~name:"sq_dists_block bit-equals independent row scans" ~count:200
+    QCheck2.Gen.(matrix_gen >>= fun rows -> pair (return rows) (queries_gen rows 9))
+    (fun (rows, qs) ->
+      let fm = Featmat.of_rows rows in
+      let n = Array.length rows in
+      let out = Array.make (Array.length qs * n) nan in
+      Featmat.sq_dists_block fm qs out;
+      Array.for_all
+        (fun q ->
+          Array.for_all
+            (fun i -> out.((q * n) + i) = Featmat.sq_dist_row fm i qs.(q))
+            (Array.init n Fun.id))
+        (Array.init (Array.length qs) Fun.id))
+
+let prop_sq_dists_rows_block_exact =
+  QCheck2.Test.make ~name:"sq_dists_rows_block bit-equals sq_dist_rows" ~count:200
+    QCheck2.Gen.(
+      matrix_gen >>= fun rows ->
+      let n = Array.length rows in
+      int_range 0 (n - 1) >>= fun r0 ->
+      int_range r0 n >>= fun r1 -> return (rows, r0, r1))
+    (fun (rows, r0, r1) ->
+      let fm = Featmat.of_rows rows in
+      let n = Array.length rows in
+      let out = Array.make (Stdlib.max 1 ((r1 - r0) * n)) nan in
+      Featmat.sq_dists_rows_block fm ~r0 ~r1 out;
+      Array.for_all
+        (fun q ->
+          Array.for_all
+            (fun i -> out.((q * n) + i) = Featmat.sq_dist_rows fm (r0 + q) i)
+            (Array.init n Fun.id))
+        (Array.init (r1 - r0) Fun.id))
+
 let prop_solve =
   QCheck2.Test.make ~name:"Mat.solve solves well-conditioned systems" ~count:100
     QCheck2.Gen.(array_size (return 3) (float_range (-5.0) 5.0))
@@ -394,7 +480,8 @@ let properties =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_triangle; prop_softmax; prop_quantile_monotone; prop_mean_bounds; prop_solve;
-      prop_smallest_k; prop_heap_topk;
+      prop_smallest_k; prop_heap_topk; prop_sq_dist_row_exact; prop_sq_dists_block_exact;
+      prop_sq_dists_rows_block_exact;
     ]
 
 let suite =
