@@ -988,6 +988,99 @@ let prep () = prep_section ~n_cal:1200 ~quota:1.0 ~json_path:"BENCH_prep.json" (
 let prep_smoke () =
   prep_section ~n_cal:250 ~quota:0.05 ~json_path:"BENCH_prep_smoke.json" ()
 
+(* Snapshot store benchmark: how long a checkpoint takes to encode,
+   write, and restore — the costs a deployment pays per retrain round
+   and per crash recovery. The section also verifies that the reloaded
+   detector reproduces the live one's verdicts bit for bit, so the
+   [snapshot-smoke] variant doubles as the CI smoke check of the whole
+   save -> load -> serve pipeline. *)
+let snapshot_section ~n_cal ~repeats ~json_path () =
+  section_header (Printf.sprintf "Snapshot store: save/load round trips (n=%d)" n_cal);
+  let open Prom_ml in
+  let rng = Prom_linalg.Rng.create seed in
+  let dim = 16 in
+  let xs =
+    Array.init n_cal (fun i ->
+        let mu = if i mod 2 = 0 then 0.0 else 2.5 in
+        Array.init dim (fun _ -> Prom_linalg.Rng.gaussian rng ~mu ~sigma:1.0))
+  in
+  let data = Dataset.create xs (Array.init n_cal (fun i -> i mod 2)) in
+  let model = Logistic.train data in
+  let det = Detector.Classification.create ~model ~feature_of:Fun.id data in
+  let snap = Snapshot.of_cls_detector det in
+  let payload = Snapshot.encode snap in
+  let dir = Filename.temp_dir "prom-bench-snap" "" in
+  ignore (Snapshot.save ~dir snap : Prom_store.Store.info);
+  let queries =
+    Array.init 32 (fun _ ->
+        Array.init dim (fun _ -> Prom_linalg.Rng.gaussian rng ~mu:1.0 ~sigma:2.0))
+  in
+  (match Snapshot.load_latest ~dir () with
+  | Some (Snapshot.Cls s, _) ->
+      let det' = Snapshot.to_cls_detector s in
+      Array.iter
+        (fun x ->
+          let v = Detector.Classification.evaluate det x in
+          let v' = Detector.Classification.evaluate det' x in
+          if
+            v.Detector.drifted <> v'.Detector.drifted
+            || Int64.bits_of_float v.Detector.mean_credibility
+               <> Int64.bits_of_float v'.Detector.mean_credibility
+            || Int64.bits_of_float v.Detector.mean_confidence
+               <> Int64.bits_of_float v'.Detector.mean_confidence
+          then failwith "snapshot reload is not bit-identical")
+        queries;
+      Printf.printf "  reload bit-identical on %d queries: true\n" (Array.length queries)
+  | _ -> failwith "snapshot reload failed");
+  let time_ms f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeats do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int repeats
+  in
+  let encode_ms = time_ms (fun () -> ignore (Snapshot.encode snap : string)) in
+  let decode_ms = time_ms (fun () -> ignore (Snapshot.decode payload : Snapshot.t)) in
+  let save_ms =
+    time_ms (fun () -> ignore (Snapshot.save ~dir snap : Prom_store.Store.info))
+  in
+  let restore_ms =
+    time_ms (fun () ->
+        match Snapshot.load_latest ~dir () with
+        | Some (Snapshot.Cls s, _) ->
+            ignore (Snapshot.to_cls_detector s : Detector.Classification.t)
+        | _ -> failwith "snapshot reload failed")
+  in
+  Printf.printf "  payload           %10d bytes (%d calibration entries)\n"
+    (String.length payload) n_cal;
+  Printf.printf "  encode            %10.3f ms\n" encode_ms;
+  Printf.printf "  decode            %10.3f ms\n" decode_ms;
+  Printf.printf "  save (disk)       %10.3f ms\n" save_ms;
+  Printf.printf "  load + restore    %10.3f ms\n" restore_ms;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    {|{
+  "calibration_entries": %d,
+  "payload_bytes": %d,
+  "repeats": %d,
+  "ms": {
+    "encode": %.3f,
+    "decode": %.3f,
+    "save_disk": %.3f,
+    "load_restore": %.3f
+  }
+}
+|}
+    n_cal (String.length payload) repeats encode_ms decode_ms save_ms restore_ms;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path
+
+let snapshot () =
+  snapshot_section ~n_cal:1200 ~repeats:50 ~json_path:"BENCH_snapshot.json" ()
+
+let snapshot_smoke () =
+  snapshot_section ~n_cal:250 ~repeats:5 ~json_path:"BENCH_snapshot_smoke.json" ()
+
 (* The paper's motivating study (Fig. 1a): a binary vulnerability
    detector trained on 2012-2014 samples, evaluated on successive future
    time windows. Half of each window's programs carry an injected bug. *)
@@ -1101,6 +1194,8 @@ let sections =
     ("inference-smoke", inference_smoke);
     ("prep", prep);
     ("prep-smoke", prep_smoke);
+    ("snapshot", snapshot);
+    ("snapshot-smoke", snapshot_smoke);
   ]
 
 let () =
@@ -1111,7 +1206,8 @@ let () =
        default run uses the full-scale sections. *)
     | _ ->
         List.filter
-          (fun n -> n <> "inference-smoke" && n <> "prep-smoke")
+          (fun n ->
+            n <> "inference-smoke" && n <> "prep-smoke" && n <> "snapshot-smoke")
           (List.map fst sections)
   in
   let t0 = Unix.gettimeofday () in

@@ -1,11 +1,14 @@
 (* Command-line driver for the PROM reproduction: list and run
    individual (case study, model) experiments, the C5 regression
-   pipeline, or the whole evaluation suite.
+   pipeline, the whole evaluation suite, or the snapshot lifecycle.
 
      prom_cli list
      prom_cli run --case C1-thread-coarsening --model Magni-MLP
      prom_cli c5 --seed 7
-     prom_cli suite --quick                                        *)
+     prom_cli suite --quick
+     prom_cli save --dir /tmp/snaps
+     prom_cli load --dir /tmp/snaps
+     prom_cli serve --snapshot-dir /tmp/snaps                      *)
 
 open Cmdliner
 open Prom_tasks
@@ -194,9 +197,192 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"Run the full evaluation suite (all case studies)")
     Term.(const run $ quick_arg $ seed_arg)
 
+(* Shared world for the snapshot commands: the quickstart two-blob
+   dataset plus a deterministic query stream mixing in-distribution and
+   drifted inputs. Both are functions of the seed alone — the blob draws
+   happen before any training — so a resumed process replays the exact
+   same queries and its verdict digest can be compared bit-for-bit
+   against the run that wrote the snapshot. *)
+let snapshot_world ~quick ~seed =
+  let open Prom_linalg in
+  let open Prom_ml in
+  let n_blob = if quick then 60 else 200 in
+  let rng = Rng.create seed in
+  let make_blob ~cx ~cy ~label n =
+    Array.init n (fun _ ->
+        ( [|
+            Rng.gaussian rng ~mu:cx ~sigma:0.7; Rng.gaussian rng ~mu:cy ~sigma:0.7;
+          |],
+          label ))
+  in
+  let samples =
+    Array.concat
+      [
+        make_blob ~cx:0.0 ~cy:0.0 ~label:0 n_blob;
+        make_blob ~cx:3.0 ~cy:3.0 ~label:1 n_blob;
+      ]
+  in
+  let data = Dataset.create (Array.map fst samples) (Array.map snd samples) in
+  let queries =
+    Array.map fst
+      (Array.concat
+         [
+           make_blob ~cx:0.0 ~cy:0.0 ~label:0 (n_blob / 4);
+           make_blob ~cx:3.0 ~cy:3.0 ~label:1 (n_blob / 4);
+           make_blob ~cx:8.0 ~cy:(-5.0) ~label:0 (n_blob / 4);
+         ])
+  in
+  (data, queries)
+
+let dir_arg =
+  let doc = "Snapshot directory (created when missing)." in
+  Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let save_cmd =
+  let run quick seed dir =
+    let open Prom in
+    let data, _ = snapshot_world ~quick ~seed in
+    let deployed = Framework.deploy ~trainer:(Prom_ml.Logistic.trainer ()) ~seed data in
+    let info =
+      Snapshot.save ~dir (Snapshot.of_cls_detector deployed.Framework.detector)
+    in
+    Printf.printf "saved generation %d (%s, codec v%d, %d payload bytes)\n"
+      info.Prom_store.Store.generation info.Prom_store.Store.kind
+      info.Prom_store.Store.codec_version info.Prom_store.Store.payload_bytes;
+    Printf.printf "file: %s\n" info.Prom_store.Store.path
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:
+         "Deploy the quickstart detector and write it as the next snapshot \
+          generation")
+    Term.(const run $ quick_arg $ seed_arg $ dir_arg)
+
+let load_cmd =
+  let run dir =
+    let open Prom in
+    match Snapshot.load_latest ~dir () with
+    | None ->
+        Printf.eprintf "no valid snapshot generation in %s\n" dir;
+        exit 1
+    | Some (snap, info) ->
+        Printf.printf "generation  %d\n" info.Prom_store.Store.generation;
+        Printf.printf "file        %s\n" info.Prom_store.Store.path;
+        Printf.printf "kind        %s (codec v%d)\n" info.Prom_store.Store.kind
+          info.Prom_store.Store.codec_version;
+        Printf.printf "payload     %d bytes, crc32 %08x\n"
+          info.Prom_store.Store.payload_bytes info.Prom_store.Store.crc;
+        let committee_line names = String.concat ", " names in
+        (match snap with
+        | Snapshot.Cls s ->
+            Printf.printf "model       %s\n"
+              (match s.Snapshot.cls_model with
+              | Some m -> m.Prom_ml.Model.name
+              | None -> "external (host-owned)");
+            Printf.printf "committee   %s\n"
+              (committee_line
+                 (List.map
+                    (fun e -> e.Nonconformity.cls_name)
+                    s.Snapshot.cls_committee));
+            Printf.printf "entries     %d\n"
+              (Array.length s.Snapshot.cls_calibration.Calibration.entries);
+            Printf.printf "monitor     %s\n"
+              (match s.Snapshot.cls_monitor with
+              | Some _ -> "persisted"
+              | None -> "absent")
+        | Snapshot.Reg s ->
+            Printf.printf "model       %s\n" s.Snapshot.reg_model.Prom_ml.Model.name;
+            Printf.printf "committee   %s\n"
+              (committee_line
+                 (List.map
+                    (fun e -> e.Nonconformity.reg_name)
+                    s.Snapshot.reg_committee));
+            Printf.printf "entries     %d\n"
+              (Array.length s.Snapshot.reg_calibration.Calibration.rentries);
+            Printf.printf "monitor     %s\n"
+              (match s.Snapshot.reg_monitor with
+              | Some _ -> "persisted"
+              | None -> "absent"))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Validate and describe the newest intact snapshot generation in a \
+          directory")
+    Term.(const run $ dir_arg)
+
+(* The digest folds every verdict's accept/reject bit and the exact
+   IEEE-754 bit patterns of its credibility and confidence scores into
+   one CRC-32, so two serve runs printing the same digest produced
+   bit-identical verdicts — the cross-restart identity tests key on
+   this line. *)
+let verdict_digest verdicts =
+  let open Prom in
+  let buf = Buffer.create (Array.length verdicts * 17) in
+  Array.iter
+    (fun v ->
+      Prom_store.Buf.w_bool buf v.Detector.drifted;
+      Prom_store.Buf.w_float buf v.Detector.mean_credibility;
+      Prom_store.Buf.w_float buf v.Detector.mean_confidence)
+    verdicts;
+  Prom_store.Crc32.digest (Buffer.contents buf)
+
+let serve_cmd =
+  let snapshot_dir_arg =
+    let doc =
+      "Checkpoint directory: resume from the newest valid generation when one \
+       exists (corrupt generations are skipped), otherwise deploy fresh and \
+       checkpoint into it."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run quick seed snapshot_dir =
+    let open Prom in
+    let data, queries = snapshot_world ~quick ~seed in
+    let fresh ?snapshot_dir () =
+      let d =
+        Framework.deploy ?snapshot_dir ~trainer:(Prom_ml.Logistic.trainer ()) ~seed
+          data
+      in
+      d.Framework.detector
+    in
+    let detector, origin =
+      match snapshot_dir with
+      | None -> (fresh (), "fresh (no snapshot directory)")
+      | Some dir -> (
+          match Snapshot.load_latest ~kind:Snapshot.kind_cls ~dir () with
+          | Some (Snapshot.Cls s, info) when Option.is_some s.Snapshot.cls_model ->
+              ( Snapshot.to_cls_detector s,
+                Printf.sprintf "resumed from generation %d"
+                  info.Prom_store.Store.generation )
+          | _ -> (fresh ~snapshot_dir:dir (), "fresh (checkpointed)"))
+    in
+    let verdicts = Detector.Classification.evaluate_batch detector queries in
+    let drifted =
+      Array.fold_left (fun acc v -> if v.Detector.drifted then acc + 1 else acc) 0
+        verdicts
+    in
+    Printf.printf "detector: %s\n" origin;
+    Printf.printf "queries: %d  drifted: %d\n" (Array.length verdicts) drifted;
+    Printf.printf "verdict digest: %08x\n" (verdict_digest verdicts)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the deterministic query stream, resuming from the latest valid \
+          snapshot when one exists, and print a bit-identity verdict digest")
+    Term.(const run $ quick_arg $ seed_arg $ snapshot_dir_arg)
+
 let () =
   let info =
     Cmd.info "prom_cli" ~version:"1.0.0"
       ~doc:"Deployment-time drift detection for ML-based code optimization (PROM)"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; c5_cmd; suite_cmd; metrics_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; c5_cmd; suite_cmd; metrics_cmd; save_cmd; load_cmd;
+            serve_cmd ]))

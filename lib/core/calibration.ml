@@ -176,6 +176,22 @@ let prepare_classification ?pool ~config ~model ~feature_of (d : int Dataset.t) 
 
 let standardize_cls t v = Dataset.Scaler.transform t.scaler v
 
+(* Snapshot restore: the expensive O(n^2 . d) preparation products (tau,
+   LOO distances) are taken as given; only the packed feature matrix is
+   rebuilt, a cheap O(n . d) copy of the entries' feature rows. *)
+let restore_cls ~entries ~config ~scaler ~tau ~loo_distances =
+  Config.validate config;
+  if Array.length entries = 0 then invalid_arg "Calibration.restore_cls: no entries";
+  if not (tau > 0.0) then invalid_arg "Calibration.restore_cls: tau must be positive";
+  {
+    entries;
+    config;
+    scaler;
+    tau;
+    loo_distances;
+    feat_matrix = Featmat.of_rows (Array.map (fun e -> e.features) entries);
+  }
+
 type reg_entry = {
   rfeatures : Vec.t;
   target : float;
@@ -264,6 +280,22 @@ let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
   }
 
 let standardize_reg t v = Dataset.Scaler.transform t.rscaler v
+
+let restore_reg ~rentries ~rconfig ~clusters ~n_clusters ~rscaler ~rtau ~rloo_distances =
+  Config.validate rconfig;
+  if Array.length rentries = 0 then invalid_arg "Calibration.restore_reg: no entries";
+  if not (rtau > 0.0) then invalid_arg "Calibration.restore_reg: tau must be positive";
+  if n_clusters < 1 then invalid_arg "Calibration.restore_reg: n_clusters out of range";
+  {
+    rentries;
+    rconfig;
+    clusters;
+    n_clusters;
+    rscaler;
+    rtau;
+    rloo_distances;
+    rfeat_matrix = Featmat.of_rows (Array.map (fun e -> e.rfeatures) rentries);
+  }
 
 type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
 

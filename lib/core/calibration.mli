@@ -54,6 +54,21 @@ val prepare_classification :
   int Dataset.t ->
   cls
 
+(** [restore_cls ~entries ~config ~scaler ~tau ~loo_distances] rebuilds
+    a prepared calibration store from serialized state, skipping the
+    O(n²·d) preparation scans: the packed feature matrix is repacked
+    from [entries] (O(n·d)) and everything else is taken as given, so
+    verdicts after restore are bit-identical to the snapshotted store.
+    Raises [Invalid_argument] on an empty entry set, an invalid
+    [config], or a non-positive [tau]. *)
+val restore_cls :
+  entries:cls_entry array ->
+  config:Config.t ->
+  scaler:Dataset.Scaler.t ->
+  tau:float ->
+  loo_distances:float array ->
+  cls
+
 (** One preprocessed calibration sample for regression. *)
 type reg_entry = {
   rfeatures : Vec.t;
@@ -100,6 +115,19 @@ val prepare_regression :
   feature_of:(Vec.t -> Vec.t) ->
   seed:int ->
   float Dataset.t ->
+  reg
+
+(** [restore_reg ~rentries ~rconfig ~clusters ~n_clusters ~rscaler
+    ~rtau ~rloo_distances] is the regression analogue of
+    {!restore_cls}. *)
+val restore_reg :
+  rentries:reg_entry array ->
+  rconfig:Config.t ->
+  clusters:Kmeans.t ->
+  n_clusters:int ->
+  rscaler:Dataset.Scaler.t ->
+  rtau:float ->
+  rloo_distances:float array ->
   reg
 
 (** A calibration sample selected for a particular test input, carrying

@@ -41,6 +41,7 @@ type t = {
   decision_rule : decision_rule;  (** default [Disjunction] *)
 }
 
+(** The paper's default operating point (see the field docs above). *)
 val default : t
 
 (** [validate t] raises [Invalid_argument] when a field is outside its

@@ -82,8 +82,37 @@ module Classification = struct
     { cfg = config; committee; committee_scores; entry_labels; model; feature_of;
       calibration; tel = telemetry; expert_flags }
 
+  (* Rebuild from an already-prepared calibration store (the snapshot
+     restore path): only the cheap derived tables — per-entry committee
+     scores and the unboxed label table — are recomputed; the O(n^2 . d)
+     preparation is skipped because the store already carries its
+     products. *)
+  let of_calibration ?(config = Config.default)
+      ?(committee = Nonconformity.default_committee) ?telemetry ~model ~feature_of
+      calibration =
+    Config.validate config;
+    if committee = [] then
+      invalid_arg "Detector.Classification.of_calibration: empty committee";
+    let committee_scores = entry_scores_of committee calibration in
+    let entry_labels =
+      Array.map (fun e -> e.Calibration.label) calibration.Calibration.entries
+    in
+    let expert_flags =
+      match telemetry with
+      | None -> [||]
+      | Some tel ->
+          Array.of_list
+            (List.map
+               (fun fn -> Telemetry.expert_flag_counter tel fn.Nonconformity.cls_name)
+               committee)
+    in
+    { cfg = config; committee; committee_scores; entry_labels; model; feature_of;
+      calibration; tel = telemetry; expert_flags }
+
   let config t = t.cfg
   let model t = t.model
+  let committee t = t.committee
+  let calibration t = t.calibration
   let with_config t config =
     Config.validate config;
     { t with cfg = config }
@@ -270,8 +299,33 @@ module Regression = struct
     { cfg = config; committee; committee_scores; entry_clusters; model; feature_of;
       calibration; tel = telemetry; expert_flags }
 
+  (* See {!Classification.of_calibration}. *)
+  let of_calibration ?(config = Config.default)
+      ?(committee = Nonconformity.default_reg_committee) ?telemetry ~model ~feature_of
+      calibration =
+    Config.validate config;
+    if committee = [] then
+      invalid_arg "Detector.Regression.of_calibration: empty committee";
+    let committee_scores = entry_scores_of committee calibration in
+    let entry_clusters =
+      Array.map (fun e -> e.Calibration.cluster) calibration.Calibration.rentries
+    in
+    let expert_flags =
+      match telemetry with
+      | None -> [||]
+      | Some tel ->
+          Array.of_list
+            (List.map
+               (fun fn -> Telemetry.expert_flag_counter tel fn.Nonconformity.reg_name)
+               committee)
+    in
+    { cfg = config; committee; committee_scores; entry_clusters; model; feature_of;
+      calibration; tel = telemetry; expert_flags }
+
   let config t = t.cfg
   let model t = t.model
+  let committee t = t.committee
+  let calibration t = t.calibration
   let n_clusters t = t.calibration.Calibration.n_clusters
 
   let with_config t config =

@@ -37,8 +37,30 @@ module Classification : sig
     int Dataset.t ->
     t
 
+  (** [of_calibration ?config ?committee ?telemetry ~model ~feature_of
+      calibration] rebuilds a detector around an already-prepared
+      calibration store (the snapshot restore path), skipping the
+      O(n²·d) preparation: only cheap derived tables are recomputed, so
+      a restored detector returns bit-identical verdicts. *)
+  val of_calibration :
+    ?config:Config.t ->
+    ?committee:Nonconformity.cls list ->
+    ?telemetry:Telemetry.t ->
+    model:Model.classifier ->
+    feature_of:(Vec.t -> Vec.t) ->
+    Calibration.cls ->
+    t
+
   val config : t -> Config.t
   val model : t -> Model.classifier
+
+  (** [committee t] is the nonconformity committee the detector was
+      built with, in evaluation order. *)
+  val committee : t -> Nonconformity.cls list
+
+  (** [calibration t] is the prepared calibration store — the state a
+      snapshot must carry to rebuild the detector. *)
+  val calibration : t -> Calibration.cls
 
   (** [with_config t config] rebinds the configuration without
       re-running the (expensive) calibration preprocessing. *)
@@ -97,9 +119,31 @@ module Regression : sig
     float Dataset.t ->
     t
 
+  (** [of_calibration ?config ?committee ?telemetry ~model ~feature_of
+      calibration] rebuilds a detector around an already-prepared
+      regression calibration store; see
+      {!Classification.of_calibration}. *)
+  val of_calibration :
+    ?config:Config.t ->
+    ?committee:Nonconformity.reg list ->
+    ?telemetry:Telemetry.t ->
+    model:Model.regressor ->
+    feature_of:(Vec.t -> Vec.t) ->
+    Calibration.reg ->
+    t
+
   val config : t -> Config.t
   val model : t -> Model.regressor
   val n_clusters : t -> int
+
+  (** [committee t] is the regression nonconformity committee, in
+      evaluation order. *)
+  val committee : t -> Nonconformity.reg list
+
+  (** [calibration t] is the prepared calibration store backing the
+      detector. *)
+  val calibration : t -> Calibration.reg
+
   val with_config : t -> Config.t -> t
   val evaluate : t -> Vec.t -> reg_verdict
   val predict : t -> Vec.t -> float * bool

@@ -23,17 +23,29 @@ type deployed = {
   feature_of : Vec.t -> Vec.t;
   committee : Nonconformity.cls list;
   telemetry : Telemetry.t option;
+  snapshot_dir : string option;
 }
 
+let checkpoint d =
+  match d.snapshot_dir with
+  | None -> None
+  | Some dir ->
+      Some (Snapshot.save ?telemetry:d.telemetry ~dir (Snapshot.of_cls_detector d.detector))
+
 let deploy ?config ?(committee = Nonconformity.default_committee) ?(feature_of = Fun.id)
-    ?telemetry ~trainer ~seed data =
+    ?telemetry ?snapshot_dir ~trainer ~seed data =
   let training_data, calibration_data = data_partitioning ~seed data in
   let model = trainer.Model.train training_data in
   let detector =
     Detector.Classification.create ?config ~committee ?telemetry ~model ~feature_of
       calibration_data
   in
-  { detector; trainer; training_data; calibration_data; feature_of; committee; telemetry }
+  let d =
+    { detector; trainer; training_data; calibration_data; feature_of; committee;
+      telemetry; snapshot_dir }
+  in
+  ignore (checkpoint d : Prom_store.Store.info option);
+  d
 
 let telemetry d = d.telemetry
 
@@ -69,4 +81,8 @@ let improve ?budget_fraction d ~oracle inputs =
       ?telemetry:d.telemetry ~model:outcome.Incremental.updated_model
       ~feature_of:d.feature_of calibration_data
   in
-  ({ d with detector; calibration_data }, outcome)
+  let d = { d with detector; calibration_data } in
+  (* Checkpoint the retrained deployment so a restart resumes from the
+     post-retrain state, not the original calibration. *)
+  ignore (checkpoint d : Prom_store.Store.info option);
+  (d, outcome)

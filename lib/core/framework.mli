@@ -27,24 +27,39 @@ type deployed = {
   feature_of : Vec.t -> Vec.t;
   committee : Nonconformity.cls list;
   telemetry : Telemetry.t option;
+  snapshot_dir : string option;
+      (** when set, {!deploy} and every {!improve} round checkpoint the
+          detector into this directory *)
 }
 
-(** [deploy ?config ?committee ?feature_of ?telemetry ~trainer ~seed
-    data] runs the whole design phase: partition, train, calibrate.
-    [feature_of] defaults to the identity (tabular features).
-    [telemetry] instruments the detector (and every detector rebuilt by
-    {!improve}); it is kept on the deployment so {!metrics} can dump
-    the registry. *)
+(** [deploy ?config ?committee ?feature_of ?telemetry ?snapshot_dir
+    ~trainer ~seed data] runs the whole design phase: partition, train,
+    calibrate. [feature_of] defaults to the identity (tabular
+    features). [telemetry] instruments the detector (and every detector
+    rebuilt by {!improve}); it is kept on the deployment so {!metrics}
+    can dump the registry. When [snapshot_dir] is given, the freshly
+    calibrated detector is checkpointed into it (and after every
+    {!improve} round), so a killed process resumes from the latest
+    valid generation. Checkpointing requires a serializable model
+    (raises [Invalid_argument] otherwise — see {!Snapshot}). *)
 val deploy :
   ?config:Config.t ->
   ?committee:Nonconformity.cls list ->
   ?feature_of:(Vec.t -> Vec.t) ->
   ?telemetry:Telemetry.t ->
+  ?snapshot_dir:string ->
   trainer:Model.classifier_trainer ->
   seed:int ->
   int Dataset.t ->
   deployed
 
+(** [checkpoint d] snapshots the current detector into
+    [d.snapshot_dir]; [None] when no snapshot directory is
+    configured. *)
+val checkpoint : deployed -> Prom_store.Store.info option
+
+(** [telemetry d] is the telemetry bundle the deployment was
+    instrumented with, if any. *)
 val telemetry : deployed -> Telemetry.t option
 
 (** [metrics d] is the Prometheus text exposition of the deployment's

@@ -102,3 +102,70 @@ let status_to_string = function
   | Healthy -> "healthy"
   | Degrading -> "degrading"
   | Ageing -> "ageing"
+
+type persisted = {
+  p_window : int;
+  p_threshold : float;
+  p_patience : int;
+  p_buffer : bool array;
+  p_filled : int;
+  p_head : int;
+  p_drifted_in_window : int;
+  p_above_streak : int;
+  p_consecutive_degrading : int;
+  p_total : int;
+  p_status : status;
+}
+
+let persist t =
+  {
+    p_window = t.window;
+    p_threshold = t.threshold;
+    p_patience = t.patience;
+    p_buffer = Array.copy t.buffer;
+    p_filled = t.filled;
+    p_head = t.head;
+    p_drifted_in_window = t.drifted_in_window;
+    p_above_streak = t.above_streak;
+    p_consecutive_degrading = t.consecutive_degrading;
+    p_total = t.total;
+    p_status = t.current;
+  }
+
+let restore ?telemetry p =
+  if p.p_window <= 0 then invalid_arg "Monitor.restore: window must be positive";
+  if p.p_threshold <= 0.0 || p.p_threshold > 1.0 then
+    invalid_arg "Monitor.restore: threshold outside (0,1]";
+  if p.p_patience <= 0 then invalid_arg "Monitor.restore: patience must be positive";
+  if Array.length p.p_buffer <> p.p_window then
+    invalid_arg "Monitor.restore: buffer/window size mismatch";
+  if p.p_filled < 0 || p.p_filled > p.p_window then
+    invalid_arg "Monitor.restore: filled out of range";
+  if p.p_head < 0 || p.p_head >= p.p_window then
+    invalid_arg "Monitor.restore: head out of range";
+  if p.p_drifted_in_window < 0 || p.p_drifted_in_window > p.p_filled then
+    invalid_arg "Monitor.restore: drifted count out of range";
+  if p.p_above_streak < 0 || p.p_consecutive_degrading < 0 || p.p_total < 0 then
+    invalid_arg "Monitor.restore: negative counter";
+  let t =
+    {
+      window = p.p_window;
+      threshold = p.p_threshold;
+      patience = p.p_patience;
+      buffer = Array.copy p.p_buffer;
+      filled = p.p_filled;
+      head = p.p_head;
+      drifted_in_window = p.p_drifted_in_window;
+      above_streak = p.p_above_streak;
+      consecutive_degrading = p.p_consecutive_degrading;
+      total = p.p_total;
+      current = p.p_status;
+      tel = telemetry;
+    }
+  in
+  (match telemetry with
+  | Some tel ->
+      Prom_obs.Gauge.set tel.Telemetry.drift_rate (drift_rate t);
+      Prom_obs.Gauge.set tel.Telemetry.monitor_status (status_index t.current)
+  | None -> ());
+  t

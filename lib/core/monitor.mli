@@ -32,6 +32,7 @@ val create :
     verdict in arrival order. *)
 val observe : t -> drifted:bool -> status
 
+(** Current status without recording anything. *)
 val status : t -> status
 
 (** [drift_rate t] is the fraction of drifted verdicts in the current
@@ -44,4 +45,32 @@ val observed : t -> int
 (** [reset t] clears the history — call after retraining the model. *)
 val reset : t -> unit
 
+(** ["healthy"], ["degrading"] or ["ageing"] — the values the
+    [prom_monitor_status] gauge's help text documents. *)
 val status_to_string : status -> string
+
+(** Immutable value of a monitor's full state — configuration, ring
+    buffer and escalation counters — for snapshotting. *)
+type persisted = {
+  p_window : int;
+  p_threshold : float;
+  p_patience : int;
+  p_buffer : bool array;
+  p_filled : int;
+  p_head : int;
+  p_drifted_in_window : int;
+  p_above_streak : int;
+  p_consecutive_degrading : int;
+  p_total : int;
+  p_status : status;
+}
+
+(** [persist t] copies the monitor's current state out (the copy does
+    not alias the live ring buffer). *)
+val persist : t -> persisted
+
+(** [restore ?telemetry p] rebuilds a monitor that continues exactly
+    where [persist] left off — the next [observe] sees the same window
+    contents and escalation counters. Raises [Invalid_argument] on
+    inconsistent state (wrong buffer length, counters out of range). *)
+val restore : ?telemetry:Telemetry.t -> persisted -> t

@@ -148,3 +148,22 @@ let entropy =
   }
 
 let extended_committee = default_committee @ [ margin; entropy ]
+
+(* Name resolution for snapshot restore: committees are persisted as
+   expert names, so only the built-in experts (with their default
+   parameters) can round-trip. Custom closures cannot. *)
+let cls_by_name = function
+  | "LAC" -> Some lac
+  | "TopK" -> Some topk
+  | "APS" -> Some aps
+  | "RAPS" -> Some (raps ())
+  | "Margin" -> Some margin
+  | "Entropy" -> Some entropy
+  | _ -> None
+
+let reg_by_name = function
+  | "AbsRes" -> Some absolute_residual
+  | "SqRes" -> Some squared_residual
+  | "NormRes" -> Some normalized_residual
+  | "LogRes" -> Some log_residual
+  | _ -> None

@@ -87,3 +87,18 @@ val entropy : cls
 (** [extended_committee] — the default four plus [margin] and
     [entropy]. *)
 val extended_committee : cls list
+
+(** {2 Name resolution}
+
+    Snapshots persist committees as expert names; these lookups resolve
+    the built-in experts (with default parameters) at restore time.
+    Custom experts — arbitrary closures — cannot round-trip through a
+    snapshot and yield [None]. *)
+
+(** [cls_by_name name] resolves a built-in classification expert
+    ([LAC], [TopK], [APS], [RAPS], [Margin], [Entropy]). *)
+val cls_by_name : string -> cls option
+
+(** [reg_by_name name] resolves a built-in regression expert
+    ([AbsRes], [SqRes], [NormRes], [LogRes]). *)
+val reg_by_name : string -> reg option

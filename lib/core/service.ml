@@ -1,15 +1,41 @@
 open Prom_linalg
 open Prom_ml
 
-type t = {
+(* One serving engine: the detector plus the closure state its wrapped
+   "model" reads. The engine is immutable once built and published
+   through an [Atomic.t], so a background-retrained replacement can be
+   hot-swapped between batches: in-flight evaluations keep the engine
+   value they fetched and never observe a half-replaced detector. *)
+type engine = {
   detector : Detector.Classification.t;
   (* Holds the probability vector of the in-flight query. The wrapped
      "model" reads it when the detector asks for the query's
      probabilities; calibration inputs are served from [known]. *)
   query : (Vec.t * Vec.t) option ref;
   known : (Vec.t, Vec.t) Hashtbl.t;
+}
+
+type t = {
+  engine : engine Atomic.t;
+  (* Serving generation: 0 for the engine [create]/[of_snapshot] built,
+     incremented by every successful [swap]. *)
+  swaps : int Atomic.t;
   tel : Telemetry.t option;
 }
+
+(* The wrapped model: probability vectors come from the in-flight query
+   ref (physical identity) or the known-inputs table — never from an
+   actual model call. *)
+let external_model ~n_classes ~query ~known =
+  let predict_proba x =
+    match !query with
+    | Some (qx, qp) when qx == x -> qp
+    | _ -> (
+        match Hashtbl.find_opt known x with
+        | Some p -> p
+        | None -> invalid_arg "Service: unknown input")
+  in
+  { Model.n_classes; predict_proba; name = "external"; state = Model.No_state }
 
 let create ?config ?committee ?telemetry triples =
   if triples = [] then invalid_arg "Service.create: empty calibration";
@@ -28,17 +54,7 @@ let create ?config ?committee ?telemetry triples =
   let known = Hashtbl.create (List.length triples) in
   List.iter (fun (f, _, p) -> Hashtbl.replace known f p) triples;
   let query = ref None in
-  let predict_proba x =
-    match !query with
-    | Some (qx, qp) when qx == x -> qp
-    | _ -> (
-        match Hashtbl.find_opt known x with
-        | Some p -> p
-        | None -> invalid_arg "Service: unknown input")
-  in
-  let model =
-    { Model.n_classes; predict_proba; name = "external"; state = Model.No_state }
-  in
+  let model = external_model ~n_classes ~query ~known in
   let calibration =
     Dataset.create
       (Array.of_list (List.map (fun (f, _, _) -> f) triples))
@@ -48,13 +64,67 @@ let create ?config ?committee ?telemetry triples =
     Detector.Classification.create ?config ?committee ?telemetry ~model
       ~feature_of:Fun.id calibration
   in
-  { detector; query; known; tel = telemetry }
+  {
+    engine = Atomic.make { detector; query; known };
+    swaps = Atomic.make 0;
+    tel = telemetry;
+  }
+
+(* Build an engine around a restored calibration store. The known-inputs
+   table starts empty: it exists to serve calibration probabilities
+   during preparation (skipped here — the restored store already carries
+   them) and to bind batch queries, which [evaluate_batch] does per
+   call. *)
+let engine_of_snapshot ?telemetry (s : Snapshot.cls_snapshot) =
+  let entries = s.Snapshot.cls_calibration.Calibration.entries in
+  let n_classes = Array.length entries.(0).Calibration.proba in
+  let query = ref None in
+  let known = Hashtbl.create 64 in
+  let model = external_model ~n_classes ~query ~known in
+  let detector =
+    Detector.Classification.of_calibration ~config:s.Snapshot.cls_config
+      ~committee:s.Snapshot.cls_committee ?telemetry ~model ~feature_of:Fun.id
+      s.Snapshot.cls_calibration
+  in
+  { detector; query; known }
+
+let of_snapshot ?telemetry snapshot =
+  match snapshot with
+  | Snapshot.Reg _ -> invalid_arg "Service.of_snapshot: classification snapshot required"
+  | Snapshot.Cls s ->
+      {
+        engine = Atomic.make (engine_of_snapshot ?telemetry s);
+        swaps = Atomic.make 0;
+        tel = telemetry;
+      }
+
+let swap ?store_generation t snapshot =
+  match snapshot with
+  | Snapshot.Reg _ -> invalid_arg "Service.swap: classification snapshot required"
+  | Snapshot.Cls s ->
+      let engine = engine_of_snapshot ?telemetry:t.tel s in
+      Atomic.set t.engine engine;
+      Atomic.incr t.swaps;
+      (match t.tel with
+      | Some tel ->
+          Prom_obs.Counter.inc tel.Telemetry.service_swaps;
+          (match store_generation with
+          | Some g ->
+              Prom_obs.Gauge.set tel.Telemetry.snapshot_generation (float_of_int g)
+          | None -> ())
+      | None -> ())
+
+let generation t = Atomic.get t.swaps
+
+let snapshot t =
+  Snapshot.of_cls_detector ~external_model:true (Atomic.get t.engine).detector
 
 let evaluate t ~features ~proba =
-  t.query := Some (features, proba);
+  let e = Atomic.get t.engine in
+  e.query := Some (features, proba);
   Fun.protect
-    ~finally:(fun () -> t.query := None)
-    (fun () -> Detector.Classification.evaluate t.detector features)
+    ~finally:(fun () -> e.query := None)
+    (fun () -> Detector.Classification.evaluate e.detector features)
 
 (* Batched entry point. The single-query path smuggles the in-flight
    probability vector through a ref the wrapped model reads — which is
@@ -69,8 +139,13 @@ let evaluate t ~features ~proba =
    binding is collision-free, so each query is evaluated against its own
    probability vector — exactly what the corresponding single-query
    call would see. Collision-free batches (the overwhelmingly common
-   case) run in one round. *)
+   case) run in one round.
+
+   The engine is fetched once per batch: a concurrent [swap] replaces
+   the engine for {e later} batches, while this one keeps binding into
+   (and evaluating against) the engine it started with. *)
 let evaluate_batch ?pool t queries =
+  let e = Atomic.get t.engine in
   let n = Array.length queries in
   let occurrence = Hashtbl.create n in
   let rounds =
@@ -89,15 +164,15 @@ let evaluate_batch ?pool t queries =
       if collisions > 0 then
         Prom_obs.Counter.add tel.Telemetry.collision_rebinds (float_of_int collisions)
   | None -> ());
-  let saved = Array.map (fun (f, _) -> (f, Hashtbl.find_opt t.known f)) queries in
+  let saved = Array.map (fun (f, _) -> (f, Hashtbl.find_opt e.known f)) queries in
   let results = Array.make n None in
   Fun.protect
     ~finally:(fun () ->
       Array.iter
         (fun (f, old) ->
           match old with
-          | Some p -> Hashtbl.replace t.known f p
-          | None -> Hashtbl.remove t.known f)
+          | Some p -> Hashtbl.replace e.known f p
+          | None -> Hashtbl.remove e.known f)
         saved)
     (fun () ->
       for round = 0 to n_rounds - 1 do
@@ -109,10 +184,10 @@ let evaluate_batch ?pool t queries =
         Array.iter
           (fun i ->
             let f, p = queries.(i) in
-            Hashtbl.replace t.known f p)
+            Hashtbl.replace e.known f p)
           idxs;
         let verdicts =
-          Detector.Classification.evaluate_batch ?pool t.detector
+          Detector.Classification.evaluate_batch ?pool e.detector
             (Array.map (fun i -> fst queries.(i)) idxs)
         in
         Array.iteri (fun j i -> results.(i) <- Some verdicts.(j)) idxs

@@ -26,6 +26,32 @@ val create :
   (Vec.t * int * Vec.t) list ->
   t
 
+(** [of_snapshot ?telemetry s] rebuilds a service from a classification
+    snapshot, skipping the expensive calibration preparation; verdicts
+    are bit-identical to the service the snapshot was taken from.
+    Raises [Invalid_argument] on a regression snapshot. *)
+val of_snapshot : ?telemetry:Telemetry.t -> Snapshot.t -> t
+
+(** [swap ?store_generation t s] atomically replaces the serving
+    detector with one rebuilt from [s] — the hot-swap a background
+    retrain uses. In-flight queries finish against the engine they
+    started with; queries arriving after the swap see the new one. No
+    query is ever blocked or failed by a swap. [store_generation] (the
+    snapshot's {!Prom_store.Store.info.generation}) updates the
+    [prom_snapshot_generation] gauge when telemetry is attached.
+    Raises [Invalid_argument] on a regression snapshot. *)
+val swap : ?store_generation:int -> t -> Snapshot.t -> unit
+
+(** [generation t] counts successful {!swap}s: 0 for the engine the
+    service was built with, incremented on every swap. Exported as the
+    [prom_service_swaps_total] counter when telemetry is attached. *)
+val generation : t -> int
+
+(** [snapshot t] captures the current serving state (with the model
+    slot marked external — the host owns the real model). Restore with
+    {!of_snapshot} or {!swap}. *)
+val snapshot : t -> Snapshot.t
+
 (** [evaluate_batch ?pool t queries] evaluates a batch of
     (features, probability vector) pairs, fanned across the domain pool
     in deterministic chunks. Results are element-for-element identical

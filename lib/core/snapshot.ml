@@ -1,0 +1,477 @@
+open Prom_ml
+module Buf = Prom_store.Buf
+module Store = Prom_store.Store
+
+let codec_version = 1
+let kind_cls = "detector-cls"
+let kind_reg = "detector-reg"
+
+type cls_snapshot = {
+  cls_config : Config.t;
+  cls_committee : Nonconformity.cls list;
+  cls_model : Model.classifier option;
+  cls_calibration : Calibration.cls;
+  cls_monitor : Monitor.persisted option;
+}
+
+type reg_snapshot = {
+  reg_config : Config.t;
+  reg_committee : Nonconformity.reg list;
+  reg_model : Model.regressor;
+  reg_calibration : Calibration.reg;
+  reg_monitor : Monitor.persisted option;
+}
+
+type t = Cls of cls_snapshot | Reg of reg_snapshot
+
+(* --- Model dispatch. ---
+
+   Models are stored as (name, payload) with the per-module codecs of
+   [Prom_ml]; the name doubles as the dispatch key at decode time. The
+   service's "external" pseudo-model is the one nameable model without a
+   codec: its probability function lives in the serving process, so the
+   snapshot stores no payload and {!Service} rebuilds the closure around
+   the restored calibration. *)
+
+let external_model_name = "external"
+
+let cls_codecs :
+    (string * ((Buffer.t -> Model.classifier -> unit) * (Buf.reader -> Model.classifier)))
+    list =
+  [
+    ("logistic", (Logistic.to_buf, Logistic.of_buf));
+    ("naive-bayes", (Naive_bayes.to_buf, Naive_bayes.of_buf));
+    ("knn", (Knn.to_buf, Knn.of_buf));
+    ("svm", (Svm.to_buf, Svm.of_buf));
+    ("mlp", (Mlp.to_buf, Mlp.of_buf));
+    ("decision-tree", (Decision_tree.to_buf, Decision_tree.of_buf));
+    ("random-forest", (Random_forest.to_buf, Random_forest.of_buf));
+    ("gradient-boosting", (Gradient_boosting.to_buf, Gradient_boosting.of_buf));
+  ]
+
+let reg_codecs :
+    (string * ((Buffer.t -> Model.regressor -> unit) * (Buf.reader -> Model.regressor)))
+    list =
+  [
+    ("linreg", (Linreg.reg_to_buf, Linreg.reg_of_buf));
+    ("knn-reg", (Knn.reg_to_buf, Knn.reg_of_buf));
+    ("mlp-reg", (Mlp.reg_to_buf, Mlp.reg_of_buf));
+    ("decision-tree-reg", (Decision_tree.reg_to_buf, Decision_tree.reg_of_buf));
+    ("random-forest-reg", (Random_forest.reg_to_buf, Random_forest.reg_of_buf));
+    ("gradient-boosting-reg", (Gradient_boosting.reg_to_buf, Gradient_boosting.reg_of_buf));
+  ]
+
+let blob_of encode v =
+  let b = Buffer.create 256 in
+  encode b v;
+  Buffer.contents b
+
+let w_cls_model b = function
+  | None ->
+      Buf.w_string b external_model_name;
+      Buf.w_string b ""
+  | Some (m : Model.classifier) -> (
+      match List.assoc_opt m.name cls_codecs with
+      | Some (encode, _) ->
+          Buf.w_string b m.name;
+          Buf.w_string b (blob_of encode m)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Snapshot: classifier %S has no serializer" m.name))
+
+let r_cls_model r =
+  let name = Buf.r_string r in
+  let blob = Buf.r_string r in
+  if name = external_model_name then None
+  else
+    match List.assoc_opt name cls_codecs with
+    | Some (_, decode) ->
+        let br = Buf.reader blob in
+        let m = decode br in
+        Buf.expect_end br;
+        Some m
+    | None -> Buf.corrupt "Snapshot: unknown classifier %S" name
+
+let w_reg_model b (m : Model.regressor) =
+  match List.assoc_opt m.name reg_codecs with
+  | Some (encode, _) ->
+      Buf.w_string b m.name;
+      Buf.w_string b (blob_of encode m)
+  | None ->
+      invalid_arg (Printf.sprintf "Snapshot: regressor %S has no serializer" m.name)
+
+let r_reg_model r =
+  let name = Buf.r_string r in
+  let blob = Buf.r_string r in
+  match List.assoc_opt name reg_codecs with
+  | Some (_, decode) ->
+      let br = Buf.reader blob in
+      let m = decode br in
+      Buf.expect_end br;
+      m
+  | None -> Buf.corrupt "Snapshot: unknown regressor %S" name
+
+(* --- Committees (persisted as expert names). --- *)
+
+let w_cls_committee b committee =
+  List.iter
+    (fun fn ->
+      let name = fn.Nonconformity.cls_name in
+      if Nonconformity.cls_by_name name = None then
+        invalid_arg (Printf.sprintf "Snapshot: expert %S has no registry entry" name))
+    committee;
+  Buf.w_list Buf.w_string b (List.map (fun fn -> fn.Nonconformity.cls_name) committee)
+
+let r_cls_committee r =
+  let names = Buf.r_list Buf.r_string r in
+  if names = [] then Buf.corrupt "Snapshot: empty committee";
+  List.map
+    (fun name ->
+      match Nonconformity.cls_by_name name with
+      | Some fn -> fn
+      | None -> Buf.corrupt "Snapshot: unknown expert %S" name)
+    names
+
+let w_reg_committee b committee =
+  List.iter
+    (fun fn ->
+      let name = fn.Nonconformity.reg_name in
+      if Nonconformity.reg_by_name name = None then
+        invalid_arg (Printf.sprintf "Snapshot: expert %S has no registry entry" name))
+    committee;
+  Buf.w_list Buf.w_string b (List.map (fun fn -> fn.Nonconformity.reg_name) committee)
+
+let r_reg_committee r =
+  let names = Buf.r_list Buf.r_string r in
+  if names = [] then Buf.corrupt "Snapshot: empty committee";
+  List.map
+    (fun name ->
+      match Nonconformity.reg_by_name name with
+      | Some fn -> fn
+      | None -> Buf.corrupt "Snapshot: unknown expert %S" name)
+    names
+
+(* --- Config. --- *)
+
+let w_config b (c : Config.t) =
+  Buf.w_float b c.epsilon;
+  Buf.w_float b c.temperature;
+  Buf.w_float b c.select_ratio;
+  Buf.w_int b c.select_all_below;
+  Buf.w_float b c.gaussian_c;
+  Buf.w_int b c.knn_k;
+  Buf.w_float b c.vote_fraction;
+  Buf.w_u8 b
+    (match c.decision_rule with
+    | Config.Conjunction -> 0
+    | Config.Disjunction -> 1
+    | Config.Credibility_only -> 2)
+
+let r_config r : Config.t =
+  let epsilon = Buf.r_float r in
+  let temperature = Buf.r_float r in
+  let select_ratio = Buf.r_float r in
+  let select_all_below = Buf.r_int r in
+  let gaussian_c = Buf.r_float r in
+  let knn_k = Buf.r_int r in
+  let vote_fraction = Buf.r_float r in
+  let decision_rule =
+    match Buf.r_u8 r with
+    | 0 -> Config.Conjunction
+    | 1 -> Config.Disjunction
+    | 2 -> Config.Credibility_only
+    | t -> Buf.corrupt "Snapshot: invalid decision rule tag %d" t
+  in
+  {
+    epsilon;
+    temperature;
+    select_ratio;
+    select_all_below;
+    gaussian_c;
+    knn_k;
+    vote_fraction;
+    decision_rule;
+  }
+
+(* --- Scaler, k-means, monitor. --- *)
+
+let w_scaler b scaler =
+  let mu, sigma = Dataset.Scaler.params scaler in
+  Buf.w_floats b mu;
+  Buf.w_floats b sigma
+
+let r_scaler r =
+  let mu = Buf.r_floats r in
+  let sigma = Buf.r_floats r in
+  if Array.length mu <> Array.length sigma then Buf.corrupt "Snapshot: scaler shape";
+  Dataset.Scaler.of_params ~mu ~sigma
+
+let w_kmeans b (k : Kmeans.t) =
+  Buf.w_float_rows b k.centroids;
+  Buf.w_ints b k.assignments;
+  Buf.w_float b k.inertia
+
+let r_kmeans r : Kmeans.t =
+  let centroids = Buf.r_float_rows r in
+  let assignments = Buf.r_ints r in
+  let inertia = Buf.r_float r in
+  if Array.length centroids = 0 then Buf.corrupt "Snapshot: no centroids";
+  let k = Array.length centroids in
+  Array.iter
+    (fun a -> if a < 0 || a >= k then Buf.corrupt "Snapshot: cluster assignment out of range")
+    assignments;
+  { centroids; assignments; inertia }
+
+let w_monitor b (p : Monitor.persisted) =
+  Buf.w_int b p.p_window;
+  Buf.w_float b p.p_threshold;
+  Buf.w_int b p.p_patience;
+  Buf.w_bools b p.p_buffer;
+  Buf.w_int b p.p_filled;
+  Buf.w_int b p.p_head;
+  Buf.w_int b p.p_drifted_in_window;
+  Buf.w_int b p.p_above_streak;
+  Buf.w_int b p.p_consecutive_degrading;
+  Buf.w_int b p.p_total;
+  Buf.w_u8 b
+    (match p.p_status with Monitor.Healthy -> 0 | Monitor.Degrading -> 1 | Monitor.Ageing -> 2)
+
+let r_monitor r : Monitor.persisted =
+  let p_window = Buf.r_int r in
+  let p_threshold = Buf.r_float r in
+  let p_patience = Buf.r_int r in
+  let p_buffer = Buf.r_bools r in
+  let p_filled = Buf.r_int r in
+  let p_head = Buf.r_int r in
+  let p_drifted_in_window = Buf.r_int r in
+  let p_above_streak = Buf.r_int r in
+  let p_consecutive_degrading = Buf.r_int r in
+  let p_total = Buf.r_int r in
+  let p_status =
+    match Buf.r_u8 r with
+    | 0 -> Monitor.Healthy
+    | 1 -> Monitor.Degrading
+    | 2 -> Monitor.Ageing
+    | t -> Buf.corrupt "Snapshot: invalid monitor status tag %d" t
+  in
+  {
+    p_window;
+    p_threshold;
+    p_patience;
+    p_buffer;
+    p_filled;
+    p_head;
+    p_drifted_in_window;
+    p_above_streak;
+    p_consecutive_degrading;
+    p_total;
+    p_status;
+  }
+
+(* --- Calibration stores. --- *)
+
+let w_cls_entry b (e : Calibration.cls_entry) =
+  Buf.w_floats b e.features;
+  Buf.w_int b e.label;
+  Buf.w_floats b e.proba
+
+let r_cls_entry r : Calibration.cls_entry =
+  let features = Buf.r_floats r in
+  let label = Buf.r_int r in
+  let proba = Buf.r_floats r in
+  if label < 0 || label >= Array.length proba then
+    Buf.corrupt "Snapshot: entry label out of range";
+  { features; label; proba }
+
+let w_cls_calibration b (c : Calibration.cls) =
+  Buf.w_array w_cls_entry b c.entries;
+  w_scaler b c.scaler;
+  Buf.w_float b c.tau;
+  Buf.w_floats b c.loo_distances
+
+let r_cls_calibration ~config r =
+  let entries = Buf.r_array r_cls_entry r in
+  let scaler = r_scaler r in
+  let tau = Buf.r_float r in
+  let loo_distances = Buf.r_floats r in
+  Calibration.restore_cls ~entries ~config ~scaler ~tau ~loo_distances
+
+let w_reg_entry b (e : Calibration.reg_entry) =
+  Buf.w_floats b e.rfeatures;
+  Buf.w_float b e.target;
+  Buf.w_float b e.rpred;
+  Buf.w_int b e.cluster;
+  Buf.w_float b e.rproxy;
+  Buf.w_float b e.rspread
+
+let r_reg_entry r : Calibration.reg_entry =
+  let rfeatures = Buf.r_floats r in
+  let target = Buf.r_float r in
+  let rpred = Buf.r_float r in
+  let cluster = Buf.r_int r in
+  let rproxy = Buf.r_float r in
+  let rspread = Buf.r_float r in
+  if cluster < 0 then Buf.corrupt "Snapshot: negative cluster label";
+  { rfeatures; target; rpred; cluster; rproxy; rspread }
+
+let w_reg_calibration b (c : Calibration.reg) =
+  Buf.w_array w_reg_entry b c.rentries;
+  w_kmeans b c.clusters;
+  Buf.w_int b c.n_clusters;
+  w_scaler b c.rscaler;
+  Buf.w_float b c.rtau;
+  Buf.w_floats b c.rloo_distances
+
+let r_reg_calibration ~config r =
+  let rentries = Buf.r_array r_reg_entry r in
+  let clusters = r_kmeans r in
+  let n_clusters = Buf.r_int r in
+  let rscaler = r_scaler r in
+  let rtau = Buf.r_float r in
+  let rloo_distances = Buf.r_floats r in
+  Array.iter
+    (fun (e : Calibration.reg_entry) ->
+      if e.cluster >= n_clusters then Buf.corrupt "Snapshot: cluster label out of range")
+    rentries;
+  Calibration.restore_reg ~rentries ~rconfig:config ~clusters ~n_clusters ~rscaler ~rtau
+    ~rloo_distances
+
+(* --- Top-level payload. --- *)
+
+let encode snapshot =
+  let b = Buffer.create 4096 in
+  (match snapshot with
+  | Cls s ->
+      Buf.w_u8 b 0;
+      w_config b s.cls_config;
+      w_cls_committee b s.cls_committee;
+      w_cls_model b s.cls_model;
+      w_cls_calibration b s.cls_calibration;
+      Buf.w_option w_monitor b s.cls_monitor
+  | Reg s ->
+      Buf.w_u8 b 1;
+      w_config b s.reg_config;
+      w_reg_committee b s.reg_committee;
+      w_reg_model b s.reg_model;
+      w_reg_calibration b s.reg_calibration;
+      Buf.w_option w_monitor b s.reg_monitor);
+  Buffer.contents b
+
+(* Restore constructors raise [Invalid_argument] on inconsistent state;
+   from a decode's point of view that is just another corruption mode of
+   the payload, so it maps to [Corrupt] (and thus to the generation
+   fallback in [load_latest]). *)
+let decode payload =
+  let r = Buf.reader payload in
+  try
+    let t =
+      match Buf.r_u8 r with
+      | 0 ->
+          let cls_config = r_config r in
+          let cls_committee = r_cls_committee r in
+          let cls_model = r_cls_model r in
+          let cls_calibration = r_cls_calibration ~config:cls_config r in
+          let cls_monitor = Buf.r_option r_monitor r in
+          Cls { cls_config; cls_committee; cls_model; cls_calibration; cls_monitor }
+      | 1 ->
+          let reg_config = r_config r in
+          let reg_committee = r_reg_committee r in
+          let reg_model = r_reg_model r in
+          let reg_calibration = r_reg_calibration ~config:reg_config r in
+          let reg_monitor = Buf.r_option r_monitor r in
+          Reg { reg_config; reg_committee; reg_model; reg_calibration; reg_monitor }
+      | t -> Buf.corrupt "Snapshot: invalid payload tag %d" t
+    in
+    Buf.expect_end r;
+    t
+  with Invalid_argument msg -> Buf.corrupt "Snapshot: invalid state (%s)" msg
+
+let kind_of = function Cls _ -> kind_cls | Reg _ -> kind_reg
+
+(* --- Detector bridges. --- *)
+
+let of_cls_detector ?monitor ?(external_model = false) detector =
+  let model = Detector.Classification.model detector in
+  Cls
+    {
+      cls_config = Detector.Classification.config detector;
+      cls_committee = Detector.Classification.committee detector;
+      cls_model = (if external_model then None else Some model);
+      cls_calibration = Detector.Classification.calibration detector;
+      cls_monitor = Option.map Monitor.persist monitor;
+    }
+
+let of_reg_detector ?monitor detector =
+  Reg
+    {
+      reg_config = Detector.Regression.config detector;
+      reg_committee = Detector.Regression.committee detector;
+      reg_model = Detector.Regression.model detector;
+      reg_calibration = Detector.Regression.calibration detector;
+      reg_monitor = Option.map Monitor.persist monitor;
+    }
+
+let to_cls_detector ?telemetry ?(feature_of = Fun.id) (s : cls_snapshot) =
+  match s.cls_model with
+  | None ->
+      invalid_arg
+        "Snapshot.to_cls_detector: snapshot has an external model; restore through \
+         Service.of_snapshot"
+  | Some model ->
+      Detector.Classification.of_calibration ~config:s.cls_config
+        ~committee:s.cls_committee ?telemetry ~model ~feature_of s.cls_calibration
+
+let to_reg_detector ?telemetry ?(feature_of = Fun.id) (s : reg_snapshot) =
+  Detector.Regression.of_calibration ~config:s.reg_config ~committee:s.reg_committee
+    ?telemetry ~model:s.reg_model ~feature_of s.reg_calibration
+
+(* --- Store plumbing. --- *)
+
+let save ?telemetry ~dir snapshot =
+  let info =
+    Store.save ~dir ~kind:(kind_of snapshot) ~codec_version (encode snapshot)
+  in
+  (match telemetry with
+  | Some tel ->
+      Prom_obs.Counter.inc tel.Telemetry.snapshot_saves;
+      Prom_obs.Gauge.set tel.Telemetry.snapshot_generation
+        (float_of_int info.Store.generation)
+  | None -> ());
+  info
+
+let check_codec (info : Store.info) =
+  if info.Store.codec_version <> codec_version then
+    Buf.corrupt "Snapshot: unsupported codec version %d" info.Store.codec_version
+
+(* Generations whose payload decodes but whose domain state is invalid
+   fall back exactly like checksum failures: walk newest-first, skip
+   anything that raises. *)
+let load_latest ?telemetry ?kind ~dir () =
+  let rec try_generations = function
+    | [] -> None
+    | g :: rest -> (
+        match Store.load_generation ?kind ~dir g with
+        | None -> try_generations rest
+        | Some (info, payload) -> (
+            match
+              check_codec info;
+              decode payload
+            with
+            | snapshot ->
+                (match telemetry with
+                | Some tel ->
+                    Prom_obs.Counter.inc tel.Telemetry.snapshot_loads;
+                    Prom_obs.Gauge.set tel.Telemetry.snapshot_generation
+                      (float_of_int info.Store.generation)
+                | None -> ());
+                Some (snapshot, info)
+            | exception Buf.Corrupt _ -> try_generations rest))
+  in
+  try_generations (List.rev (Store.generations dir))
+
+let load path =
+  let info, payload = Store.load path in
+  check_codec info;
+  if info.Store.kind <> kind_cls && info.Store.kind <> kind_reg then
+    Buf.corrupt "Snapshot: unknown kind %S" info.Store.kind;
+  (decode payload, info)

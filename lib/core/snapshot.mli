@@ -1,0 +1,111 @@
+(** Domain codec between the serving stack's state and the versioned
+    container files of {!Prom_store.Store}.
+
+    A snapshot captures everything a deployed detector needs to resume
+    with bit-identical verdicts: the configuration, the committee (as
+    expert names), the trained model (via the per-module codecs of
+    [Prom_ml]), the {e prepared} calibration store — entries, scaler,
+    self-calibrated tau and leave-one-out distance table, so the
+    O(n²·d) preparation never re-runs on restore — and optionally the
+    ageing monitor's window state. Restoring only repacks the feature
+    matrix (O(n·d)) and recomputes the cheap per-entry committee score
+    tables.
+
+    Two things deliberately do not round-trip: custom nonconformity
+    closures (committees are persisted by name; see
+    {!Nonconformity.cls_by_name}) and the [feature_of] embedding, which
+    is re-supplied at restore time (default [Fun.id]). *)
+
+open Prom_linalg
+open Prom_ml
+
+(** Payload codec version written into every container header; bumped
+    whenever the layout below changes. *)
+val codec_version : int
+
+val kind_cls : string
+(** Container kind tag for classification snapshots. *)
+
+val kind_reg : string
+(** Container kind tag for regression snapshots. *)
+
+(** Decoded classification snapshot. [cls_model] is [None] when the
+    snapshot was taken from a {!Service} over an external model (the
+    probability function lives in the serving process and cannot be
+    serialized); such snapshots restore through [Service.of_snapshot]
+    only. *)
+type cls_snapshot = {
+  cls_config : Config.t;
+  cls_committee : Nonconformity.cls list;
+  cls_model : Model.classifier option;
+  cls_calibration : Calibration.cls;
+  cls_monitor : Monitor.persisted option;
+}
+
+(** Decoded regression snapshot. *)
+type reg_snapshot = {
+  reg_config : Config.t;
+  reg_committee : Nonconformity.reg list;
+  reg_model : Model.regressor;
+  reg_calibration : Calibration.reg;
+  reg_monitor : Monitor.persisted option;
+}
+
+type t = Cls of cls_snapshot | Reg of reg_snapshot
+
+(** [of_cls_detector ?monitor ?external_model d] captures a
+    classification detector (and optionally its monitor's window
+    state). [external_model] (default false) records the model slot as
+    external instead of serializing it — the {!Service} path. Raises
+    [Invalid_argument] when the model or a committee member has no
+    serializer. *)
+val of_cls_detector :
+  ?monitor:Monitor.t -> ?external_model:bool -> Detector.Classification.t -> t
+
+(** [of_reg_detector ?monitor d] captures a regression detector. *)
+val of_reg_detector : ?monitor:Monitor.t -> Detector.Regression.t -> t
+
+(** [to_cls_detector ?telemetry ?feature_of s] rebuilds the detector;
+    verdicts are bit-identical to the snapshotted one. [feature_of]
+    defaults to [Fun.id]. Raises [Invalid_argument] when [s] carries an
+    external model. *)
+val to_cls_detector :
+  ?telemetry:Telemetry.t -> ?feature_of:(Vec.t -> Vec.t) -> cls_snapshot ->
+  Detector.Classification.t
+
+(** [to_reg_detector ?telemetry ?feature_of s] — the regression
+    analogue. *)
+val to_reg_detector :
+  ?telemetry:Telemetry.t -> ?feature_of:(Vec.t -> Vec.t) -> reg_snapshot ->
+  Detector.Regression.t
+
+(** [encode t] is the container payload. Raises [Invalid_argument] when
+    the snapshot holds an unserializable model or committee. *)
+val encode : t -> string
+
+(** [decode payload] parses a payload produced by {!encode}. Raises
+    [Prom_store.Buf.Corrupt] on any malformed, truncated or
+    domain-invalid input (never [Invalid_argument]). *)
+val decode : string -> t
+
+(** [kind_of t] is {!kind_cls} or {!kind_reg}. *)
+val kind_of : t -> string
+
+(** [save ?telemetry ~dir t] encodes and writes the next generation
+    into [dir] (atomic write; see {!Prom_store.Store.save}), updating
+    the bundle's snapshot counters when [telemetry] is given. *)
+val save : ?telemetry:Telemetry.t -> dir:string -> t -> Prom_store.Store.info
+
+(** [load_latest ?telemetry ?kind ~dir ()] decodes the newest
+    generation that validates end to end — container framing, checksum
+    {e and} domain state. Generations failing any of those are skipped
+    (the crash-recovery fallback); [None] when nothing in [dir]
+    survives. *)
+val load_latest :
+  ?telemetry:Telemetry.t -> ?kind:string -> dir:string -> unit ->
+  (t * Prom_store.Store.info) option
+
+(** [load path] decodes one specific container file; raises
+    [Prom_store.Buf.Corrupt] (or [Sys_error]) instead of falling
+    back. *)
+val load : string -> t * Prom_store.Store.info

@@ -14,6 +14,10 @@ type t = {
   flagged_total : Obs.Counter.t;
   relabeled_total : Obs.Counter.t;
   retrain_total : Obs.Counter.t;
+  snapshot_generation : Obs.Gauge.t;
+  snapshot_saves : Obs.Counter.t;
+  snapshot_loads : Obs.Counter.t;
+  service_swaps : Obs.Counter.t;
 }
 
 let batch_size_buckets =
@@ -57,6 +61,16 @@ let create registry =
     retrain_total =
       Obs.counter registry ~help:"Incremental retraining rounds"
         "prom_incremental_retrain_total";
+    snapshot_generation =
+      Obs.gauge registry ~help:"Generation of the snapshot currently serving"
+        "prom_snapshot_generation";
+    snapshot_saves =
+      Obs.counter registry ~help:"Snapshots written" "prom_snapshot_saves_total";
+    snapshot_loads =
+      Obs.counter registry ~help:"Snapshots loaded" "prom_snapshot_loads_total";
+    service_swaps =
+      Obs.counter registry ~help:"Hot-swaps of the serving detector"
+        "prom_service_swaps_total";
   }
 
 let registry t = t.registry

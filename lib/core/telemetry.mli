@@ -29,6 +29,14 @@ type t = {
   relabeled_total : Prom_obs.Counter.t;
       (** [prom_incremental_relabeled_total] *)
   retrain_total : Prom_obs.Counter.t;  (** [prom_incremental_retrain_total] *)
+  snapshot_generation : Prom_obs.Gauge.t;
+      (** [prom_snapshot_generation]: generation of the snapshot the
+          service is currently serving (0 until a save or swap). *)
+  snapshot_saves : Prom_obs.Counter.t;  (** [prom_snapshot_saves_total] *)
+  snapshot_loads : Prom_obs.Counter.t;  (** [prom_snapshot_loads_total] *)
+  service_swaps : Prom_obs.Counter.t;
+      (** [prom_service_swaps_total]: atomic hot-swaps of the serving
+          detector. *)
 }
 
 (** [create registry] registers the full instrument bundle on
@@ -36,6 +44,7 @@ type t = {
     same registry share series. *)
 val create : Prom_obs.registry -> t
 
+(** The registry this bundle was created on. *)
 val registry : t -> Prom_obs.registry
 
 (** [expert_flag_counter t name] is the per-expert drift-flag counter

@@ -89,4 +89,11 @@ module Scaler = struct
     Array.mapi (fun j x -> (x -. t.mu.(j)) /. t.sigma.(j)) v
 
   let transform_dataset t d = map_features (transform t) d
+
+  let params t = (t.mu, t.sigma)
+
+  let of_params ~mu ~sigma =
+    if Array.length mu <> Array.length sigma then
+      invalid_arg "Scaler.of_params: dimension mismatch";
+    { mu; sigma }
 end

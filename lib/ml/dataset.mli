@@ -57,6 +57,15 @@ module Scaler : sig
   type t
 
   val fit : 'a dataset -> t
+
   val transform : t -> Vec.t -> Vec.t
   val transform_dataset : t -> 'a dataset -> 'a dataset
+
+  (** [params t] exposes the fitted per-feature [(mu, sigma)] so a
+      scaler can be serialized. *)
+  val params : t -> float array * float array
+
+  (** [of_params ~mu ~sigma] rebuilds a scaler from serialized
+      statistics; raises [Invalid_argument] on length mismatch. *)
+  val of_params : mu:float array -> sigma:float array -> t
 end

@@ -164,3 +164,64 @@ let regressor ?params (d : float Dataset.t) =
     name = "decision-tree-reg";
     reg_state = Reg_tree t;
   }
+
+(* --- Serialization. Trees are written pre-order with a tag byte per
+   node; the leaf payload codec is a parameter so the forest and
+   boosting ensembles reuse the same framing for their float-leaf
+   trees. *)
+
+module Buf = Prom_store.Buf
+
+let rec tree_to_buf w_leaf b = function
+  | Leaf v ->
+      Buf.w_u8 b 0;
+      w_leaf b v
+  | Node { feature; threshold; left; right } ->
+      Buf.w_u8 b 1;
+      Buf.w_int b feature;
+      Buf.w_float b threshold;
+      tree_to_buf w_leaf b left;
+      tree_to_buf w_leaf b right
+
+let rec tree_of_buf r_leaf r =
+  match Buf.r_u8 r with
+  | 0 -> Leaf (r_leaf r)
+  | 1 ->
+      let feature = Buf.r_int r in
+      if feature < 0 then Buf.corrupt "Decision_tree: negative split feature";
+      let threshold = Buf.r_float r in
+      let left = tree_of_buf r_leaf r in
+      let right = tree_of_buf r_leaf r in
+      Node { feature; threshold; left; right }
+  | t -> Buf.corrupt "Decision_tree: invalid node tag %d" t
+
+let to_buf b (c : Model.classifier) =
+  match c.state with
+  | Class_tree t ->
+      Buf.w_int b c.n_classes;
+      tree_to_buf Buf.w_floats b t
+  | _ -> invalid_arg "Decision_tree.to_buf: not a decision-tree classifier"
+
+let of_buf r =
+  let n_classes = Buf.r_int r in
+  if n_classes < 1 then Buf.corrupt "Decision_tree: invalid n_classes";
+  let t = tree_of_buf Buf.r_floats r in
+  {
+    Model.n_classes;
+    predict_proba = (fun x -> leaf_value t x);
+    name = "decision-tree";
+    state = Class_tree t;
+  }
+
+let reg_to_buf b (m : Model.regressor) =
+  match m.reg_state with
+  | Reg_tree t -> tree_to_buf Buf.w_float b t
+  | _ -> invalid_arg "Decision_tree.reg_to_buf: not a decision-tree regressor"
+
+let reg_of_buf r =
+  let t = tree_of_buf Buf.r_float r in
+  {
+    Model.predict = (fun x -> leaf_value t x);
+    name = "decision-tree-reg";
+    reg_state = Reg_tree t;
+  }

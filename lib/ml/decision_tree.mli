@@ -39,3 +39,29 @@ val fit_regression : ?params:split_params -> float Dataset.t -> float tree
 val classifier : ?params:split_params -> int Dataset.t -> Model.classifier
 
 val regressor : ?params:split_params -> float Dataset.t -> Model.regressor
+
+(** {2 Serialization}
+
+    Pre-order binary encoding with one tag byte per node; the leaf
+    codec is a parameter so tree ensembles ({!Random_forest},
+    {!Gradient_boosting}) reuse the same framing. Decoders raise
+    [Prom_store.Buf.Corrupt] on malformed input. *)
+
+(** [tree_to_buf w_leaf b t] appends the binary encoding of [t]. *)
+val tree_to_buf : (Buffer.t -> 'leaf -> unit) -> Buffer.t -> 'leaf tree -> unit
+
+(** [tree_of_buf r_leaf r] decodes a tree written by {!tree_to_buf}. *)
+val tree_of_buf :
+  (Prom_store.Buf.reader -> 'leaf) -> Prom_store.Buf.reader -> 'leaf tree
+
+(** [to_buf b c] serializes a classifier produced by this module;
+    raises [Invalid_argument] for classifiers of other modules. *)
+val to_buf : Buffer.t -> Model.classifier -> unit
+
+(** [of_buf r] rebuilds a classifier with bit-identical predictions. *)
+val of_buf : Prom_store.Buf.reader -> Model.classifier
+
+(** [reg_to_buf b m] — regressor analogue of {!to_buf}. *)
+val reg_to_buf : Buffer.t -> Model.regressor -> unit
+
+val reg_of_buf : Prom_store.Buf.reader -> Model.regressor

@@ -126,6 +126,13 @@ let reg_predict ens x =
     (fun acc tree -> acc +. (ens.reg_shrinkage *. Decision_tree.leaf_value tree x))
     ens.base ens.reg_rounds
 
+let regressor_of_ensemble ens =
+  {
+    Model.predict = (fun x -> reg_predict ens x);
+    name = "gradient-boosting-reg";
+    reg_state = Reg_ensemble ens;
+  }
+
 let train_regressor ?(params = default_params) ?init (d : float Dataset.t) =
   let n = Dataset.length d in
   if n = 0 then invalid_arg "Gradient_boosting.train_regressor: empty dataset";
@@ -153,21 +160,55 @@ let train_regressor ?(params = default_params) ?init (d : float Dataset.t) =
     done;
     rounds := !rounds @ [ tree ]
   done;
-  let ens =
+  regressor_of_ensemble
     {
       base = start.base;
       reg_rounds = Array.of_list !rounds;
       reg_shrinkage = params.learning_rate;
     }
-  in
-  {
-    Model.predict = (fun x -> reg_predict ens x);
-    name = "gradient-boosting-reg";
-    reg_state = Reg_ensemble ens;
-  }
 
 let regressor_trainer ?params () =
   {
     Model.train_reg = (fun ?init d -> train_regressor ?params ?init d);
     reg_trainer_name = "gradient-boosting-reg";
   }
+
+module Buf = Prom_store.Buf
+
+let to_buf b (c : Model.classifier) =
+  match c.state with
+  | Class_ensemble { n_classes; base_score; rounds; shrinkage } ->
+      Buf.w_int b n_classes;
+      Buf.w_floats b base_score;
+      Buf.w_float b shrinkage;
+      Buf.w_array (Buf.w_array (Decision_tree.tree_to_buf Buf.w_float)) b rounds
+  | _ -> invalid_arg "Gradient_boosting.to_buf: not a gradient-boosting classifier"
+
+let of_buf r =
+  let n_classes = Buf.r_int r in
+  let base_score = Buf.r_floats r in
+  let shrinkage = Buf.r_float r in
+  let rounds = Buf.r_array (Buf.r_array (Decision_tree.tree_of_buf Buf.r_float)) r in
+  if n_classes < 1 then Buf.corrupt "Gradient_boosting: invalid class count";
+  if Array.length base_score <> n_classes then
+    Buf.corrupt "Gradient_boosting: base score length mismatch";
+  Array.iter
+    (fun round ->
+      if Array.length round <> n_classes then
+        Buf.corrupt "Gradient_boosting: round width mismatch")
+    rounds;
+  classifier_of_ensemble { n_classes; base_score; rounds; shrinkage }
+
+let reg_to_buf b (m : Model.regressor) =
+  match m.reg_state with
+  | Reg_ensemble { base; reg_rounds; reg_shrinkage } ->
+      Buf.w_float b base;
+      Buf.w_float b reg_shrinkage;
+      Buf.w_array (Decision_tree.tree_to_buf Buf.w_float) b reg_rounds
+  | _ -> invalid_arg "Gradient_boosting.reg_to_buf: not a gradient-boosting regressor"
+
+let reg_of_buf r =
+  let base = Buf.r_float r in
+  let reg_shrinkage = Buf.r_float r in
+  let reg_rounds = Buf.r_array (Decision_tree.tree_of_buf Buf.r_float) r in
+  regressor_of_ensemble { base; reg_rounds; reg_shrinkage }

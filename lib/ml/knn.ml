@@ -6,8 +6,13 @@ let default_params = { k = 5; weighted = true }
 
 let weight ~weighted dist = if weighted then 1.0 /. (1e-6 +. dist) else 1.0
 
-let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
-  if Dataset.length d = 0 then invalid_arg "Knn.train: empty dataset";
+(* The training set IS the model, so it is kept as first-class state
+   (not a closure capture) and the snapshot codecs can write it out. *)
+type Model.state +=
+  | Knn_cls of { cparams : params; cdata : int Dataset.t }
+  | Knn_reg of { rk : int; rdata : float Dataset.t }
+
+let classifier_of ~params (d : int Dataset.t) =
   let n_classes = Dataset.n_classes d in
   {
     Model.n_classes;
@@ -24,8 +29,12 @@ let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
         if z = 0.0 then Array.make n_classes (1.0 /. float_of_int n_classes)
         else Vec.scale (1.0 /. z) votes);
     name = "knn";
-    state = Model.No_state;
+    state = Knn_cls { cparams = params; cdata = d };
   }
+
+let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Knn.train: empty dataset";
+  classifier_of ~params d
 
 let trainer ?params () =
   { Model.train = (fun ?init d -> train ?params ?init d); trainer_name = "knn" }
@@ -36,10 +45,59 @@ let predict_value ~k (d : float Dataset.t) v =
   let acc = Array.fold_left (fun acc i -> acc +. d.y.(i)) 0.0 idx in
   acc /. float_of_int (Array.length idx)
 
+let regressor_of ~k (d : float Dataset.t) =
+  {
+    Model.predict = (fun v -> predict_value ~k d v);
+    name = "knn-reg";
+    reg_state = Knn_reg { rk = k; rdata = d };
+  }
+
 let train_regressor ?(params = default_params) ?init:_ (d : float Dataset.t) =
   if Dataset.length d = 0 then invalid_arg "Knn.train_regressor: empty dataset";
-  {
-    Model.predict = (fun v -> predict_value ~k:params.k d v);
-    name = "knn-reg";
-    reg_state = Model.No_state;
-  }
+  regressor_of ~k:params.k d
+
+module Buf = Prom_store.Buf
+
+let w_dataset w_label b (d : _ Dataset.t) =
+  Buf.w_float_rows b d.Dataset.x;
+  Buf.w_array w_label b d.Dataset.y
+
+let r_dataset r_label r =
+  let x = Buf.r_float_rows r in
+  let y = Buf.r_array r_label r in
+  if Array.length x <> Array.length y then Buf.corrupt "Knn: sample/label count mismatch";
+  try Dataset.create x y
+  with Invalid_argument msg -> Buf.corrupt "Knn: invalid dataset (%s)" msg
+
+let to_buf b (c : Model.classifier) =
+  match c.state with
+  | Knn_cls { cparams; cdata } ->
+      Buf.w_int b cparams.k;
+      Buf.w_bool b cparams.weighted;
+      w_dataset Buf.w_int b cdata
+  | _ -> invalid_arg "Knn.to_buf: not a knn classifier"
+
+let of_buf r =
+  let k = Buf.r_int r in
+  let weighted = Buf.r_bool r in
+  let d = r_dataset Buf.r_int r in
+  if k < 1 then Buf.corrupt "Knn: invalid k";
+  if Dataset.length d = 0 then Buf.corrupt "Knn: empty training set";
+  Array.iter
+    (fun y -> if y < 0 then Buf.corrupt "Knn: negative label")
+    d.Dataset.y;
+  classifier_of ~params:{ k; weighted } d
+
+let reg_to_buf b (m : Model.regressor) =
+  match m.reg_state with
+  | Knn_reg { rk; rdata } ->
+      Buf.w_int b rk;
+      w_dataset Buf.w_float b rdata
+  | _ -> invalid_arg "Knn.reg_to_buf: not a knn regressor"
+
+let reg_of_buf r =
+  let k = Buf.r_int r in
+  let d = r_dataset Buf.r_float r in
+  if k < 1 then Buf.corrupt "Knn: invalid k";
+  if Dataset.length d = 0 then Buf.corrupt "Knn: empty training set";
+  regressor_of ~k d

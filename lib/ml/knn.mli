@@ -18,3 +18,19 @@ val train_regressor :
 (** [predict_value ~k d v] is the k-NN estimate of the target of [v]
     from dataset [d] directly, without building a model value. *)
 val predict_value : k:int -> float Dataset.t -> Vec.t -> float
+
+(** [to_buf b c] serializes the parameters and retained training set;
+    raises [Invalid_argument] for classifiers of other modules. *)
+val to_buf : Buffer.t -> Model.classifier -> unit
+
+(** [of_buf r] rebuilds a classifier with bit-identical probability
+    vectors; raises [Prom_store.Buf.Corrupt] on malformed input. *)
+val of_buf : Prom_store.Buf.reader -> Model.classifier
+
+(** [reg_to_buf b m] serializes the regressor's [k] and training set;
+    raises [Invalid_argument] for regressors of other modules. *)
+val reg_to_buf : Buffer.t -> Model.regressor -> unit
+
+(** [reg_of_buf r] rebuilds a regressor with bit-identical
+    predictions; raises [Prom_store.Buf.Corrupt] on malformed input. *)
+val reg_of_buf : Prom_store.Buf.reader -> Model.regressor

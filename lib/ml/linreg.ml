@@ -3,6 +3,13 @@ open Prom_linalg
 type fitted = { w : Vec.t; b : float }
 type Model.state += Coeffs of fitted
 
+let regressor_of fitted =
+  {
+    Model.predict = (fun x -> Vec.dot fitted.w x +. fitted.b);
+    name = "linreg";
+    reg_state = Coeffs fitted;
+  }
+
 let train ?(l2 = 1e-6) ?init:_ (d : float Dataset.t) =
   let n = Dataset.length d in
   if n = 0 then invalid_arg "Linreg.train: empty dataset";
@@ -26,12 +33,7 @@ let train ?(l2 = 1e-6) ?init:_ (d : float Dataset.t) =
     xtx.(a).(a) <- xtx.(a).(a) +. l2
   done;
   let sol = Mat.solve xtx xty in
-  let fitted = { w = Array.sub sol 0 dim; b = sol.(dim) } in
-  {
-    Model.predict = (fun x -> Vec.dot fitted.w x +. fitted.b);
-    name = "linreg";
-    reg_state = Coeffs fitted;
-  }
+  regressor_of { w = Array.sub sol 0 dim; b = sol.(dim) }
 
 let trainer ?l2 () =
   {
@@ -41,3 +43,17 @@ let trainer ?l2 () =
 
 let coefficients (r : Model.regressor) =
   match r.reg_state with Coeffs { w; b } -> Some (w, b) | _ -> None
+
+module Buf = Prom_store.Buf
+
+let reg_to_buf buf (m : Model.regressor) =
+  match m.reg_state with
+  | Coeffs { w; b } ->
+      Buf.w_floats buf w;
+      Buf.w_float buf b
+  | _ -> invalid_arg "Linreg.reg_to_buf: not a linreg regressor"
+
+let reg_of_buf r =
+  let w = Buf.r_floats r in
+  let b = Buf.r_float r in
+  regressor_of { w; b }

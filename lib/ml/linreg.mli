@@ -13,3 +13,11 @@ val trainer : ?l2:float -> unit -> Model.regressor_trainer
 (** [coefficients r] returns [(w, b)] for a model trained by this
     module; [None] otherwise. *)
 val coefficients : Model.regressor -> (Vec.t * float) option
+
+(** [reg_to_buf b m] serializes the fitted coefficients; raises
+    [Invalid_argument] for regressors of other modules. *)
+val reg_to_buf : Buffer.t -> Model.regressor -> unit
+
+(** [reg_of_buf r] rebuilds a regressor with bit-identical
+    predictions. *)
+val reg_of_buf : Prom_store.Buf.reader -> Model.regressor

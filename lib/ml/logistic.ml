@@ -90,3 +90,25 @@ let trainer ?params () =
     Model.train = (fun ?init d -> train ?params ?init d);
     trainer_name = "logistic";
   }
+
+module Buf = Prom_store.Buf
+
+let to_buf b (c : Model.classifier) =
+  match c.state with
+  | Weights { w; dim } ->
+      Buf.w_int b c.n_classes;
+      Buf.w_int b dim;
+      Buf.w_float_rows b w
+  | _ -> invalid_arg "Logistic.to_buf: not a logistic classifier"
+
+let of_buf r =
+  let n_classes = Buf.r_int r in
+  let dim = Buf.r_int r in
+  let w = Buf.r_float_rows r in
+  if n_classes < 1 || dim < 0 || Array.length w <> n_classes then
+    Buf.corrupt "Logistic: inconsistent weight shape";
+  Array.iter
+    (fun row ->
+      if Array.length row <> dim + 1 then Buf.corrupt "Logistic: ragged weight row")
+    w;
+  make_classifier ~n_classes { w; dim }

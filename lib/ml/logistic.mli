@@ -24,6 +24,14 @@ val train : ?params:params -> ?init:Model.classifier -> int Dataset.t -> Model.c
 (** [trainer ?params ()] packages [train] as a first-class trainer. *)
 val trainer : ?params:params -> unit -> Model.classifier_trainer
 
+(** [to_buf b c] serializes the weight matrix of a classifier trained by
+    this module; raises [Invalid_argument] for foreign classifiers. *)
+val to_buf : Buffer.t -> Model.classifier -> unit
+
+(** [of_buf r] rebuilds a classifier with bit-identical probability
+    vectors; raises [Prom_store.Buf.Corrupt] on malformed input. *)
+val of_buf : Prom_store.Buf.reader -> Model.classifier
+
 (**/**)
 
 (** Exposed for white-box tests: raw decision scores before softmax. *)

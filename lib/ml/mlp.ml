@@ -184,6 +184,16 @@ let classifier_of_net ~n_classes net =
     state = Net net;
   }
 
+let regressor_of_net net =
+  {
+    Model.predict =
+      (fun x ->
+        let acts = forward net x in
+        acts.(Array.length acts - 1).(0));
+    name = "mlp-reg";
+    reg_state = Net net;
+  }
+
 let sizes_for ~dim ~hidden ~out = Array.of_list ((dim :: hidden) @ [ out ])
 
 let train ?(params = default_params) ?init (d : int Dataset.t) =
@@ -220,14 +230,7 @@ let train_regressor ?(params = default_params) ?init (d : float Dataset.t) =
   in
   let delta_of i out = [| out.(0) -. d.y.(i) |] in
   run_training params net d.x (Dataset.length d) delta_of;
-  {
-    Model.predict =
-      (fun x ->
-        let acts = forward net x in
-        acts.(Array.length acts - 1).(0));
-    name = "mlp-reg";
-    reg_state = Net net;
-  }
+  regressor_of_net net
 
 let regressor_trainer ?params () =
   {
@@ -241,3 +244,64 @@ let penultimate (c : Model.classifier) x =
       let acts = forward net x in
       Some acts.(Array.length acts - 2)
   | _ -> None
+
+module Buf = Prom_store.Buf
+
+let net_to_buf b net =
+  Buf.w_u8 b (match net.activation with Relu -> 0 | Tanh -> 1);
+  Buf.w_ints b net.sizes;
+  Buf.w_array
+    (fun b layer ->
+      Buf.w_float_rows b layer.w;
+      Buf.w_floats b layer.b)
+    b net.layers
+
+let net_of_buf r =
+  let activation =
+    match Buf.r_u8 r with
+    | 0 -> Relu
+    | 1 -> Tanh
+    | t -> Buf.corrupt "Mlp: invalid activation tag %d" t
+  in
+  let sizes = Buf.r_ints r in
+  let layers =
+    Buf.r_array
+      (fun r ->
+        let w = Buf.r_float_rows r in
+        let b = Buf.r_floats r in
+        { w; b })
+      r
+  in
+  let n = Array.length layers in
+  if Array.length sizes <> n + 1 || n = 0 then Buf.corrupt "Mlp: layer/size count mismatch";
+  Array.iteri
+    (fun l layer ->
+      let fan_in = sizes.(l) and fan_out = sizes.(l + 1) in
+      if fan_in < 0 || fan_out < 1 then Buf.corrupt "Mlp: invalid layer size";
+      if Array.length layer.w <> fan_out || Array.length layer.b <> fan_out then
+        Buf.corrupt "Mlp: layer %d shape mismatch" l;
+      Array.iter
+        (fun row -> if Array.length row <> fan_in then Buf.corrupt "Mlp: ragged weights")
+        layer.w)
+    layers;
+  { layers; activation; sizes }
+
+let to_buf b (c : Model.classifier) =
+  match c.state with
+  | Net net -> net_to_buf b net
+  | _ -> invalid_arg "Mlp.to_buf: not an mlp classifier"
+
+let of_buf r =
+  let net = net_of_buf r in
+  classifier_of_net ~n_classes:net.sizes.(Array.length net.sizes - 1) net
+
+let reg_to_buf b (m : Model.regressor) =
+  match m.reg_state with
+  | Net net -> net_to_buf b net
+  | _ -> invalid_arg "Mlp.reg_to_buf: not an mlp regressor"
+
+let reg_of_buf r =
+  let net = net_of_buf r in
+  if net.sizes.(Array.length net.sizes - 1) <> 1 then
+    Buf.corrupt "Mlp: regressor output width must be 1";
+  regressor_of_net net

@@ -1,5 +1,33 @@
 open Prom_linalg
 
+(* Per-class Gaussian parameters — kept as first-class state (rather
+   than closure captures) so the model can be serialized. *)
+type nb = { mu : Mat.t; var : Mat.t; log_prior : float array }
+
+type Model.state += Nb of nb
+
+let classifier_of_nb ({ mu; var; log_prior } as nb) =
+  let n_classes = Array.length log_prior in
+  let dim = if n_classes = 0 then 0 else Array.length mu.(0) in
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun x ->
+        let log_post =
+          Array.init n_classes (fun c ->
+              let acc = ref log_prior.(c) in
+              for j = 0 to dim - 1 do
+                let v = var.(c).(j) in
+                let diff = x.(j) -. mu.(c).(j) in
+                acc := !acc -. (0.5 *. (log (2.0 *. Float.pi *. v) +. (diff *. diff /. v)))
+              done;
+              !acc)
+        in
+        Vec.softmax log_post);
+    name = "naive-bayes";
+    state = Nb nb;
+  }
+
 let train ?(var_smoothing = 1e-6) ?init:_ (d : int Dataset.t) =
   let n = Dataset.length d in
   if n = 0 then invalid_arg "Naive_bayes.train: empty dataset";
@@ -34,27 +62,36 @@ let train ?(var_smoothing = 1e-6) ?init:_ (d : int Dataset.t) =
   let log_prior =
     Array.map (fun c -> log (float_of_int (c + 1) /. float_of_int (n + n_classes))) counts
   in
-  {
-    Model.n_classes;
-    predict_proba =
-      (fun x ->
-        let log_post =
-          Array.init n_classes (fun c ->
-              let acc = ref log_prior.(c) in
-              for j = 0 to dim - 1 do
-                let v = var.(c).(j) in
-                let diff = x.(j) -. mu.(c).(j) in
-                acc := !acc -. (0.5 *. (log (2.0 *. Float.pi *. v) +. (diff *. diff /. v)))
-              done;
-              !acc)
-        in
-        Vec.softmax log_post);
-    name = "naive-bayes";
-    state = Model.No_state;
-  }
+  classifier_of_nb { mu; var; log_prior }
 
 let trainer ?var_smoothing () =
   {
     Model.train = (fun ?init d -> train ?var_smoothing ?init d);
     trainer_name = "naive-bayes";
   }
+
+module Buf = Prom_store.Buf
+
+let to_buf b (c : Model.classifier) =
+  match c.state with
+  | Nb { mu; var; log_prior } ->
+      Buf.w_float_rows b mu;
+      Buf.w_float_rows b var;
+      Buf.w_floats b log_prior
+  | _ -> invalid_arg "Naive_bayes.to_buf: not a naive-bayes classifier"
+
+let of_buf r =
+  let mu = Buf.r_float_rows r in
+  let var = Buf.r_float_rows r in
+  let log_prior = Buf.r_floats r in
+  let n_classes = Array.length log_prior in
+  if n_classes < 1 || Array.length mu <> n_classes || Array.length var <> n_classes then
+    Buf.corrupt "Naive_bayes: inconsistent class count";
+  let dim = Array.length mu.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> dim then Buf.corrupt "Naive_bayes: ragged mu")
+    mu;
+  Array.iter
+    (fun row -> if Array.length row <> dim then Buf.corrupt "Naive_bayes: ragged var")
+    var;
+  classifier_of_nb { mu; var; log_prior }

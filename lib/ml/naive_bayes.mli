@@ -4,3 +4,11 @@
 
 val train : ?var_smoothing:float -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
 val trainer : ?var_smoothing:float -> unit -> Model.classifier_trainer
+
+(** [to_buf b c] serializes the fitted per-class Gaussians; raises
+    [Invalid_argument] for classifiers of other modules. *)
+val to_buf : Buffer.t -> Model.classifier -> unit
+
+(** [of_buf r] rebuilds a classifier with bit-identical probability
+    vectors; raises [Prom_store.Buf.Corrupt] on malformed input. *)
+val of_buf : Prom_store.Buf.reader -> Model.classifier

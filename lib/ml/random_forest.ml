@@ -20,21 +20,18 @@ let default_params =
     seed = 17;
   }
 
+(* Fitted ensembles are kept as first-class state (not closure
+   captures) so the snapshot codecs can write them out. *)
+type Model.state +=
+  | Forest of { trees : Vec.t Decision_tree.tree array; fc_classes : int }
+  | Forest_reg of { reg_trees : float Decision_tree.tree array }
+
 let bootstrap rng (d : 'a Dataset.t) ratio =
   let n = Dataset.length d in
   let k = Stdlib.max 1 (int_of_float (ratio *. float_of_int n)) in
   Dataset.subset d (Array.init k (fun _ -> Rng.int rng n))
 
-let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
-  if Dataset.length d = 0 then invalid_arg "Random_forest.train: empty dataset";
-  let n_classes = Dataset.n_classes d in
-  let rng = Rng.create params.seed in
-  let trees =
-    Array.init params.n_trees (fun i ->
-        let sample = bootstrap rng d params.bootstrap_ratio in
-        let tree_params = { params.tree with seed = params.tree.seed + i } in
-        Decision_tree.fit_classification ~params:tree_params sample)
-  in
+let classifier_of_trees ~n_classes trees =
   {
     Model.n_classes;
     predict_proba =
@@ -49,15 +46,39 @@ let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
               (fun c p -> if c < n_classes then acc.(c) <- acc.(c) +. p)
               h)
           trees;
-        Vec.scale (1.0 /. float_of_int params.n_trees) acc);
+        Vec.scale (1.0 /. float_of_int (Array.length trees)) acc);
     name = "random-forest";
-    state = Model.No_state;
+    state = Forest { trees; fc_classes = n_classes };
   }
+
+let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
+  if Dataset.length d = 0 then invalid_arg "Random_forest.train: empty dataset";
+  let n_classes = Dataset.n_classes d in
+  let rng = Rng.create params.seed in
+  let trees =
+    Array.init params.n_trees (fun i ->
+        let sample = bootstrap rng d params.bootstrap_ratio in
+        let tree_params = { params.tree with seed = params.tree.seed + i } in
+        Decision_tree.fit_classification ~params:tree_params sample)
+  in
+  classifier_of_trees ~n_classes trees
 
 let trainer ?params () =
   {
     Model.train = (fun ?init d -> train ?params ?init d);
     trainer_name = "random-forest";
+  }
+
+let regressor_of_trees trees =
+  {
+    Model.predict =
+      (fun x ->
+        let acc =
+          Array.fold_left (fun acc t -> acc +. Decision_tree.leaf_value t x) 0.0 trees
+        in
+        acc /. float_of_int (Array.length trees));
+    name = "random-forest-reg";
+    reg_state = Forest_reg { reg_trees = trees };
   }
 
 let train_regressor ?(params = default_params) ?init:_ (d : float Dataset.t) =
@@ -69,13 +90,31 @@ let train_regressor ?(params = default_params) ?init:_ (d : float Dataset.t) =
         let tree_params = { params.tree with seed = params.tree.seed + i } in
         Decision_tree.fit_regression ~params:tree_params sample)
   in
-  {
-    Model.predict =
-      (fun x ->
-        let acc =
-          Array.fold_left (fun acc t -> acc +. Decision_tree.leaf_value t x) 0.0 trees
-        in
-        acc /. float_of_int params.n_trees);
-    name = "random-forest-reg";
-    reg_state = Model.No_state;
-  }
+  regressor_of_trees trees
+
+module Buf = Prom_store.Buf
+
+let to_buf b (c : Model.classifier) =
+  match c.state with
+  | Forest { trees; fc_classes } ->
+      Buf.w_int b fc_classes;
+      Buf.w_array (Decision_tree.tree_to_buf Buf.w_floats) b trees
+  | _ -> invalid_arg "Random_forest.to_buf: not a random-forest classifier"
+
+let of_buf r =
+  let n_classes = Buf.r_int r in
+  let trees = Buf.r_array (Decision_tree.tree_of_buf Buf.r_floats) r in
+  if n_classes < 1 then Buf.corrupt "Random_forest: invalid class count";
+  if Array.length trees = 0 then Buf.corrupt "Random_forest: empty ensemble";
+  classifier_of_trees ~n_classes trees
+
+let reg_to_buf b (m : Model.regressor) =
+  match m.reg_state with
+  | Forest_reg { reg_trees } ->
+      Buf.w_array (Decision_tree.tree_to_buf Buf.w_float) b reg_trees
+  | _ -> invalid_arg "Random_forest.reg_to_buf: not a random-forest regressor"
+
+let reg_of_buf r =
+  let trees = Buf.r_array (Decision_tree.tree_of_buf Buf.r_float) r in
+  if Array.length trees = 0 then Buf.corrupt "Random_forest: empty ensemble";
+  regressor_of_trees trees

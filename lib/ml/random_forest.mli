@@ -16,3 +16,19 @@ val trainer : ?params:params -> unit -> Model.classifier_trainer
 
 val train_regressor :
   ?params:params -> ?init:Model.regressor -> float Dataset.t -> Model.regressor
+
+(** [to_buf b c] serializes the fitted tree ensemble; raises
+    [Invalid_argument] for classifiers of other modules. *)
+val to_buf : Buffer.t -> Model.classifier -> unit
+
+(** [of_buf r] rebuilds a classifier with bit-identical probability
+    vectors; raises [Prom_store.Buf.Corrupt] on malformed input. *)
+val of_buf : Prom_store.Buf.reader -> Model.classifier
+
+(** [reg_to_buf b m] serializes the fitted regression ensemble; raises
+    [Invalid_argument] for regressors of other modules. *)
+val reg_to_buf : Buffer.t -> Model.regressor -> unit
+
+(** [reg_of_buf r] rebuilds a regressor with bit-identical
+    predictions; raises [Prom_store.Buf.Corrupt] on malformed input. *)
+val reg_of_buf : Prom_store.Buf.reader -> Model.regressor

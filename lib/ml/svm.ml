@@ -6,9 +6,14 @@ type params = { kernel : kernel; lambda : float; epochs : int; seed : int }
 
 let default_params = { kernel = Linear; lambda = 1e-3; epochs = 60; seed = 23 }
 
+(* Feature maps are kept as data (not closures) so fitted models can be
+   serialized; the random Fourier projection is realized eagerly at
+   train time. *)
+type fmap = Fm_linear | Fm_fourier of { ws : Mat.t; bs : float array }
+
 type fitted = {
   w : float array array;  (* class -> weights (last entry bias) *)
-  feature_map : Vec.t -> Vec.t;
+  fmap : fmap;
   platt : (float * float) array;  (* per-class sigmoid (a, b) *)
   dim : int;
 }
@@ -24,31 +29,26 @@ let margin_of w x =
   !acc
 
 (* Random Fourier features: cos(w.x + b) with w ~ N(0, 2*gamma). *)
-let make_feature_map rng = function
-  | Linear -> (Fun.id, None)
+let realize_fmap rng ~dim = function
+  | Linear -> Fm_linear
   | Rbf { gamma; n_components } ->
-      let proj = ref None in
-      let map x =
-        let dim = Array.length x in
-        let ws, bs =
-          match !proj with
-          | Some (ws, bs) -> (ws, bs)
-          | None ->
-              let ws =
-                Array.init n_components (fun _ ->
-                    Array.init dim (fun _ ->
-                        Rng.gaussian rng ~mu:0.0 ~sigma:(sqrt (2.0 *. gamma))))
-              in
-              let bs =
-                Array.init n_components (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi))
-              in
-              proj := Some (ws, bs);
-              (ws, bs)
-        in
-        let scale = sqrt (2.0 /. float_of_int n_components) in
-        Array.init n_components (fun k -> scale *. cos (Vec.dot ws.(k) x +. bs.(k)))
+      let ws =
+        Array.init n_components (fun _ ->
+            Array.init dim (fun _ ->
+                Rng.gaussian rng ~mu:0.0 ~sigma:(sqrt (2.0 *. gamma))))
       in
-      (map, Some proj)
+      let bs =
+        Array.init n_components (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi))
+      in
+      Fm_fourier { ws; bs }
+
+let apply_fmap fmap x =
+  match fmap with
+  | Fm_linear -> x
+  | Fm_fourier { ws; bs } ->
+      let n_components = Array.length ws in
+      let scale = sqrt (2.0 /. float_of_int n_components) in
+      Array.init n_components (fun k -> scale *. cos (Vec.dot ws.(k) x +. bs.(k)))
 
 (* Pegasos on hinge loss for one binary problem: labels in {-1, +1}. *)
 let pegasos rng ~lambda ~epochs (x : Vec.t array) (y : float array) =
@@ -99,11 +99,28 @@ let platt_fit margins labels =
 
 let platt_apply (a, b) m = 1.0 /. (1.0 +. exp ((a *. m) +. b))
 
+let classifier_of_fitted fitted =
+  let n_classes = Array.length fitted.w in
+  {
+    Model.n_classes;
+    predict_proba =
+      (fun x ->
+        let phi = apply_fmap fitted.fmap x in
+        let raw =
+          Array.mapi (fun c wc -> platt_apply fitted.platt.(c) (margin_of wc phi)) fitted.w
+        in
+        let z = Vec.sum raw in
+        if z <= 0.0 then Array.make n_classes (1.0 /. float_of_int n_classes)
+        else Vec.scale (1.0 /. z) raw);
+    name = "svm";
+    state = Svm fitted;
+  }
+
 let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
   if Dataset.length d = 0 then invalid_arg "Svm.train: empty dataset";
   let rng = Rng.create params.seed in
-  let feature_map, _ = make_feature_map (Rng.split rng) params.kernel in
-  let mapped = Array.map feature_map d.x in
+  let fmap = realize_fmap (Rng.split rng) ~dim:(Dataset.n_features d) params.kernel in
+  let mapped = Array.map (apply_fmap fmap) d.x in
   let n_classes = Dataset.n_classes d in
   let w =
     Array.init n_classes (fun c ->
@@ -116,21 +133,7 @@ let train ?(params = default_params) ?init:_ (d : int Dataset.t) =
         let labels = Array.map (fun label -> if label = c then 1.0 else 0.0) d.y in
         platt_fit margins labels)
   in
-  let fitted = { w; feature_map; platt; dim = Dataset.n_features d } in
-  {
-    Model.n_classes;
-    predict_proba =
-      (fun x ->
-        let phi = fitted.feature_map x in
-        let raw =
-          Array.mapi (fun c wc -> platt_apply fitted.platt.(c) (margin_of wc phi)) fitted.w
-        in
-        let z = Vec.sum raw in
-        if z <= 0.0 then Array.make n_classes (1.0 /. float_of_int n_classes)
-        else Vec.scale (1.0 /. z) raw);
-    name = "svm";
-    state = Svm fitted;
-  }
+  classifier_of_fitted { w; fmap; platt; dim = Dataset.n_features d }
 
 let trainer ?params () =
   { Model.train = (fun ?init d -> train ?params ?init d); trainer_name = "svm" }
@@ -138,6 +141,53 @@ let trainer ?params () =
 let margins (c : Model.classifier) x =
   match c.state with
   | Svm fitted ->
-      let phi = fitted.feature_map x in
+      let phi = apply_fmap fitted.fmap x in
       Some (Array.map (fun wc -> margin_of wc phi) fitted.w)
   | _ -> None
+
+module Buf = Prom_store.Buf
+
+let to_buf b (c : Model.classifier) =
+  match c.state with
+  | Svm { w; fmap; platt; dim } ->
+      Buf.w_float_rows b w;
+      (match fmap with
+      | Fm_linear -> Buf.w_u8 b 0
+      | Fm_fourier { ws; bs } ->
+          Buf.w_u8 b 1;
+          Buf.w_float_rows b ws;
+          Buf.w_floats b bs);
+      Buf.w_array
+        (fun b (a, pb) ->
+          Buf.w_float b a;
+          Buf.w_float b pb)
+        b platt;
+      Buf.w_int b dim
+  | _ -> invalid_arg "Svm.to_buf: not an svm classifier"
+
+let of_buf r =
+  let w = Buf.r_float_rows r in
+  let fmap =
+    match Buf.r_u8 r with
+    | 0 -> Fm_linear
+    | 1 ->
+        let ws = Buf.r_float_rows r in
+        let bs = Buf.r_floats r in
+        if Array.length ws <> Array.length bs then
+          Buf.corrupt "Svm: Fourier projection shape mismatch";
+        Fm_fourier { ws; bs }
+    | t -> Buf.corrupt "Svm: invalid feature-map tag %d" t
+  in
+  let platt =
+    Buf.r_array
+      (fun r ->
+        let a = Buf.r_float r in
+        let pb = Buf.r_float r in
+        (a, pb))
+      r
+  in
+  let dim = Buf.r_int r in
+  if Array.length w < 1 then Buf.corrupt "Svm: no classes";
+  if Array.length platt <> Array.length w then Buf.corrupt "Svm: Platt/class count mismatch";
+  if dim < 0 then Buf.corrupt "Svm: invalid dim";
+  classifier_of_fitted { w; fmap; platt; dim }

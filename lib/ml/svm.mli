@@ -19,6 +19,15 @@ val default_params : params
 val train : ?params:params -> ?init:Model.classifier -> int Dataset.t -> Model.classifier
 val trainer : ?params:params -> unit -> Model.classifier_trainer
 
+(** [to_buf b c] serializes the per-class weights, realized feature
+    map, and Platt coefficients; raises [Invalid_argument] for
+    classifiers of other modules. *)
+val to_buf : Buffer.t -> Model.classifier -> unit
+
+(** [of_buf r] rebuilds a classifier with bit-identical probability
+    vectors; raises [Prom_store.Buf.Corrupt] on malformed input. *)
+val of_buf : Prom_store.Buf.reader -> Model.classifier
+
 (**/**)
 
 (** Exposed for tests: per-class margins before Platt scaling. *)

@@ -44,6 +44,7 @@ module Gauge : sig
       would be meaningless. *)
   val set : t -> float -> unit
 
+  (** Current value of the shared cell. *)
   val value : t -> float
 end
 
@@ -72,6 +73,8 @@ end
 val counter :
   registry -> ?labels:(string * string) list -> ?help:string -> string -> Counter.t
 
+(** [gauge reg ?labels ?help name] registers (or retrieves) a gauge;
+    same get-or-create and validation rules as {!counter}. *)
 val gauge :
   registry -> ?labels:(string * string) list -> ?help:string -> string -> Gauge.t
 

@@ -53,10 +53,18 @@ val run_all : t -> (unit -> unit) array -> unit
     safe to call from any domain. *)
 val init : ?pool:t -> ?min_chunk:int -> int -> (int -> 'a) -> 'a array
 
+(** [map ?pool ?min_chunk f a] is [Array.map f a] in parallel chunks;
+    same defaults and contract as {!init}. *)
 val map : ?pool:t -> ?min_chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 
+(** [mapi ?pool ?min_chunk f a] is [Array.mapi f a] in parallel
+    chunks. *)
 val mapi : ?pool:t -> ?min_chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
+(** [iter ?pool ?min_chunk f a] is [Array.iter f a] in parallel chunks;
+    [f] must tolerate concurrent calls. *)
 val iter : ?pool:t -> ?min_chunk:int -> ('a -> unit) -> 'a array -> unit
 
+(** [iteri ?pool ?min_chunk f a] is [Array.iteri f a] in parallel
+    chunks. *)
 val iteri : ?pool:t -> ?min_chunk:int -> (int -> 'a -> unit) -> 'a array -> unit

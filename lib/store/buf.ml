@@ -1,0 +1,132 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type reader = { s : string; mutable p : int }
+
+let reader ?(pos = 0) s =
+  if pos < 0 || pos > String.length s then corrupt "reader: start offset %d" pos;
+  { s; p = pos }
+
+let pos r = r.p
+let remaining r = String.length r.s - r.p
+
+let expect_end r =
+  if remaining r <> 0 then corrupt "trailing bytes: %d unread" (remaining r)
+
+let need r n =
+  if n < 0 || remaining r < n then
+    corrupt "truncated input: need %d bytes at offset %d, have %d" n r.p (remaining r)
+
+let w_u8 b v =
+  if v < 0 || v > 255 then invalid_arg "Buf.w_u8: byte out of range";
+  Buffer.add_uint8 b v
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code (String.unsafe_get r.s r.p) in
+  r.p <- r.p + 1;
+  v
+
+let w_int b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let r_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.s r.p) in
+  r.p <- r.p + 8;
+  v
+
+let r_len r =
+  let n = r_int r in
+  (* Any length-prefixed run of n elements needs at least n more bytes;
+     checking here rejects multi-gigabyte allocations decoded from
+     corrupt headers before they happen. *)
+  if n < 0 || n > remaining r then corrupt "implausible length %d at offset %d" n r.p;
+  n
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> corrupt "invalid bool byte %d" v
+
+let w_float b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let r_float r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.s r.p) in
+  r.p <- r.p + 8;
+  v
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let r_string r =
+  let n = r_len r in
+  need r n;
+  let s = String.sub r.s r.p n in
+  r.p <- r.p + n;
+  s
+
+let w_floats b a =
+  w_int b (Array.length a);
+  Array.iter (w_float b) a
+
+let r_floats r =
+  let n = r_len r in
+  Array.init n (fun _ -> r_float r)
+
+let w_float_rows b rows =
+  w_int b (Array.length rows);
+  Array.iter (w_floats b) rows
+
+let r_float_rows r =
+  let n = r_len r in
+  Array.init n (fun _ -> r_floats r)
+
+let w_ints b a =
+  w_int b (Array.length a);
+  Array.iter (w_int b) a
+
+let r_ints r =
+  let n = r_len r in
+  Array.init n (fun _ -> r_int r)
+
+let w_bools b a =
+  w_int b (Array.length a);
+  Array.iter (w_bool b) a
+
+let r_bools r =
+  let n = r_len r in
+  Array.init n (fun _ -> r_bool r)
+
+let w_option w b = function
+  | None -> w_u8 b 0
+  | Some v ->
+      w_u8 b 1;
+      w b v
+
+let r_option read r =
+  match r_u8 r with
+  | 0 -> None
+  | 1 -> Some (read r)
+  | v -> corrupt "invalid option byte %d" v
+
+let w_array w b a =
+  w_int b (Array.length a);
+  Array.iter (w b) a
+
+let r_array read r =
+  let n = r_len r in
+  Array.init n (fun _ -> read r)
+
+let w_list w b l =
+  w_int b (List.length l);
+  List.iter (w b) l
+
+let r_list read r =
+  let n = r_len r in
+  List.init n (fun _ -> read r)

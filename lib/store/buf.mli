@@ -1,0 +1,121 @@
+(** Binary serialization primitives shared by every PROM snapshot codec.
+
+    Writers append to a standard [Buffer.t]; readers consume a [string]
+    through a mutable cursor. Every primitive is fixed-width
+    little-endian, and floats travel as their IEEE-754 bit patterns
+    ([Int64.bits_of_float]), so round-trips are exact for every value —
+    including NaN payloads, infinities and signed zeros. Malformed or
+    truncated input never returns garbage: every read is bounds-checked
+    and raises {!Corrupt}. *)
+
+(** Raised by any read that runs past the end of the input, meets an
+    invalid tag, or decodes a structurally impossible value (e.g. a
+    negative length). Snapshot loaders treat it as "this snapshot is
+    corrupt" and fall back to an older generation. *)
+exception Corrupt of string
+
+(** [corrupt fmt] raises {!Corrupt} with a formatted message — the
+    helper codecs use to reject invalid tags uniformly. *)
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+
+(** A mutable read cursor over an immutable byte string. *)
+type reader
+
+(** [reader ?pos s] starts reading [s] at offset [pos] (default 0). *)
+val reader : ?pos:int -> string -> reader
+
+(** [pos r] is the current cursor offset — useful for framing checks. *)
+val pos : reader -> int
+
+(** [remaining r] is the number of unread bytes. *)
+val remaining : reader -> int
+
+(** [expect_end r] raises {!Corrupt} unless the input is fully
+    consumed — decoders call it to reject trailing junk. *)
+val expect_end : reader -> unit
+
+(** {2 Scalars} *)
+
+(** [w_u8 b v] writes one byte; [v] must be within [0, 255]. *)
+val w_u8 : Buffer.t -> int -> unit
+
+(** Reads the byte {!w_u8} wrote. *)
+val r_u8 : reader -> int
+
+(** [w_int b v] writes a 64-bit little-endian signed integer. *)
+val w_int : Buffer.t -> int -> unit
+
+(** Reads the integer {!w_int} wrote. *)
+val r_int : reader -> int
+
+(** [r_len r] reads an integer and checks it is a plausible length:
+    non-negative and no larger than the bytes remaining (an element
+    needs at least one byte). Rejects absurd lengths from corrupt input
+    before any allocation. *)
+val r_len : reader -> int
+
+(** [w_bool b v] writes one byte, 0 or 1. *)
+val w_bool : Buffer.t -> bool -> unit
+
+(** Reads a bool; any byte other than 0 or 1 raises {!Corrupt}. *)
+val r_bool : reader -> bool
+
+(** [w_float b v] writes the exact IEEE-754 bit pattern of [v]. *)
+val w_float : Buffer.t -> float -> unit
+
+(** Reads the float {!w_float} wrote, bit-exactly. *)
+val r_float : reader -> float
+
+(** {2 Strings and arrays} *)
+
+(** [w_string b s] writes a length-prefixed byte string. *)
+val w_string : Buffer.t -> string -> unit
+
+(** Reads the string {!w_string} wrote. *)
+val r_string : reader -> string
+
+(** [w_floats b a] writes a length-prefixed float array. *)
+val w_floats : Buffer.t -> float array -> unit
+
+(** Reads the array {!w_floats} wrote. *)
+val r_floats : reader -> float array
+
+(** [w_float_rows b rows] writes an array of float arrays (rows may be
+    ragged; each row carries its own length). *)
+val w_float_rows : Buffer.t -> float array array -> unit
+
+(** Reads the rows {!w_float_rows} wrote. *)
+val r_float_rows : reader -> float array array
+
+(** [w_ints b a] writes a length-prefixed int array. *)
+val w_ints : Buffer.t -> int array -> unit
+
+(** Reads the array {!w_ints} wrote. *)
+val r_ints : reader -> int array
+
+(** [w_bools b a] writes a length-prefixed bool array, one byte each. *)
+val w_bools : Buffer.t -> bool array -> unit
+
+(** Reads the array {!w_bools} wrote. *)
+val r_bools : reader -> bool array
+
+(** {2 Combinators} *)
+
+(** [w_option w b v] writes an option as a presence byte plus payload. *)
+val w_option : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+
+(** [r_option r rd] reads the option {!w_option} wrote. *)
+val r_option : (reader -> 'a) -> reader -> 'a option
+
+(** [w_array w b a] writes a length-prefixed array with element writer
+    [w]. *)
+val w_array : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a array -> unit
+
+(** [r_array r rd] reads the array {!w_array} wrote. *)
+val r_array : (reader -> 'a) -> reader -> 'a array
+
+(** [w_list w b l] writes a length-prefixed list in order. *)
+val w_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+
+(** [r_list r rd] reads the list {!w_list} wrote. *)
+val r_list : (reader -> 'a) -> reader -> 'a list

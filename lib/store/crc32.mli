@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) used to
+    checksum snapshot payloads. Pure OCaml, table-driven; corrupt or
+    truncated snapshot files are detected by comparing the stored
+    checksum against the recomputed one before any decoding happens. *)
+
+(** [digest s] is the CRC-32 of the whole string, as an unsigned 32-bit
+    value carried in an [int]. *)
+val digest : string -> int
+
+(** [digest_sub s ~pos ~len] checksums the byte range
+    [\[pos, pos + len)]. Raises [Invalid_argument] on an out-of-bounds
+    range. *)
+val digest_sub : string -> pos:int -> len:int -> int

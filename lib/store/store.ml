@@ -1,0 +1,136 @@
+type info = {
+  generation : int;
+  kind : string;
+  codec_version : int;
+  payload_bytes : int;
+  crc : int;
+  path : string;
+}
+
+let magic = "PROMSNP1"
+let container_version = 1
+
+let snap_path ~dir generation = Filename.concat dir (Printf.sprintf "snap-%06d.snap" generation)
+
+let manifest_path ~dir generation =
+  Filename.concat dir (Printf.sprintf "snap-%06d.json" generation)
+
+let generations dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             match Scanf.sscanf_opt name "snap-%06d.snap%!" Fun.id with
+             | Some g when g > 0 -> Some g
+             | _ -> None)
+      |> List.sort_uniq compare
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    (* Another process may have raced the creation; existing is fine. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let manifest_json info =
+  (* Kinds are short identifier-like tags; escape the JSON specials
+     anyway so a hostile tag cannot break the manifest. *)
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  Printf.sprintf
+    "{\n  \"generation\": %d,\n  \"kind\": \"%s\",\n  \"container_version\": %d,\n  \
+     \"codec_version\": %d,\n  \"payload_bytes\": %d,\n  \"crc32\": \"%08x\",\n  \
+     \"created_unix\": %.0f,\n  \"file\": \"%s\"\n}\n"
+    info.generation (escape info.kind) container_version info.codec_version
+    info.payload_bytes info.crc (Unix.gettimeofday ())
+    (escape (Filename.basename info.path))
+
+let save ~dir ~kind ~codec_version payload =
+  ensure_dir dir;
+  let generation =
+    match List.rev (generations dir) with g :: _ -> g + 1 | [] -> 1
+  in
+  let crc = Crc32.digest payload in
+  let b = Buffer.create (String.length payload + 128) in
+  Buffer.add_string b magic;
+  Buf.w_int b container_version;
+  Buf.w_int b generation;
+  Buf.w_int b codec_version;
+  Buf.w_string b kind;
+  Buf.w_int b (String.length payload);
+  Buf.w_int b crc;
+  Buffer.add_string b payload;
+  let path = snap_path ~dir generation in
+  let info =
+    { generation; kind; codec_version; payload_bytes = String.length payload; crc; path }
+  in
+  write_atomic path (Buffer.contents b);
+  write_atomic (manifest_path ~dir generation) (manifest_json info);
+  info
+
+let load path =
+  let content = read_file path in
+  if
+    String.length content < String.length magic
+    || String.sub content 0 (String.length magic) <> magic
+  then Buf.corrupt "%s: bad magic" path;
+  let r = Buf.reader ~pos:(String.length magic) content in
+  let cv = Buf.r_int r in
+  if cv <> container_version then Buf.corrupt "%s: unsupported container version %d" path cv;
+  let generation = Buf.r_int r in
+  if generation <= 0 then Buf.corrupt "%s: invalid generation %d" path generation;
+  let codec_version = Buf.r_int r in
+  let kind = Buf.r_string r in
+  let payload_bytes = Buf.r_int r in
+  let crc = Buf.r_int r in
+  if payload_bytes < 0 || Buf.remaining r <> payload_bytes then
+    Buf.corrupt "%s: payload length %d does not match file size" path payload_bytes;
+  let payload_pos = Buf.pos r in
+  let actual = Crc32.digest_sub content ~pos:payload_pos ~len:payload_bytes in
+  if actual <> crc then Buf.corrupt "%s: checksum mismatch (%08x <> %08x)" path actual crc;
+  ( { generation; kind; codec_version; payload_bytes; crc; path },
+    String.sub content payload_pos payload_bytes )
+
+let try_load ?kind path =
+  match load path with
+  | info, payload -> (
+      match kind with
+      | Some k when k <> info.kind -> None
+      | _ -> Some (info, payload))
+  | exception (Buf.Corrupt _ | Sys_error _) -> None
+
+let load_latest ?kind ~dir () =
+  let rec first = function
+    | [] -> None
+    | g :: rest -> (
+        match try_load ?kind (snap_path ~dir g) with
+        | Some r -> Some r
+        | None -> first rest)
+  in
+  first (List.rev (generations dir))
+
+let load_generation ?kind ~dir generation = try_load ?kind (snap_path ~dir generation)

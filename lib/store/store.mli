@@ -1,0 +1,64 @@
+(** Versioned, checksummed snapshot store.
+
+    A snapshot directory holds a monotone sequence of generations, one
+    pair of files per generation:
+
+    - [snap-NNNNNN.snap] — the binary container: a magic string,
+      container version, generation number, caller-supplied codec
+      version and kind tag, payload length, CRC-32 of the payload, then
+      the payload bytes (see DESIGN.md for the exact layout);
+    - [snap-NNNNNN.json] — a small JSON manifest mirroring the header
+      fields for humans and external tooling. The manifest is
+      informational only: loading validates the binary header and
+      checksum, never the JSON.
+
+    Writes are atomic (temp file + [Sys.rename]), so a crash mid-save
+    never produces a half-written generation under a valid name.
+    {!load_latest} walks generations newest-first and skips any file
+    whose magic, framing or checksum fails — a corrupt or truncated
+    newest generation silently falls back to the previous one, which is
+    the recovery path a restarted serving process takes. *)
+
+(** Everything the container header records about one snapshot. *)
+type info = {
+  generation : int;  (** monotone per-directory sequence number, from 1 *)
+  kind : string;  (** caller-supplied payload tag, e.g. ["detector-cls"] *)
+  codec_version : int;  (** caller-supplied payload codec version *)
+  payload_bytes : int;  (** length of the payload section *)
+  crc : int;  (** CRC-32 of the payload, as stored in the header *)
+  path : string;  (** the [.snap] file this header was read from *)
+}
+
+(** [save ~dir ~kind ~codec_version payload] writes the next generation
+    (1 + the highest generation currently in [dir], corrupt or not) and
+    returns its header. Creates [dir] (and parents) when missing. *)
+val save : dir:string -> kind:string -> codec_version:int -> string -> info
+
+(** [load path] reads and validates one container file, returning the
+    header and payload. Raises {!Buf.Corrupt} when the magic, framing or
+    checksum is wrong, and [Sys_error] when the file cannot be read. *)
+val load : string -> info * string
+
+(** [load_latest ?kind ~dir ()] is the newest generation in [dir] that
+    validates (and matches [kind] when given), or [None] when no
+    generation does. Corrupt, truncated or foreign files are skipped. *)
+val load_latest : ?kind:string -> dir:string -> unit -> (info * string) option
+
+(** [load_generation ?kind ~dir n] validates and returns generation [n]
+    exactly — no fallback. [None] when missing, corrupt or of the wrong
+    kind. *)
+val load_generation : ?kind:string -> dir:string -> int -> (info * string) option
+
+(** [generations dir] is every generation number with a [.snap] file in
+    [dir] (validity not checked), ascending. Empty when the directory
+    does not exist. *)
+val generations : string -> int list
+
+(** [snap_path ~dir generation] is the container path [save] writes for
+    [generation] — exposed so tests and tooling can corrupt or inspect
+    specific generations. *)
+val snap_path : dir:string -> int -> string
+
+(** [manifest_path ~dir generation] is the JSON manifest path for
+    [generation]. *)
+val manifest_path : dir:string -> int -> string

@@ -1,0 +1,773 @@
+(* Tests for the snapshot layer: the Buf serialization primitives, the
+   CRC-32, the versioned container store, every model codec's bit-exact
+   round trip, snapshot encode/decode, corrupt-generation fallback,
+   kill-and-reload verdict identity and the service hot-swap. *)
+
+open Prom_linalg
+open Prom_ml
+open Prom
+module Buf = Prom_store.Buf
+module Crc32 = Prom_store.Crc32
+module Store = Prom_store.Store
+
+let fresh_dir () = Filename.temp_dir "prom-store-test" ""
+
+let bits = Int64.bits_of_float
+
+let check_bits name a b =
+  Alcotest.(check int64) name (bits a) (bits b)
+
+(* ---------- Buf primitives ---------- *)
+
+(* Floats whose round trips are easy to get wrong: NaN (any
+   string-based format loses the payload), infinities, signed zero and
+   the subnormal/extreme range. *)
+let awkward_floats =
+  [ nan; infinity; neg_infinity; 0.0; -0.0; max_float; min_float; epsilon_float;
+    4e-320; -1.5e308 ]
+
+let float_gen =
+  QCheck2.Gen.(oneof [ float; oneofl awkward_floats ])
+
+let prop_float_roundtrip =
+  QCheck2.Test.make ~name:"Buf float round trip is bit-exact" ~count:500 float_gen
+    (fun v ->
+      let b = Buffer.create 8 in
+      Buf.w_float b v;
+      let r = Buf.reader (Buffer.contents b) in
+      let v' = Buf.r_float r in
+      Buf.expect_end r;
+      bits v = bits v')
+
+let prop_int_roundtrip =
+  QCheck2.Test.make ~name:"Buf int round trip" ~count:500
+    QCheck2.Gen.(oneof [ int; oneofl [ 0; 1; -1; max_int; min_int ] ])
+    (fun v ->
+      let b = Buffer.create 8 in
+      Buf.w_int b v;
+      let r = Buf.reader (Buffer.contents b) in
+      let v' = Buf.r_int r in
+      Buf.expect_end r;
+      v = v')
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"Buf string round trip" ~count:200
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun s ->
+      let b = Buffer.create 32 in
+      Buf.w_string b s;
+      let r = Buf.reader (Buffer.contents b) in
+      let s' = Buf.r_string r in
+      Buf.expect_end r;
+      String.equal s s')
+
+let prop_floats_roundtrip =
+  QCheck2.Test.make ~name:"Buf float-array round trip (incl. empty, NaN)" ~count:200
+    QCheck2.Gen.(array_size (int_range 0 16) float_gen)
+    (fun a ->
+      let b = Buffer.create 64 in
+      Buf.w_floats b a;
+      let r = Buf.reader (Buffer.contents b) in
+      let a' = Buf.r_floats r in
+      Buf.expect_end r;
+      Array.length a = Array.length a'
+      && Array.for_all2 (fun x y -> bits x = bits y) a a')
+
+let prop_truncation_detected =
+  QCheck2.Test.make ~name:"every truncation of a valid encoding raises Corrupt"
+    ~count:100
+    QCheck2.Gen.(array_size (int_range 0 8) float_gen)
+    (fun a ->
+      let b = Buffer.create 64 in
+      Buf.w_floats b a;
+      let full = Buffer.contents b in
+      let ok = ref true in
+      for len = 0 to String.length full - 1 do
+        let r = Buf.reader (String.sub full 0 len) in
+        (match Buf.r_floats r with
+        | _ -> ok := false
+        | exception Buf.Corrupt _ -> ())
+      done;
+      !ok)
+
+let buf_unit_tests =
+  [
+    Alcotest.test_case "empty aggregates round-trip" `Quick (fun () ->
+        let b = Buffer.create 16 in
+        Buf.w_floats b [||];
+        Buf.w_ints b [||];
+        Buf.w_bools b [||];
+        Buf.w_float_rows b [||];
+        Buf.w_string b "";
+        Buf.w_option Buf.w_float b None;
+        let r = Buf.reader (Buffer.contents b) in
+        Alcotest.(check int) "floats" 0 (Array.length (Buf.r_floats r));
+        Alcotest.(check int) "ints" 0 (Array.length (Buf.r_ints r));
+        Alcotest.(check int) "bools" 0 (Array.length (Buf.r_bools r));
+        Alcotest.(check int) "rows" 0 (Array.length (Buf.r_float_rows r));
+        Alcotest.(check string) "string" "" (Buf.r_string r);
+        Alcotest.(check bool) "option" true (Buf.r_option Buf.r_float r = None);
+        Buf.expect_end r);
+    Alcotest.test_case "absurd length rejected before allocation" `Quick (fun () ->
+        let b = Buffer.create 8 in
+        Buf.w_int b max_int;
+        let r = Buf.reader (Buffer.contents b) in
+        (match Buf.r_floats r with
+        | _ -> Alcotest.fail "absurd length accepted"
+        | exception Buf.Corrupt _ -> ()));
+    Alcotest.test_case "negative length rejected" `Quick (fun () ->
+        let b = Buffer.create 8 in
+        Buf.w_int b (-1);
+        let r = Buf.reader (Buffer.contents b) in
+        (match Buf.r_ints r with
+        | _ -> Alcotest.fail "negative length accepted"
+        | exception Buf.Corrupt _ -> ()));
+    Alcotest.test_case "expect_end rejects trailing junk" `Quick (fun () ->
+        let r = Buf.reader "\x00extra" in
+        ignore (Buf.r_u8 r);
+        (match Buf.expect_end r with
+        | () -> Alcotest.fail "trailing junk accepted"
+        | exception Buf.Corrupt _ -> ()));
+    Alcotest.test_case "invalid bool byte rejected" `Quick (fun () ->
+        let r = Buf.reader "\x07" in
+        (match Buf.r_bool r with
+        | _ -> Alcotest.fail "invalid bool accepted"
+        | exception Buf.Corrupt _ -> ()));
+  ]
+
+(* ---------- CRC-32 ---------- *)
+
+let crc_tests =
+  [
+    Alcotest.test_case "IEEE check value" `Quick (fun () ->
+        (* The canonical CRC-32 test vector. *)
+        Alcotest.(check int) "123456789" 0xCBF43926 (Crc32.digest "123456789"));
+    Alcotest.test_case "empty string" `Quick (fun () ->
+        Alcotest.(check int) "empty" 0 (Crc32.digest ""));
+    Alcotest.test_case "digest_sub matches digest of slice" `Quick (fun () ->
+        let s = "abcdefghij" in
+        Alcotest.(check int) "sub" (Crc32.digest "cdef")
+          (Crc32.digest_sub s ~pos:2 ~len:4));
+    Alcotest.test_case "single byte flip changes the digest" `Quick (fun () ->
+        let s = "snapshot payload" in
+        let s' = Bytes.of_string s in
+        Bytes.set s' 3 (Char.chr (Char.code (Bytes.get s' 3) lxor 0x10));
+        Alcotest.(check bool) "differs" true
+          (Crc32.digest s <> Crc32.digest (Bytes.to_string s')));
+  ]
+
+(* ---------- Container store ---------- *)
+
+let corrupt_byte path offset =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  let i = if offset < len then offset else len - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let store_tests =
+  [
+    Alcotest.test_case "save/load round trip preserves payload and header" `Quick
+      (fun () ->
+        let dir = fresh_dir () in
+        let payload = "\x00\x01binary\xffpayload" in
+        let info = Store.save ~dir ~kind:"t" ~codec_version:3 payload in
+        Alcotest.(check int) "generation" 1 info.Store.generation;
+        Alcotest.(check string) "kind" "t" info.Store.kind;
+        Alcotest.(check int) "codec" 3 info.Store.codec_version;
+        let info', payload' = Store.load info.Store.path in
+        Alcotest.(check string) "payload" payload payload';
+        Alcotest.(check int) "crc" info.Store.crc info'.Store.crc;
+        Alcotest.(check bool) "manifest written" true
+          (Sys.file_exists (Store.manifest_path ~dir 1)));
+    Alcotest.test_case "generations are monotone" `Quick (fun () ->
+        let dir = fresh_dir () in
+        ignore (Store.save ~dir ~kind:"t" ~codec_version:1 "a");
+        ignore (Store.save ~dir ~kind:"t" ~codec_version:1 "b");
+        ignore (Store.save ~dir ~kind:"t" ~codec_version:1 "c");
+        Alcotest.(check (list int)) "gens" [ 1; 2; 3 ] (Store.generations dir);
+        match Store.load_latest ~dir () with
+        | Some (info, payload) ->
+            Alcotest.(check int) "latest" 3 info.Store.generation;
+            Alcotest.(check string) "payload" "c" payload
+        | None -> Alcotest.fail "no generation loaded");
+    Alcotest.test_case "corrupt newest falls back to previous" `Quick (fun () ->
+        let dir = fresh_dir () in
+        ignore (Store.save ~dir ~kind:"t" ~codec_version:1 "good");
+        let i2 = Store.save ~dir ~kind:"t" ~codec_version:1 "newer" in
+        corrupt_byte i2.Store.path (String.length "newer" + 10);
+        match Store.load_latest ~dir () with
+        | Some (info, payload) ->
+            Alcotest.(check int) "fell back" 1 info.Store.generation;
+            Alcotest.(check string) "payload" "good" payload
+        | None -> Alcotest.fail "fallback failed");
+    Alcotest.test_case "every generation corrupt yields None" `Quick (fun () ->
+        let dir = fresh_dir () in
+        let i1 = Store.save ~dir ~kind:"t" ~codec_version:1 "a" in
+        let i2 = Store.save ~dir ~kind:"t" ~codec_version:1 "b" in
+        corrupt_byte i1.Store.path 4;
+        corrupt_byte i2.Store.path 4;
+        Alcotest.(check bool) "none" true (Store.load_latest ~dir () = None));
+    Alcotest.test_case "kind filter skips foreign snapshots" `Quick (fun () ->
+        let dir = fresh_dir () in
+        ignore (Store.save ~dir ~kind:"cls" ~codec_version:1 "c");
+        ignore (Store.save ~dir ~kind:"reg" ~codec_version:1 "r");
+        (match Store.load_latest ~kind:"cls" ~dir () with
+        | Some (info, payload) ->
+            Alcotest.(check int) "gen" 1 info.Store.generation;
+            Alcotest.(check string) "payload" "c" payload
+        | None -> Alcotest.fail "kind filter lost the snapshot");
+        Alcotest.(check bool) "missing kind" true
+          (Store.load_latest ~kind:"other" ~dir () = None));
+    Alcotest.test_case "empty or missing directory" `Quick (fun () ->
+        let dir = fresh_dir () in
+        Alcotest.(check (list int)) "empty" [] (Store.generations dir);
+        Alcotest.(check bool) "no latest" true (Store.load_latest ~dir () = None);
+        Alcotest.(check (list int)) "missing" []
+          (Store.generations (Filename.concat dir "nope")));
+  ]
+
+(* ---------- Model codecs ---------- *)
+
+let cls_data ?(n = 60) ?(seed = 11) () =
+  let rng = Rng.create seed in
+  let xs =
+    Array.init n (fun i ->
+        let cx = if i mod 2 = 0 then 0.0 else 3.0 in
+        [|
+          Rng.gaussian rng ~mu:cx ~sigma:0.8;
+          Rng.gaussian rng ~mu:(-.cx) ~sigma:0.8;
+          Rng.gaussian rng ~mu:(cx /. 2.0) ~sigma:0.5;
+        |])
+  in
+  Dataset.create xs (Array.init n (fun i -> i mod 2))
+
+let reg_data ?(n = 60) ?(seed = 13) () =
+  let rng = Rng.create seed in
+  let xs =
+    Array.init n (fun _ ->
+        [| Rng.uniform rng ~lo:(-2.0) ~hi:2.0; Rng.uniform rng ~lo:(-2.0) ~hi:2.0 |])
+  in
+  let ys = Array.map (fun x -> (2.0 *. x.(0)) -. (0.5 *. x.(1)) +. 0.25) xs in
+  Dataset.create xs ys
+
+let probes ?(seed = 17) () =
+  let rng = Rng.create seed in
+  Array.init 12 (fun _ ->
+      Array.init 3 (fun _ -> Rng.gaussian rng ~mu:1.0 ~sigma:2.5))
+
+let reg_probes ?(seed = 19) () =
+  let rng = Rng.create seed in
+  Array.init 12 (fun _ ->
+      Array.init 2 (fun _ -> Rng.uniform rng ~lo:(-3.0) ~hi:3.0))
+
+let roundtrip to_buf of_buf m =
+  let b = Buffer.create 256 in
+  to_buf b m;
+  let r = Buf.reader (Buffer.contents b) in
+  let m' = of_buf r in
+  Buf.expect_end r;
+  m'
+
+let cls_codec_case name train to_buf of_buf =
+  Alcotest.test_case (name ^ " round trip is bit-identical") `Quick (fun () ->
+      let d = cls_data () in
+      let (m : Model.classifier) = train d in
+      let (m' : Model.classifier) = roundtrip to_buf of_buf m in
+      Alcotest.(check string) "name" m.Model.name m'.Model.name;
+      Alcotest.(check int) "classes" m.Model.n_classes m'.Model.n_classes;
+      let inputs = Array.append d.Dataset.x (probes ()) in
+      Array.iter
+        (fun x ->
+          let p = m.Model.predict_proba x and p' = m'.Model.predict_proba x in
+          Alcotest.(check int) "dims" (Array.length p) (Array.length p');
+          Array.iteri (fun i v -> check_bits "proba bits" v p'.(i)) p)
+        inputs)
+
+let reg_codec_case name train to_buf of_buf =
+  Alcotest.test_case (name ^ " round trip is bit-identical") `Quick (fun () ->
+      let d = reg_data () in
+      let (m : Model.regressor) = train d in
+      let (m' : Model.regressor) = roundtrip to_buf of_buf m in
+      Alcotest.(check string) "name" m.Model.name m'.Model.name;
+      let inputs = Array.append d.Dataset.x (reg_probes ()) in
+      Array.iter
+        (fun x -> check_bits "prediction bits" (m.Model.predict x) (m'.Model.predict x))
+        inputs)
+
+let model_codec_tests =
+  [
+    cls_codec_case "logistic" (Logistic.train ?params:None ?init:None) Logistic.to_buf
+      Logistic.of_buf;
+    cls_codec_case "naive_bayes"
+      (Naive_bayes.train ?var_smoothing:None ?init:None)
+      Naive_bayes.to_buf Naive_bayes.of_buf;
+    cls_codec_case "knn" (Knn.train ?params:None ?init:None) Knn.to_buf Knn.of_buf;
+    cls_codec_case "decision_tree"
+      (Decision_tree.classifier ?params:None)
+      Decision_tree.to_buf Decision_tree.of_buf;
+    cls_codec_case "random_forest"
+      (Random_forest.train ?params:None ?init:None)
+      Random_forest.to_buf Random_forest.of_buf;
+    cls_codec_case "gradient_boosting"
+      (Gradient_boosting.train ?params:None ?init:None)
+      Gradient_boosting.to_buf Gradient_boosting.of_buf;
+    cls_codec_case "mlp" (Mlp.train ?params:None ?init:None) Mlp.to_buf Mlp.of_buf;
+    cls_codec_case "svm (linear)" (Svm.train ?params:None ?init:None) Svm.to_buf
+      Svm.of_buf;
+    cls_codec_case "svm (rbf random features)"
+      (Svm.train
+         ~params:
+           {
+             Svm.default_params with
+             Svm.kernel = Svm.Rbf { gamma = 0.5; n_components = 16 };
+           }
+         ?init:None)
+      Svm.to_buf Svm.of_buf;
+    reg_codec_case "linreg" (Linreg.train ?l2:None ?init:None) Linreg.reg_to_buf
+      Linreg.reg_of_buf;
+    reg_codec_case "knn regressor"
+      (Knn.train_regressor ?params:None ?init:None)
+      Knn.reg_to_buf Knn.reg_of_buf;
+    reg_codec_case "decision_tree regressor"
+      (Decision_tree.regressor ?params:None)
+      Decision_tree.reg_to_buf Decision_tree.reg_of_buf;
+    reg_codec_case "random_forest regressor"
+      (Random_forest.train_regressor ?params:None ?init:None)
+      Random_forest.reg_to_buf Random_forest.reg_of_buf;
+    reg_codec_case "gradient_boosting regressor"
+      (Gradient_boosting.train_regressor ?params:None ?init:None)
+      Gradient_boosting.reg_to_buf Gradient_boosting.reg_of_buf;
+    reg_codec_case "mlp regressor"
+      (Mlp.train_regressor ?params:None ?init:None)
+      Mlp.reg_to_buf Mlp.reg_of_buf;
+    Alcotest.test_case "truncated model blob raises Corrupt" `Quick (fun () ->
+        let m = Logistic.train (cls_data ()) in
+        let b = Buffer.create 256 in
+        Logistic.to_buf b m;
+        let full = Buffer.contents b in
+        let r = Buf.reader (String.sub full 0 (String.length full / 2)) in
+        match Logistic.of_buf r with
+        | _ -> Alcotest.fail "truncated blob accepted"
+        | exception Buf.Corrupt _ -> ());
+  ]
+
+(* ---------- Snapshot encode/decode ---------- *)
+
+let cls_detector ?config ?committee ?(seed = 23) () =
+  let d = cls_data ~n:80 ~seed () in
+  let model = Logistic.train d in
+  Detector.Classification.create ?config ?committee ~model ~feature_of:Fun.id d
+
+let reg_detector ?(seed = 29) () =
+  let d = reg_data ~n:80 ~seed () in
+  let model = Linreg.train d in
+  Detector.Regression.create ~model ~feature_of:Fun.id ~seed d
+
+let check_cls_verdicts name det det' inputs =
+  Array.iter
+    (fun x ->
+      let v = Detector.Classification.evaluate det x in
+      let v' = Detector.Classification.evaluate det' x in
+      Alcotest.(check bool) (name ^ " drifted") v.Detector.drifted v'.Detector.drifted;
+      check_bits (name ^ " credibility") v.Detector.mean_credibility
+        v'.Detector.mean_credibility;
+      check_bits (name ^ " confidence") v.Detector.mean_confidence
+        v'.Detector.mean_confidence)
+    inputs
+
+let check_reg_verdicts name det det' inputs =
+  Array.iter
+    (fun x ->
+      let v = Detector.Regression.evaluate det x in
+      let v' = Detector.Regression.evaluate det' x in
+      Alcotest.(check bool) (name ^ " drifted") v.Detector.reg_drifted
+        v'.Detector.reg_drifted;
+      check_bits (name ^ " prediction") v.Detector.predicted_value
+        v'.Detector.predicted_value;
+      check_bits (name ^ " credibility") v.Detector.reg_mean_credibility
+        v'.Detector.reg_mean_credibility;
+      check_bits (name ^ " confidence") v.Detector.reg_mean_confidence
+        v'.Detector.reg_mean_confidence)
+    inputs
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "classification snapshot round trip" `Quick (fun () ->
+        let det = cls_detector () in
+        let snap = Snapshot.of_cls_detector det in
+        let snap' = Snapshot.decode (Snapshot.encode snap) in
+        (match snap' with
+        | Snapshot.Cls s ->
+            let det' = Snapshot.to_cls_detector s in
+            check_cls_verdicts "cls" det det' (probes ())
+        | Snapshot.Reg _ -> Alcotest.fail "kind flipped"));
+    Alcotest.test_case "non-default config and committee survive" `Quick (fun () ->
+        let config =
+          {
+            Config.default with
+            Config.epsilon = 0.25;
+            Config.decision_rule = Config.Credibility_only;
+            Config.vote_fraction = 0.5;
+          }
+        in
+        let committee = Nonconformity.extended_committee in
+        let det = cls_detector ~config ~committee () in
+        match Snapshot.decode (Snapshot.encode (Snapshot.of_cls_detector det)) with
+        | Snapshot.Cls s ->
+            Alcotest.(check bool) "config" true (s.Snapshot.cls_config = config);
+            Alcotest.(check (list string)) "committee"
+              (List.map (fun e -> e.Nonconformity.cls_name) committee)
+              (List.map (fun e -> e.Nonconformity.cls_name) s.Snapshot.cls_committee);
+            let det' = Snapshot.to_cls_detector s in
+            check_cls_verdicts "extended" det det' (probes ())
+        | Snapshot.Reg _ -> Alcotest.fail "kind flipped");
+    Alcotest.test_case "monitor window state survives" `Quick (fun () ->
+        let det = cls_detector () in
+        let monitor = Monitor.create ~window:6 ~threshold:0.5 ~patience:2 () in
+        let drifts = [ true; false; true; true; false; true; true; true ] in
+        List.iter (fun d -> ignore (Monitor.observe monitor ~drifted:d)) drifts;
+        let snap = Snapshot.of_cls_detector ~monitor det in
+        match Snapshot.decode (Snapshot.encode snap) with
+        | Snapshot.Cls { cls_monitor = Some p; _ } ->
+            let restored = Monitor.restore p in
+            Alcotest.(check string) "status"
+              (Monitor.status_to_string (Monitor.status monitor))
+              (Monitor.status_to_string (Monitor.status restored));
+            check_bits "drift rate" (Monitor.drift_rate monitor)
+              (Monitor.drift_rate restored);
+            Alcotest.(check int) "observed" (Monitor.observed monitor)
+              (Monitor.observed restored);
+            (* The restored monitor continues identically. *)
+            List.iter
+              (fun d ->
+                Alcotest.(check string) "next status"
+                  (Monitor.status_to_string (Monitor.observe monitor ~drifted:d))
+                  (Monitor.status_to_string (Monitor.observe restored ~drifted:d)))
+              [ true; true; false; true; true; true ]
+        | _ -> Alcotest.fail "monitor lost");
+    Alcotest.test_case "regression snapshot round trip" `Quick (fun () ->
+        let det = reg_detector () in
+        match Snapshot.decode (Snapshot.encode (Snapshot.of_reg_detector det)) with
+        | Snapshot.Reg s ->
+            let det' = Snapshot.to_reg_detector s in
+            check_reg_verdicts "reg" det det' (reg_probes ())
+        | Snapshot.Cls _ -> Alcotest.fail "kind flipped");
+    Alcotest.test_case "external-model snapshot refuses detector restore" `Quick
+      (fun () ->
+        let det = cls_detector () in
+        match
+          Snapshot.decode
+            (Snapshot.encode (Snapshot.of_cls_detector ~external_model:true det))
+        with
+        | Snapshot.Cls s ->
+            Alcotest.(check bool) "model absent" true (s.Snapshot.cls_model = None);
+            (match Snapshot.to_cls_detector s with
+            | _ -> Alcotest.fail "external model restored as detector"
+            | exception Invalid_argument _ -> ())
+        | Snapshot.Reg _ -> Alcotest.fail "kind flipped");
+    Alcotest.test_case "payload truncation raises Corrupt, never Invalid_argument"
+      `Quick (fun () ->
+        let payload = Snapshot.encode (Snapshot.of_cls_detector (cls_detector ())) in
+        let n = String.length payload in
+        List.iter
+          (fun len ->
+            match Snapshot.decode (String.sub payload 0 len) with
+            | _ -> Alcotest.fail "truncated payload accepted"
+            | exception Buf.Corrupt _ -> ())
+          [ 0; 1; n / 4; n / 2; n - 1 ]);
+    Alcotest.test_case "flipped payload bytes raise Corrupt, never escape" `Quick
+      (fun () ->
+        let payload = Snapshot.encode (Snapshot.of_cls_detector (cls_detector ())) in
+        let n = String.length payload in
+        (* Flip a byte at several offsets; decode must either still
+           produce a snapshot (the flip hit a float payload) or raise
+           Corrupt — anything else (Invalid_argument, Failure,
+           out-of-bounds) would defeat the generation fallback. *)
+        List.iter
+          (fun off ->
+            let b = Bytes.of_string payload in
+            Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x3f));
+            match Snapshot.decode (Bytes.to_string b) with
+            | _ -> ()
+            | exception Buf.Corrupt _ -> ())
+          [ 0; 1; n / 3; n / 2; (2 * n) / 3; n - 2 ]);
+  ]
+
+(* ---------- Generation fallback with real snapshots ---------- *)
+
+let fallback_tests =
+  [
+    Alcotest.test_case "corrupt newest generation falls back bit-identically" `Quick
+      (fun () ->
+        let dir = fresh_dir () in
+        let det = cls_detector () in
+        let info1 = Snapshot.save ~dir (Snapshot.of_cls_detector det) in
+        let det2 = cls_detector ~seed:31 () in
+        let info2 = Snapshot.save ~dir (Snapshot.of_cls_detector det2) in
+        Alcotest.(check int) "gen2" 2 info2.Store.generation;
+        corrupt_byte info2.Store.path 100;
+        (match Snapshot.load_latest ~dir () with
+        | Some (Snapshot.Cls s, info) ->
+            Alcotest.(check int) "fell back" info1.Store.generation
+              info.Store.generation;
+            check_cls_verdicts "fallback" det (Snapshot.to_cls_detector s) (probes ())
+        | _ -> Alcotest.fail "fallback lost the snapshot"));
+    Alcotest.test_case "all generations corrupt yields None" `Quick (fun () ->
+        let dir = fresh_dir () in
+        let det = cls_detector () in
+        let i1 = Snapshot.save ~dir (Snapshot.of_cls_detector det) in
+        let i2 = Snapshot.save ~dir (Snapshot.of_cls_detector det) in
+        (* Flip payload bytes (well past the ~68-byte header) so the
+           checksum, not header framing, is what catches it. *)
+        corrupt_byte i1.Store.path 100;
+        corrupt_byte i2.Store.path 100;
+        Alcotest.(check bool) "none" true (Snapshot.load_latest ~dir () = None));
+    Alcotest.test_case "unknown codec version is skipped" `Quick (fun () ->
+        let dir = fresh_dir () in
+        let det = cls_detector () in
+        let snap = Snapshot.of_cls_detector det in
+        ignore (Snapshot.save ~dir snap);
+        (* A future codec writes generation 2; today's loader must fall
+           back to the generation it can decode. *)
+        ignore
+          (Store.save ~dir ~kind:Snapshot.kind_cls
+             ~codec_version:(Snapshot.codec_version + 1)
+             (Snapshot.encode snap));
+        match Snapshot.load_latest ~dir () with
+        | Some (_, info) -> Alcotest.(check int) "fell back" 1 info.Store.generation
+        | None -> Alcotest.fail "codec-version fallback failed");
+    Alcotest.test_case "kind filter separates cls and reg snapshots" `Quick (fun () ->
+        let dir = fresh_dir () in
+        ignore (Snapshot.save ~dir (Snapshot.of_cls_detector (cls_detector ())));
+        ignore (Snapshot.save ~dir (Snapshot.of_reg_detector (reg_detector ())));
+        (match Snapshot.load_latest ~kind:Snapshot.kind_cls ~dir () with
+        | Some (Snapshot.Cls _, info) ->
+            Alcotest.(check int) "cls gen" 1 info.Store.generation
+        | _ -> Alcotest.fail "cls filter failed");
+        match Snapshot.load_latest ~kind:Snapshot.kind_reg ~dir () with
+        | Some (Snapshot.Reg _, info) ->
+            Alcotest.(check int) "reg gen" 2 info.Store.generation
+        | _ -> Alcotest.fail "reg filter failed");
+  ]
+
+(* ---------- Kill-and-reload end to end ---------- *)
+
+let kill_reload_tests =
+  [
+    Alcotest.test_case "deploy, kill, reload: verdicts bit-identical" `Quick
+      (fun () ->
+        let dir = fresh_dir () in
+        let data = cls_data ~n:100 ~seed:37 () in
+        let deployed =
+          Framework.deploy ~snapshot_dir:dir ~trainer:(Logistic.trainer ()) ~seed:37
+            data
+        in
+        let queries = probes ~seed:41 () in
+        let before =
+          Array.map (Detector.Classification.evaluate deployed.Framework.detector)
+            queries
+        in
+        (* "Kill" the process: everything in memory is dropped; only the
+           snapshot directory survives. *)
+        (match Snapshot.load_latest ~dir () with
+        | Some (Snapshot.Cls s, info) ->
+            Alcotest.(check int) "one checkpoint" 1 info.Store.generation;
+            let det = Snapshot.to_cls_detector s in
+            Array.iteri
+              (fun i x ->
+                let v = Detector.Classification.evaluate det x in
+                Alcotest.(check bool) "drifted" before.(i).Detector.drifted
+                  v.Detector.drifted;
+                check_bits "credibility" before.(i).Detector.mean_credibility
+                  v.Detector.mean_credibility;
+                check_bits "confidence" before.(i).Detector.mean_confidence
+                  v.Detector.mean_confidence)
+              queries
+        | _ -> Alcotest.fail "no checkpoint after deploy"));
+    Alcotest.test_case "improve writes a second generation that reloads" `Quick
+      (fun () ->
+        let dir = fresh_dir () in
+        let data = cls_data ~n:100 ~seed:43 () in
+        let deployed =
+          Framework.deploy ~snapshot_dir:dir ~trainer:(Logistic.trainer ()) ~seed:43
+            data
+        in
+        let rng = Rng.create 47 in
+        let drift_stream =
+          Array.init 20 (fun _ ->
+              Array.init 3 (fun _ -> Rng.gaussian rng ~mu:6.0 ~sigma:0.5))
+        in
+        let deployed', _ =
+          Framework.improve ~budget_fraction:0.5 deployed ~oracle:(fun _ -> 0)
+            drift_stream
+        in
+        Alcotest.(check (list int)) "two generations" [ 1; 2 ] (Store.generations dir);
+        match Snapshot.load_latest ~dir () with
+        | Some (Snapshot.Cls s, info) ->
+            Alcotest.(check int) "latest is the retrain" 2 info.Store.generation;
+            check_cls_verdicts "post-improve" deployed'.Framework.detector
+              (Snapshot.to_cls_detector s) (probes ~seed:53 ())
+        | _ -> Alcotest.fail "retrain checkpoint unreadable");
+    Alcotest.test_case "regression detector save/reload round trip on disk" `Quick
+      (fun () ->
+        let dir = fresh_dir () in
+        let det = reg_detector () in
+        ignore (Snapshot.save ~dir (Snapshot.of_reg_detector det));
+        match Snapshot.load_latest ~kind:Snapshot.kind_reg ~dir () with
+        | Some (Snapshot.Reg s, _) ->
+            check_reg_verdicts "reg reload" det (Snapshot.to_reg_detector s)
+              (reg_probes ())
+        | _ -> Alcotest.fail "regression snapshot unreadable");
+    Alcotest.test_case "snapshot save updates telemetry" `Quick (fun () ->
+        let dir = fresh_dir () in
+        let registry = Prom_obs.create_registry () in
+        let telemetry = Telemetry.create registry in
+        let det = cls_detector () in
+        let info = Snapshot.save ~telemetry ~dir (Snapshot.of_cls_detector det) in
+        ignore (Snapshot.load_latest ~telemetry ~dir ());
+        let text = Telemetry.exposition telemetry in
+        let has needle =
+          let n = String.length needle and m = String.length text in
+          let rec at i = i + n <= m && (String.sub text i n = needle || at (i + 1)) in
+          at 0
+        in
+        ignore (info : Store.info);
+        Alcotest.(check bool) "saves counted" true (has "prom_snapshot_saves_total 1");
+        Alcotest.(check bool) "loads counted" true (has "prom_snapshot_loads_total 1");
+        Alcotest.(check bool) "generation gauge" true
+          (has "prom_snapshot_generation 1"));
+  ]
+
+(* ---------- Service hot swap ---------- *)
+
+let service_of_detector ?telemetry det data =
+  let model = Detector.Classification.model det in
+  let triples =
+    List.init (Dataset.length data) (fun i ->
+        let x, y = Dataset.get data i in
+        (x, y, model.Model.predict_proba x))
+  in
+  Service.create ?telemetry triples
+
+let swap_tests =
+  [
+    Alcotest.test_case "swap replaces verdicts between batches" `Quick (fun () ->
+        let data_a = cls_data ~n:60 ~seed:59 () in
+        let data_b = cls_data ~n:60 ~seed:61 () in
+        let det_a = cls_detector ~seed:59 () in
+        let det_b = cls_detector ~seed:61 () in
+        let service = service_of_detector det_a data_a in
+        let reference = service_of_detector det_b data_b in
+        let model_b = Detector.Classification.model det_b in
+        let queries =
+          Array.map (fun x -> (x, model_b.Model.predict_proba x)) (probes ~seed:67 ())
+        in
+        Alcotest.(check int) "generation 0" 0 (Service.generation service);
+        let before = Service.evaluate_batch service queries in
+        (* Background "retrain": capture the reference service's state
+           and hot-swap it into the live one. *)
+        Service.swap service (Service.snapshot reference);
+        Alcotest.(check int) "generation 1" 1 (Service.generation service);
+        let after = Service.evaluate_batch service queries in
+        let expected = Service.evaluate_batch reference queries in
+        Array.iteri
+          (fun i v ->
+            Alcotest.(check bool) "post-swap drifted" expected.(i).Detector.drifted
+              v.Detector.drifted;
+            check_bits "post-swap credibility" expected.(i).Detector.mean_credibility
+              v.Detector.mean_credibility)
+          after;
+        (* The swap must actually change behaviour for this workload —
+           otherwise the identity above proves nothing. *)
+        let changed = ref false in
+        Array.iteri
+          (fun i v ->
+            if
+              bits v.Detector.mean_credibility
+              <> bits before.(i).Detector.mean_credibility
+            then changed := true)
+          after;
+        Alcotest.(check bool) "swap changed the engine" true !changed);
+    Alcotest.test_case "no query fails across repeated swaps mid-workload" `Quick
+      (fun () ->
+        let data = cls_data ~n:60 ~seed:71 () in
+        let det = cls_detector ~seed:71 () in
+        let service = service_of_detector det data in
+        let snap = Service.snapshot service in
+        let model = Detector.Classification.model det in
+        let queries =
+          Array.map (fun x -> (x, model.Model.predict_proba x)) (probes ~seed:73 ())
+        in
+        let baseline = Service.evaluate_batch service queries in
+        for gen = 1 to 5 do
+          Service.swap service snap;
+          Alcotest.(check int) "generation" gen (Service.generation service);
+          let v = Service.evaluate_batch service queries in
+          Array.iteri
+            (fun i x ->
+              Alcotest.(check bool) "stable verdict" baseline.(i).Detector.drifted
+                x.Detector.drifted;
+              check_bits "stable credibility" baseline.(i).Detector.mean_credibility
+                x.Detector.mean_credibility)
+            v
+        done);
+    Alcotest.test_case "of_snapshot restores a service bit-identically" `Quick
+      (fun () ->
+        let data = cls_data ~n:60 ~seed:79 () in
+        let det = cls_detector ~seed:79 () in
+        let service = service_of_detector det data in
+        let restored = Service.of_snapshot (Service.snapshot service) in
+        let model = Detector.Classification.model det in
+        let queries =
+          Array.map (fun x -> (x, model.Model.predict_proba x)) (probes ~seed:83 ())
+        in
+        let a = Service.evaluate_batch service queries in
+        let b = Service.evaluate_batch restored queries in
+        Array.iteri
+          (fun i v ->
+            Alcotest.(check bool) "drifted" a.(i).Detector.drifted v.Detector.drifted;
+            check_bits "credibility" a.(i).Detector.mean_credibility
+              v.Detector.mean_credibility;
+            check_bits "confidence" a.(i).Detector.mean_confidence
+              v.Detector.mean_confidence)
+          b);
+    Alcotest.test_case "swap rejects regression snapshots" `Quick (fun () ->
+        let data = cls_data ~n:60 ~seed:89 () in
+        let det = cls_detector ~seed:89 () in
+        let service = service_of_detector det data in
+        let reg_snap = Snapshot.of_reg_detector (reg_detector ()) in
+        (match Service.swap service reg_snap with
+        | () -> Alcotest.fail "regression snapshot swapped in"
+        | exception Invalid_argument _ -> ());
+        match Service.of_snapshot reg_snap with
+        | _ -> Alcotest.fail "regression snapshot restored as service"
+        | exception Invalid_argument _ -> ());
+  ]
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_float_roundtrip;
+      prop_int_roundtrip;
+      prop_string_roundtrip;
+      prop_floats_roundtrip;
+      prop_truncation_detected;
+    ]
+
+let suite =
+  [
+    ("store.buf", properties @ buf_unit_tests);
+    ("store.crc32", crc_tests);
+    ("store.container", store_tests);
+    ("store.model_codecs", model_codec_tests);
+    ("store.snapshot", snapshot_tests);
+    ("store.fallback", fallback_tests);
+    ("store.kill_reload", kill_reload_tests);
+    ("store.hot_swap", swap_tests);
+  ]

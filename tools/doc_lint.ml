@@ -1,0 +1,71 @@
+(* Documentation lint for interface files: every value exported by the
+   .mli files given on the command line must carry an odoc comment
+   immediately above its declaration (blank lines in between are
+   allowed). Regions hidden from odoc with the standard stop-comment
+   toggle are exempt. The check is a line-level heuristic — it never
+   parses OCaml — but that is exactly what keeps it dependency-free, so
+   it can run in the tier-1 test alias on images without odoc. *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Array.of_list (List.rev !lines)
+
+let stop_comment = "(**" ^ "/**)"
+
+let lint_file path failures =
+  let lines = read_lines path in
+  let hidden = ref false in
+  Array.iteri
+    (fun i line ->
+      let t = String.trim line in
+      if t = stop_comment then hidden := not !hidden
+      else if (not !hidden) && starts_with "val " t then begin
+        let rec prev j =
+          if j < 0 then None
+          else
+            let p = String.trim lines.(j) in
+            if p = "" then prev (j - 1) else Some p
+        in
+        (* Accept both placements odoc attaches: a comment above the
+           declaration (blank lines allowed), or a floating comment on
+           the very next line. *)
+        let doc_after =
+          i + 1 < Array.length lines && starts_with "(**" (String.trim lines.(i + 1))
+        in
+        let documented =
+          (match prev (i - 1) with Some p -> ends_with "*)" p | None -> false)
+          || doc_after
+        in
+        if not documented then failures := (path, i + 1, t) :: !failures
+      end)
+    lines
+
+let () =
+  let failures = ref [] in
+  for i = 1 to Array.length Sys.argv - 1 do
+    lint_file Sys.argv.(i) failures
+  done;
+  match List.rev !failures with
+  | [] -> Printf.printf "doc lint: %d files ok\n" (Array.length Sys.argv - 1)
+  | fs ->
+      List.iter
+        (fun (path, line, decl) ->
+          Printf.eprintf "%s:%d: undocumented value: %s\n" path line decl)
+        fs;
+      Printf.eprintf "doc lint: %d undocumented values\n" (List.length fs);
+      exit 1
