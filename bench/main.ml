@@ -1081,6 +1081,312 @@ let snapshot () =
 let snapshot_smoke () =
   snapshot_section ~n_cal:250 ~repeats:5 ~json_path:"BENCH_snapshot_smoke.json" ()
 
+(* Serving-layer benchmark: closed-loop load generation against the
+   in-process HTTP server — throughput and latency percentiles at
+   several keep-alive concurrency levels, a wire-identity check against
+   the direct [Service.evaluate_batch] path, and the adaptive-batching
+   speedup over a max_batch=1 server. The [serve-smoke] variant also
+   drives a spawned `prom_cli serve` process end to end when the
+   bench-smoke alias provides the binary path via PROM_CLI. *)
+
+module Http = Prom_server.Http
+module Server = Prom_server.Server
+module Jx = Prom_jsonx
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(Stdlib.min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+let connect_loopback port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let query_body (features, proba) =
+  let vec v = Jx.Arr (Array.to_list (Array.map (fun x -> Jx.Num x) v)) in
+  Jx.to_string (Jx.Obj [ ("features", vec features); ("proba", vec proba) ])
+
+(* One closed-loop level: [concurrency] keep-alive connections, each
+   firing [requests] single-query POSTs back to back. *)
+let run_level ~port ~bodies ~concurrency ~requests =
+  let failures = Atomic.make 0 in
+  let lat = Array.make (concurrency * requests) 0.0 in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.init concurrency (fun c ->
+        Thread.create
+          (fun () ->
+            try
+              let fd = connect_loopback port in
+              let reader = Http.reader fd in
+              for k = 0 to requests - 1 do
+                let body = bodies.((c + k) mod Array.length bodies) in
+                let s = Unix.gettimeofday () in
+                Http.write_request fd ~meth:"POST" ~path:"/predict" body;
+                (match Http.read_response reader with
+                | Ok r when r.Http.status = 200 -> ()
+                | _ -> Atomic.incr failures);
+                lat.((c * requests) + k) <- Unix.gettimeofday () -. s
+              done;
+              Unix.close fd
+            with _ -> Atomic.incr failures)
+          ())
+  in
+  Array.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  let total = concurrency * requests in
+  (total, Atomic.get failures, wall, float_of_int total /. wall, sorted)
+
+let scrape_metric text name =
+  List.find_map
+    (fun line ->
+      let n = String.length name in
+      if String.length line > n + 1 && String.sub line 0 n = name && line.[n] = ' '
+      then float_of_string_opt (String.sub line (n + 1) (String.length line - n - 1))
+      else None)
+    (String.split_on_char '\n' text)
+
+let http_get ~port path =
+  let fd = connect_loopback port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Http.write_request fd ~meth:"GET" ~path "";
+      match Http.read_response (Http.reader fd) with
+      | Ok r -> r
+      | Error _ -> failwith "serve bench: GET failed")
+
+let serve_section ~n_cal ~levels ~requests ~json_path () =
+  section_header
+    (Printf.sprintf "HTTP serving: closed-loop load generator (n_cal=%d)" n_cal);
+  let open Prom_ml in
+  let model, calibration, _ = inference_world ~n_cal ~n_queries:1 in
+  let triples =
+    List.init (Dataset.length calibration) (fun i ->
+        let x, y = Dataset.get calibration i in
+        (x, y, model.Model.predict_proba x))
+  in
+  let service = Service.create triples in
+  let rng = Prom_linalg.Rng.create (seed + 99) in
+  let queries =
+    Array.init 64 (fun i ->
+        let x =
+          Array.init 16 (fun j ->
+              float_of_int ((i mod 4) * (1 + (j mod 3)))
+              +. Prom_linalg.Rng.gaussian rng ~mu:0.0 ~sigma:1.5)
+        in
+        (x, model.Model.predict_proba x))
+  in
+  let bodies = Array.map query_body queries in
+  let n_domains = Stdlib.max 2 (Prom_parallel.Pool.default_size ()) in
+  let pool = Prom_parallel.Pool.create n_domains in
+  Fun.protect
+    ~finally:(fun () -> Prom_parallel.Pool.shutdown pool)
+    (fun () ->
+      let direct = Service.evaluate_batch ~pool service queries in
+      let server = Server.start ~pool service in
+      let port = Server.port server in
+      (* Wire identity: every served verdict must bit-match the direct
+         evaluate_batch path, JSON round trip included. *)
+      let fd = connect_loopback port in
+      let reader = Http.reader fd in
+      Array.iteri
+        (fun i body ->
+          Http.write_request fd ~meth:"POST" ~path:"/predict" body;
+          match Http.read_response reader with
+          | Ok r when r.Http.status = 200 -> (
+              match Jx.parse r.Http.resp_body with
+              | Ok v ->
+                  let cred = Option.bind (Jx.member "credibility" v) Jx.to_float in
+                  let conf = Option.bind (Jx.member "confidence" v) Jx.to_float in
+                  if
+                    cred <> Some direct.(i).Detector.mean_credibility
+                    || conf <> Some direct.(i).Detector.mean_confidence
+                  then failwith "serve bench: served verdict diverged from direct path"
+              | Error e -> failwith ("serve bench: bad response JSON: " ^ e))
+          | _ -> failwith "serve bench: identity check request failed")
+        bodies;
+      Unix.close fd;
+      Printf.printf
+        "  served = direct evaluate_batch (bit-identical): true (%d queries)\n"
+        (Array.length queries);
+      let level_rows =
+        List.map
+          (fun concurrency ->
+            let total, failures, wall, rps, sorted =
+              run_level ~port ~bodies ~concurrency ~requests
+            in
+            if failures > 0 then
+              failwith
+                (Printf.sprintf "serve bench: %d failures at concurrency %d"
+                   failures concurrency);
+            let ms p = percentile sorted p *. 1000.0 in
+            Printf.printf
+              "  c=%-3d  %6d reqs  %8.0f req/s   p50 %7.3f ms  p90 %7.3f ms  \
+               p99 %7.3f ms  (0 failures)\n"
+              concurrency total rps (ms 0.5) (ms 0.9) (ms 0.99);
+            (concurrency, total, wall, rps, ms 0.5, ms 0.9, ms 0.99))
+          levels
+      in
+      let metrics_text = (http_get ~port "/metrics").Http.resp_body in
+      (match Prom_obs.validate_exposition metrics_text with
+      | Ok () -> ()
+      | Error e -> failwith ("serve bench: invalid /metrics exposition: " ^ e));
+      let mean_batch =
+        match
+          ( scrape_metric metrics_text "prom_http_batch_size_sum",
+            scrape_metric metrics_text "prom_http_batch_size_count" )
+        with
+        | Some s, Some c when c > 0.0 -> s /. c
+        | _ -> 0.0
+      in
+      Printf.printf "  mean dispatched batch size: %.2f\n" mean_batch;
+      Server.stop server;
+      (* Adaptive batching vs a max_batch=1 server at the highest level. *)
+      let top = List.fold_left Stdlib.max 1 levels in
+      let unbatched_config =
+        { Server.default_config with Server.max_batch = 1; max_wait_us = 0 }
+      in
+      let server1 = Server.start ~config:unbatched_config ~pool service in
+      let _, failures1, _, rps1, _ =
+        run_level ~port:(Server.port server1) ~bodies ~concurrency:top ~requests
+      in
+      Server.stop server1;
+      if failures1 > 0 then failwith "serve bench: failures on unbatched server";
+      let batched_rps =
+        List.fold_left
+          (fun acc (c, _, _, rps, _, _, _) -> if c = top then rps else acc)
+          0.0 level_rows
+      in
+      Printf.printf
+        "  adaptive batching vs max_batch=1 at c=%d: %.0f vs %.0f req/s (%.2fx)\n"
+        top batched_rps rps1
+        (if rps1 > 0.0 then batched_rps /. rps1 else 0.0);
+      let row_json (c, total, wall, rps, p50, p90, p99) =
+        Jx.Obj
+          [
+            ("concurrency", Jx.Num (float_of_int c));
+            ("requests", Jx.Num (float_of_int total));
+            ("failures", Jx.Num 0.0);
+            ("wall_s", Jx.Num wall);
+            ("throughput_rps", Jx.Num rps);
+            ( "latency_ms",
+              Jx.Obj
+                [ ("p50", Jx.Num p50); ("p90", Jx.Num p90); ("p99", Jx.Num p99) ]
+            );
+          ]
+      in
+      let doc =
+        Jx.Obj
+          [
+            ("calibration_entries", Jx.Num (float_of_int n_cal));
+            ("requests_per_connection", Jx.Num (float_of_int requests));
+            ("mean_batch_size", Jx.Num mean_batch);
+            ("levels", Jx.Arr (List.map row_json level_rows));
+            ( "unbatched_comparison",
+              Jx.Obj
+                [
+                  ("concurrency", Jx.Num (float_of_int top));
+                  ("batched_rps", Jx.Num batched_rps);
+                  ("unbatched_rps", Jx.Num rps1);
+                  ( "speedup",
+                    Jx.Num (if rps1 > 0.0 then batched_rps /. rps1 else 0.0) );
+                ] );
+          ]
+      in
+      let oc = open_out json_path in
+      output_string oc (Jx.to_string doc ^ "\n");
+      close_out oc;
+      Printf.printf "  wrote %s\n" json_path)
+
+(* Lifecycle smoke of the spawned CLI server: start `prom_cli serve
+   --listen 0`, scrape the announced port, hit every endpoint, hot-swap,
+   then SIGTERM and require a clean (drained) exit 0. *)
+let serve_lifecycle_smoke () =
+  section_header "Serve lifecycle: spawned prom_cli serve";
+  match Sys.getenv_opt "PROM_CLI" with
+  | None -> Printf.printf "  skipped (PROM_CLI not set)\n"
+  | Some cli ->
+      let dir = Filename.temp_dir "prom-bench-serve-cli" "" in
+      let r_out, w_out = Unix.pipe () in
+      let pid =
+        Unix.create_process cli
+          [| cli; "serve"; "--quick"; "--listen"; "0"; "--snapshot-dir"; dir |]
+          Unix.stdin w_out Unix.stderr
+      in
+      Unix.close w_out;
+      let ic = Unix.in_channel_of_descr r_out in
+      let port =
+        let prefix = "listening on http://127.0.0.1:" in
+        let plen = String.length prefix in
+        let rec scan () =
+          let line = input_line ic in
+          if String.length line > plen && String.sub line 0 plen = prefix then
+            int_of_string (String.sub line plen (String.length line - plen))
+          else scan ()
+        in
+        try scan ()
+        with End_of_file -> failwith "serve lifecycle: server never announced a port"
+      in
+      let fd = connect_loopback port in
+      let reader = Http.reader fd in
+      let req meth path body =
+        Http.write_request fd ~meth ~path body;
+        match Http.read_response reader with
+        | Ok r -> r
+        | Error _ -> failwith "serve lifecycle: unreadable response"
+      in
+      let expect name status (r : Http.response) =
+        if r.Http.status <> status then
+          failwith
+            (Printf.sprintf "serve lifecycle: %s answered %d, wanted %d" name
+               r.Http.status status)
+      in
+      let h = req "GET" "/healthz" "" in
+      expect "healthz" 200 h;
+      let dim, n_classes =
+        match Jx.parse h.Http.resp_body with
+        | Ok v -> (
+            let geti name =
+              match Option.bind (Jx.member name v) Jx.to_float with
+              | Some f -> int_of_float f
+              | None -> failwith "serve lifecycle: healthz missing engine dims"
+            in
+            (geti "feature_dim", geti "n_classes"))
+        | Error e -> failwith ("serve lifecycle: healthz body: " ^ e)
+      in
+      let body =
+        query_body
+          (Array.make dim 0.5, Array.make n_classes (1.0 /. float_of_int n_classes))
+      in
+      expect "predict" 200 (req "POST" "/predict" body);
+      let m = req "GET" "/metrics" "" in
+      expect "metrics" 200 m;
+      (match Prom_obs.validate_exposition m.Http.resp_body with
+      | Ok () -> ()
+      | Error e -> failwith ("serve lifecycle: invalid exposition: " ^ e));
+      expect "swap" 200 (req "POST" "/admin/swap" "");
+      Unix.close fd;
+      Unix.kill pid Sys.sigterm;
+      (match
+         Prom_store.Iox.retry (fun () -> Unix.waitpid [] pid)
+       with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> failwith "serve lifecycle: prom_cli serve did not exit 0");
+      close_in ic;
+      Printf.printf "  spawn -> healthz/predict/metrics/swap -> SIGTERM -> exit 0: ok\n"
+
+let serve_bench () =
+  serve_section ~n_cal:600 ~levels:[ 1; 8; 64 ] ~requests:100
+    ~json_path:"BENCH_serve.json" ()
+
+let serve_bench_smoke () =
+  serve_section ~n_cal:120 ~levels:[ 1; 4 ] ~requests:10
+    ~json_path:"BENCH_serve_smoke.json" ();
+  serve_lifecycle_smoke ()
+
 (* The paper's motivating study (Fig. 1a): a binary vulnerability
    detector trained on 2012-2014 samples, evaluated on successive future
    time windows. Half of each window's programs carry an injected bug. *)
@@ -1196,6 +1502,8 @@ let sections =
     ("prep-smoke", prep_smoke);
     ("snapshot", snapshot);
     ("snapshot-smoke", snapshot_smoke);
+    ("serve", serve_bench);
+    ("serve-smoke", serve_bench_smoke);
   ]
 
 let () =
@@ -1207,7 +1515,8 @@ let () =
     | _ ->
         List.filter
           (fun n ->
-            n <> "inference-smoke" && n <> "prep-smoke" && n <> "snapshot-smoke")
+            n <> "inference-smoke" && n <> "prep-smoke"
+            && n <> "snapshot-smoke" && n <> "serve-smoke")
           (List.map fst sections)
   in
   let t0 = Unix.gettimeofday () in

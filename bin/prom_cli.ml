@@ -339,7 +339,47 @@ let serve_cmd =
       & opt (some string) None
       & info [ "snapshot-dir" ] ~docv:"DIR" ~doc)
   in
-  let run quick seed snapshot_dir =
+  let listen_arg =
+    let doc =
+      "Serve over HTTP on 127.0.0.1:$(docv) (0 picks an ephemeral port) \
+       instead of running the one-shot digest: POST /predict, GET /metrics, \
+       GET /healthz, POST /admin/swap. Runs until SIGINT/SIGTERM, then drains \
+       in-flight requests and exits 0."
+    in
+    Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT" ~doc)
+  in
+  (* HTTP mode: same detector world as the digest mode, but wrapped in a
+     Service and served until a termination signal arrives. *)
+  let run_http ~snapshot_dir ~port detector origin =
+    let open Prom in
+    let module Pool = Prom_parallel.Pool in
+    let registry = Prom_obs.create_registry () in
+    let telemetry = Telemetry.create registry in
+    let service =
+      Service.of_snapshot ~telemetry (Snapshot.of_cls_detector detector)
+    in
+    let pool = Pool.create (Pool.default_size ()) in
+    Pool.attach_metrics pool registry;
+    let config = { Prom_server.Server.default_config with port } in
+    let server =
+      Prom_server.Server.start ~config ~telemetry ~pool ?snapshot_dir service
+    in
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Printf.printf "detector: %s\n" origin;
+    Printf.printf "listening on http://127.0.0.1:%d\n%!"
+      (Prom_server.Server.port server);
+    while not (Atomic.get stop_requested) do
+      Thread.delay 0.1
+    done;
+    prerr_endline "draining...";
+    Prom_server.Server.stop server;
+    Pool.shutdown pool;
+    prerr_endline "drained"
+  in
+  let run quick seed snapshot_dir listen =
     let open Prom in
     let data, queries = snapshot_world ~quick ~seed in
     let fresh ?snapshot_dir () =
@@ -360,21 +400,26 @@ let serve_cmd =
                   info.Prom_store.Store.generation )
           | _ -> (fresh ~snapshot_dir:dir (), "fresh (checkpointed)"))
     in
-    let verdicts = Detector.Classification.evaluate_batch detector queries in
-    let drifted =
-      Array.fold_left (fun acc v -> if v.Detector.drifted then acc + 1 else acc) 0
-        verdicts
-    in
-    Printf.printf "detector: %s\n" origin;
-    Printf.printf "queries: %d  drifted: %d\n" (Array.length verdicts) drifted;
-    Printf.printf "verdict digest: %08x\n" (verdict_digest verdicts)
+    match listen with
+    | Some port -> run_http ~snapshot_dir ~port detector origin
+    | None ->
+        let verdicts = Detector.Classification.evaluate_batch detector queries in
+        let drifted =
+          Array.fold_left
+            (fun acc v -> if v.Detector.drifted then acc + 1 else acc)
+            0 verdicts
+        in
+        Printf.printf "detector: %s\n" origin;
+        Printf.printf "queries: %d  drifted: %d\n" (Array.length verdicts) drifted;
+        Printf.printf "verdict digest: %08x\n" (verdict_digest verdicts)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve the deterministic query stream, resuming from the latest valid \
-          snapshot when one exists, and print a bit-identity verdict digest")
-    Term.(const run $ quick_arg $ seed_arg $ snapshot_dir_arg)
+         "Serve the detector — one-shot verdict digest by default, or over \
+          HTTP with $(b,--listen) — resuming from the latest valid snapshot \
+          when one exists")
+    Term.(const run $ quick_arg $ seed_arg $ snapshot_dir_arg $ listen_arg)
 
 let () =
   let info =

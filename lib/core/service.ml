@@ -13,6 +13,11 @@ type engine = {
      probabilities; calibration inputs are served from [known]. *)
   query : (Vec.t * Vec.t) option ref;
   known : (Vec.t, Vec.t) Hashtbl.t;
+  (* Feature dimension and class count of this engine's calibration,
+     recorded so network front-ends can validate a query's shape before
+     enqueueing it. *)
+  dim : int;
+  n_classes : int;
 }
 
 type t = {
@@ -65,7 +70,7 @@ let create ?config ?committee ?telemetry triples =
       ~feature_of:Fun.id calibration
   in
   {
-    engine = Atomic.make { detector; query; known };
+    engine = Atomic.make { detector; query; known; dim; n_classes };
     swaps = Atomic.make 0;
     tel = telemetry;
   }
@@ -78,6 +83,7 @@ let create ?config ?committee ?telemetry triples =
 let engine_of_snapshot ?telemetry (s : Snapshot.cls_snapshot) =
   let entries = s.Snapshot.cls_calibration.Calibration.entries in
   let n_classes = Array.length entries.(0).Calibration.proba in
+  let dim = Array.length entries.(0).Calibration.features in
   let query = ref None in
   let known = Hashtbl.create 64 in
   let model = external_model ~n_classes ~query ~known in
@@ -86,7 +92,7 @@ let engine_of_snapshot ?telemetry (s : Snapshot.cls_snapshot) =
       ~committee:s.Snapshot.cls_committee ?telemetry ~model ~feature_of:Fun.id
       s.Snapshot.cls_calibration
   in
-  { detector; query; known }
+  { detector; query; known; dim; n_classes }
 
 let of_snapshot ?telemetry snapshot =
   match snapshot with
@@ -115,6 +121,10 @@ let swap ?store_generation t snapshot =
       | None -> ())
 
 let generation t = Atomic.get t.swaps
+
+let dims t =
+  let e = Atomic.get t.engine in
+  (e.dim, e.n_classes)
 
 let snapshot t =
   Snapshot.of_cls_detector ~external_model:true (Atomic.get t.engine).detector

@@ -47,6 +47,12 @@ val swap : ?store_generation:int -> t -> Snapshot.t -> unit
     [prom_service_swaps_total] counter when telemetry is attached. *)
 val generation : t -> int
 
+(** [dims t] is [(feature_dim, n_classes)] of the engine currently
+    serving — the shape a query's [features] and [proba] vectors must
+    have. Network front-ends validate against this before enqueueing,
+    so a malformed request is rejected instead of failing a batch. *)
+val dims : t -> int * int
+
 (** [snapshot t] captures the current serving state (with the model
     slot marked external — the host owns the real model). Restore with
     {!of_snapshot} or {!swap}. *)

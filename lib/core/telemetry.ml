@@ -75,6 +75,58 @@ let create registry =
 
 let registry t = t.registry
 
+(* HTTP serving-layer series. Kept in the bundle module so every
+   metric name the stack exports lives in one file; the per-status-code
+   counter family is materialized lazily because the set of codes a
+   server answers with is only known at runtime. *)
+module Http = struct
+  type http = {
+    hregistry : Obs.registry;
+    http_batch_size : Obs.Histogram.t;
+    http_queue_depth : Obs.Gauge.t;
+    http_request_seconds : Obs.Histogram.t;
+    lock : Mutex.t;
+    mutable by_code : (int * Obs.Counter.t) list;
+  }
+
+  let create registry =
+    {
+      hregistry = registry;
+      http_batch_size =
+        Obs.histogram registry ~help:"Queries per dispatched inference batch"
+          ~buckets:batch_size_buckets "prom_http_batch_size";
+      http_queue_depth =
+        Obs.gauge registry ~help:"Requests waiting in the micro-batch queue"
+          "prom_http_queue_depth";
+      http_request_seconds =
+        Obs.histogram registry ~help:"HTTP request latency (read to response written)"
+          "prom_http_request_seconds";
+      lock = Mutex.create ();
+      by_code = [];
+    }
+
+  let requests_total t code =
+    Mutex.lock t.lock;
+    let c =
+      match List.assoc_opt code t.by_code with
+      | Some c -> c
+      | None ->
+          let c =
+            Obs.counter t.hregistry
+              ~labels:[ ("code", string_of_int code) ]
+              ~help:"HTTP requests served, by status code" "prom_http_requests_total"
+          in
+          t.by_code <- (code, c) :: t.by_code;
+          c
+    in
+    Mutex.unlock t.lock;
+    c
+
+  let batch_size t = t.http_batch_size
+  let queue_depth t = t.http_queue_depth
+  let request_seconds t = t.http_request_seconds
+end
+
 let expert_flag_counter t name =
   Obs.counter t.registry
     ~labels:[ ("expert", name) ]

@@ -55,3 +55,34 @@ val expert_flag_counter : t -> string -> Prom_obs.Counter.t
 (** Prometheus text exposition of everything on the bundle's
     registry. *)
 val exposition : t -> string
+
+(** Instrument bundle for the HTTP serving layer ({!Prom_server}-side
+    series, kept here so every metric name the stack exports is
+    declared in one module). *)
+module Http : sig
+  type http
+
+  (** [create registry] registers the HTTP series
+      ([prom_http_batch_size], [prom_http_queue_depth],
+      [prom_http_request_seconds]) on [registry]; get-or-create like
+      {!create}. *)
+  val create : Prom_obs.registry -> http
+
+  (** [requests_total t code] is the
+      [prom_http_requests_total{code="..."}] counter for one status
+      code, materialized on first use and cached. Safe from any
+      thread. *)
+  val requests_total : http -> int -> Prom_obs.Counter.t
+
+  (** [prom_http_batch_size]: queries per dispatched inference
+      batch. *)
+  val batch_size : http -> Prom_obs.Histogram.t
+
+  (** [prom_http_queue_depth]: requests waiting in the micro-batch
+      queue after the last dispatch. *)
+  val queue_depth : http -> Prom_obs.Gauge.t
+
+  (** [prom_http_request_seconds]: request latency from fully-read
+      request to fully-written response. *)
+  val request_seconds : http -> Prom_obs.Histogram.t
+end

@@ -1,0 +1,63 @@
+(** Minimal dependency-free JSON: one writer and one parser shared by
+    every JSON surface of the serving stack — the {!Prom_obs} snapshot
+    exposition, the snapshot-store manifests, and the HTTP server's
+    request/response bodies — so string escaping and float formatting
+    are implemented (and tested) exactly once. *)
+
+(** A JSON value. Object fields keep their emission order; duplicate
+    keys are preserved by the parser (first occurrence wins in
+    {!member}). *)
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [number v] renders a finite float with the fewest digits that
+    {!Stdlib.float_of_string} parses back to the identical bit pattern:
+    integral magnitudes below [1e15] print as integers, everything else
+    probes ["%.15g"], ["%.16g"], ["%.17g"] in turn. Non-finite values
+    render as ["null"] — JSON has no NaN/infinity literals; callers that
+    need them must encode them as strings. *)
+val number : float -> string
+
+(** [escape s] is the JSON string-body escaping of [s] (quotes and
+    backslashes escaped, control characters as [\uXXXX], all other
+    bytes passed through verbatim) — without the surrounding quotes. *)
+val escape : string -> string
+
+(** [add_json buf v] appends the compact (no-whitespace) serialization
+    of [v] to [buf]. *)
+val add_json : Buffer.t -> t -> unit
+
+(** [to_string v] is the compact serialization of [v]. *)
+val to_string : t -> string
+
+(** [parse s] parses one JSON value followed only by whitespace.
+    Numbers become [Num] (via [float_of_string], so integers parse
+    exactly up to 2^53), [\uXXXX] escapes decode to UTF-8 (surrogate
+    pairs included). [Error msg] carries a byte offset for malformed
+    input. *)
+val parse : string -> (t, string) result
+
+(** [member k v] is the value of field [k] when [v] is an object that
+    has one, [None] otherwise. *)
+val member : string -> t -> t option
+
+(** [to_float v] extracts a [Num]. *)
+val to_float : t -> float option
+
+(** [to_string_opt v] extracts a [Str]. *)
+val to_string_opt : t -> string option
+
+(** [to_list v] extracts an [Arr]. *)
+val to_list : t -> t list option
+
+(** [to_bool v] extracts a [Bool]. *)
+val to_bool : t -> bool option
+
+(** [float_array v] extracts an [Arr] of [Num] as a float array;
+    [None] when [v] is not an array or any element is not a number. *)
+val float_array : t -> float array option

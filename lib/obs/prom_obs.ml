@@ -350,71 +350,56 @@ module Snapshot = struct
       t;
     Buffer.contents buf
 
-  let json_escape v =
-    let buf = Buffer.create (String.length v) in
-    String.iter
-      (fun c ->
-        match c with
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\n' -> Buffer.add_string buf "\\n"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      v;
-    Buffer.contents buf
-
-  let json_float v =
-    if Float.is_finite v then fmt_value v else Printf.sprintf "%S" (Float.to_string v)
+  (* JSON exposition built on the shared Prom_jsonx writer (the same
+     escaping and number formatting the snapshot-store manifests and
+     the HTTP server use). JSON has no NaN/infinity literals, so
+     non-finite samples are encoded as their OCaml string forms. *)
+  let json_num v =
+    if Float.is_finite v then Prom_jsonx.Num v else Prom_jsonx.Str (Float.to_string v)
 
   let to_json t =
-    let buf = Buffer.create 1024 in
-    Buffer.add_string buf "{\"metrics\":[";
-    List.iteri
-      (fun i m ->
-        if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_string buf
-          (Printf.sprintf "{\"name\":\"%s\",\"type\":\"%s\",\"help\":\"%s\",\"series\":["
-             (json_escape m.sname) m.skind (json_escape m.shelp));
-        List.iteri
-          (fun j (labels, v) ->
-            if j > 0 then Buffer.add_char buf ',';
-            let labels_json =
-              "{"
-              ^ String.concat ","
-                  (List.map
-                     (fun (k, v) ->
-                       Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
-                     labels)
-              ^ "}"
-            in
-            match v with
-            | Single v ->
-                Buffer.add_string buf
-                  (Printf.sprintf "{\"labels\":%s,\"value\":%s}" labels_json (json_float v))
-            | Hist { buckets; counts; inf; sum } ->
-                let acc = ref 0.0 in
-                let bucket_json =
-                  String.concat ","
-                    (Array.to_list
-                       (Array.mapi
-                          (fun i b ->
-                            acc := !acc +. counts.(i);
-                            Printf.sprintf "{\"le\":%s,\"count\":%s}" (json_float b)
-                              (fmt_value !acc))
-                          buckets))
-                in
-                let total = !acc +. inf in
-                Buffer.add_string buf
-                  (Printf.sprintf
-                     "{\"labels\":%s,\"buckets\":[%s,{\"le\":\"+Inf\",\"count\":%s}],\"sum\":%s,\"count\":%s}"
-                     labels_json bucket_json (fmt_value total) (json_float sum)
-                     (fmt_value total)))
-          m.sseries;
-        Buffer.add_string buf "]}")
-      t;
-    Buffer.add_string buf "]}";
-    Buffer.contents buf
+    let labels_json labels =
+      Prom_jsonx.Obj (List.map (fun (k, v) -> (k, Prom_jsonx.Str v)) labels)
+    in
+    let series_json (labels, v) =
+      match v with
+      | Single v ->
+          Prom_jsonx.Obj [ ("labels", labels_json labels); ("value", json_num v) ]
+      | Hist { buckets; counts; inf; sum } ->
+          let acc = ref 0.0 in
+          let bucket_objs =
+            Array.to_list
+              (Array.mapi
+                 (fun i b ->
+                   acc := !acc +. counts.(i);
+                   Prom_jsonx.Obj
+                     [ ("le", json_num b); ("count", Prom_jsonx.Num !acc) ])
+                 buckets)
+          in
+          let total = !acc +. inf in
+          let inf_obj =
+            Prom_jsonx.Obj
+              [ ("le", Prom_jsonx.Str "+Inf"); ("count", Prom_jsonx.Num total) ]
+          in
+          Prom_jsonx.Obj
+            [
+              ("labels", labels_json labels);
+              ("buckets", Prom_jsonx.Arr (bucket_objs @ [ inf_obj ]));
+              ("sum", json_num sum);
+              ("count", Prom_jsonx.Num total);
+            ]
+    in
+    let metric_json m =
+      Prom_jsonx.Obj
+        [
+          ("name", Prom_jsonx.Str m.sname);
+          ("type", Prom_jsonx.Str m.skind);
+          ("help", Prom_jsonx.Str m.shelp);
+          ("series", Prom_jsonx.Arr (List.map series_json m.sseries));
+        ]
+    in
+    Prom_jsonx.to_string
+      (Prom_jsonx.Obj [ ("metrics", Prom_jsonx.Arr (List.map metric_json t)) ])
 end
 
 (* --- exposition validation (used by the bench-smoke CI check) --- *)

@@ -1,0 +1,238 @@
+module Iox = Prom_store.Iox
+
+type error = [ `Overloaded | `Shutdown | `Failed of exn ]
+
+type ('a, 'b) cell = {
+  items : 'a array;
+  mutable outcome : ('b array, error) result option;
+}
+
+type ('a, 'b) t = {
+  run : 'a array -> 'b array;
+  max_batch : int;
+  max_wait_s : float;
+  capacity : int;
+  on_depth : int -> unit;
+  on_batch : int -> unit;
+  before_batch : unit -> unit;
+  lock : Mutex.t;
+  done_cond : Condition.t;
+  queue : ('a, 'b) cell Queue.t;
+  mutable depth : int;
+  mutable stopping : bool;
+  mutable joined : bool;
+  (* Self-pipe: OCaml has no [Condition.timedwait], so the dispatcher's
+     timed waits are [select] on this pipe; submitters write one byte
+     after every enqueue (and [shutdown] after flipping [stopping]). *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable dispatcher : Thread.t option;
+}
+
+let wake t =
+  (* Non-blocking: if the pipe buffer is full the dispatcher already
+     has plenty of pending wake-ups. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | EPIPE), _, _) -> ()
+
+let drain_wake t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  go ()
+
+(* Block (without the lock held) until woken or [timeout] seconds pass;
+   negative timeout blocks indefinitely. *)
+let wait_for_wake t timeout =
+  (match Iox.retry (fun () -> Unix.select [ t.wake_r ] [] [] timeout) with
+  | [], _, _ -> ()
+  | _ -> drain_wake t)
+
+let run_batch t cells n =
+  t.before_batch ();
+  t.on_batch n;
+  let outcome =
+    match t.run (Array.concat (List.map (fun c -> c.items) cells)) with
+    | outputs ->
+        if Array.length outputs <> n then
+          Error
+            (`Failed
+              (Invalid_argument
+                 (Printf.sprintf "Batcher: run returned %d outputs for %d inputs"
+                    (Array.length outputs) n)))
+        else Ok outputs
+    | exception e -> Error (`Failed e)
+  in
+  Mutex.lock t.lock;
+  (match outcome with
+  | Ok outputs ->
+      let off = ref 0 in
+      List.iter
+        (fun c ->
+          let k = Array.length c.items in
+          c.outcome <- Some (Ok (Array.sub outputs !off k));
+          off := !off + k)
+        cells
+  | Error _ as e -> List.iter (fun c -> c.outcome <- Some e) cells);
+  Condition.broadcast t.done_cond;
+  Mutex.unlock t.lock
+
+let dispatcher_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Mutex.unlock t.lock;
+      wait_for_wake t (-1.0);
+      Mutex.lock t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stopping && drained: exit. [stopping] is checked under the same
+         lock [submit_many] takes, so no group can slip in after this. *)
+      Mutex.unlock t.lock;
+      running := false
+    end
+    else begin
+      (* Adaptive wait: give late arrivals up to [max_wait_s] to join
+         this batch, unless it is already full or we are draining. *)
+      if t.depth < t.max_batch && not t.stopping && t.max_wait_s > 0.0 then begin
+        let deadline = Unix.gettimeofday () +. t.max_wait_s in
+        let rec linger () =
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining > 0.0 && t.depth < t.max_batch && not t.stopping then begin
+            Mutex.unlock t.lock;
+            wait_for_wake t remaining;
+            Mutex.lock t.lock;
+            linger ()
+          end
+        in
+        linger ()
+      end;
+      (* Drain whole groups up to [max_batch] items; always take at
+         least one group so an oversized batch request still runs. *)
+      let cells = ref [] and n = ref 0 in
+      let full = ref false in
+      while (not !full) && not (Queue.is_empty t.queue) do
+        let c = Queue.peek t.queue in
+        let k = Array.length c.items in
+        if !n > 0 && !n + k > t.max_batch then full := true
+        else begin
+          ignore (Queue.pop t.queue);
+          cells := c :: !cells;
+          n := !n + k;
+          if !n >= t.max_batch then full := true
+        end
+      done;
+      t.depth <- t.depth - !n;
+      let depth_now = t.depth in
+      Mutex.unlock t.lock;
+      t.on_depth depth_now;
+      run_batch t (List.rev !cells) !n
+    end
+  done
+
+let create ?(max_batch = 64) ?(max_wait_us = 2000) ?(capacity = 1024)
+    ?(on_depth = fun _ -> ()) ?(on_batch = fun _ -> ())
+    ?(before_batch = fun () -> ()) run =
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1";
+  if capacity < 1 then invalid_arg "Batcher.create: capacity < 1";
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      run;
+      max_batch;
+      max_wait_s = float_of_int (max 0 max_wait_us) /. 1e6;
+      capacity;
+      on_depth;
+      on_batch;
+      before_batch;
+      lock = Mutex.create ();
+      done_cond = Condition.create ();
+      queue = Queue.create ();
+      depth = 0;
+      stopping = false;
+      joined = false;
+      wake_r;
+      wake_w;
+      dispatcher = None;
+    }
+  in
+  t.dispatcher <- Some (Thread.create dispatcher_loop t);
+  t
+
+let submit_many t items =
+  let k = Array.length items in
+  if k = 0 then Ok [||]
+  else begin
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      Error `Shutdown
+    end
+    else if t.depth + k > t.capacity then begin
+      Mutex.unlock t.lock;
+      Error `Overloaded
+    end
+    else begin
+      let cell = { items; outcome = None } in
+      Queue.push cell t.queue;
+      t.depth <- t.depth + k;
+      t.on_depth t.depth;
+      wake t;
+      let rec await () =
+        match cell.outcome with
+        | Some r -> r
+        | None ->
+            Condition.wait t.done_cond t.lock;
+            await ()
+      in
+      let r = await () in
+      Mutex.unlock t.lock;
+      r
+    end
+  end
+
+let submit t item =
+  match submit_many t [| item |] with
+  | Ok outputs -> Ok outputs.(0)
+  | Error _ as e -> e
+
+let depth t =
+  Mutex.lock t.lock;
+  let d = t.depth in
+  Mutex.unlock t.lock;
+  d
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    (* Idempotent: wait for the first caller to finish the join. *)
+    let rec spin () =
+      Mutex.lock t.lock;
+      let j = t.joined in
+      Mutex.unlock t.lock;
+      if not j then begin
+        Thread.yield ();
+        spin ()
+      end
+    in
+    spin ()
+  end
+  else begin
+    t.stopping <- true;
+    wake t;
+    Mutex.unlock t.lock;
+    (match t.dispatcher with Some th -> Thread.join th | None -> ());
+    Mutex.lock t.lock;
+    t.joined <- true;
+    Mutex.unlock t.lock;
+    Iox.close_noerr t.wake_r;
+    Iox.close_noerr t.wake_w
+  end

@@ -1,0 +1,68 @@
+(** Adaptive micro-batching queue: many submitter threads hand in small
+    groups of work items; one dispatcher thread coalesces them into
+    batches and runs each batch through a single evaluation call.
+
+    The dispatcher drains the queue as soon as either [max_batch] items
+    are waiting or the oldest item has waited [max_wait_us]
+    microseconds — so a lone request costs at most one micro-wait of
+    latency, while a busy queue amortizes per-batch fixed costs
+    (dispatch to the domain pool, cache warm-up) across every waiting
+    query. Under load the queue is bounded: submissions that would push
+    the total past [capacity] are rejected immediately with
+    [`Overloaded], which the HTTP layer maps to [503 Retry-After] —
+    backpressure instead of collapse.
+
+    Submitter groups are never split across batches (a batch request is
+    answered from exactly one evaluation call), and results come back
+    in submission order within each group. *)
+
+type ('a, 'b) t
+(** A batcher accepting items of type ['a] and producing one ['b] per
+    item. *)
+
+(** Why a submission failed: the queue was full ([`Overloaded]), the
+    batcher is shutting down ([`Shutdown]), or the evaluation function
+    raised ([`Failed] — carries the exception; the batcher itself keeps
+    running). *)
+type error = [ `Overloaded | `Shutdown | `Failed of exn ]
+
+(** [create ?max_batch ?max_wait_us ?capacity ?on_depth ?on_batch
+    ?before_batch run] starts the dispatcher thread. [run] is called
+    with between 1 and [max (max_batch) (largest single group)] items
+    and must return exactly one output per input, in order. Hooks:
+    [on_depth] observes the queue depth after every enqueue/drain (for
+    a gauge), [on_batch] the size of every dispatched batch (for a
+    histogram), [before_batch] runs just before each evaluation (test
+    seam for forcing queue buildup). All hooks must be fast and must
+    not raise. Defaults: [max_batch = 64], [max_wait_us = 2000],
+    [capacity = 1024]. Raises [Invalid_argument] if [max_batch] or
+    [capacity] is non-positive. *)
+val create :
+  ?max_batch:int ->
+  ?max_wait_us:int ->
+  ?capacity:int ->
+  ?on_depth:(int -> unit) ->
+  ?on_batch:(int -> unit) ->
+  ?before_batch:(unit -> unit) ->
+  ('a array -> 'b array) ->
+  ('a, 'b) t
+
+(** [submit_many t items] enqueues [items] as one indivisible group and
+    blocks until the dispatcher has evaluated them, returning the
+    outputs in item order. An empty array returns [Ok [||]] without
+    touching the queue. A group larger than [max_batch] is still
+    accepted (it becomes a batch of its own) as long as it fits the
+    remaining [capacity]. *)
+val submit_many : ('a, 'b) t -> 'a array -> ('b array, error) result
+
+(** [submit t item] is [submit_many t [| item |]] unwrapped. *)
+val submit : ('a, 'b) t -> 'a -> ('b, error) result
+
+(** [depth t] is the number of items currently queued (diagnostics). *)
+val depth : ('a, 'b) t -> int
+
+(** [shutdown t] stops accepting new work ([`Shutdown] thereafter),
+    lets the dispatcher drain and answer everything already queued,
+    then joins it. Idempotent; safe to call while submitters are still
+    blocked — they all get answers, never hang. *)
+val shutdown : ('a, 'b) t -> unit

@@ -1,0 +1,273 @@
+module Iox = Prom_store.Iox
+
+type request = {
+  meth : string;
+  path : string;
+  version : string;
+  req_headers : (string * string) list;
+  req_body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+type read_error = [ `Eof | `Bad of string | `Too_large ]
+
+(* Buffered connection reader: bytes live in [buf.(start .. start+len)];
+   the prefix before [start] is already consumed and reclaimed by
+   compacting before each refill. *)
+type reader = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable start : int;
+  mutable len : int;
+  mutable eof : bool;
+}
+
+let reader fd = { fd; buf = Bytes.create 4096; start = 0; len = 0; eof = false }
+let buffered r = r.len > 0
+
+let wait_readable r ~timeout =
+  if r.len > 0 || r.eof then `Ready
+  else
+    match Iox.retry (fun () -> Unix.select [ r.fd ] [] [] timeout) with
+    | [], _, _ -> `Timeout
+    | _ -> `Ready
+
+(* Make room for [extra] more bytes past the current content. *)
+let reserve r extra =
+  if r.start + r.len + extra > Bytes.length r.buf then begin
+    if r.start > 0 then begin
+      Bytes.blit r.buf r.start r.buf 0 r.len;
+      r.start <- 0
+    end;
+    if r.len + extra > Bytes.length r.buf then begin
+      let cap = ref (Bytes.length r.buf * 2) in
+      while r.len + extra > !cap do
+        cap := !cap * 2
+      done;
+      let nbuf = Bytes.create !cap in
+      Bytes.blit r.buf 0 nbuf 0 r.len;
+      r.buf <- nbuf
+    end
+  end
+
+let refill r =
+  if not r.eof then begin
+    reserve r 4096;
+    let n = Iox.read r.fd r.buf (r.start + r.len) 4096 in
+    if n = 0 then r.eof <- true else r.len <- r.len + n
+  end
+
+let consume r n =
+  r.start <- r.start + n;
+  r.len <- r.len - n;
+  if r.len = 0 then r.start <- 0
+
+(* Index (relative to [r.start]) just past the first CRLFCRLF, if
+   buffered. *)
+let head_end r =
+  let limit = r.start + r.len - 3 in
+  let rec scan i =
+    if i >= limit then None
+    else if
+      Bytes.get r.buf i = '\r'
+      && Bytes.get r.buf (i + 1) = '\n'
+      && Bytes.get r.buf (i + 2) = '\r'
+      && Bytes.get r.buf (i + 3) = '\n'
+    then Some (i + 4 - r.start)
+    else scan (i + 1)
+  in
+  scan r.start
+
+let lowercase_ascii_inplace = String.lowercase_ascii
+
+let parse_headers lines =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match String.index_opt line ':' with
+        | None -> Error (`Bad (Printf.sprintf "malformed header line %S" line))
+        | Some colon ->
+            let name = lowercase_ascii_inplace (String.sub line 0 colon) in
+            let value =
+              String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
+            in
+            if name = "" then Error (`Bad "empty header name")
+            else loop ((name, value) :: acc) rest)
+  in
+  loop [] lines
+
+let header name headers = List.assoc_opt name headers
+
+let split_crlf s =
+  (* [s] ends with the CRLF of its last line. *)
+  let lines = ref [] in
+  let start = ref 0 in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if s.[!i] = '\r' && s.[!i + 1] = '\n' then begin
+      lines := String.sub s !start (!i - !start) :: !lines;
+      i := !i + 2;
+      start := !i
+    end
+    else incr i
+  done;
+  List.rev !lines
+
+(* Read up to and including the blank line; returns the header block's
+   lines. *)
+let read_head ~max_header r =
+  let rec loop () =
+    match head_end r with
+    | Some off ->
+        if off > max_header then Error `Too_large
+        else begin
+          let head = Bytes.sub_string r.buf r.start off in
+          consume r off;
+          (* The blank line terminating the head splits to [""]; drop it. *)
+          Ok (List.filter (fun l -> l <> "") (split_crlf head))
+        end
+    | None ->
+        if r.len > max_header then Error `Too_large
+        else if r.eof then
+          if r.len = 0 then Error `Eof else Error (`Bad "truncated message head")
+        else begin
+          refill r;
+          loop ()
+        end
+  in
+  loop ()
+
+let read_body ~max_body r headers =
+  if header "transfer-encoding" headers <> None then
+    Error (`Bad "chunked transfer encoding not supported")
+  else
+    match header "content-length" headers with
+    | None -> Ok ""
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | None -> Error (`Bad "unparseable content-length")
+        | Some n when n < 0 -> Error (`Bad "negative content-length")
+        | Some n when n > max_body -> Error `Too_large
+        | Some n ->
+            let rec fill () =
+              if r.len >= n then begin
+                let body = Bytes.sub_string r.buf r.start n in
+                consume r n;
+                Ok body
+              end
+              else if r.eof then Error (`Bad "truncated body")
+              else begin
+                refill r;
+                fill ()
+              end
+            in
+            fill ())
+
+let split_on_spaces line =
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+
+let read_request ?(max_header = 16 * 1024) ?(max_body = 4 * 1024 * 1024) r =
+  match read_head ~max_header r with
+  | Error _ as e -> e
+  | Ok [] -> Error (`Bad "empty request head")
+  | Ok (request_line :: header_lines) -> (
+      match split_on_spaces request_line with
+      | [ meth; path; version ] when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+          match parse_headers header_lines with
+          | Error _ as e -> e
+          | Ok req_headers -> (
+              match read_body ~max_body r req_headers with
+              | Error _ as e -> e
+              | Ok req_body ->
+                  Ok { meth = String.uppercase_ascii meth; path; version; req_headers; req_body }))
+      | _ -> Error (`Bad (Printf.sprintf "malformed request line %S" request_line)))
+
+let read_response ?(max_header = 16 * 1024) ?(max_body = 64 * 1024 * 1024) r =
+  match read_head ~max_header r with
+  | Error _ as e -> e
+  | Ok [] -> Error (`Bad "empty response head")
+  | Ok (status_line :: header_lines) -> (
+      match split_on_spaces status_line with
+      | version :: code :: reason_words
+        when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+          match int_of_string_opt code with
+          | None -> Error (`Bad (Printf.sprintf "malformed status line %S" status_line))
+          | Some status -> (
+              match parse_headers header_lines with
+              | Error _ as e -> e
+              | Ok resp_headers -> (
+                  match read_body ~max_body r resp_headers with
+                  | Error _ as e -> e
+                  | Ok resp_body ->
+                      Ok
+                        {
+                          status;
+                          reason = String.concat " " reason_words;
+                          resp_headers;
+                          resp_body;
+                        })))
+      | _ -> Error (`Bad (Printf.sprintf "malformed status line %S" status_line)))
+
+let keep_alive req =
+  match (req.version, Option.map lowercase_ascii_inplace (header "connection" req.req_headers)) with
+  | _, Some "close" -> false
+  | "HTTP/1.0", Some "keep-alive" -> true
+  | "HTTP/1.0", _ -> false
+  | _, _ -> true
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let write_response fd ~status ?(content_type = "application/json")
+    ?(extra_headers = []) ~keep_alive body =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_phrase status));
+  Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string buf
+    (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    extra_headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  Iox.write_string fd (Buffer.contents buf)
+
+let write_request fd ~meth ~path ?(content_type = "application/json")
+    ?(extra_headers = []) body =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+  Buffer.add_string buf "Host: localhost\r\n";
+  if body <> "" || meth = "POST" then begin
+    Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" content_type);
+    Buffer.add_string buf
+      (Printf.sprintf "Content-Length: %d\r\n" (String.length body))
+  end;
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    extra_headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  Iox.write_string fd (Buffer.contents buf)

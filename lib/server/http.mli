@@ -1,0 +1,100 @@
+(** Dependency-free HTTP/1.1 framing over [Unix] file descriptors: a
+    buffered request/response reader and a response writer — just
+    enough protocol for the PROM serving endpoints (identity bodies
+    sized by [Content-Length], persistent connections, no
+    chunked-transfer or multiline headers). Both sides of the protocol
+    live here so the server, the tests and the bench load generator
+    parse wire bytes with the same code. *)
+
+(** One parsed request. Header names are lowercased; values are
+    trimmed. [body] is the full [Content-Length]-delimited payload. *)
+type request = {
+  meth : string;  (** request method, uppercase, e.g. ["POST"] *)
+  path : string;  (** request target as sent, e.g. ["/predict"] *)
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  req_headers : (string * string) list;  (** lowercased name, trimmed value *)
+  req_body : string;  (** decoded body ([""] when absent) *)
+}
+
+(** One parsed response (the client side of the same framing). *)
+type response = {
+  status : int;  (** status code, e.g. [200] *)
+  reason : string;  (** reason phrase, e.g. ["OK"] *)
+  resp_headers : (string * string) list;  (** lowercased name, trimmed value *)
+  resp_body : string;  (** decoded body *)
+}
+
+(** Why a read failed: the peer closed cleanly before a complete
+    message ([`Eof]), the bytes are not valid HTTP ([`Bad]), or a limit
+    was exceeded ([`Too_large] — respond 413/431 and close). *)
+type read_error = [ `Eof | `Bad of string | `Too_large ]
+
+(** A buffered reader over one connection. Buffering is internal to
+    the reader, so interleave {!read_request} calls freely with writes
+    on the same descriptor — but create only one reader per
+    descriptor. *)
+type reader
+
+(** [reader fd] wraps [fd] (no I/O happens until the first read). *)
+val reader : Unix.file_descr -> reader
+
+(** [buffered r] is true when bytes already read from the socket are
+    waiting in the reader — i.e. the next parse can start without
+    touching the descriptor (pipelined request). *)
+val buffered : reader -> bool
+
+(** [wait_readable r ~timeout] waits (via [select]) until the reader
+    can make progress or [timeout] seconds elapse. Returns immediately
+    when data is already {!buffered}. *)
+val wait_readable : reader -> timeout:float -> [ `Ready | `Timeout ]
+
+(** [read_request ?max_header ?max_body r] reads one full request.
+    [max_header] bounds the request line + headers (default 16 KiB),
+    [max_body] the declared [Content-Length] (default 4 MiB). All reads
+    restart on [EINTR]. *)
+val read_request :
+  ?max_header:int -> ?max_body:int -> reader -> (request, read_error) result
+
+(** [read_response ?max_header ?max_body r] reads one full response —
+    the client-side mirror of {!read_request}, used by the tests and
+    the bench load generator. *)
+val read_response :
+  ?max_header:int -> ?max_body:int -> reader -> (response, read_error) result
+
+(** [header name msg_headers] looks up a header by lowercase name. *)
+val header : string -> (string * string) list -> string option
+
+(** [keep_alive req] — persistent-connection semantics: HTTP/1.1
+    defaults to keep-alive unless [Connection: close]; HTTP/1.0 only
+    with [Connection: keep-alive]. *)
+val keep_alive : request -> bool
+
+(** [reason_phrase code] is the standard reason phrase for [code]
+    (["Unknown"] for unassigned codes). *)
+val reason_phrase : int -> string
+
+(** [write_response fd ~status ?content_type ?extra_headers ~keep_alive
+    body] serializes and writes one response, including
+    [Content-Length] and [Connection]. Raises [Unix.Unix_error] (e.g.
+    [EPIPE]) when the peer is gone — never kills the process, since
+    the server ignores [SIGPIPE]. *)
+val write_response :
+  Unix.file_descr ->
+  status:int ->
+  ?content_type:string ->
+  ?extra_headers:(string * string) list ->
+  keep_alive:bool ->
+  string ->
+  unit
+
+(** [write_request fd ~meth ~path ?content_type ?extra_headers body]
+    serializes and writes one request (client side; always
+    keep-alive). *)
+val write_request :
+  Unix.file_descr ->
+  meth:string ->
+  path:string ->
+  ?content_type:string ->
+  ?extra_headers:(string * string) list ->
+  string ->
+  unit

@@ -1,0 +1,362 @@
+module J = Prom_jsonx
+module Iox = Prom_store.Iox
+module Obs = Prom_obs
+module Service = Prom.Service
+module Telemetry = Prom.Telemetry
+module Snapshot = Prom.Snapshot
+module Detector = Prom.Detector
+
+type config = {
+  port : int;
+  max_batch : int;
+  max_wait_us : int;
+  queue_capacity : int;
+  max_body_bytes : int;
+  max_connections : int;
+}
+
+let default_config =
+  {
+    port = 0;
+    max_batch = 64;
+    max_wait_us = 2000;
+    queue_capacity = 1024;
+    max_body_bytes = 4 * 1024 * 1024;
+    max_connections = 256;
+  }
+
+type t = {
+  config : config;
+  service : Service.t;
+  registry : Obs.registry;
+  telemetry : Telemetry.t option;
+  http : Telemetry.Http.http;
+  batcher :
+    (Prom_linalg.Vec.t * Prom_linalg.Vec.t, Detector.cls_verdict) Batcher.t;
+  snapshot_dir : string option;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  lock : Mutex.t;
+  conns_done : Condition.t;
+  mutable conns : int;
+  mutable stopped : bool;
+  mutable accept_thread : Thread.t option;
+  swap_lock : Mutex.t;
+}
+
+let port t = t.bound_port
+let service t = t.service
+
+(* ------------------------------------------------------------------ *)
+(* Request handling. Handlers return
+   (status, content_type, body, extra_headers). *)
+
+exception Reject of int * string
+
+let err_obj msg = J.Obj [ ("error", J.Str msg) ]
+let json_body obj = J.to_string obj ^ "\n"
+
+let verdict_json (v : Detector.cls_verdict) =
+  J.Obj
+    [
+      ("verdict", J.Str (if v.Detector.drifted then "reject" else "accept"));
+      ("predicted", J.Num (float_of_int v.Detector.predicted));
+      ("credibility", J.Num v.Detector.mean_credibility);
+      ("confidence", J.Num v.Detector.mean_confidence);
+      ("drifted", J.Bool v.Detector.drifted);
+    ]
+
+let parse_query ~dim ~n_classes j =
+  let field name n =
+    match Option.bind (J.member name j) J.float_array with
+    | None ->
+        raise
+          (Reject (422, Printf.sprintf "missing or non-numeric %S array" name))
+    | Some a when Array.length a <> n ->
+        raise
+          (Reject
+             ( 422,
+               Printf.sprintf "%S must have %d elements, got %d" name n
+                 (Array.length a) ))
+    | Some a -> a
+  in
+  (field "features" dim, field "proba" n_classes)
+
+let handle_predict t body =
+  try
+    let j =
+      match J.parse body with
+      | Ok j -> j
+      | Error m -> raise (Reject (400, "invalid JSON: " ^ m))
+    in
+    let dim, n_classes = Service.dims t.service in
+    let parse_one q = parse_query ~dim ~n_classes q in
+    let queries, batched =
+      match J.member "queries" j with
+      | Some (J.Arr items) ->
+          (Array.of_list (List.map parse_one items), true)
+      | Some _ -> raise (Reject (422, "\"queries\" must be an array"))
+      | None -> ([| parse_one j |], false)
+    in
+    if Array.length queries = 0 then raise (Reject (422, "empty batch"));
+    match Batcher.submit_many t.batcher queries with
+    | Ok verdicts ->
+        let body =
+          if batched then
+            J.Obj
+              [
+                ( "results",
+                  J.Arr (Array.to_list (Array.map verdict_json verdicts)) );
+              ]
+          else verdict_json verdicts.(0)
+        in
+        (200, "application/json", json_body body, [])
+    | Error `Overloaded ->
+        ( 503,
+          "application/json",
+          json_body (err_obj "inference queue full"),
+          [ ("Retry-After", "1") ] )
+    | Error `Shutdown ->
+        ( 503,
+          "application/json",
+          json_body (err_obj "server shutting down"),
+          [ ("Retry-After", "1") ] )
+    | Error (`Failed e) ->
+        ( 500,
+          "application/json",
+          json_body (err_obj ("inference failed: " ^ Printexc.to_string e)),
+          [] )
+  with Reject (status, msg) ->
+    (status, "application/json", json_body (err_obj msg), [])
+
+let handle_metrics t =
+  let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.take t.registry) in
+  (200, "text/plain; version=0.0.4", text, [])
+
+let handle_healthz t =
+  let dim, n_classes = Service.dims t.service in
+  let body =
+    J.Obj
+      [
+        ("status", J.Str "ok");
+        ("feature_dim", J.Num (float_of_int dim));
+        ("n_classes", J.Num (float_of_int n_classes));
+        ("swaps", J.Num (float_of_int (Service.generation t.service)));
+      ]
+  in
+  (200, "application/json", json_body body, [])
+
+let handle_swap t =
+  match t.snapshot_dir with
+  | None ->
+      ( 409,
+        "application/json",
+        json_body (err_obj "no snapshot directory configured"),
+        [] )
+  | Some dir ->
+      Mutex.lock t.swap_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.swap_lock)
+        (fun () ->
+          match
+            Snapshot.load_latest ?telemetry:t.telemetry ~kind:Snapshot.kind_cls
+              ~dir ()
+          with
+          | None ->
+              ( 409,
+                "application/json",
+                json_body (err_obj ("no loadable snapshot in " ^ dir)),
+                [] )
+          | Some (snap, info) -> (
+              match
+                Service.swap
+                  ~store_generation:info.Prom_store.Store.generation t.service
+                  snap
+              with
+              | () ->
+                  let body =
+                    J.Obj
+                      [
+                        ("swapped", J.Bool true);
+                        ( "store_generation",
+                          J.Num
+                            (float_of_int info.Prom_store.Store.generation) );
+                        ( "swaps",
+                          J.Num (float_of_int (Service.generation t.service))
+                        );
+                      ]
+                  in
+                  (200, "application/json", json_body body, [])
+              | exception Invalid_argument m ->
+                  (409, "application/json", json_body (err_obj m), [])))
+
+let known_path = function
+  | "/predict" | "/metrics" | "/healthz" | "/admin/swap" -> true
+  | _ -> false
+
+let handle t (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/predict" -> handle_predict t req.Http.req_body
+  | "GET", "/metrics" -> handle_metrics t
+  | "GET", "/healthz" -> handle_healthz t
+  | "POST", "/admin/swap" -> handle_swap t
+  | _, p when known_path p ->
+      (405, "application/json", json_body (err_obj "method not allowed"), [])
+  | _ -> (404, "application/json", json_body (err_obj "not found"), [])
+
+(* ------------------------------------------------------------------ *)
+(* Connection lifecycle. One thread per connection, blocking I/O. *)
+
+let observe t ~t0 status =
+  Obs.Counter.inc (Telemetry.Http.requests_total t.http status);
+  Obs.Histogram.observe
+    (Telemetry.Http.request_seconds t.http)
+    (Unix.gettimeofday () -. t0)
+
+let respond t fd ~t0 ~status ?content_type ~keep_alive ~extra body =
+  Http.write_response fd ~status ?content_type ~extra_headers:extra ~keep_alive
+    body;
+  observe t ~t0 status
+
+let conn_loop t fd =
+  let reader = Http.reader fd in
+  let rec loop () =
+    if Atomic.get t.stopping && not (Http.buffered reader) then ()
+    else
+      match Http.wait_readable reader ~timeout:0.1 with
+      | `Timeout -> loop ()
+      | `Ready -> (
+          let t0 = Unix.gettimeofday () in
+          match
+            Http.read_request ~max_body:t.config.max_body_bytes reader
+          with
+          | Error `Eof -> ()
+          | Error `Too_large ->
+              respond t fd ~t0 ~status:413 ~keep_alive:false ~extra:[]
+                (json_body (err_obj "request too large"))
+          | Error (`Bad msg) ->
+              respond t fd ~t0 ~status:400 ~keep_alive:false ~extra:[]
+                (json_body (err_obj msg))
+          | Ok req ->
+              let status, content_type, body, extra = handle t req in
+              let keep = Http.keep_alive req && not (Atomic.get t.stopping) in
+              respond t fd ~t0 ~status ~content_type ~keep_alive:keep ~extra
+                body;
+              if keep then loop ())
+  in
+  (* A connection thread must never take the server down: broken pipes,
+     resets and handler bugs all just drop this one connection. *)
+  (try loop () with _ -> ());
+  Iox.close_noerr fd;
+  Mutex.lock t.lock;
+  t.conns <- t.conns - 1;
+  if t.conns = 0 then Condition.broadcast t.conns_done;
+  Mutex.unlock t.lock
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      (* Poll with a timeout instead of blocking in [accept], so [stop]
+         never has to interrupt a blocked accept. *)
+      match Iox.retry (fun () -> Unix.select [ t.listen_fd ] [] [] 0.1) with
+      | exception _ -> if Atomic.get t.stopping then () else loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Iox.retry (fun () -> Unix.accept ~cloexec:true t.listen_fd) with
+          | exception _ ->
+              if Atomic.get t.stopping then () else loop ()
+          | fd, _addr ->
+              Mutex.lock t.lock;
+              if t.conns >= t.config.max_connections then begin
+                Mutex.unlock t.lock;
+                (try
+                   Http.write_response fd ~status:503
+                     ~extra_headers:[ ("Retry-After", "1") ] ~keep_alive:false
+                     (json_body (err_obj "too many connections"))
+                 with _ -> ());
+                Obs.Counter.inc (Telemetry.Http.requests_total t.http 503);
+                Iox.close_noerr fd
+              end
+              else begin
+                t.conns <- t.conns + 1;
+                Mutex.unlock t.lock;
+                ignore (Thread.create (fun () -> conn_loop t fd) ())
+              end;
+              loop ())
+  in
+  loop ()
+
+let start ?(config = default_config) ?telemetry ?pool ?snapshot_dir
+    ?before_batch service =
+  Iox.ignore_sigpipe ();
+  let registry =
+    match telemetry with
+    | Some tel -> Telemetry.registry tel
+    | None -> Obs.create_registry ()
+  in
+  let http = Telemetry.Http.create registry in
+  let batcher =
+    Batcher.create ~max_batch:config.max_batch ~max_wait_us:config.max_wait_us
+      ~capacity:config.queue_capacity
+      ~on_depth:(fun d ->
+        Obs.Gauge.set (Telemetry.Http.queue_depth http) (float_of_int d))
+      ~on_batch:(fun n ->
+        Obs.Histogram.observe (Telemetry.Http.batch_size http) (float_of_int n))
+      ?before_batch
+      (fun queries -> Service.evaluate_batch ?pool service queries)
+  in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+     Unix.listen listen_fd 128
+   with e ->
+     Iox.close_noerr listen_fd;
+     Batcher.shutdown batcher;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let t =
+    {
+      config;
+      service;
+      registry;
+      telemetry;
+      http;
+      batcher;
+      snapshot_dir;
+      listen_fd;
+      bound_port;
+      stopping = Atomic.make false;
+      lock = Mutex.create ();
+      conns_done = Condition.create ();
+      conns = 0;
+      stopped = false;
+      accept_thread = None;
+      swap_lock = Mutex.create ();
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopped <- true;
+    Mutex.unlock t.lock;
+    Atomic.set t.stopping true;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    Iox.close_noerr t.listen_fd;
+    Mutex.lock t.lock;
+    while t.conns > 0 do
+      Condition.wait t.conns_done t.lock
+    done;
+    Mutex.unlock t.lock;
+    Batcher.shutdown t.batcher
+  end

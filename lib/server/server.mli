@@ -1,0 +1,72 @@
+(** Network front-end for the PROM detector: a dependency-free
+    HTTP/1.1 server (plain [Unix] sockets plus systhreads) that turns a
+    {!Prom.Service} into four endpoints:
+
+    - [POST /predict] — single query [{"features":[...],"proba":[...]}]
+      or batch [{"queries":[...]}]; replies with the committee verdict,
+      credibility and confidence per query. Replies are bit-identical
+      to calling {!Prom.Service.evaluate_batch} directly.
+    - [GET /metrics] — Prometheus text exposition of the attached
+      registry, including the serving-layer series
+      ([prom_http_requests_total], [prom_http_batch_size],
+      [prom_http_queue_depth], [prom_http_request_seconds]).
+    - [GET /healthz] — liveness plus the serving engine's shape.
+    - [POST /admin/swap] — load the newest snapshot from the configured
+      snapshot directory and hot-swap it in with zero downtime.
+
+    Every connection gets its own thread (blocking I/O), but inference
+    is funneled through one adaptive {!Batcher}: concurrent requests
+    coalesce into a single [evaluate_batch] call on the shared domain
+    pool. When the batch queue is full the server answers
+    [503 Service Unavailable] with [Retry-After] instead of queueing
+    unboundedly; malformed or oversized requests get 4xx; nothing a
+    client sends can crash the process. *)
+
+(** Tunables for one server instance. *)
+type config = {
+  port : int;  (** TCP port on 127.0.0.1; [0] picks an ephemeral port *)
+  max_batch : int;  (** dispatch a batch once this many queries wait *)
+  max_wait_us : int;  (** ... or once the oldest has waited this long *)
+  queue_capacity : int;  (** queries queued beyond this are 503'd *)
+  max_body_bytes : int;  (** request bodies above this are 413'd *)
+  max_connections : int;  (** concurrent connections beyond this are 503'd *)
+}
+
+(** [{ port = 0; max_batch = 64; max_wait_us = 2000; queue_capacity =
+    1024; max_body_bytes = 4 MiB; max_connections = 256 }]. *)
+val default_config : config
+
+type t
+(** A running server. *)
+
+(** [start ?config ?telemetry ?pool ?snapshot_dir ?before_batch service]
+    binds, spawns the accept and dispatcher threads, and returns
+    immediately. [telemetry] supplies the registry scraped by
+    [/metrics] (a private registry is created when absent, so the HTTP
+    series are always recorded). [pool] is the domain pool used for
+    [evaluate_batch] (shared default pool when absent). [snapshot_dir]
+    enables [POST /admin/swap]; without it the endpoint answers 409.
+    [before_batch] is a test seam forwarded to the {!Batcher}. Raises
+    [Unix.Unix_error] when the port cannot be bound. *)
+val start :
+  ?config:config ->
+  ?telemetry:Prom.Telemetry.t ->
+  ?pool:Prom_parallel.Pool.t ->
+  ?snapshot_dir:string ->
+  ?before_batch:(unit -> unit) ->
+  Prom.Service.t ->
+  t
+
+(** [port t] is the bound TCP port — the ephemeral port when
+    [config.port = 0]. *)
+val port : t -> int
+
+(** [service t] is the service being served (e.g. to compare verdicts
+    against the direct path in tests). *)
+val service : t -> Prom.Service.t
+
+(** [stop t] drains gracefully: stop accepting, let every in-flight
+    request finish and its response be written, shut the batcher down,
+    join all threads. Idempotent. No request that was accepted is ever
+    dropped. *)
+val stop : t -> unit

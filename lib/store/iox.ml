@@ -1,0 +1,29 @@
+let rec retry f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry f
+
+let read fd buf pos len = retry (fun () -> Unix.read fd buf pos len)
+
+let write_string fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < n do
+    let written = retry (fun () -> Unix.write fd b !pos (n - !pos)) in
+    pos := !pos + written
+  done
+
+let fsync fd = retry (fun () -> Unix.fsync fd)
+
+let fsync_dir dir =
+  match retry (fun () -> Unix.openfile dir [ Unix.O_RDONLY ] 0) with
+  | exception Unix.Unix_error _ -> ()
+  | fd -> (
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try fsync fd with Unix.Unix_error _ -> ()))
+
+let close_noerr fd = try Unix.close fd with _ -> ()
+
+let ignore_sigpipe () =
+  (* Windows has no SIGPIPE; [Sys.set_signal] raises there. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()

@@ -1,0 +1,41 @@
+(** EINTR-safe [Unix] syscall wrappers shared by the snapshot store and
+    the HTTP serving layer.
+
+    Every blocking syscall in the serving stack can be interrupted by a
+    signal (OCaml delivers them between runtime safepoints, surfacing
+    [Unix.EINTR] from the call in flight); these wrappers restart the
+    call instead of leaking the error to callers that would treat it as
+    a real failure. *)
+
+(** [retry f] runs [f ()] and restarts it as long as it raises
+    [Unix.Unix_error (EINTR, _, _)]. *)
+val retry : (unit -> 'a) -> 'a
+
+(** [read fd buf pos len] — [Unix.read] restarted on [EINTR]. *)
+val read : Unix.file_descr -> bytes -> int -> int -> int
+
+(** [write_string fd s] writes all of [s], restarting partial writes
+    and [EINTR]. Raises the underlying [Unix_error] (e.g. [EPIPE] on a
+    closed peer) for anything else — with [SIGPIPE] ignored, a dead
+    peer is an exception, never a process kill. *)
+val write_string : Unix.file_descr -> string -> unit
+
+(** [fsync fd] — [Unix.fsync] restarted on [EINTR]. *)
+val fsync : Unix.file_descr -> unit
+
+(** [fsync_dir dir] opens [dir] read-only and fsyncs it, making a
+    just-renamed directory entry durable. Best-effort: filesystems that
+    reject directory fsync ([EINVAL]/[EACCES]/...) are silently
+    tolerated — the rename itself is still atomic. *)
+val fsync_dir : string -> unit
+
+(** [close_noerr fd] closes [fd], swallowing every error (double
+    closes included) — the shutdown-path analogue of
+    [close_out_noerr]. *)
+val close_noerr : Unix.file_descr -> unit
+
+(** [ignore_sigpipe ()] sets [SIGPIPE] to ignore (idempotent), so a
+    [write] to a peer that already closed surfaces as [EPIPE] instead
+    of killing the process. Called by every store/server entry point
+    that writes to sockets or pipes. *)
+val ignore_sigpipe : unit -> unit

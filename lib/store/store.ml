@@ -33,13 +33,24 @@ let rec ensure_dir dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
   end
 
+(* A generation is only "published" once its bytes are durable: the
+   temp file is fsynced before the rename, and the directory entry is
+   fsynced after it, so a crash at any point leaves either the previous
+   state or the complete new file under the final name — never a name
+   pointing at unflushed data. All syscalls restart on EINTR. *)
 let write_atomic path content =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  let fd =
+    Iox.retry (fun () ->
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644)
+  in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc content);
-  Sys.rename tmp path
+    ~finally:(fun () -> Iox.close_noerr fd)
+    (fun () ->
+      Iox.write_string fd content;
+      Iox.fsync fd);
+  Sys.rename tmp path;
+  Iox.fsync_dir (Filename.dirname path)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -48,26 +59,22 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let manifest_json info =
-  (* Kinds are short identifier-like tags; escape the JSON specials
-     anyway so a hostile tag cannot break the manifest. *)
-  let escape s =
-    let b = Buffer.create (String.length s) in
-    String.iter
-      (function
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-  in
-  Printf.sprintf
-    "{\n  \"generation\": %d,\n  \"kind\": \"%s\",\n  \"container_version\": %d,\n  \
-     \"codec_version\": %d,\n  \"payload_bytes\": %d,\n  \"crc32\": \"%08x\",\n  \
-     \"created_unix\": %.0f,\n  \"file\": \"%s\"\n}\n"
-    info.generation (escape info.kind) container_version info.codec_version
-    info.payload_bytes info.crc (Unix.gettimeofday ())
-    (escape (Filename.basename info.path))
+  (* Kinds are short identifier-like tags; the shared writer escapes
+     the JSON specials anyway so a hostile tag cannot break the
+     manifest. *)
+  Prom_jsonx.to_string
+    (Prom_jsonx.Obj
+       [
+         ("generation", Prom_jsonx.Num (float_of_int info.generation));
+         ("kind", Prom_jsonx.Str info.kind);
+         ("container_version", Prom_jsonx.Num (float_of_int container_version));
+         ("codec_version", Prom_jsonx.Num (float_of_int info.codec_version));
+         ("payload_bytes", Prom_jsonx.Num (float_of_int info.payload_bytes));
+         ("crc32", Prom_jsonx.Str (Printf.sprintf "%08x" info.crc));
+         ("created_unix", Prom_jsonx.Num (Float.round (Unix.gettimeofday ())));
+         ("file", Prom_jsonx.Str (Filename.basename info.path));
+       ])
+    ^ "\n"
 
 let save ~dir ~kind ~codec_version payload =
   ensure_dir dir;

@@ -1,0 +1,172 @@
+(* Tests for the shared JSON writer/parser: bit-exact number round
+   trips, string escaping, structural round trips of random values,
+   parser error reporting and the accessor helpers. *)
+
+module J = Prom_jsonx
+
+let bits = Int64.bits_of_float
+
+(* Structural equality with bit-exact float comparison (so 0.0 and
+   -0.0 are distinguished, exactly like the wire format does). *)
+let rec jequal a b =
+  match (a, b) with
+  | J.Num x, J.Num y -> bits x = bits y
+  | J.Arr xs, J.Arr ys -> (
+      try List.for_all2 jequal xs ys with Invalid_argument _ -> false)
+  | J.Obj xs, J.Obj ys -> (
+      try
+        List.for_all2 (fun (k, v) (k', v') -> k = k' && jequal v v') xs ys
+      with Invalid_argument _ -> false)
+  | a, b -> a = b
+
+let finite_float =
+  QCheck2.Gen.(
+    map
+      (fun f -> if Float.is_finite f then f else 0.0)
+      (oneof
+         [
+           float;
+           oneofl
+             [
+               0.0; -0.0; 1.0; -1.0; 0.1; 1e15; 1e16; max_float; min_float;
+               epsilon_float; 4e-320; 1234567890.0; -1.5e308; 3.141592653589793;
+             ];
+         ]))
+
+let gen_json =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 return J.Null;
+                 map (fun b -> J.Bool b) bool;
+                 map (fun f -> J.Num f) finite_float;
+                 map (fun s -> J.Str s) (string_size (int_range 0 12));
+               ]
+           in
+           if n <= 0 then leaf
+           else
+             oneof
+               [
+                 leaf;
+                 map (fun l -> J.Arr l) (list_size (int_range 0 4) (self (n / 2)));
+                 map
+                   (fun l -> J.Obj l)
+                   (list_size (int_range 0 4)
+                      (pair (string_size (int_range 0 6)) (self (n / 2))));
+               ]))
+
+let prop_number_roundtrip =
+  QCheck2.Test.make ~name:"number formatting round-trips bit-exactly" ~count:2000
+    finite_float
+    (fun v -> bits (float_of_string (J.number v)) = bits v)
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"string escape/parse round trip (all bytes)" ~count:500
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 64))
+    (fun s ->
+      match J.parse (J.to_string (J.Str s)) with
+      | Ok (J.Str s') -> s' = s
+      | _ -> false)
+
+let prop_value_roundtrip =
+  QCheck2.Test.make ~name:"value print/parse round trip" ~count:500 gen_json
+    (fun v ->
+      match J.parse (J.to_string v) with
+      | Ok v' -> jequal v v'
+      | Error _ -> false)
+
+let unit_tests =
+  let check_parse name input expected =
+    Alcotest.test_case name `Quick (fun () ->
+        match J.parse input with
+        | Ok v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "parse %S" input)
+              true (jequal v expected)
+        | Error e -> Alcotest.fail (Printf.sprintf "parse %S failed: %s" input e))
+  in
+  let check_rejects name input =
+    Alcotest.test_case name `Quick (fun () ->
+        match J.parse input with
+        | Ok _ -> Alcotest.fail (Printf.sprintf "parse %S should fail" input)
+        | Error e ->
+            Alcotest.(check bool) "error cites a byte offset" true
+              (String.length e >= 5 && String.sub e 0 5 = "byte "))
+  in
+  [
+    check_parse "whitespace and nesting"
+      " { \"a\" : [ 1 , true , null ] , \"b\" : \"x\" } "
+      (J.Obj
+         [
+           ("a", J.Arr [ J.Num 1.0; J.Bool true; J.Null ]); ("b", J.Str "x");
+         ]);
+    check_parse "negative exponent number" "-1.25e-3" (J.Num (-0.00125));
+    check_parse "escapes decode" "\"a\\n\\t\\\\\\\"\\u0041\""
+      (J.Str "a\n\t\\\"A");
+    check_parse "surrogate pair decodes to UTF-8" "\"\\ud83d\\ude00\""
+      (J.Str "\xf0\x9f\x98\x80");
+    check_rejects "trailing garbage" "1 2";
+    check_rejects "unterminated string" "\"abc";
+    check_rejects "bare word" "nope";
+    check_rejects "lone surrogate" "\"\\ud83d\"";
+    check_rejects "unbalanced bracket" "[1,2";
+    check_rejects "missing colon" "{\"a\" 1}";
+    Alcotest.test_case "depth limit holds" `Quick (fun () ->
+        let deep = String.make 1000 '[' ^ String.make 1000 ']' in
+        match J.parse deep with
+        | Ok _ -> Alcotest.fail "1000-deep nesting should be rejected"
+        | Error _ -> ());
+    Alcotest.test_case "member: first duplicate wins" `Quick (fun () ->
+        match J.parse "{\"k\":1,\"k\":2}" with
+        | Ok v ->
+            Alcotest.(check (option (float 0.0)))
+              "first k" (Some 1.0)
+              (Option.bind (J.member "k" v) J.to_float)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "accessors" `Quick (fun () ->
+        let v =
+          J.Obj
+            [
+              ("f", J.Num 2.5);
+              ("s", J.Str "hi");
+              ("b", J.Bool false);
+              ("a", J.Arr [ J.Num 1.0; J.Num 2.0 ]);
+            ]
+        in
+        Alcotest.(check (option (float 0.0)))
+          "to_float" (Some 2.5)
+          (Option.bind (J.member "f" v) J.to_float);
+        Alcotest.(check (option string))
+          "to_string_opt" (Some "hi")
+          (Option.bind (J.member "s" v) J.to_string_opt);
+        Alcotest.(check (option bool))
+          "to_bool" (Some false)
+          (Option.bind (J.member "b" v) J.to_bool);
+        (match Option.bind (J.member "a" v) J.float_array with
+        | Some [| 1.0; 2.0 |] -> ()
+        | _ -> Alcotest.fail "float_array");
+        Alcotest.(check (option (float 0.0)))
+          "missing member" None
+          (Option.bind (J.member "zz" v) J.to_float);
+        Alcotest.(check bool)
+          "float_array rejects mixed" true
+          (J.float_array (J.Arr [ J.Num 1.0; J.Str "x" ]) = None));
+    Alcotest.test_case "non-finite numbers render as null" `Quick (fun () ->
+        Alcotest.(check string) "nan" "null" (J.to_string (J.Num nan));
+        Alcotest.(check string) "inf" "null" (J.to_string (J.Num infinity)));
+    Alcotest.test_case "integral floats print as integers" `Quick (fun () ->
+        Alcotest.(check string) "42" "42" (J.number 42.0);
+        Alcotest.(check string) "-0" "-0" (J.number (-0.0));
+        Alcotest.(check string) "1e15 stays exact" "1e+15" (J.number 1e15))
+  ]
+
+let suite =
+  [
+    ( "jsonx",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_number_roundtrip; prop_string_roundtrip; prop_value_roundtrip ]
+      @ unit_tests );
+  ]

@@ -4,4 +4,4 @@ let () =
   Alcotest.run "prom"
     (Test_linalg.suite @ Test_obs.suite @ Test_parallel.suite @ Test_ml.suite
    @ Test_autodiff.suite @ Test_nn.suite @ Test_synth.suite @ Test_store.suite
-   @ Test_core.suite @ Test_tasks.suite)
+   @ Test_core.suite @ Test_tasks.suite @ Test_jsonx.suite @ Test_server.suite)

@@ -1,0 +1,709 @@
+(* Tests for the serving layer: the adaptive micro-batcher's ordering,
+   coalescing, backpressure and drain semantics; HTTP/1.1 framing round
+   trips; and end-to-end server behaviour — bit-identical verdicts vs
+   the direct service path, 4xx on malformed input, 503 under overload,
+   hot-swap under live traffic and graceful shutdown. *)
+
+open Prom_linalg
+open Prom_ml
+open Prom
+module J = Prom_jsonx
+module Http = Prom_server.Http
+module Batcher = Prom_server.Batcher
+module Server = Prom_server.Server
+
+let bits = Int64.bits_of_float
+let check_bits name a b = Alcotest.(check int64) name (bits a) (bits b)
+
+let has_substring text needle =
+  let n = String.length needle and m = String.length text in
+  let rec at i = i + n <= m && (String.sub text i n = needle || at (i + 1)) in
+  at 0
+
+(* ---------- world helpers (same two-cluster world as test_store) ---------- *)
+
+let cls_data ?(n = 60) ?(seed = 11) () =
+  let rng = Rng.create seed in
+  let xs =
+    Array.init n (fun i ->
+        let cx = if i mod 2 = 0 then 0.0 else 3.0 in
+        [|
+          Rng.gaussian rng ~mu:cx ~sigma:0.8;
+          Rng.gaussian rng ~mu:(-.cx) ~sigma:0.8;
+          Rng.gaussian rng ~mu:(cx /. 2.0) ~sigma:0.5;
+        |])
+  in
+  Dataset.create xs (Array.init n (fun i -> i mod 2))
+
+let make_world ?telemetry ?(seed = 23) () =
+  let data = cls_data ~n:80 ~seed () in
+  let model = Logistic.train data in
+  let triples =
+    List.init (Dataset.length data) (fun i ->
+        let x, y = Dataset.get data i in
+        (x, y, model.Model.predict_proba x))
+  in
+  (Service.create ?telemetry triples, model)
+
+let queries_of ?(seed = 17) model n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      let x = Array.init 3 (fun _ -> Rng.gaussian rng ~mu:1.0 ~sigma:2.5) in
+      (x, model.Model.predict_proba x))
+
+(* ---------- HTTP client helpers ---------- *)
+
+type client = { fd : Unix.file_descr; creader : Http.reader }
+
+let connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; creader = Http.reader fd }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let rpc c ~meth ~path body =
+  Http.write_request c.fd ~meth ~path body;
+  match Http.read_response c.creader with
+  | Ok r -> r
+  | Error `Eof -> Alcotest.fail "connection closed mid-response"
+  | Error (`Bad m) -> Alcotest.fail ("bad response: " ^ m)
+  | Error `Too_large -> Alcotest.fail "response too large"
+
+let with_server ?config ?telemetry ?snapshot_dir ?before_batch service f =
+  let server =
+    Server.start ?config ?telemetry ?snapshot_dir ?before_batch service
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let json_vec v = J.Arr (Array.to_list (Array.map (fun x -> J.Num x) v))
+
+let query_json (features, proba) =
+  J.Obj [ ("features", json_vec features); ("proba", json_vec proba) ]
+
+let parse_body (r : Http.response) =
+  match J.parse r.Http.resp_body with
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("unparseable response body: " ^ e)
+
+let ffield name v =
+  match Option.bind (J.member name v) J.to_float with
+  | Some f -> f
+  | None -> Alcotest.fail ("missing numeric field " ^ name)
+
+let sfield name v =
+  match Option.bind (J.member name v) J.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.fail ("missing string field " ^ name)
+
+let bfield name v =
+  match Option.bind (J.member name v) J.to_bool with
+  | Some b -> b
+  | None -> Alcotest.fail ("missing bool field " ^ name)
+
+let check_verdict_json name (expected : Detector.cls_verdict) v =
+  Alcotest.(check string)
+    (name ^ " verdict")
+    (if expected.Detector.drifted then "reject" else "accept")
+    (sfield "verdict" v);
+  Alcotest.(check bool)
+    (name ^ " drifted") expected.Detector.drifted (bfield "drifted" v);
+  Alcotest.(check int)
+    (name ^ " predicted") expected.Detector.predicted
+    (int_of_float (ffield "predicted" v));
+  check_bits (name ^ " credibility") expected.Detector.mean_credibility
+    (ffield "credibility" v);
+  check_bits (name ^ " confidence") expected.Detector.mean_confidence
+    (ffield "confidence" v)
+
+(* ---------- batcher ---------- *)
+
+let batcher_tests =
+  [
+    Alcotest.test_case "outputs are grouped and ordered" `Quick (fun () ->
+        let b =
+          Batcher.create ~max_batch:8 ~max_wait_us:500
+            (Array.map (fun x -> x * 2))
+        in
+        let results = Array.make 6 (Ok [||]) in
+        let threads =
+          Array.init 6 (fun i ->
+              Thread.create
+                (fun () ->
+                  let items = Array.init (i + 1) (fun j -> (i * 10) + j) in
+                  results.(i) <- Batcher.submit_many b items)
+                ())
+        in
+        Array.iter Thread.join threads;
+        Batcher.shutdown b;
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Ok out ->
+                Alcotest.(check int) "group arity" (i + 1) (Array.length out);
+                Array.iteri
+                  (fun j v ->
+                    Alcotest.(check int) "in-order value" (((i * 10) + j) * 2) v)
+                  out
+            | Error _ -> Alcotest.fail "group submission failed")
+          results);
+    Alcotest.test_case "concurrent singles coalesce into shared batches" `Quick
+      (fun () ->
+        let sizes = ref [] in
+        let sizes_lock = Mutex.create () in
+        let b =
+          Batcher.create ~max_batch:64 ~max_wait_us:1000
+            ~on_batch:(fun n ->
+              Mutex.lock sizes_lock;
+              sizes := n :: !sizes;
+              Mutex.unlock sizes_lock)
+            ~before_batch:(fun () -> Thread.delay 0.2)
+            (Array.map succ)
+        in
+        let threads =
+          Array.init 6 (fun i ->
+              Thread.create (fun () -> ignore (Batcher.submit b i)) ())
+        in
+        Array.iter Thread.join threads;
+        Batcher.shutdown b;
+        Alcotest.(check int) "all items ran" 6 (List.fold_left ( + ) 0 !sizes);
+        Alcotest.(check bool)
+          "adaptive batching formed a multi-item batch" true
+          (List.exists (fun n -> n >= 2) !sizes);
+        Alcotest.(check bool)
+          "fewer dispatches than items" true
+          (List.length !sizes < 6));
+    Alcotest.test_case "bounded queue rejects overload, then recovers" `Quick
+      (fun () ->
+        let b =
+          Batcher.create ~max_batch:1 ~max_wait_us:0 ~capacity:2
+            ~before_batch:(fun () -> Thread.delay 0.3)
+            (Array.map succ)
+        in
+        let r1 = ref (Error `Shutdown) and r2 = ref (Error `Shutdown) in
+        let r3 = ref (Error `Shutdown) in
+        let t1 = Thread.create (fun () -> r1 := Batcher.submit b 0) () in
+        Thread.delay 0.05;
+        (* item 0 is mid-evaluation; the queue is empty again *)
+        let t2 = Thread.create (fun () -> r2 := Batcher.submit b 1) () in
+        let t3 = Thread.create (fun () -> r3 := Batcher.submit b 2) () in
+        Thread.delay 0.05;
+        (* queue now holds items 1 and 2 = capacity *)
+        (match Batcher.submit b 3 with
+        | Error `Overloaded -> ()
+        | Ok _ -> Alcotest.fail "expected overload rejection"
+        | Error _ -> Alcotest.fail "wrong rejection");
+        Thread.join t1;
+        Thread.join t2;
+        Thread.join t3;
+        (match (!r1, !r2, !r3) with
+        | Ok 1, Ok 2, Ok 3 -> ()
+        | _ -> Alcotest.fail "accepted submissions must all complete");
+        (* capacity is free again after the drain *)
+        (match Batcher.submit b 9 with
+        | Ok 10 -> ()
+        | _ -> Alcotest.fail "recovery submission failed");
+        Batcher.shutdown b);
+    Alcotest.test_case "evaluation failure is isolated" `Quick (fun () ->
+        let b =
+          Batcher.create ~max_batch:4 ~max_wait_us:100
+            (Array.map (fun x -> if x < 0 then failwith "boom" else x + 1))
+        in
+        (match Batcher.submit b (-1) with
+        | Error (`Failed (Failure _)) -> ()
+        | _ -> Alcotest.fail "expected `Failed");
+        (match Batcher.submit b 5 with
+        | Ok 6 -> ()
+        | _ -> Alcotest.fail "batcher must survive a failed batch");
+        (match Batcher.submit_many b [||] with
+        | Ok [||] -> ()
+        | _ -> Alcotest.fail "empty submission");
+        Batcher.shutdown b;
+        match Batcher.submit b 1 with
+        | Error `Shutdown -> ()
+        | _ -> Alcotest.fail "post-shutdown submit must be rejected");
+    Alcotest.test_case "shutdown answers every accepted submitter" `Quick
+      (fun () ->
+        let b =
+          Batcher.create ~max_batch:1 ~max_wait_us:0
+            ~before_batch:(fun () -> Thread.delay 0.1)
+            (Array.map succ)
+        in
+        let results = Array.make 4 None in
+        let threads =
+          Array.init 4 (fun i ->
+              Thread.create (fun () -> results.(i) <- Some (Batcher.submit b i)) ())
+        in
+        Thread.delay 0.05;
+        Batcher.shutdown b;
+        Array.iter Thread.join threads;
+        Alcotest.(check int) "drained queue" 0 (Batcher.depth b);
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Some (Ok v) -> Alcotest.(check int) "drained value" (i + 1) v
+            | Some (Error `Shutdown) ->
+                (* raced the stop flag; rejected immediately, not dropped *)
+                ()
+            | Some (Error _) -> Alcotest.fail "accepted work failed"
+            | None -> Alcotest.fail "submitter left hanging")
+          results);
+  ]
+
+(* ---------- HTTP framing ---------- *)
+
+let socketpair () = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+
+let with_pair f =
+  let a, b = socketpair () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let fake_request ?(version = "HTTP/1.1") headers =
+  {
+    Http.meth = "GET";
+    path = "/";
+    version;
+    req_headers = headers;
+    req_body = "";
+  }
+
+let http_tests =
+  [
+    Alcotest.test_case "request round trip" `Quick (fun () ->
+        with_pair (fun a b ->
+            Http.write_request a ~meth:"POST" ~path:"/predict"
+              ~extra_headers:[ ("X-Trace", "7") ]
+              "{\"x\":1}";
+            let r = Http.reader b in
+            match Http.read_request r with
+            | Ok req ->
+                Alcotest.(check string) "meth" "POST" req.Http.meth;
+                Alcotest.(check string) "path" "/predict" req.Http.path;
+                Alcotest.(check string) "body" "{\"x\":1}" req.Http.req_body;
+                Alcotest.(check (option string))
+                  "header name lowercased" (Some "7")
+                  (Http.header "x-trace" req.Http.req_headers);
+                Alcotest.(check bool) "keep alive" true (Http.keep_alive req)
+            | Error _ -> Alcotest.fail "request did not parse"));
+    Alcotest.test_case "response round trip" `Quick (fun () ->
+        with_pair (fun a b ->
+            Http.write_response a ~status:503
+              ~extra_headers:[ ("Retry-After", "1") ]
+              ~keep_alive:false "{\"error\":\"x\"}";
+            let r = Http.reader b in
+            match Http.read_response r with
+            | Ok resp ->
+                Alcotest.(check int) "status" 503 resp.Http.status;
+                Alcotest.(check string)
+                  "reason" "Service Unavailable" resp.Http.reason;
+                Alcotest.(check string)
+                  "body" "{\"error\":\"x\"}" resp.Http.resp_body;
+                Alcotest.(check (option string))
+                  "retry-after" (Some "1")
+                  (Http.header "retry-after" resp.Http.resp_headers);
+                Alcotest.(check (option string))
+                  "connection close" (Some "close")
+                  (Http.header "connection" resp.Http.resp_headers)
+            | Error _ -> Alcotest.fail "response did not parse"));
+    Alcotest.test_case "pipelined requests are buffered" `Quick (fun () ->
+        with_pair (fun a b ->
+            Http.write_request a ~meth:"POST" ~path:"/one" "11";
+            Http.write_request a ~meth:"POST" ~path:"/two" "22";
+            let r = Http.reader b in
+            (match Http.read_request r with
+            | Ok req -> Alcotest.(check string) "first" "/one" req.Http.path
+            | Error _ -> Alcotest.fail "first request");
+            Alcotest.(check bool) "second is buffered" true (Http.buffered r);
+            Alcotest.(check bool)
+              "buffered data is ready" true
+              (Http.wait_readable r ~timeout:0.0 = `Ready);
+            match Http.read_request r with
+            | Ok req ->
+                Alcotest.(check string) "second" "/two" req.Http.path;
+                Alcotest.(check string) "second body" "22" req.Http.req_body
+            | Error _ -> Alcotest.fail "second request"));
+    Alcotest.test_case "read errors are classified" `Quick (fun () ->
+        with_pair (fun a b ->
+            (* clean close before any bytes -> `Eof *)
+            Unix.close a;
+            match Http.read_request (Http.reader b) with
+            | Error `Eof -> ()
+            | _ -> Alcotest.fail "expected `Eof");
+        with_pair (fun a b ->
+            let junk = "NOT AN HTTP LINE AT ALL\r\n\r\n" in
+            ignore (Unix.write_substring a junk 0 (String.length junk));
+            match Http.read_request (Http.reader b) with
+            | Error (`Bad _) -> ()
+            | _ -> Alcotest.fail "expected `Bad");
+        with_pair (fun a b ->
+            let big =
+              "GET / HTTP/1.1\r\nX-Big: " ^ String.make 300 'a' ^ "\r\n\r\n"
+            in
+            ignore (Unix.write_substring a big 0 (String.length big));
+            match Http.read_request ~max_header:64 (Http.reader b) with
+            | Error `Too_large -> ()
+            | _ -> Alcotest.fail "expected `Too_large (header)");
+        with_pair (fun a b ->
+            Http.write_request a ~meth:"POST" ~path:"/p" (String.make 256 'x');
+            match Http.read_request ~max_body:64 (Http.reader b) with
+            | Error `Too_large -> ()
+            | _ -> Alcotest.fail "expected `Too_large (body)"));
+    Alcotest.test_case "keep-alive semantics" `Quick (fun () ->
+        Alcotest.(check bool)
+          "1.1 default on" true
+          (Http.keep_alive (fake_request []));
+        Alcotest.(check bool)
+          "1.1 close" false
+          (Http.keep_alive (fake_request [ ("connection", "close") ]));
+        Alcotest.(check bool)
+          "1.1 close value is case-insensitive" false
+          (Http.keep_alive (fake_request [ ("connection", "Close") ]));
+        Alcotest.(check bool)
+          "1.0 default off" false
+          (Http.keep_alive (fake_request ~version:"HTTP/1.0" []));
+        Alcotest.(check bool)
+          "1.0 explicit keep-alive" true
+          (Http.keep_alive
+             (fake_request ~version:"HTTP/1.0" [ ("connection", "keep-alive") ])));
+  ]
+
+(* ---------- end-to-end server ---------- *)
+
+let e2e_tests =
+  [
+    Alcotest.test_case "healthz, metrics, 404 and 405 on one connection" `Quick
+      (fun () ->
+        let registry = Prom_obs.create_registry () in
+        let telemetry = Telemetry.create registry in
+        let service, _ = make_world ~telemetry () in
+        with_server ~telemetry service (fun server ->
+            Alcotest.(check bool)
+              "service accessor" true
+              (Server.service server == service);
+            let c = connect (Server.port server) in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let h = rpc c ~meth:"GET" ~path:"/healthz" "" in
+                Alcotest.(check int) "healthz status" 200 h.Http.status;
+                let hv = parse_body h in
+                Alcotest.(check string) "status ok" "ok" (sfield "status" hv);
+                Alcotest.(check int)
+                  "feature_dim" 3
+                  (int_of_float (ffield "feature_dim" hv));
+                Alcotest.(check int)
+                  "n_classes" 2
+                  (int_of_float (ffield "n_classes" hv));
+                let nf = rpc c ~meth:"GET" ~path:"/nope" "" in
+                Alcotest.(check int) "404" 404 nf.Http.status;
+                let mna = rpc c ~meth:"GET" ~path:"/predict" "" in
+                Alcotest.(check int) "405" 405 mna.Http.status;
+                let m = rpc c ~meth:"GET" ~path:"/metrics" "" in
+                Alcotest.(check int) "metrics status" 200 m.Http.status;
+                (match Prom_obs.validate_exposition m.Http.resp_body with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail ("invalid exposition: " ^ e));
+                Alcotest.(check bool)
+                  "request counter exported" true
+                  (has_substring m.Http.resp_body "prom_http_requests_total");
+                Alcotest.(check bool)
+                  "latency histogram exported" true
+                  (has_substring m.Http.resp_body "prom_http_request_seconds"))));
+    Alcotest.test_case "served verdicts are bit-identical to the direct path"
+      `Quick (fun () ->
+        let service, model = make_world () in
+        let queries = queries_of model 10 in
+        let direct = Service.evaluate_batch service queries in
+        with_server service (fun server ->
+            let c = connect (Server.port server) in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                Array.iteri
+                  (fun i q ->
+                    let r =
+                      rpc c ~meth:"POST" ~path:"/predict"
+                        (J.to_string (query_json q))
+                    in
+                    Alcotest.(check int) "single status" 200 r.Http.status;
+                    check_verdict_json
+                      (Printf.sprintf "single %d" i)
+                      direct.(i) (parse_body r))
+                  queries;
+                let batch_body =
+                  J.to_string
+                    (J.Obj
+                       [
+                         ( "queries",
+                           J.Arr
+                             (Array.to_list (Array.map query_json queries)) );
+                       ])
+                in
+                let r = rpc c ~meth:"POST" ~path:"/predict" batch_body in
+                Alcotest.(check int) "batch status" 200 r.Http.status;
+                match Option.bind (J.member "results" (parse_body r)) J.to_list with
+                | Some results ->
+                    Alcotest.(check int)
+                      "batch arity" (Array.length queries) (List.length results);
+                    List.iteri
+                      (fun i v ->
+                        check_verdict_json
+                          (Printf.sprintf "batch %d" i)
+                          direct.(i) v)
+                      results
+                | None -> Alcotest.fail "batch response missing results")));
+    Alcotest.test_case "malformed requests get 4xx and never crash" `Quick
+      (fun () ->
+        let service, model = make_world () in
+        let config = { Server.default_config with max_body_bytes = 2048 } in
+        with_server ~config service (fun server ->
+            let port = Server.port server in
+            let expect name status body =
+              let c = connect port in
+              Fun.protect
+                ~finally:(fun () -> close c)
+                (fun () ->
+                  let r = rpc c ~meth:"POST" ~path:"/predict" body in
+                  Alcotest.(check int) name status r.Http.status;
+                  Alcotest.(check bool)
+                    (name ^ " has error field")
+                    true
+                    (has_substring r.Http.resp_body "\"error\""))
+            in
+            expect "bad JSON" 400 "this is not json";
+            expect "wrong feature dim" 422
+              "{\"features\":[1.0],\"proba\":[0.5,0.5]}";
+            expect "wrong proba dim" 422
+              "{\"features\":[1.0,2.0,3.0],\"proba\":[1.0]}";
+            expect "non-numeric features" 422
+              "{\"features\":[\"a\",\"b\",\"c\"],\"proba\":[0.5,0.5]}";
+            expect "queries not an array" 422 "{\"queries\":3}";
+            expect "empty batch" 422 "{\"queries\":[]}";
+            expect "oversized body" 413 (String.make 4096 ' ');
+            (* the server is still healthy afterwards *)
+            let q = (queries_of model 1).(0) in
+            let c = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let r =
+                  rpc c ~meth:"POST" ~path:"/predict"
+                    (J.to_string (query_json q))
+                in
+                Alcotest.(check int) "still serving" 200 r.Http.status)));
+    Alcotest.test_case "overload answers 503 with Retry-After, then recovers"
+      `Quick (fun () ->
+        let service, model = make_world () in
+        let q = (queries_of model 1).(0) in
+        let body = J.to_string (query_json q) in
+        let config =
+          {
+            Server.default_config with
+            max_batch = 1;
+            max_wait_us = 0;
+            queue_capacity = 2;
+          }
+        in
+        with_server ~config
+          ~before_batch:(fun () -> Thread.delay 0.25)
+          service
+          (fun server ->
+            let port = Server.port server in
+            let statuses = Array.make 8 0 in
+            let retry_after = Array.make 8 None in
+            let threads =
+              Array.init 8 (fun i ->
+                  Thread.create
+                    (fun () ->
+                      try
+                        let c = connect port in
+                        Fun.protect
+                          ~finally:(fun () -> close c)
+                          (fun () ->
+                            Http.write_request c.fd ~meth:"POST"
+                              ~path:"/predict" body;
+                            match Http.read_response c.creader with
+                            | Ok r ->
+                                statuses.(i) <- r.Http.status;
+                                retry_after.(i) <-
+                                  Http.header "retry-after" r.Http.resp_headers
+                            | Error _ -> statuses.(i) <- -1)
+                      with _ -> statuses.(i) <- -2)
+                    ())
+            in
+            Array.iter Thread.join threads;
+            let count s =
+              Array.fold_left (fun a x -> if x = s then a + 1 else a) 0 statuses
+            in
+            Alcotest.(check int)
+              "every request got a well-formed answer" 8
+              (count 200 + count 503);
+            Alcotest.(check bool) "some served" true (count 200 >= 1);
+            Alcotest.(check bool) "some shed" true (count 503 >= 1);
+            Array.iteri
+              (fun i s ->
+                if s = 503 then
+                  Alcotest.(check (option string))
+                    "503 carries Retry-After" (Some "1") retry_after.(i))
+              statuses;
+            (* the queue drains and service resumes *)
+            Thread.delay 0.3;
+            let c = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let r = rpc c ~meth:"POST" ~path:"/predict" body in
+                Alcotest.(check int) "recovered" 200 r.Http.status)));
+    Alcotest.test_case "graceful stop drains in-flight requests" `Quick
+      (fun () ->
+        let service, model = make_world () in
+        let q = (queries_of model 1).(0) in
+        let body = J.to_string (query_json q) in
+        let config =
+          { Server.default_config with max_batch = 1; max_wait_us = 0 }
+        in
+        let server =
+          Server.start ~config
+            ~before_batch:(fun () -> Thread.delay 0.3)
+            service
+        in
+        let port = Server.port server in
+        let result = ref None in
+        let th =
+          Thread.create
+            (fun () ->
+              try
+                let c = connect port in
+                Fun.protect
+                  ~finally:(fun () -> close c)
+                  (fun () ->
+                    Http.write_request c.fd ~meth:"POST" ~path:"/predict" body;
+                    match Http.read_response c.creader with
+                    | Ok r -> result := Some r.Http.status
+                    | Error _ -> result := Some (-1))
+              with _ -> result := Some (-2))
+            ()
+        in
+        Thread.delay 0.1;
+        (* the request is mid-batch; stop must wait for it *)
+        Server.stop server;
+        Thread.join th;
+        Alcotest.(check (option int)) "in-flight request served" (Some 200)
+          !result;
+        (* stop is idempotent *)
+        Server.stop server;
+        match connect port with
+        | c ->
+            close c;
+            Alcotest.fail "listener should be closed after stop"
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
+  ]
+
+(* ---------- hot swap under live traffic ---------- *)
+
+let swap_live_tests =
+  [
+    Alcotest.test_case
+      "hot swap under live traffic: zero failures, bit-identical verdicts"
+      `Quick (fun () ->
+        let registry = Prom_obs.create_registry () in
+        let telemetry = Telemetry.create registry in
+        let service, model = make_world ~telemetry () in
+        let dir = Filename.temp_dir "prom-server-test" "" in
+        ignore (Snapshot.save ~dir (Service.snapshot service));
+        let queries = queries_of model 4 in
+        let direct = Service.evaluate_batch service queries in
+        let bodies = Array.map (fun q -> J.to_string (query_json q)) queries in
+        with_server ~telemetry ~snapshot_dir:dir service (fun server ->
+            let port = Server.port server in
+            let n_workers = 6 and n_reqs = 25 in
+            let worker_err = Array.make n_workers None in
+            let workers =
+              Array.init n_workers (fun w ->
+                  Thread.create
+                    (fun () ->
+                      try
+                        let c = connect port in
+                        Fun.protect
+                          ~finally:(fun () -> close c)
+                          (fun () ->
+                            for k = 0 to n_reqs - 1 do
+                              let j = k mod Array.length queries in
+                              Http.write_request c.fd ~meth:"POST"
+                                ~path:"/predict" bodies.(j);
+                              match Http.read_response c.creader with
+                              | Ok r when r.Http.status = 200 -> (
+                                  match J.parse r.Http.resp_body with
+                                  | Ok v ->
+                                      let cred =
+                                        Option.bind (J.member "credibility" v)
+                                          J.to_float
+                                      in
+                                      if
+                                        cred
+                                        <> Some
+                                             direct.(j).Detector
+                                              .mean_credibility
+                                      then
+                                        worker_err.(w) <-
+                                          Some "verdict drifted across swap"
+                                  | Error e -> worker_err.(w) <- Some e)
+                              | Ok r ->
+                                  worker_err.(w) <-
+                                    Some
+                                      (Printf.sprintf "status %d" r.Http.status)
+                              | Error _ ->
+                                  worker_err.(w) <- Some "read error"
+                            done)
+                      with e -> worker_err.(w) <- Some (Printexc.to_string e))
+                    ())
+            in
+            (* five hot swaps while the workers hammer /predict *)
+            let admin = connect port in
+            Fun.protect
+              ~finally:(fun () -> close admin)
+              (fun () ->
+                for s = 1 to 5 do
+                  let r = rpc admin ~meth:"POST" ~path:"/admin/swap" "" in
+                  Alcotest.(check int) "swap status" 200 r.Http.status;
+                  let v = parse_body r in
+                  Alcotest.(check bool) "swapped" true (bfield "swapped" v);
+                  Alcotest.(check int)
+                    "swaps monotone" s
+                    (int_of_float (ffield "swaps" v));
+                  Thread.delay 0.05
+                done);
+            Array.iter Thread.join workers;
+            Array.iteri
+              (fun w err ->
+                match err with
+                | None -> ()
+                | Some e ->
+                    Alcotest.fail (Printf.sprintf "worker %d failed: %s" w e))
+              worker_err;
+            (* counters agree: five swaps, zero drops *)
+            let c = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let h = rpc c ~meth:"GET" ~path:"/healthz" "" in
+                Alcotest.(check int)
+                  "healthz swaps" 5
+                  (int_of_float (ffield "swaps" (parse_body h)));
+                let m = rpc c ~meth:"GET" ~path:"/metrics" "" in
+                Alcotest.(check bool)
+                  "swap counter exported" true
+                  (has_substring m.Http.resp_body "prom_service_swaps_total 5"))));
+  ]
+
+let suite =
+  [
+    ("server.batcher", batcher_tests);
+    ("server.http", http_tests);
+    ("server.e2e", e2e_tests);
+    ("server.swap_live", swap_live_tests);
+  ]
