@@ -1081,6 +1081,231 @@ let snapshot () =
 let snapshot_smoke () =
   snapshot_section ~n_cal:250 ~repeats:5 ~json_path:"BENCH_snapshot_smoke.json" ()
 
+(* --- Pruned kNN index: sublinear calibration queries. ---
+
+   Scan-vs-index head to head over synthetic clustered worlds, built
+   through the restore constructors so the O(n²·d) preparation never
+   runs (tau and the LOO reference are synthetic — both arms share
+   them, so verdict parity is unaffected). The two arms are the same
+   entries restored under different PROM_INDEX_MIN_N values, and every
+   size first proves bit-identical verdicts (sequential and batched,
+   classification at every size and regression at the largest) before
+   anything is timed. *)
+
+(* Gaussian blobs around fixed centers: the clustered geometry the
+   coarse index exploits; queries come from the same distribution. *)
+let index_blob_sampler rng ~dim =
+  let n_blobs = 32 in
+  let centers =
+    Array.init n_blobs (fun _ ->
+        Array.init dim (fun _ -> Prom_linalg.Rng.uniform rng ~lo:(-8.0) ~hi:8.0))
+  in
+  fun i ->
+    let c = centers.(i mod n_blobs) in
+    Array.init dim (fun j ->
+        c.(j) +. Prom_linalg.Rng.gaussian rng ~mu:0.0 ~sigma:0.7)
+
+(* A selective Eq. 1 policy (keep 1% past tiny sets): the regime the
+   index targets — per-query neighbour demand small relative to n. *)
+let index_config =
+  { Config.default with Config.select_ratio = 0.005; select_all_below = 32 }
+
+let with_index_threshold v f =
+  Unix.putenv "PROM_INDEX_MIN_N" v;
+  (* An empty value parses as invalid and falls back to the compiled
+     default, so later sections see the stock policy. *)
+  Fun.protect ~finally:(fun () -> Unix.putenv "PROM_INDEX_MIN_N" "") f
+
+let index_identity_scaler ~dim =
+  Prom_ml.Dataset.Scaler.of_params ~mu:(Array.make dim 0.0)
+    ~sigma:(Array.make dim 1.0)
+
+let index_synthetic_loo = Array.init 512 (fun i -> 0.05 *. float_of_int i)
+
+let index_cls_world ~rng ~n ~dim =
+  let open Prom_ml in
+  let sample = index_blob_sampler rng ~dim in
+  let feats = Array.init n sample in
+  let w = Array.init dim (fun _ -> Prom_linalg.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let predict_proba x =
+    let p = 1.0 /. (1.0 +. exp (-.(Prom_linalg.Vec.dot w x))) in
+    [| 1.0 -. p; p |]
+  in
+  let model =
+    { Model.n_classes = 2; predict_proba; name = "linear-sigmoid"; state = Model.No_state }
+  in
+  let entries =
+    Array.mapi
+      (fun i f -> { Calibration.features = f; label = i land 1; proba = predict_proba f })
+      feats
+  in
+  let restore () =
+    Calibration.restore_cls ~entries ~config:index_config
+      ~scaler:(index_identity_scaler ~dim) ~tau:1.0 ~loo_distances:index_synthetic_loo ()
+  in
+  let cal_scan = with_index_threshold "1000000000" restore in
+  let cal_ix = with_index_threshold "1" restore in
+  (model, cal_scan, cal_ix, sample)
+
+let index_reg_world ~rng ~n ~dim =
+  let open Prom_ml in
+  let sample = index_blob_sampler rng ~dim in
+  let feats = Array.init n sample in
+  let w = Array.init dim (fun _ -> Prom_linalg.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let model =
+    { Model.predict = (fun x -> Prom_linalg.Vec.dot w x); name = "linear";
+      reg_state = Model.No_state }
+  in
+  let n_clusters = 4 in
+  let clusters =
+    {
+      Kmeans.centroids =
+        Array.init n_clusters (fun c ->
+            Array.init dim (fun j -> float_of_int (c + j)));
+      assignments = Array.init n (fun i -> i mod n_clusters);
+      inertia = 0.0;
+    }
+  in
+  let rentries =
+    Array.mapi
+      (fun i f ->
+        let pred = Prom_linalg.Vec.dot w f in
+        { Calibration.rfeatures = f; target = pred +. 0.1; rpred = pred;
+          cluster = i mod n_clusters; rproxy = pred; rspread = 0.5 })
+      feats
+  in
+  let restore () =
+    Calibration.restore_reg ~rentries ~rconfig:index_config ~clusters ~n_clusters
+      ~rscaler:(index_identity_scaler ~dim) ~rtau:1.0
+      ~rloo_distances:index_synthetic_loo ()
+  in
+  let cal_scan = with_index_threshold "1000000000" restore in
+  let cal_ix = with_index_threshold "1" restore in
+  (model, cal_scan, cal_ix, sample)
+
+let index_section ~sizes ~n_queries ~quota ~json_path () =
+  section_header "Pruned kNN index: calibration query scaling";
+  let rng = Prom_linalg.Rng.create (seed + 31) in
+  let dim = 12 in
+  let committee = Nonconformity.default_committee in
+  let largest = sizes.(Array.length sizes - 1) in
+  let rows =
+    Array.map
+      (fun n ->
+        let model, cal_scan, cal_ix, sample = index_cls_world ~rng ~n ~dim in
+        (match Calibration.index_of_cls cal_scan with
+        | Some _ -> failwith "index bench: scan arm unexpectedly indexed"
+        | None -> ());
+        let idx =
+          match Calibration.index_of_cls cal_ix with
+          | Some i -> i
+          | None -> failwith "index bench: index arm carries no index"
+        in
+        let t0 = Unix.gettimeofday () in
+        ignore (Prom_linalg.Knn_index.build cal_ix.Calibration.feat_matrix);
+        let build_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        let det_scan =
+          Detector.Classification.of_calibration ~config:index_config ~committee ~model
+            ~feature_of:Fun.id cal_scan
+        in
+        let det_ix =
+          Detector.Classification.of_calibration ~config:index_config ~committee ~model
+            ~feature_of:Fun.id cal_ix
+        in
+        let queries = Array.init n_queries (fun i -> sample (5 * i)) in
+        (* Bit-identity gate: verdicts must match the dense scan exactly,
+           sequentially and batched, before anything is timed. *)
+        let vs = Array.map (Detector.Classification.evaluate det_scan) queries in
+        let vi = Array.map (Detector.Classification.evaluate det_ix) queries in
+        if vs <> vi then failwith "index bench: indexed verdicts diverged from scan";
+        let vb = Detector.Classification.evaluate_batch det_ix queries in
+        if vb <> vs then failwith "index bench: indexed batch verdicts diverged";
+        if n = largest then begin
+          let rmodel, rcal_scan, rcal_ix, rsample = index_reg_world ~rng ~n ~dim in
+          let rcommittee = Nonconformity.default_reg_committee in
+          let rdet_scan =
+            Detector.Regression.of_calibration ~config:index_config
+              ~committee:rcommittee ~model:rmodel ~feature_of:Fun.id rcal_scan
+          in
+          let rdet_ix =
+            Detector.Regression.of_calibration ~config:index_config
+              ~committee:rcommittee ~model:rmodel ~feature_of:Fun.id rcal_ix
+          in
+          let rqueries = Array.init n_queries (fun i -> rsample (3 * i)) in
+          let rs = Array.map (Detector.Regression.evaluate rdet_scan) rqueries in
+          let ri = Array.map (Detector.Regression.evaluate rdet_ix) rqueries in
+          if rs <> ri then
+            failwith "index bench: regression indexed verdicts diverged from scan";
+          let rb = Detector.Regression.evaluate_batch rdet_ix rqueries in
+          if rb <> rs then
+            failwith "index bench: regression indexed batch verdicts diverged";
+          Printf.printf "  regression verdicts bit-identical at n=%d: true\n" n
+        end;
+        let before = Prom_linalg.Knn_index.stats idx in
+        let qi = ref 0 in
+        let pick () =
+          let q = queries.(!qi) in
+          qi := (!qi + 1) mod n_queries;
+          q
+        in
+        let ns =
+          ns_interleaved ~quota ~rounds:3
+            [|
+              ( Printf.sprintf "scan-%d" n,
+                fun () -> ignore (Detector.Classification.evaluate det_scan (pick ())) );
+              ( Printf.sprintf "index-%d" n,
+                fun () -> ignore (Detector.Classification.evaluate det_ix (pick ())) );
+            |]
+        in
+        let after = Prom_linalg.Knn_index.stats idx in
+        let scan_ns = ns.(0) and index_ns = ns.(1) in
+        let scanned = after.st_scanned - before.st_scanned in
+        let pruned = after.st_rows_pruned - before.st_rows_pruned in
+        let cpruned = after.st_clusters_pruned - before.st_clusters_pruned in
+        let tq = after.st_queries - before.st_queries in
+        let prune_frac =
+          if scanned + pruned = 0 then 0.0
+          else float_of_int pruned /. float_of_int (scanned + pruned)
+        in
+        let qps ns = 1e9 /. ns in
+        Printf.printf
+          "  n=%-7d scan %9.0f ns/q (%8.0f q/s) | index %9.0f ns/q (%8.0f q/s) | \
+           %5.1fx | clusters %4d | rows pruned %5.1f%% | build %7.1f ms\n"
+          n scan_ns (qps scan_ns) index_ns (qps index_ns) (scan_ns /. index_ns)
+          (Prom_linalg.Knn_index.clusters idx)
+          (100.0 *. prune_frac) build_ms;
+        ( n, scan_ns, index_ns, Prom_linalg.Knn_index.clusters idx, tq, scanned, pruned,
+          cpruned, prune_frac, build_ms ))
+      sizes
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"dim\": %d,\n  \"select_ratio\": %.3f,\n  \"batch_queries\": %d,\n  \"sizes\": [\n"
+    dim index_config.Config.select_ratio n_queries;
+  Array.iteri
+    (fun i (n, scan_ns, index_ns, clusters, tq, scanned, pruned, cpruned, frac, build_ms) ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"scan_ns_per_query\": %.1f, \"index_ns_per_query\": %.1f,\n\
+        \     \"scan_queries_per_sec\": %.1f, \"index_queries_per_sec\": %.1f,\n\
+        \     \"speedup\": %.3f, \"clusters\": %d, \"build_ms\": %.2f,\n\
+        \     \"prune\": {\"queries\": %d, \"rows_scanned\": %d, \"rows_pruned\": %d,\n\
+        \               \"clusters_pruned\": %d, \"rows_pruned_frac\": %.4f}}%s\n"
+        n scan_ns index_ns (1e9 /. scan_ns) (1e9 /. index_ns) (scan_ns /. index_ns)
+        clusters build_ms tq scanned pruned cpruned frac
+        (if i = Array.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path
+
+let index_bench () =
+  index_section ~sizes:[| 1_000; 10_000; 100_000 |] ~n_queries:64 ~quota:0.5
+    ~json_path:"BENCH_index.json" ()
+
+let index_smoke () =
+  index_section ~sizes:[| 1_000; 4_000 |] ~n_queries:16 ~quota:0.05
+    ~json_path:"BENCH_index_smoke.json" ()
+
 (* Serving-layer benchmark: closed-loop load generation against the
    in-process HTTP server — throughput and latency percentiles at
    several keep-alive concurrency levels, a wire-identity check against
@@ -1502,6 +1727,8 @@ let sections =
     ("prep-smoke", prep_smoke);
     ("snapshot", snapshot);
     ("snapshot-smoke", snapshot_smoke);
+    ("index", index_bench);
+    ("index-smoke", index_smoke);
     ("serve", serve_bench);
     ("serve-smoke", serve_bench_smoke);
   ]
@@ -1516,7 +1743,7 @@ let () =
         List.filter
           (fun n ->
             n <> "inference-smoke" && n <> "prep-smoke"
-            && n <> "snapshot-smoke" && n <> "serve-smoke")
+            && n <> "snapshot-smoke" && n <> "serve-smoke" && n <> "index-smoke")
           (List.map fst sections)
   in
   let t0 = Unix.gettimeofday () in

@@ -421,6 +421,128 @@ let serve_cmd =
           when one exists")
     Term.(const run $ quick_arg $ seed_arg $ snapshot_dir_arg $ listen_arg)
 
+(* Build scan/index twin detectors over the same blob world, check the
+   invariant the index lives under (bit-identical verdicts against the
+   dense scan), then report the index's pruning effectiveness and how
+   it absorbs incremental admits — small batches leave insertion debt,
+   a large one crosses the imbalance policy and triggers a rebuild. *)
+let index_stats_cmd =
+  let run quick seed =
+    let open Prom_linalg in
+    let open Prom_ml in
+    let open Prom in
+    let n_blob = if quick then 300 else 2500 in
+    let rng = Rng.create seed in
+    let blob ~cx ~cy ~sigma ~label n =
+      Array.init n (fun _ ->
+          ( [|
+              Rng.gaussian rng ~mu:cx ~sigma; Rng.gaussian rng ~mu:cy ~sigma;
+            |],
+            label ))
+    in
+    let samples =
+      Array.concat
+        [
+          blob ~cx:0.0 ~cy:0.0 ~sigma:0.7 ~label:0 n_blob;
+          blob ~cx:3.0 ~cy:3.0 ~sigma:0.7 ~label:1 n_blob;
+        ]
+    in
+    let data = Dataset.create (Array.map fst samples) (Array.map snd samples) in
+    let queries =
+      Array.map fst
+        (Array.concat
+           [
+             blob ~cx:0.0 ~cy:0.0 ~sigma:0.9 ~label:0 (n_blob / 4);
+             blob ~cx:8.0 ~cy:(-5.0) ~sigma:0.9 ~label:0 (n_blob / 4);
+           ])
+    in
+    let admit_batch n =
+      Array.map (fun (x, y) -> (x, y)) (blob ~cx:1.5 ~cy:1.5 ~sigma:0.8 ~label:1 n)
+    in
+    (* Selection lean enough that the index gate (4 * query_k <= n)
+       opens at the quick scale too. *)
+    let config =
+      { Config.default with Config.select_ratio = 0.05; select_all_below = 32 }
+    in
+    let model = Logistic.train data in
+    let with_threshold v f =
+      Unix.putenv Calibration.index_threshold_env v;
+      Fun.protect
+        ~finally:(fun () -> Unix.putenv Calibration.index_threshold_env "")
+        f
+    in
+    let mk threshold =
+      with_threshold threshold (fun () ->
+          Detector.Classification.create ~config ~model ~feature_of:Fun.id data)
+    in
+    let det_scan = mk "1000000000" in
+    let det_ix = mk "1" in
+    let index_exn det =
+      match Calibration.index_of_cls (Detector.Classification.calibration det) with
+      | Some ix -> ix
+      | None ->
+          prerr_endline "index: detector did not index (gate closed?)";
+          exit 1
+    in
+    let ix = index_exn det_ix in
+    Printf.printf "=== Pruned kNN index stats (n=%d, %d-dim) ===\n"
+      (Knn_index.length ix) (Knn_index.dim ix);
+    let identical =
+      Array.for_all
+        (fun q ->
+          let a = Detector.Classification.evaluate det_scan q in
+          let b = Detector.Classification.evaluate det_ix q in
+          a.Detector.drifted = b.Detector.drifted
+          && Int64.bits_of_float a.Detector.mean_credibility
+             = Int64.bits_of_float b.Detector.mean_credibility
+          && Int64.bits_of_float a.Detector.mean_confidence
+             = Int64.bits_of_float b.Detector.mean_confidence)
+        queries
+    in
+    Printf.printf "scan-vs-index verdicts bit-identical: %b (%d queries)\n"
+      identical (Array.length queries);
+    let s = Knn_index.stats ix in
+    let candidates = s.Knn_index.st_scanned + s.Knn_index.st_rows_pruned in
+    Printf.printf "clusters           %d\n" (Knn_index.clusters ix);
+    Printf.printf "queries            %d\n" s.Knn_index.st_queries;
+    Printf.printf "rows scanned       %d\n" s.Knn_index.st_scanned;
+    Printf.printf "rows pruned        %d (%.1f%% of candidate rows)\n"
+      s.Knn_index.st_rows_pruned
+      (if candidates = 0 then 0.0
+       else 100.0 *. float_of_int s.Knn_index.st_rows_pruned /. float_of_int candidates);
+    Printf.printf "clusters pruned    %d\n" s.Knn_index.st_clusters_pruned;
+    (* Incremental maintenance: a small admit batches into the existing
+       clusters; a majority-sized one crosses the rebuild policy. *)
+    let det_small =
+      with_threshold "1" (fun () ->
+          Detector.Classification.admit det_ix (admit_batch (n_blob / 8)))
+    in
+    let ix_small = index_exn det_small in
+    Printf.printf "admit %-5d        insertion debt %d, %d clusters\n" (n_blob / 8)
+      (Knn_index.inserted_since_build ix_small)
+      (Knn_index.clusters ix_small);
+    let det_big =
+      with_threshold "1" (fun () ->
+          Detector.Classification.admit det_small (admit_batch (n_blob + 1)))
+    in
+    let ix_big = index_exn det_big in
+    Printf.printf "admit %-5d        insertion debt %d, %d clusters%s\n" (n_blob + 1)
+      (Knn_index.inserted_since_build ix_big)
+      (Knn_index.clusters ix_big)
+      (if Knn_index.inserted_since_build ix_big = 0 then " (rebuilt)" else "");
+    if not identical then begin
+      prerr_endline "index parity: FAILED";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "index-stats"
+       ~doc:
+         "Report pruned kNN index effectiveness (scan/prune counters, \
+          incremental insertion debt and rebuilds) after checking the index \
+          answers bit-identically to the dense scan")
+    Term.(const run $ quick_arg $ seed_arg)
+
 let () =
   let info =
     Cmd.info "prom_cli" ~version:"1.0.0"
@@ -429,5 +551,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; c5_cmd; suite_cmd; metrics_cmd; save_cmd; load_cmd;
-            serve_cmd ]))
+          [ list_cmd; run_cmd; c5_cmd; suite_cmd; metrics_cmd; index_stats_cmd;
+            save_cmd; load_cmd; serve_cmd ]))

@@ -2,6 +2,29 @@ open Prom_linalg
 open Prom_ml
 module Pool = Prom_parallel.Pool
 
+(* --- Pruned-index state. ---
+
+   Above a size threshold the per-query distance scans are answered by a
+   cluster-pruned exact kNN index instead of a dense scan. Every
+   consumer of a query's distances needs at most [ix_query_k]
+   neighbours — the selection's keep count, the conformal test's
+   LOO-kNN [k] and the ground-truth proxy's [knn_k] — and the index
+   returns exactly the ascending (squared distance, index) prefix the
+   dense scan would, so verdicts are bit-identical either way. *)
+
+type index_metrics = {
+  ix_clusters : Prom_obs.Gauge.t;
+  ix_scanned : Prom_obs.Counter.t;
+  ix_pruned : Prom_obs.Counter.t;
+  ix_rebuilds : Prom_obs.Counter.t;
+}
+
+type index_state = {
+  knn : Knn_index.t;
+  ix_query_k : int;
+  mutable ix_metrics : index_metrics option;
+}
+
 type cls_entry = { features : Vec.t; label : int; proba : Vec.t }
 
 type cls = {
@@ -14,6 +37,10 @@ type cls = {
   feat_matrix : Featmat.t;
       (* the entries' feature vectors packed row-major, built once so the
          per-query distance scans never rebuild the feature array *)
+  mutable cls_index : index_state option;
+      (* pruned exact kNN index over [feat_matrix], present when the
+         store crossed the indexing threshold; mutable only for
+         attaching telemetry after construction *)
 }
 
 (* Standardize the similarity space with calibration statistics so the
@@ -34,6 +61,53 @@ let fit_scaler feats =
 let knn_distance_k = 5
 
 let knn_distance_score fm v = Featmat.knn_mean_dist fm v ~k:knn_distance_k
+
+(* Partial top-k selection instead of the former full sort (see the
+   selection pipeline below): how many entries a query keeps. *)
+let keep_count ~config n =
+  if n < config.Config.select_all_below then n
+  else Stdlib.max 1 (int_of_float (config.Config.select_ratio *. float_of_int n))
+
+let default_index_threshold = 4096
+let index_threshold_env = "PROM_INDEX_MIN_N"
+
+(* Read per call so tests and benchmarks can flip the policy without
+   rebuilding stores created earlier in the process. *)
+let index_threshold () =
+  match Sys.getenv_opt index_threshold_env with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 0 -> v
+      | _ -> default_index_threshold)
+  | None -> default_index_threshold
+
+(* The largest neighbour count any distance consumer asks of a query. *)
+let query_k ~config n =
+  Stdlib.max (keep_count ~config n) (Stdlib.max knn_distance_k config.Config.knn_k)
+
+(* Index only when the calibration set is large enough to pay off: past
+   the threshold, and with the per-query neighbour demand small relative
+   to n (otherwise the index would rerank most rows anyway). *)
+let maybe_index ~config fm =
+  let n = Featmat.length fm in
+  if n = 0 then None
+  else begin
+    let k = query_k ~config n in
+    if n >= index_threshold () && 4 * k <= n then
+      Some { knn = Knn_index.build fm; ix_query_k = k; ix_metrics = None }
+    else None
+  end
+
+(* Adopt a deserialized index instead of rebuilding: the structure is
+   already validated by [Knn_index.import]; here only the fit against
+   the restored entries is checked, so a snapshot of one store can never
+   silently answer for another. *)
+let attach_index ~config fm = function
+  | None -> maybe_index ~config fm
+  | Some knn ->
+      if Knn_index.length knn <> Featmat.length fm || Knn_index.dim knn <> Featmat.dim fm
+      then invalid_arg "Calibration: snapshot index does not match the entries";
+      Some { knn; ix_query_k = query_k ~config (Featmat.length fm); ix_metrics = None }
 
 (* Row block granted to one pool task in the O(n^2 . d) preparation
    scans: the task computes its rows' distance block with the symmetric
@@ -172,6 +246,7 @@ let prepare_classification ?pool ~config ~model ~feature_of (d : int Dataset.t) 
     tau = effective_tau ?pool config feat_matrix;
     loo_distances = loo_distance_scores ?pool feat_matrix;
     feat_matrix;
+    cls_index = maybe_index ~config feat_matrix;
   }
 
 let standardize_cls t v = Dataset.Scaler.transform t.scaler v
@@ -179,17 +254,19 @@ let standardize_cls t v = Dataset.Scaler.transform t.scaler v
 (* Snapshot restore: the expensive O(n^2 . d) preparation products (tau,
    LOO distances) are taken as given; only the packed feature matrix is
    rebuilt, a cheap O(n . d) copy of the entries' feature rows. *)
-let restore_cls ~entries ~config ~scaler ~tau ~loo_distances =
+let restore_cls ?index ~entries ~config ~scaler ~tau ~loo_distances () =
   Config.validate config;
   if Array.length entries = 0 then invalid_arg "Calibration.restore_cls: no entries";
   if not (tau > 0.0) then invalid_arg "Calibration.restore_cls: tau must be positive";
+  let feat_matrix = Featmat.of_rows (Array.map (fun e -> e.features) entries) in
   {
     entries;
     config;
     scaler;
     tau;
     loo_distances;
-    feat_matrix = Featmat.of_rows (Array.map (fun e -> e.features) entries);
+    feat_matrix;
+    cls_index = attach_index ~config feat_matrix index;
   }
 
 type reg_entry = {
@@ -210,6 +287,7 @@ type reg = {
   rtau : float;
   rloo_distances : float array;
   rfeat_matrix : Featmat.t;
+  mutable reg_index : index_state option;  (* see [cls_index] *)
 }
 
 let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
@@ -277,15 +355,18 @@ let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
     rtau = effective_tau ?pool config rfeat_matrix;
     rloo_distances = loo_distance_scores ?pool rfeat_matrix;
     rfeat_matrix;
+    reg_index = maybe_index ~config rfeat_matrix;
   }
 
 let standardize_reg t v = Dataset.Scaler.transform t.rscaler v
 
-let restore_reg ~rentries ~rconfig ~clusters ~n_clusters ~rscaler ~rtau ~rloo_distances =
+let restore_reg ?index ~rentries ~rconfig ~clusters ~n_clusters ~rscaler ~rtau
+    ~rloo_distances () =
   Config.validate rconfig;
   if Array.length rentries = 0 then invalid_arg "Calibration.restore_reg: no entries";
   if not (rtau > 0.0) then invalid_arg "Calibration.restore_reg: tau must be positive";
   if n_clusters < 1 then invalid_arg "Calibration.restore_reg: n_clusters out of range";
+  let rfeat_matrix = Featmat.of_rows (Array.map (fun e -> e.rfeatures) rentries) in
   {
     rentries;
     rconfig;
@@ -294,7 +375,8 @@ let restore_reg ~rentries ~rconfig ~clusters ~n_clusters ~rscaler ~rtau ~rloo_di
     rscaler;
     rtau;
     rloo_distances;
-    rfeat_matrix = Featmat.of_rows (Array.map (fun e -> e.rfeatures) rentries);
+    rfeat_matrix;
+    reg_index = attach_index ~config:rconfig rfeat_matrix index;
   }
 
 type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
@@ -321,6 +403,10 @@ type query_scratch = {
   knn_heap : Select.heap;
   mutable knn_idxs : int array;
   mutable knn_vals : float array;
+  mutable cand_idxs : int array;
+  mutable cand_vals : float array;
+      (* the pruned index's candidate prefix(es): one [ix_query_k]-sized
+         slice per in-flight query of the current tile *)
 }
 
 let query_scratch : query_scratch Domain.DLS.key =
@@ -334,21 +420,42 @@ let query_scratch : query_scratch Domain.DLS.key =
         knn_heap = Select.heap_create 0;
         knn_idxs = [||];
         knn_vals = [||];
+        cand_idxs = [||];
+        cand_vals = [||];
       })
 
-(* A query's squared-distance vector against every calibration entry —
-   a view into a per-domain buffer, computed once per query and
-   consumed by selection, the conformal kNN score, the kNN ground-truth
-   proxy and cluster assignment. Valid until the next distance
-   computation on the same domain. *)
-type dists = { dbuf : float array; doff : int; dlen : int }
+(* A query's distances against the calibration entries, in one of two
+   equivalent forms. [Dense] is the full squared-distance vector — a
+   view into a per-domain buffer, computed once per query. [Pruned] is
+   the index's answer: the ascending (squared distance, row) prefix of
+   length [ix_query_k] — exactly the prefix every consumer reads from
+   the dense form, so the two are interchangeable bit for bit. A pruned
+   view keeps the query and matrix so a consumer that (exceptionally)
+   needs more neighbours than the prefix holds can fall back to a dense
+   scan. Views are valid until the next distance computation on the
+   same domain. *)
+type dense = { dbuf : float array; doff : int; dlen : int }
 
-let query_distances_of fm v =
+type pruned = {
+  pidxs : int array;
+  pvals : float array;
+  poff : int;
+  pcount : int;
+  pn : int;  (* full calibration size, for [keep_count] *)
+  pquery : Vec.t;
+  pfm : Featmat.t;
+}
+
+type dists = Dense of dense | Pruned of pruned
+
+let dense_scan fm v =
   let qs = Domain.DLS.get query_scratch in
   let n = Featmat.length fm in
   if Array.length qs.dists < n then qs.dists <- Array.make (Stdlib.max n 1) 0.0;
   Featmat.sq_dists_into fm v qs.dists;
   { dbuf = qs.dists; doff = 0; dlen = n }
+
+let query_distances_of fm v = Dense (dense_scan fm v)
 
 (* The tile form: one cache-blocked kernel call for the whole query
    tile, returning per-query views into the block buffer. The views
@@ -361,7 +468,91 @@ let query_distances_block_of fm queries =
   let nq = Array.length queries in
   if Array.length qs.block < nq * n then qs.block <- Array.make (Stdlib.max (nq * n) 1) 0.0;
   Featmat.sq_dists_block fm queries qs.block;
-  Array.init nq (fun q -> { dbuf = qs.block; doff = q * n; dlen = n })
+  Array.init nq (fun q -> Dense { dbuf = qs.block; doff = q * n; dlen = n })
+
+(* --- Index-backed query paths. --- *)
+
+let ensure_cand qs cap =
+  if Array.length qs.cand_idxs < cap then begin
+    qs.cand_idxs <- Array.make cap 0;
+    qs.cand_vals <- Array.make cap 0.0
+  end
+
+let record_index_metrics st acc =
+  match st.ix_metrics with
+  | None -> ()
+  | Some m ->
+      Prom_obs.Counter.add m.ix_scanned (float_of_int acc.Knn_index.ac_scanned);
+      Prom_obs.Counter.add m.ix_pruned (float_of_int acc.Knn_index.ac_rows_pruned)
+
+let metrics_acc st =
+  match st.ix_metrics with Some _ -> Some (Knn_index.acc_create ()) | None -> None
+
+(* Pruned views only when the prefix is a strict subset of the rows; a
+   query_k covering the whole matrix would just be a slower dense
+   scan. *)
+let index_applies st fm = st.ix_query_k < Featmat.length fm
+
+let query_pruned st fm v =
+  let n = Featmat.length fm in
+  let k = Stdlib.min st.ix_query_k n in
+  let qs = Domain.DLS.get query_scratch in
+  ensure_cand qs k;
+  let acc = metrics_acc st in
+  let m =
+    Knn_index.query_into ?stats:acc st.knn fm v ~k ~idxs:qs.cand_idxs ~vals:qs.cand_vals
+      ~off:0
+  in
+  (match acc with Some a -> record_index_metrics st a | None -> ());
+  Pruned
+    {
+      pidxs = qs.cand_idxs;
+      pvals = qs.cand_vals;
+      poff = 0;
+      pcount = m;
+      pn = n;
+      pquery = v;
+      pfm = fm;
+    }
+
+let query_pruned_block st fm queries =
+  let n = Featmat.length fm in
+  let k = Stdlib.min st.ix_query_k n in
+  let nq = Array.length queries in
+  let qs = Domain.DLS.get query_scratch in
+  ensure_cand qs (nq * k);
+  let acc = metrics_acc st in
+  let views =
+    Array.init nq (fun q ->
+        let v = queries.(q) in
+        let m =
+          Knn_index.query_into ?stats:acc st.knn fm v ~k ~idxs:qs.cand_idxs
+            ~vals:qs.cand_vals ~off:(q * k)
+        in
+        Pruned
+          {
+            pidxs = qs.cand_idxs;
+            pvals = qs.cand_vals;
+            poff = q * k;
+            pcount = m;
+            pn = n;
+            pquery = v;
+            pfm = fm;
+          })
+  in
+  (match acc with Some a -> record_index_metrics st a | None -> ());
+  views
+
+let query_distances_ix index fm v =
+  match index with
+  | Some st when index_applies st fm -> query_pruned st fm v
+  | _ -> query_distances_of fm v
+
+let query_distances_block_ix index fm queries =
+  match index with
+  | Some st when index_applies st fm && Array.length queries > 0 ->
+      query_pruned_block st fm queries
+  | _ -> query_distances_block_of fm queries
 
 (* Bounded kNN selection over the shared buffer: offers in index order
    (the order the matrix scans used) into the reusable per-domain heap
@@ -402,10 +593,6 @@ let knn_mean_from_dists qs d ~k =
    exp(-d^2/tau) of the sort-based reference bit for bit. On return the
    workspace prefix holds the ascending (squared distance, index) pairs
    of the kept entries. *)
-let keep_count ~config n =
-  if n < config.Config.select_all_below then n
-  else Stdlib.max 1 (int_of_float (config.Config.select_ratio *. float_of_int n))
-
 let select_core scratch ?featmat ~config entries ~feature_of_entry test_features =
   let n = Array.length entries in
   let keep = keep_count ~config n in
@@ -500,18 +687,17 @@ let distance_pvalue_reg t v =
    order), so verdicts are bit-identical; only the number of matrix
    scans changes. *)
 
-let query_distances_cls t v = query_distances_of t.feat_matrix v
-let query_distances_reg t v = query_distances_of t.rfeat_matrix v
-let query_distances_block_cls t vs = query_distances_block_of t.feat_matrix vs
-let query_distances_block_reg t vs = query_distances_block_of t.rfeat_matrix vs
+let query_distances_cls t v = query_distances_ix t.cls_index t.feat_matrix v
+let query_distances_reg t v = query_distances_ix t.reg_index t.rfeat_matrix v
+let query_distances_block_cls t vs = query_distances_block_ix t.cls_index t.feat_matrix vs
+let query_distances_block_reg t vs = query_distances_block_ix t.reg_index t.rfeat_matrix vs
 
 (* [select_packed] fed from the shared buffer instead of its own scan:
    the keys are blitted into the selection workspace (selection
    destroys key order, and the buffer must outlive it for the other
    consumers), then selected and weighted exactly as [select_packed]
    does. *)
-let select_packed_dists ?tau ~config d =
-  let tau = resolve_tau tau config in
+let select_packed_dense tau ~config d =
   let n = d.dlen in
   if n = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0 }
   else begin
@@ -530,41 +716,111 @@ let select_packed_dists ?tau ~config d =
     { sel_idxs = Select.scratch_idxs qs.sel; sel_weights = weights; sel_count = keep }
   end
 
+(* The pruned form: the index's candidate prefix IS the selection — the
+   same ascending (squared distance, index) order the dense path's
+   [select_in_place] produces — so the kept slice is staged in the
+   selection workspace and weighted with identical arithmetic. A keep
+   count exceeding the prefix (a config change after the index was
+   sized) falls back to the dense scan; results stay bit-identical
+   either way. *)
+let select_packed_dists ?tau ~config d =
+  let tau = resolve_tau tau config in
+  match d with
+  | Dense d -> select_packed_dense tau ~config d
+  | Pruned p ->
+      let keep = keep_count ~config p.pn in
+      if keep > p.pcount then select_packed_dense tau ~config (dense_scan p.pfm p.pquery)
+      else begin
+        let qs = Domain.DLS.get query_scratch in
+        ignore (Select.scratch_keys qs.sel keep : float array);
+        let vals = Select.scratch_vals qs.sel and idxs = Select.scratch_idxs qs.sel in
+        Array.blit p.pvals p.poff vals 0 keep;
+        Array.blit p.pidxs p.poff idxs 0 keep;
+        if Array.length qs.weights < keep then qs.weights <- Array.make (Array.length vals) 0.0;
+        let weights = qs.weights in
+        for r = 0 to keep - 1 do
+          let dist = sqrt vals.(r) in
+          weights.(r) <- exp (-.(dist *. dist) /. tau)
+        done;
+        { sel_idxs = idxs; sel_weights = weights; sel_count = keep }
+      end
+
+(* Conformal kNN mean distance from either view. The pruned prefix is
+   ascending, so summing its first [m] square roots replays the dense
+   path's accumulation order exactly. *)
+let conformal_mean_of_dists d =
+  match d with
+  | Dense d ->
+      let qs = Domain.DLS.get query_scratch in
+      knn_mean_from_dists qs d ~k:knn_distance_k
+  | Pruned p ->
+      let m = Stdlib.min knn_distance_k p.pn in
+      if m > p.pcount then begin
+        let qs = Domain.DLS.get query_scratch in
+        knn_mean_from_dists qs (dense_scan p.pfm p.pquery) ~k:knn_distance_k
+      end
+      else if m = 0 then 0.0
+      else begin
+        let acc = ref 0.0 in
+        for r = 0 to m - 1 do
+          acc := !acc +. sqrt p.pvals.(p.poff + r)
+        done;
+        !acc /. float_of_int m
+      end
+
 let distance_pvalue_cls_dists t d =
-  let qs = Domain.DLS.get query_scratch in
-  distance_pvalue_of t.loo_distances (knn_mean_from_dists qs d ~k:knn_distance_k)
+  distance_pvalue_of t.loo_distances (conformal_mean_of_dists d)
 
 let distance_pvalue_reg_dists t d =
-  let qs = Domain.DLS.get query_scratch in
-  distance_pvalue_of t.rloo_distances (knn_mean_from_dists qs d ~k:knn_distance_k)
+  distance_pvalue_of t.rloo_distances (conformal_mean_of_dists d)
 
 (* [knn_truth] from the buffer: the neighbour set and its ascending
    order match [Featmat.nearest], and the targets array hands mean and
    spread to the same [Stats] calls, so the estimate is bit-identical.
    The targets array is [k] floats on the minor heap — the boxed
-   (index, distance) tuple array of the independent path is gone. *)
+   (index, distance) tuple array of the independent path is gone. The
+   pruned view reads the same neighbours straight from its prefix. *)
 let knn_truth_dists reg d ~k =
-  let qs = Domain.DLS.get query_scratch in
-  let m = knn_from_dists qs d ~k in
-  let targets = Array.init m (fun r -> reg.rentries.(qs.knn_idxs.(r)).target) in
-  let mean = Stats.mean targets in
-  let spread = if m > 1 then Stats.std targets else 0.0 in
-  (mean, spread)
+  let finish m target_of =
+    let targets = Array.init m target_of in
+    let mean = Stats.mean targets in
+    let spread = if m > 1 then Stats.std targets else 0.0 in
+    (mean, spread)
+  in
+  match d with
+  | Dense dd ->
+      let qs = Domain.DLS.get query_scratch in
+      let m = knn_from_dists qs dd ~k in
+      finish m (fun r -> reg.rentries.(qs.knn_idxs.(r)).target)
+  | Pruned p ->
+      let m = Stdlib.min k p.pn in
+      if m > p.pcount then begin
+        let qs = Domain.DLS.get query_scratch in
+        let m = knn_from_dists qs (dense_scan p.pfm p.pquery) ~k in
+        finish m (fun r -> reg.rentries.(qs.knn_idxs.(r)).target)
+      end
+      else finish m (fun r -> reg.rentries.(p.pidxs.(p.poff + r)).target)
 
 (* [assign_cluster]'s nearest-neighbour argmin read from the buffer:
    strict [<] with ascending index, first minimum wins, exactly
-   [Featmat.argmin_sq]. *)
+   [Featmat.argmin_sq]. The pruned prefix leads with exactly that row —
+   the least (distance, index) — so its head is the same argmin. *)
 let assign_cluster_dists reg d =
-  if d.dlen = 0 then invalid_arg "Calibration.assign_cluster_dists: empty calibration";
-  let best = ref 0 and best_d = ref infinity in
-  for i = 0 to d.dlen - 1 do
-    let v = Array.unsafe_get d.dbuf (d.doff + i) in
-    if v < !best_d then begin
-      best := i;
-      best_d := v
-    end
-  done;
-  reg.rentries.(!best).cluster
+  match d with
+  | Dense d ->
+      if d.dlen = 0 then invalid_arg "Calibration.assign_cluster_dists: empty calibration";
+      let best = ref 0 and best_d = ref infinity in
+      for i = 0 to d.dlen - 1 do
+        let v = Array.unsafe_get d.dbuf (d.doff + i) in
+        if v < !best_d then begin
+          best := i;
+          best_d := v
+        end
+      done;
+      reg.rentries.(!best).cluster
+  | Pruned p ->
+      if p.pcount = 0 then invalid_arg "Calibration.assign_cluster_dists: empty calibration";
+      reg.rentries.(p.pidxs.(p.poff)).cluster
 
 (* Weighted (1 - epsilon) quantile of the selected entries' absolute
    residuals — the split-conformal interval half-width. Runs in the
@@ -598,4 +854,99 @@ let weighted_residual_quantile reg selection ~epsilon =
       end
     done;
     if Float.is_nan !res then vals.(k - 1) else !res
+  end
+
+(* --- Index telemetry and incremental growth. --- *)
+
+let set_index_state_metrics st m =
+  st.ix_metrics <- Some m;
+  Prom_obs.Gauge.set m.ix_clusters (float_of_int (Knn_index.clusters st.knn))
+
+let set_index_metrics_cls t m =
+  match t.cls_index with None -> () | Some st -> set_index_state_metrics st m
+
+let set_index_metrics_reg t m =
+  match t.reg_index with None -> () | Some st -> set_index_state_metrics st m
+
+let index_of_cls t = Option.map (fun st -> st.knn) t.cls_index
+let index_of_reg t = Option.map (fun st -> st.knn) t.reg_index
+
+(* Carry the index across an entry append: batched insert with the
+   structure's own rebuild-on-imbalance policy, or a fresh build when
+   the append crosses the indexing threshold. Telemetry survives the
+   transition. *)
+let grow_index ~config index fm ~from_row =
+  match index with
+  | Some st ->
+      let knn, rebuilt = Knn_index.insert_batch st.knn fm ~from_row in
+      (match st.ix_metrics with
+      | Some m ->
+          if rebuilt then Prom_obs.Counter.inc m.ix_rebuilds;
+          Prom_obs.Gauge.set m.ix_clusters (float_of_int (Knn_index.clusters knn))
+      | None -> ());
+      Some
+        {
+          knn;
+          ix_query_k = query_k ~config (Featmat.length fm);
+          ix_metrics = st.ix_metrics;
+        }
+  | None -> maybe_index ~config fm
+
+(* Append the new rows' leave-one-out scores to the sorted reference
+   distribution. The existing entries' scores are kept as computed at
+   preparation time — recomputing them would cost the full O(n²·d)
+   pass the append exists to avoid — so the conformal reference lags
+   the grown set slightly until the next full retrain. *)
+let grow_loo fm loo ~from_row =
+  let n = Featmat.length fm in
+  let added =
+    Array.init (n - from_row) (fun i ->
+        Featmat.knn_mean_dist_rows fm ~row:(from_row + i) ~k:knn_distance_k)
+  in
+  let merged = Array.append loo added in
+  Array.sort Float.compare merged;
+  merged
+
+let append_cls t new_entries =
+  if Array.length new_entries = 0 then t
+  else begin
+    let from_row = Featmat.length t.feat_matrix in
+    let feat_matrix =
+      Featmat.append t.feat_matrix (Array.map (fun e -> e.features) new_entries)
+    in
+    {
+      t with
+      entries = Array.append t.entries new_entries;
+      feat_matrix;
+      loo_distances = grow_loo feat_matrix t.loo_distances ~from_row;
+      cls_index = grow_index ~config:t.config t.cls_index feat_matrix ~from_row;
+    }
+  end
+
+let append_reg t samples =
+  if Array.length samples = 0 then t
+  else begin
+    let from_row = Featmat.length t.rfeat_matrix in
+    (* Each admitted sample is labelled against the PRE-append store —
+       nearest-neighbour cluster and LOO-kNN proxy exactly as a test
+       query would have been scored — so the batch's entries do not
+       depend on the order the samples arrive in. *)
+    let new_entries =
+      Array.map
+        (fun (f, y, pred) ->
+          let cluster = t.rentries.(Featmat.argmin_sq t.rfeat_matrix f).cluster in
+          let rproxy, rspread = knn_truth t f ~k:t.rconfig.Config.knn_k in
+          { rfeatures = f; target = y; rpred = pred; cluster; rproxy; rspread })
+        samples
+    in
+    let rfeat_matrix =
+      Featmat.append t.rfeat_matrix (Array.map (fun (f, _, _) -> f) samples)
+    in
+    {
+      t with
+      rentries = Array.append t.rentries new_entries;
+      rfeat_matrix;
+      rloo_distances = grow_loo rfeat_matrix t.rloo_distances ~from_row;
+      reg_index = grow_index ~config:t.rconfig t.reg_index rfeat_matrix ~from_row;
+    }
   end

@@ -7,6 +7,24 @@
 open Prom_linalg
 open Prom_ml
 
+(** Telemetry hooks for the pruned kNN index (see {!set_index_metrics_cls}):
+    cluster-count gauge, candidate/pruned row counters and the rebuild
+    counter, registered by the caller (normally {!Telemetry.index_metrics})
+    and updated by the query path. *)
+type index_metrics = {
+  ix_clusters : Prom_obs.Gauge.t;
+  ix_scanned : Prom_obs.Counter.t;
+  ix_pruned : Prom_obs.Counter.t;
+  ix_rebuilds : Prom_obs.Counter.t;
+}
+
+(** The state of a store's cluster-pruned exact kNN index
+    ({!Prom_linalg.Knn_index}): present when the calibration set crossed
+    the indexing threshold ([PROM_INDEX_MIN_N], default 4096, with the
+    per-query neighbour demand at most a quarter of the rows). Opaque;
+    reach the underlying index through {!index_of_cls}/{!index_of_reg}. *)
+type index_state
+
 (** One preprocessed calibration sample for classification. *)
 type cls_entry = {
   features : Vec.t;
@@ -35,6 +53,10 @@ type cls = private {
       (** the entries' feature vectors packed row-major once at
           preparation time, so per-query distance scans never rebuild
           the feature array *)
+  mutable cls_index : index_state option;
+      (** pruned exact kNN index over [feat_matrix] when the store is
+          large enough to index; queries answered through it are
+          bit-identical to the dense scan *)
 }
 
 (** [standardize_cls t v] maps a raw test feature vector into the
@@ -54,19 +76,24 @@ val prepare_classification :
   int Dataset.t ->
   cls
 
-(** [restore_cls ~entries ~config ~scaler ~tau ~loo_distances] rebuilds
-    a prepared calibration store from serialized state, skipping the
-    O(n²·d) preparation scans: the packed feature matrix is repacked
+(** [restore_cls ?index ~entries ~config ~scaler ~tau ~loo_distances ()]
+    rebuilds a prepared calibration store from serialized state, skipping
+    the O(n²·d) preparation scans: the packed feature matrix is repacked
     from [entries] (O(n·d)) and everything else is taken as given, so
     verdicts after restore are bit-identical to the snapshotted store.
-    Raises [Invalid_argument] on an empty entry set, an invalid
-    [config], or a non-positive [tau]. *)
+    When [index] carries the snapshotted kNN index it is adopted without
+    any clustering pass (its row count and dimension must match the
+    entries); otherwise the indexing policy decides afresh. Raises
+    [Invalid_argument] on an empty entry set, an invalid [config], a
+    non-positive [tau], or an [index] that does not fit the entries. *)
 val restore_cls :
+  ?index:Knn_index.t ->
   entries:cls_entry array ->
   config:Config.t ->
   scaler:Dataset.Scaler.t ->
   tau:float ->
   loo_distances:float array ->
+  unit ->
   cls
 
 (** One preprocessed calibration sample for regression. *)
@@ -97,6 +124,7 @@ type reg = private {
   rtau : float;  (** see {!cls.tau} *)
   rloo_distances : float array;  (** see {!cls.loo_distances} *)
   rfeat_matrix : Featmat.t;  (** see {!cls.feat_matrix} *)
+  mutable reg_index : index_state option;  (** see {!cls.cls_index} *)
 }
 
 (** [standardize_reg t v] maps a raw test feature vector into the
@@ -117,10 +145,11 @@ val prepare_regression :
   float Dataset.t ->
   reg
 
-(** [restore_reg ~rentries ~rconfig ~clusters ~n_clusters ~rscaler
-    ~rtau ~rloo_distances] is the regression analogue of
+(** [restore_reg ?index ~rentries ~rconfig ~clusters ~n_clusters ~rscaler
+    ~rtau ~rloo_distances ()] is the regression analogue of
     {!restore_cls}. *)
 val restore_reg :
+  ?index:Knn_index.t ->
   rentries:reg_entry array ->
   rconfig:Config.t ->
   clusters:Kmeans.t ->
@@ -128,6 +157,7 @@ val restore_reg :
   rscaler:Dataset.Scaler.t ->
   rtau:float ->
   rloo_distances:float array ->
+  unit ->
   reg
 
 (** A calibration sample selected for a particular test input, carrying
@@ -267,3 +297,45 @@ val assign_cluster_dists : reg -> dists -> int
     Sorts in a secondary per-domain workspace, so [selection]'s buffers
     stay live. *)
 val weighted_residual_quantile : reg -> selection -> epsilon:float -> float
+
+(** {2 Index telemetry and incremental growth} *)
+
+(** Name of the environment variable overriding the minimum store size
+    at which preparation builds the pruned kNN index:
+    ["PROM_INDEX_MIN_N"] (default 4096). Read at preparation and append
+    time, so tests and benchmarks can force or forbid indexing without
+    rebuilding earlier stores. Indexing never changes verdicts — only
+    how many rows each query's distance scan touches. *)
+val index_threshold_env : string
+
+(** [set_index_metrics_cls t m] attaches telemetry to the store's index
+    (no-op when the store is unindexed): sets the cluster gauge and
+    makes every subsequent index-backed query add its scanned/pruned row
+    counts to the counters. Typically fed by {!Telemetry.index_metrics}. *)
+val set_index_metrics_cls : cls -> index_metrics -> unit
+
+val set_index_metrics_reg : reg -> index_metrics -> unit
+
+(** The store's pruned kNN index, when the indexing policy built (or a
+    snapshot carried) one. *)
+val index_of_cls : cls -> Knn_index.t option
+
+val index_of_reg : reg -> Knn_index.t option
+
+(** [append_cls t new_entries] grows the store in place of a full
+    retrain: entries (already standardized with [t]'s scaler) are packed
+    after the existing rows, the new rows' leave-one-out kNN scores are
+    merged into the conformal reference distribution (existing scores
+    are kept as prepared — recomputing them would cost the O(n²·d) pass
+    the append avoids), [tau] is kept, and the kNN index absorbs the
+    rows by batched insert — rebuilding itself when the growth or
+    imbalance policy demands, or being built fresh when the grown store
+    first crosses the indexing threshold. *)
+val append_cls : cls -> cls_entry array -> cls
+
+(** [append_reg t samples] — the regression analogue. Each sample is
+    [(features, target, prediction)] with [features] already
+    standardized; its cluster label and LOO-kNN proxy/spread are scored
+    against the pre-append store, exactly as a test query would have
+    been, so the batch is independent of arrival order. *)
+val append_reg : reg -> (Vec.t * float * float) array -> reg

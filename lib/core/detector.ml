@@ -79,6 +79,9 @@ module Classification = struct
                (fun fn -> Telemetry.expert_flag_counter tel fn.Nonconformity.cls_name)
                committee)
     in
+    (match telemetry with
+    | Some tel -> Calibration.set_index_metrics_cls calibration (Telemetry.index_metrics tel)
+    | None -> ());
     { cfg = config; committee; committee_scores; entry_labels; model; feature_of;
       calibration; tel = telemetry; expert_flags }
 
@@ -106,6 +109,9 @@ module Classification = struct
                (fun fn -> Telemetry.expert_flag_counter tel fn.Nonconformity.cls_name)
                committee)
     in
+    (match telemetry with
+    | Some tel -> Calibration.set_index_metrics_cls calibration (Telemetry.index_metrics tel)
+    | None -> ());
     { cfg = config; committee; committee_scores; entry_labels; model; feature_of;
       calibration; tel = telemetry; expert_flags }
 
@@ -118,6 +124,41 @@ module Classification = struct
     { t with cfg = config }
 
   let standardize t x = Calibration.standardize_cls t.calibration (t.feature_of x)
+
+  (* Admit freshly labelled samples into the calibration store without
+     a full retrain: entries are scored exactly as [create] scores them
+     (standardized features, model probabilities), appended through
+     [Calibration.append_cls] (which grows the pruned index
+     incrementally), and the cheap derived tables are recomputed. The
+     index metrics are re-attached because the append may have built a
+     fresh index across the size threshold. *)
+  let admit t labeled =
+    if Array.length labeled = 0 then t
+    else begin
+      let n_classes = t.model.Model.n_classes in
+      let new_entries =
+        Array.map
+          (fun (x, label) ->
+            if label < 0 || label >= n_classes then
+              invalid_arg "Detector.Classification.admit: label out of range";
+            {
+              Calibration.features = standardize t x;
+              label;
+              proba = t.model.Model.predict_proba x;
+            })
+          labeled
+      in
+      let calibration = Calibration.append_cls t.calibration new_entries in
+      (match t.tel with
+      | Some tel ->
+          Calibration.set_index_metrics_cls calibration (Telemetry.index_metrics tel)
+      | None -> ());
+      let committee_scores = entry_scores_of t.committee calibration in
+      let entry_labels =
+        Array.map (fun e -> e.Calibration.label) calibration.Calibration.entries
+      in
+      { t with calibration; committee_scores; entry_labels }
+    end
 
   (* Evaluate one query from its shared distance view: the Eq. 1
      selection and the conformal distance test both read the one buffer
@@ -189,25 +230,36 @@ module Classification = struct
   (* One pool task: distances for the whole tile come from a single
      cache-blocked kernel call, then each query is evaluated from its
      view. Block cells equal the per-query scan's cells bit for bit, so
-     the tile's verdicts match sequential evaluation exactly. *)
-  let evaluate_tile t xs =
-    let feats = Array.map (standardize t) xs in
+     the tile's verdicts match sequential evaluation exactly. The tile
+     reads its slice of [xs] in place — no per-task [Array.sub]. *)
+  let evaluate_tile t xs lo len =
+    let feats = Array.init len (fun i -> standardize t xs.(lo + i)) in
     let views = Calibration.query_distances_block_cls t.calibration feats in
-    Array.mapi (fun i x -> instrumented t (fun x -> evaluate_with_dists t x views.(i)) x) xs
+    Array.init len (fun i ->
+        instrumented t (fun x -> evaluate_with_dists t x views.(i)) xs.(lo + i))
 
   (* Queries are independent, so a batch fans across the pool in
      deterministic tiles; with the default 1-domain pool this is a
      plain sequential map, and the per-element results are identical
-     either way (no RNG or shared mutable state on the query path). *)
+     either way (no RNG or shared mutable state on the query path).
+     Tiles blit into one preallocated result instead of the former
+     [Array.concat (Array.to_list ...)] flatten. *)
   let evaluate_batch ?pool t xs =
     let n = Array.length xs in
-    let ntiles = (n + batch_tile - 1) / batch_tile in
-    let tiles =
-      Pool.init ?pool ~min_chunk:1 ntiles (fun ti ->
-          let lo = ti * batch_tile in
-          evaluate_tile t (Array.sub xs lo (Stdlib.min batch_tile (n - lo))))
-    in
-    Array.concat (Array.to_list tiles)
+    if n = 0 then [||]
+    else begin
+      let ntiles = (n + batch_tile - 1) / batch_tile in
+      let tiles =
+        Pool.init ?pool ~min_chunk:1 ntiles (fun ti ->
+            let lo = ti * batch_tile in
+            evaluate_tile t xs lo (Stdlib.min batch_tile (n - lo)))
+      in
+      let out = Array.make n tiles.(0).(0) in
+      Array.iteri
+        (fun ti tile -> Array.blit tile 0 out (ti * batch_tile) (Array.length tile))
+        tiles;
+      out
+    end
 
   let predict_batch ?pool t xs =
     Array.map (fun v -> (v.predicted, v.drifted)) (evaluate_batch ?pool t xs)
@@ -296,6 +348,9 @@ module Regression = struct
                (fun fn -> Telemetry.expert_flag_counter tel fn.Nonconformity.reg_name)
                committee)
     in
+    (match telemetry with
+    | Some tel -> Calibration.set_index_metrics_reg calibration (Telemetry.index_metrics tel)
+    | None -> ());
     { cfg = config; committee; committee_scores; entry_clusters; model; feature_of;
       calibration; tel = telemetry; expert_flags }
 
@@ -319,6 +374,9 @@ module Regression = struct
                (fun fn -> Telemetry.expert_flag_counter tel fn.Nonconformity.reg_name)
                committee)
     in
+    (match telemetry with
+    | Some tel -> Calibration.set_index_metrics_reg calibration (Telemetry.index_metrics tel)
+    | None -> ());
     { cfg = config; committee; committee_scores; entry_clusters; model; feature_of;
       calibration; tel = telemetry; expert_flags }
 
@@ -333,6 +391,28 @@ module Regression = struct
     { t with cfg = config }
 
   let standardize t x = Calibration.standardize_reg t.calibration (t.feature_of x)
+
+  (* See {!Classification.admit}: samples are labelled against the
+     pre-append store inside [Calibration.append_reg] (nearest-cluster
+     and kNN ground-truth proxy exactly as a test query would be), so
+     the batch's entries are order-independent. *)
+  let admit t samples =
+    if Array.length samples = 0 then t
+    else begin
+      let prepared =
+        Array.map (fun (x, y) -> (standardize t x, y, t.model.Model.predict x)) samples
+      in
+      let calibration = Calibration.append_reg t.calibration prepared in
+      (match t.tel with
+      | Some tel ->
+          Calibration.set_index_metrics_reg calibration (Telemetry.index_metrics tel)
+      | None -> ());
+      let committee_scores = entry_scores_of t.committee calibration in
+      let entry_clusters =
+        Array.map (fun e -> e.Calibration.cluster) calibration.Calibration.rentries
+      in
+      { t with calibration; committee_scores; entry_clusters }
+    end
 
   (* Evaluate one query from its shared distance view. The former
      [evaluate_core] scanned the calibration matrix four times per
@@ -405,21 +485,29 @@ module Regression = struct
     (v.predicted_value, v.reg_drifted)
 
   (* See {!Classification.evaluate_tile}. *)
-  let evaluate_tile t xs =
-    let feats = Array.map (standardize t) xs in
+  let evaluate_tile t xs lo len =
+    let feats = Array.init len (fun i -> standardize t xs.(lo + i)) in
     let views = Calibration.query_distances_block_reg t.calibration feats in
-    Array.mapi (fun i x -> instrumented t (fun x -> evaluate_with_dists t x views.(i)) x) xs
+    Array.init len (fun i ->
+        instrumented t (fun x -> evaluate_with_dists t x views.(i)) xs.(lo + i))
 
   (* See {!Classification.evaluate_batch}. *)
   let evaluate_batch ?pool t xs =
     let n = Array.length xs in
-    let ntiles = (n + batch_tile - 1) / batch_tile in
-    let tiles =
-      Pool.init ?pool ~min_chunk:1 ntiles (fun ti ->
-          let lo = ti * batch_tile in
-          evaluate_tile t (Array.sub xs lo (Stdlib.min batch_tile (n - lo))))
-    in
-    Array.concat (Array.to_list tiles)
+    if n = 0 then [||]
+    else begin
+      let ntiles = (n + batch_tile - 1) / batch_tile in
+      let tiles =
+        Pool.init ?pool ~min_chunk:1 ntiles (fun ti ->
+            let lo = ti * batch_tile in
+            evaluate_tile t xs lo (Stdlib.min batch_tile (n - lo)))
+      in
+      let out = Array.make n tiles.(0).(0) in
+      Array.iteri
+        (fun ti tile -> Array.blit tile 0 out (ti * batch_tile) (Array.length tile))
+        tiles;
+      out
+    end
 
   let predict_batch ?pool t xs =
     Array.map (fun v -> (v.predicted_value, v.reg_drifted)) (evaluate_batch ?pool t xs)

@@ -66,6 +66,18 @@ module Classification : sig
       re-running the (expensive) calibration preprocessing. *)
   val with_config : t -> Config.t -> t
 
+  (** [admit t labeled] grows the calibration store with freshly
+      labelled samples [(x, label)] without a full retrain: each sample
+      is scored exactly as {!create} scores a calibration entry, the
+      pruned kNN index is maintained incrementally (batched insert,
+      rebuild on imbalance), and the appended rows' leave-one-out
+      scores are merged into the conformal reference. The existing
+      entries' reference scores are kept as prepared, so the
+      distribution lags the grown set slightly until the next full
+      retrain. Returns the grown detector; [t] stays valid and
+      unchanged. Raises [Invalid_argument] on an out-of-range label. *)
+  val admit : t -> (Vec.t * int) array -> t
+
   (** [evaluate t x] runs the underlying model and the committee. *)
   val evaluate : t -> Vec.t -> cls_verdict
 
@@ -145,6 +157,14 @@ module Regression : sig
   val calibration : t -> Calibration.reg
 
   val with_config : t -> Config.t -> t
+
+  (** [admit t samples] grows the calibration store with labelled
+      [(x, target)] pairs; see {!Classification.admit}. Each sample is
+      clustered and proxy-scored against the {e pre-append} store —
+      exactly as a test query would be — so the batch is
+      order-independent. *)
+  val admit : t -> (Vec.t * float) array -> t
+
   val evaluate : t -> Vec.t -> reg_verdict
   val predict : t -> Vec.t -> float * bool
 

@@ -39,7 +39,11 @@ let record_round ~telemetry ~flagged ~chosen =
         (float_of_int (List.length chosen));
       if chosen <> [] then Prom_obs.Counter.inc tel.Telemetry.retrain_total
 
-let classification ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~train_data
+(* One feedback round: flag, pick the budget, relabel, retrain. Also
+   surfaces the relabeled pairs so the [_admitting] variants can fold
+   them into the serving detector's calibration store. The oracle runs
+   only over the chosen samples (none when nothing is flagged). *)
+let classification_round ~budget_fraction ~telemetry ~detector ~trainer ~train_data
     ~oracle inputs =
   let flagged = ref [] in
   Array.iteri
@@ -59,12 +63,12 @@ let classification ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~trai
   let flagged = List.rev !flagged in
   let budget, chosen = pick_budget ~budget_fraction flagged in
   record_round ~telemetry ~flagged ~chosen;
+  let new_x = Array.of_list (List.map (fun i -> inputs.(i)) chosen) in
+  let new_y = Array.map oracle new_x in
   let updated_model =
     match chosen with
     | [] -> Detector.Classification.model detector
     | _ ->
-        let new_x = Array.of_list (List.map (fun i -> inputs.(i)) chosen) in
-        let new_y = Array.map oracle new_x in
         let augmented =
           Dataset.append train_data
             (oversample ~train_size:(Dataset.length train_data)
@@ -73,15 +77,37 @@ let classification ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~trai
         trainer.Model.train ?init:(Some (Detector.Classification.model detector))
           augmented
   in
-  {
-    updated_model;
-    flagged_indices = List.map fst flagged;
-    relabeled_indices = chosen;
-    budget;
-  }
+  ( {
+      updated_model;
+      flagged_indices = List.map fst flagged;
+      relabeled_indices = chosen;
+      budget;
+    },
+    new_x,
+    new_y )
 
-let regression ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~train_data
+let classification ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~train_data
     ~oracle inputs =
+  let outcome, _, _ =
+    classification_round ~budget_fraction ~telemetry ~detector ~trainer ~train_data
+      ~oracle inputs
+  in
+  outcome
+
+let classification_admitting ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer
+    ~train_data ~oracle inputs =
+  let outcome, new_x, new_y =
+    classification_round ~budget_fraction ~telemetry ~detector ~trainer ~train_data
+      ~oracle inputs
+  in
+  let detector =
+    Detector.Classification.admit detector
+      (Array.map2 (fun x y -> (x, y)) new_x new_y)
+  in
+  (outcome, detector)
+
+let regression_round ~budget_fraction ~telemetry ~detector ~trainer ~train_data ~oracle
+    inputs =
   let flagged = ref [] in
   Array.iteri
     (fun i x ->
@@ -98,12 +124,12 @@ let regression ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~train_da
   let flagged = List.rev !flagged in
   let budget, chosen = pick_budget ~budget_fraction flagged in
   record_round ~telemetry ~flagged ~chosen;
+  let new_x = Array.of_list (List.map (fun i -> inputs.(i)) chosen) in
+  let new_y = Array.map oracle new_x in
   let updated_model =
     match chosen with
     | [] -> Detector.Regression.model detector
     | _ ->
-        let new_x = Array.of_list (List.map (fun i -> inputs.(i)) chosen) in
-        let new_y = Array.map oracle new_x in
         let augmented =
           Dataset.append train_data
             (oversample ~train_size:(Dataset.length train_data)
@@ -112,9 +138,30 @@ let regression ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~train_da
         trainer.Model.train_reg ?init:(Some (Detector.Regression.model detector))
           augmented
   in
-  {
-    updated_model;
-    flagged_indices = List.map fst flagged;
-    relabeled_indices = chosen;
-    budget;
-  }
+  ( {
+      updated_model;
+      flagged_indices = List.map fst flagged;
+      relabeled_indices = chosen;
+      budget;
+    },
+    new_x,
+    new_y )
+
+let regression ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer ~train_data
+    ~oracle inputs =
+  let outcome, _, _ =
+    regression_round ~budget_fraction ~telemetry ~detector ~trainer ~train_data ~oracle
+      inputs
+  in
+  outcome
+
+let regression_admitting ?(budget_fraction = 0.05) ?telemetry ~detector ~trainer
+    ~train_data ~oracle inputs =
+  let outcome, new_x, new_y =
+    regression_round ~budget_fraction ~telemetry ~detector ~trainer ~train_data ~oracle
+      inputs
+  in
+  let detector =
+    Detector.Regression.admit detector (Array.map2 (fun x y -> (x, y)) new_x new_y)
+  in
+  (outcome, detector)

@@ -32,6 +32,23 @@ val classification :
   Vec.t array ->
   Model.classifier outcome
 
+(** [classification_admitting] runs the same round as
+    {!classification} and additionally folds every relabeled sample
+    into the serving detector's calibration store through
+    {!Detector.Classification.admit} — the pruned kNN index grows
+    incrementally, so the detector keeps serving (with the current
+    model) while the retrained [updated_model] is prepared for the
+    next swap. Returns the round's outcome and the grown detector. *)
+val classification_admitting :
+  ?budget_fraction:float ->
+  ?telemetry:Telemetry.t ->
+  detector:Detector.Classification.t ->
+  trainer:Model.classifier_trainer ->
+  train_data:int Dataset.t ->
+  oracle:(Vec.t -> int) ->
+  Vec.t array ->
+  Model.classifier outcome * Detector.Classification.t
+
 (** [regression] is the same loop for cost models; [oracle] profiles a
     flagged input and returns its true value. *)
 val regression :
@@ -43,3 +60,15 @@ val regression :
   oracle:(Vec.t -> float) ->
   Vec.t array ->
   Model.regressor outcome
+
+(** [regression_admitting] — the regression analogue of
+    {!classification_admitting}. *)
+val regression_admitting :
+  ?budget_fraction:float ->
+  ?telemetry:Telemetry.t ->
+  detector:Detector.Regression.t ->
+  trainer:Model.regressor_trainer ->
+  train_data:float Dataset.t ->
+  oracle:(Vec.t -> float) ->
+  Vec.t array ->
+  Model.regressor outcome * Detector.Regression.t

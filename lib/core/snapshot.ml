@@ -2,7 +2,13 @@ open Prom_ml
 module Buf = Prom_store.Buf
 module Store = Prom_store.Store
 
-let codec_version = 1
+(* v1: calibration stores without the kNN index payload. v2 appends an
+   optional serialized index to each calibration store, so a hot-swap
+   restore adopts the snapshotted index instead of pausing to rebuild
+   it. v1 payloads still decode (the index is simply rebuilt by
+   policy). *)
+let codec_version = 2
+let min_codec_version = 1
 let kind_cls = "detector-cls"
 let kind_reg = "detector-reg"
 
@@ -268,6 +274,37 @@ let r_monitor r : Monitor.persisted =
     p_status;
   }
 
+(* --- Pruned kNN index (codec v2+). ---
+
+   The exact structure travels through [Knn_index.export]/[import]:
+   centroids and radii as IEEE bit patterns, membership as the grouped
+   permutation. [import] revalidates everything structural; the restore
+   constructors check the fit against the entries. *)
+
+let w_knn_index b idx =
+  let e = Prom_linalg.Knn_index.export idx in
+  Buf.w_int b e.Prom_linalg.Knn_index.ex_dim;
+  Buf.w_int b e.Prom_linalg.Knn_index.ex_n;
+  Buf.w_int b e.Prom_linalg.Knn_index.ex_built_n;
+  Buf.w_floats b e.Prom_linalg.Knn_index.ex_centroids;
+  Buf.w_floats b e.Prom_linalg.Knn_index.ex_radii;
+  Buf.w_ints b e.Prom_linalg.Knn_index.ex_members;
+  Buf.w_ints b e.Prom_linalg.Knn_index.ex_offsets
+
+let r_knn_index r =
+  let ex_dim = Buf.r_int r in
+  let ex_n = Buf.r_int r in
+  let ex_built_n = Buf.r_int r in
+  let ex_centroids = Buf.r_floats r in
+  let ex_radii = Buf.r_floats r in
+  let ex_members = Buf.r_ints r in
+  let ex_offsets = Buf.r_ints r in
+  (* [import] raises [Invalid_argument] on structural corruption, which
+     [decode] maps to [Corrupt] like every other invalid-state path. *)
+  Prom_linalg.Knn_index.import
+    { Prom_linalg.Knn_index.ex_dim; ex_n; ex_built_n; ex_centroids; ex_radii;
+      ex_members; ex_offsets }
+
 (* --- Calibration stores. --- *)
 
 let w_cls_entry b (e : Calibration.cls_entry) =
@@ -287,14 +324,16 @@ let w_cls_calibration b (c : Calibration.cls) =
   Buf.w_array w_cls_entry b c.entries;
   w_scaler b c.scaler;
   Buf.w_float b c.tau;
-  Buf.w_floats b c.loo_distances
+  Buf.w_floats b c.loo_distances;
+  Buf.w_option w_knn_index b (Calibration.index_of_cls c)
 
-let r_cls_calibration ~config r =
+let r_cls_calibration ~version ~config r =
   let entries = Buf.r_array r_cls_entry r in
   let scaler = r_scaler r in
   let tau = Buf.r_float r in
   let loo_distances = Buf.r_floats r in
-  Calibration.restore_cls ~entries ~config ~scaler ~tau ~loo_distances
+  let index = if version >= 2 then Buf.r_option r_knn_index r else None in
+  Calibration.restore_cls ?index ~entries ~config ~scaler ~tau ~loo_distances ()
 
 let w_reg_entry b (e : Calibration.reg_entry) =
   Buf.w_floats b e.rfeatures;
@@ -320,21 +359,23 @@ let w_reg_calibration b (c : Calibration.reg) =
   Buf.w_int b c.n_clusters;
   w_scaler b c.rscaler;
   Buf.w_float b c.rtau;
-  Buf.w_floats b c.rloo_distances
+  Buf.w_floats b c.rloo_distances;
+  Buf.w_option w_knn_index b (Calibration.index_of_reg c)
 
-let r_reg_calibration ~config r =
+let r_reg_calibration ~version ~config r =
   let rentries = Buf.r_array r_reg_entry r in
   let clusters = r_kmeans r in
   let n_clusters = Buf.r_int r in
   let rscaler = r_scaler r in
   let rtau = Buf.r_float r in
   let rloo_distances = Buf.r_floats r in
+  let index = if version >= 2 then Buf.r_option r_knn_index r else None in
   Array.iter
     (fun (e : Calibration.reg_entry) ->
       if e.cluster >= n_clusters then Buf.corrupt "Snapshot: cluster label out of range")
     rentries;
-  Calibration.restore_reg ~rentries ~rconfig:config ~clusters ~n_clusters ~rscaler ~rtau
-    ~rloo_distances
+  Calibration.restore_reg ?index ~rentries ~rconfig:config ~clusters ~n_clusters ~rscaler
+    ~rtau ~rloo_distances ()
 
 (* --- Top-level payload. --- *)
 
@@ -361,7 +402,9 @@ let encode snapshot =
    from a decode's point of view that is just another corruption mode of
    the payload, so it maps to [Corrupt] (and thus to the generation
    fallback in [load_latest]). *)
-let decode payload =
+let decode ?(version = codec_version) payload =
+  if version < min_codec_version || version > codec_version then
+    Buf.corrupt "Snapshot: unsupported codec version %d" version;
   let r = Buf.reader payload in
   try
     let t =
@@ -370,14 +413,14 @@ let decode payload =
           let cls_config = r_config r in
           let cls_committee = r_cls_committee r in
           let cls_model = r_cls_model r in
-          let cls_calibration = r_cls_calibration ~config:cls_config r in
+          let cls_calibration = r_cls_calibration ~version ~config:cls_config r in
           let cls_monitor = Buf.r_option r_monitor r in
           Cls { cls_config; cls_committee; cls_model; cls_calibration; cls_monitor }
       | 1 ->
           let reg_config = r_config r in
           let reg_committee = r_reg_committee r in
           let reg_model = r_reg_model r in
-          let reg_calibration = r_reg_calibration ~config:reg_config r in
+          let reg_calibration = r_reg_calibration ~version ~config:reg_config r in
           let reg_monitor = Buf.r_option r_monitor r in
           Reg { reg_config; reg_committee; reg_model; reg_calibration; reg_monitor }
       | t -> Buf.corrupt "Snapshot: invalid payload tag %d" t
@@ -440,8 +483,9 @@ let save ?telemetry ~dir snapshot =
   info
 
 let check_codec (info : Store.info) =
-  if info.Store.codec_version <> codec_version then
-    Buf.corrupt "Snapshot: unsupported codec version %d" info.Store.codec_version
+  let v = info.Store.codec_version in
+  if v < min_codec_version || v > codec_version then
+    Buf.corrupt "Snapshot: unsupported codec version %d" v
 
 (* Generations whose payload decodes but whose domain state is invalid
    fall back exactly like checksum failures: walk newest-first, skip
@@ -455,7 +499,7 @@ let load_latest ?telemetry ?kind ~dir () =
         | Some (info, payload) -> (
             match
               check_codec info;
-              decode payload
+              decode ~version:info.Store.codec_version payload
             with
             | snapshot ->
                 (match telemetry with
@@ -474,4 +518,4 @@ let load path =
   check_codec info;
   if info.Store.kind <> kind_cls && info.Store.kind <> kind_reg then
     Buf.corrupt "Snapshot: unknown kind %S" info.Store.kind;
-  (decode payload, info)
+  (decode ~version:info.Store.codec_version payload, info)

@@ -20,8 +20,15 @@ open Prom_linalg
 open Prom_ml
 
 (** Payload codec version written into every container header; bumped
-    whenever the layout below changes. *)
+    whenever the layout below changes. v2 appended an optional pruned
+    kNN index to each calibration store so index-accelerated detectors
+    restore without a rebuild pause. *)
 val codec_version : int
+
+(** Oldest codec version this build still decodes. v1 payloads (no
+    index section) restore fine — the index is simply rebuilt by the
+    usual size policy. *)
+val min_codec_version : int
 
 val kind_cls : string
 (** Container kind tag for classification snapshots. *)
@@ -83,10 +90,13 @@ val to_reg_detector :
     the snapshot holds an unserializable model or committee. *)
 val encode : t -> string
 
-(** [decode payload] parses a payload produced by {!encode}. Raises
-    [Prom_store.Buf.Corrupt] on any malformed, truncated or
-    domain-invalid input (never [Invalid_argument]). *)
-val decode : string -> t
+(** [decode ?version payload] parses a payload produced by {!encode}
+    under codec [version] (default the current {!codec_version}; pass
+    the container header's version when reading stored generations).
+    Raises [Prom_store.Buf.Corrupt] on any malformed, truncated or
+    domain-invalid input (never [Invalid_argument]), and on a [version]
+    outside [[min_codec_version]; [codec_version]]. *)
+val decode : ?version:int -> string -> t
 
 (** [kind_of t] is {!kind_cls} or {!kind_reg}. *)
 val kind_of : t -> string

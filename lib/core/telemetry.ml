@@ -127,6 +127,28 @@ module Http = struct
   let request_seconds t = t.http_request_seconds
 end
 
+(* Pruned-kNN index series. Registration is get-or-create on the
+   bundle's registry, so calling this for both the classification and
+   regression stores of one deployment shares the same series — the
+   counters aggregate across stores by design. *)
+let index_metrics t : Calibration.index_metrics =
+  {
+    Calibration.ix_clusters =
+      Obs.gauge t.registry ~help:"Clusters in the pruned kNN calibration index"
+        "prom_index_clusters";
+    ix_scanned =
+      Obs.counter t.registry
+        ~help:"Candidate rows exactly reranked by pruned kNN index queries"
+        "prom_index_candidates_scanned_total";
+    ix_pruned =
+      Obs.counter t.registry
+        ~help:"Calibration rows skipped via cluster lower bounds in index queries"
+        "prom_index_pruned_total";
+    ix_rebuilds =
+      Obs.counter t.registry ~help:"Pruned kNN index rebuilds after incremental growth"
+        "prom_index_rebuilds_total";
+  }
+
 let expert_flag_counter t name =
   Obs.counter t.registry
     ~labels:[ ("expert", name) ]

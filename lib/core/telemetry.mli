@@ -47,6 +47,14 @@ val create : Prom_obs.registry -> t
 (** The registry this bundle was created on. *)
 val registry : t -> Prom_obs.registry
 
+(** [index_metrics t] registers (get-or-create) the pruned-kNN index
+    series — [prom_index_clusters] gauge plus
+    [prom_index_candidates_scanned_total], [prom_index_pruned_total]
+    and [prom_index_rebuilds_total] counters — and returns them bundled
+    for {!Calibration.set_index_metrics_cls}/[_reg]. Classification and
+    regression stores on one registry share the series. *)
+val index_metrics : t -> Calibration.index_metrics
+
 (** [expert_flag_counter t name] is the per-expert drift-flag counter
     [prom_expert_flags_total{expert=name}]. Resolved once per committee
     at detector-build time so the query path only increments. *)

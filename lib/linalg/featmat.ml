@@ -25,6 +25,39 @@ let row t i =
   if i < 0 || i >= t.n then invalid_arg "Featmat.row: index out of bounds";
   Array.sub t.data (i * t.dim) t.dim
 
+(* Pack the listed rows, in order, into a fresh matrix: row [j] of the
+   result holds the same floats as row [ids.(j)] of [t], so distances
+   against it are bit-identical — only the storage position changes.
+   Used to re-order rows for locality (e.g. cluster-contiguous copies
+   for pruned scans). *)
+let gather t ids =
+  let n = Array.length ids in
+  let data = Array.make (n * t.dim) 0.0 in
+  Array.iteri
+    (fun j i ->
+      if i < 0 || i >= t.n then invalid_arg "Featmat.gather: index out of bounds";
+      Array.blit t.data (i * t.dim) data (j * t.dim) t.dim)
+    ids;
+  { data; n; dim = t.dim }
+
+(* Append copies into a fresh matrix: rows already packed keep their
+   storage positions, so every existing row index — and every distance
+   computed from it — is unchanged. *)
+let append t rows =
+  let m = Array.length rows in
+  if m = 0 then t
+  else if t.n = 0 then of_rows rows
+  else begin
+    let data = Array.make ((t.n + m) * t.dim) 0.0 in
+    Array.blit t.data 0 data 0 (t.n * t.dim);
+    Array.iteri
+      (fun i r ->
+        if Array.length r <> t.dim then invalid_arg "Featmat.append: ragged rows";
+        Array.blit r 0 data ((t.n + i) * t.dim) t.dim)
+      rows;
+    { data; n = t.n + m; dim = t.dim }
+  end
+
 let check_query t v =
   if Array.length v <> t.dim then invalid_arg "Featmat: dimension mismatch"
 
@@ -147,6 +180,30 @@ let sq_dists_block t qs out =
       let base = q * t.n in
       for i = !i0 to i1 - 1 do
         Array.unsafe_set out (base + i) (sq_dist_segs t.data (i * t.dim) v 0 t.dim)
+      done
+    done;
+    i0 := i1
+  done
+
+(* Cross-matrix variant: rows [r0, r1) of [a] against every row of [b],
+   query-major. The index builder's assignment passes use it to stream
+   sample rows against the (small) centroid matrix tile by tile. *)
+let sq_dists_cross_block a ~r0 ~r1 b out =
+  if r0 < 0 || r1 > a.n || r0 > r1 then
+    invalid_arg "Featmat.sq_dists_cross_block: bad row range";
+  if a.dim <> b.dim then invalid_arg "Featmat.sq_dists_cross_block: dimension mismatch";
+  let nq = r1 - r0 in
+  if Array.length out < nq * b.n then
+    invalid_arg "Featmat.sq_dists_cross_block: output too small";
+  let tile = rows_per_tile b.dim in
+  let i0 = ref 0 in
+  while !i0 < b.n do
+    let i1 = Stdlib.min b.n (!i0 + tile) in
+    for q = 0 to nq - 1 do
+      let oq = (r0 + q) * a.dim in
+      let base = q * b.n in
+      for i = !i0 to i1 - 1 do
+        Array.unsafe_set out (base + i) (sq_dist_segs a.data oq b.data (i * b.dim) b.dim)
       done
     done;
     i0 := i1

@@ -17,6 +17,20 @@ val dim : t -> int
 (** [row t i] extracts row [i] as a fresh vector. *)
 val row : t -> int -> Vec.t
 
+(** [gather t ids] packs rows [ids.(0)], [ids.(1)], … of [t] into a
+    fresh matrix in that order (repeats allowed). Each gathered row
+    holds the same floats as its source, so distances against it are
+    bit-identical; only the storage position changes. Raises
+    [Invalid_argument] on an out-of-range id. *)
+val gather : t -> int array -> t
+
+(** [append t rows] is a new matrix with [rows] packed after the
+    existing ones. Existing rows keep their indices and storage layout,
+    so distances against them are unchanged bit for bit. Appending to an
+    empty matrix adopts the rows' dimension; raises [Invalid_argument]
+    on ragged input. *)
+val append : t -> Vec.t array -> t
+
 (** [sq_dist_row t i v] is the squared Euclidean distance from row [i]
     to [v]. Raises on dimension mismatch. *)
 val sq_dist_row : t -> int -> Vec.t -> float
@@ -57,6 +71,14 @@ val sq_dists_into : t -> Vec.t -> float array -> unit
     {!sq_dists_into} scans. [out] may be larger than
     [Array.length qs * length t]. *)
 val sq_dists_block : t -> Vec.t array -> float array -> unit
+
+(** [sq_dists_cross_block a ~r0 ~r1 b out] fills [out] query-major with
+    squared distances from rows [r0 <= r < r1] of [a] to every row of
+    [b]: [out.((r - r0) * length b + i)] is the distance between [a]'s
+    row [r] and [b]'s row [i], bit-identical to extracting the rows and
+    calling {!sq_dist_row}. Used to stream one matrix against another
+    (e.g. data rows against a centroid matrix) in cache-sized tiles. *)
+val sq_dists_cross_block : t -> r0:int -> r1:int -> t -> float array -> unit
 
 (** [sq_dists_rows_block t ~r0 ~r1 out] is the symmetric variant used by
     the O(n²·d) calibration-preparation scans: [out.((r - r0) * length t

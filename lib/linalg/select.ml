@@ -105,6 +105,15 @@ let offer h v i =
       sift_down h 0
     end
 
+(* Saturation test and current worst kept key — the pair pruning
+   callers need: a candidate set can only be skipped once the heap is
+   full AND the set's lower bound beats the root. *)
+let[@inline] heap_is_full h = h.size >= h.capacity
+
+let heap_worst h =
+  if h.size = 0 then invalid_arg "Select.heap_worst: empty heap";
+  h.vals.(0)
+
 (* Drain the heap into caller-provided scratch, ascending by
    (value, index); returns the element count. Empties the heap without
    allocating — the in-place form of [drain_sorted] for hot paths that
@@ -334,6 +343,23 @@ let select_in_place s ~n ~k =
   done;
   if k > 0 && k < n then select_range s.svals idxs 0 n k;
   sort_prefix s.svals idxs k
+
+(* Paired-array variants of the selection engine, for callers whose ids
+   are not array positions (the pruned kNN index gathers member rows
+   from surviving clusters, so its candidate ids are row numbers). The
+   comparison is the same (value, id) order, so the selected prefix is
+   exactly what a dense position-indexed scan would keep. *)
+
+let partition_pairs ~vals ~ids ~n ~k =
+  if k < 0 || k > n then invalid_arg "Select.partition_pairs: bad k";
+  if n > Array.length vals || n > Array.length ids then
+    invalid_arg "Select.partition_pairs: bad n";
+  if k > 0 && k < n then select_range vals ids 0 n k
+
+let sort_pairs_prefix ~vals ~ids ~k =
+  if k < 0 || k > Array.length vals || k > Array.length ids then
+    invalid_arg "Select.sort_pairs_prefix: bad k";
+  sort_prefix vals ids k
 
 (* Shared driver: the k smallest of [xs] sorted ascending, left in the
    prefix of the returned (vals, idxs) scratch pair. *)

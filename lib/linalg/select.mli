@@ -39,6 +39,24 @@ val select_in_place : scratch -> n:int -> k:int -> unit
 val scratch_vals : scratch -> float array
 val scratch_idxs : scratch -> int array
 
+(** {2 Paired-array selection}
+
+    The quickselect engine over caller-owned parallel (value, id)
+    arrays, for candidate sets whose ids are not positions — e.g. the
+    pruned kNN index reranking member rows gathered from surviving
+    clusters. The (value, id) order matches {!select_in_place}, so the
+    selected prefix is identical to what a dense position-indexed scan
+    keeps. *)
+
+(** [partition_pairs ~vals ~ids ~n ~k] arranges the [k] smallest
+    (value, id) pairs of the first [n] entries into positions
+    [0..k-1], in arbitrary order within the prefix. O(n). *)
+val partition_pairs : vals:float array -> ids:int array -> n:int -> k:int -> unit
+
+(** [sort_pairs_prefix ~vals ~ids ~k] sorts positions [0..k-1]
+    ascending by (value, id). O(k log k). *)
+val sort_pairs_prefix : vals:float array -> ids:int array -> k:int -> unit
+
 (** {2 Streaming heap}
 
     A reusable bounded max-heap for callers that stream keys instead of
@@ -57,6 +75,15 @@ val heap_reset : heap -> int -> unit
 
 (** [offer h v i] considers element [i] with key [v]. *)
 val offer : heap -> float -> int -> unit
+
+(** [heap_is_full h] is true once the heap holds its bound of elements —
+    from then on only offers beating {!heap_worst} are admitted. *)
+val heap_is_full : heap -> bool
+
+(** [heap_worst h] is the largest (value, index) key currently kept —
+    the admission threshold pruning callers compare lower bounds
+    against. Raises [Invalid_argument] on an empty heap. *)
+val heap_worst : heap -> float
 
 (** [drain_into h ~idxs ~vals] empties the heap into the prefixes of the
     caller's scratch arrays, ascending by (value, index), and returns the

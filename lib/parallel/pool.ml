@@ -193,20 +193,31 @@ let run_all pool tasks =
 
 let default_min_chunk = 32
 
-(* Chunks per batch: a few per domain for load balancing without
-   drowning in queue traffic. *)
-let chunk_size pool min_chunk n =
-  let target_chunks = pool.n_domains * 4 in
+(* Parallelism the hardware can actually deliver. A pool sized past it
+   (an explicit [create 2] on a single-core box, or a cgroup-restricted
+   container) would only add queue traffic and domain contention, so
+   dispatch below clamps to this: the chunks and their results are
+   identical either way — chunking is a function of the input length
+   alone — only where they execute changes. *)
+let hw_parallelism = Domain.recommended_domain_count ()
+
+let effective_parallelism pool = Stdlib.min pool.n_domains hw_parallelism
+
+(* Chunks per batch: a few per effective domain for load balancing
+   without drowning in queue traffic. *)
+let chunk_size ~parallelism min_chunk n =
+  let target_chunks = parallelism * 4 in
   Stdlib.max min_chunk ((n + target_chunks - 1) / target_chunks)
 
 let init ?pool ?(min_chunk = default_min_chunk) n f =
   if n < 0 then invalid_arg "Pool.init: negative length";
   let pool = match pool with Some p -> p | None -> default () in
+  let parallelism = effective_parallelism pool in
   if n = 0 then [||]
-  else if pool.n_domains = 1 || n <= min_chunk then
+  else if parallelism = 1 || n <= min_chunk then
     timed pool ~items:n (fun () -> Array.init n f)
   else begin
-    let chunk = chunk_size pool min_chunk n in
+    let chunk = chunk_size ~parallelism min_chunk n in
     let n_chunks = (n + chunk - 1) / chunk in
     let parts = Array.make n_chunks [||] in
     let tasks =
@@ -229,11 +240,12 @@ let map ?pool ?min_chunk f xs =
 let iteri ?pool ?(min_chunk = default_min_chunk) f xs =
   let n = Array.length xs in
   let pool = match pool with Some p -> p | None -> default () in
+  let parallelism = effective_parallelism pool in
   if n = 0 then ()
-  else if pool.n_domains = 1 || n <= min_chunk then
+  else if parallelism = 1 || n <= min_chunk then
     timed pool ~items:n (fun () -> Array.iteri f xs)
   else begin
-    let chunk = chunk_size pool min_chunk n in
+    let chunk = chunk_size ~parallelism min_chunk n in
     let n_chunks = (n + chunk - 1) / chunk in
     let tasks =
       Array.init n_chunks (fun c () ->

@@ -49,8 +49,12 @@ val run_all : t -> (unit -> unit) array -> unit
 
 (** [init ?pool ?min_chunk n f] is [Array.init n f] evaluated in
     parallel chunks. [pool] defaults to {!default}; inputs of at most
-    [min_chunk] elements (default 32) run sequentially. [f] must be
-    safe to call from any domain. *)
+    [min_chunk] elements (default 32) run sequentially. Dispatch
+    parallelism is clamped to [Domain.recommended_domain_count ()] —
+    a pool sized past the hardware (oversubscription) degenerates to
+    the sequential loop instead of paying queue and scheduling
+    contention; results are identical either way. [f] must be safe to
+    call from any domain. *)
 val init : ?pool:t -> ?min_chunk:int -> int -> (int -> 'a) -> 'a array
 
 (** [map ?pool ?min_chunk f a] is [Array.map f a] in parallel chunks;

@@ -1543,6 +1543,238 @@ let telemetry_tests =
           (Prom_obs.Gauge.value tel.Telemetry.monitor_status));
   ]
 
+(* --- Pruned-index end-to-end parity. ---
+
+   Twin detectors built from the same data under opposite indexing
+   policies (PROM_INDEX_MIN_N forced low / high): the indexed store
+   must answer every query — sequentially, batched, after incremental
+   admits and through the incremental-learning loop — bit-identically
+   to the dense-scan store. *)
+
+let with_index_threshold v f =
+  Unix.putenv Calibration.index_threshold_env v;
+  Fun.protect ~finally:(fun () -> Unix.putenv Calibration.index_threshold_env "") f
+
+(* Selection lean enough that the index gate (4 * query_k <= n) opens
+   at a few hundred calibration entries. *)
+let index_config =
+  { Config.default with Config.select_ratio = 0.05; select_all_below = 32 }
+
+let assert_indexing det_scan det_ix ~cal_of ~index_of =
+  Alcotest.(check bool) "scan twin unindexed" true
+    (Option.is_none (index_of (cal_of det_scan)));
+  Alcotest.(check bool) "index twin indexed" true
+    (Option.is_some (index_of (cal_of det_ix)))
+
+let index_cls_twins seed =
+  let data = blob_dataset seed 760 in
+  let train, cal = Framework.data_partitioning ~calibration_ratio:0.4 ~seed data in
+  let model = Logistic.train train in
+  let mk threshold =
+    with_index_threshold threshold (fun () ->
+        Detector.Classification.create ~config:index_config ~model ~feature_of:Fun.id
+          cal)
+  in
+  let det_scan = mk "1000000000" and det_ix = mk "1" in
+  assert_indexing det_scan det_ix ~cal_of:Detector.Classification.calibration
+    ~index_of:Calibration.index_of_cls;
+  (model, train, det_scan, det_ix)
+
+let index_cls_queries seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun i ->
+      let c = if i mod 3 = 0 then 8.0 else 2.5 in
+      [| Rng.gaussian rng ~mu:c ~sigma:3.0; Rng.gaussian rng ~mu:c ~sigma:3.0 |])
+
+let index_reg_twins seed =
+  let data = reg_world seed 420 in
+  let model = Linreg.train data in
+  let mk threshold =
+    with_index_threshold threshold (fun () ->
+        Detector.Regression.create ~config:index_config ~n_clusters:2 ~model
+          ~feature_of:Fun.id ~seed data)
+  in
+  let det_scan = mk "1000000000" and det_ix = mk "1" in
+  assert_indexing det_scan det_ix ~cal_of:Detector.Regression.calibration
+    ~index_of:Calibration.index_of_reg;
+  (det_scan, det_ix)
+
+let index_e2e_tests =
+  [
+    Alcotest.test_case "classification verdicts identical scan vs index" `Quick
+      (fun () ->
+        let _, _, det_scan, det_ix = index_cls_twins 70 in
+        let queries = index_cls_queries 71 23 in
+        let scan = Array.map (Detector.Classification.evaluate det_scan) queries in
+        Alcotest.(check bool) "sequential identical" true
+          (Array.map (Detector.Classification.evaluate det_ix) queries = scan);
+        Alcotest.(check bool) "batched identical" true
+          (Detector.Classification.evaluate_batch det_ix queries = scan));
+    Alcotest.test_case "regression verdicts identical scan vs index" `Quick (fun () ->
+        let det_scan, det_ix = index_reg_twins 72 in
+        let rng = Rng.create 73 in
+        let queries =
+          Array.init 19 (fun _ -> [| Rng.uniform rng ~lo:(-0.5) ~hi:1.5 |])
+        in
+        let scan = Array.map (Detector.Regression.evaluate det_scan) queries in
+        Alcotest.(check bool) "sequential identical" true
+          (Array.map (Detector.Regression.evaluate det_ix) queries = scan);
+        Alcotest.(check bool) "batched identical" true
+          (Detector.Regression.evaluate_batch det_ix queries = scan));
+    Alcotest.test_case "admit grows the index in place and keeps parity" `Quick
+      (fun () ->
+        let _, _, det_scan, det_ix = index_cls_twins 74 in
+        let n0 =
+          Array.length
+            (Detector.Classification.calibration det_ix).Calibration.entries
+        in
+        let rng = Rng.create 75 in
+        let labeled =
+          Array.init 15 (fun _ ->
+              ( [| Rng.gaussian rng ~mu:9.0 ~sigma:0.4;
+                   Rng.gaussian rng ~mu:9.0 ~sigma:0.4 |],
+                1 ))
+        in
+        let det_scan' = Detector.Classification.admit det_scan labeled in
+        let det_ix' = Detector.Classification.admit det_ix labeled in
+        (match
+           Calibration.index_of_cls (Detector.Classification.calibration det_ix')
+         with
+        | None -> Alcotest.fail "index lost across admit"
+        | Some knn ->
+            Alcotest.(check int) "index covers the grown store" (n0 + 15)
+              (Knn_index.length knn);
+            Alcotest.(check int) "batched insert, no rebuild" 15
+              (Knn_index.inserted_since_build knn));
+        let queries =
+          Array.append (index_cls_queries 76 12)
+            (Array.map fst (Array.sub labeled 0 5))
+        in
+        Alcotest.(check bool) "grown verdicts identical" true
+          (Array.map (Detector.Classification.evaluate det_ix') queries
+          = Array.map (Detector.Classification.evaluate det_scan') queries);
+        Alcotest.check_raises "label range checked"
+          (Invalid_argument "Detector.Classification.admit: label out of range")
+          (fun () ->
+            ignore (Detector.Classification.admit det_ix [| ([| 0.0; 0.0 |], 7) |])));
+    Alcotest.test_case "regression admit keeps parity" `Quick (fun () ->
+        let det_scan, det_ix = index_reg_twins 77 in
+        let rng = Rng.create 78 in
+        let samples =
+          Array.init 10 (fun _ ->
+              let x = Rng.uniform rng ~lo:1.2 ~hi:1.6 in
+              ([| x |], 2.0 *. x))
+        in
+        let det_scan' = Detector.Regression.admit det_scan samples in
+        let det_ix' = Detector.Regression.admit det_ix samples in
+        Alcotest.(check bool) "still indexed" true
+          (Option.is_some
+             (Calibration.index_of_reg (Detector.Regression.calibration det_ix')));
+        let queries =
+          Array.init 11 (fun _ -> [| Rng.uniform rng ~lo:(-0.2) ~hi:1.8 |])
+        in
+        Alcotest.(check bool) "grown verdicts identical" true
+          (Array.map (Detector.Regression.evaluate det_ix') queries
+          = Array.map (Detector.Regression.evaluate det_scan') queries));
+    Alcotest.test_case "incremental admitting loop matches on both twins" `Quick
+      (fun () ->
+        let _, train, det_scan, det_ix = index_cls_twins 79 in
+        let rng = Rng.create 80 in
+        let inputs =
+          Array.init 30 (fun _ ->
+              [| Rng.gaussian rng ~mu:12.0 ~sigma:0.4;
+                 Rng.gaussian rng ~mu:12.0 ~sigma:0.4 |])
+        in
+        let run det =
+          Incremental.classification_admitting ~budget_fraction:0.3 ~detector:det
+            ~trainer:(Logistic.trainer ()) ~train_data:train ~oracle:(fun _ -> 1)
+            inputs
+        in
+        let outcome_scan, det_scan' = run det_scan in
+        let outcome_ix, det_ix' = run det_ix in
+        Alcotest.(check bool) "same flags" true
+          (outcome_scan.Incremental.flagged_indices
+          = outcome_ix.Incremental.flagged_indices);
+        Alcotest.(check bool) "same relabels" true
+          (outcome_scan.Incremental.relabeled_indices
+          = outcome_ix.Incremental.relabeled_indices);
+        let relabeled = List.length outcome_ix.Incremental.relabeled_indices in
+        Alcotest.(check bool) "something admitted" true (relabeled > 0);
+        let entries det =
+          Array.length (Detector.Classification.calibration det).Calibration.entries
+        in
+        Alcotest.(check int) "store grew by the relabeled batch"
+          (entries det_ix + relabeled) (entries det_ix');
+        let queries = index_cls_queries 81 9 in
+        Alcotest.(check bool) "grown verdicts identical" true
+          (Array.map (Detector.Classification.evaluate det_ix') queries
+          = Array.map (Detector.Classification.evaluate det_scan') queries));
+    Alcotest.test_case "incremental admitting regression grows the store" `Quick
+      (fun () ->
+        let data = reg_world 82 420 in
+        let model = Linreg.train data in
+        let det =
+          with_index_threshold "1" (fun () ->
+              Detector.Regression.create ~config:index_config ~n_clusters:2 ~model
+                ~feature_of:Fun.id ~seed:82 data)
+        in
+        let rng = Rng.create 83 in
+        let inputs =
+          Array.init 24 (fun _ -> [| Rng.uniform rng ~lo:4.0 ~hi:5.0 |])
+        in
+        let outcome, det' =
+          Incremental.regression_admitting ~budget_fraction:0.25 ~detector:det
+            ~trainer:(Linreg.trainer ()) ~train_data:data
+            ~oracle:(fun x -> 2.0 *. x.(0))
+            inputs
+        in
+        let relabeled = List.length outcome.Incremental.relabeled_indices in
+        Alcotest.(check bool) "something admitted" true (relabeled > 0);
+        Alcotest.(check int) "store grew by the relabeled batch"
+          (Array.length (Detector.Regression.calibration det).Calibration.rentries
+          + relabeled)
+          (Array.length (Detector.Regression.calibration det').Calibration.rentries));
+    Alcotest.test_case "index telemetry reaches the exposition" `Quick (fun () ->
+        let data = blob_dataset 84 760 in
+        let train, cal = Framework.data_partitioning ~calibration_ratio:0.4 ~seed:84 data in
+        let model = Logistic.train train in
+        let registry = Prom_obs.create_registry () in
+        let tel = Telemetry.create registry in
+        let det =
+          with_index_threshold "1" (fun () ->
+              Detector.Classification.create ~config:index_config ~telemetry:tel
+                ~model ~feature_of:Fun.id cal)
+        in
+        Array.iter
+          (fun q -> ignore (Detector.Classification.evaluate det q))
+          (index_cls_queries 85 7);
+        let text = Prom_obs.Snapshot.to_prometheus (Prom_obs.Snapshot.take registry) in
+        let contains needle =
+          let nh = String.length text and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+          nn = 0 || go 0
+        in
+        List.iter
+          (fun name ->
+            Alcotest.(check bool) (Printf.sprintf "exposes %s" name) true
+              (contains name))
+          [
+            "prom_index_clusters";
+            "prom_index_candidates_scanned_total";
+            "prom_index_pruned_total";
+            "prom_index_rebuilds_total";
+          ];
+        (* [index_metrics] hands back the registry's existing
+           instruments, so the evaluation loop's counts are visible. *)
+        let m = Telemetry.index_metrics tel in
+        Alcotest.(check bool) "clusters gauge set" true
+          (Prom_obs.Gauge.value m.Calibration.ix_clusters > 0.0);
+        Alcotest.(check bool) "scanned counted" true
+          (Prom_obs.Counter.value m.Calibration.ix_scanned > 0.0);
+        Alcotest.(check bool) "pruned counted" true
+          (Prom_obs.Counter.value m.Calibration.ix_pruned > 0.0));
+  ]
+
 let properties =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -1572,6 +1804,7 @@ let suite =
     ("core.service", service_tests);
     ("core.assessment", assessment_tests);
     ("core.incremental", incremental_tests);
+    ("core.index_e2e", index_e2e_tests);
     ("core.baselines", baseline_tests);
     ("core.framework", framework_tests);
     ("core.tuning", tuning_tests);

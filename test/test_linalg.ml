@@ -355,6 +355,156 @@ let featmat_tests =
         let rows = [| [| 0.0 |]; [| 1.0 |]; [| 10.0 |] |] in
         let fm = Featmat.of_rows rows in
         check_float "mean" 0.5 (Featmat.knn_mean_dist fm [| 0.5 |] ~k:2));
+    Alcotest.test_case "append keeps old rows and adds new ones" `Quick (fun () ->
+        let fm = Featmat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+        let fm' = Featmat.append fm [| [| 5.0; 6.0 |] |] in
+        Alcotest.(check int) "n" 3 (Featmat.length fm');
+        Alcotest.(check (array (float 0.0))) "old row" [| 3.0; 4.0 |] (Featmat.row fm' 1);
+        Alcotest.(check (array (float 0.0))) "new row" [| 5.0; 6.0 |] (Featmat.row fm' 2);
+        let v = [| 0.5; -1.0 |] in
+        check_float "old distances unchanged" (Featmat.sq_dist_row fm 0 v)
+          (Featmat.sq_dist_row fm' 0 v));
+    Alcotest.test_case "append to empty adopts the rows" `Quick (fun () ->
+        let fm = Featmat.append (Featmat.of_rows [||]) [| [| 7.0 |]; [| 8.0 |] |] in
+        Alcotest.(check int) "n" 2 (Featmat.length fm);
+        Alcotest.(check int) "dim" 1 (Featmat.dim fm));
+    Alcotest.test_case "append rejects ragged rows" `Quick (fun () ->
+        let fm = Featmat.of_rows [| [| 1.0; 2.0 |] |] in
+        Alcotest.check_raises "ragged" (Invalid_argument "Featmat.append: ragged rows")
+          (fun () -> ignore (Featmat.append fm [| [| 1.0 |] |])));
+    Alcotest.test_case "sq_dists_cross_block bit-equals row scans" `Quick (fun () ->
+        let a = Featmat.of_rows (Array.init 9 (fun i -> [| float_of_int i; 1.0; -0.5 |])) in
+        let b =
+          Featmat.of_rows (Array.init 5 (fun i -> [| 0.25 *. float_of_int i; -2.0; 3.0 |]))
+        in
+        let out = Array.make (3 * Featmat.length b) nan in
+        Featmat.sq_dists_cross_block a ~r0:4 ~r1:7 b out;
+        for q = 0 to 2 do
+          let v = Featmat.row a (4 + q) in
+          for i = 0 to Featmat.length b - 1 do
+            Alcotest.(check (float 0.0)) "cell" (Featmat.sq_dist_row b i v)
+              out.((q * Featmat.length b) + i)
+          done
+        done);
+  ]
+
+(* Brute-force reference for the pruned index: full scan + top-k by
+   ascending (squared distance, row index) — what Knn_index.query_into
+   must reproduce bit for bit. *)
+let knn_reference fm v k =
+  let n = Featmat.length fm in
+  let sq = Array.init n (fun i -> Featmat.sq_dist_row fm i v) in
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun i j -> match Float.compare sq.(i) sq.(j) with 0 -> compare i j | c -> c)
+    idx;
+  let k = Stdlib.min k n in
+  (Array.sub idx 0 k, Array.init k (fun r -> sq.(idx.(r))))
+
+let check_index_parity_built idx fm k =
+  let n = Featmat.length fm in
+  let got_i = Array.make (Stdlib.max 1 k) (-1) and got_v = Array.make (Stdlib.max 1 k) nan in
+  for q = 0 to Stdlib.min 9 (n - 1) do
+    let v = Featmat.row fm q |> Array.map (fun x -> x +. 0.125) in
+    let m = Knn_index.query_into idx fm v ~k ~idxs:got_i ~vals:got_v ~off:0 in
+    let want_i, want_v = knn_reference fm v k in
+    Alcotest.(check int) "count" (Array.length want_i) m;
+    Alcotest.(check (array int)) "indices" want_i (Array.sub got_i 0 m);
+    Alcotest.(check (array (float 0.0))) "values" want_v (Array.sub got_v 0 m)
+  done
+
+let check_index_parity ?n_clusters fm k =
+  let idx =
+    match n_clusters with
+    | None -> Knn_index.build fm
+    | Some c -> Knn_index.build ~n_clusters:c fm
+  in
+  check_index_parity_built idx fm k
+
+let knn_index_tests =
+  [
+    Alcotest.test_case "query matches the scan on clustered data" `Quick (fun () ->
+        let rows =
+          Array.init 120 (fun i ->
+              let c = float_of_int (i mod 4) *. 25.0 in
+              [| c +. (0.1 *. float_of_int i); c -. (0.05 *. float_of_int (i mod 11)) |])
+        in
+        let fm = Featmat.of_rows rows in
+        List.iter (fun k -> check_index_parity fm k) [ 1; 5; 60; 120 ]);
+    Alcotest.test_case "duplicate rows keep index tie-break" `Quick (fun () ->
+        let rows = Array.init 40 (fun i -> [| float_of_int (i mod 3); 0.0 |]) in
+        let fm = Featmat.of_rows rows in
+        List.iter (fun k -> check_index_parity fm k) [ 1; 7; 40 ]);
+    Alcotest.test_case "all-identical rows (zero radii)" `Quick (fun () ->
+        let fm = Featmat.of_rows (Array.make 25 [| 2.0; -1.0; 0.5 |]) in
+        List.iter (fun k -> check_index_parity fm k) [ 1; 5; 25 ]);
+    Alcotest.test_case "one cluster and n clusters both exact" `Quick (fun () ->
+        let rows = Array.init 33 (fun i -> [| sin (float_of_int i); cos (float_of_int i) |]) in
+        let fm = Featmat.of_rows rows in
+        check_index_parity ~n_clusters:1 fm 6;
+        check_index_parity ~n_clusters:33 fm 6);
+    Alcotest.test_case "queries actually prune on separated clusters" `Quick (fun () ->
+        let rows =
+          Array.init 400 (fun i ->
+              let c = float_of_int (i mod 8) *. 1000.0 in
+              [| c +. (0.01 *. float_of_int i); c |])
+        in
+        let fm = Featmat.of_rows rows in
+        let idx = Knn_index.build fm in
+        let acc = Knn_index.acc_create () in
+        let gi = Array.make 3 0 and gv = Array.make 3 0.0 in
+        ignore (Knn_index.query_into ~stats:acc idx fm (Featmat.row fm 0) ~k:3 ~idxs:gi ~vals:gv ~off:0);
+        Alcotest.(check bool) "rows pruned" true (acc.Knn_index.ac_rows_pruned > 0);
+        Alcotest.(check bool) "clusters pruned" true (acc.Knn_index.ac_clusters_pruned > 0);
+        let st = Knn_index.stats idx in
+        Alcotest.(check int) "queries counted" 1 st.Knn_index.st_queries;
+        Alcotest.(check int) "scanned consistent" st.Knn_index.st_scanned acc.Knn_index.ac_scanned);
+    Alcotest.test_case "insert_batch stays exact and rebuilds on growth" `Quick (fun () ->
+        let base = Array.init 60 (fun i -> [| float_of_int (i mod 5) *. 10.0; float_of_int i |]) in
+        let fm = Featmat.of_rows base in
+        let idx = Knn_index.build fm in
+        (* small append: incremental, no rebuild *)
+        let extra1 = Array.init 5 (fun i -> [| 3.0; float_of_int (100 + i) |]) in
+        let fm1 = Featmat.append fm extra1 in
+        let idx1, rebuilt1 = Knn_index.insert_batch idx fm1 ~from_row:60 in
+        Alcotest.(check bool) "no rebuild" false rebuilt1;
+        Alcotest.(check int) "inserted tracked" 5 (Knn_index.inserted_since_build idx1);
+        check_index_parity_built idx1 fm1 7;
+        (* large append: crosses the half-growth policy, rebuilds *)
+        let extra2 = Array.init 80 (fun i -> [| 47.0; float_of_int (200 + i) |]) in
+        let fm2 = Featmat.append fm1 extra2 in
+        let idx2, rebuilt2 = Knn_index.insert_batch idx1 fm2 ~from_row:65 in
+        Alcotest.(check bool) "rebuilt" true rebuilt2;
+        Alcotest.(check int) "reset" 0 (Knn_index.inserted_since_build idx2);
+        check_index_parity_built idx2 fm2 7);
+    Alcotest.test_case "insert_batch rejects a mismatched from_row" `Quick (fun () ->
+        let fm = Featmat.of_rows (Array.init 10 (fun i -> [| float_of_int i |])) in
+        let idx = Knn_index.build fm in
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Knn_index.insert_batch: from_row mismatch") (fun () ->
+            ignore (Knn_index.insert_batch idx fm ~from_row:3)));
+    Alcotest.test_case "export/import round-trips bit-exactly" `Quick (fun () ->
+        let rows = Array.init 90 (fun i -> [| float_of_int (i mod 6) *. 7.0; sin (float_of_int i) |]) in
+        let fm = Featmat.of_rows rows in
+        let idx = Knn_index.build fm in
+        let e = Knn_index.export idx in
+        let idx' = Knn_index.import e in
+        Alcotest.(check int) "clusters" (Knn_index.clusters idx) (Knn_index.clusters idx');
+        Alcotest.(check bool) "export equal" true (Knn_index.export idx' = e);
+        check_index_parity_built idx' fm 9);
+    Alcotest.test_case "import rejects corrupt structure" `Quick (fun () ->
+        let fm = Featmat.of_rows (Array.init 12 (fun i -> [| float_of_int i |])) in
+        let e = Knn_index.export (Knn_index.build fm) in
+        let dup = { e with Knn_index.ex_members = Array.make e.Knn_index.ex_n 0 } in
+        Alcotest.check_raises "members"
+          (Invalid_argument "Knn_index.import: members not a permutation") (fun () ->
+            ignore (Knn_index.import dup));
+        let bad_r = { e with Knn_index.ex_radii = Array.map (fun _ -> nan) e.Knn_index.ex_radii } in
+        Alcotest.check_raises "radius" (Invalid_argument "Knn_index.import: invalid radius")
+          (fun () -> ignore (Knn_index.import bad_r)));
+    Alcotest.test_case "build rejects empty matrix" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Knn_index.build: empty matrix")
+          (fun () -> ignore (Knn_index.build (Featmat.of_rows [||]))));
   ]
 
 (* Property-based tests. *)
@@ -463,6 +613,59 @@ let prop_sq_dists_rows_block_exact =
             (Array.init n Fun.id))
         (Array.init (r1 - r0) Fun.id))
 
+(* Row generators biased towards duplicates and tight clusters: integer
+   coordinates from a small range make exact ties and zero-radius
+   clusters common, the cases where pruning correctness is subtle. *)
+let index_matrix_gen =
+  QCheck2.Gen.(
+    int_range 1 6 >>= fun dim ->
+    int_range 1 150 >>= fun n ->
+    array_size (return n) (array_size (return dim) (map float_of_int (int_range (-4) 4))))
+
+let prop_knn_index_parity =
+  QCheck2.Test.make ~name:"Knn_index.query_into bit-equals the full scan" ~count:150
+    QCheck2.Gen.(
+      index_matrix_gen >>= fun rows ->
+      let n = Array.length rows and dim = Array.length rows.(0) in
+      int_range 1 (n + 3) >>= fun k ->
+      int_range 1 (n + 2) >>= fun nc ->
+      array_size (return dim) (float_range (-5.0) 5.0) >>= fun q ->
+      return (rows, k, nc, q))
+    (fun (rows, k, nc, q) ->
+      let fm = Featmat.of_rows rows in
+      let idx = Knn_index.build ~n_clusters:nc fm in
+      let cap = Stdlib.max 1 k in
+      let gi = Array.make cap (-1) and gv = Array.make cap nan in
+      let m = Knn_index.query_into idx fm q ~k ~idxs:gi ~vals:gv ~off:0 in
+      let want_i, want_v = knn_reference fm q k in
+      m = Array.length want_i
+      && Array.sub gi 0 m = want_i
+      && Array.sub gv 0 m = want_v)
+
+let prop_knn_index_insert_parity =
+  QCheck2.Test.make ~name:"Knn_index stays exact after insert_batch" ~count:100
+    QCheck2.Gen.(
+      index_matrix_gen >>= fun rows ->
+      let n = Array.length rows and dim = Array.length rows.(0) in
+      int_range 1 (Stdlib.max 1 (n / 2)) >>= fun extra ->
+      array_size (return extra) (array_size (return dim) (map float_of_int (int_range (-4) 4)))
+      >>= fun added ->
+      int_range 1 8 >>= fun k ->
+      array_size (return dim) (float_range (-5.0) 5.0) >>= fun q ->
+      return (rows, added, k, q))
+    (fun (rows, added, k, q) ->
+      let fm = Featmat.of_rows rows in
+      let idx = Knn_index.build fm in
+      let fm' = Featmat.append fm added in
+      let idx', _rebuilt = Knn_index.insert_batch idx fm' ~from_row:(Array.length rows) in
+      let cap = Stdlib.max 1 k in
+      let gi = Array.make cap (-1) and gv = Array.make cap nan in
+      let m = Knn_index.query_into idx' fm' q ~k ~idxs:gi ~vals:gv ~off:0 in
+      let want_i, want_v = knn_reference fm' q k in
+      m = Array.length want_i
+      && Array.sub gi 0 m = want_i
+      && Array.sub gv 0 m = want_v)
+
 let prop_solve =
   QCheck2.Test.make ~name:"Mat.solve solves well-conditioned systems" ~count:100
     QCheck2.Gen.(array_size (return 3) (float_range (-5.0) 5.0))
@@ -481,7 +684,7 @@ let properties =
     [
       prop_triangle; prop_softmax; prop_quantile_monotone; prop_mean_bounds; prop_solve;
       prop_smallest_k; prop_heap_topk; prop_sq_dist_row_exact; prop_sq_dists_block_exact;
-      prop_sq_dists_rows_block_exact;
+      prop_sq_dists_rows_block_exact; prop_knn_index_parity; prop_knn_index_insert_parity;
     ]
 
 let suite =
@@ -493,5 +696,6 @@ let suite =
     ("linalg.distance", distance_tests);
     ("linalg.select", select_tests);
     ("linalg.featmat", featmat_tests);
+    ("linalg.knn_index", knn_index_tests);
     ("linalg.properties", properties);
   ]

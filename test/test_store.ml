@@ -499,6 +499,143 @@ let snapshot_tests =
           [ 0; 1; n / 3; n / 2; (2 * n) / 3; n - 2 ]);
   ]
 
+(* ---------- Indexed snapshots (codec v2) ---------- *)
+
+(* An indexed calibration store must travel through the snapshot
+   bit-exactly: the decoded detector adopts the serialized index — same
+   clusters, same member order, same insertion debt — instead of
+   pausing to rebuild it, and answers every probe bit-identically. *)
+
+let with_index_threshold v f =
+  Unix.putenv Calibration.index_threshold_env v;
+  Fun.protect ~finally:(fun () -> Unix.putenv Calibration.index_threshold_env "") f
+
+(* Lean selection so the index gate (4 * query_k <= n) opens at this
+   file's calibration sizes. *)
+let index_config =
+  { Config.default with Config.select_ratio = 0.05; Config.select_all_below = 32 }
+
+let indexed_cls_detector ?(seed = 47) ?(n = 300) () =
+  let d = cls_data ~n ~seed () in
+  let model = Logistic.train d in
+  with_index_threshold "1" (fun () ->
+      Detector.Classification.create ~config:index_config ~model ~feature_of:Fun.id
+        d)
+
+let indexed_reg_detector ?(seed = 53) ?(n = 300) () =
+  let d = reg_data ~n ~seed () in
+  let model = Linreg.train d in
+  with_index_threshold "1" (fun () ->
+      Detector.Regression.create ~config:index_config ~model ~feature_of:Fun.id
+        ~seed d)
+
+let index_exn name = function
+  | Some ix -> ix
+  | None -> Alcotest.fail (name ^ ": index missing")
+
+let check_index_equal name ix ix' =
+  let e = Knn_index.export ix and e' = Knn_index.export ix' in
+  Alcotest.(check int) (name ^ " dim") e.Knn_index.ex_dim e'.Knn_index.ex_dim;
+  Alcotest.(check int) (name ^ " n") e.Knn_index.ex_n e'.Knn_index.ex_n;
+  (* Equal built_n means the restored side carried the insertion debt
+     over instead of silently rebuilding. *)
+  Alcotest.(check int) (name ^ " built_n") e.Knn_index.ex_built_n
+    e'.Knn_index.ex_built_n;
+  Alcotest.(check (array int)) (name ^ " members") e.Knn_index.ex_members
+    e'.Knn_index.ex_members;
+  Alcotest.(check (array int)) (name ^ " offsets") e.Knn_index.ex_offsets
+    e'.Knn_index.ex_offsets;
+  let floats tag a a' =
+    Alcotest.(check int)
+      (name ^ " " ^ tag ^ " length")
+      (Array.length a) (Array.length a');
+    Array.iteri (fun i v -> check_bits (name ^ " " ^ tag) v a'.(i)) a
+  in
+  floats "centroids" e.Knn_index.ex_centroids e'.Knn_index.ex_centroids;
+  floats "radii" e.Knn_index.ex_radii e'.Knn_index.ex_radii;
+  Alcotest.(check int) (name ^ " insertion debt")
+    (Knn_index.inserted_since_build ix)
+    (Knn_index.inserted_since_build ix')
+
+let index_snapshot_tests =
+  [
+    Alcotest.test_case "indexed classification store round-trips bit-exactly" `Quick
+      (fun () ->
+        let det = indexed_cls_detector () in
+        let ix =
+          index_exn "before"
+            (Calibration.index_of_cls (Detector.Classification.calibration det))
+        in
+        (* Decode with the env threshold at its default: the restored
+           index must come from the payload, not from re-deriving the
+           size gate at restore time. *)
+        match Snapshot.decode (Snapshot.encode (Snapshot.of_cls_detector det)) with
+        | Snapshot.Cls s ->
+            let det' = Snapshot.to_cls_detector s in
+            let ix' =
+              index_exn "after"
+                (Calibration.index_of_cls
+                   (Detector.Classification.calibration det'))
+            in
+            check_index_equal "cls" ix ix';
+            check_cls_verdicts "cls indexed" det det' (probes ())
+        | Snapshot.Reg _ -> Alcotest.fail "kind flipped");
+    Alcotest.test_case "indexed regression store round-trips bit-exactly" `Quick
+      (fun () ->
+        let det = indexed_reg_detector () in
+        let ix =
+          index_exn "before"
+            (Calibration.index_of_reg (Detector.Regression.calibration det))
+        in
+        match Snapshot.decode (Snapshot.encode (Snapshot.of_reg_detector det)) with
+        | Snapshot.Reg s ->
+            let det' = Snapshot.to_reg_detector s in
+            let ix' =
+              index_exn "after"
+                (Calibration.index_of_reg (Detector.Regression.calibration det'))
+            in
+            check_index_equal "reg" ix ix';
+            check_reg_verdicts "reg indexed" det det' (reg_probes ())
+        | Snapshot.Cls _ -> Alcotest.fail "kind flipped");
+    Alcotest.test_case "admit-grown index survives with its insertion debt" `Quick
+      (fun () ->
+        let det = indexed_cls_detector () in
+        let rng = Rng.create 91 in
+        let adds =
+          Array.init 15 (fun i ->
+              ( [|
+                  Rng.gaussian rng ~mu:0.0 ~sigma:0.8;
+                  Rng.gaussian rng ~mu:0.0 ~sigma:0.8;
+                  Rng.gaussian rng ~mu:0.0 ~sigma:0.5;
+                |],
+                i mod 2 ))
+        in
+        let det =
+          with_index_threshold "1" (fun () ->
+              Detector.Classification.admit det adds)
+        in
+        let ix =
+          index_exn "grown"
+            (Calibration.index_of_cls (Detector.Classification.calibration det))
+        in
+        Alcotest.(check int) "debt before snapshot" 15
+          (Knn_index.inserted_since_build ix);
+        match Snapshot.decode (Snapshot.encode (Snapshot.of_cls_detector det)) with
+        | Snapshot.Cls s ->
+            let det' = Snapshot.to_cls_detector s in
+            let ix' =
+              index_exn "restored"
+                (Calibration.index_of_cls
+                   (Detector.Classification.calibration det'))
+            in
+            Alcotest.(check int) "restored length" 315 (Knn_index.length ix');
+            check_index_equal "grown" ix ix';
+            check_cls_verdicts "grown indexed" det det' (probes ());
+            check_cls_verdicts "grown admitted" det det'
+              (Array.map fst adds)
+        | Snapshot.Reg _ -> Alcotest.fail "kind flipped");
+  ]
+
 (* ---------- Generation fallback with real snapshots ---------- *)
 
 let fallback_tests =
@@ -767,6 +904,7 @@ let suite =
     ("store.container", store_tests);
     ("store.model_codecs", model_codec_tests);
     ("store.snapshot", snapshot_tests);
+    ("store.index_snapshot", index_snapshot_tests);
     ("store.fallback", fallback_tests);
     ("store.kill_reload", kill_reload_tests);
     ("store.hot_swap", swap_tests);
