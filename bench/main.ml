@@ -1332,28 +1332,48 @@ let query_body (features, proba) =
   Jx.to_string (Jx.Obj [ ("features", vec features); ("proba", vec proba) ])
 
 (* One closed-loop level: [concurrency] keep-alive connections, each
-   firing [requests] single-query POSTs back to back. *)
+   firing [requests] single-query POSTs back to back. Up to 64
+   connections each level runs one client thread per connection; past
+   that each thread multiplexes a block of connections (write the whole
+   block, then collect the whole block of responses) so the generator
+   itself is not serialized by hundreds of runnable systhreads fighting
+   over one runtime lock — at c=512 a thread-per-connection client
+   measures its own scheduler, not the server. *)
 let run_level ~port ~bodies ~concurrency ~requests =
+  let per_thread =
+    if concurrency <= 64 then 1
+    else if concurrency mod 32 = 0 then 32
+    else 1
+  in
+  let nthreads = concurrency / per_thread in
+  let nbodies = Array.length bodies in
   let failures = Atomic.make 0 in
   let lat = Array.make (concurrency * requests) 0.0 in
   let t0 = Unix.gettimeofday () in
   let threads =
-    Array.init concurrency (fun c ->
+    Array.init nthreads (fun c ->
         Thread.create
           (fun () ->
             try
-              let fd = connect_loopback port in
-              let reader = Http.reader fd in
+              let fds = Array.init per_thread (fun _ -> connect_loopback port) in
+              let readers = Array.map Http.reader fds in
+              let sent = Array.make per_thread 0.0 in
               for k = 0 to requests - 1 do
-                let body = bodies.((c + k) mod Array.length bodies) in
-                let s = Unix.gettimeofday () in
-                Http.write_request fd ~meth:"POST" ~path:"/predict" body;
-                (match Http.read_response reader with
-                | Ok r when r.Http.status = 200 -> ()
-                | _ -> Atomic.incr failures);
-                lat.((c * requests) + k) <- Unix.gettimeofday () -. s
+                for j = 0 to per_thread - 1 do
+                  let conn = (c * per_thread) + j in
+                  let body = bodies.((conn + k) mod nbodies) in
+                  sent.(j) <- Unix.gettimeofday ();
+                  Http.write_request fds.(j) ~meth:"POST" ~path:"/predict" body
+                done;
+                for j = 0 to per_thread - 1 do
+                  let conn = (c * per_thread) + j in
+                  (match Http.read_response readers.(j) with
+                  | Ok r when r.Http.status = 200 -> ()
+                  | _ -> Atomic.incr failures);
+                  lat.((conn * requests) + k) <- Unix.gettimeofday () -. sent.(j)
+                done
               done;
-              Unix.close fd
+              Array.iter Unix.close fds
             with _ -> Atomic.incr failures)
           ())
   in
@@ -1411,7 +1431,32 @@ let serve_section ~n_cal ~levels ~requests ~json_path () =
     ~finally:(fun () -> Prom_parallel.Pool.shutdown pool)
     (fun () ->
       let direct = Service.evaluate_batch ~pool service queries in
-      let server = Server.start ~pool service in
+      (* Inference ceiling: what raw [evaluate_batch] sustains on this
+         machine with no HTTP in the way. The closed-loop levels below
+         share the same cores with the load generator, so this bounds
+         every throughput number in the file. *)
+      let ceiling_qps =
+        let iters = 8 in
+        let t_inf = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          ignore (Service.evaluate_batch ~pool service queries)
+        done;
+        float_of_int (iters * Array.length queries)
+        /. (Unix.gettimeofday () -. t_inf)
+      in
+      Printf.printf "  inference ceiling (batch=%d, no HTTP): %.0f q/s\n"
+        (Array.length queries) ceiling_qps;
+      let top = List.fold_left Stdlib.max 1 levels in
+      (* Headroom above the highest closed-loop level so admission
+         control never 503s the load generator itself. *)
+      let config =
+        {
+          Server.default_config with
+          Server.max_connections =
+            Stdlib.max Server.default_config.Server.max_connections (2 * top);
+        }
+      in
+      let server = Server.start ~config ~pool service in
       let port = Server.port server in
       (* Wire identity: every served verdict must bit-match the direct
          evaluate_batch path, JSON round trip included. *)
@@ -1470,9 +1515,8 @@ let serve_section ~n_cal ~levels ~requests ~json_path () =
       Printf.printf "  mean dispatched batch size: %.2f\n" mean_batch;
       Server.stop server;
       (* Adaptive batching vs a max_batch=1 server at the highest level. *)
-      let top = List.fold_left Stdlib.max 1 levels in
       let unbatched_config =
-        { Server.default_config with Server.max_batch = 1; max_wait_us = 0 }
+        { config with Server.max_batch = 1; max_wait_us = 0 }
       in
       let server1 = Server.start ~config:unbatched_config ~pool service in
       let _, failures1, _, rps1, _ =
@@ -1508,6 +1552,7 @@ let serve_section ~n_cal ~levels ~requests ~json_path () =
           [
             ("calibration_entries", Jx.Num (float_of_int n_cal));
             ("requests_per_connection", Jx.Num (float_of_int requests));
+            ("inference_ceiling_qps", Jx.Num ceiling_qps);
             ("mean_batch_size", Jx.Num mean_batch);
             ("levels", Jx.Arr (List.map row_json level_rows));
             ( "unbatched_comparison",
@@ -1604,11 +1649,11 @@ let serve_lifecycle_smoke () =
       Printf.printf "  spawn -> healthz/predict/metrics/swap -> SIGTERM -> exit 0: ok\n"
 
 let serve_bench () =
-  serve_section ~n_cal:600 ~levels:[ 1; 8; 64 ] ~requests:100
+  serve_section ~n_cal:600 ~levels:[ 1; 8; 64; 512 ] ~requests:100
     ~json_path:"BENCH_serve.json" ()
 
 let serve_bench_smoke () =
-  serve_section ~n_cal:120 ~levels:[ 1; 4 ] ~requests:10
+  serve_section ~n_cal:120 ~levels:[ 1; 4; 128 ] ~requests:10
     ~json_path:"BENCH_serve_smoke.json" ();
   serve_lifecycle_smoke ()
 

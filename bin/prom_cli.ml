@@ -348,9 +348,27 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Event-loop shards for HTTP mode: each shard is one thread with its own \
+       $(b,SO_REUSEPORT) listener, its own poll set and its own connection \
+       table. 1 (the default) runs a single un-sharded loop."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Close keep-alive connections idle longer than $(docv) seconds in HTTP \
+       mode; 0 disables the idle sweep."
+    in
+    Arg.(
+      value
+      & opt float Prom_server.Server.default_config.idle_timeout_s
+      & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
   (* HTTP mode: same detector world as the digest mode, but wrapped in a
      Service and served until a termination signal arrives. *)
-  let run_http ~snapshot_dir ~port detector origin =
+  let run_http ~snapshot_dir ~port ~shards ~idle_timeout_s detector origin =
     let open Prom in
     let module Pool = Prom_parallel.Pool in
     let registry = Prom_obs.create_registry () in
@@ -360,7 +378,9 @@ let serve_cmd =
     in
     let pool = Pool.create (Pool.default_size ()) in
     Pool.attach_metrics pool registry;
-    let config = { Prom_server.Server.default_config with port } in
+    let config =
+      { Prom_server.Server.default_config with port; shards; idle_timeout_s }
+    in
     let server =
       Prom_server.Server.start ~config ~telemetry ~pool ?snapshot_dir service
     in
@@ -379,7 +399,7 @@ let serve_cmd =
     Pool.shutdown pool;
     prerr_endline "drained"
   in
-  let run quick seed snapshot_dir listen =
+  let run quick seed snapshot_dir listen shards idle_timeout_s =
     let open Prom in
     let data, queries = snapshot_world ~quick ~seed in
     let fresh ?snapshot_dir () =
@@ -401,7 +421,8 @@ let serve_cmd =
           | _ -> (fresh ~snapshot_dir:dir (), "fresh (checkpointed)"))
     in
     match listen with
-    | Some port -> run_http ~snapshot_dir ~port detector origin
+    | Some port ->
+        run_http ~snapshot_dir ~port ~shards ~idle_timeout_s detector origin
     | None ->
         let verdicts = Detector.Classification.evaluate_batch detector queries in
         let drifted =
@@ -419,7 +440,9 @@ let serve_cmd =
          "Serve the detector — one-shot verdict digest by default, or over \
           HTTP with $(b,--listen) — resuming from the latest valid snapshot \
           when one exists")
-    Term.(const run $ quick_arg $ seed_arg $ snapshot_dir_arg $ listen_arg)
+    Term.(
+      const run $ quick_arg $ seed_arg $ snapshot_dir_arg $ listen_arg
+      $ shards_arg $ idle_timeout_arg)
 
 (* Build scan/index twin detectors over the same blob world, check the
    invariant the index lives under (bit-identical verdicts against the

@@ -85,9 +85,18 @@ module Http = struct
     http_batch_size : Obs.Histogram.t;
     http_queue_depth : Obs.Gauge.t;
     http_request_seconds : Obs.Histogram.t;
+    http_open_connections : Obs.Gauge.t;
+    http_evloop_seconds : Obs.Histogram.t;
     lock : Mutex.t;
     mutable by_code : (int * Obs.Counter.t) list;
   }
+
+  (* Event-loop iterations process anywhere from one readiness event to
+     hundreds; the interesting signal is the tail (a slow iteration
+     stalls every connection on that shard), so the buckets reach down
+     to 10 µs. *)
+  let evloop_buckets =
+    [| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0 |]
 
   let create registry =
     {
@@ -101,6 +110,13 @@ module Http = struct
       http_request_seconds =
         Obs.histogram registry ~help:"HTTP request latency (read to response written)"
           "prom_http_request_seconds";
+      http_open_connections =
+        Obs.gauge registry ~help:"Connections currently held by the server"
+          "prom_http_open_connections";
+      http_evloop_seconds =
+        Obs.histogram registry
+          ~help:"Event-loop iteration processing time (per readiness wakeup)"
+          ~buckets:evloop_buckets "prom_http_evloop_iteration_seconds";
       lock = Mutex.create ();
       by_code = [];
     }
@@ -125,6 +141,8 @@ module Http = struct
   let batch_size t = t.http_batch_size
   let queue_depth t = t.http_queue_depth
   let request_seconds t = t.http_request_seconds
+  let open_connections t = t.http_open_connections
+  let evloop_seconds t = t.http_evloop_seconds
 end
 
 (* Pruned-kNN index series. Registration is get-or-create on the

@@ -93,4 +93,13 @@ module Http : sig
   (** [prom_http_request_seconds]: request latency from fully-read
       request to fully-written response. *)
   val request_seconds : http -> Prom_obs.Histogram.t
+
+  (** [prom_http_open_connections]: connections currently held by the
+      server (accepted and not yet closed, across all shards). *)
+  val open_connections : http -> Prom_obs.Gauge.t
+
+  (** [prom_http_evloop_iteration_seconds]: time each event-loop
+      iteration spends processing readiness events, completions and
+      timers (poll wait excluded) — the shard-stall signal. *)
+  val evloop_seconds : http -> Prom_obs.Histogram.t
 end

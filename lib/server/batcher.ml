@@ -5,6 +5,10 @@ type error = [ `Overloaded | `Shutdown | `Failed of exn ]
 type ('a, 'b) cell = {
   items : 'a array;
   mutable outcome : ('b array, error) result option;
+  (* [None] = a blocked submitter waits on [done_cond]; [Some f] = the
+     dispatcher calls [f outcome] after the batch, outside the lock
+     (event-loop completions re-arming writers via their self-pipe). *)
+  notify : (('b array, error) result -> unit) option;
 }
 
 type ('a, 'b) t = {
@@ -21,6 +25,11 @@ type ('a, 'b) t = {
   mutable depth : int;
   mutable stopping : bool;
   mutable joined : bool;
+  (* True only while the dispatcher is parked in [wait_for_wake];
+     submitters skip the wake-pipe write (a syscall per request under
+     load) whenever the dispatcher is awake and will re-check the queue
+     under the lock anyway. *)
+  mutable waiting : bool;
   (* Self-pipe: OCaml has no [Condition.timedwait], so the dispatcher's
      timed waits are [select] on this pipe; submitters write one byte
      after every enqueue (and [shutdown] after flipping [stopping]). *)
@@ -46,11 +55,13 @@ let drain_wake t =
   go ()
 
 (* Block (without the lock held) until woken or [timeout] seconds pass;
-   negative timeout blocks indefinitely. *)
+   negative timeout blocks indefinitely. Poll-backed: the self-pipe's
+   descriptor number is unbounded under thousands of connections, which
+   would corrupt a select fd_set. *)
 let wait_for_wake t timeout =
-  (match Iox.retry (fun () -> Unix.select [ t.wake_r ] [] [] timeout) with
-  | [], _, _ -> ()
-  | _ -> drain_wake t)
+  match Evloop.wait_readable t.wake_r ~timeout with
+  | `Timeout -> ()
+  | `Ready -> drain_wake t
 
 let run_batch t cells n =
   t.before_batch ();
@@ -79,16 +90,26 @@ let run_batch t cells n =
         cells
   | Error _ as e -> List.iter (fun c -> c.outcome <- Some e) cells);
   Condition.broadcast t.done_cond;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  (* Completion callbacks run on the dispatcher thread with no lock
+     held, so a callback may call back into the batcher freely. *)
+  List.iter
+    (fun c ->
+      match (c.notify, c.outcome) with
+      | Some f, Some r -> ( try f r with _ -> ())
+      | _ -> ())
+    cells
 
 let dispatcher_loop t =
   let running = ref true in
   while !running do
     Mutex.lock t.lock;
     while Queue.is_empty t.queue && not t.stopping do
+      t.waiting <- true;
       Mutex.unlock t.lock;
       wait_for_wake t (-1.0);
-      Mutex.lock t.lock
+      Mutex.lock t.lock;
+      t.waiting <- false
     done;
     if Queue.is_empty t.queue then begin
       (* stopping && drained: exit. [stopping] is checked under the same
@@ -104,9 +125,11 @@ let dispatcher_loop t =
         let rec linger () =
           let remaining = deadline -. Unix.gettimeofday () in
           if remaining > 0.0 && t.depth < t.max_batch && not t.stopping then begin
+            t.waiting <- true;
             Mutex.unlock t.lock;
             wait_for_wake t remaining;
             Mutex.lock t.lock;
+            t.waiting <- false;
             linger ()
           end
         in
@@ -158,6 +181,7 @@ let create ?(max_batch = 64) ?(max_wait_us = 2000) ?(capacity = 1024)
       depth = 0;
       stopping = false;
       joined = false;
+      waiting = false;
       wake_r;
       wake_w;
       dispatcher = None;
@@ -166,36 +190,61 @@ let create ?(max_batch = 64) ?(max_wait_us = 2000) ?(capacity = 1024)
   t.dispatcher <- Some (Thread.create dispatcher_loop t);
   t
 
+(* Validate and enqueue one group under the lock; returns the depth
+   after the enqueue so the caller can report it with the lock dropped
+   ([on_depth] with the lock held would deadlock any callback touching
+   [depth], and the dispatcher already calls it unlocked). *)
+let enqueue t cell k =
+  if t.stopping then Error `Shutdown
+  else if t.depth + k > t.capacity then Error `Overloaded
+  else begin
+    Queue.push cell t.queue;
+    t.depth <- t.depth + k;
+    if t.waiting then wake t;
+    Ok t.depth
+  end
+
 let submit_many t items =
   let k = Array.length items in
   if k = 0 then Ok [||]
   else begin
+    let cell = { items; outcome = None; notify = None } in
     Mutex.lock t.lock;
-    if t.stopping then begin
-      Mutex.unlock t.lock;
-      Error `Shutdown
-    end
-    else if t.depth + k > t.capacity then begin
-      Mutex.unlock t.lock;
-      Error `Overloaded
-    end
-    else begin
-      let cell = { items; outcome = None } in
-      Queue.push cell t.queue;
-      t.depth <- t.depth + k;
-      t.on_depth t.depth;
-      wake t;
-      let rec await () =
-        match cell.outcome with
-        | Some r -> r
-        | None ->
-            Condition.wait t.done_cond t.lock;
-            await ()
-      in
-      let r = await () in
-      Mutex.unlock t.lock;
-      r
-    end
+    match enqueue t cell k with
+    | Error _ as e ->
+        Mutex.unlock t.lock;
+        e
+    | Ok depth_now ->
+        Mutex.unlock t.lock;
+        t.on_depth depth_now;
+        Mutex.lock t.lock;
+        let rec await () =
+          match cell.outcome with
+          | Some r -> r
+          | None ->
+              Condition.wait t.done_cond t.lock;
+              await ()
+        in
+        let r = await () in
+        Mutex.unlock t.lock;
+        r
+  end
+
+let submit_async t items ~notify =
+  let k = Array.length items in
+  if k = 0 then notify (Ok [||])
+  else begin
+    let cell = { items; outcome = None; notify = Some notify } in
+    Mutex.lock t.lock;
+    match enqueue t cell k with
+    | Error _ as e ->
+        Mutex.unlock t.lock;
+        (* Rejection is reported synchronously on the caller's thread —
+           there is no batch whose completion could carry it. *)
+        notify e
+    | Ok depth_now ->
+        Mutex.unlock t.lock;
+        t.on_depth depth_now
   end
 
 let submit t item =

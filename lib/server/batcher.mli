@@ -31,10 +31,11 @@ type error = [ `Overloaded | `Shutdown | `Failed of exn ]
     with between 1 and [max (max_batch) (largest single group)] items
     and must return exactly one output per input, in order. Hooks:
     [on_depth] observes the queue depth after every enqueue/drain (for
-    a gauge), [on_batch] the size of every dispatched batch (for a
-    histogram), [before_batch] runs just before each evaluation (test
-    seam for forcing queue buildup). All hooks must be fast and must
-    not raise. Defaults: [max_batch = 64], [max_wait_us = 2000],
+    a gauge) and is always called with the batcher lock released, so it
+    may call back into {!depth}, [on_batch] the size of every
+    dispatched batch (for a histogram), [before_batch] runs just before
+    each evaluation (test seam for forcing queue buildup). All hooks
+    must be fast and must not raise. Defaults: [max_batch = 64], [max_wait_us = 2000],
     [capacity = 1024]. Raises [Invalid_argument] if [max_batch] or
     [capacity] is non-positive. *)
 val create :
@@ -57,6 +58,17 @@ val submit_many : ('a, 'b) t -> 'a array -> ('b array, error) result
 
 (** [submit t item] is [submit_many t [| item |]] unwrapped. *)
 val submit : ('a, 'b) t -> 'a -> ('b, error) result
+
+(** [submit_async t items ~notify] enqueues [items] as one indivisible
+    group without blocking — the event-loop submission path, where the
+    caller cannot park a thread per request. [notify] is called exactly
+    once with the group's outcome: on the dispatcher thread (no lock
+    held) after the batch runs, or synchronously on the caller's thread
+    when the group is rejected ([`Overloaded]/[`Shutdown]) or empty.
+    [notify] must not raise; exceptions are swallowed to protect the
+    dispatcher. *)
+val submit_async :
+  ('a, 'b) t -> 'a array -> notify:(('b array, error) result -> unit) -> unit
 
 (** [depth t] is the number of items currently queued (diagnostics). *)
 val depth : ('a, 'b) t -> int

@@ -1,0 +1,104 @@
+external poll_table :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "prom_evloop_poll"
+
+external poll_one : Unix.file_descr -> int -> int -> int
+  = "prom_evloop_poll_one"
+
+let ev_read = 1
+let ev_write = 2
+let ev_error = 4
+
+(* Registration table as parallel arrays so one stub call polls
+   everything without marshalling: [fds.(i)]/[interest.(i)] describe
+   slot [i] for [i < n]; [ready.(i)] receives the readiness bits.
+   [slots] maps a descriptor back to its slot for O(1) modify/remove
+   (removal swaps the last slot into the hole). *)
+type t = {
+  mutable fds : Unix.file_descr array;
+  mutable interest : int array;
+  mutable ready : int array;
+  mutable n : int;
+  slots : (Unix.file_descr, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    fds = Array.make 16 Unix.stdin;
+    interest = Array.make 16 0;
+    ready = Array.make 16 0;
+    n = 0;
+    slots = Hashtbl.create 64;
+  }
+
+let registered t = t.n
+
+let grow t =
+  let cap = Array.length t.fds * 2 in
+  let fds = Array.make cap Unix.stdin in
+  let interest = Array.make cap 0 in
+  Array.blit t.fds 0 fds 0 t.n;
+  Array.blit t.interest 0 interest 0 t.n;
+  t.fds <- fds;
+  t.interest <- interest;
+  t.ready <- Array.make cap 0
+
+let bits ~read ~write =
+  (if read then ev_read else 0) lor if write then ev_write else 0
+
+let set t fd ~read ~write =
+  match Hashtbl.find_opt t.slots fd with
+  | Some i -> t.interest.(i) <- bits ~read ~write
+  | None ->
+      if t.n = Array.length t.fds then grow t;
+      t.fds.(t.n) <- fd;
+      t.interest.(t.n) <- bits ~read ~write;
+      Hashtbl.replace t.slots fd t.n;
+      t.n <- t.n + 1
+
+let remove t fd =
+  match Hashtbl.find_opt t.slots fd with
+  | None -> ()
+  | Some i ->
+      Hashtbl.remove t.slots fd;
+      let last = t.n - 1 in
+      if i < last then begin
+        t.fds.(i) <- t.fds.(last);
+        t.interest.(i) <- t.interest.(last);
+        Hashtbl.replace t.slots t.fds.(i) i
+      end;
+      t.n <- last
+
+let mem t fd = Hashtbl.mem t.slots fd
+
+let wait t ~timeout_ms f =
+  let nready = poll_table t.fds t.interest t.ready t.n timeout_ms in
+  if nready > 0 then begin
+    (* Snapshot the ready descriptors before dispatching: callbacks may
+       register or remove descriptors, which permutes the slot table. *)
+    let hits = ref [] in
+    for i = t.n - 1 downto 0 do
+      if t.ready.(i) <> 0 then hits := (t.fds.(i), t.ready.(i)) :: !hits
+    done;
+    List.iter
+      (fun (fd, bits) ->
+        (* A callback earlier in this batch may have removed [fd]. *)
+        if Hashtbl.mem t.slots fd then
+          f fd
+            ~readable:(bits land ev_read <> 0)
+            ~writable:(bits land ev_write <> 0)
+            ~error:(bits land ev_error <> 0))
+      !hits
+  end;
+  nready
+
+let timeout_ms_of_s s =
+  if s < 0.0 then -1 else int_of_float (Float.ceil (s *. 1000.0))
+
+let wait_readable fd ~timeout =
+  let bits = poll_one fd ev_read (timeout_ms_of_s timeout) in
+  if bits <> 0 then `Ready else `Timeout
+
+let wait_writable fd ~timeout =
+  let bits = poll_one fd ev_write (timeout_ms_of_s timeout) in
+  if bits <> 0 then `Ready else `Timeout

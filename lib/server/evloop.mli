@@ -1,0 +1,55 @@
+(** Readiness multiplexing for the serving event loop, bound to
+    [poll(2)] instead of [Unix.select] — [select] silently breaks once
+    descriptor numbers exceed [FD_SETSIZE] (1024), which a serving tier
+    holding thousands of keep-alive connections crosses routinely. All
+    waits are level-triggered: a descriptor stays ready until its
+    condition is consumed, so missing an event is never fatal.
+
+    One {!t} belongs to one thread (no internal locking); cross-thread
+    wake-ups are done by registering a self-pipe read end and writing a
+    byte to it from the other thread. *)
+
+type t
+(** A registration table: descriptors plus the events each one is
+    interested in. *)
+
+(** [create ()] is an empty table. *)
+val create : unit -> t
+
+(** [registered t] is the number of registered descriptors. *)
+val registered : t -> int
+
+(** [set t fd ~read ~write] registers [fd] (or updates its interest)
+    for readability and/or writability. An [fd] registered with both
+    flags false is still polled for errors/hangup. *)
+val set : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+
+(** [remove t fd] forgets [fd]; no-op when it is not registered. *)
+val remove : t -> Unix.file_descr -> unit
+
+(** [mem t fd] is true when [fd] is registered. *)
+val mem : t -> Unix.file_descr -> bool
+
+(** [wait t ~timeout_ms f] polls every registered descriptor for up to
+    [timeout_ms] milliseconds (negative = forever) and calls [f] once
+    per ready descriptor with its readiness ([error] covers
+    [POLLERR]/[POLLNVAL]; hangup is reported as [readable] so the next
+    read observes EOF). Callbacks may freely register/remove
+    descriptors, including the one being reported — a descriptor
+    removed by an earlier callback of the same batch is not reported.
+    Returns the number of ready descriptors (0 on timeout or [EINTR]).
+    Raises [Unix.Unix_error] on a real [poll] failure. *)
+val wait :
+  t ->
+  timeout_ms:int ->
+  (Unix.file_descr -> readable:bool -> writable:bool -> error:bool -> unit) ->
+  int
+
+(** [wait_readable fd ~timeout] waits (seconds; negative = forever) for
+    [fd] alone to become readable — the [select]-free replacement for
+    single-descriptor waits (self-pipes, blocking client reads).
+    [EINTR] reports [`Timeout]; callers recompute their deadline. *)
+val wait_readable : Unix.file_descr -> timeout:float -> [ `Ready | `Timeout ]
+
+(** [wait_writable fd ~timeout] is {!wait_readable} for writability. *)
+val wait_writable : Unix.file_descr -> timeout:float -> [ `Ready | `Timeout ]

@@ -1,0 +1,108 @@
+/* poll(2) binding for the serving event loop.
+
+   Unix.select caps file descriptors at FD_SETSIZE (1024) and silently
+   corrupts fd_sets beyond it; a production serving tier holds thousands
+   of keep-alive sockets, so every readiness wait in lib/server goes
+   through these stubs instead.  The interface is deliberately flat --
+   parallel OCaml arrays of descriptors, interest bits and result bits
+   -- so one stub call polls the whole registration table without
+   per-fd allocation on the OCaml side. */
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/signals.h>
+#include <caml/unixsupport.h>
+
+/* Interest / readiness bits shared with evloop.ml. */
+#define PROM_EV_READ 1
+#define PROM_EV_WRITE 2
+#define PROM_EV_ERROR 4
+
+static short events_of_bits(int bits)
+{
+  short ev = 0;
+  if (bits & PROM_EV_READ) ev |= POLLIN;
+  if (bits & PROM_EV_WRITE) ev |= POLLOUT;
+  return ev;
+}
+
+static int bits_of_revents(short rev)
+{
+  int bits = 0;
+  /* POLLHUP surfaces as readable so the caller's read() observes EOF;
+     POLLNVAL/POLLERR surface as PROM_EV_ERROR so the fd gets torn
+     down instead of spinning. */
+  if (rev & (POLLIN | POLLHUP)) bits |= PROM_EV_READ;
+  if (rev & POLLOUT) bits |= PROM_EV_WRITE;
+  if (rev & (POLLERR | POLLNVAL)) bits |= PROM_EV_ERROR;
+  return bits;
+}
+
+/* prom_evloop_poll fds events revents n timeout_ms
+
+   Polls fds.(0..n-1) (interest bits events.(i)) for up to timeout_ms
+   milliseconds (negative = forever).  Stores readiness bits into
+   revents.(i) and returns the number of ready descriptors.  EINTR is
+   reported as 0 ready with revents untouched -- callers recompute
+   their deadline and re-enter. */
+CAMLprim value prom_evloop_poll(value vfds, value vevents, value vrevents,
+                                value vn, value vtimeout)
+{
+  CAMLparam5(vfds, vevents, vrevents, vn, vtimeout);
+  int n = Int_val(vn);
+  int timeout = Int_val(vtimeout);
+  struct pollfd *pfds;
+  int i, ret, err;
+
+  if (n < 0 || n > Wosize_val(vfds) || n > Wosize_val(vevents)
+      || n > Wosize_val(vrevents))
+    caml_invalid_argument("Evloop.poll: inconsistent table sizes");
+  pfds = caml_stat_alloc(sizeof(struct pollfd) * (n > 0 ? (size_t)n : 1));
+  for (i = 0; i < n; i++) {
+    pfds[i].fd = Int_val(Field(vfds, i));
+    pfds[i].events = events_of_bits(Int_val(Field(vevents, i)));
+    pfds[i].revents = 0;
+  }
+  caml_enter_blocking_section();
+  ret = poll(pfds, (nfds_t)n, timeout);
+  err = errno;
+  caml_leave_blocking_section();
+  if (ret < 0) {
+    caml_stat_free(pfds);
+    if (err == EINTR) CAMLreturn(Val_int(0));
+    caml_unix_error(err, "poll", Nothing);
+  }
+  for (i = 0; i < n; i++)
+    Store_field(vrevents, i, Val_int(bits_of_revents(pfds[i].revents)));
+  caml_stat_free(pfds);
+  CAMLreturn(Val_int(ret));
+}
+
+/* prom_evloop_poll_one fd interest_bits timeout_ms
+
+   Single-descriptor wait (self-pipes, blocking client reads): returns
+   the readiness bits, 0 on timeout or EINTR. */
+CAMLprim value prom_evloop_poll_one(value vfd, value vevents, value vtimeout)
+{
+  struct pollfd p;
+  int ret, err;
+
+  p.fd = Int_val(vfd);
+  p.events = events_of_bits(Int_val(vevents));
+  p.revents = 0;
+  caml_enter_blocking_section();
+  ret = poll(&p, 1, Int_val(vtimeout));
+  err = errno;
+  caml_leave_blocking_section();
+  if (ret < 0) {
+    if (err == EINTR) return Val_int(0);
+    caml_unix_error(err, "poll", Nothing);
+  }
+  return Val_int(ret == 0 ? 0 : bits_of_revents(p.revents));
+}

@@ -15,7 +15,7 @@ type response = {
   resp_body : string;
 }
 
-type read_error = [ `Eof | `Bad of string | `Too_large ]
+type read_error = [ `Eof | `Bad of string | `Too_large of [ `Head | `Body ] ]
 
 (* Buffered connection reader: bytes live in [buf.(start .. start+len)];
    the prefix before [start] is already consumed and reclaimed by
@@ -32,11 +32,7 @@ let reader fd = { fd; buf = Bytes.create 4096; start = 0; len = 0; eof = false }
 let buffered r = r.len > 0
 
 let wait_readable r ~timeout =
-  if r.len > 0 || r.eof then `Ready
-  else
-    match Iox.retry (fun () -> Unix.select [ r.fd ] [] [] timeout) with
-    | [], _, _ -> `Timeout
-    | _ -> `Ready
+  if r.len > 0 || r.eof then `Ready else Evloop.wait_readable r.fd ~timeout
 
 (* Make room for [extra] more bytes past the current content. *)
 let reserve r extra =
@@ -61,6 +57,24 @@ let refill r =
     reserve r 4096;
     let n = Iox.read r.fd r.buf (r.start + r.len) 4096 in
     if n = 0 then r.eof <- true else r.len <- r.len + n
+  end
+
+(* One read attempt that never blocks on a nonblocking descriptor: the
+   event loop calls this when poll reports readability, then re-parses
+   from the buffer. *)
+let fill_once r =
+  if r.eof then `Eof
+  else begin
+    reserve r 4096;
+    match Unix.read r.fd r.buf (r.start + r.len) 4096 with
+    | 0 ->
+        r.eof <- true;
+        `Eof
+    | n ->
+        r.len <- r.len + n;
+        `Data n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        `Again
   end
 
 let consume r n =
@@ -126,7 +140,7 @@ let read_head ~max_header r =
   let rec loop () =
     match head_end r with
     | Some off ->
-        if off > max_header then Error `Too_large
+        if off > max_header then Error (`Too_large `Head)
         else begin
           let head = Bytes.sub_string r.buf r.start off in
           consume r off;
@@ -134,7 +148,7 @@ let read_head ~max_header r =
           Ok (List.filter (fun l -> l <> "") (split_crlf head))
         end
     | None ->
-        if r.len > max_header then Error `Too_large
+        if r.len > max_header then Error (`Too_large `Head)
         else if r.eof then
           if r.len = 0 then Error `Eof else Error (`Bad "truncated message head")
         else begin
@@ -144,50 +158,112 @@ let read_head ~max_header r =
   in
   loop ()
 
-let read_body ~max_body r headers =
+(* Declared body length from the header block. Duplicate Content-Length
+   headers are rejected outright (even when the copies agree): with a
+   first-match lookup, a smuggled second length would silently desync
+   this parser from any intermediary that honours the other copy. *)
+let body_length ~max_body headers =
   if header "transfer-encoding" headers <> None then
     Error (`Bad "chunked transfer encoding not supported")
   else
-    match header "content-length" headers with
-    | None -> Ok ""
-    | Some v -> (
+    match
+      List.filter_map
+        (fun (name, v) -> if name = "content-length" then Some v else None)
+        headers
+    with
+    | [] -> Ok 0
+    | _ :: _ :: _ -> Error (`Bad "duplicate content-length header")
+    | [ v ] -> (
         match int_of_string_opt (String.trim v) with
         | None -> Error (`Bad "unparseable content-length")
         | Some n when n < 0 -> Error (`Bad "negative content-length")
-        | Some n when n > max_body -> Error `Too_large
-        | Some n ->
-            let rec fill () =
-              if r.len >= n then begin
-                let body = Bytes.sub_string r.buf r.start n in
-                consume r n;
-                Ok body
-              end
-              else if r.eof then Error (`Bad "truncated body")
-              else begin
-                refill r;
-                fill ()
-              end
-            in
-            fill ())
+        | Some n when n > max_body -> Error (`Too_large `Body)
+        | Some n -> Ok n)
+
+let read_body ~max_body r headers =
+  match body_length ~max_body headers with
+  | Error _ as e -> e
+  | Ok 0 -> Ok ""
+  | Ok n ->
+      let rec fill () =
+        if r.len >= n then begin
+          let body = Bytes.sub_string r.buf r.start n in
+          consume r n;
+          Ok body
+        end
+        else if r.eof then Error (`Bad "truncated body")
+        else begin
+          refill r;
+          fill ()
+        end
+      in
+      fill ()
 
 let split_on_spaces line =
   List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
 
-let read_request ?(max_header = 16 * 1024) ?(max_body = 4 * 1024 * 1024) r =
-  match read_head ~max_header r with
-  | Error _ as e -> e
-  | Ok [] -> Error (`Bad "empty request head")
-  | Ok (request_line :: header_lines) -> (
+let request_of_head = function
+  | [] -> Error (`Bad "empty request head")
+  | request_line :: header_lines -> (
       match split_on_spaces request_line with
-      | [ meth; path; version ] when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+      | [ meth; path; version ] when version = "HTTP/1.1" || version = "HTTP/1.0"
+        -> (
           match parse_headers header_lines with
           | Error _ as e -> e
-          | Ok req_headers -> (
-              match read_body ~max_body r req_headers with
-              | Error _ as e -> e
-              | Ok req_body ->
-                  Ok { meth = String.uppercase_ascii meth; path; version; req_headers; req_body }))
+          | Ok req_headers ->
+              Ok
+                {
+                  meth = String.uppercase_ascii meth;
+                  path;
+                  version;
+                  req_headers;
+                  req_body = "";
+                })
       | _ -> Error (`Bad (Printf.sprintf "malformed request line %S" request_line)))
+
+(* Resumable parse for the event loop: only looks at bytes already
+   buffered, never touches the descriptor. Nothing is consumed until
+   the full head+body is present, so an incomplete request leaves the
+   reader exactly where it was and the parse restarts cheaply on the
+   next readability event. *)
+let try_read_request ?(max_header = 16 * 1024) ?(max_body = 4 * 1024 * 1024) r =
+  match head_end r with
+  | None ->
+      if r.len > max_header then `Err (`Too_large `Head)
+      else if r.eof then
+        if r.len = 0 then `Err `Eof else `Err (`Bad "truncated message head")
+      else `Need_more
+  | Some off ->
+      if off > max_header then `Err (`Too_large `Head)
+      else begin
+        let head = Bytes.sub_string r.buf r.start off in
+        let lines = List.filter (fun l -> l <> "") (split_crlf head) in
+        match request_of_head lines with
+        | Error e -> `Err e
+        | Ok req -> (
+            match body_length ~max_body req.req_headers with
+            | Error e -> `Err e
+            | Ok blen ->
+                if r.len >= off + blen then begin
+                  consume r off;
+                  let req_body = Bytes.sub_string r.buf r.start blen in
+                  consume r blen;
+                  `Req { req with req_body }
+                end
+                else if r.eof then `Err (`Bad "truncated body")
+                else `Need_more)
+      end
+
+let read_request ?max_header ?max_body r =
+  let rec loop () =
+    match try_read_request ?max_header ?max_body r with
+    | `Req req -> Ok req
+    | `Err e -> Error e
+    | `Need_more ->
+        refill r;
+        loop ()
+  in
+  loop ()
 
 let read_response ?(max_header = 16 * 1024) ?(max_body = 64 * 1024 * 1024) r =
   match read_head ~max_header r with
@@ -215,12 +291,25 @@ let read_response ?(max_header = 16 * 1024) ?(max_body = 64 * 1024 * 1024) r =
                         })))
       | _ -> Error (`Bad (Printf.sprintf "malformed status line %S" status_line)))
 
+(* [Connection] is a comma-separated token list ("keep-alive, upgrade"
+   is common from proxies); matching the raw value as a single token
+   misreads every multi-token header. *)
+let connection_tokens req =
+  match header "connection" req.req_headers with
+  | None -> []
+  | Some v ->
+      List.filter_map
+        (fun tok ->
+          match String.trim tok with
+          | "" -> None
+          | t -> Some (lowercase_ascii_inplace t))
+        (String.split_on_char ',' v)
+
 let keep_alive req =
-  match (req.version, Option.map lowercase_ascii_inplace (header "connection" req.req_headers)) with
-  | _, Some "close" -> false
-  | "HTTP/1.0", Some "keep-alive" -> true
-  | "HTTP/1.0", _ -> false
-  | _, _ -> true
+  let tokens = connection_tokens req in
+  if List.mem "close" tokens then false
+  else if req.version = "HTTP/1.0" then List.mem "keep-alive" tokens
+  else true
 
 let reason_phrase = function
   | 200 -> "OK"
@@ -238,7 +327,7 @@ let reason_phrase = function
   | 503 -> "Service Unavailable"
   | _ -> "Unknown"
 
-let write_response fd ~status ?(content_type = "application/json")
+let serialize_response ~status ?(content_type = "application/json")
     ?(extra_headers = []) ~keep_alive body =
   let buf = Buffer.create (256 + String.length body) in
   Buffer.add_string buf
@@ -253,7 +342,11 @@ let write_response fd ~status ?(content_type = "application/json")
     extra_headers;
   Buffer.add_string buf "\r\n";
   Buffer.add_string buf body;
-  Iox.write_string fd (Buffer.contents buf)
+  Buffer.contents buf
+
+let write_response fd ~status ?content_type ?extra_headers ~keep_alive body =
+  Iox.write_string fd
+    (serialize_response ~status ?content_type ?extra_headers ~keep_alive body)
 
 let write_request fd ~meth ~path ?(content_type = "application/json")
     ?(extra_headers = []) body =

@@ -26,8 +26,11 @@ type response = {
 
 (** Why a read failed: the peer closed cleanly before a complete
     message ([`Eof]), the bytes are not valid HTTP ([`Bad]), or a limit
-    was exceeded ([`Too_large] — respond 413/431 and close). *)
-type read_error = [ `Eof | `Bad of string | `Too_large ]
+    was exceeded — [`Too_large `Head] when the request line + headers
+    overflow [max_header] (respond 431 and close), [`Too_large `Body]
+    when the declared [Content-Length] exceeds [max_body] (respond 413
+    and close). *)
+type read_error = [ `Eof | `Bad of string | `Too_large of [ `Head | `Body ] ]
 
 (** A buffered reader over one connection. Buffering is internal to
     the reader, so interleave {!read_request} calls freely with writes
@@ -43,15 +46,37 @@ val reader : Unix.file_descr -> reader
     touching the descriptor (pipelined request). *)
 val buffered : reader -> bool
 
-(** [wait_readable r ~timeout] waits (via [select]) until the reader
-    can make progress or [timeout] seconds elapse. Returns immediately
-    when data is already {!buffered}. *)
+(** [wait_readable r ~timeout] waits (via {!Evloop.wait_readable}, so
+    no [FD_SETSIZE] bound) until the reader can make progress or
+    [timeout] seconds elapse. Returns immediately when data is already
+    {!buffered}. *)
 val wait_readable : reader -> timeout:float -> [ `Ready | `Timeout ]
 
-(** [read_request ?max_header ?max_body r] reads one full request.
-    [max_header] bounds the request line + headers (default 16 KiB),
-    [max_body] the declared [Content-Length] (default 4 MiB). All reads
-    restart on [EINTR]. *)
+(** [fill_once r] performs exactly one [read] on the descriptor —
+    never blocking when the descriptor is nonblocking: [`Data n] bytes
+    were appended to the buffer, [`Eof] the peer closed (sticky), or
+    [`Again] the read would block ([EAGAIN]/[EINTR]) — retry after the
+    next readiness event. *)
+val fill_once : reader -> [ `Data of int | `Eof | `Again ]
+
+(** [try_read_request ?max_header ?max_body r] parses one request from
+    bytes already buffered, without touching the descriptor — the
+    resumable core of the event loop's per-connection state machine.
+    [`Need_more] means the request is incomplete: nothing was consumed,
+    call {!fill_once} when the socket is next readable and re-parse.
+    Limits and validation match {!read_request}. *)
+val try_read_request :
+  ?max_header:int ->
+  ?max_body:int ->
+  reader ->
+  [ `Req of request | `Need_more | `Err of read_error ]
+
+(** [read_request ?max_header ?max_body r] reads one full request
+    (blocking). [max_header] bounds the request line + headers (default
+    16 KiB), [max_body] the declared [Content-Length] (default 4 MiB).
+    Requests with duplicate [Content-Length] headers are rejected as
+    [`Bad] even when the copies agree (request-smuggling hardening).
+    All reads restart on [EINTR]. *)
 val read_request :
   ?max_header:int -> ?max_body:int -> reader -> (request, read_error) result
 
@@ -64,9 +89,11 @@ val read_response :
 (** [header name msg_headers] looks up a header by lowercase name. *)
 val header : string -> (string * string) list -> string option
 
-(** [keep_alive req] — persistent-connection semantics: HTTP/1.1
-    defaults to keep-alive unless [Connection: close]; HTTP/1.0 only
-    with [Connection: keep-alive]. *)
+(** [keep_alive req] — persistent-connection semantics over the
+    [Connection] header parsed as a comma-separated token list
+    (case-insensitive, whitespace-trimmed): any [close] token wins;
+    HTTP/1.1 otherwise defaults to keep-alive; HTTP/1.0 requires an
+    explicit [keep-alive] token (so ["keep-alive, upgrade"] counts). *)
 val keep_alive : request -> bool
 
 (** [reason_phrase code] is the standard reason phrase for [code]
@@ -86,6 +113,18 @@ val write_response :
   keep_alive:bool ->
   string ->
   unit
+
+(** [serialize_response ~status ?content_type ?extra_headers
+    ~keep_alive body] is the wire form {!write_response} would write —
+    the event loop buffers it and flushes incrementally as the socket
+    accepts bytes. *)
+val serialize_response :
+  status:int ->
+  ?content_type:string ->
+  ?extra_headers:(string * string) list ->
+  keep_alive:bool ->
+  string ->
+  string
 
 (** [write_request fd ~meth ~path ?content_type ?extra_headers body]
     serializes and writes one request (client side; always

@@ -13,6 +13,8 @@ type config = {
   queue_capacity : int;
   max_body_bytes : int;
   max_connections : int;
+  shards : int;
+  idle_timeout_s : float;
 }
 
 let default_config =
@@ -23,7 +25,74 @@ let default_config =
     queue_capacity = 1024;
     max_body_bytes = 4 * 1024 * 1024;
     max_connections = 256;
+    shards = 1;
+    idle_timeout_s = 30.0;
   }
+
+(* Past the soft cap ([max_connections]) new connections are still
+   accepted just long enough to read one request and answer 503; past
+   the hard cap they are closed unanswered — the descriptor budget is
+   the resource actually being protected at that point. *)
+let overflow_headroom soft = Stdlib.max 64 (soft / 4)
+
+(* How long a connection mid-request may stall the drain once [stop]
+   has been called; idle keep-alive connections are closed immediately. *)
+let drain_grace_s = 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection state machine.
+
+   Reading --(full request parsed)--> Inflight (predict) or straight to
+   Writing (every other endpoint, and predict parse errors);
+   Inflight --(batch completion via the shard's self-pipe)--> Writing;
+   Writing --(response flushed)--> Reading (keep-alive) or closed.
+
+   Readiness interest follows the phase: Reading polls readability,
+   Writing polls writability once a flush hits EAGAIN, Inflight polls
+   nothing (the wake pipe re-arms the writer). *)
+
+type conn_phase = Reading | Inflight | Writing
+
+type conn = {
+  cfd : Unix.file_descr;
+  creader : Http.reader;
+  overflow : bool;
+  mutable phase : conn_phase;
+  mutable out : string;
+  mutable out_off : int;
+  mutable out_status : int;
+  mutable close_after : bool;
+  mutable closed : bool;
+  mutable last_active : float;
+  (* Wall-clock start of the request currently being read/served;
+     negative when no request has started. *)
+  mutable req_t0 : float;
+}
+
+(* A queued response: everything needed to serialize once the event
+   loop picks the completion up. *)
+type reply = {
+  r_status : int;
+  r_ctype : string;
+  r_body : string;
+  r_extra : (string * string) list;
+  r_keep : bool;
+}
+
+type shard = {
+  sid : int;
+  loop : Evloop.t;
+  s_listen : Unix.file_descr;
+  s_wake_r : Unix.file_descr;
+  s_wake_w : Unix.file_descr;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  completions : (conn * reply) Queue.t;
+  comp_lock : Mutex.t;
+  mutable listen_open : bool;
+  mutable last_sweep : float;
+  mutable drain_t0 : float;
+  mutable thread : Thread.t option;
+}
 
 type t = {
   config : config;
@@ -34,15 +103,13 @@ type t = {
   batcher :
     (Prom_linalg.Vec.t * Prom_linalg.Vec.t, Detector.cls_verdict) Batcher.t;
   snapshot_dir : string option;
-  listen_fd : Unix.file_descr;
+  shards : shard array;
   bound_port : int;
   stopping : bool Atomic.t;
-  lock : Mutex.t;
-  conns_done : Condition.t;
-  mutable conns : int;
-  mutable stopped : bool;
-  mutable accept_thread : Thread.t option;
+  open_conns : int Atomic.t;
   swap_lock : Mutex.t;
+  stop_lock : Mutex.t;
+  mutable stopped : bool;
 }
 
 let port t = t.bound_port
@@ -83,52 +150,67 @@ let parse_query ~dim ~n_classes j =
   in
   (field "features" dim, field "proba" n_classes)
 
-let handle_predict t body =
-  try
-    let j =
-      match J.parse body with
-      | Ok j -> j
-      | Error m -> raise (Reject (400, "invalid JSON: " ^ m))
-    in
-    let dim, n_classes = Service.dims t.service in
-    let parse_one q = parse_query ~dim ~n_classes q in
-    let queries, batched =
-      match J.member "queries" j with
-      | Some (J.Arr items) ->
-          (Array.of_list (List.map parse_one items), true)
-      | Some _ -> raise (Reject (422, "\"queries\" must be an array"))
-      | None -> ([| parse_one j |], false)
-    in
-    if Array.length queries = 0 then raise (Reject (422, "empty batch"));
-    match Batcher.submit_many t.batcher queries with
-    | Ok verdicts ->
-        let body =
-          if batched then
-            J.Obj
-              [
-                ( "results",
-                  J.Arr (Array.to_list (Array.map verdict_json verdicts)) );
-              ]
-          else verdict_json verdicts.(0)
-        in
-        (200, "application/json", json_body body, [])
-    | Error `Overloaded ->
-        ( 503,
-          "application/json",
-          json_body (err_obj "inference queue full"),
-          [ ("Retry-After", "1") ] )
-    | Error `Shutdown ->
-        ( 503,
-          "application/json",
-          json_body (err_obj "server shutting down"),
-          [ ("Retry-After", "1") ] )
-    | Error (`Failed e) ->
-        ( 500,
-          "application/json",
-          json_body (err_obj ("inference failed: " ^ Printexc.to_string e)),
-          [] )
-  with Reject (status, msg) ->
-    (status, "application/json", json_body (err_obj msg), [])
+(* The JSON-parsing half of /predict; raises [Reject] on client errors.
+   Submission happens asynchronously in the event loop. *)
+let parse_predict t body =
+  let j =
+    match J.parse body with
+    | Ok j -> j
+    | Error m -> raise (Reject (400, "invalid JSON: " ^ m))
+  in
+  let dim, n_classes = Service.dims t.service in
+  let parse_one q = parse_query ~dim ~n_classes q in
+  let queries, batched =
+    match J.member "queries" j with
+    | Some (J.Arr items) -> (Array.of_list (List.map parse_one items), true)
+    | Some _ -> raise (Reject (422, "\"queries\" must be an array"))
+    | None -> ([| parse_one j |], false)
+  in
+  if Array.length queries = 0 then raise (Reject (422, "empty batch"));
+  (queries, batched)
+
+let predict_reply ~batched ~keep = function
+  | Ok verdicts ->
+      let body =
+        if batched then
+          J.Obj
+            [
+              ( "results",
+                J.Arr (Array.to_list (Array.map verdict_json verdicts)) );
+            ]
+        else verdict_json verdicts.(0)
+      in
+      {
+        r_status = 200;
+        r_ctype = "application/json";
+        r_body = json_body body;
+        r_extra = [];
+        r_keep = keep;
+      }
+  | Error `Overloaded ->
+      {
+        r_status = 503;
+        r_ctype = "application/json";
+        r_body = json_body (err_obj "inference queue full");
+        r_extra = [ ("Retry-After", "1") ];
+        r_keep = keep;
+      }
+  | Error `Shutdown ->
+      {
+        r_status = 503;
+        r_ctype = "application/json";
+        r_body = json_body (err_obj "server shutting down");
+        r_extra = [ ("Retry-After", "1") ];
+        r_keep = false;
+      }
+  | Error (`Failed e) ->
+      {
+        r_status = 500;
+        r_ctype = "application/json";
+        r_body = json_body (err_obj ("inference failed: " ^ Printexc.to_string e));
+        r_extra = [];
+        r_keep = keep;
+      }
 
 let handle_metrics t =
   let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.take t.registry) in
@@ -195,101 +277,354 @@ let known_path = function
   | "/predict" | "/metrics" | "/healthz" | "/admin/swap" -> true
   | _ -> false
 
-let handle t (req : Http.request) =
-  match (req.Http.meth, req.Http.path) with
-  | "POST", "/predict" -> handle_predict t req.Http.req_body
-  | "GET", "/metrics" -> handle_metrics t
-  | "GET", "/healthz" -> handle_healthz t
-  | "POST", "/admin/swap" -> handle_swap t
-  | _, p when known_path p ->
-      (405, "application/json", json_body (err_obj "method not allowed"), [])
-  | _ -> (404, "application/json", json_body (err_obj "not found"), [])
-
 (* ------------------------------------------------------------------ *)
-(* Connection lifecycle. One thread per connection, blocking I/O. *)
+(* Event loop. One systhread per shard; each shard owns its listener
+   (SO_REUSEPORT when sharded), its readiness table, its connection
+   table and a self-pipe through which batch completions re-arm
+   writers. *)
+
+let set_conn_gauge t =
+  Obs.Gauge.set
+    (Telemetry.Http.open_connections t.http)
+    (float_of_int (Atomic.get t.open_conns))
 
 let observe t ~t0 status =
   Obs.Counter.inc (Telemetry.Http.requests_total t.http status);
-  Obs.Histogram.observe
-    (Telemetry.Http.request_seconds t.http)
-    (Unix.gettimeofday () -. t0)
+  let dt = if t0 < 0.0 then 0.0 else Unix.gettimeofday () -. t0 in
+  Obs.Histogram.observe (Telemetry.Http.request_seconds t.http) dt
 
-let respond t fd ~t0 ~status ?content_type ~keep_alive ~extra body =
-  Http.write_response fd ~status ?content_type ~extra_headers:extra ~keep_alive
-    body;
-  observe t ~t0 status
+let wake sh =
+  try ignore (Unix.write sh.s_wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | EPIPE | EBADF), _, _) ->
+    ()
 
-let conn_loop t fd =
-  let reader = Http.reader fd in
-  let rec loop () =
-    if Atomic.get t.stopping && not (Http.buffered reader) then ()
-    else
-      match Http.wait_readable reader ~timeout:0.1 with
-      | `Timeout -> loop ()
-      | `Ready -> (
-          let t0 = Unix.gettimeofday () in
-          match
-            Http.read_request ~max_body:t.config.max_body_bytes reader
-          with
-          | Error `Eof -> ()
-          | Error `Too_large ->
-              respond t fd ~t0 ~status:413 ~keep_alive:false ~extra:[]
-                (json_body (err_obj "request too large"))
-          | Error (`Bad msg) ->
-              respond t fd ~t0 ~status:400 ~keep_alive:false ~extra:[]
-                (json_body (err_obj msg))
-          | Ok req ->
-              let status, content_type, body, extra = handle t req in
-              let keep = Http.keep_alive req && not (Atomic.get t.stopping) in
-              respond t fd ~t0 ~status ~content_type ~keep_alive:keep ~extra
-                body;
-              if keep then loop ())
+let drain_wake sh =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read sh.s_wake_r buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   in
-  (* A connection thread must never take the server down: broken pipes,
-     resets and handler bugs all just drop this one connection. *)
-  (try loop () with _ -> ());
-  Iox.close_noerr fd;
-  Mutex.lock t.lock;
-  t.conns <- t.conns - 1;
-  if t.conns = 0 then Condition.broadcast t.conns_done;
-  Mutex.unlock t.lock
+  go ()
 
-let accept_loop t =
-  let rec loop () =
-    if Atomic.get t.stopping then ()
-    else
-      (* Poll with a timeout instead of blocking in [accept], so [stop]
-         never has to interrupt a blocked accept. *)
-      match Iox.retry (fun () -> Unix.select [ t.listen_fd ] [] [] 0.1) with
-      | exception _ -> if Atomic.get t.stopping then () else loop ()
-      | [], _, _ -> loop ()
-      | _ -> (
-          match Iox.retry (fun () -> Unix.accept ~cloexec:true t.listen_fd) with
-          | exception _ ->
-              if Atomic.get t.stopping then () else loop ()
-          | fd, _addr ->
-              Mutex.lock t.lock;
-              if t.conns >= t.config.max_connections then begin
-                Mutex.unlock t.lock;
-                (try
-                   Http.write_response fd ~status:503
-                     ~extra_headers:[ ("Retry-After", "1") ] ~keep_alive:false
-                     (json_body (err_obj "too many connections"))
-                 with _ -> ());
-                Obs.Counter.inc (Telemetry.Http.requests_total t.http 503);
-                Iox.close_noerr fd
-              end
-              else begin
-                t.conns <- t.conns + 1;
-                Mutex.unlock t.lock;
-                ignore (Thread.create (fun () -> conn_loop t fd) ())
-              end;
-              loop ())
+let close_conn t sh c =
+  if not c.closed then begin
+    c.closed <- true;
+    Evloop.remove sh.loop c.cfd;
+    Hashtbl.remove sh.conns c.cfd;
+    Iox.close_noerr c.cfd;
+    Atomic.decr t.open_conns;
+    set_conn_gauge t
+  end
+
+(* Flush as much of the pending response as the socket will take.
+   Partial writes arm write interest; completion observes the metrics
+   and either resumes reading (keep-alive) or closes. *)
+let rec flush_out t sh c =
+  let len = String.length c.out - c.out_off in
+  if len > 0 then
+    match Unix.write_substring c.cfd c.out c.out_off len with
+    | n ->
+        c.out_off <- c.out_off + n;
+        if n = len then finish_response t sh c
+        else if n > 0 then flush_out t sh c
+        else begin
+          c.phase <- Writing;
+          Evloop.set sh.loop c.cfd ~read:false ~write:true
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        c.phase <- Writing;
+        Evloop.set sh.loop c.cfd ~read:false ~write:true
+    | exception Unix.Unix_error (EINTR, _, _) -> flush_out t sh c
+    | exception Unix.Unix_error _ ->
+        (* Peer is gone (EPIPE/ECONNRESET): drop the connection; the
+           response cannot be delivered so it is not observed either. *)
+        close_conn t sh c
+  else finish_response t sh c
+
+and finish_response t sh c =
+  observe t ~t0:c.req_t0 c.out_status;
+  c.req_t0 <- -1.0;
+  c.out <- "";
+  c.out_off <- 0;
+  if c.close_after || Atomic.get t.stopping then close_conn t sh c
+  else begin
+    c.phase <- Reading;
+    c.last_active <- Unix.gettimeofday ();
+    Evloop.set sh.loop c.cfd ~read:true ~write:false;
+    (* Pipelined request already buffered: serve it now rather than
+       waiting for a readiness event that may never come. *)
+    if Http.buffered c.creader then parse_loop t sh c
+  end
+
+and respond t sh c (reply : reply) =
+  c.out <-
+    Http.serialize_response ~status:reply.r_status ~content_type:reply.r_ctype
+      ~extra_headers:reply.r_extra ~keep_alive:reply.r_keep reply.r_body;
+  c.out_off <- 0;
+  c.out_status <- reply.r_status;
+  c.close_after <- not reply.r_keep;
+  c.phase <- Writing;
+  Evloop.set sh.loop c.cfd ~read:false ~write:false;
+  flush_out t sh c
+
+and dispatch t sh c (req : Http.request) =
+  let keep =
+    Http.keep_alive req && (not (Atomic.get t.stopping)) && not c.overflow
   in
-  loop ()
+  let direct (status, ctype, body, extra) =
+    respond t sh c
+      {
+        r_status = status;
+        r_ctype = ctype;
+        r_body = body;
+        r_extra = extra;
+        r_keep = keep;
+      }
+  in
+  if c.overflow then
+    (* Admission overflow: the request was still read (so the client's
+       write never jams against an unread socket) and the 503 is fully
+       accounted — counter and latency histogram both tick. *)
+    respond t sh c
+      {
+        r_status = 503;
+        r_ctype = "application/json";
+        r_body = json_body (err_obj "too many connections");
+        r_extra = [ ("Retry-After", "1") ];
+        r_keep = false;
+      }
+  else
+    match (req.Http.meth, req.Http.path) with
+    | "POST", "/predict" -> (
+        match parse_predict t req.Http.req_body with
+        | exception Reject (status, msg) ->
+            direct (status, "application/json", json_body (err_obj msg), [])
+        | queries, batched ->
+            c.phase <- Inflight;
+            Evloop.set sh.loop c.cfd ~read:false ~write:false;
+            Batcher.submit_async t.batcher queries ~notify:(fun res ->
+                let reply = predict_reply ~batched ~keep res in
+                Mutex.lock sh.comp_lock;
+                let was_empty = Queue.is_empty sh.completions in
+                Queue.push (c, reply) sh.completions;
+                Mutex.unlock sh.comp_lock;
+                (* One wake byte per empty->nonempty transition is
+                   enough: the shard drains the whole queue after each
+                   pipe read, so later pushes ride the same wakeup. *)
+                if was_empty then wake sh))
+    | "GET", "/metrics" -> direct (handle_metrics t)
+    | "GET", "/healthz" -> direct (handle_healthz t)
+    | "POST", "/admin/swap" -> direct (handle_swap t)
+    | _, p when known_path p ->
+        direct
+          (405, "application/json", json_body (err_obj "method not allowed"), [])
+    | _ ->
+        direct (404, "application/json", json_body (err_obj "not found"), [])
+
+and parse_loop t sh c =
+  if c.phase = Reading && not c.closed then begin
+    if c.req_t0 < 0.0 && Http.buffered c.creader then
+      c.req_t0 <- Unix.gettimeofday ();
+    match Http.try_read_request ~max_body:t.config.max_body_bytes c.creader with
+    | `Need_more -> ()
+    | `Err `Eof -> close_conn t sh c
+    | `Err (`Bad msg) ->
+        respond t sh c
+          {
+            r_status = 400;
+            r_ctype = "application/json";
+            r_body = json_body (err_obj msg);
+            r_extra = [];
+            r_keep = false;
+          }
+    | `Err (`Too_large which) ->
+        (* 431 when the request *head* overflows, 413 when the declared
+           body does — clients can act on the distinction. *)
+        let status, what =
+          match which with
+          | `Head -> (431, "request header fields too large")
+          | `Body -> (413, "request body too large")
+        in
+        respond t sh c
+          {
+            r_status = status;
+            r_ctype = "application/json";
+            r_body = json_body (err_obj what);
+            r_extra = [];
+            r_keep = false;
+          }
+    | `Req req -> dispatch t sh c req
+  end
+
+let conn_readable t sh c =
+  c.last_active <- Unix.gettimeofday ();
+  match Http.fill_once c.creader with
+  | `Again -> ()
+  | `Eof | `Data _ -> if c.phase = Reading then parse_loop t sh c
+
+let conn_writable t sh c = if c.phase = Writing then flush_out t sh c
+
+let rec accept_burst t sh =
+  if (not (Atomic.get t.stopping)) && sh.listen_open then
+    match Unix.accept ~cloexec:true sh.s_listen with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
+        accept_burst t sh
+    | exception Unix.Unix_error _ ->
+        (* e.g. EMFILE — retry on the next readiness event rather than
+           spinning. *)
+        ()
+    | fd, _addr ->
+        let n = 1 + Atomic.fetch_and_add t.open_conns 1 in
+        let soft = t.config.max_connections in
+        if n > soft + overflow_headroom soft then begin
+          Atomic.decr t.open_conns;
+          Iox.close_noerr fd
+        end
+        else begin
+          Unix.set_nonblock fd;
+          let c =
+            {
+              cfd = fd;
+              creader = Http.reader fd;
+              overflow = n > soft;
+              phase = Reading;
+              out = "";
+              out_off = 0;
+              out_status = 0;
+              close_after = false;
+              closed = false;
+              last_active = Unix.gettimeofday ();
+              req_t0 = -1.0;
+            }
+          in
+          Hashtbl.replace sh.conns fd c;
+          Evloop.set sh.loop fd ~read:true ~write:false;
+          set_conn_gauge t;
+          accept_burst t sh
+        end
+
+let drain_completions t sh =
+  let pending = ref [] in
+  Mutex.lock sh.comp_lock;
+  while not (Queue.is_empty sh.completions) do
+    pending := Queue.pop sh.completions :: !pending
+  done;
+  Mutex.unlock sh.comp_lock;
+  List.iter
+    (fun (c, reply) ->
+      (* The connection may have died while the batch ran; replies to
+         closed (or recycled-descriptor) connections are dropped. *)
+      match Hashtbl.find_opt sh.conns c.cfd with
+      | Some c' when c' == c && c.phase = Inflight -> respond t sh c reply
+      | _ -> ())
+    (List.rev !pending)
+
+(* Timers: keep-alive idle timeout in steady state; during drain, close
+   idle connections immediately and mid-request ones after a short
+   grace. Runs at most once per second. *)
+let sweep t sh ~now =
+  let victims = ref [] in
+  if Atomic.get t.stopping then begin
+    if sh.drain_t0 < 0.0 then sh.drain_t0 <- now;
+    if sh.listen_open then begin
+      Evloop.remove sh.loop sh.s_listen;
+      Iox.close_noerr sh.s_listen;
+      sh.listen_open <- false
+    end;
+    Hashtbl.iter
+      (fun _ c ->
+        if
+          c.phase = Reading
+          && ((not (Http.buffered c.creader))
+             || now -. sh.drain_t0 > drain_grace_s)
+        then victims := c :: !victims)
+      sh.conns
+  end
+  else if t.config.idle_timeout_s > 0.0 then
+    Hashtbl.iter
+      (fun _ c ->
+        if c.phase = Reading && now -. c.last_active > t.config.idle_timeout_s
+        then victims := c :: !victims)
+      sh.conns;
+  List.iter (fun c -> close_conn t sh c) !victims
+
+let shard_loop t sh =
+  Evloop.set sh.loop sh.s_listen ~read:true ~write:false;
+  Evloop.set sh.loop sh.s_wake_r ~read:true ~write:false;
+  let events = ref [] in
+  let running = ref true in
+  while !running do
+    events := [];
+    let nready =
+      Evloop.wait sh.loop ~timeout_ms:100 (fun fd ~readable ~writable ~error ->
+          events := (fd, readable, writable, error) :: !events)
+    in
+    let t_proc = Unix.gettimeofday () in
+    List.iter
+      (fun (fd, readable, writable, error) ->
+        if fd = sh.s_wake_r then begin
+          if readable then drain_wake sh
+        end
+        else if fd = sh.s_listen then begin
+          if readable || error then accept_burst t sh
+        end
+        else
+          match Hashtbl.find_opt sh.conns fd with
+          | None -> ()
+          | Some c -> (
+              (* A handler bug must cost one connection, never the
+                 shard. *)
+              try
+                if error then close_conn t sh c
+                else begin
+                  if writable then conn_writable t sh c;
+                  if readable && not c.closed then conn_readable t sh c
+                end
+              with
+              | Reject _ | Unix.Unix_error _ | Failure _ | Invalid_argument _
+              ->
+                close_conn t sh c))
+      (List.rev !events);
+    drain_completions t sh;
+    let now = Unix.gettimeofday () in
+    if Atomic.get t.stopping || now -. sh.last_sweep >= 1.0 then begin
+      sh.last_sweep <- now;
+      sweep t sh ~now
+    end;
+    if nready > 0 then
+      Obs.Histogram.observe
+        (Telemetry.Http.evloop_seconds t.http)
+        (Unix.gettimeofday () -. t_proc);
+    if Atomic.get t.stopping && Hashtbl.length sh.conns = 0 then
+      running := false
+  done;
+  if sh.listen_open then begin
+    Iox.close_noerr sh.s_listen;
+    sh.listen_open <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle. *)
+
+let make_listener ~reuseport ~port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     if reuseport then Unix.setsockopt fd Unix.SO_REUSEPORT true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen fd 512;
+     Unix.set_nonblock fd
+   with e ->
+     Iox.close_noerr fd;
+     raise e);
+  fd
 
 let start ?(config = default_config) ?telemetry ?pool ?snapshot_dir
     ?before_batch service =
+  if config.shards < 1 then invalid_arg "Server.start: shards < 1";
   Iox.ignore_sigpipe ();
   let registry =
     match telemetry with
@@ -307,19 +642,48 @@ let start ?(config = default_config) ?telemetry ?pool ?snapshot_dir
       ?before_batch
       (fun queries -> Service.evaluate_batch ?pool service queries)
   in
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
-     Unix.listen listen_fd 128
-   with e ->
-     Iox.close_noerr listen_fd;
-     Batcher.shutdown batcher;
-     raise e);
+  let reuseport = config.shards > 1 in
+  let listeners = Array.make config.shards Unix.stdin in
   let bound_port =
-    match Unix.getsockname listen_fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> config.port
+    try
+      listeners.(0) <- make_listener ~reuseport ~port:config.port;
+      let bound =
+        match Unix.getsockname listeners.(0) with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> config.port
+      in
+      for i = 1 to config.shards - 1 do
+        listeners.(i) <- make_listener ~reuseport ~port:bound
+      done;
+      bound
+    with e ->
+      Array.iter
+        (fun fd -> if fd != Unix.stdin then Iox.close_noerr fd)
+        listeners;
+      Batcher.shutdown batcher;
+      raise e
+  in
+  let shards =
+    Array.mapi
+      (fun sid listen_fd ->
+        let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock wake_r;
+        Unix.set_nonblock wake_w;
+        {
+          sid;
+          loop = Evloop.create ();
+          s_listen = listen_fd;
+          s_wake_r = wake_r;
+          s_wake_w = wake_w;
+          conns = Hashtbl.create 256;
+          completions = Queue.create ();
+          comp_lock = Mutex.create ();
+          listen_open = true;
+          last_sweep = Unix.gettimeofday ();
+          drain_t0 = -1.0;
+          thread = None;
+        })
+      listeners
   in
   let t =
     {
@@ -330,33 +694,38 @@ let start ?(config = default_config) ?telemetry ?pool ?snapshot_dir
       http;
       batcher;
       snapshot_dir;
-      listen_fd;
+      shards;
       bound_port;
       stopping = Atomic.make false;
-      lock = Mutex.create ();
-      conns_done = Condition.create ();
-      conns = 0;
-      stopped = false;
-      accept_thread = None;
+      open_conns = Atomic.make 0;
       swap_lock = Mutex.create ();
+      stop_lock = Mutex.create ();
+      stopped = false;
     }
   in
-  t.accept_thread <- Some (Thread.create accept_loop t);
+  Array.iter
+    (fun sh -> sh.thread <- Some (Thread.create (fun () -> shard_loop t sh) ()))
+    shards;
   t
 
 let stop t =
-  Mutex.lock t.lock;
-  if t.stopped then Mutex.unlock t.lock
+  Mutex.lock t.stop_lock;
+  if t.stopped then Mutex.unlock t.stop_lock
   else begin
     t.stopped <- true;
-    Mutex.unlock t.lock;
+    Mutex.unlock t.stop_lock;
     Atomic.set t.stopping true;
-    (match t.accept_thread with Some th -> Thread.join th | None -> ());
-    Iox.close_noerr t.listen_fd;
-    Mutex.lock t.lock;
-    while t.conns > 0 do
-      Condition.wait t.conns_done t.lock
-    done;
-    Mutex.unlock t.lock;
-    Batcher.shutdown t.batcher
+    Array.iter wake t.shards;
+    (* Shard loops exit once their connection tables drain (in-flight
+       requests finish; idle connections are swept). The batcher stays
+       up meanwhile so pending completions can land. *)
+    Array.iter
+      (fun sh -> match sh.thread with Some th -> Thread.join th | None -> ())
+      t.shards;
+    Batcher.shutdown t.batcher;
+    Array.iter
+      (fun sh ->
+        Iox.close_noerr sh.s_wake_r;
+        Iox.close_noerr sh.s_wake_w)
+      t.shards
   end

@@ -9,18 +9,29 @@
     - [GET /metrics] — Prometheus text exposition of the attached
       registry, including the serving-layer series
       ([prom_http_requests_total], [prom_http_batch_size],
-      [prom_http_queue_depth], [prom_http_request_seconds]).
+      [prom_http_queue_depth], [prom_http_request_seconds],
+      [prom_http_open_connections],
+      [prom_http_evloop_iteration_seconds]).
     - [GET /healthz] — liveness plus the serving engine's shape.
     - [POST /admin/swap] — load the newest snapshot from the configured
       snapshot directory and hot-swap it in with zero downtime.
 
-    Every connection gets its own thread (blocking I/O), but inference
-    is funneled through one adaptive {!Batcher}: concurrent requests
-    coalesce into a single [evaluate_batch] call on the shared domain
-    pool. When the batch queue is full the server answers
-    [503 Service Unavailable] with [Retry-After] instead of queueing
-    unboundedly; malformed or oversized requests get 4xx; nothing a
-    client sends can crash the process. *)
+    Connections are multiplexed by a poll(2)-backed event loop — one
+    systhread per shard, each with its own [SO_REUSEPORT] listener when
+    [shards > 1] — so concurrency is bounded by the process's
+    descriptor limit, not by [FD_SETSIZE] or by thread count. Sockets
+    are nonblocking; each connection is a small state machine that
+    resumes HTTP parsing incrementally on readability and flushes its
+    pending response on writability. Inference is funneled through one
+    adaptive {!Batcher}: concurrent requests coalesce into a single
+    [evaluate_batch] call on the shared domain pool, and batch
+    completions re-arm the waiting connections' writers through the
+    owning shard's self-pipe. When the batch queue is full the server
+    answers [503 Service Unavailable] with [Retry-After] instead of
+    queueing unboundedly; beyond [max_connections] new connections get
+    one fully-accounted 503 and are closed; malformed or oversized
+    requests get 4xx (431 for oversized request heads, 413 for
+    oversized bodies); nothing a client sends can crash the process. *)
 
 (** Tunables for one server instance. *)
 type config = {
@@ -30,24 +41,32 @@ type config = {
   queue_capacity : int;  (** queries queued beyond this are 503'd *)
   max_body_bytes : int;  (** request bodies above this are 413'd *)
   max_connections : int;  (** concurrent connections beyond this are 503'd *)
+  shards : int;
+      (** event-loop shards, each a thread with its own [SO_REUSEPORT]
+          listener; 1 = single loop, no [SO_REUSEPORT] needed *)
+  idle_timeout_s : float;
+      (** close keep-alive connections idle longer than this;
+          [<= 0.] disables the sweep *)
 }
 
 (** [{ port = 0; max_batch = 64; max_wait_us = 2000; queue_capacity =
-    1024; max_body_bytes = 4 MiB; max_connections = 256 }]. *)
+    1024; max_body_bytes = 4 MiB; max_connections = 256; shards = 1;
+    idle_timeout_s = 30. }]. *)
 val default_config : config
 
 type t
 (** A running server. *)
 
 (** [start ?config ?telemetry ?pool ?snapshot_dir ?before_batch service]
-    binds, spawns the accept and dispatcher threads, and returns
-    immediately. [telemetry] supplies the registry scraped by
+    binds, spawns the shard event-loop and dispatcher threads, and
+    returns immediately. [telemetry] supplies the registry scraped by
     [/metrics] (a private registry is created when absent, so the HTTP
     series are always recorded). [pool] is the domain pool used for
     [evaluate_batch] (shared default pool when absent). [snapshot_dir]
     enables [POST /admin/swap]; without it the endpoint answers 409.
     [before_batch] is a test seam forwarded to the {!Batcher}. Raises
-    [Unix.Unix_error] when the port cannot be bound. *)
+    [Unix.Unix_error] when the port cannot be bound and
+    [Invalid_argument] when [config.shards < 1]. *)
 val start :
   ?config:config ->
   ?telemetry:Prom.Telemetry.t ->
@@ -65,8 +84,10 @@ val port : t -> int
     against the direct path in tests). *)
 val service : t -> Prom.Service.t
 
-(** [stop t] drains gracefully: stop accepting, let every in-flight
-    request finish and its response be written, shut the batcher down,
-    join all threads. Idempotent. No request that was accepted is ever
+(** [stop t] drains gracefully: close the listeners, close idle
+    keep-alive connections immediately, give connections mid-request a
+    short grace to finish reading, let every in-flight request finish
+    and its response be written, shut the batcher down, join all
+    threads. Idempotent. No request whose bytes were accepted is ever
     dropped. *)
 val stop : t -> unit

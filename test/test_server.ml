@@ -68,7 +68,7 @@ let rpc c ~meth ~path body =
   | Ok r -> r
   | Error `Eof -> Alcotest.fail "connection closed mid-response"
   | Error (`Bad m) -> Alcotest.fail ("bad response: " ^ m)
-  | Error `Too_large -> Alcotest.fail "response too large"
+  | Error (`Too_large _) -> Alcotest.fail "response too large"
 
 let with_server ?config ?telemetry ?snapshot_dir ?before_batch service f =
   let server =
@@ -248,6 +248,67 @@ let batcher_tests =
             | Some (Error _) -> Alcotest.fail "accepted work failed"
             | None -> Alcotest.fail "submitter left hanging")
           results);
+    Alcotest.test_case "on_depth may call back into the batcher" `Quick
+      (fun () ->
+        (* on_depth used to run with the batcher lock held, so a hook
+           touching [depth] deadlocked the submitter. *)
+        let bref = ref None in
+        let fired = ref 0 in
+        let b =
+          Batcher.create ~max_batch:4 ~max_wait_us:100
+            ~on_depth:(fun _ ->
+              (match !bref with
+              | Some b -> ignore (Batcher.depth b)
+              | None -> ());
+              incr fired)
+            (Array.map succ)
+        in
+        bref := Some b;
+        (match Batcher.submit_many b [| 1; 2; 3 |] with
+        | Ok [| 2; 3; 4 |] -> ()
+        | _ -> Alcotest.fail "submission failed");
+        Batcher.shutdown b;
+        Alcotest.(check bool) "on_depth fired" true (!fired > 0));
+    Alcotest.test_case "submit_async answers without a parked thread" `Quick
+      (fun () ->
+        let b = Batcher.create ~max_batch:4 ~max_wait_us:100 (Array.map succ) in
+        let lock = Mutex.create () and cond = Condition.create () in
+        let result = ref None in
+        Batcher.submit_async b [| 7; 8 |] ~notify:(fun r ->
+            Mutex.lock lock;
+            result := Some r;
+            Condition.signal cond;
+            Mutex.unlock lock);
+        Mutex.lock lock;
+        while !result = None do
+          Condition.wait cond lock
+        done;
+        Mutex.unlock lock;
+        (match !result with
+        | Some (Ok [| 8; 9 |]) -> ()
+        | _ -> Alcotest.fail "async group not answered in order");
+        (* rejections come back synchronously on the caller's thread *)
+        let b2 =
+          Batcher.create ~max_batch:1 ~max_wait_us:0 ~capacity:1
+            (Array.map succ)
+        in
+        let sync = ref None in
+        Batcher.submit_async b2 [| 1; 2 |] ~notify:(fun r -> sync := Some r);
+        (match !sync with
+        | Some (Error `Overloaded) -> ()
+        | _ -> Alcotest.fail "oversized group must be rejected synchronously");
+        let empty = ref None in
+        Batcher.submit_async b2 [||] ~notify:(fun r -> empty := Some r);
+        (match !empty with
+        | Some (Ok [||]) -> ()
+        | _ -> Alcotest.fail "empty group must be answered synchronously");
+        Batcher.shutdown b2;
+        let post = ref None in
+        Batcher.submit_async b2 [| 1 |] ~notify:(fun r -> post := Some r);
+        (match !post with
+        | Some (Error `Shutdown) -> ()
+        | _ -> Alcotest.fail "post-shutdown async submit must be rejected");
+        Batcher.shutdown b);
   ]
 
 (* ---------- HTTP framing ---------- *)
@@ -345,13 +406,64 @@ let http_tests =
             in
             ignore (Unix.write_substring a big 0 (String.length big));
             match Http.read_request ~max_header:64 (Http.reader b) with
-            | Error `Too_large -> ()
-            | _ -> Alcotest.fail "expected `Too_large (header)");
+            | Error (`Too_large `Head) -> ()
+            | _ -> Alcotest.fail "expected `Too_large `Head");
         with_pair (fun a b ->
             Http.write_request a ~meth:"POST" ~path:"/p" (String.make 256 'x');
             match Http.read_request ~max_body:64 (Http.reader b) with
-            | Error `Too_large -> ()
-            | _ -> Alcotest.fail "expected `Too_large (body)"));
+            | Error (`Too_large `Body) -> ()
+            | _ -> Alcotest.fail "expected `Too_large `Body"));
+    Alcotest.test_case "duplicate content-length is rejected" `Quick (fun () ->
+        let raw_request headers =
+          "POST /p HTTP/1.1\r\n"
+          ^ String.concat "" (List.map (fun h -> h ^ "\r\n") headers)
+          ^ "\r\nhi"
+        in
+        let expect_bad name headers =
+          with_pair (fun a b ->
+              let raw = raw_request headers in
+              ignore (Unix.write_substring a raw 0 (String.length raw));
+              match Http.read_request (Http.reader b) with
+              | Error (`Bad _) -> ()
+              | _ -> Alcotest.fail (name ^ ": expected `Bad"))
+        in
+        (* Conflicting copies smuggle; identical copies are rejected
+           too — an intermediary may dedup them differently. *)
+        expect_bad "conflicting copies"
+          [ "Content-Length: 2"; "Content-Length: 5" ];
+        expect_bad "identical copies"
+          [ "Content-Length: 2"; "Content-Length: 2" ];
+        expect_bad "negative length" [ "Content-Length: -2" ];
+        (* a single well-formed length still parses *)
+        with_pair (fun a b ->
+            let raw = raw_request [ "Content-Length: 2" ] in
+            ignore (Unix.write_substring a raw 0 (String.length raw));
+            match Http.read_request (Http.reader b) with
+            | Ok req -> Alcotest.(check string) "body" "hi" req.Http.req_body
+            | Error _ -> Alcotest.fail "single content-length must parse"));
+    Alcotest.test_case "connection header is a comma-separated token list"
+      `Quick (fun () ->
+        let keep ?version headers =
+          Http.keep_alive (fake_request ?version headers)
+        in
+        Alcotest.(check bool)
+          "1.1: keep-alive token plus another token" true
+          (keep [ ("connection", "keep-alive, upgrade") ]);
+        Alcotest.(check bool)
+          "1.1: close anywhere in the list wins" false
+          (keep [ ("connection", "Upgrade, Close") ]);
+        Alcotest.(check bool)
+          "1.1: close beats keep-alive in the same list" false
+          (keep [ ("connection", "keep-alive, close") ]);
+        Alcotest.(check bool)
+          "1.0: keep-alive token in a list turns persistence on" true
+          (keep ~version:"HTTP/1.0" [ ("connection", "Keep-Alive, upgrade") ]);
+        Alcotest.(check bool)
+          "1.0: unrelated tokens leave persistence off" false
+          (keep ~version:"HTTP/1.0" [ ("connection", "upgrade") ]);
+        Alcotest.(check bool)
+          "whitespace around tokens is trimmed" false
+          (keep [ ("connection", " upgrade ,  close ") ]));
     Alcotest.test_case "keep-alive semantics" `Quick (fun () ->
         Alcotest.(check bool)
           "1.1 default on" true
@@ -601,6 +713,149 @@ let e2e_tests =
             close c;
             Alcotest.fail "listener should be closed after stop"
         | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
+    Alcotest.test_case "431 for an oversized head, 413 for an oversized body"
+      `Quick (fun () ->
+        let service, model = make_world () in
+        let config = { Server.default_config with max_body_bytes = 1024 } in
+        with_server ~config service (fun server ->
+            let port = Server.port server in
+            (* head past the 16 KiB cap: 431, not 413 *)
+            let c = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let huge =
+                  "GET /healthz HTTP/1.1\r\nX-Pad: "
+                  ^ String.make 20_000 'a'
+                  ^ "\r\n\r\n"
+                in
+                ignore (Unix.write_substring c.fd huge 0 (String.length huge));
+                match Http.read_response c.creader with
+                | Ok r ->
+                    Alcotest.(check int) "oversized head" 431 r.Http.status;
+                    Alcotest.(check (option string))
+                      "431 closes the connection" (Some "close")
+                      (Http.header "connection" r.Http.resp_headers)
+                | Error _ -> Alcotest.fail "431 response unreadable");
+            (* declared body past max_body_bytes: 413, answered from the
+               head alone *)
+            let c = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let r =
+                  rpc c ~meth:"POST" ~path:"/predict" (String.make 4096 ' ')
+                in
+                Alcotest.(check int) "oversized body" 413 r.Http.status);
+            (* the server survives both *)
+            let q = (queries_of model 1).(0) in
+            let c = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let r =
+                  rpc c ~meth:"POST" ~path:"/predict"
+                    (J.to_string (query_json q))
+                in
+                Alcotest.(check int) "still serving" 200 r.Http.status)));
+    Alcotest.test_case "admission 503 is fully accounted in metrics" `Quick
+      (fun () ->
+        let service, model = make_world () in
+        let q = (queries_of model 1).(0) in
+        let config = { Server.default_config with max_connections = 1 } in
+        with_server ~config service (fun server ->
+            let port = Server.port server in
+            let c1 = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c1)
+              (fun () ->
+                (* second connection is past the soft cap: its request is
+                   still read and answered 503 + close *)
+                let c2 = connect port in
+                Fun.protect
+                  ~finally:(fun () -> close c2)
+                  (fun () ->
+                    let r =
+                      rpc c2 ~meth:"POST" ~path:"/predict"
+                        (J.to_string (query_json q))
+                    in
+                    Alcotest.(check int) "admission 503" 503 r.Http.status;
+                    Alcotest.(check (option string))
+                      "admission 503 carries Retry-After" (Some "1")
+                      (Http.header "retry-after" r.Http.resp_headers);
+                    Alcotest.(check (option string))
+                      "admission 503 closes" (Some "close")
+                      (Http.header "connection" r.Http.resp_headers));
+                let m = rpc c1 ~meth:"GET" ~path:"/metrics" "" in
+                Alcotest.(check int) "metrics still served" 200 m.Http.status;
+                Alcotest.(check bool)
+                  "503 hit the status counter" true
+                  (has_substring m.Http.resp_body
+                     "prom_http_requests_total{code=\"503\"} 1");
+                (* the latency histogram observed it too — this was the
+                   accounting bug in the old accept loop *)
+                Alcotest.(check bool)
+                  "503 hit the latency histogram" true
+                  (has_substring m.Http.resp_body
+                     "prom_http_request_seconds_count 1");
+                Alcotest.(check bool)
+                  "open-connections gauge exported" true
+                  (has_substring m.Http.resp_body "prom_http_open_connections"))));
+    Alcotest.test_case
+      "1100 simultaneous keep-alive connections predict and drain" `Quick
+      (fun () ->
+        (* The point of the event loop: descriptors far past FD_SETSIZE
+           (1024) — where the old select-based loop silently corrupted
+           its fd_set — serve requests and drain like any other. *)
+        let service, model = make_world () in
+        let q = (queries_of model 1).(0) in
+        let body = J.to_string (query_json q) in
+        let direct = (Service.evaluate_batch service [| q |]).(0) in
+        let n = 1100 in
+        let config =
+          {
+            Server.default_config with
+            max_connections = n + 64;
+            queue_capacity = 4096;
+          }
+        in
+        with_server ~config service (fun server ->
+            let port = Server.port server in
+            let conns = Array.init n (fun _ -> connect port) in
+            Fun.protect
+              ~finally:(fun () -> Array.iter close conns)
+              (fun () ->
+                (* a sample of connections — including the very last,
+                   whose descriptor is well past 1024 — serve predicts
+                   while the other thousand-plus sit idle *)
+                let served = ref 0 in
+                Array.iteri
+                  (fun i c ->
+                    if i mod 109 = 0 || i = n - 1 then begin
+                      let r = rpc c ~meth:"POST" ~path:"/predict" body in
+                      Alcotest.(check int)
+                        (Printf.sprintf "status on conn %d" i)
+                        200 r.Http.status;
+                      check_verdict_json
+                        (Printf.sprintf "conn %d" i)
+                        direct (parse_body r);
+                      incr served
+                    end)
+                  conns;
+                Alcotest.(check bool)
+                  "sampled across the fd range" true (!served >= 10);
+                (* drain with 1100 connections still open: idle ones are
+                   swept immediately, stop returns promptly *)
+                Server.stop server;
+                let eof =
+                  match Unix.read conns.(0).fd (Bytes.create 1) 0 1 with
+                  | 0 -> true
+                  | _ -> false
+                  | exception
+                      Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                      true
+                in
+                Alcotest.(check bool) "drained idle conn closed" true eof)));
   ]
 
 (* ---------- hot swap under live traffic ---------- *)
