@@ -1749,6 +1749,148 @@ let ablation () =
   run "extended committee (+Margin,+Entropy)" Config.default
     Nonconformity.extended_committee
 
+(* Native distance-kernel backends: bit-identity gate plus per-kernel
+   latency and effective bandwidth for the OCaml reference, the
+   portable C build and the SIMD build. The gate runs first — on
+   matrices covering every unroll remainder plus NaN/inf values — and
+   fails the whole bench run on any diverging bit, since the 4-lane
+   accumulation-order contract promises exact equality. *)
+let kernels_section ~shapes ~quota ~json_path () =
+  let module K = Prom_linalg.Kernels in
+  section_header
+    (Printf.sprintf "Distance kernels: backend parity and throughput (%s)"
+       (String.concat ", "
+          (List.map (fun (n, dim) -> Printf.sprintf "n=%d dim=%d" n dim) shapes)));
+  let backends = List.filter K.available [ K.Ocaml; K.C; K.Simd ] in
+  (* Any NaN matches any NaN: with two NaN add operands (a NaN element
+     and an inf-inf difference in one lane) the surviving payload
+     depends on operand order the C compiler may commute; everything
+     non-NaN must match bit for bit. *)
+  let bit_eq x y =
+    Int64.bits_of_float x = Int64.bits_of_float y || (x <> x && y <> y)
+  in
+  let rng = Prom_linalg.Rng.create (seed + 29) in
+  List.iter
+    (fun (pn, pdim) ->
+      let specials = [| nan; infinity; neg_infinity; 0.0; -0.0; 1e300 |] in
+      let value i =
+        if i mod 17 = 0 then specials.(i mod Array.length specials)
+        else Prom_linalg.Rng.uniform rng ~lo:(-10.0) ~hi:10.0
+      in
+      let data = Array.init (pn * pdim) value in
+      let q = Array.init pdim (fun i -> value (i + 1)) in
+      let want = Array.make pn nan in
+      K.sq_dists_range_with K.Ocaml ~data ~dim:pdim ~r0:0 ~r1:pn ~q ~oq:0 ~out:want
+        ~off:0;
+      List.iter
+        (fun b ->
+          let out = Array.make pn nan in
+          K.sq_dists_range_with b ~data ~dim:pdim ~r0:0 ~r1:pn ~q ~oq:0 ~out ~off:0;
+          for i = 0 to pn - 1 do
+            if not (bit_eq out.(i) want.(i)) then
+              failwith
+                (Printf.sprintf
+                   "kernels bench: %s range kernel diverged from the OCaml reference"
+                   (K.backend_name b));
+            let p = K.sq_dist_segs_with b data (i * pdim) q 0 pdim in
+            if not (bit_eq p want.(i)) then
+              failwith
+                (Printf.sprintf
+                   "kernels bench: %s pair kernel diverged from the OCaml reference"
+                   (K.backend_name b))
+          done)
+        backends)
+    [ (64, 16); (37, 13); (21, 7); (9, 3); (5, 1) ];
+  Printf.printf "  backend parity (%s): ok (NaN/inf and all dim mod 4 covered)\n"
+    (String.concat " vs " (List.map K.backend_name backends));
+  let measure_shape (n, dim) =
+    let data =
+      Array.init (n * dim) (fun _ -> Prom_linalg.Rng.gaussian rng ~mu:0.0 ~sigma:1.0)
+    in
+    let q = Array.init dim (fun _ -> Prom_linalg.Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+    let out = Array.make n 0.0 in
+    let sink = ref 0.0 in
+    let tests =
+      Array.of_list
+        (List.concat_map
+           (fun b ->
+             [
+               ( "range-" ^ K.backend_name b,
+                 fun () ->
+                   K.sq_dists_range_with b ~data ~dim ~r0:0 ~r1:n ~q ~oq:0 ~out ~off:0
+               );
+               ( "pair-" ^ K.backend_name b,
+                 fun () ->
+                   let acc = ref 0.0 in
+                   for i = 0 to n - 1 do
+                     acc := !acc +. K.sq_dist_segs_with b data (i * dim) q 0 dim
+                   done;
+                   sink := !acc );
+             ])
+           backends)
+    in
+    let ns = ns_interleaved ~quota ~rounds:3 tests in
+    (* One full scan reads the n*dim row floats (the query stays in
+       registers): bytes per nanosecond is numerically GB/s. *)
+    let scan_bytes = float_of_int (n * dim * 8) in
+    Printf.printf "  -- n=%d dim=%d (matrix %d KB) --\n" n dim (n * dim * 8 / 1024);
+    let stats =
+      List.mapi
+        (fun i b ->
+          let range_ns = ns.(2 * i) and pair_ns = ns.((2 * i) + 1) in
+          let per_row = range_ns /. float_of_int n in
+          let gbps = scan_bytes /. range_ns in
+          Printf.printf
+            "  %-5s (%s)  range %8.0f ns/scan  %6.2f ns/row  %6.2f GB/s | pair loop \
+             %8.0f ns\n"
+            (K.backend_name b) (K.isa_name b) range_ns per_row gbps pair_ns;
+          (b, range_ns, pair_ns, per_row, gbps))
+        backends
+    in
+    let range_of bk =
+      List.find_map (fun (b, r, _, _, _) -> if b = bk then Some r else None) stats
+    in
+    let speedup =
+      match (range_of K.Ocaml, range_of K.Simd) with
+      | Some o, Some s ->
+          Printf.printf "  simd speedup vs ocaml: %.2fx\n" (o /. s);
+          o /. s
+      | _ -> nan
+    in
+    ((n, dim), stats, speedup)
+  in
+  let shape_stats = List.map measure_shape shapes in
+  let oc = open_out json_path in
+  Printf.fprintf oc "{\n  \"active_backend\": %S,\n  \"active_isa\": %S,\n"
+    (K.active_name ()) (K.active_isa ());
+  Printf.fprintf oc "  \"shapes\": [\n";
+  List.iteri
+    (fun si ((n, dim), stats, speedup) ->
+      Printf.fprintf oc "    {\"n_rows\": %d, \"dim\": %d, \"backends\": {\n" n dim;
+      List.iteri
+        (fun i (b, range_ns, pair_ns, per_row, gbps) ->
+          Printf.fprintf oc
+            "      %S: {\"isa\": %S, \"range_scan_ns\": %.1f, \"range_ns_per_row\": \
+             %.3f, \"range_gb_per_s\": %.3f, \"pair_loop_ns\": %.1f}%s\n"
+            (K.backend_name b) (K.isa_name b) range_ns per_row gbps pair_ns
+            (if i = List.length stats - 1 then "" else ","))
+        stats;
+      Printf.fprintf oc "    }, \"simd_speedup_vs_ocaml\": %.3f}%s\n" speedup
+        (if si = List.length shape_stats - 1 then "" else ","))
+    shape_stats;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path
+
+let kernels_bench () =
+  kernels_section
+    ~shapes:[ (4096, 16); (1024, 64); (256, 256) ]
+    ~quota:0.5 ~json_path:"BENCH_kernels.json" ()
+
+let kernels_smoke () =
+  kernels_section ~shapes:[ (512, 16) ] ~quota:0.05
+    ~json_path:"BENCH_kernels_smoke.json" ()
+
 let sections =
   [
     ("table2", table2);
@@ -1774,6 +1916,8 @@ let sections =
     ("snapshot-smoke", snapshot_smoke);
     ("index", index_bench);
     ("index-smoke", index_smoke);
+    ("kernels", kernels_bench);
+    ("kernels-smoke", kernels_smoke);
     ("serve", serve_bench);
     ("serve-smoke", serve_bench_smoke);
   ]
@@ -1788,7 +1932,8 @@ let () =
         List.filter
           (fun n ->
             n <> "inference-smoke" && n <> "prep-smoke"
-            && n <> "snapshot-smoke" && n <> "serve-smoke" && n <> "index-smoke")
+            && n <> "snapshot-smoke" && n <> "serve-smoke" && n <> "index-smoke"
+            && n <> "kernels-smoke")
           (List.map fst sections)
   in
   let t0 = Unix.gettimeofday () in

@@ -524,6 +524,8 @@ let index_stats_cmd =
     in
     Printf.printf "scan-vs-index verdicts bit-identical: %b (%d queries)\n"
       identical (Array.length queries);
+    Printf.printf "kernel backend     %s (%s)\n" (Kernels.active_name ())
+      (Kernels.active_isa ());
     let s = Knn_index.stats ix in
     let candidates = s.Knn_index.st_scanned + s.Knn_index.st_rows_pruned in
     Printf.printf "clusters           %d\n" (Knn_index.clusters ix);
@@ -561,9 +563,10 @@ let index_stats_cmd =
   Cmd.v
     (Cmd.info "index-stats"
        ~doc:
-         "Report pruned kNN index effectiveness (scan/prune counters, \
-          incremental insertion debt and rebuilds) after checking the index \
-          answers bit-identically to the dense scan")
+         "Report the active distance-kernel backend and pruned kNN index \
+          effectiveness (scan/prune counters, incremental insertion debt and \
+          rebuilds) after checking the index answers bit-identically to the \
+          dense scan")
     Term.(const run $ quick_arg $ seed_arg)
 
 let () =

@@ -159,19 +159,25 @@ let loo_distance_scores ?pool fm =
   Array.sort Float.compare scores;
   scores
 
+(* First position in a sorted array whose value is >= [x] ([n] when
+   every value is smaller) — an iterative lower-bound loop, shared by
+   the dense and index-backed conformal tests (both reach it through
+   [distance_pvalue_of]). *)
+let first_geq sorted x =
+  let lo = ref 0 and hi = ref (Array.length sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if sorted.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 let distance_pvalue_of loo score =
   let n = Array.length loo in
   if n = 0 then 1.0
   else begin
     (* count of LOO scores >= test score, by binary search on the
        sorted array *)
-    let rec first_geq lo hi =
-      if lo >= hi then lo
-      else
-        let mid = (lo + hi) / 2 in
-        if loo.(mid) >= score then first_geq lo mid else first_geq (mid + 1) hi
-    in
-    let at_least = n - first_geq 0 n in
+    let at_least = n - first_geq loo score in
     let p = float_of_int (at_least + 1) /. float_of_int (n + 1) in
     (* Beyond the calibration tail every score would share the floor
        1/(n+1); extend with an exponential tail so farther points get
@@ -288,7 +294,38 @@ type reg = {
   rloo_distances : float array;
   rfeat_matrix : Featmat.t;
   mutable reg_index : index_state option;  (* see [cls_index] *)
+  rpk_targets : float array;
+  rpk_clusters : int array;
+  rpk_resid : float array;
+      (* per-entry target / cluster / |rpred - target| tables permuted
+         into the index's packed member order ([tbl.(m)] describes entry
+         [member_order.(m)]), so the indexed query path reads them at the
+         candidates' packed positions — tile-local accesses instead of
+         an O(n)-spread gather. Empty when the store is unindexed; the
+         index is never replaced within a record (growth builds a new
+         record), so the tables cannot go stale. *)
 }
+
+(* Build the packed sidecars for a (possibly absent) index. Values are
+   copied — and the residual folded — entry by entry in packed order;
+   each slot holds the exact floats the entry-order reads produce, so
+   consumers switching to these tables change only the memory they
+   touch, never a result bit. *)
+let reg_packed_tables rentries = function
+  | None -> ([||], [||], [||])
+  | Some st ->
+      let order = Knn_index.member_order st.knn in
+      let n = Array.length order in
+      let targets = Array.make n 0.0 in
+      let clusters = Array.make n 0 in
+      let resid = Array.make n 0.0 in
+      for m = 0 to n - 1 do
+        let e = rentries.(order.(m)) in
+        targets.(m) <- e.target;
+        clusters.(m) <- e.cluster;
+        resid.(m) <- abs_float (e.rpred -. e.target)
+      done;
+      (targets, clusters, resid)
 
 let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
     (d : float Dataset.t) =
@@ -346,6 +383,8 @@ let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
         })
       d.x
   in
+  let reg_index = maybe_index ~config rfeat_matrix in
+  let rpk_targets, rpk_clusters, rpk_resid = reg_packed_tables rentries reg_index in
   {
     rentries;
     rconfig = config;
@@ -355,7 +394,10 @@ let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
     rtau = effective_tau ?pool config rfeat_matrix;
     rloo_distances = loo_distance_scores ?pool rfeat_matrix;
     rfeat_matrix;
-    reg_index = maybe_index ~config rfeat_matrix;
+    reg_index;
+    rpk_targets;
+    rpk_clusters;
+    rpk_resid;
   }
 
 let standardize_reg t v = Dataset.Scaler.transform t.rscaler v
@@ -367,6 +409,8 @@ let restore_reg ?index ~rentries ~rconfig ~clusters ~n_clusters ~rscaler ~rtau
   if not (rtau > 0.0) then invalid_arg "Calibration.restore_reg: tau must be positive";
   if n_clusters < 1 then invalid_arg "Calibration.restore_reg: n_clusters out of range";
   let rfeat_matrix = Featmat.of_rows (Array.map (fun e -> e.rfeatures) rentries) in
+  let reg_index = attach_index ~config:rconfig rfeat_matrix index in
+  let rpk_targets, rpk_clusters, rpk_resid = reg_packed_tables rentries reg_index in
   {
     rentries;
     rconfig;
@@ -376,12 +420,26 @@ let restore_reg ?index ~rentries ~rconfig ~clusters ~n_clusters ~rscaler ~rtau
     rtau;
     rloo_distances;
     rfeat_matrix;
-    reg_index = attach_index ~config:rconfig rfeat_matrix index;
+    reg_index;
+    rpk_targets;
+    rpk_clusters;
+    rpk_resid;
   }
 
 type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
 
-type selection = { sel_idxs : int array; sel_weights : float array; sel_count : int }
+(* [sel_pos]/[sel_packed]: when the selection is the pruned index's
+   candidate prefix, [sel_pos.(r)] carries the [r]-th kept entry's
+   packed position so table reads can stay in the index's
+   cluster-contiguous order; [sel_idxs] still holds entry ids either
+   way, so consumers without packed tables ignore the positions. *)
+type selection = {
+  sel_idxs : int array;
+  sel_weights : float array;
+  sel_count : int;
+  sel_pos : int array;
+  sel_packed : bool;
+}
 
 (* Per-domain query workspace: the shared distance buffers, the
    selection's permutation arrays, the weight buffer and the kNN heap
@@ -407,6 +465,13 @@ type query_scratch = {
   mutable cand_vals : float array;
       (* the pruned index's candidate prefix(es): one [ix_query_k]-sized
          slice per in-flight query of the current tile *)
+  mutable cand_pos : int array;
+      (* each candidate's packed position in the index's member order,
+         alongside [cand_idxs] — the key into the packed sidecar tables
+         the gather-free p-value pass reads *)
+  mutable selpos : int array;
+      (* the kept prefix of packed positions staged with a pruned
+         selection, mirroring the selection workspace's index prefix *)
 }
 
 let query_scratch : query_scratch Domain.DLS.key =
@@ -422,6 +487,8 @@ let query_scratch : query_scratch Domain.DLS.key =
         knn_vals = [||];
         cand_idxs = [||];
         cand_vals = [||];
+        cand_pos = [||];
+        selpos = [||];
       })
 
 (* A query's distances against the calibration entries, in one of two
@@ -439,6 +506,10 @@ type dense = { dbuf : float array; doff : int; dlen : int }
 type pruned = {
   pidxs : int array;
   pvals : float array;
+  ppos : int array;
+      (* each candidate's packed position ([Knn_index.member_order]
+         index), so consumers can read sidecar tables permuted into
+         packed order instead of gathering entry-order tables at random *)
   poff : int;
   pcount : int;
   pn : int;  (* full calibration size, for [keep_count] *)
@@ -475,7 +546,8 @@ let query_distances_block_of fm queries =
 let ensure_cand qs cap =
   if Array.length qs.cand_idxs < cap then begin
     qs.cand_idxs <- Array.make cap 0;
-    qs.cand_vals <- Array.make cap 0.0
+    qs.cand_vals <- Array.make cap 0.0;
+    qs.cand_pos <- Array.make cap 0
   end
 
 let record_index_metrics st acc =
@@ -500,14 +572,15 @@ let query_pruned st fm v =
   ensure_cand qs k;
   let acc = metrics_acc st in
   let m =
-    Knn_index.query_into ?stats:acc st.knn fm v ~k ~idxs:qs.cand_idxs ~vals:qs.cand_vals
-      ~off:0
+    Knn_index.query_into ?stats:acc ~pos:qs.cand_pos st.knn fm v ~k ~idxs:qs.cand_idxs
+      ~vals:qs.cand_vals ~off:0
   in
   (match acc with Some a -> record_index_metrics st a | None -> ());
   Pruned
     {
       pidxs = qs.cand_idxs;
       pvals = qs.cand_vals;
+      ppos = qs.cand_pos;
       poff = 0;
       pcount = m;
       pn = n;
@@ -526,13 +599,14 @@ let query_pruned_block st fm queries =
     Array.init nq (fun q ->
         let v = queries.(q) in
         let m =
-          Knn_index.query_into ?stats:acc st.knn fm v ~k ~idxs:qs.cand_idxs
-            ~vals:qs.cand_vals ~off:(q * k)
+          Knn_index.query_into ?stats:acc ~pos:qs.cand_pos st.knn fm v ~k
+            ~idxs:qs.cand_idxs ~vals:qs.cand_vals ~off:(q * k)
         in
         Pruned
           {
             pidxs = qs.cand_idxs;
             pvals = qs.cand_vals;
+            ppos = qs.cand_pos;
             poff = q * k;
             pcount = m;
             pn = n;
@@ -644,7 +718,7 @@ let select_subset ?tau ?featmat ~config entries ~feature_of_entry test_features 
    same domain, which is exactly the lifetime of one query evaluation. *)
 let select_packed ?tau ?featmat ~config entries ~feature_of_entry test_features =
   let tau = resolve_tau tau config in
-  if Array.length entries = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0 }
+  if Array.length entries = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0; sel_pos = [||]; sel_packed = false }
   else begin
     let qs = Domain.DLS.get query_scratch in
     let keep = select_core qs.sel ?featmat ~config entries ~feature_of_entry test_features in
@@ -655,7 +729,13 @@ let select_packed ?tau ?featmat ~config entries ~feature_of_entry test_features 
       let dist = sqrt vals.(r) in
       weights.(r) <- exp (-.(dist *. dist) /. tau)
     done;
-    { sel_idxs = Select.scratch_idxs qs.sel; sel_weights = weights; sel_count = keep }
+    {
+      sel_idxs = Select.scratch_idxs qs.sel;
+      sel_weights = weights;
+      sel_count = keep;
+      sel_pos = [||];
+      sel_packed = false;
+    }
   end
 
 let assign_cluster reg v =
@@ -699,7 +779,7 @@ let query_distances_block_reg t vs = query_distances_block_ix t.reg_index t.rfea
    does. *)
 let select_packed_dense tau ~config d =
   let n = d.dlen in
-  if n = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0 }
+  if n = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0; sel_pos = [||]; sel_packed = false }
   else begin
     let qs = Domain.DLS.get query_scratch in
     let keep = keep_count ~config n in
@@ -713,7 +793,13 @@ let select_packed_dense tau ~config d =
       let dist = sqrt vals.(r) in
       weights.(r) <- exp (-.(dist *. dist) /. tau)
     done;
-    { sel_idxs = Select.scratch_idxs qs.sel; sel_weights = weights; sel_count = keep }
+    {
+      sel_idxs = Select.scratch_idxs qs.sel;
+      sel_weights = weights;
+      sel_count = keep;
+      sel_pos = [||];
+      sel_packed = false;
+    }
   end
 
 (* The pruned form: the index's candidate prefix IS the selection — the
@@ -736,13 +822,21 @@ let select_packed_dists ?tau ~config d =
         let vals = Select.scratch_vals qs.sel and idxs = Select.scratch_idxs qs.sel in
         Array.blit p.pvals p.poff vals 0 keep;
         Array.blit p.pidxs p.poff idxs 0 keep;
+        if Array.length qs.selpos < keep then qs.selpos <- Array.make (Array.length vals) 0;
+        Array.blit p.ppos p.poff qs.selpos 0 keep;
         if Array.length qs.weights < keep then qs.weights <- Array.make (Array.length vals) 0.0;
         let weights = qs.weights in
         for r = 0 to keep - 1 do
           let dist = sqrt vals.(r) in
           weights.(r) <- exp (-.(dist *. dist) /. tau)
         done;
-        { sel_idxs = idxs; sel_weights = weights; sel_count = keep }
+        {
+          sel_idxs = idxs;
+          sel_weights = weights;
+          sel_count = keep;
+          sel_pos = qs.selpos;
+          sel_packed = true;
+        }
       end
 
 (* Conformal kNN mean distance from either view. The pruned prefix is
@@ -799,6 +893,11 @@ let knn_truth_dists reg d ~k =
         let m = knn_from_dists qs (dense_scan p.pfm p.pquery) ~k in
         finish m (fun r -> reg.rentries.(qs.knn_idxs.(r)).target)
       end
+      else if Array.length reg.rpk_targets > 0 then
+        (* Packed sidecar: same floats at the candidates' packed
+           positions, read tile-locally instead of gathered across the
+           entry array. *)
+        finish m (fun r -> reg.rpk_targets.(p.ppos.(p.poff + r)))
       else finish m (fun r -> reg.rentries.(p.pidxs.(p.poff + r)).target)
 
 (* [assign_cluster]'s nearest-neighbour argmin read from the buffer:
@@ -820,7 +919,8 @@ let assign_cluster_dists reg d =
       reg.rentries.(!best).cluster
   | Pruned p ->
       if p.pcount = 0 then invalid_arg "Calibration.assign_cluster_dists: empty calibration";
-      reg.rentries.(p.pidxs.(p.poff)).cluster
+      if Array.length reg.rpk_clusters > 0 then reg.rpk_clusters.(p.ppos.(p.poff))
+      else reg.rentries.(p.pidxs.(p.poff)).cluster
 
 (* Weighted (1 - epsilon) quantile of the selected entries' absolute
    residuals — the split-conformal interval half-width. Runs in the
@@ -835,10 +935,18 @@ let weighted_residual_quantile reg selection ~epsilon =
   else begin
     let qs = Domain.DLS.get query_scratch in
     let keys = Select.scratch_keys qs.aux k in
-    for r = 0 to k - 1 do
-      let e = reg.rentries.(selection.sel_idxs.(r)) in
-      keys.(r) <- abs_float (e.rpred -. e.target)
-    done;
+    if selection.sel_packed && Array.length reg.rpk_resid > 0 then
+      (* Packed selections read the precomputed |rpred - target| table
+         at the kept entries' packed positions — the same fold the
+         entry-order branch performs per call, so keys are bit-equal. *)
+      for r = 0 to k - 1 do
+        keys.(r) <- reg.rpk_resid.(selection.sel_pos.(r))
+      done
+    else
+      for r = 0 to k - 1 do
+        let e = reg.rentries.(selection.sel_idxs.(r)) in
+        keys.(r) <- abs_float (e.rpred -. e.target)
+      done;
     Select.select_in_place qs.aux ~n:k ~k;
     let vals = Select.scratch_vals qs.aux and idxs = Select.scratch_idxs qs.aux in
     let total = ref 0.0 in
@@ -942,11 +1050,20 @@ let append_reg t samples =
     let rfeat_matrix =
       Featmat.append t.rfeat_matrix (Array.map (fun (f, _, _) -> f) samples)
     in
+    let rentries = Array.append t.rentries new_entries in
+    let reg_index = grow_index ~config:t.rconfig t.reg_index rfeat_matrix ~from_row in
+    (* The member permutation changes on every insert (splice or
+       rebuild), so the packed sidecars are rebuilt against the grown
+       index — never carried over. *)
+    let rpk_targets, rpk_clusters, rpk_resid = reg_packed_tables rentries reg_index in
     {
       t with
-      rentries = Array.append t.rentries new_entries;
+      rentries;
       rfeat_matrix;
       rloo_distances = grow_loo rfeat_matrix t.rloo_distances ~from_row;
-      reg_index = grow_index ~config:t.rconfig t.reg_index rfeat_matrix ~from_row;
+      reg_index;
+      rpk_targets;
+      rpk_clusters;
+      rpk_resid;
     }
   end

@@ -125,6 +125,18 @@ type reg = private {
   rloo_distances : float array;  (** see {!cls.loo_distances} *)
   rfeat_matrix : Featmat.t;  (** see {!cls.feat_matrix} *)
   mutable reg_index : index_state option;  (** see {!cls.cls_index} *)
+  rpk_targets : float array;
+      (** the entries' targets permuted into the kNN index's packed
+          member order ([rpk_targets.(m)] belongs to entry
+          [member_order.(m)]), so the indexed query path reads the
+          ground-truth proxy's neighbour targets at the candidates'
+          packed positions — tile-local instead of an O(n)-spread
+          gather. Empty when the store is unindexed. Rebuilt with every
+          index change (appends return a new record). *)
+  rpk_clusters : int array;  (** cluster labels, same packed order *)
+  rpk_resid : float array;
+      (** absolute residuals [|rpred - target|], same packed order —
+          the interval quantile's keys *)
 }
 
 (** [standardize_reg t v] maps a raw test feature vector into the
@@ -198,7 +210,22 @@ val select_subset :
     per-query record array (at realistic calibration sizes that array
     lands on the major heap and its initializing writes force a minor
     collection — a stop-the-world synchronization — per query). *)
-type selection = private { sel_idxs : int array; sel_weights : float array; sel_count : int }
+type selection = private {
+  sel_idxs : int array;
+  sel_weights : float array;
+  sel_count : int;
+  sel_pos : int array;
+      (** when [sel_packed]: the [r]-th kept entry's packed position in
+          the kNN index's member order, so per-entry tables permuted
+          into that order (see {!Prom_linalg.Knn_index.member_order})
+          are read in the candidates' cluster-contiguous layout instead
+          of gathered at entry-order random. Empty otherwise. *)
+  sel_packed : bool;
+      (** true when the selection is the pruned index's candidate
+          prefix and [sel_pos] is populated. [sel_idxs] holds entry
+          ids in both cases, so consumers without packed tables simply
+          ignore the positions — results are identical either way. *)
+}
 
 (** [select_packed ?tau ?featmat ~config entries ~feature_of_entry
     test_features] is {!select_subset} without the materialized record

@@ -32,13 +32,20 @@ module Classification = struct
     cfg : Config.t;
     committee : Nonconformity.cls list;
     (* Per committee member, the nonconformity score of each calibration
-       entry at its own label. The score depends only on the entry, so
+       entry at its own label, paired with — when the store is indexed —
+       the same table permuted into the kNN index's packed member order
+       ([||] otherwise). The score depends only on the entry, so
        computing it here (once) instead of inside every query's p-value
-       scan removes the dominant per-query cost. *)
-    committee_scores : float array list;
+       scan removes the dominant per-query cost; the packed twin lets an
+       indexed query's p-value scan read the table at the candidates'
+       cluster-contiguous packed positions instead of gathering the
+       entry-order table across O(n) memory. *)
+    committee_scores : (float array * float array) list;
     (* entry_labels.(i) = entries.(i).label: an unboxed table so the
-       p-value scan never dereferences entry records. *)
+       p-value scan never dereferences entry records. [packed_labels] is
+       its packed-order twin ([||] when unindexed). *)
     entry_labels : int array;
+    packed_labels : int array;
     model : Model.classifier;
     feature_of : Vec.t -> Vec.t;
     calibration : Calibration.cls;
@@ -59,6 +66,25 @@ module Classification = struct
           calibration.Calibration.entries)
       committee
 
+  (* The per-entry tables plus their packed-order twins. Each packed
+     slot copies its entry-order twin ([packed.(m) = tbl.(order.(m))]),
+     so the p-value scan's dispatch between the two table sets can never
+     change a value — only which memory the selection's reads touch.
+     Rebuilt wherever the tables are (create / of_calibration / admit),
+     which is also everywhere the index value can change. *)
+  let tables_of committee (calibration : Calibration.cls) =
+    let entry_scores = entry_scores_of committee calibration in
+    let entry_labels =
+      Array.map (fun e -> e.Calibration.label) calibration.Calibration.entries
+    in
+    match Calibration.index_of_cls calibration with
+    | None -> (List.map (fun s -> (s, [||])) entry_scores, entry_labels, [||])
+    | Some ix ->
+        let order = Knn_index.member_order ix in
+        ( List.map (fun s -> (s, Array.map (fun i -> s.(i)) order)) entry_scores,
+          entry_labels,
+          Array.map (fun i -> entry_labels.(i)) order )
+
   let create ?(config = Config.default) ?(committee = Nonconformity.default_committee)
       ?telemetry ~model ~feature_of calibration =
     Config.validate config;
@@ -66,10 +92,7 @@ module Classification = struct
     let calibration =
       Calibration.prepare_classification ~config ~model ~feature_of calibration
     in
-    let committee_scores = entry_scores_of committee calibration in
-    let entry_labels =
-      Array.map (fun e -> e.Calibration.label) calibration.Calibration.entries
-    in
+    let committee_scores, entry_labels, packed_labels = tables_of committee calibration in
     let expert_flags =
       match telemetry with
       | None -> [||]
@@ -82,8 +105,8 @@ module Classification = struct
     (match telemetry with
     | Some tel -> Calibration.set_index_metrics_cls calibration (Telemetry.index_metrics tel)
     | None -> ());
-    { cfg = config; committee; committee_scores; entry_labels; model; feature_of;
-      calibration; tel = telemetry; expert_flags }
+    { cfg = config; committee; committee_scores; entry_labels; packed_labels; model;
+      feature_of; calibration; tel = telemetry; expert_flags }
 
   (* Rebuild from an already-prepared calibration store (the snapshot
      restore path): only the cheap derived tables — per-entry committee
@@ -96,10 +119,7 @@ module Classification = struct
     Config.validate config;
     if committee = [] then
       invalid_arg "Detector.Classification.of_calibration: empty committee";
-    let committee_scores = entry_scores_of committee calibration in
-    let entry_labels =
-      Array.map (fun e -> e.Calibration.label) calibration.Calibration.entries
-    in
+    let committee_scores, entry_labels, packed_labels = tables_of committee calibration in
     let expert_flags =
       match telemetry with
       | None -> [||]
@@ -112,8 +132,8 @@ module Classification = struct
     (match telemetry with
     | Some tel -> Calibration.set_index_metrics_cls calibration (Telemetry.index_metrics tel)
     | None -> ());
-    { cfg = config; committee; committee_scores; entry_labels; model; feature_of;
-      calibration; tel = telemetry; expert_flags }
+    { cfg = config; committee; committee_scores; entry_labels; packed_labels; model;
+      feature_of; calibration; tel = telemetry; expert_flags }
 
   let config t = t.cfg
   let model t = t.model
@@ -153,11 +173,8 @@ module Classification = struct
       | Some tel ->
           Calibration.set_index_metrics_cls calibration (Telemetry.index_metrics tel)
       | None -> ());
-      let committee_scores = entry_scores_of t.committee calibration in
-      let entry_labels =
-        Array.map (fun e -> e.Calibration.label) calibration.Calibration.entries
-      in
-      { t with calibration; committee_scores; entry_labels }
+      let committee_scores, entry_labels, packed_labels = tables_of t.committee calibration in
+      { t with calibration; committee_scores; entry_labels; packed_labels }
     end
 
   (* Evaluate one query from its shared distance view: the Eq. 1
@@ -177,13 +194,14 @@ module Classification = struct
     let distance_pvalue = Calibration.distance_pvalue_cls_dists t.calibration dists in
     let experts =
       List.map2
-        (fun fn entry_scores ->
+        (fun fn (entry_scores, packed_scores) ->
           let test_scores =
             Array.init n_classes (fun label -> fn.Nonconformity.cls_score ~proba ~label)
           in
           let pvalues, set_pvalues =
-            Pvalue.classification_all_table ~entry_scores ~entry_labels:t.entry_labels
-              ~selection ~test_scores ~n_classes ()
+            Pvalue.classification_all_table ~packed_scores ~packed_labels:t.packed_labels
+              ~entry_scores ~entry_labels:t.entry_labels ~selection ~test_scores
+              ~n_classes ()
           in
           Scores.expert_verdict ~distance_pvalue ~set_pvalues
             ~discrete:fn.Nonconformity.cls_discrete ~config:t.cfg
@@ -300,12 +318,14 @@ module Regression = struct
     cfg : Config.t;
     committee : Nonconformity.reg list;
     (* Per committee member, each calibration entry's residual score
-       (with the same spread floor the evaluate loop applies) —
-       precomputed once, see {!Classification.t.committee_scores}. *)
-    committee_scores : float array list;
-    (* entry_clusters.(i) = rentries.(i).cluster — see
-       {!Classification.t.entry_labels}. *)
+       (with the same spread floor the evaluate loop applies) paired
+       with its packed-order twin — precomputed once, see
+       {!Classification.t.committee_scores}. *)
+    committee_scores : (float array * float array) list;
+    (* entry_clusters.(i) = rentries.(i).cluster, plus the packed-order
+       twin — see {!Classification.t.entry_labels}. *)
     entry_clusters : int array;
+    packed_clusters : int array;
     model : Model.regressor;
     feature_of : Vec.t -> Vec.t;
     calibration : Calibration.reg;
@@ -326,6 +346,22 @@ module Regression = struct
           calibration.Calibration.rentries)
       committee
 
+  (* See {!Classification.tables_of}. The packed cluster table is the
+     calibration store's own sidecar (built against the same index
+     value), so only the committee scores are permuted here. *)
+  let tables_of committee (calibration : Calibration.reg) =
+    let entry_scores = entry_scores_of committee calibration in
+    let entry_clusters =
+      Array.map (fun e -> e.Calibration.cluster) calibration.Calibration.rentries
+    in
+    match Calibration.index_of_reg calibration with
+    | None -> (List.map (fun s -> (s, [||])) entry_scores, entry_clusters, [||])
+    | Some ix ->
+        let order = Knn_index.member_order ix in
+        ( List.map (fun s -> (s, Array.map (fun i -> s.(i)) order)) entry_scores,
+          entry_clusters,
+          calibration.Calibration.rpk_clusters )
+
   let create ?(config = Config.default)
       ?(committee = Nonconformity.default_reg_committee) ?n_clusters ?telemetry ~model
       ~feature_of ~seed calibration =
@@ -335,10 +371,7 @@ module Regression = struct
       Calibration.prepare_regression ?n_clusters ~config ~model ~feature_of ~seed
         calibration
     in
-    let committee_scores = entry_scores_of committee calibration in
-    let entry_clusters =
-      Array.map (fun e -> e.Calibration.cluster) calibration.Calibration.rentries
-    in
+    let committee_scores, entry_clusters, packed_clusters = tables_of committee calibration in
     let expert_flags =
       match telemetry with
       | None -> [||]
@@ -351,8 +384,8 @@ module Regression = struct
     (match telemetry with
     | Some tel -> Calibration.set_index_metrics_reg calibration (Telemetry.index_metrics tel)
     | None -> ());
-    { cfg = config; committee; committee_scores; entry_clusters; model; feature_of;
-      calibration; tel = telemetry; expert_flags }
+    { cfg = config; committee; committee_scores; entry_clusters; packed_clusters; model;
+      feature_of; calibration; tel = telemetry; expert_flags }
 
   (* See {!Classification.of_calibration}. *)
   let of_calibration ?(config = Config.default)
@@ -361,10 +394,7 @@ module Regression = struct
     Config.validate config;
     if committee = [] then
       invalid_arg "Detector.Regression.of_calibration: empty committee";
-    let committee_scores = entry_scores_of committee calibration in
-    let entry_clusters =
-      Array.map (fun e -> e.Calibration.cluster) calibration.Calibration.rentries
-    in
+    let committee_scores, entry_clusters, packed_clusters = tables_of committee calibration in
     let expert_flags =
       match telemetry with
       | None -> [||]
@@ -377,8 +407,8 @@ module Regression = struct
     (match telemetry with
     | Some tel -> Calibration.set_index_metrics_reg calibration (Telemetry.index_metrics tel)
     | None -> ());
-    { cfg = config; committee; committee_scores; entry_clusters; model; feature_of;
-      calibration; tel = telemetry; expert_flags }
+    { cfg = config; committee; committee_scores; entry_clusters; packed_clusters; model;
+      feature_of; calibration; tel = telemetry; expert_flags }
 
   let config t = t.cfg
   let model t = t.model
@@ -407,11 +437,8 @@ module Regression = struct
       | Some tel ->
           Calibration.set_index_metrics_reg calibration (Telemetry.index_metrics tel)
       | None -> ());
-      let committee_scores = entry_scores_of t.committee calibration in
-      let entry_clusters =
-        Array.map (fun e -> e.Calibration.cluster) calibration.Calibration.rentries
-      in
-      { t with calibration; committee_scores; entry_clusters }
+      let committee_scores, entry_clusters, packed_clusters = tables_of t.committee calibration in
+      { t with calibration; committee_scores; entry_clusters; packed_clusters }
     end
 
   (* Evaluate one query from its shared distance view. The former
@@ -434,14 +461,15 @@ module Regression = struct
     let distance_pvalue = Calibration.distance_pvalue_reg_dists t.calibration dists in
     let reg_experts =
       List.map2
-        (fun fn entry_scores ->
+        (fun fn (entry_scores, packed_scores) ->
           let test_score =
             fn.Nonconformity.reg_score ~pred:predicted_value ~truth:knn_estimate
               ~spread:(Stdlib.max knn_spread 1e-6)
           in
           let pvalues, set_pvalues =
-            Pvalue.regression_all_table ~entry_scores ~entry_clusters:t.entry_clusters
-              ~selection ~n_clusters ~test_score ()
+            Pvalue.regression_all_table ~packed_scores
+              ~packed_clusters:t.packed_clusters ~entry_scores
+              ~entry_clusters:t.entry_clusters ~selection ~n_clusters ~test_score ()
           in
           Scores.expert_verdict ~distance_pvalue ~set_pvalues ~use_confidence:false
             ~config:t.cfg ~expert:fn.Nonconformity.reg_name ~pvalues ~predicted:cluster ())

@@ -42,13 +42,29 @@ let classification_all ?smooth ~fn ~selected ~proba ~n_classes () =
    equals the selected-subset order either way, so the sums - and both
    the smoothed and raw p-values derived from them - are bit-identical
    to {!classification_all}. *)
-let classification_all_table ~entry_scores ~entry_labels
-    ~(selection : Calibration.selection) ~test_scores ~n_classes () =
+let classification_all_table ?(packed_scores = [||]) ?(packed_labels = [||]) ~entry_scores
+    ~entry_labels ~(selection : Calibration.selection) ~test_scores ~n_classes () =
   let total_w = Array.make n_classes 0.0 in
   let at_least_w = Array.make n_classes 0.0 in
   let matching = Array.make n_classes 0 in
-  let idxs = selection.Calibration.sel_idxs
-  and weights = selection.Calibration.sel_weights in
+  (* Gather-free dispatch: a packed selection carries each kept entry's
+     position in the kNN index's member order, so when the caller also
+     precomputed its tables in that order the scan reads them at the
+     candidates' cluster-contiguous packed positions. Every packed slot
+     holds the same value as its entry-order twin and the iteration
+     order is unchanged, so the accumulators — and the p-values — are
+     bit-identical; only the memory touched differs. *)
+  let use_packed =
+    selection.Calibration.sel_packed
+    && Array.length packed_scores > 0
+    && Array.length packed_labels > 0
+  in
+  let idxs =
+    if use_packed then selection.Calibration.sel_pos else selection.Calibration.sel_idxs
+  in
+  let entry_scores = if use_packed then packed_scores else entry_scores in
+  let entry_labels = if use_packed then packed_labels else entry_labels in
+  let weights = selection.Calibration.sel_weights in
   for r = 0 to selection.Calibration.sel_count - 1 do
     let i = Array.unsafe_get idxs r in
     let label = Array.unsafe_get (entry_labels : int array) i in
@@ -91,13 +107,23 @@ let regression_all ?smooth ~fn ~selected ~spread_of_entry ~n_clusters ~test_scor
 
 (* Regression analogue of {!classification_all_table}: one pass with
    per-cluster accumulators and table lookups. *)
-let regression_all_table ~entry_scores ~entry_clusters
-    ~(selection : Calibration.selection) ~n_clusters ~test_score () =
+let regression_all_table ?(packed_scores = [||]) ?(packed_clusters = [||]) ~entry_scores
+    ~entry_clusters ~(selection : Calibration.selection) ~n_clusters ~test_score () =
   let total_w = Array.make n_clusters 0.0 in
   let at_least_w = Array.make n_clusters 0.0 in
   let matching = Array.make n_clusters 0 in
-  let idxs = selection.Calibration.sel_idxs
-  and weights = selection.Calibration.sel_weights in
+  (* See {!classification_all_table}: same gather-free dispatch. *)
+  let use_packed =
+    selection.Calibration.sel_packed
+    && Array.length packed_scores > 0
+    && Array.length packed_clusters > 0
+  in
+  let idxs =
+    if use_packed then selection.Calibration.sel_pos else selection.Calibration.sel_idxs
+  in
+  let entry_scores = if use_packed then packed_scores else entry_scores in
+  let entry_clusters = if use_packed then packed_clusters else entry_clusters in
+  let weights = selection.Calibration.sel_weights in
   for r = 0 to selection.Calibration.sel_count - 1 do
     let i = Array.unsafe_get idxs r in
     let cluster = Array.unsafe_get (entry_clusters : int array) i in

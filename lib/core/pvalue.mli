@@ -46,8 +46,20 @@ val classification_all :
     [test_scores.(l)] is the test input's score at label [l].
     Bit-identical to the pair of {!classification_all} calls with
     [smooth] true and false on the equivalent {!Calibration.selected}
-    array: the hot path of {!Detector.Classification.evaluate}. *)
+    array: the hot path of {!Detector.Classification.evaluate}.
+
+    When the selection is packed
+    ({!Calibration.selection.sel_packed}) and [packed_scores] /
+    [packed_labels] carry the same tables permuted into the kNN index's
+    member order ([packed.(m) = entry.(member_order.(m))]), the scan
+    reads them at the candidates' packed positions — cluster-contiguous
+    tile-local accesses instead of an O(n)-spread gather. Each packed
+    slot equals its entry-order twin and the iteration order is
+    unchanged, so the p-values are bit-identical either way; callers
+    without packed tables omit the arguments. *)
 val classification_all_table :
+  ?packed_scores:float array ->
+  ?packed_labels:int array ->
   entry_scores:float array ->
   entry_labels:int array ->
   selection:Calibration.selection ->
@@ -85,8 +97,11 @@ val regression_all :
 (** [regression_all_table ~entry_scores ~entry_clusters ~selection
     ~n_clusters ~test_score ()] is [(smoothed, raw)] from a single scan
     with precomputed per-entry scores and cluster labels — the
-    regression analogue of {!classification_all_table}. *)
+    regression analogue of {!classification_all_table}, including the
+    gather-free packed-table dispatch. *)
 val regression_all_table :
+  ?packed_scores:float array ->
+  ?packed_clusters:int array ->
   entry_scores:float array ->
   entry_clusters:int array ->
   selection:Calibration.selection ->

@@ -23,7 +23,25 @@ type t = {
 let batch_size_buckets =
   [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0 |]
 
+(* Info-style metric: the value is always 1 and the payload lives in
+   the labels, so dashboards can join the active distance-kernel
+   backend onto throughput panels. Registered with the bundle because
+   the backend is fixed at process startup. *)
+let register_kernel_backend registry =
+  let g =
+    Obs.gauge registry
+      ~labels:
+        [
+          ("backend", Prom_linalg.Kernels.active_name ());
+          ("isa", Prom_linalg.Kernels.active_isa ());
+        ]
+      ~help:"Active native distance-kernel backend (info metric, value is 1)"
+      "prom_kernel_backend"
+  in
+  Obs.Gauge.set g 1.0
+
 let create registry =
+  register_kernel_backend registry;
   {
     registry;
     queries_total =

@@ -41,7 +41,10 @@ type t = {
 
 (** [create registry] registers the full instrument bundle on
     [registry]. Registration is get-or-create, so several bundles on the
-    same registry share series. *)
+    same registry share series. Also registers the
+    [prom_kernel_backend{backend,isa}] info gauge (value always 1)
+    recording which native distance-kernel backend
+    ({!Prom_linalg.Kernels}) this process selected at startup. *)
 val create : Prom_obs.registry -> t
 
 (** The registry this bundle was created on. *)

@@ -2,14 +2,24 @@ let check a b =
   if Array.length a <> Array.length b then
     invalid_arg "Distance: dimension mismatch"
 
+(* Reference squared distance in the shared 4-lane accumulation order
+   (see kernels.mli): element [i] accumulates into lane [i mod 4] and
+   the lanes reduce as (l0 + l2) + (l1 + l3).  Written independently of
+   Kernels so the parity properties cross-check two implementations of
+   the contract rather than one implementation against itself. *)
 let sq_euclidean a b =
   check a b;
-  let acc = ref 0.0 in
-  for i = 0 to Array.length a - 1 do
+  let n = Array.length a in
+  let l0 = ref 0.0 and l1 = ref 0.0 and l2 = ref 0.0 and l3 = ref 0.0 in
+  for i = 0 to n - 1 do
     let d = a.(i) -. b.(i) in
-    acc := !acc +. (d *. d)
+    match i land 3 with
+    | 0 -> l0 := !l0 +. (d *. d)
+    | 1 -> l1 := !l1 +. (d *. d)
+    | 2 -> l2 := !l2 +. (d *. d)
+    | _ -> l3 := !l3 +. (d *. d)
   done;
-  !acc
+  (!l0 +. !l2) +. (!l1 +. !l3)
 
 let euclidean a b = sqrt (sq_euclidean a b)
 

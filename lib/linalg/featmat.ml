@@ -61,34 +61,14 @@ let append t rows =
 let check_query t v =
   if Array.length v <> t.dim then invalid_arg "Featmat: dimension mismatch"
 
-(* Squared distance between [a.(oa .. oa+dim)] and [b.(ob .. ob+dim)],
-   unrolled 4x. The unroll keeps a single accumulator and adds the
-   terms in index order, so the accumulation sequence — and therefore
-   the IEEE result — is exactly the naive loop's (and
-   [Distance.sq_euclidean]'s); only the loop-condition overhead is
-   amortized. Bounds are fixed by construction ([i < n] checked by
-   callers via [check_query]/loop bounds), so the reads are unsafe. *)
-let[@inline] sq_dist_segs a oa b ob dim =
-  let acc = ref 0.0 in
-  let j = ref 0 in
-  while !j + 4 <= dim do
-    let j0 = !j in
-    let d0 = Array.unsafe_get a (oa + j0) -. Array.unsafe_get b (ob + j0) in
-    acc := !acc +. (d0 *. d0);
-    let d1 = Array.unsafe_get a (oa + j0 + 1) -. Array.unsafe_get b (ob + j0 + 1) in
-    acc := !acc +. (d1 *. d1);
-    let d2 = Array.unsafe_get a (oa + j0 + 2) -. Array.unsafe_get b (ob + j0 + 2) in
-    acc := !acc +. (d2 *. d2);
-    let d3 = Array.unsafe_get a (oa + j0 + 3) -. Array.unsafe_get b (ob + j0 + 3) in
-    acc := !acc +. (d3 *. d3);
-    j := j0 + 4
-  done;
-  while !j < dim do
-    let d = Array.unsafe_get a (oa + !j) -. Array.unsafe_get b (ob + !j) in
-    acc := !acc +. (d *. d);
-    incr j
-  done;
-  !acc
+(* Squared distance between [a.(oa .. oa+dim)] and [b.(ob .. ob+dim)]
+   on the active kernel backend. Every backend follows the 4-lane
+   accumulation-order contract (see kernels.mli) that
+   [Distance.sq_euclidean] also implements, so the IEEE result is the
+   same bit pattern whichever backend runs. Bounds are fixed by
+   construction ([i < n] checked by callers via [check_query]/loop
+   bounds), so no per-call checking happens here. *)
+let[@inline] sq_dist_segs a oa b ob dim = Kernels.sq_dist_segs a oa b ob dim
 
 let sq_dist_row t i v = sq_dist_segs t.data (i * t.dim) v 0 t.dim
 
@@ -155,9 +135,17 @@ let argmin_sq t v =
 let sq_dists_into t v out =
   check_query t v;
   if Array.length out < t.n then invalid_arg "Featmat.sq_dists_into: output too small";
-  for i = 0 to t.n - 1 do
-    Array.unsafe_set out i (sq_dist_segs t.data (i * t.dim) v 0 t.dim)
-  done
+  Kernels.sq_dists_range ~data:t.data ~dim:t.dim ~r0:0 ~r1:t.n ~q:v ~oq:0 ~out ~off:0
+
+(* Range variant writing into a caller-offset slice: rows [r0, r1)
+   against [v]. The pruned index reranks each surviving cluster with
+   one call over its contiguous packed rows. *)
+let sq_dists_range t ~r0 ~r1 v out ~off =
+  check_query t v;
+  if r0 < 0 || r1 > t.n || r0 > r1 then invalid_arg "Featmat.sq_dists_range: bad row range";
+  if off < 0 || Array.length out < off + (r1 - r0) then
+    invalid_arg "Featmat.sq_dists_range: output too small";
+  Kernels.sq_dists_range ~data:t.data ~dim:t.dim ~r0 ~r1 ~q:v ~oq:0 ~out ~off
 
 (* Rows per cache tile: ~32 KB of row data, so a tile loaded by the
    first query stays resident while the remaining queries stream over
@@ -177,10 +165,8 @@ let sq_dists_block t qs out =
     let i1 = Stdlib.min t.n (!i0 + tile) in
     for q = 0 to nq - 1 do
       let v = Array.unsafe_get qs q in
-      let base = q * t.n in
-      for i = !i0 to i1 - 1 do
-        Array.unsafe_set out (base + i) (sq_dist_segs t.data (i * t.dim) v 0 t.dim)
-      done
+      Kernels.sq_dists_range ~data:t.data ~dim:t.dim ~r0:!i0 ~r1:i1 ~q:v ~oq:0 ~out
+        ~off:((q * t.n) + !i0)
     done;
     i0 := i1
   done
@@ -200,11 +186,8 @@ let sq_dists_cross_block a ~r0 ~r1 b out =
   while !i0 < b.n do
     let i1 = Stdlib.min b.n (!i0 + tile) in
     for q = 0 to nq - 1 do
-      let oq = (r0 + q) * a.dim in
-      let base = q * b.n in
-      for i = !i0 to i1 - 1 do
-        Array.unsafe_set out (base + i) (sq_dist_segs a.data oq b.data (i * b.dim) b.dim)
-      done
+      Kernels.sq_dists_range ~data:b.data ~dim:b.dim ~r0:!i0 ~r1:i1 ~q:a.data
+        ~oq:((r0 + q) * a.dim) ~out ~off:((q * b.n) + !i0)
     done;
     i0 := i1
   done
@@ -225,11 +208,8 @@ let sq_dists_rows_block t ~r0 ~r1 out =
   while !i0 < t.n do
     let i1 = Stdlib.min t.n (!i0 + tile) in
     for q = 0 to nq - 1 do
-      let oq = (r0 + q) * t.dim in
-      let base = q * t.n in
-      for i = !i0 to i1 - 1 do
-        Array.unsafe_set out (base + i) (sq_dist_segs t.data oq t.data (i * t.dim) t.dim)
-      done
+      Kernels.sq_dists_range ~data:t.data ~dim:t.dim ~r0:!i0 ~r1:i1 ~q:t.data
+        ~oq:((r0 + q) * t.dim) ~out ~off:((q * t.n) + !i0)
     done;
     i0 := i1
   done

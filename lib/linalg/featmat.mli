@@ -63,6 +63,14 @@ val argmin_sq : t -> Vec.t -> int
     from every row to [v]. *)
 val sq_dists_into : t -> Vec.t -> float array -> unit
 
+(** [sq_dists_range t ~r0 ~r1 v out ~off] fills
+    [out.(off) .. out.(off + (r1 - r0) - 1)] with the squared distances
+    from rows [r0 <= r < r1] to [v] — {!sq_dists_into} restricted to a
+    row range and offset into a shared output buffer. One call reranks
+    a contiguous row run (e.g. a surviving cluster of the pruned
+    index's packed copy) on the native kernel. *)
+val sq_dists_range : t -> r0:int -> r1:int -> Vec.t -> float array -> off:int -> unit
+
 (** [sq_dists_block t qs out] fills [out] query-major —
     [out.(q * length t + i)] is the squared distance from row [i] to
     [qs.(q)] — processing the rows in cache-sized tiles that all

@@ -1,0 +1,316 @@
+/* Native squared-distance kernels for Featmat scans.
+
+   Every kernel implements the same 4-lane accumulation contract as the
+   OCaml reference (Kernels.sq_dist_segs_ocaml / Distance.sq_euclidean):
+   element j accumulates d*d into lane (j mod 4) and the lanes reduce as
+   (l0 + l2) + (l1 + l3).  SSE2 keeps the lanes in two __m128d
+   registers, AVX2 in one __m256d; the scalar build keeps them in four
+   doubles.  Because IEEE-754 addition and multiplication are exact
+   functions of their operands and every variant performs the identical
+   operations in the identical order, all backends return bit-identical
+   results -- the property the repo's parity gates assert.  (Exception:
+   when both operands of an accumulator add are NaN, which payload
+   survives depends on operand order the compiler may commute; the
+   gates treat any NaN as equal to any NaN.)
+
+   The range kernels additionally pipeline several rows per iteration
+   (4 for AVX2, 2 for SSE2).  A single row is one add dependency chain
+   under the lane contract, so a one-row-at-a-time scan is bound by
+   add latency, not ISA width; independent per-row chains fill those
+   latency slots.  No row's operations or their order change, so the
+   multi-row variants are bit-identical to the single-row kernels by
+   the same argument.
+
+   The stubs run with the runtime lock held: they read directly into
+   OCaml float-array heap blocks (Double_array_tag data is flat), never
+   allocate, and never raise.  Long scans are chunked on the OCaml side
+   so a single call stays short enough not to delay stop-the-world GC
+   handshakes from other domains.
+
+   No -march is baked in: AVX2 code is compiled behind a function-level
+   target attribute and selected at startup via __builtin_cpu_supports,
+   so one artifact runs on any x86-64 (SSE2 is baseline) and the scalar
+   path covers every other architecture. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define PROM_KERNELS_X86_64 1
+#include <emmintrin.h>
+#if defined(__GNUC__) || defined(__clang__)
+#define PROM_KERNELS_AVX2 1
+#include <immintrin.h>
+#endif
+#endif
+
+/* Implementation levels, shared with kernels.ml. */
+#define PROM_IMPL_SCALAR 0
+#define PROM_IMPL_SSE2 1
+#define PROM_IMPL_AVX2 2
+
+static double prom_sq_dist_scalar(const double *a, const double *b, long dim)
+{
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  long j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    double d0 = a[j] - b[j];
+    double d1 = a[j + 1] - b[j + 1];
+    double d2 = a[j + 2] - b[j + 2];
+    double d3 = a[j + 3] - b[j + 3];
+    l0 += d0 * d0;
+    l1 += d1 * d1;
+    l2 += d2 * d2;
+    l3 += d3 * d3;
+  }
+  for (; j < dim; j++) {
+    double d = a[j] - b[j];
+    switch (j & 3) {
+    case 0: l0 += d * d; break;
+    case 1: l1 += d * d; break;
+    case 2: l2 += d * d; break;
+    default: l3 += d * d; break;
+    }
+  }
+  return (l0 + l2) + (l1 + l3);
+}
+
+#ifdef PROM_KERNELS_X86_64
+
+/* SSE2: lanes 0-1 in one register, lanes 2-3 in the other.  The tail
+   spills the lanes to memory and continues scalar accumulation at
+   index (j mod 4), exactly like the reference. */
+static double prom_sq_dist_sse2(const double *a, const double *b, long dim)
+{
+  __m128d s01 = _mm_setzero_pd();
+  __m128d s23 = _mm_setzero_pd();
+  long j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    __m128d d01 = _mm_sub_pd(_mm_loadu_pd(a + j), _mm_loadu_pd(b + j));
+    __m128d d23 = _mm_sub_pd(_mm_loadu_pd(a + j + 2), _mm_loadu_pd(b + j + 2));
+    s01 = _mm_add_pd(s01, _mm_mul_pd(d01, d01));
+    s23 = _mm_add_pd(s23, _mm_mul_pd(d23, d23));
+  }
+  double l[4];
+  _mm_storeu_pd(l, s01);
+  _mm_storeu_pd(l + 2, s23);
+  for (; j < dim; j++) {
+    double d = a[j] - b[j];
+    l[j & 3] += d * d;
+  }
+  return (l[0] + l[2]) + (l[1] + l[3]);
+}
+
+/* Range variant: two rows in flight.  Each row keeps the exact
+   accumulator chains of prom_sq_dist_sse2 -- pipelining across rows
+   adds no operation and reorders nothing within a row, so results
+   stay bit-identical; it exists purely to break the add-latency
+   dependency chain that caps one-row-at-a-time scans. */
+static void prom_sq_dists_range_sse2(const double *data, long dim, long r0,
+                                     long r1, const double *q, double *out)
+{
+  long i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    const double *a0 = data + i * dim;
+    const double *a1 = a0 + dim;
+    __m128d s0a = _mm_setzero_pd(), s0b = _mm_setzero_pd();
+    __m128d s1a = _mm_setzero_pd(), s1b = _mm_setzero_pd();
+    long j = 0;
+    for (; j + 4 <= dim; j += 4) {
+      __m128d qa = _mm_loadu_pd(q + j);
+      __m128d qb = _mm_loadu_pd(q + j + 2);
+      __m128d d0a = _mm_sub_pd(_mm_loadu_pd(a0 + j), qa);
+      __m128d d0b = _mm_sub_pd(_mm_loadu_pd(a0 + j + 2), qb);
+      __m128d d1a = _mm_sub_pd(_mm_loadu_pd(a1 + j), qa);
+      __m128d d1b = _mm_sub_pd(_mm_loadu_pd(a1 + j + 2), qb);
+      s0a = _mm_add_pd(s0a, _mm_mul_pd(d0a, d0a));
+      s0b = _mm_add_pd(s0b, _mm_mul_pd(d0b, d0b));
+      s1a = _mm_add_pd(s1a, _mm_mul_pd(d1a, d1a));
+      s1b = _mm_add_pd(s1b, _mm_mul_pd(d1b, d1b));
+    }
+    double l0[4], l1[4];
+    _mm_storeu_pd(l0, s0a);
+    _mm_storeu_pd(l0 + 2, s0b);
+    _mm_storeu_pd(l1, s1a);
+    _mm_storeu_pd(l1 + 2, s1b);
+    for (long t = j; t < dim; t++) {
+      double d0 = a0[t] - q[t];
+      double d1 = a1[t] - q[t];
+      l0[t & 3] += d0 * d0;
+      l1[t & 3] += d1 * d1;
+    }
+    out[i - r0] = (l0[0] + l0[2]) + (l0[1] + l0[3]);
+    out[i - r0 + 1] = (l1[0] + l1[2]) + (l1[1] + l1[3]);
+  }
+  for (; i < r1; i++)
+    out[i - r0] = prom_sq_dist_sse2(data + i * dim, q, dim);
+}
+
+#ifdef PROM_KERNELS_AVX2
+/* AVX2: all four lanes in one register.  No FMA -- a fused
+   multiply-add rounds once instead of twice and would break
+   bit-identity with the other backends. */
+__attribute__((target("avx2")))
+static double prom_sq_dist_avx2(const double *a, const double *b, long dim)
+{
+  __m256d s = _mm256_setzero_pd();
+  long j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j));
+    s = _mm256_add_pd(s, _mm256_mul_pd(d, d));
+  }
+  double l[4];
+  _mm256_storeu_pd(l, s);
+  for (; j < dim; j++) {
+    double d = a[j] - b[j];
+    l[j & 3] += d * d;
+  }
+  return (l[0] + l[2]) + (l[1] + l[3]);
+}
+
+/* Range variant: four rows in flight, one shared query load per
+   4-element group.  The single-row kernel is one vaddpd dependency
+   chain, so a scan is add-latency-bound regardless of ISA width; four
+   independent per-row chains fill those latency slots.  Within each
+   row the operations and their order are exactly prom_sq_dist_avx2's,
+   so results stay bit-identical. */
+__attribute__((target("avx2")))
+static void prom_sq_dists_range_avx2(const double *data, long dim, long r0,
+                                     long r1, const double *q, double *out)
+{
+  long i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const double *a0 = data + i * dim;
+    const double *a1 = a0 + dim;
+    const double *a2 = a1 + dim;
+    const double *a3 = a2 + dim;
+    __m256d s0 = _mm256_setzero_pd();
+    __m256d s1 = _mm256_setzero_pd();
+    __m256d s2 = _mm256_setzero_pd();
+    __m256d s3 = _mm256_setzero_pd();
+    long j = 0;
+    for (; j + 4 <= dim; j += 4) {
+      __m256d qv = _mm256_loadu_pd(q + j);
+      __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a0 + j), qv);
+      __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(a1 + j), qv);
+      __m256d d2 = _mm256_sub_pd(_mm256_loadu_pd(a2 + j), qv);
+      __m256d d3 = _mm256_sub_pd(_mm256_loadu_pd(a3 + j), qv);
+      s0 = _mm256_add_pd(s0, _mm256_mul_pd(d0, d0));
+      s1 = _mm256_add_pd(s1, _mm256_mul_pd(d1, d1));
+      s2 = _mm256_add_pd(s2, _mm256_mul_pd(d2, d2));
+      s3 = _mm256_add_pd(s3, _mm256_mul_pd(d3, d3));
+    }
+    double l0[4], l1[4], l2[4], l3[4];
+    _mm256_storeu_pd(l0, s0);
+    _mm256_storeu_pd(l1, s1);
+    _mm256_storeu_pd(l2, s2);
+    _mm256_storeu_pd(l3, s3);
+    for (long t = j; t < dim; t++) {
+      double d0 = a0[t] - q[t];
+      double d1 = a1[t] - q[t];
+      double d2 = a2[t] - q[t];
+      double d3 = a3[t] - q[t];
+      l0[t & 3] += d0 * d0;
+      l1[t & 3] += d1 * d1;
+      l2[t & 3] += d2 * d2;
+      l3[t & 3] += d3 * d3;
+    }
+    out[i - r0] = (l0[0] + l0[2]) + (l0[1] + l0[3]);
+    out[i - r0 + 1] = (l1[0] + l1[2]) + (l1[1] + l1[3]);
+    out[i - r0 + 2] = (l2[0] + l2[2]) + (l2[1] + l2[3]);
+    out[i - r0 + 3] = (l3[0] + l3[2]) + (l3[1] + l3[3]);
+  }
+  for (; i < r1; i++)
+    out[i - r0] = prom_sq_dist_avx2(data + i * dim, q, dim);
+}
+#endif /* PROM_KERNELS_AVX2 */
+#endif /* PROM_KERNELS_X86_64 */
+
+typedef double (*prom_sq_dist_fn)(const double *, const double *, long);
+
+static prom_sq_dist_fn prom_fn_of_impl(long impl)
+{
+#ifdef PROM_KERNELS_X86_64
+#ifdef PROM_KERNELS_AVX2
+  if (impl >= PROM_IMPL_AVX2) return prom_sq_dist_avx2;
+#endif
+  if (impl >= PROM_IMPL_SSE2) return prom_sq_dist_sse2;
+#endif
+  (void)impl;
+  return prom_sq_dist_scalar;
+}
+
+/* Best implementation level this process can run, probed once at
+   startup from kernels.ml. */
+intnat prom_kernels_probe(value unit)
+{
+  (void)unit;
+#ifdef PROM_KERNELS_X86_64
+#ifdef PROM_KERNELS_AVX2
+  if (__builtin_cpu_supports("avx2")) return PROM_IMPL_AVX2;
+#endif
+  return PROM_IMPL_SSE2;
+#else
+  return PROM_IMPL_SCALAR;
+#endif
+}
+
+value prom_kernels_probe_byte(value unit)
+{
+  return Val_long(prom_kernels_probe(unit));
+}
+
+/* Squared distance between a[oa .. oa+dim) and b[ob .. ob+dim).
+   Bounds are the caller's responsibility (kernels.ml validates). */
+double prom_sq_dist_seg(value va, intnat oa, value vb, intnat ob, intnat dim,
+                        intnat impl)
+{
+  const double *a = (const double *)va;
+  const double *b = (const double *)vb;
+  return prom_fn_of_impl(impl)(a + oa, b + ob, dim);
+}
+
+value prom_sq_dist_seg_byte(value *argv, int argn)
+{
+  (void)argn;
+  return caml_copy_double(prom_sq_dist_seg(argv[0], Long_val(argv[1]), argv[2],
+                                           Long_val(argv[3]), Long_val(argv[4]),
+                                           Long_val(argv[5])));
+}
+
+/* Range kernel: out[off + (i - r0)] <- sqdist(data row i, q[oq..)) for
+   i in [r0, r1).  One call covers a whole row tile so the per-call
+   FFI cost amortizes across rows. */
+void prom_sq_dists_range(value vdata, intnat dim, intnat r0, intnat r1,
+                         value vq, intnat oq, value vout, intnat off,
+                         intnat impl)
+{
+  const double *data = (const double *)vdata;
+  const double *q = (const double *)vq + oq;
+  double *out = (double *)vout + off;
+#ifdef PROM_KERNELS_X86_64
+#ifdef PROM_KERNELS_AVX2
+  if (impl >= PROM_IMPL_AVX2) {
+    prom_sq_dists_range_avx2(data, dim, r0, r1, q, out);
+    return;
+  }
+#endif
+  if (impl >= PROM_IMPL_SSE2) {
+    prom_sq_dists_range_sse2(data, dim, r0, r1, q, out);
+    return;
+  }
+#endif
+  (void)impl;
+  for (intnat i = r0; i < r1; i++)
+    out[i - r0] = prom_sq_dist_scalar(data + i * dim, q, dim);
+}
+
+value prom_sq_dists_range_byte(value *argv, int argn)
+{
+  (void)argn;
+  prom_sq_dists_range(argv[0], Long_val(argv[1]), Long_val(argv[2]),
+                      Long_val(argv[3]), argv[4], Long_val(argv[5]), argv[6],
+                      Long_val(argv[7]), Long_val(argv[8]));
+  return Val_unit;
+}

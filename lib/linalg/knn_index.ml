@@ -34,6 +34,7 @@ let length t = t.n
 let dim t = t.dim
 let clusters t = Array.length t.radii
 let inserted_since_build t = t.n - t.built_n
+let member_order t = Array.copy t.members
 
 type acc = {
   mutable ac_scanned : int;
@@ -240,6 +241,7 @@ type qscratch = {
   mutable cdists : float array;
   mutable cand_vals : float array;
   mutable cand_ids : int array;
+  mutable cand_pos : int array;
 }
 
 let qscratch : qscratch Domain.DLS.key =
@@ -249,16 +251,19 @@ let qscratch : qscratch Domain.DLS.key =
         cdists = [||];
         cand_vals = [||];
         cand_ids = [||];
+        cand_pos = [||];
       })
 
 let ensure_cand qs ~gathered need =
   if Array.length qs.cand_vals < need then begin
     let cap = Stdlib.max need (Stdlib.max 1024 (2 * Array.length qs.cand_vals)) in
-    let nv = Array.make cap 0.0 and ni = Array.make cap 0 in
+    let nv = Array.make cap 0.0 and ni = Array.make cap 0 and np = Array.make cap 0 in
     Array.blit qs.cand_vals 0 nv 0 gathered;
     Array.blit qs.cand_ids 0 ni 0 gathered;
+    Array.blit qs.cand_pos 0 np 0 gathered;
     qs.cand_vals <- nv;
-    qs.cand_ids <- ni
+    qs.cand_ids <- ni;
+    qs.cand_pos <- np
   end
 
 (* A cluster is skipped only when its squared lower bound clears the
@@ -269,7 +274,7 @@ let ensure_cand qs ~gathered need =
    a row tying the k-th distance could win the index tie-break. *)
 let prune_slack = 1.0 -. 1e-9
 
-let query_into ?stats t fm q ~k ~idxs ~vals ~off =
+let query_into ?stats ?pos t fm q ~k ~idxs ~vals ~off =
   if Featmat.length fm <> t.n || Featmat.dim fm <> t.dim then
     invalid_arg "Knn_index.query_into: matrix does not match the index";
   if k < 0 then invalid_arg "Knn_index.query_into: negative k";
@@ -278,6 +283,10 @@ let query_into ?stats t fm q ~k ~idxs ~vals ~off =
   else begin
     if Array.length idxs < off + k || Array.length vals < off + k then
       invalid_arg "Knn_index.query_into: output too small";
+    (match pos with
+    | Some p when Array.length p < off + k ->
+        invalid_arg "Knn_index.query_into: pos output too small"
+    | _ -> ());
     let qs = Domain.DLS.get qscratch in
     let nc = Array.length t.radii in
     if Array.length qs.cdists < nc then qs.cdists <- Array.make nc 0.0;
@@ -321,18 +330,22 @@ let query_into ?stats t fm q ~k ~idxs ~vals ~off =
         let m0 = Array.unsafe_get t.offsets c
         and m1 = Array.unsafe_get t.offsets (c + 1) in
         ensure_cand qs ~gathered:!gathered (!gathered + (m1 - m0));
-        let cv = qs.cand_vals and cids = qs.cand_ids in
+        let cv = qs.cand_vals and cids = qs.cand_ids and cpos = qs.cand_pos in
+        (* One range-kernel call reranks the whole cluster (its packed
+           rows are contiguous); ids and packed positions follow in a
+           second, branch-free pass. *)
+        Featmat.sq_dists_range packed ~r0:m0 ~r1:m1 q cv ~off:!gathered;
         let g = ref !gathered in
         for m = m0 to m1 - 1 do
-          Array.unsafe_set cv !g (Featmat.sq_dist_row packed m q);
           Array.unsafe_set cids !g (Array.unsafe_get t.members m);
+          Array.unsafe_set cpos !g m;
           incr g
         done;
         gathered := !g;
         incr visited;
         incr ci;
         if !gathered >= k && !gathered >= !next_select then begin
-          Select.partition_pairs ~vals:cv ~ids:cids ~n:!gathered ~k;
+          Select.partition_trips ~vals:cv ~ids:cids ~aux:cpos ~n:!gathered ~k;
           let w = ref (Array.unsafe_get cv 0) in
           for j = 1 to k - 1 do
             let v = Array.unsafe_get cv j in
@@ -359,11 +372,15 @@ let query_into ?stats t fm q ~k ~idxs ~vals ~off =
         a.ac_clusters_pruned <- a.ac_clusters_pruned + clusters_pruned);
     (* Either pruning stopped (so at least k candidates were gathered)
        or every cluster was visited (so all n >= k rows were): the
-       ascending k-prefix is the exact top-k. *)
-    Select.partition_pairs ~vals:qs.cand_vals ~ids:qs.cand_ids ~n:!gathered ~k;
-    Select.sort_pairs_prefix ~vals:qs.cand_vals ~ids:qs.cand_ids ~k;
+       ascending k-prefix is the exact top-k. The packed positions ride
+       along as selection payload — they never enter a comparison, so
+       the kept prefix is identical to the pairs-only selection. *)
+    Select.partition_trips ~vals:qs.cand_vals ~ids:qs.cand_ids ~aux:qs.cand_pos
+      ~n:!gathered ~k;
+    Select.sort_trips_prefix ~vals:qs.cand_vals ~ids:qs.cand_ids ~aux:qs.cand_pos ~k;
     Array.blit qs.cand_ids 0 idxs off k;
     Array.blit qs.cand_vals 0 vals off k;
+    (match pos with Some p -> Array.blit qs.cand_pos 0 p off k | None -> ());
     k
   end
 

@@ -51,6 +51,16 @@ val clusters : t -> int
     input to the rebuild policy. *)
 val inserted_since_build : t -> int
 
+(** [member_order t] is a copy of the index's member permutation: entry
+    [m] is the original row id stored at packed position [m] (rows
+    grouped cluster-contiguously, ascending within each cluster).
+    Sidecar tables permuted by it ([packed.(m) = table.(order.(m))])
+    line up with the positions {!query_into}'s [pos] output reports.
+    The permutation changes whenever the index value changes
+    ({!insert_batch} both with and without a rebuild), so permuted
+    sidecars must be rebuilt against the new index. *)
+val member_order : t -> int array
+
 (** Per-query pruning effectiveness, accumulated by the caller: rows
     whose exact distance was computed, rows skipped by the cluster
     bound, and clusters skipped whole. *)
@@ -86,10 +96,22 @@ val stats : t -> stats
     scan/prune counts are added to it (the cumulative {!stats} counters
     update regardless). Safe to call from multiple domains concurrently
     (per-domain scratch; the output slices must not overlap).
+
+    When [pos] is given, [pos.(off..off+k)] additionally receives each
+    selected row's {e packed position} — its index in {!member_order},
+    i.e. its row in the cluster-contiguous gathered copy the rerank
+    scans. Sidecar tables permuted into that order (see
+    {!member_order}) can then be read near-contiguously instead of
+    gathering entry-order tables at random, which is what makes the
+    calibration p-value pass tile-local. The positions are selection
+    payload only: they never enter a comparison, so results with and
+    without [pos] are bit-identical.
+
     Raises [Invalid_argument] on shape mismatch or insufficient output
     capacity. *)
 val query_into :
   ?stats:acc ->
+  ?pos:int array ->
   t ->
   Featmat.t ->
   Vec.t ->

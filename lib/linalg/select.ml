@@ -361,6 +361,155 @@ let sort_pairs_prefix ~vals ~ids ~k =
     invalid_arg "Select.sort_pairs_prefix: bad k";
   sort_prefix vals ids k
 
+(* Triple-array variants: same (value, id) selection with a second int
+   payload permuted alongside. The comparisons never look at the
+   payload, so the selected prefix and its order are exactly the
+   paired variant's — the payload just rides along. The pruned index
+   uses it to keep each candidate's packed storage position next to its
+   row id, which is what lets the calibration tables be read in the
+   cluster-contiguous packed layout instead of gathering O(n) memory. *)
+
+let[@inline] swap3 vals ids aux a b =
+  let va = Array.unsafe_get vals a
+  and ia = Array.unsafe_get ids a
+  and xa = Array.unsafe_get aux a in
+  Array.unsafe_set vals a (Array.unsafe_get vals b);
+  Array.unsafe_set ids a (Array.unsafe_get ids b);
+  Array.unsafe_set aux a (Array.unsafe_get aux b);
+  Array.unsafe_set vals b va;
+  Array.unsafe_set ids b ia;
+  Array.unsafe_set aux b xa
+
+let insertion_sort3 vals ids aux lo hi =
+  for a = lo + 1 to hi - 1 do
+    let v = Array.unsafe_get vals a
+    and i = Array.unsafe_get ids a
+    and x = Array.unsafe_get aux a in
+    let j = ref (a - 1) in
+    while !j >= lo && lt v i (Array.unsafe_get vals !j) (Array.unsafe_get ids !j) do
+      Array.unsafe_set vals (!j + 1) (Array.unsafe_get vals !j);
+      Array.unsafe_set ids (!j + 1) (Array.unsafe_get ids !j);
+      Array.unsafe_set aux (!j + 1) (Array.unsafe_get aux !j);
+      decr j
+    done;
+    Array.unsafe_set vals (!j + 1) v;
+    Array.unsafe_set ids (!j + 1) i;
+    Array.unsafe_set aux (!j + 1) x
+  done
+
+let partition_range3 vals ids aux lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  let last = hi - 1 in
+  if
+    lt (Array.unsafe_get vals mid) (Array.unsafe_get ids mid)
+      (Array.unsafe_get vals lo) (Array.unsafe_get ids lo)
+  then swap3 vals ids aux lo mid;
+  if
+    lt (Array.unsafe_get vals last) (Array.unsafe_get ids last)
+      (Array.unsafe_get vals lo) (Array.unsafe_get ids lo)
+  then swap3 vals ids aux lo last;
+  if
+    lt (Array.unsafe_get vals last) (Array.unsafe_get ids last)
+      (Array.unsafe_get vals mid) (Array.unsafe_get ids mid)
+  then swap3 vals ids aux mid last;
+  let pv = Array.unsafe_get vals mid and pi = Array.unsafe_get ids mid in
+  let a = ref (lo - 1) and b = ref hi in
+  let continue_ = ref true in
+  while !continue_ do
+    incr a;
+    while lt (Array.unsafe_get vals !a) (Array.unsafe_get ids !a) pv pi do
+      incr a
+    done;
+    decr b;
+    while lt pv pi (Array.unsafe_get vals !b) (Array.unsafe_get ids !b) do
+      decr b
+    done;
+    if !a >= !b then continue_ := false else swap3 vals ids aux !a !b
+  done;
+  !b
+
+let rec select_range3 vals ids aux lo hi k =
+  if hi - lo <= 3 then insertion_sort3 vals ids aux lo hi
+  else begin
+    let j = partition_range3 vals ids aux lo hi in
+    if k <= j then select_range3 vals ids aux lo (j + 1) k
+    else if k > j + 1 then select_range3 vals ids aux (j + 1) hi k
+  end
+
+let sift_down_range3 vals ids aux lo size j0 =
+  let v = Array.unsafe_get vals (lo + j0)
+  and i = Array.unsafe_get ids (lo + j0)
+  and x = Array.unsafe_get aux (lo + j0) in
+  let rec descend j =
+    let l = (2 * j) + 1 in
+    if l >= size then j
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < size
+          && gt
+               (Array.unsafe_get vals (lo + r))
+               (Array.unsafe_get ids (lo + r))
+               (Array.unsafe_get vals (lo + l))
+               (Array.unsafe_get ids (lo + l))
+        then r
+        else l
+      in
+      let cv = Array.unsafe_get vals (lo + c) and ci = Array.unsafe_get ids (lo + c) in
+      if gt cv ci v i then begin
+        Array.unsafe_set vals (lo + j) cv;
+        Array.unsafe_set ids (lo + j) ci;
+        Array.unsafe_set aux (lo + j) (Array.unsafe_get aux (lo + c));
+        descend c
+      end
+      else j
+    end
+  in
+  let j = descend j0 in
+  Array.unsafe_set vals (lo + j) v;
+  Array.unsafe_set ids (lo + j) i;
+  Array.unsafe_set aux (lo + j) x
+
+let heapsort_range3 vals ids aux lo hi =
+  let size = hi - lo in
+  if size > 1 then begin
+    for j = (size / 2) - 1 downto 0 do
+      sift_down_range3 vals ids aux lo size j
+    done;
+    for e = size - 1 downto 1 do
+      swap3 vals ids aux lo (lo + e);
+      sift_down_range3 vals ids aux lo e 0
+    done
+  end
+
+let rec introsort3 vals ids aux lo hi depth =
+  if hi - lo <= 16 then insertion_sort3 vals ids aux lo hi
+  else if depth = 0 then heapsort_range3 vals ids aux lo hi
+  else begin
+    let j = partition_range3 vals ids aux lo hi in
+    introsort3 vals ids aux lo (j + 1) (depth - 1);
+    introsort3 vals ids aux (j + 1) hi (depth - 1)
+  end
+
+let partition_trips ~vals ~ids ~aux ~n ~k =
+  if k < 0 || k > n then invalid_arg "Select.partition_trips: bad k";
+  if n > Array.length vals || n > Array.length ids || n > Array.length aux then
+    invalid_arg "Select.partition_trips: bad n";
+  if k > 0 && k < n then select_range3 vals ids aux 0 n k
+
+let sort_trips_prefix ~vals ~ids ~aux ~k =
+  if k < 0 || k > Array.length vals || k > Array.length ids || k > Array.length aux
+  then invalid_arg "Select.sort_trips_prefix: bad k";
+  if k > 1 then begin
+    let depth = ref 0 and m = ref k in
+    while !m > 1 do
+      incr depth;
+      m := !m lsr 1
+    done;
+    introsort3 vals ids aux 0 k (2 * !depth)
+  end
+
 (* Shared driver: the k smallest of [xs] sorted ascending, left in the
    prefix of the returned (vals, idxs) scratch pair. *)
 let select_sorted xs k =

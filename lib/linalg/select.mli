@@ -57,6 +57,23 @@ val partition_pairs : vals:float array -> ids:int array -> n:int -> k:int -> uni
     ascending by (value, id). O(k log k). *)
 val sort_pairs_prefix : vals:float array -> ids:int array -> k:int -> unit
 
+(** {2 Triple-array selection}
+
+    {!partition_pairs}/{!sort_pairs_prefix} with a second int payload
+    [aux] permuted alongside. The comparisons still order by
+    (value, id) only, so the selected prefix — and its order — is
+    bit-identical to the paired variant; [aux] is opaque cargo. The
+    pruned kNN index threads each candidate's packed storage position
+    through selection this way, letting the p-value tables be read in
+    cluster-contiguous packed order. *)
+
+(** Like {!partition_pairs}, permuting [aux] alongside. *)
+val partition_trips :
+  vals:float array -> ids:int array -> aux:int array -> n:int -> k:int -> unit
+
+(** Like {!sort_pairs_prefix}, permuting [aux] alongside. *)
+val sort_trips_prefix : vals:float array -> ids:int array -> aux:int array -> k:int -> unit
+
 (** {2 Streaming heap}
 
     A reusable bounded max-heap for callers that stream keys instead of

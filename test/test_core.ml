@@ -178,6 +178,35 @@ let calibration_tests =
         Alcotest.(check bool) "in-dist" true (p_in > 0.1);
         Alcotest.(check bool) "far" true (p_out < 0.05);
         Alcotest.(check bool) "ordering" true (p_out < p_in));
+    (* Pin the conformal p-value's binary-search boundaries exactly: a
+       single entry at the origin makes the test score the query's
+       distance to it, and [restore_cls] takes the sorted LOO reference
+       as given — so each case's [at_least] count, and whether the
+       beyond-the-tail extension fires, is fully determined. *)
+    Alcotest.test_case "distance p-value boundary cases are exact" `Quick (fun () ->
+        let entries =
+          [| { Calibration.features = [| 0.0 |]; label = 0; proba = [| 1.0 |] } |]
+        in
+        let scaler =
+          Dataset.Scaler.fit (Dataset.create [| [| 0.0 |] |] [| 0 |])
+        in
+        let c =
+          Calibration.restore_cls ~entries ~config:Config.default ~scaler ~tau:1.0
+            ~loo_distances:[| 1.0; 2.0; 4.0 |] ()
+        in
+        let p x = Calibration.distance_pvalue_cls c [| x |] in
+        (* score below every LOO value: all n count, p = (n+1)/(n+1) *)
+        Alcotest.(check (float 0.0)) "below all" 1.0 (p 0.5);
+        (* score equal to an interior value: that value still counts *)
+        Alcotest.(check (float 0.0)) "interior tie" (3.0 /. 4.0) (p 2.0);
+        (* score = max_loo: at_least = 1, so the tail extension must NOT
+           fire even though the score touches the calibration maximum *)
+        Alcotest.(check (float 0.0)) "at the max" (2.0 /. 4.0) (p 4.0);
+        (* score past max_loo: at_least = 0 and the exponential tail
+           scales the floor 1/(n+1) — pinned bit-exactly *)
+        Alcotest.(check (float 0.0)) "beyond the tail"
+          (0.25 *. exp (-4.0 *. ((5.0 /. 4.0) -. 1.0)))
+          (p 5.0));
     Alcotest.test_case "regression calibration clusters and knn truth" `Quick (fun () ->
         let rng = Rng.create 5 in
         let x = Array.init 60 (fun i -> [| float_of_int (i mod 2 * 10) +. Rng.float rng 0.5 |]) in
@@ -1488,7 +1517,7 @@ let telemetry_tests =
                go 0))
           [
             "prom_queries_total"; "prom_rejected_total"; "prom_eval_latency_seconds";
-            "prom_monitor_drift_rate";
+            "prom_monitor_drift_rate"; "prom_kernel_backend";
           ]);
     Alcotest.test_case "instrumented evaluation is bit-identical" `Quick (fun () ->
         let model, _, cal = trained_world 35 in

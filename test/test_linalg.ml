@@ -613,6 +613,69 @@ let prop_sq_dists_rows_block_exact =
             (Array.init n Fun.id))
         (Array.init (r1 - r0) Fun.id))
 
+(* Cross-backend bit-identity of the native distance kernels. All
+   backends follow the same 4-lane accumulation-order contract, so
+   their outputs must be the *same bits* on every input — NaN and
+   infinity included (where [=] would reject NaN = NaN, so the
+   comparison goes through [Int64.bits_of_float]). Dimensions cover
+   every unroll remainder (dim mod 4, including dim < 4) and row
+   ranges cover the chunked-stub boundary offsets. *)
+let fbits = Int64.bits_of_float
+
+(* Exact bit equality, except that any NaN matches any NaN.  When both
+   operands of an accumulator add are NaN (a NaN row element and an
+   inf-minus-inf difference landing in the same lane), the hardware
+   keeps the first operand's payload — but C compilers may commute the
+   add, so which payload survives is not pinned by any portable
+   construction.  NaN-ness and NaN positions are still exact; only the
+   payload bits of a NaN result are exempt. *)
+let kernel_bit_eq x y = fbits x = fbits y || (x <> x && y <> y)
+
+let kernel_value_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, float_range (-50.0) 50.0);
+        (1, oneofl [ nan; infinity; neg_infinity; 0.0; -0.0; 1e300; 1e-300 ]);
+      ])
+
+let prop_kernel_backends_bit_identical =
+  QCheck2.Test.make ~name:"kernel backends bit-identical across OCaml/C/SIMD" ~count:300
+    QCheck2.Gen.(
+      int_range 1 25 >>= fun dim ->
+      int_range 1 30 >>= fun n ->
+      array_size (return (n * dim)) kernel_value_gen >>= fun data ->
+      array_size (return dim) kernel_value_gen >>= fun q ->
+      int_range 0 (n - 1) >>= fun r0 ->
+      int_range r0 n >>= fun r1 -> return (dim, n, data, q, r0, r1))
+    (fun (dim, n, data, q, r0, r1) ->
+      let backends =
+        List.filter Kernels.available [ Kernels.Ocaml; Kernels.C; Kernels.Simd ]
+      in
+      let seg_ok =
+        Array.for_all
+          (fun i ->
+            let want = Kernels.sq_dist_segs_with Kernels.Ocaml data (i * dim) q 0 dim in
+            List.for_all
+              (fun b ->
+                kernel_bit_eq (Kernels.sq_dist_segs_with b data (i * dim) q 0 dim) want)
+              backends)
+          (Array.init n Fun.id)
+      in
+      let len = Stdlib.max 1 (r1 - r0) in
+      let want = Array.make len nan in
+      Kernels.sq_dists_range_with Kernels.Ocaml ~data ~dim ~r0 ~r1 ~q ~oq:0 ~out:want
+        ~off:0;
+      let range_ok =
+        List.for_all
+          (fun b ->
+            let out = Array.make len nan in
+            Kernels.sq_dists_range_with b ~data ~dim ~r0 ~r1 ~q ~oq:0 ~out ~off:0;
+            Array.for_all2 kernel_bit_eq out want)
+          backends
+      in
+      seg_ok && range_ok)
+
 (* Row generators biased towards duplicates and tight clusters: integer
    coordinates from a small range make exact ties and zero-radius
    clusters common, the cases where pruning correctness is subtle. *)
@@ -684,7 +747,8 @@ let properties =
     [
       prop_triangle; prop_softmax; prop_quantile_monotone; prop_mean_bounds; prop_solve;
       prop_smallest_k; prop_heap_topk; prop_sq_dist_row_exact; prop_sq_dists_block_exact;
-      prop_sq_dists_rows_block_exact; prop_knn_index_parity; prop_knn_index_insert_parity;
+      prop_sq_dists_rows_block_exact; prop_kernel_backends_bit_identical;
+      prop_knn_index_parity; prop_knn_index_insert_parity;
     ]
 
 let suite =
