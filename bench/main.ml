@@ -1891,6 +1891,190 @@ let kernels_smoke () =
   kernels_section ~shapes:[ (512, 16) ] ~quota:0.05
     ~json_path:"BENCH_kernels_smoke.json" ()
 
+(* Streaming weighted recalibration (Stream): the unit-weight parity
+   gate, then the ingestion loop — admit / decay / evict / rebuild /
+   swap — running against live serving traffic from a second thread.
+   The gate fails the run on any diverging verdict bit; the live phase
+   fails it on any failed request, since [Service.swap] promises that
+   publishes never block or break serving. *)
+let stream_section ~n_cal ~admissions ~capacity ~json_path () =
+  section_header
+    (Printf.sprintf "Streaming calibration: ingestion loop under live traffic (n_cal=%d)"
+       n_cal);
+  let open Prom_ml in
+  let model, calibration, queries = inference_world ~n_cal ~n_queries:32 in
+  let triples =
+    List.init n_cal (fun i ->
+        let x = calibration.Dataset.x.(i) in
+        (x, calibration.Dataset.y.(i), model.Model.predict_proba x))
+  in
+  let traffic = Array.map (fun x -> (x, model.Model.predict_proba x)) queries in
+  (* --- Parity gate: explicit all-ones weights must not move a bit. ---
+     The same store with a unit weight vector folded in exercises the
+     weighted rank sums, suffix tables and gather-free scaling; the
+     contract is that they reproduce the unweighted arithmetic exactly,
+     so every p-value must match bit for bit. *)
+  let plain = Service.create triples in
+  let weighted =
+    match Service.snapshot plain with
+    | Snapshot.Cls s ->
+        let cal = s.Snapshot.cls_calibration in
+        let ones = Array.make (Array.length cal.Calibration.entries) 1.0 in
+        Service.of_snapshot
+          (Snapshot.Cls
+             { s with Snapshot.cls_calibration = Calibration.reweight_cls cal ones })
+    | Snapshot.Reg _ -> assert false
+  in
+  let vp = Service.evaluate_batch plain traffic in
+  let vw = Service.evaluate_batch weighted traffic in
+  let bit_eq x y = Int64.bits_of_float x = Int64.bits_of_float y in
+  Array.iteri
+    (fun i (a : Detector.cls_verdict) ->
+      let b = vw.(i) in
+      let ok =
+        a.Detector.drifted = b.Detector.drifted
+        && bit_eq a.Detector.mean_credibility b.Detector.mean_credibility
+        && bit_eq a.Detector.mean_confidence b.Detector.mean_confidence
+        && List.for_all2
+             (fun (ea : Scores.expert_verdict) (eb : Scores.expert_verdict) ->
+               bit_eq ea.Scores.credibility eb.Scores.credibility
+               && bit_eq ea.Scores.confidence eb.Scores.confidence
+               && bit_eq ea.Scores.distance_pvalue eb.Scores.distance_pvalue)
+             a.Detector.experts b.Detector.experts
+      in
+      if not ok then
+        failwith "stream bench: unit-weight verdicts diverged from the plain store")
+    vp;
+  Printf.printf "  unit-weight parity (all-ones reweight, %d queries): bit-identical\n"
+    (Array.length traffic);
+  (* --- Live ingestion loop. --- *)
+  let service = Service.create triples in
+  let window = Stdlib.max 1 (capacity / 2) in
+  let stream =
+    Stream.create ~policy:(Decay.Sliding { window }) ~capacity ~compact_fraction:0.5
+      service
+  in
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let latencies = ref [] in
+  let lat_lock = Mutex.create () in
+  let traffic_thread =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          let t0 = Unix.gettimeofday () in
+          (try ignore (Service.evaluate_batch service traffic : Detector.cls_verdict array)
+           with _ -> Atomic.incr failures);
+          let dt = Unix.gettimeofday () -. t0 in
+          Mutex.lock lat_lock;
+          latencies := dt :: !latencies;
+          Mutex.unlock lat_lock;
+          Thread.yield ()
+        done)
+      ()
+  in
+  (* Baseline serving latency before any admission. *)
+  let () = Thread.delay 0.2 in
+  let baseline =
+    Mutex.lock lat_lock;
+    let l = Array.of_list !latencies in
+    latencies := [];
+    Mutex.unlock lat_lock;
+    Array.sort Float.compare l;
+    l
+  in
+  let rng = Prom_linalg.Rng.create (seed + 7) in
+  let dim = Array.length calibration.Dataset.x.(0) in
+  let n_classes = model.Model.n_classes in
+  let max_swap = ref 0.0 and sum_swap = ref 0.0 in
+  let max_rebuild = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to admissions - 1 do
+    let label = i mod n_classes in
+    (* Admissions drift slowly away from the seeding blobs, so the
+       sliding window genuinely forgets the original region. *)
+    let x =
+      Array.init dim (fun j ->
+          float_of_int (label * (1 + (j mod 3)))
+          +. (0.002 *. float_of_int i)
+          +. Prom_linalg.Rng.gaussian rng ~mu:0.0 ~sigma:1.5)
+    in
+    Stream.admit stream ~features:x ~label ~proba:(model.Model.predict_proba x);
+    let st = Stream.stats stream in
+    max_swap := Stdlib.max !max_swap st.Stream.last_swap_s;
+    sum_swap := !sum_swap +. st.Stream.last_swap_s;
+    max_rebuild := Stdlib.max !max_rebuild st.Stream.last_rebuild_s
+  done;
+  let admit_total = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  Thread.join traffic_thread;
+  let live =
+    let l = Array.of_list !latencies in
+    Array.sort Float.compare l;
+    l
+  in
+  if Atomic.get failures > 0 then
+    failwith
+      (Printf.sprintf "stream bench: %d requests failed during ingestion"
+         (Atomic.get failures));
+  let st = Stream.stats stream in
+  if st.Stream.compactions = 0 then
+    failwith "stream bench: ingestion never triggered a compaction";
+  let p arr q = if Array.length arr = 0 then 0.0 else percentile arr q in
+  let admits_per_s = float_of_int admissions /. admit_total in
+  let mean_swap_ms = !sum_swap /. float_of_int admissions *. 1000.0 in
+  Printf.printf "  admissions        %6d in %.2fs (%6.0f admits/sec)\n" admissions
+    admit_total admits_per_s;
+  Printf.printf "  store             resident %d | live %d | evicted %d | compactions %d\n"
+    st.Stream.resident st.Stream.live st.Stream.evicted st.Stream.compactions;
+  Printf.printf "  publish (swap)    mean %.3f ms | max %.3f ms | rebuild max %.3f ms\n"
+    mean_swap_ms (!max_swap *. 1000.0) (!max_rebuild *. 1000.0);
+  Printf.printf
+    "  live traffic      %d batches, 0 failures | batch p50 %.3f ms (baseline %.3f ms)\n"
+    (Array.length live + Array.length baseline)
+    (p live 0.5 *. 1000.0) (p baseline 0.5 *. 1000.0);
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    {|{
+  "calibration_entries": %d,
+  "admissions": %d,
+  "capacity": %d,
+  "window": %d,
+  "admits_per_sec": %.1f,
+  "publishes": %d,
+  "compactions": %d,
+  "evicted": %d,
+  "final_resident": %d,
+  "swap_ms": { "mean": %.4f, "max": %.4f },
+  "rebuild_ms_max": %.4f,
+  "live_traffic": {
+    "batches": %d,
+    "failures": %d,
+    "batch_p50_ms": %.4f,
+    "batch_p99_ms": %.4f,
+    "baseline_p50_ms": %.4f
+  }
+}
+|}
+    n_cal admissions capacity window admits_per_s st.Stream.publishes
+    st.Stream.compactions st.Stream.evicted st.Stream.resident mean_swap_ms
+    (!max_swap *. 1000.0)
+    (!max_rebuild *. 1000.0)
+    (Array.length live) (Atomic.get failures)
+    (p live 0.5 *. 1000.0)
+    (p live 0.99 *. 1000.0)
+    (p baseline 0.5 *. 1000.0);
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path
+
+let stream_bench () =
+  stream_section ~n_cal:600 ~admissions:1500 ~capacity:800
+    ~json_path:"BENCH_stream.json" ()
+
+let stream_smoke () =
+  stream_section ~n_cal:160 ~admissions:240 ~capacity:200
+    ~json_path:"BENCH_stream_smoke.json" ()
+
 let sections =
   [
     ("table2", table2);
@@ -1920,6 +2104,8 @@ let sections =
     ("kernels-smoke", kernels_smoke);
     ("serve", serve_bench);
     ("serve-smoke", serve_bench_smoke);
+    ("stream", stream_bench);
+    ("stream-smoke", stream_smoke);
   ]
 
 let () =
@@ -1933,7 +2119,7 @@ let () =
           (fun n ->
             n <> "inference-smoke" && n <> "prep-smoke"
             && n <> "snapshot-smoke" && n <> "serve-smoke" && n <> "index-smoke"
-            && n <> "kernels-smoke")
+            && n <> "kernels-smoke" && n <> "stream-smoke")
           (List.map fst sections)
   in
   let t0 = Unix.gettimeofday () in

@@ -569,6 +569,54 @@ let index_stats_cmd =
           dense scan")
     Term.(const run $ quick_arg $ seed_arg)
 
+(* Drifting-stream protocol through the always-on recalibration loop:
+   by default the decay ablation (unit weights vs exponential vs
+   sliding window over the same stream), or a single policy via
+   --policy. *)
+let stream_cmd =
+  let policy_arg =
+    let doc =
+      "Decay policy spec: $(b,none), $(b,exp:H) (half-life of H admissions) or \
+       $(b,window:N); omit to run the full ablation (none, exp, window)."
+    in
+    Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"SPEC" ~doc)
+  in
+  let run quick seed policy =
+    let open Prom in
+    let c = { Stream_protocol.default with Stream_protocol.sp_seed = seed } in
+    let c =
+      if quick then
+        {
+          c with
+          Stream_protocol.sp_cal = 120;
+          sp_rounds = 8;
+          sp_batch = 24;
+          sp_capacity = 200;
+        }
+      else c
+    in
+    match policy with
+    | Some spec -> (
+        match Decay.of_string spec with
+        | None ->
+            Printf.eprintf "invalid decay policy %S (use none | exp:H | window:N)\n"
+              spec;
+            exit 1
+        | Some p ->
+            Format.printf "%a@." Stream_protocol.pp_result
+              (Stream_protocol.run ~policy:p ~config:c ()))
+    | None ->
+        List.iter
+          (fun r -> Format.printf "%a@." Stream_protocol.pp_result r)
+          (Stream_protocol.ablation ~config:c ())
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Replay the drifting-stream protocol through the streaming \
+          recalibration loop (decay-policy ablation by default)")
+    Term.(const run $ quick_arg $ seed_arg $ policy_arg)
+
 let () =
   let info =
     Cmd.info "prom_cli" ~version:"1.0.0"
@@ -578,4 +626,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; c5_cmd; suite_cmd; metrics_cmd; index_stats_cmd;
-            save_cmd; load_cmd; serve_cmd ]))
+            save_cmd; load_cmd; serve_cmd; stream_cmd ]))

@@ -34,6 +34,25 @@ type cls = {
   tau : float;
   loo_distances : float array;
       (* sorted leave-one-out kNN-distance scores of the calibration set *)
+  loo_order : int array;
+      (* loo_order.(r) = the entry whose LOO score sits at sorted
+         position r, so per-entry weights can be folded into the
+         conformal test as suffix sums over the sorted order. Empty when
+         the permutation is unknown (a pre-v3 snapshot restore); the
+         distance test then stays unweighted. *)
+  ent_weights : float array;
+      (* per-entry calibration weights (weighted conformal prediction);
+         empty means unit weights — the bit-identical unweighted path *)
+  loo_suffix : float array;
+      (* suffix sums of [ent_weights] in sorted-LOO order (length n+1,
+         [loo_suffix.(n)] = 0): [loo_suffix.(r)] is the total weight of
+         LOO scores at or above sorted position r — the weighted rank
+         the conformal distance test reads. Empty in unit mode or when
+         [loo_order] is unknown. *)
+  pk_weights : float array;
+      (* [ent_weights] permuted into the kNN index's packed member
+         order, so the gather-free selection path scales by weights at
+         packed positions. Empty in unit mode or when unindexed. *)
   feat_matrix : Featmat.t;
       (* the entries' feature vectors packed row-major, built once so the
          per-query distance scans never rebuild the feature array *)
@@ -152,12 +171,33 @@ let loo_knn_mean fm ~k row off buf =
     !acc /. float_of_int m
   end
 
+(* Sort LOO scores ascending while tracking which entry produced each
+   sorted slot. Ties break by entry id; tied slots hold bit-identical
+   values, so the sorted score array is exactly what [Array.sort
+   Float.compare] over the bare scores produced before the permutation
+   was tracked. *)
+let sort_loo_with_order scores =
+  let n = Array.length scores in
+  let order = Array.init n (fun i -> i) in
+  let pairs = Array.map (fun i -> (scores.(i), i)) order in
+  Array.sort
+    (fun (s1, i1) (s2, i2) ->
+      let c = Float.compare s1 s2 in
+      if c <> 0 then c else Stdlib.compare i1 i2)
+    pairs;
+  Array.iteri
+    (fun r (s, i) ->
+      scores.(r) <- s;
+      order.(r) <- i)
+    pairs;
+  (scores, order)
+
 (* The O(n^2) leave-one-out scan, fanned across the pool in row blocks;
-   each block is independent, so chunked evaluation is deterministic. *)
+   each block is independent, so chunked evaluation is deterministic.
+   Returns the ascending scores plus the sorted-position -> entry
+   permutation. *)
 let loo_distance_scores ?pool fm =
-  let scores = map_row_blocks ?pool fm (loo_knn_mean fm ~k:knn_distance_k) in
-  Array.sort Float.compare scores;
-  scores
+  sort_loo_with_order (map_row_blocks ?pool fm (loo_knn_mean fm ~k:knn_distance_k))
 
 (* First position in a sorted array whose value is >= [x] ([n] when
    every value is smaller) — an iterative lower-bound loop, shared by
@@ -171,20 +211,34 @@ let first_geq sorted x =
   done;
   !lo
 
-let distance_pvalue_of loo score =
+(* The conformal distance p-value, in unweighted or weighted-rank form.
+   Unweighted: p = (#{LOO >= score} + 1) / (n + 1). Weighted (Barber et
+   al., "beyond exchangeability"): the count is replaced by the total
+   weight of the LOO scores at or above the test score, read from
+   [suffix] — the weight suffix sums in sorted-LOO order — so
+   p = (W_>= + 1) / (W_total + 1); the +1 is the test sample's own unit
+   weight. With unit weights the suffix sums are exact small integers,
+   so [suffix.(pos) +. 1.0] equals [float_of_int (at_least + 1)] bit
+   for bit and the two forms coincide exactly; callers pass an empty
+   [suffix] to take the count-based path. *)
+let distance_pvalue ?(suffix = [||]) ~loo score =
   let n = Array.length loo in
   if n = 0 then 1.0
   else begin
-    (* count of LOO scores >= test score, by binary search on the
-       sorted array *)
-    let at_least = n - first_geq loo score in
-    let p = float_of_int (at_least + 1) /. float_of_int (n + 1) in
+    let weighted = Array.length suffix > 0 in
+    if weighted && Array.length suffix <> n + 1 then
+      invalid_arg "Calibration.distance_pvalue: suffix length must be n + 1";
+    (* rank of the test score, by binary search on the sorted array *)
+    let pos = first_geq loo score in
+    let at_least_w = if weighted then suffix.(pos) else float_of_int (n - pos) in
+    let total_w = if weighted then suffix.(0) else float_of_int n in
+    let p = (at_least_w +. 1.0) /. (total_w +. 1.0) in
     (* Beyond the calibration tail every score would share the floor
-       1/(n+1); extend with an exponential tail so farther points get
+       1/(W+1); extend with an exponential tail so farther points get
        strictly smaller p-values and the significance level keeps
        controlling how far out the rejection boundary sits. *)
     let max_loo = loo.(n - 1) in
-    if at_least = 0 && max_loo > 0.0 && score > max_loo then
+    if at_least_w = 0.0 && max_loo > 0.0 && score > max_loo then
       p *. exp (-4.0 *. ((score /. max_loo) -. 1.0))
     else p
   end
@@ -245,35 +299,105 @@ let prepare_classification ?pool ~config ~model ~feature_of (d : int Dataset.t) 
         { features = std_feats.(i); label = d.y.(i); proba = model.Model.predict_proba x })
       d.x
   in
+  let loo_distances, loo_order = loo_distance_scores ?pool feat_matrix in
   {
     entries;
     config;
     scaler;
     tau = effective_tau ?pool config feat_matrix;
-    loo_distances = loo_distance_scores ?pool feat_matrix;
+    loo_distances;
+    loo_order;
+    ent_weights = [||];
+    loo_suffix = [||];
+    pk_weights = [||];
     feat_matrix;
     cls_index = maybe_index ~config feat_matrix;
   }
 
 let standardize_cls t v = Dataset.Scaler.transform t.scaler v
 
+(* Per-entry calibration weights must be a full, finite, non-negative
+   vector — one NaN or negative weight would poison every rank sum
+   downstream. *)
+let check_weights name n w =
+  if Array.length w <> n then
+    invalid_arg (name ^ ": one weight per calibration entry required");
+  Array.iter
+    (fun x ->
+      if not (x >= 0.0 && x < infinity) then
+        invalid_arg (name ^ ": weights must be finite and non-negative"))
+    w
+
+(* A permutation of [0, n): each slot hit exactly once. *)
+let check_order name n order =
+  if Array.length order <> n then invalid_arg (name ^ ": order length mismatch");
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then invalid_arg (name ^ ": not a permutation");
+      seen.(i) <- true)
+    order
+
+(* Fold a fresh per-entry weight vector into the store: the suffix sums
+   over the sorted-LOO order feed the weighted conformal distance test,
+   and the packed twin lets the gather-free selection path scale by
+   weights at packed positions. An empty vector resets to unit weights
+   (the bit-identical unweighted pipeline). When the store predates the
+   LOO permutation (pre-v3 snapshot), the distance test keeps its
+   unweighted form — only the committee rank sums and the residual
+   quantile see the weights. *)
+let reweight_cls t w =
+  if Array.length w = 0 then
+    { t with ent_weights = [||]; loo_suffix = [||]; pk_weights = [||] }
+  else begin
+    let n = Array.length t.entries in
+    check_weights "Calibration.reweight_cls" n w;
+    let w = Array.copy w in
+    let loo_suffix =
+      if Array.length t.loo_order = n then
+        Stats.suffix_sums (Array.map (fun e -> w.(e)) t.loo_order)
+      else [||]
+    in
+    let pk_weights =
+      match t.cls_index with
+      | None -> [||]
+      | Some st -> Array.map (fun i -> w.(i)) (Knn_index.member_order st.knn)
+    in
+    { t with ent_weights = w; loo_suffix; pk_weights }
+  end
+
 (* Snapshot restore: the expensive O(n^2 . d) preparation products (tau,
    LOO distances) are taken as given; only the packed feature matrix is
-   rebuilt, a cheap O(n . d) copy of the entries' feature rows. *)
-let restore_cls ?index ~entries ~config ~scaler ~tau ~loo_distances () =
+   rebuilt, a cheap O(n . d) copy of the entries' feature rows. The
+   weight derivatives (suffix sums, packed twin) are recomputed from the
+   persisted weight vector rather than persisted themselves. *)
+let restore_cls ?index ?(loo_order = [||]) ?(ent_weights = [||]) ~entries ~config
+    ~scaler ~tau ~loo_distances () =
   Config.validate config;
   if Array.length entries = 0 then invalid_arg "Calibration.restore_cls: no entries";
   if not (tau > 0.0) then invalid_arg "Calibration.restore_cls: tau must be positive";
+  if Array.length loo_order > 0 then begin
+    if Array.length loo_distances <> Array.length entries then
+      invalid_arg "Calibration.restore_cls: LOO permutation without matching scores";
+    check_order "Calibration.restore_cls" (Array.length entries) loo_order
+  end;
   let feat_matrix = Featmat.of_rows (Array.map (fun e -> e.features) entries) in
-  {
-    entries;
-    config;
-    scaler;
-    tau;
-    loo_distances;
-    feat_matrix;
-    cls_index = attach_index ~config feat_matrix index;
-  }
+  let t =
+    {
+      entries;
+      config;
+      scaler;
+      tau;
+      loo_distances;
+      loo_order;
+      ent_weights = [||];
+      loo_suffix = [||];
+      pk_weights = [||];
+      feat_matrix;
+      cls_index = attach_index ~config feat_matrix index;
+    }
+  in
+  if Array.length ent_weights = 0 then t else reweight_cls t ent_weights
 
 type reg_entry = {
   rfeatures : Vec.t;
@@ -292,6 +416,10 @@ type reg = {
   rscaler : Dataset.Scaler.t;
   rtau : float;
   rloo_distances : float array;
+  rloo_order : int array;  (* see [cls.loo_order] *)
+  rent_weights : float array;  (* see [cls.ent_weights] *)
+  rloo_suffix : float array;  (* see [cls.loo_suffix] *)
+  rpk_weights : float array;  (* see [cls.pk_weights] *)
   rfeat_matrix : Featmat.t;
   mutable reg_index : index_state option;  (* see [cls_index] *)
   rpk_targets : float array;
@@ -385,6 +513,7 @@ let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
   in
   let reg_index = maybe_index ~config rfeat_matrix in
   let rpk_targets, rpk_clusters, rpk_resid = reg_packed_tables rentries reg_index in
+  let rloo_distances, rloo_order = loo_distance_scores ?pool rfeat_matrix in
   {
     rentries;
     rconfig = config;
@@ -392,7 +521,11 @@ let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
     n_clusters = k;
     rscaler = scaler;
     rtau = effective_tau ?pool config rfeat_matrix;
-    rloo_distances = loo_distance_scores ?pool rfeat_matrix;
+    rloo_distances;
+    rloo_order;
+    rent_weights = [||];
+    rloo_suffix = [||];
+    rpk_weights = [||];
     rfeat_matrix;
     reg_index;
     rpk_targets;
@@ -402,29 +535,62 @@ let prepare_regression ?pool ?n_clusters ~config ~model ~feature_of ~seed
 
 let standardize_reg t v = Dataset.Scaler.transform t.rscaler v
 
-let restore_reg ?index ~rentries ~rconfig ~clusters ~n_clusters ~rscaler ~rtau
-    ~rloo_distances () =
+(* See [reweight_cls]. *)
+let reweight_reg t w =
+  if Array.length w = 0 then
+    { t with rent_weights = [||]; rloo_suffix = [||]; rpk_weights = [||] }
+  else begin
+    let n = Array.length t.rentries in
+    check_weights "Calibration.reweight_reg" n w;
+    let w = Array.copy w in
+    let rloo_suffix =
+      if Array.length t.rloo_order = n then
+        Stats.suffix_sums (Array.map (fun e -> w.(e)) t.rloo_order)
+      else [||]
+    in
+    let rpk_weights =
+      match t.reg_index with
+      | None -> [||]
+      | Some st -> Array.map (fun i -> w.(i)) (Knn_index.member_order st.knn)
+    in
+    { t with rent_weights = w; rloo_suffix; rpk_weights }
+  end
+
+let restore_reg ?index ?(rloo_order = [||]) ?(rent_weights = [||]) ~rentries ~rconfig
+    ~clusters ~n_clusters ~rscaler ~rtau ~rloo_distances () =
   Config.validate rconfig;
   if Array.length rentries = 0 then invalid_arg "Calibration.restore_reg: no entries";
   if not (rtau > 0.0) then invalid_arg "Calibration.restore_reg: tau must be positive";
   if n_clusters < 1 then invalid_arg "Calibration.restore_reg: n_clusters out of range";
+  if Array.length rloo_order > 0 then begin
+    if Array.length rloo_distances <> Array.length rentries then
+      invalid_arg "Calibration.restore_reg: LOO permutation without matching scores";
+    check_order "Calibration.restore_reg" (Array.length rentries) rloo_order
+  end;
   let rfeat_matrix = Featmat.of_rows (Array.map (fun e -> e.rfeatures) rentries) in
   let reg_index = attach_index ~config:rconfig rfeat_matrix index in
   let rpk_targets, rpk_clusters, rpk_resid = reg_packed_tables rentries reg_index in
-  {
-    rentries;
-    rconfig;
-    clusters;
-    n_clusters;
-    rscaler;
-    rtau;
-    rloo_distances;
-    rfeat_matrix;
-    reg_index;
-    rpk_targets;
-    rpk_clusters;
-    rpk_resid;
-  }
+  let t =
+    {
+      rentries;
+      rconfig;
+      clusters;
+      n_clusters;
+      rscaler;
+      rtau;
+      rloo_distances;
+      rloo_order;
+      rent_weights = [||];
+      rloo_suffix = [||];
+      rpk_weights = [||];
+      rfeat_matrix;
+      reg_index;
+      rpk_targets;
+      rpk_clusters;
+      rpk_resid;
+    }
+  in
+  if Array.length rent_weights = 0 then t else reweight_reg t rent_weights
 
 type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
 
@@ -692,17 +858,23 @@ let resolve_tau tau config =
   if not (t > 0.0) then invalid_arg "Calibration.select: tau must be positive";
   t
 
-let select_subset ?tau ?featmat ~config entries ~feature_of_entry test_features =
+let select_subset ?tau ?featmat ?(entry_weights = [||]) ~config entries
+    ~feature_of_entry test_features =
   let tau = resolve_tau tau config in
   if Array.length entries = 0 then [||]
   else begin
     let scratch = (Domain.DLS.get query_scratch).sel in
     let keep = select_core scratch ?featmat ~config entries ~feature_of_entry test_features in
     let vals = Select.scratch_vals scratch and idxs = Select.scratch_idxs scratch in
+    let weighted = Array.length entry_weights > 0 in
     Array.init keep (fun r ->
         let i = idxs.(r) in
         let dist = sqrt vals.(r) in
         let weight = exp (-.(dist *. dist) /. tau) in
+        (* Calibration weights multiply into the Eq. 1 weight (weighted
+           conformal prediction); the unit path leaves the product
+           untaken so unweighted selections stay bit-identical. *)
+        let weight = if weighted then weight *. entry_weights.(i) else weight in
         { index = i; entry = entries.(i); weight; distance = dist })
   end
 
@@ -753,10 +925,12 @@ let knn_truth reg v ~k =
   (mean, spread)
 
 let distance_pvalue_cls t v =
-  distance_pvalue_of t.loo_distances (knn_distance_score t.feat_matrix v)
+  distance_pvalue ~suffix:t.loo_suffix ~loo:t.loo_distances
+    (knn_distance_score t.feat_matrix v)
 
 let distance_pvalue_reg t v =
-  distance_pvalue_of t.rloo_distances (knn_distance_score t.rfeat_matrix v)
+  distance_pvalue ~suffix:t.rloo_suffix ~loo:t.rloo_distances
+    (knn_distance_score t.rfeat_matrix v)
 
 (* --- Shared per-query distance pipeline. ---
 
@@ -777,7 +951,7 @@ let query_distances_block_reg t vs = query_distances_block_ix t.reg_index t.rfea
    destroys key order, and the buffer must outlive it for the other
    consumers), then selected and weighted exactly as [select_packed]
    does. *)
-let select_packed_dense tau ~config d =
+let select_packed_dense tau ~entry_weights ~config d =
   let n = d.dlen in
   if n = 0 then { sel_idxs = [||]; sel_weights = [||]; sel_count = 0; sel_pos = [||]; sel_packed = false }
   else begin
@@ -793,6 +967,11 @@ let select_packed_dense tau ~config d =
       let dist = sqrt vals.(r) in
       weights.(r) <- exp (-.(dist *. dist) /. tau)
     done;
+    (* Calibration weights (weighted conformal mode) fold into the Eq. 1
+       weights; the empty vector is unit mode and skips the pass. *)
+    if Array.length entry_weights > 0 then
+      Select.scale_by ~weights ~idxs:(Select.scratch_idxs qs.sel)
+        ~factors:entry_weights ~n:keep;
     {
       sel_idxs = Select.scratch_idxs qs.sel;
       sel_weights = weights;
@@ -809,13 +988,14 @@ let select_packed_dense tau ~config d =
    count exceeding the prefix (a config change after the index was
    sized) falls back to the dense scan; results stay bit-identical
    either way. *)
-let select_packed_dists ?tau ~config d =
+let select_packed_dists ?tau ?(entry_weights = [||]) ?(packed_weights = [||]) ~config d =
   let tau = resolve_tau tau config in
   match d with
-  | Dense d -> select_packed_dense tau ~config d
+  | Dense d -> select_packed_dense tau ~entry_weights ~config d
   | Pruned p ->
       let keep = keep_count ~config p.pn in
-      if keep > p.pcount then select_packed_dense tau ~config (dense_scan p.pfm p.pquery)
+      if keep > p.pcount then
+        select_packed_dense tau ~entry_weights ~config (dense_scan p.pfm p.pquery)
       else begin
         let qs = Domain.DLS.get query_scratch in
         ignore (Select.scratch_keys qs.sel keep : float array);
@@ -830,6 +1010,14 @@ let select_packed_dists ?tau ~config d =
           let dist = sqrt vals.(r) in
           weights.(r) <- exp (-.(dist *. dist) /. tau)
         done;
+        (* The calibration-weight pass reads the packed twin at packed
+           positions when the store carries one (gather-free, same floats
+           by construction), the entry-order vector otherwise. *)
+        if Array.length entry_weights > 0 then begin
+          if Array.length packed_weights > 0 then
+            Select.scale_by ~weights ~idxs:qs.selpos ~factors:packed_weights ~n:keep
+          else Select.scale_by ~weights ~idxs ~factors:entry_weights ~n:keep
+        end;
         {
           sel_idxs = idxs;
           sel_weights = weights;
@@ -863,10 +1051,11 @@ let conformal_mean_of_dists d =
       end
 
 let distance_pvalue_cls_dists t d =
-  distance_pvalue_of t.loo_distances (conformal_mean_of_dists d)
+  distance_pvalue ~suffix:t.loo_suffix ~loo:t.loo_distances (conformal_mean_of_dists d)
 
 let distance_pvalue_reg_dists t d =
-  distance_pvalue_of t.rloo_distances (conformal_mean_of_dists d)
+  distance_pvalue ~suffix:t.rloo_suffix ~loo:t.rloo_distances
+    (conformal_mean_of_dists d)
 
 (* [knn_truth] from the buffer: the neighbour set and its ascending
    order match [Featmat.nearest], and the targets array hands mean and
@@ -1005,15 +1194,36 @@ let grow_index ~config index fm ~from_row =
    preparation time — recomputing them would cost the full O(n²·d)
    pass the append exists to avoid — so the conformal reference lags
    the grown set slightly until the next full retrain. *)
-let grow_loo fm loo ~from_row =
+let grow_loo fm (loo, order) ~from_row =
   let n = Featmat.length fm in
   let added =
     Array.init (n - from_row) (fun i ->
         Featmat.knn_mean_dist_rows fm ~row:(from_row + i) ~k:knn_distance_k)
   in
-  let merged = Array.append loo added in
-  Array.sort Float.compare merged;
-  merged
+  if Array.length order = Array.length loo then begin
+    (* Merge while tracking each sorted slot's entry: the appended rows'
+       scores tag entries [from_row ..]. The sorted score values equal
+       the bare [Array.sort Float.compare] merge (ties are bit-equal),
+       so the conformal reference is unchanged by the bookkeeping. *)
+    let merged = Array.make (Array.length loo + Array.length added) (0.0, 0) in
+    Array.iteri (fun r s -> merged.(r) <- (s, order.(r))) loo;
+    Array.iteri
+      (fun i s -> merged.(Array.length loo + i) <- (s, from_row + i))
+      added;
+    Array.sort
+      (fun (s1, i1) (s2, i2) ->
+        let c = Float.compare s1 s2 in
+        if c <> 0 then c else Stdlib.compare i1 i2)
+      merged;
+    (Array.map fst merged, Array.map snd merged)
+  end
+  else begin
+    (* Unknown permutation (pre-v3 restore): keep the plain sorted merge;
+       the distance test stays unweighted for this store's lifetime. *)
+    let merged = Array.append loo added in
+    Array.sort Float.compare merged;
+    (merged, [||])
+  end
 
 let append_cls t new_entries =
   if Array.length new_entries = 0 then t
@@ -1022,14 +1232,52 @@ let append_cls t new_entries =
     let feat_matrix =
       Featmat.append t.feat_matrix (Array.map (fun e -> e.features) new_entries)
     in
+    let loo_distances, loo_order =
+      grow_loo feat_matrix (t.loo_distances, t.loo_order) ~from_row
+    in
+    (* Appends reset to unit weights: the freshly admitted rows have no
+       weight yet and a stale vector would mis-weight every rank sum.
+       Streaming callers reweight immediately after ([reweight_cls]). *)
     {
       t with
       entries = Array.append t.entries new_entries;
       feat_matrix;
-      loo_distances = grow_loo feat_matrix t.loo_distances ~from_row;
+      loo_distances;
+      loo_order;
+      ent_weights = [||];
+      loo_suffix = [||];
+      pk_weights = [||];
       cls_index = grow_index ~config:t.config t.cls_index feat_matrix ~from_row;
     }
   end
+
+(* Full rebuild from an explicit entry set with frozen preprocessing —
+   the streaming store's compaction step. The scaler and tau are carried
+   over from the store the survivors came out of (recomputing them would
+   shift every distance and weight for all in-flight comparisons); the
+   O(n²·d) leave-one-out reference and the indexing decision are
+   recomputed from scratch, off the serving path — the rebuilt store is
+   published by hot-swap when done. Weights reset to unit; the caller
+   reweights against the new entry order. *)
+let rebuild_cls ?pool ~config ~scaler ~tau entries =
+  Config.validate config;
+  if Array.length entries = 0 then invalid_arg "Calibration.rebuild_cls: no entries";
+  if not (tau > 0.0) then invalid_arg "Calibration.rebuild_cls: tau must be positive";
+  let feat_matrix = Featmat.of_rows (Array.map (fun e -> e.features) entries) in
+  let loo_distances, loo_order = loo_distance_scores ?pool feat_matrix in
+  {
+    entries;
+    config;
+    scaler;
+    tau;
+    loo_distances;
+    loo_order;
+    ent_weights = [||];
+    loo_suffix = [||];
+    pk_weights = [||];
+    feat_matrix;
+    cls_index = maybe_index ~config feat_matrix;
+  }
 
 let append_reg t samples =
   if Array.length samples = 0 then t
@@ -1056,11 +1304,19 @@ let append_reg t samples =
        rebuild), so the packed sidecars are rebuilt against the grown
        index — never carried over. *)
     let rpk_targets, rpk_clusters, rpk_resid = reg_packed_tables rentries reg_index in
+    let rloo_distances, rloo_order =
+      grow_loo rfeat_matrix (t.rloo_distances, t.rloo_order) ~from_row
+    in
+    (* See [append_cls]: appends reset to unit weights. *)
     {
       t with
       rentries;
       rfeat_matrix;
-      rloo_distances = grow_loo rfeat_matrix t.rloo_distances ~from_row;
+      rloo_distances;
+      rloo_order;
+      rent_weights = [||];
+      rloo_suffix = [||];
+      rpk_weights = [||];
       reg_index;
       rpk_targets;
       rpk_clusters;

@@ -49,6 +49,25 @@ type cls = private {
       (** sorted leave-one-out kNN-distance nonconformity scores of the
           calibration points — the reference distribution of the
           conformal out-of-distribution test *)
+  loo_order : int array;
+      (** [loo_order.(r)] is the entry whose LOO score occupies sorted
+          position [r] — the permutation that lets per-entry weights
+          enter the conformal distance test as suffix sums. Empty when
+          unknown (a store restored from a pre-v3 snapshot); the
+          distance test then stays unweighted even in weighted mode. *)
+  ent_weights : float array;
+      (** per-entry calibration weights of the weighted conformal mode
+          ({!reweight_cls}); empty means unit weights — the
+          bit-identical unweighted pipeline *)
+  loo_suffix : float array;
+      (** suffix sums of [ent_weights] over the sorted-LOO order
+          (length n+1, last slot 0): [loo_suffix.(r)] is the total
+          weight of LOO scores at or above sorted position [r]. Empty
+          in unit mode or when [loo_order] is unknown. *)
+  pk_weights : float array;
+      (** [ent_weights] permuted into the kNN index's packed member
+          order, so weighted selection scales gather-free at packed
+          positions. Empty in unit mode or when unindexed. *)
   feat_matrix : Featmat.t;
       (** the entries' feature vectors packed row-major once at
           preparation time, so per-query distance scans never rebuild
@@ -76,18 +95,25 @@ val prepare_classification :
   int Dataset.t ->
   cls
 
-(** [restore_cls ?index ~entries ~config ~scaler ~tau ~loo_distances ()]
+(** [restore_cls ?index ?loo_order ?ent_weights ~entries ~config ~scaler
+    ~tau ~loo_distances ()]
     rebuilds a prepared calibration store from serialized state, skipping
     the O(n²·d) preparation scans: the packed feature matrix is repacked
     from [entries] (O(n·d)) and everything else is taken as given, so
     verdicts after restore are bit-identical to the snapshotted store.
     When [index] carries the snapshotted kNN index it is adopted without
     any clustering pass (its row count and dimension must match the
-    entries); otherwise the indexing policy decides afresh. Raises
-    [Invalid_argument] on an empty entry set, an invalid [config], a
-    non-positive [tau], or an [index] that does not fit the entries. *)
+    entries); otherwise the indexing policy decides afresh. [loo_order]
+    (codec v3) is the sorted-LOO permutation and [ent_weights] the
+    persisted weight vector; the weight derivatives (suffix sums, packed
+    twin) are recomputed, not deserialized. Raises [Invalid_argument] on
+    an empty entry set, an invalid [config], a non-positive [tau], an
+    [index] that does not fit the entries, a [loo_order] that is not a
+    permutation of the entries, or invalid weights. *)
 val restore_cls :
   ?index:Knn_index.t ->
+  ?loo_order:int array ->
+  ?ent_weights:float array ->
   entries:cls_entry array ->
   config:Config.t ->
   scaler:Dataset.Scaler.t ->
@@ -95,6 +121,60 @@ val restore_cls :
   loo_distances:float array ->
   unit ->
   cls
+
+(** [rebuild_cls ?pool ~config ~scaler ~tau entries] rebuilds a store
+    from an explicit entry set with frozen preprocessing — the streaming
+    store's compaction step after evicting expired entries. [scaler] and
+    [tau] are carried over from the store the entries came out of (so
+    distances and Eq. 1 weights keep meaning the same thing across the
+    compaction); the O(n²·d) leave-one-out reference and the indexing
+    decision are recomputed from scratch — run it off the serving path
+    and publish the result by hot-swap. Weights reset to unit; reweight
+    against the new entry order afterwards. Raises [Invalid_argument]
+    on an empty entry set, an invalid [config] or a non-positive
+    [tau]. *)
+val rebuild_cls :
+  ?pool:Prom_parallel.Pool.t ->
+  config:Config.t ->
+  scaler:Dataset.Scaler.t ->
+  tau:float ->
+  cls_entry array ->
+  cls
+
+(** {2 Weighted conformal mode}
+
+    "Conformal prediction beyond exchangeability" (Barber, Candès,
+    Ramdas & Tibshirani): when the calibration set itself drifts,
+    approximate coverage is retained by down-weighting stale calibration
+    samples — every conformal count becomes a weighted rank sum. A
+    store's weight vector multiplies into the Eq. 1 selection weights
+    (committee p-values and the regression residual quantile see it
+    through {!selection.sel_weights}) and enters the conformal distance
+    test as suffix sums over the sorted leave-one-out order. Unit
+    weights — the empty vector — take the exact unweighted code paths,
+    so verdicts are bit-identical to a store that never heard of
+    weights. *)
+
+(** [reweight_cls t w] is [t] with per-entry weights [w] folded in
+    ([w.(i)] weights entry [i]); the empty array resets to unit mode.
+    Derived state (LOO suffix sums, the packed twin) is rebuilt here, so
+    the query path only reads. Raises [Invalid_argument] unless [w] is
+    empty or one finite non-negative weight per entry. On a store whose
+    LOO permutation is unknown (pre-v3 restore) the conformal distance
+    test stays unweighted; everything else is weighted. *)
+val reweight_cls : cls -> float array -> cls
+
+(** [distance_pvalue ?suffix ~loo score] is the conformal p-value of
+    [score] against the ascending reference scores [loo]:
+    [(W_at_least + 1) / (W_total + 1)], where the weights are unit
+    (counts) when [suffix] is empty, and read from [suffix] — the
+    weight suffix sums over the sorted order, length [n + 1] with
+    [suffix.(n) = 0] — otherwise. Beyond the largest reference score an
+    exponential tail keeps farther points strictly less conforming.
+    With unit weights in [suffix] the two forms are bit-identical. An
+    empty [loo] yields 1. Raises [Invalid_argument] on a non-empty
+    [suffix] whose length is not [n + 1]. *)
+val distance_pvalue : ?suffix:float array -> loo:float array -> float -> float
 
 (** One preprocessed calibration sample for regression. *)
 type reg_entry = {
@@ -123,6 +203,10 @@ type reg = private {
   rscaler : Dataset.Scaler.t;
   rtau : float;  (** see {!cls.tau} *)
   rloo_distances : float array;  (** see {!cls.loo_distances} *)
+  rloo_order : int array;  (** see {!cls.loo_order} *)
+  rent_weights : float array;  (** see {!cls.ent_weights} *)
+  rloo_suffix : float array;  (** see {!cls.loo_suffix} *)
+  rpk_weights : float array;  (** see {!cls.pk_weights} *)
   rfeat_matrix : Featmat.t;  (** see {!cls.feat_matrix} *)
   mutable reg_index : index_state option;  (** see {!cls.cls_index} *)
   rpk_targets : float array;
@@ -157,11 +241,13 @@ val prepare_regression :
   float Dataset.t ->
   reg
 
-(** [restore_reg ?index ~rentries ~rconfig ~clusters ~n_clusters ~rscaler
-    ~rtau ~rloo_distances ()] is the regression analogue of
-    {!restore_cls}. *)
+(** [restore_reg ?index ?rloo_order ?rent_weights ~rentries ~rconfig
+    ~clusters ~n_clusters ~rscaler ~rtau ~rloo_distances ()] is the
+    regression analogue of {!restore_cls}. *)
 val restore_reg :
   ?index:Knn_index.t ->
+  ?rloo_order:int array ->
+  ?rent_weights:float array ->
   rentries:reg_entry array ->
   rconfig:Config.t ->
   clusters:Kmeans.t ->
@@ -171,6 +257,9 @@ val restore_reg :
   rloo_distances:float array ->
   unit ->
   reg
+
+(** [reweight_reg t w] — {!reweight_cls} for a regression store. *)
+val reweight_reg : reg -> float array -> reg
 
 (** A calibration sample selected for a particular test input, carrying
     its adaptive weight [w = exp (-d^2 / tau)]. [index] is the sample's
@@ -188,12 +277,17 @@ type 'e selected = { index : int; entry : 'e; weight : float; distance : float }
     {!cls.tau}). When [featmat] (the packed feature matrix of the same
     entries) is given, distances are scanned from it without consulting
     [feature_of_entry]; selection keeps only the top-k via a bounded
-    heap instead of sorting the whole set. Raises [Invalid_argument]
-    when the effective tau is not strictly positive (a zero tau would
-    give NaN weights for zero-distance neighbours). *)
+    heap instead of sorting the whole set. [entry_weights] (weighted
+    conformal mode) multiplies each kept sample's calibration weight
+    into its Eq. 1 weight; the empty default skips the product, so
+    unweighted selections are bit-identical to stores without weights.
+    Raises [Invalid_argument] when the effective tau is not strictly
+    positive (a zero tau would give NaN weights for zero-distance
+    neighbours). *)
 val select_subset :
   ?tau:float ->
   ?featmat:Featmat.t ->
+  ?entry_weights:float array ->
   config:Config.t ->
   'e array ->
   feature_of_entry:('e -> Vec.t) ->
@@ -250,7 +344,9 @@ val assign_cluster : reg -> Vec.t -> int
     calibrated against the calibration set's own leave-one-out
     distances (the conformal kNN anomaly test of the paper's [36]).
     Near 0 means the input sits outside the calibration
-    distribution. [v] must already be standardized. *)
+    distribution. In weighted mode the rank is the weighted form of
+    {!distance_pvalue} (unless the store predates the LOO permutation).
+    [v] must already be standardized. *)
 val distance_pvalue_cls : cls -> Vec.t -> float
 
 (** [distance_pvalue_reg t v] — the regression analogue. *)
@@ -297,10 +393,22 @@ val query_distances_block_cls : cls -> Vec.t array -> dists array
 
 val query_distances_block_reg : reg -> Vec.t array -> dists array
 
-(** [select_packed_dists ?tau ~config d] is {!select_packed} fed from
-    the shared buffer instead of its own matrix scan — indices, order
-    and weights are bit-identical. *)
-val select_packed_dists : ?tau:float -> config:Config.t -> dists -> selection
+(** [select_packed_dists ?tau ?entry_weights ?packed_weights ~config d]
+    is {!select_packed} fed from the shared buffer instead of its own
+    matrix scan — indices, order and weights are bit-identical.
+    [entry_weights] folds the store's calibration weights into the kept
+    samples' Eq. 1 weights (weighted conformal mode; empty = unit mode,
+    untouched arithmetic); when the selection is the pruned index's
+    prefix and [packed_weights] carries the same vector permuted into
+    packed member order (the store's {!cls.pk_weights}), the pass reads
+    it gather-free at packed positions — same floats either way. *)
+val select_packed_dists :
+  ?tau:float ->
+  ?entry_weights:float array ->
+  ?packed_weights:float array ->
+  config:Config.t ->
+  dists ->
+  selection
 
 (** [distance_pvalue_cls_dists t d] is {!distance_pvalue_cls} with the
     conformal kNN score read from the shared buffer. *)
@@ -357,7 +465,9 @@ val index_of_reg : reg -> Knn_index.t option
     the append avoids), [tau] is kept, and the kNN index absorbs the
     rows by batched insert — rebuilding itself when the growth or
     imbalance policy demands, or being built fresh when the grown store
-    first crosses the indexing threshold. *)
+    first crosses the indexing threshold. Calibration weights reset to
+    unit: the admitted rows have no weight yet, so streaming callers
+    {!reweight_cls} immediately after. *)
 val append_cls : cls -> cls_entry array -> cls
 
 (** [append_reg t samples] — the regression analogue. Each sample is

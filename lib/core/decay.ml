@@ -1,0 +1,87 @@
+(* Decay policies for streaming weighted conformal calibration (Barber,
+   Candès, Ramdas & Tibshirani, "Conformal prediction beyond
+   exchangeability"): each calibration entry carries a weight derived
+   from its age — how many admissions ago it entered the window — so
+   recent samples dominate the weighted rank sums when the calibration
+   distribution itself drifts. Unit weights recover the exchangeable
+   (unweighted) p-values exactly. *)
+
+type policy =
+  | Unit_weights
+  | Exponential of { half_life : float }
+  | Sliding of { window : int }
+
+let validate = function
+  | Unit_weights -> ()
+  | Exponential { half_life } ->
+      if not (half_life > 0.0) then
+        invalid_arg "Decay: exponential half-life must be positive"
+  | Sliding { window } ->
+      if window < 1 then invalid_arg "Decay: sliding window must be positive"
+
+(* [scale] shrinks the policy's horizon under escalating drift (the
+   monitor drives it: 1.0 healthy, smaller when degrading/ageing); the
+   unit policy has no horizon to shrink. Weight of a sample [age]
+   admissions old. *)
+let weight policy ~scale ~age =
+  if age < 0 then invalid_arg "Decay.weight: negative age";
+  if not (scale > 0.0 && scale <= 1.0) then
+    invalid_arg "Decay.weight: scale outside (0, 1]";
+  match policy with
+  | Unit_weights -> 1.0
+  | Exponential { half_life } -> 0.5 ** (float_of_int age /. (half_life *. scale))
+  | Sliding { window } ->
+      if float_of_int age < float_of_int window *. scale then 1.0 else 0.0
+
+let is_unit = function Unit_weights -> true | _ -> false
+
+let to_string = function
+  | Unit_weights -> "none"
+  | Exponential { half_life } -> Printf.sprintf "exp:%g" half_life
+  | Sliding { window } -> Printf.sprintf "window:%d" window
+
+let of_string s =
+  let s = String.trim s in
+  let prefixed p =
+    String.length s > String.length p && String.sub s 0 (String.length p) = p
+  in
+  let rest p = String.sub s (String.length p) (String.length s - String.length p) in
+  if s = "none" || s = "unit" then Some Unit_weights
+  else if prefixed "exp:" then
+    match float_of_string_opt (rest "exp:") with
+    | Some h when h > 0.0 -> Some (Exponential { half_life = h })
+    | _ -> None
+  else if prefixed "window:" then
+    match int_of_string_opt (rest "window:") with
+    | Some w when w >= 1 -> Some (Sliding { window = w })
+    | _ -> None
+  else None
+
+(* The streaming store's persisted window state: everything the
+   ingestion loop needs to resume after a restart with the exact same
+   weights it was publishing — admission sequence numbers of the
+   resident entries, the monotonic sequence counter, and the policy
+   with its drift-driven scale. Travels in snapshot codec v3 next to
+   the per-entry weights. *)
+type window_state = {
+  ws_policy : policy;
+  ws_capacity : int;
+  ws_compact_fraction : float;
+  ws_scale : float;  (* drift-driven horizon shrink currently applied *)
+  ws_seqs : int array;  (* admission sequence of each resident entry *)
+  ws_next_seq : int;
+}
+
+let validate_window ws =
+  validate ws.ws_policy;
+  if ws.ws_capacity < 1 then invalid_arg "Decay: window capacity must be positive";
+  if not (ws.ws_compact_fraction > 0.0 && ws.ws_compact_fraction <= 1.0) then
+    invalid_arg "Decay: compact fraction outside (0, 1]";
+  if not (ws.ws_scale > 0.0 && ws.ws_scale <= 1.0) then
+    invalid_arg "Decay: window scale outside (0, 1]";
+  if ws.ws_next_seq < 0 then invalid_arg "Decay: negative sequence counter";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= ws.ws_next_seq then
+        invalid_arg "Decay: entry sequence outside [0, next_seq)")
+    ws.ws_seqs

@@ -1,0 +1,66 @@
+(** Decay policies for streaming weighted conformal calibration.
+
+    Under distribution shift the calibration set itself goes stale;
+    "Conformal prediction beyond exchangeability" (Barber, Candès,
+    Ramdas & Tibshirani) keeps approximate coverage by down-weighting
+    old calibration samples in the conformal rank sums. A policy maps a
+    sample's {e age} — how many admissions ago it entered the sliding
+    window — to a weight in [0, 1]; the streaming store
+    ({!Stream}) recomputes the weight vector on every admission and
+    folds it into the calibration store with
+    {!Calibration.reweight_cls}. *)
+
+(** The three policies of the streaming store. [Unit_weights] assigns
+    every resident entry weight 1 — bit-identical to the unweighted
+    pipeline. [Exponential] halves a sample's weight every [half_life]
+    admissions. [Sliding] keeps weight 1 inside the last [window]
+    admissions and 0 beyond — hard forgetting; expired entries stay
+    resident at weight 0 until the store compacts them away. *)
+type policy =
+  | Unit_weights
+  | Exponential of { half_life : float }
+  | Sliding of { window : int }
+
+(** [validate p] raises [Invalid_argument] on a non-positive half-life
+    or window. *)
+val validate : policy -> unit
+
+(** [weight p ~scale ~age] is the weight of a sample [age] admissions
+    old. [scale] in (0, 1] shrinks the policy's horizon (half-life or
+    window) — the monitor escalates drift by lowering it, so a
+    degrading deployment forgets faster without changing policy.
+    Raises [Invalid_argument] on a negative age or a scale outside
+    (0, 1]. *)
+val weight : policy -> scale:float -> age:int -> float
+
+(** [is_unit p] is true for [Unit_weights] — the streaming store skips
+    reweighting entirely then, keeping the serving path on the
+    unweighted (bit-identical) arithmetic. *)
+val is_unit : policy -> bool
+
+(** [to_string p] is the spec syntax [none | exp:H | window:N] —
+    inverse of {!of_string}, used by the [PROM_STREAM_DECAY]
+    environment knob and the CLI. *)
+val to_string : policy -> string
+
+(** [of_string s] parses the spec syntax; [None] on anything
+    malformed or non-positive. *)
+val of_string : string -> policy option
+
+(** The streaming store's persisted window state: resident admission
+    sequences plus the policy and its current drift scale — everything
+    needed to resume the ingestion loop with the exact weights it was
+    publishing. Serialized in snapshot codec v3. *)
+type window_state = {
+  ws_policy : policy;
+  ws_capacity : int;  (** hard bound on resident entries *)
+  ws_compact_fraction : float;
+      (** expired fraction that triggers compaction, in (0, 1] *)
+  ws_scale : float;  (** drift-driven horizon shrink currently applied *)
+  ws_seqs : int array;  (** admission sequence of each resident entry *)
+  ws_next_seq : int;  (** next admission sequence to hand out *)
+}
+
+(** [validate_window ws] raises [Invalid_argument] on any
+    out-of-range field (sequences must sit in [0, ws_next_seq)). *)
+val validate_window : window_state -> unit

@@ -187,8 +187,11 @@ module Classification = struct
     let proba = t.model.Model.predict_proba x in
     let predicted = Vec.argmax proba in
     let selection =
-      Calibration.select_packed_dists ~tau:t.calibration.Calibration.tau ~config:t.cfg
-        dists
+      (* Weighted conformal mode rides in on the store's weight vectors
+         (empty in unit mode — the untouched unweighted arithmetic). *)
+      Calibration.select_packed_dists ~tau:t.calibration.Calibration.tau
+        ~entry_weights:t.calibration.Calibration.ent_weights
+        ~packed_weights:t.calibration.Calibration.pk_weights ~config:t.cfg dists
     in
     let n_classes = t.model.Model.n_classes in
     let distance_pvalue = Calibration.distance_pvalue_cls_dists t.calibration dists in
@@ -287,7 +290,8 @@ module Classification = struct
     let feats = Calibration.standardize_cls t.calibration (t.feature_of x) in
     let selected =
       Calibration.select_subset ~tau:t.calibration.Calibration.tau
-        ~featmat:t.calibration.Calibration.feat_matrix ~config:t.cfg
+        ~featmat:t.calibration.Calibration.feat_matrix
+        ~entry_weights:t.calibration.Calibration.ent_weights ~config:t.cfg
         t.calibration.Calibration.entries
         ~feature_of_entry:(fun e -> e.Calibration.features)
         feats
@@ -454,8 +458,9 @@ module Regression = struct
     in
     let cluster = Calibration.assign_cluster_dists t.calibration dists in
     let selection =
-      Calibration.select_packed_dists ~tau:t.calibration.Calibration.rtau ~config:t.cfg
-        dists
+      Calibration.select_packed_dists ~tau:t.calibration.Calibration.rtau
+        ~entry_weights:t.calibration.Calibration.rent_weights
+        ~packed_weights:t.calibration.Calibration.rpk_weights ~config:t.cfg dists
     in
     let n_clusters = t.calibration.Calibration.n_clusters in
     let distance_pvalue = Calibration.distance_pvalue_reg_dists t.calibration dists in
@@ -544,8 +549,9 @@ module Regression = struct
     let predicted_value = t.model.Model.predict x in
     let dists = Calibration.query_distances_reg t.calibration (standardize t x) in
     let selection =
-      Calibration.select_packed_dists ~tau:t.calibration.Calibration.rtau ~config:t.cfg
-        dists
+      Calibration.select_packed_dists ~tau:t.calibration.Calibration.rtau
+        ~entry_weights:t.calibration.Calibration.rent_weights
+        ~packed_weights:t.calibration.Calibration.rpk_weights ~config:t.cfg dists
     in
     (* Weighted (1 - epsilon) quantile of absolute residuals against the
        true calibration targets; the sort and accumulation now run in
@@ -564,7 +570,8 @@ module Regression = struct
     in
     let selected =
       Calibration.select_subset ~tau:t.calibration.Calibration.rtau
-        ~featmat:t.calibration.Calibration.rfeat_matrix ~config:t.cfg
+        ~featmat:t.calibration.Calibration.rfeat_matrix
+        ~entry_weights:t.calibration.Calibration.rent_weights ~config:t.cfg
         t.calibration.Calibration.rentries
         ~feature_of_entry:(fun e -> e.Calibration.rfeatures)
         feats

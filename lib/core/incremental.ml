@@ -106,6 +106,45 @@ let classification_admitting ?(budget_fraction = 0.05) ?telemetry ~detector ~tra
   in
   (outcome, detector)
 
+(* The streaming variant closes the loop without a model retrain: the
+   committee's rejects are ranked and budget-clipped exactly like
+   [classification_round], but the relabeled samples go straight into
+   the stream's sliding-window calibration store ([Stream.admit]), which
+   republishes the serving engine after each admission. The host owns
+   the model, so [updated_model] is unit. *)
+let service_round ?(budget_fraction = 0.05) ?telemetry ?monitor ?pool ~stream ~oracle
+    queries =
+  let verdicts = Service.evaluate_batch ?pool (Stream.service stream) queries in
+  let flagged = ref [] in
+  Array.iteri
+    (fun i (v : Detector.cls_verdict) ->
+      (match monitor with
+      | Some m -> ignore (Monitor.observe m ~drifted:v.Detector.drifted)
+      | None -> ());
+      if v.Detector.drifted then begin
+        let dist_p =
+          match v.Detector.experts with
+          | e :: _ -> e.Scores.distance_pvalue
+          | [] -> 1.0
+        in
+        flagged := (i, v.Detector.mean_credibility +. dist_p) :: !flagged
+      end)
+    verdicts;
+  let flagged = List.rev !flagged in
+  let budget, chosen = pick_budget ~budget_fraction flagged in
+  record_round ~telemetry ~flagged ~chosen;
+  List.iter
+    (fun i ->
+      let features, proba = queries.(i) in
+      Stream.admit stream ~features ~label:(oracle features) ~proba)
+    chosen;
+  {
+    updated_model = ();
+    flagged_indices = List.map fst flagged;
+    relabeled_indices = chosen;
+    budget;
+  }
+
 let regression_round ~budget_fraction ~telemetry ~detector ~trainer ~train_data ~oracle
     inputs =
   let flagged = ref [] in

@@ -49,6 +49,27 @@ val classification_admitting :
   Vec.t array ->
   Model.classifier outcome * Detector.Classification.t
 
+(** [service_round ?budget_fraction ~stream ~oracle queries] is the
+    streaming analogue of {!classification_admitting} for external-model
+    deployments: evaluate the (features, probability-vector) batch
+    through the stream's {!Service}, rank and budget-clip the rejects
+    exactly like {!classification}, relabel the chosen ones through
+    [oracle], and {!Stream.admit} each straight into the sliding-window
+    calibration store — which republishes the serving engine after
+    every admission. No model retrain happens (the host owns the
+    model), so [updated_model] is [()]. [monitor] is fed every verdict
+    ({!Monitor.observe}); give the stream the same monitor and
+    escalating drift shrinks its decay horizon. *)
+val service_round :
+  ?budget_fraction:float ->
+  ?telemetry:Telemetry.t ->
+  ?monitor:Monitor.t ->
+  ?pool:Prom_parallel.Pool.t ->
+  stream:Stream.t ->
+  oracle:(Vec.t -> int) ->
+  (Vec.t * Vec.t) array ->
+  unit outcome
+
 (** [regression] is the same loop for cost models; [oracle] profiles a
     flagged input and returns its true value. *)
 val regression :

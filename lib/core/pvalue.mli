@@ -5,7 +5,14 @@
     conformal prediction), so nearby calibration samples dominate the
     count; +1 smoothing keeps p-values in (0, 1]. A p-value near 0
     means the test input is stranger than everything seen at design
-    time; near 1 means it conforms. *)
+    time; near 1 means it conforms.
+
+    Because every rank sum here is already weight-aware, the streaming
+    weighted-calibration mode (per-entry decay weights for drifting
+    calibration sets, "conformal prediction beyond exchangeability")
+    needs no changes in this module: {!Calibration.reweight_cls} folds
+    the per-entry weights into the selection weights upstream, and unit
+    weights leave every sum bit-identical to the unweighted pipeline. *)
 
 open Prom_linalg
 

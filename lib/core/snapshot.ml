@@ -5,9 +5,14 @@ module Store = Prom_store.Store
 (* v1: calibration stores without the kNN index payload. v2 appends an
    optional serialized index to each calibration store, so a hot-swap
    restore adopts the snapshotted index instead of pausing to rebuild
-   it. v1 payloads still decode (the index is simply rebuilt by
-   policy). *)
-let codec_version = 2
+   it. v3 appends the weighted-conformal state: each calibration store
+   gains its sorted-LOO permutation and per-entry decay weights, and
+   classification payloads gain an optional streaming window state
+   ([Decay.window_state]) so the ingestion loop resumes with the exact
+   weights it was publishing. Older payloads still decode (v1 rebuilds
+   the index by policy; pre-v3 stores restore unweighted with an
+   unknown LOO permutation). *)
+let codec_version = 3
 let min_codec_version = 1
 let kind_cls = "detector-cls"
 let kind_reg = "detector-reg"
@@ -18,6 +23,7 @@ type cls_snapshot = {
   cls_model : Model.classifier option;
   cls_calibration : Calibration.cls;
   cls_monitor : Monitor.persisted option;
+  cls_stream : Decay.window_state option;
 }
 
 type reg_snapshot = {
@@ -305,6 +311,53 @@ let r_knn_index r =
     { Prom_linalg.Knn_index.ex_dim; ex_n; ex_built_n; ex_centroids; ex_radii;
       ex_members; ex_offsets }
 
+(* --- Streaming window state (codec v3+). --- *)
+
+let w_decay_policy b = function
+  | Decay.Unit_weights ->
+      Buf.w_u8 b 0;
+      Buf.w_float b 0.0
+  | Decay.Exponential { half_life } ->
+      Buf.w_u8 b 1;
+      Buf.w_float b half_life
+  | Decay.Sliding { window } ->
+      Buf.w_u8 b 2;
+      Buf.w_float b (float_of_int window)
+
+let r_decay_policy r =
+  let tag = Buf.r_u8 r in
+  let param = Buf.r_float r in
+  match tag with
+  | 0 -> Decay.Unit_weights
+  | 1 -> Decay.Exponential { half_life = param }
+  | 2 -> Decay.Sliding { window = int_of_float param }
+  | t -> Buf.corrupt "Snapshot: invalid decay policy tag %d" t
+
+let w_window_state b (ws : Decay.window_state) =
+  w_decay_policy b ws.Decay.ws_policy;
+  Buf.w_int b ws.Decay.ws_capacity;
+  Buf.w_float b ws.Decay.ws_compact_fraction;
+  Buf.w_float b ws.Decay.ws_scale;
+  Buf.w_ints b ws.Decay.ws_seqs;
+  Buf.w_int b ws.Decay.ws_next_seq
+
+(* [Decay.validate_window] raises [Invalid_argument] on out-of-range
+   fields; [decode] maps that to [Corrupt] like every other invalid
+   domain state. *)
+let r_window_state r : Decay.window_state =
+  let ws_policy = r_decay_policy r in
+  let ws_capacity = Buf.r_int r in
+  let ws_compact_fraction = Buf.r_float r in
+  let ws_scale = Buf.r_float r in
+  let ws_seqs = Buf.r_ints r in
+  let ws_next_seq = Buf.r_int r in
+  let ws =
+    { Decay.ws_policy; ws_capacity; ws_compact_fraction; ws_scale; ws_seqs;
+      ws_next_seq }
+  in
+  Decay.validate_window ws;
+  ws
+
 (* --- Calibration stores. --- *)
 
 let w_cls_entry b (e : Calibration.cls_entry) =
@@ -325,7 +378,9 @@ let w_cls_calibration b (c : Calibration.cls) =
   w_scaler b c.scaler;
   Buf.w_float b c.tau;
   Buf.w_floats b c.loo_distances;
-  Buf.w_option w_knn_index b (Calibration.index_of_cls c)
+  Buf.w_option w_knn_index b (Calibration.index_of_cls c);
+  Buf.w_ints b c.loo_order;
+  Buf.w_floats b c.ent_weights
 
 let r_cls_calibration ~version ~config r =
   let entries = Buf.r_array r_cls_entry r in
@@ -333,7 +388,10 @@ let r_cls_calibration ~version ~config r =
   let tau = Buf.r_float r in
   let loo_distances = Buf.r_floats r in
   let index = if version >= 2 then Buf.r_option r_knn_index r else None in
-  Calibration.restore_cls ?index ~entries ~config ~scaler ~tau ~loo_distances ()
+  let loo_order = if version >= 3 then Buf.r_ints r else [||] in
+  let ent_weights = if version >= 3 then Buf.r_floats r else [||] in
+  Calibration.restore_cls ?index ~loo_order ~ent_weights ~entries ~config ~scaler ~tau
+    ~loo_distances ()
 
 let w_reg_entry b (e : Calibration.reg_entry) =
   Buf.w_floats b e.rfeatures;
@@ -360,7 +418,9 @@ let w_reg_calibration b (c : Calibration.reg) =
   w_scaler b c.rscaler;
   Buf.w_float b c.rtau;
   Buf.w_floats b c.rloo_distances;
-  Buf.w_option w_knn_index b (Calibration.index_of_reg c)
+  Buf.w_option w_knn_index b (Calibration.index_of_reg c);
+  Buf.w_ints b c.rloo_order;
+  Buf.w_floats b c.rent_weights
 
 let r_reg_calibration ~version ~config r =
   let rentries = Buf.r_array r_reg_entry r in
@@ -370,12 +430,14 @@ let r_reg_calibration ~version ~config r =
   let rtau = Buf.r_float r in
   let rloo_distances = Buf.r_floats r in
   let index = if version >= 2 then Buf.r_option r_knn_index r else None in
+  let rloo_order = if version >= 3 then Buf.r_ints r else [||] in
+  let rent_weights = if version >= 3 then Buf.r_floats r else [||] in
   Array.iter
     (fun (e : Calibration.reg_entry) ->
       if e.cluster >= n_clusters then Buf.corrupt "Snapshot: cluster label out of range")
     rentries;
-  Calibration.restore_reg ?index ~rentries ~rconfig:config ~clusters ~n_clusters ~rscaler
-    ~rtau ~rloo_distances ()
+  Calibration.restore_reg ?index ~rloo_order ~rent_weights ~rentries ~rconfig:config
+    ~clusters ~n_clusters ~rscaler ~rtau ~rloo_distances ()
 
 (* --- Top-level payload. --- *)
 
@@ -388,7 +450,8 @@ let encode snapshot =
       w_cls_committee b s.cls_committee;
       w_cls_model b s.cls_model;
       w_cls_calibration b s.cls_calibration;
-      Buf.w_option w_monitor b s.cls_monitor
+      Buf.w_option w_monitor b s.cls_monitor;
+      Buf.w_option w_window_state b s.cls_stream
   | Reg s ->
       Buf.w_u8 b 1;
       w_config b s.reg_config;
@@ -415,7 +478,12 @@ let decode ?(version = codec_version) payload =
           let cls_model = r_cls_model r in
           let cls_calibration = r_cls_calibration ~version ~config:cls_config r in
           let cls_monitor = Buf.r_option r_monitor r in
-          Cls { cls_config; cls_committee; cls_model; cls_calibration; cls_monitor }
+          let cls_stream =
+            if version >= 3 then Buf.r_option r_window_state r else None
+          in
+          Cls
+            { cls_config; cls_committee; cls_model; cls_calibration; cls_monitor;
+              cls_stream }
       | 1 ->
           let reg_config = r_config r in
           let reg_committee = r_reg_committee r in
@@ -433,7 +501,7 @@ let kind_of = function Cls _ -> kind_cls | Reg _ -> kind_reg
 
 (* --- Detector bridges. --- *)
 
-let of_cls_detector ?monitor ?(external_model = false) detector =
+let of_cls_detector ?monitor ?stream ?(external_model = false) detector =
   let model = Detector.Classification.model detector in
   Cls
     {
@@ -442,6 +510,7 @@ let of_cls_detector ?monitor ?(external_model = false) detector =
       cls_model = (if external_model then None else Some model);
       cls_calibration = Detector.Classification.calibration detector;
       cls_monitor = Option.map Monitor.persist monitor;
+      cls_stream = stream;
     }
 
 let of_reg_detector ?monitor detector =

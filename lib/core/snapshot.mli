@@ -22,12 +22,18 @@ open Prom_ml
 (** Payload codec version written into every container header; bumped
     whenever the layout below changes. v2 appended an optional pruned
     kNN index to each calibration store so index-accelerated detectors
-    restore without a rebuild pause. *)
+    restore without a rebuild pause. v3 appends the weighted-conformal
+    state — the sorted-LOO permutation and per-entry decay weights of
+    each calibration store, plus an optional {!Decay.window_state} on
+    classification payloads so a streaming ingestion loop resumes with
+    the exact weights it was publishing. *)
 val codec_version : int
 
 (** Oldest codec version this build still decodes. v1 payloads (no
     index section) restore fine — the index is simply rebuilt by the
-    usual size policy. *)
+    usual size policy. Pre-v3 payloads restore with unit weights and an
+    unknown LOO permutation (the weighted distance test degrades to the
+    unweighted form until the store is rebuilt). *)
 val min_codec_version : int
 
 val kind_cls : string
@@ -40,13 +46,16 @@ val kind_reg : string
     snapshot was taken from a {!Service} over an external model (the
     probability function lives in the serving process and cannot be
     serialized); such snapshots restore through [Service.of_snapshot]
-    only. *)
+    only. [cls_stream] carries the streaming ingestion loop's window
+    state when the snapshot was published by {!Stream} ([None] for
+    batch-calibrated detectors and all pre-v3 payloads). *)
 type cls_snapshot = {
   cls_config : Config.t;
   cls_committee : Nonconformity.cls list;
   cls_model : Model.classifier option;
   cls_calibration : Calibration.cls;
   cls_monitor : Monitor.persisted option;
+  cls_stream : Decay.window_state option;
 }
 
 (** Decoded regression snapshot. *)
@@ -60,14 +69,15 @@ type reg_snapshot = {
 
 type t = Cls of cls_snapshot | Reg of reg_snapshot
 
-(** [of_cls_detector ?monitor ?external_model d] captures a
-    classification detector (and optionally its monitor's window
-    state). [external_model] (default false) records the model slot as
-    external instead of serializing it — the {!Service} path. Raises
-    [Invalid_argument] when the model or a committee member has no
-    serializer. *)
+(** [of_cls_detector ?monitor ?stream ?external_model d] captures a
+    classification detector (and optionally its monitor's window state
+    and the streaming store's {!Decay.window_state}). [external_model]
+    (default false) records the model slot as external instead of
+    serializing it — the {!Service} path. Raises [Invalid_argument]
+    when the model or a committee member has no serializer. *)
 val of_cls_detector :
-  ?monitor:Monitor.t -> ?external_model:bool -> Detector.Classification.t -> t
+  ?monitor:Monitor.t -> ?stream:Decay.window_state -> ?external_model:bool ->
+  Detector.Classification.t -> t
 
 (** [of_reg_detector ?monitor d] captures a regression detector. *)
 val of_reg_detector : ?monitor:Monitor.t -> Detector.Regression.t -> t

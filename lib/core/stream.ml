@@ -1,0 +1,327 @@
+(* Always-on recalibration: a sliding-window calibration store wrapped
+   around a serving [Service.t]. Relabeled samples are admitted online
+   ([Calibration.append_cls] grows the store and its pruned index
+   incrementally), per-entry decay weights are recomputed from admission
+   age under the configured [Decay.policy], expired entries are evicted
+   by compaction (full LOO rebuild off the serving path), and every
+   admission publishes the updated store through [Service.swap] — the
+   serving engine is replaced atomically, so live traffic never blocks
+   on (or fails during) a recalibration step. *)
+
+let capacity_env = "PROM_STREAM_CAPACITY"
+let decay_env = "PROM_STREAM_DECAY"
+let compact_env = "PROM_STREAM_COMPACT"
+let default_capacity = 4096
+let default_compact_fraction = 0.5
+
+let env_capacity () =
+  match Sys.getenv_opt capacity_env with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> v
+      | _ -> default_capacity)
+  | None -> default_capacity
+
+let env_policy () =
+  match Sys.getenv_opt decay_env with
+  | Some s -> (
+      match Decay.of_string s with Some p -> p | None -> Decay.Unit_weights)
+  | None -> Decay.Unit_weights
+
+let env_compact_fraction () =
+  match Sys.getenv_opt compact_env with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when v > 0.0 && v <= 1.0 -> v
+      | _ -> default_compact_fraction)
+  | None -> default_compact_fraction
+
+type t = {
+  service : Service.t;
+  config : Config.t;
+  committee : Nonconformity.cls list;
+  monitor : Monitor.t option;
+  pool : Prom_parallel.Pool.t option;
+  tel : Telemetry.stream option;
+  policy : Decay.policy;
+  capacity : int;
+  compact_fraction : float;
+  dim : int;
+  n_classes : int;
+  mutable cal : Calibration.cls;
+  (* Admission sequence of each resident entry, aligned with
+     [cal.entries]; strictly increasing under this module's own
+     lifecycle (appends push the counter, compaction filters in
+     order). *)
+  mutable seqs : int array;
+  mutable next_seq : int;
+  mutable scale : float;
+  mutable admitted : int;
+  mutable evicted : int;
+  mutable compactions : int;
+  mutable publishes : int;
+  mutable last_rebuild_s : float;
+  mutable last_swap_s : float;
+}
+
+type stats = {
+  resident : int;
+  live : int;
+  expired : int;
+  scale : float;
+  admitted : int;
+  evicted : int;
+  compactions : int;
+  publishes : int;
+  last_rebuild_s : float;
+  last_swap_s : float;
+}
+
+(* The monitor escalates drift by shrinking the decay horizon: a
+   degrading deployment forgets at twice the configured rate, an ageing
+   one at four times. *)
+let scale_of_status = function
+  | Monitor.Healthy -> 1.0
+  | Monitor.Degrading -> 0.5
+  | Monitor.Ageing -> 0.25
+
+let weights_of t =
+  let last = t.next_seq - 1 in
+  Array.map (fun s -> Decay.weight t.policy ~scale:t.scale ~age:(last - s)) t.seqs
+
+let count_expired weights =
+  Array.fold_left (fun acc w -> if w = 0.0 then acc + 1 else acc) 0 weights
+
+let state t =
+  {
+    Decay.ws_policy = t.policy;
+    ws_capacity = t.capacity;
+    ws_compact_fraction = t.compact_fraction;
+    ws_scale = t.scale;
+    ws_seqs = Array.copy t.seqs;
+    ws_next_seq = t.next_seq;
+  }
+
+let snapshot t =
+  Snapshot.Cls
+    {
+      Snapshot.cls_config = t.config;
+      cls_committee = t.committee;
+      cls_model = None;
+      cls_calibration = t.cal;
+      cls_monitor = Option.map Monitor.persist t.monitor;
+      cls_stream = Some (state t);
+    }
+
+(* Publish the current store: build a snapshot around it and hot-swap
+   the serving engine. In-flight queries finish against the engine they
+   started with ([Service.swap] is atomic), so the only cost live
+   traffic can observe is the engine build — which is why it's timed. *)
+let publish t =
+  let t0 = Prom_obs.now () in
+  Service.swap t.service (snapshot t);
+  let dt = Prom_obs.now () -. t0 in
+  t.last_swap_s <- dt;
+  t.publishes <- t.publishes + 1;
+  match t.tel with
+  | Some tel ->
+      Prom_obs.Counter.inc tel.Telemetry.st_publishes;
+      Prom_obs.Histogram.observe tel.Telemetry.st_swap_seconds dt
+  | None -> ()
+
+let set_gauges t weights =
+  match t.tel with
+  | None -> ()
+  | Some tel ->
+      let resident = Array.length weights in
+      let expired = count_expired weights in
+      Prom_obs.Gauge.set tel.Telemetry.st_window
+        (float_of_int t.capacity *. t.scale);
+      Prom_obs.Gauge.set tel.Telemetry.st_resident (float_of_int resident);
+      Prom_obs.Gauge.set tel.Telemetry.st_live (float_of_int (resident - expired));
+      Prom_obs.Gauge.set tel.Telemetry.st_expired (float_of_int expired);
+      Prom_obs.Gauge.set tel.Telemetry.st_scale t.scale
+
+(* Compaction: drop weight-zero entries (and, past capacity, the oldest
+   live ones), then rebuild the LOO reference and index from the
+   survivors with the store's frozen scaler and tau
+   ([Calibration.rebuild_cls]). The newest entry has age 0 and hence
+   weight 1 under every policy, so at least one survivor always
+   remains. *)
+let compact t weights =
+  let n = Array.length t.seqs in
+  let live = ref [] in
+  for i = n - 1 downto 0 do
+    if weights.(i) > 0.0 then live := i :: !live
+  done;
+  let live = Array.of_list !live in
+  let survivors =
+    if Array.length live <= t.capacity then live
+    else begin
+      (* Keep the newest [capacity] live entries. Sequences are
+         increasing in entry order, but sort defensively so a resumed
+         state with shuffled sequences still evicts oldest-first. *)
+      let by_seq = Array.copy live in
+      Array.sort (fun a b -> Stdlib.compare t.seqs.(b) t.seqs.(a)) by_seq;
+      let kept = Array.sub by_seq 0 t.capacity in
+      Array.sort Stdlib.compare kept;
+      kept
+    end
+  in
+  let entries = Array.map (fun i -> t.cal.Calibration.entries.(i)) survivors in
+  let t0 = Prom_obs.now () in
+  let cal =
+    Calibration.rebuild_cls ?pool:t.pool ~config:t.config
+      ~scaler:t.cal.Calibration.scaler ~tau:t.cal.Calibration.tau entries
+  in
+  let dt = Prom_obs.now () -. t0 in
+  let dropped = n - Array.length survivors in
+  t.cal <- cal;
+  t.seqs <- Array.map (fun i -> t.seqs.(i)) survivors;
+  t.evicted <- t.evicted + dropped;
+  t.compactions <- t.compactions + 1;
+  t.last_rebuild_s <- dt;
+  match t.tel with
+  | Some tel ->
+      Prom_obs.Counter.add tel.Telemetry.st_evicted (float_of_int dropped);
+      Prom_obs.Counter.inc tel.Telemetry.st_compactions;
+      Prom_obs.Histogram.observe tel.Telemetry.st_rebuild_seconds dt
+  | None -> ()
+
+(* Fold the current weight vector into the store. Skipped entirely under
+   the unit policy: the store then never carries a weight vector, every
+   consumer takes the exact pre-existing unweighted code paths, and the
+   published verdicts are bit-identical to a batch-calibrated service. *)
+let reweight t =
+  let weights = weights_of t in
+  if not (Decay.is_unit t.policy) then t.cal <- Calibration.reweight_cls t.cal weights;
+  weights
+
+let create ?policy ?capacity ?compact_fraction ?monitor ?telemetry ?pool ?state
+    service =
+  let s =
+    match Service.snapshot service with
+    | Snapshot.Cls s -> s
+    | Snapshot.Reg _ -> assert false
+  in
+  let cal = s.Snapshot.cls_calibration in
+  let n = Array.length cal.Calibration.entries in
+  let dim, n_classes = Service.dims service in
+  let policy, capacity, compact_fraction, scale, seqs, next_seq =
+    match state with
+    | Some ws ->
+        Decay.validate_window ws;
+        if Array.length ws.Decay.ws_seqs <> n then
+          invalid_arg
+            "Stream.create: window state does not match the calibration store";
+        ( ws.Decay.ws_policy,
+          ws.Decay.ws_capacity,
+          ws.Decay.ws_compact_fraction,
+          ws.Decay.ws_scale,
+          Array.copy ws.Decay.ws_seqs,
+          ws.Decay.ws_next_seq )
+    | None ->
+        let policy = match policy with Some p -> p | None -> env_policy () in
+        let capacity =
+          match capacity with Some c -> c | None -> env_capacity ()
+        in
+        let compact_fraction =
+          match compact_fraction with
+          | Some f -> f
+          | None -> env_compact_fraction ()
+        in
+        Decay.validate policy;
+        if capacity < 1 then invalid_arg "Stream.create: capacity must be positive";
+        if not (compact_fraction > 0.0 && compact_fraction <= 1.0) then
+          invalid_arg "Stream.create: compact fraction outside (0, 1]";
+        (* The seeding batch is treated as arriving in entry order. *)
+        (policy, capacity, compact_fraction, 1.0, Array.init n Fun.id, n)
+  in
+  let tel = Option.map Telemetry.stream_metrics telemetry in
+  let t =
+    {
+      service;
+      config = s.Snapshot.cls_config;
+      committee = s.Snapshot.cls_committee;
+      monitor;
+      pool;
+      tel;
+      policy;
+      capacity;
+      compact_fraction;
+      dim;
+      n_classes;
+      cal;
+      seqs;
+      next_seq;
+      scale;
+      admitted = 0;
+      evicted = 0;
+      compactions = 0;
+      publishes = 0;
+      last_rebuild_s = 0.0;
+      last_swap_s = 0.0;
+    }
+  in
+  (* Non-unit policies publish once at creation so the serving engine
+     starts from the weighted store; the unit policy leaves the
+     already-serving (bit-identical) engine untouched. *)
+  let weights = reweight t in
+  set_gauges t weights;
+  if not (Decay.is_unit t.policy) then publish t;
+  t
+
+let admit t ~features ~label ~proba =
+  if Array.length features <> t.dim then
+    invalid_arg "Stream.admit: feature dimension mismatch";
+  if Array.length proba <> t.n_classes then
+    invalid_arg "Stream.admit: probability vector dimension mismatch";
+  if label < 0 || label >= t.n_classes then
+    invalid_arg "Stream.admit: label out of range";
+  let entry =
+    {
+      Calibration.features = Calibration.standardize_cls t.cal features;
+      label;
+      proba = Array.copy proba;
+    }
+  in
+  t.cal <- Calibration.append_cls t.cal [| entry |];
+  t.seqs <- Array.append t.seqs [| t.next_seq |];
+  t.next_seq <- t.next_seq + 1;
+  t.admitted <- t.admitted + 1;
+  (match t.tel with
+  | Some tel -> Prom_obs.Counter.inc tel.Telemetry.st_admitted
+  | None -> ());
+  (match t.monitor with
+  | Some m -> t.scale <- scale_of_status (Monitor.status m)
+  | None -> ());
+  let weights = weights_of t in
+  let resident = Array.length weights in
+  let expired = count_expired weights in
+  if
+    resident > t.capacity
+    || (expired > 0
+       && float_of_int expired >= t.compact_fraction *. float_of_int resident)
+  then compact t weights;
+  let weights = reweight t in
+  set_gauges t weights;
+  publish t
+
+let service t = t.service
+
+let stats t =
+  let weights = weights_of t in
+  let resident = Array.length weights in
+  let expired = count_expired weights in
+  {
+    resident;
+    live = resident - expired;
+    expired;
+    scale = t.scale;
+    admitted = t.admitted;
+    evicted = t.evicted;
+    compactions = t.compactions;
+    publishes = t.publishes;
+    last_rebuild_s = t.last_rebuild_s;
+    last_swap_s = t.last_swap_s;
+  }

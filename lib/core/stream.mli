@@ -1,0 +1,106 @@
+(** Always-on recalibration: a sliding-window calibration store over a
+    serving {!Service}.
+
+    A [Stream.t] wraps the service a deployment is already answering
+    queries from and keeps its calibration store current against a feed
+    of freshly relabeled samples. Each {!admit} appends the sample to
+    the store ({!Calibration.append_cls} — the pruned kNN index grows
+    incrementally), recomputes per-entry decay weights from admission
+    age under the configured {!Decay.policy}, compacts the store when
+    expired entries pile up or capacity is exceeded (a full LOO rebuild,
+    off the serving path), and publishes the result through
+    {!Service.swap}. Swaps are atomic engine replacements: in-flight
+    queries finish against the engine they started with, so live
+    traffic never blocks on — and never fails during — a recalibration
+    step.
+
+    Under {!Decay.Unit_weights} (the default) the store never carries a
+    weight vector and every consumer takes the exact unweighted code
+    paths, so a streamed service's verdicts are bit-identical to a
+    batch-calibrated one over the same entries. An attached {!Monitor}
+    escalates drift by shrinking the decay horizon (scale 1.0 healthy,
+    0.5 degrading, 0.25 ageing).
+
+    Environment knobs, read when the corresponding [create] argument is
+    omitted: [PROM_STREAM_CAPACITY] (resident-entry bound, default
+    4096), [PROM_STREAM_DECAY] ({!Decay.of_string} syntax, default
+    [none]) and [PROM_STREAM_COMPACT] (expired fraction triggering
+    compaction, default 0.5). *)
+
+open Prom_linalg
+
+(** Name of the environment variable bounding resident entries
+    ([PROM_STREAM_CAPACITY]) — exposed for tests and tooling. *)
+val capacity_env : string
+
+(** Name of the decay-policy environment variable
+    ([PROM_STREAM_DECAY]). *)
+val decay_env : string
+
+(** Name of the compaction-fraction environment variable
+    ([PROM_STREAM_COMPACT]). *)
+val compact_env : string
+
+(** An always-on recalibration loop over one serving service. *)
+type t
+
+(** Point-in-time counters and window occupancy, for benchmarks and
+    operational assertions; the same numbers are exported continuously
+    through {!Telemetry.stream_metrics} when telemetry is attached. *)
+type stats = {
+  resident : int;  (** entries resident in the store *)
+  live : int;  (** resident entries with positive weight *)
+  expired : int;  (** resident entries at weight zero *)
+  scale : float;  (** drift-driven horizon scale currently applied *)
+  admitted : int;  (** samples admitted over the stream's lifetime *)
+  evicted : int;  (** entries dropped by compaction *)
+  compactions : int;  (** full LOO rebuilds *)
+  publishes : int;  (** service hot-swaps issued *)
+  last_rebuild_s : float;  (** duration of the most recent compaction *)
+  last_swap_s : float;  (** duration of the most recent publish *)
+}
+
+(** [create ?policy ?capacity ?compact_fraction ?monitor ?telemetry
+    ?pool ?state service] wraps [service] (which keeps serving
+    untouched). [state] resumes a previous stream from its snapshotted
+    {!Decay.window_state} — it overrides the policy/capacity/fraction
+    arguments and must match the service's current calibration store
+    (same entry count); raises [Invalid_argument] otherwise, or on an
+    invalid policy, capacity or fraction. Non-unit policies publish
+    once immediately so the serving engine starts from the weighted
+    store. *)
+val create :
+  ?policy:Decay.policy ->
+  ?capacity:int ->
+  ?compact_fraction:float ->
+  ?monitor:Monitor.t ->
+  ?telemetry:Telemetry.t ->
+  ?pool:Prom_parallel.Pool.t ->
+  ?state:Decay.window_state ->
+  Service.t ->
+  t
+
+(** [admit t ~features ~label ~proba] runs one full ingestion step:
+    standardize and append the relabeled sample, advance the admission
+    counter, refresh the drift scale from the monitor, recompute decay
+    weights, compact if the window is over capacity or the expired
+    fraction crossed the threshold, and publish the updated store to
+    the service. Raises [Invalid_argument] on a shape or label
+    mismatch against the serving engine's dimensions. *)
+val admit : t -> features:Vec.t -> label:int -> proba:Vec.t -> unit
+
+(** The wrapped service — the handle live traffic keeps querying while
+    the stream republishes underneath it. *)
+val service : t -> Service.t
+
+(** The stream's current {!Decay.window_state}, as persisted into
+    snapshot codec v3; feed it back to [create ?state] to resume. *)
+val state : t -> Decay.window_state
+
+(** [snapshot t] is the publishable snapshot of the current store —
+    what {!admit} hands to {!Service.swap}, with the model slot marked
+    external and the window state attached. *)
+val snapshot : t -> Snapshot.t
+
+(** Current counters and occupancy. *)
+val stats : t -> stats

@@ -185,6 +185,66 @@ let index_metrics t : Calibration.index_metrics =
         "prom_index_rebuilds_total";
   }
 
+(* Streaming calibration series. Like the index bundle: get-or-create
+   on the registry, resolved once when the stream store is created so
+   the admit path only increments. *)
+type stream = {
+  st_window : Obs.Gauge.t;
+  st_resident : Obs.Gauge.t;
+  st_live : Obs.Gauge.t;
+  st_expired : Obs.Gauge.t;
+  st_scale : Obs.Gauge.t;
+  st_admitted : Obs.Counter.t;
+  st_evicted : Obs.Counter.t;
+  st_compactions : Obs.Counter.t;
+  st_publishes : Obs.Counter.t;
+  st_rebuild_seconds : Obs.Histogram.t;
+  st_swap_seconds : Obs.Histogram.t;
+}
+
+(* Compactions and swaps both sit well under a millisecond at smoke
+   sizes but grow with the window; buckets span 10 µs to 1 s so both
+   regimes land inside the histogram. *)
+let stream_seconds_buckets =
+  [| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0 |]
+
+let stream_metrics t : stream =
+  {
+    st_window =
+      Obs.gauge t.registry ~help:"Streaming store effective window (capacity x scale)"
+        "prom_stream_window";
+    st_resident =
+      Obs.gauge t.registry ~help:"Calibration entries resident in the streaming store"
+        "prom_stream_resident";
+    st_live =
+      Obs.gauge t.registry ~help:"Resident entries with positive decay weight"
+        "prom_stream_live";
+    st_expired =
+      Obs.gauge t.registry ~help:"Resident entries at decay weight zero"
+        "prom_stream_expired";
+    st_scale =
+      Obs.gauge t.registry ~help:"Drift-driven horizon scale currently applied"
+        "prom_stream_scale";
+    st_admitted =
+      Obs.counter t.registry ~help:"Samples admitted into the streaming store"
+        "prom_stream_admitted_total";
+    st_evicted =
+      Obs.counter t.registry ~help:"Entries evicted by streaming compaction"
+        "prom_stream_evicted_total";
+    st_compactions =
+      Obs.counter t.registry ~help:"Streaming store compactions (full LOO rebuilds)"
+        "prom_stream_compactions_total";
+    st_publishes =
+      Obs.counter t.registry ~help:"Streaming store publishes (service hot-swaps)"
+        "prom_stream_publishes_total";
+    st_rebuild_seconds =
+      Obs.histogram t.registry ~help:"Streaming compaction rebuild time"
+        ~buckets:stream_seconds_buckets "prom_stream_rebuild_seconds";
+    st_swap_seconds =
+      Obs.histogram t.registry ~help:"Streaming publish swap time (engine build + swap)"
+        ~buckets:stream_seconds_buckets "prom_stream_swap_seconds";
+  }
+
 let expert_flag_counter t name =
   Obs.counter t.registry
     ~labels:[ ("expert", name) ]

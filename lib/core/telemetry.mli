@@ -58,6 +58,40 @@ val registry : t -> Prom_obs.registry
     regression stores on one registry share the series. *)
 val index_metrics : t -> Calibration.index_metrics
 
+(** Streaming-calibration series, resolved once by {!Stream} at store
+    creation so the admit path only increments. *)
+type stream = {
+  st_window : Prom_obs.Gauge.t;
+      (** [prom_stream_window]: effective window — capacity times the
+          drift-driven scale. *)
+  st_resident : Prom_obs.Gauge.t;
+      (** [prom_stream_resident]: entries resident in the store
+          (including expired ones awaiting compaction). *)
+  st_live : Prom_obs.Gauge.t;
+      (** [prom_stream_live]: resident entries with positive weight. *)
+  st_expired : Prom_obs.Gauge.t;
+      (** [prom_stream_expired]: resident entries at weight zero. *)
+  st_scale : Prom_obs.Gauge.t;
+      (** [prom_stream_scale]: the {!Decay.weight} scale currently
+          applied (1.0 healthy, smaller under drift). *)
+  st_admitted : Prom_obs.Counter.t;  (** [prom_stream_admitted_total] *)
+  st_evicted : Prom_obs.Counter.t;  (** [prom_stream_evicted_total] *)
+  st_compactions : Prom_obs.Counter.t;
+      (** [prom_stream_compactions_total]: full LOO rebuilds. *)
+  st_publishes : Prom_obs.Counter.t;
+      (** [prom_stream_publishes_total]: service hot-swaps issued by the
+          streaming store. *)
+  st_rebuild_seconds : Prom_obs.Histogram.t;
+      (** [prom_stream_rebuild_seconds]: compaction rebuild time. *)
+  st_swap_seconds : Prom_obs.Histogram.t;
+      (** [prom_stream_swap_seconds]: publish time — engine build plus
+          the atomic swap. *)
+}
+
+(** [stream_metrics t] registers (get-or-create) the streaming series
+    on the bundle's registry and returns them for {!Stream.create}. *)
+val stream_metrics : t -> stream
+
 (** [expert_flag_counter t name] is the per-expert drift-flag counter
     [prom_expert_flags_total{expert=name}]. Resolved once per committee
     at detector-build time so the query path only increments. *)

@@ -537,3 +537,16 @@ let smallest_k_pairs xs k =
     let vals, idxs = select_sorted xs k in
     Array.init k (fun j -> (idxs.(j), vals.(j)))
   end
+
+(* Weighted-selection support: fold per-entry factors into a selection's
+   weight prefix. The factor of slot [r] is read at [idxs.(r)] — entry
+   ids for a dense selection, packed member-order positions when the
+   caller's factor table is permuted into the kNN index's layout — so
+   the same kernel serves both the gathered and the gather-free path. *)
+let scale_by ~weights ~idxs ~factors ~n =
+  if n < 0 || n > Array.length weights || n > Array.length idxs then
+    invalid_arg "Select.scale_by: bad n";
+  for r = 0 to n - 1 do
+    let i = Array.unsafe_get idxs r in
+    Array.unsafe_set weights r (Array.unsafe_get weights r *. Array.unsafe_get factors i)
+  done

@@ -111,3 +111,19 @@ val drain_into : heap -> idxs:int array -> vals:float array -> int
 (** [drain_sorted h] empties the heap, returning (index, value) pairs by
     ascending (value, index). The heap must not be reused afterwards. *)
 val drain_sorted : heap -> (int * float) array
+
+(** {2 Weighted selection}
+
+    Support kernel for weighted conformal calibration: a selection's
+    Eq. 1 weight prefix is multiplied in place by per-entry decay
+    factors. *)
+
+(** [scale_by ~weights ~idxs ~factors ~n] sets
+    [weights.(r) <- weights.(r) *. factors.(idxs.(r))] for [r < n].
+    [idxs] may hold entry ids (dense selections, [factors] in entry
+    order) or packed member-order positions (pruned selections,
+    [factors] permuted into the index's packed layout), so the factor
+    reads stay tile-local on the gather-free path. Raises
+    [Invalid_argument] when [n] exceeds either prefix; factor indices
+    are trusted like the selection buffers they come from. *)
+val scale_by : weights:float array -> idxs:int array -> factors:float array -> n:int -> unit

@@ -92,3 +92,11 @@ let describe fmt a =
   let mn, q1, md, q3, mx = five_number_summary a in
   Format.fprintf fmt "n=%d mean=%.4f std=%.4f min=%.4f q1=%.4f median=%.4f q3=%.4f max=%.4f"
     (Array.length a) (mean a) (std a) mn q1 md q3 mx
+
+let suffix_sums a =
+  let n = Array.length a in
+  let out = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    out.(i) <- a.(i) +. out.(i + 1)
+  done;
+  out

@@ -43,3 +43,10 @@ val standardize : float array -> float array * float * float
 (** [describe fmt a] pretty-prints a one-line summary (n, mean, std,
     five-number summary). *)
 val describe : Format.formatter -> float array -> unit
+
+(** [suffix_sums a] is the length [n + 1] array of right-to-left running
+    sums: [s.(i) = a.(i) +. s.(i + 1)], [s.(n) = 0]. Accumulation order
+    is fixed (descending index), so results are a deterministic
+    function of the input — the weighted conformal distance test binary
+    searches these sums for its rank mass. *)
+val suffix_sums : float array -> float array

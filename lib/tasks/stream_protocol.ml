@@ -1,0 +1,195 @@
+open Prom_linalg
+open Prom
+
+(* Drifting-stream evaluation protocol for the streaming recalibration
+   loop. The workload is a Gaussian-blob classification stream whose
+   class centroids wander a fixed step per round while the deployed
+   "model" — a nearest-centroid scorer frozen on the round-0 centroids —
+   never retrains. Round by round the stream's sliding-window
+   calibration store admits the relabeled rejects
+   ([Incremental.service_round]), so the committee's notion of
+   in-distribution tracks the drift even though the model doesn't; the
+   decay policies differ in how fast the stale region is forgotten,
+   which is what the ablation compares. *)
+
+type config = {
+  sp_seed : int;
+  sp_dim : int;
+  sp_classes : int;
+  sp_cal : int;  (* calibration batch seeding the service *)
+  sp_rounds : int;
+  sp_batch : int;  (* queries per round *)
+  sp_drift : float;  (* centroid step per round, in units of sigma *)
+  sp_budget_fraction : float;
+  sp_capacity : int;
+  sp_compact_fraction : float;
+}
+
+let default =
+  {
+    sp_seed = 42;
+    sp_dim = 6;
+    sp_classes = 3;
+    sp_cal = 160;
+    sp_rounds = 24;
+    sp_batch = 40;
+    sp_drift = 0.35;
+    sp_budget_fraction = 0.5;
+    sp_capacity = 320;
+    sp_compact_fraction = 0.5;
+  }
+
+type result = {
+  sp_policy : string;
+  sp_accept_rate : float;  (* accepted fraction over the whole stream *)
+  sp_accept_late : float;  (* accepted fraction over the last quarter *)
+  sp_accuracy_accepted : float;  (* model accuracy on accepted queries *)
+  sp_accuracy_all : float;  (* model accuracy on every query *)
+  sp_admitted : int;
+  sp_evicted : int;
+  sp_compactions : int;
+  sp_publishes : int;
+  sp_final_resident : int;
+}
+
+let validate c =
+  if c.sp_dim < 1 || c.sp_classes < 2 then
+    invalid_arg "Stream_protocol: need dim >= 1 and >= 2 classes";
+  if c.sp_cal < 2 * c.sp_classes then
+    invalid_arg "Stream_protocol: calibration batch too small";
+  if c.sp_rounds < 1 || c.sp_batch < 1 then
+    invalid_arg "Stream_protocol: need at least one round and one query";
+  if not (c.sp_drift >= 0.0) then invalid_arg "Stream_protocol: negative drift"
+
+(* Well-separated initial centroids on coordinate axes; each class
+   drifts along its own unit direction so the phases stay separable
+   while leaving the frozen model behind. *)
+let initial_centroids rng c =
+  Array.init c.sp_classes (fun k ->
+      Array.init c.sp_dim (fun d ->
+          (if d = k mod c.sp_dim then 4.0 *. float_of_int (1 + (k / c.sp_dim))
+           else 0.0)
+          +. Rng.gaussian rng ~mu:0.0 ~sigma:0.3))
+
+let drift_directions rng c =
+  Array.init c.sp_classes (fun _ ->
+      let v = Array.init c.sp_dim (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+      let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+      Array.map (fun x -> x /. Stdlib.max norm 1e-9) v)
+
+let sample rng centroids k =
+  Array.map (fun c -> c +. Rng.gaussian rng ~mu:0.0 ~sigma:1.0) centroids.(k)
+
+(* The frozen model: softmax over negative squared distances to the
+   round-0 centroids. *)
+let proba_of ~frozen x =
+  let scores =
+    Array.map
+      (fun c ->
+        let acc = ref 0.0 in
+        Array.iteri (fun d cd -> acc := !acc +. ((x.(d) -. cd) ** 2.0)) c;
+        -0.5 *. !acc)
+      frozen
+  in
+  let m = Array.fold_left Stdlib.max neg_infinity scores in
+  let e = Array.map (fun s -> exp (s -. m)) scores in
+  let z = Array.fold_left ( +. ) 0.0 e in
+  Array.map (fun v -> v /. z) e
+
+let run ?(policy = Prom.Decay.Unit_weights) ?config:(c = default) () =
+  validate c;
+  let rng = Rng.create c.sp_seed in
+  let centroids = initial_centroids rng c in
+  let frozen = Array.map Array.copy centroids in
+  let dirs = drift_directions rng c in
+  (* Seed the service with a round-0 calibration batch. *)
+  let triples =
+    List.init c.sp_cal (fun i ->
+        let k = i mod c.sp_classes in
+        let x = sample rng centroids k in
+        (x, k, proba_of ~frozen x))
+  in
+  let service = Service.create triples in
+  let monitor = Monitor.create ~window:(4 * c.sp_batch) () in
+  let stream =
+    Stream.create ~policy ~capacity:c.sp_capacity
+      ~compact_fraction:c.sp_compact_fraction ~monitor service
+  in
+  let labels : (Vec.t, int) Hashtbl.t = Hashtbl.create (c.sp_rounds * c.sp_batch) in
+  let accepted = ref 0 and correct_accepted = ref 0 and correct = ref 0 in
+  let late_accepted = ref 0 and late_total = ref 0 in
+  let late_from = c.sp_rounds - Stdlib.max 1 (c.sp_rounds / 4) in
+  for round = 0 to c.sp_rounds - 1 do
+    (* Advance the drift before sampling: round 0 queries are already
+       one step away from the calibration batch. *)
+    Array.iteri
+      (fun k ctr ->
+        Array.iteri (fun d v -> ctr.(d) <- v +. (c.sp_drift *. dirs.(k).(d))) ctr)
+      centroids;
+    let queries =
+      Array.init c.sp_batch (fun i ->
+          let k = (i + round) mod c.sp_classes in
+          let x = sample rng centroids k in
+          Hashtbl.replace labels x k;
+          (x, proba_of ~frozen x))
+    in
+    (* Count acceptance and model accuracy on this round's verdicts
+       before the round's admissions move the store. *)
+    let verdicts = Service.evaluate_batch (Stream.service stream) queries in
+    Array.iteri
+      (fun i (v : Detector.cls_verdict) ->
+        let x, proba = queries.(i) in
+        let truth = Hashtbl.find labels x in
+        let predicted = Vec.argmax proba in
+        if predicted = truth then incr correct;
+        if not v.Detector.drifted then begin
+          incr accepted;
+          if round >= late_from then incr late_accepted;
+          if predicted = truth then incr correct_accepted
+        end;
+        if round >= late_from then incr late_total)
+      verdicts;
+    let oracle x =
+      match Hashtbl.find_opt labels x with
+      | Some k -> k
+      | None -> invalid_arg "Stream_protocol: unknown oracle input"
+    in
+    ignore
+      (Incremental.service_round ~budget_fraction:c.sp_budget_fraction ~monitor
+         ~stream ~oracle queries)
+  done;
+  let total = c.sp_rounds * c.sp_batch in
+  let st = Stream.stats stream in
+  {
+    sp_policy = Prom.Decay.to_string policy;
+    sp_accept_rate = float_of_int !accepted /. float_of_int total;
+    sp_accept_late =
+      float_of_int !late_accepted /. float_of_int (Stdlib.max 1 !late_total);
+    sp_accuracy_accepted =
+      float_of_int !correct_accepted /. float_of_int (Stdlib.max 1 !accepted);
+    sp_accuracy_all = float_of_int !correct /. float_of_int total;
+    sp_admitted = st.Stream.admitted;
+    sp_evicted = st.Stream.evicted;
+    sp_compactions = st.Stream.compactions;
+    sp_publishes = st.Stream.publishes;
+    sp_final_resident = st.Stream.resident;
+  }
+
+let ablation ?config:(c = default) () =
+  let window = Stdlib.max 1 (c.sp_capacity / 2) in
+  let half_life = float_of_int (Stdlib.max 1 (c.sp_capacity / 4)) in
+  List.map
+    (fun policy -> run ~policy ~config:c ())
+    [
+      Prom.Decay.Unit_weights;
+      Prom.Decay.Exponential { half_life };
+      Prom.Decay.Sliding { window };
+    ]
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "policy=%-10s accept=%.3f accept-late=%.3f acc|accepted=%.3f acc|all=%.3f \
+     admitted=%d evicted=%d compactions=%d publishes=%d resident=%d"
+    r.sp_policy r.sp_accept_rate r.sp_accept_late r.sp_accuracy_accepted
+    r.sp_accuracy_all r.sp_admitted r.sp_evicted r.sp_compactions r.sp_publishes
+    r.sp_final_resident

@@ -1,0 +1,63 @@
+(** Drifting-stream evaluation protocol for the streaming
+    recalibration loop ({!Prom.Stream}).
+
+    The workload is a synthetic Gaussian-blob classification stream:
+    class centroids take a fixed step per round along per-class drift
+    directions, while the deployed "model" — a nearest-centroid softmax
+    scorer frozen on the round-0 centroids — never retrains. Each
+    round, the current service evaluates a query batch; the committee's
+    rejects are relabeled (oracle = the generator's true label) and
+    admitted into the sliding-window calibration store through
+    {!Prom.Incremental.service_round}, so the store tracks the drift
+    even though the model cannot. Policies are compared on how fast
+    they forget the stale region: accept rate (overall and over the
+    final quarter of the stream) and model accuracy restricted to
+    accepted queries. Fully deterministic for a given seed. *)
+
+(** Protocol shape. All counts are per run; see {!default} for the
+    values EXPERIMENTS.md reports. *)
+type config = {
+  sp_seed : int;
+  sp_dim : int;  (** feature dimension *)
+  sp_classes : int;
+  sp_cal : int;  (** calibration batch seeding the service *)
+  sp_rounds : int;
+  sp_batch : int;  (** queries per round *)
+  sp_drift : float;  (** centroid step per round, in units of sigma *)
+  sp_budget_fraction : float;  (** relabeling budget per round *)
+  sp_capacity : int;  (** streaming store capacity *)
+  sp_compact_fraction : float;  (** compaction trigger fraction *)
+}
+
+(** Reference configuration: 3 classes in 6 dimensions, 160-sample
+    calibration batch, 24 rounds of 40 queries drifting 0.35 sigma per
+    round, relabeling half of each round's rejects into a 320-entry
+    window. *)
+val default : config
+
+(** One policy's end-of-stream summary. *)
+type result = {
+  sp_policy : string;  (** {!Prom.Decay.to_string} of the policy run *)
+  sp_accept_rate : float;  (** accepted fraction over the whole stream *)
+  sp_accept_late : float;  (** accepted fraction over the last quarter *)
+  sp_accuracy_accepted : float;  (** model accuracy on accepted queries *)
+  sp_accuracy_all : float;  (** model accuracy on every query *)
+  sp_admitted : int;  (** samples admitted into the store *)
+  sp_evicted : int;  (** entries dropped by compaction *)
+  sp_compactions : int;
+  sp_publishes : int;  (** service hot-swaps issued *)
+  sp_final_resident : int;  (** store size at end of stream *)
+}
+
+(** [run ?policy ?config ()] replays the stream under one decay policy
+    (default {!Prom.Decay.Unit_weights}). Raises [Invalid_argument] on
+    a degenerate configuration. *)
+val run : ?policy:Prom.Decay.policy -> ?config:config -> unit -> result
+
+(** [ablation ?config ()] runs the same stream under unit weights, an
+    exponential half-life of [capacity/4] admissions and a sliding
+    window of [capacity/2] — the EXPERIMENTS.md decay-ablation rows. *)
+val ablation : ?config:config -> unit -> result list
+
+(** One-line rendering of a {!result} row. *)
+val pp_result : Format.formatter -> result -> unit

@@ -1804,6 +1804,403 @@ let index_e2e_tests =
           (Prom_obs.Counter.value m.Calibration.ix_pruned > 0.0));
   ]
 
+(* ---------- Decay policies ---------- *)
+
+let decay_tests =
+  [
+    Alcotest.test_case "unit policy is weightless at any age" `Quick (fun () ->
+        Alcotest.(check (float 0.0)) "flat" 1.0
+          (Decay.weight Decay.Unit_weights ~scale:1.0 ~age:1000);
+        Alcotest.(check bool) "unit" true (Decay.is_unit Decay.Unit_weights);
+        Alcotest.(check bool) "not unit" false
+          (Decay.is_unit (Decay.Sliding { window = 4 })));
+    Alcotest.test_case "exponential halves at the scaled half-life" `Quick
+      (fun () ->
+        let p = Decay.Exponential { half_life = 16.0 } in
+        Alcotest.(check (float 1e-12)) "age 0" 1.0 (Decay.weight p ~scale:1.0 ~age:0);
+        Alcotest.(check (float 1e-12)) "half" 0.5 (Decay.weight p ~scale:1.0 ~age:16);
+        (* scale 0.5 halves the horizon: age 16 is now two half-lives *)
+        Alcotest.(check (float 1e-12)) "shrunk" 0.25
+          (Decay.weight p ~scale:0.5 ~age:16));
+    Alcotest.test_case "sliding window cuts off at the scaled horizon" `Quick
+      (fun () ->
+        let p = Decay.Sliding { window = 10 } in
+        Alcotest.(check (float 0.0)) "inside" 1.0 (Decay.weight p ~scale:1.0 ~age:9);
+        Alcotest.(check (float 0.0)) "outside" 0.0 (Decay.weight p ~scale:1.0 ~age:10);
+        Alcotest.(check (float 0.0)) "shrunk out" 0.0 (Decay.weight p ~scale:0.5 ~age:5);
+        Alcotest.(check (float 0.0)) "shrunk in" 1.0 (Decay.weight p ~scale:0.5 ~age:4));
+    Alcotest.test_case "degenerate policies rejected" `Quick (fun () ->
+        Alcotest.check_raises "half-life"
+          (Invalid_argument "Decay: exponential half-life must be positive")
+          (fun () -> Decay.validate (Decay.Exponential { half_life = 0.0 }));
+        Alcotest.check_raises "window"
+          (Invalid_argument "Decay: sliding window must be positive") (fun () ->
+            Decay.validate (Decay.Sliding { window = 0 })));
+    Alcotest.test_case "weight rejects bad age and scale" `Quick (fun () ->
+        Alcotest.check_raises "age" (Invalid_argument "Decay.weight: negative age")
+          (fun () -> ignore (Decay.weight Decay.Unit_weights ~scale:1.0 ~age:(-1)));
+        Alcotest.check_raises "scale"
+          (Invalid_argument "Decay.weight: scale outside (0, 1]") (fun () ->
+            ignore (Decay.weight Decay.Unit_weights ~scale:0.0 ~age:3)));
+    Alcotest.test_case "spec syntax round-trips" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            match Decay.of_string (Decay.to_string p) with
+            | Some p' -> Alcotest.(check bool) (Decay.to_string p) true (p = p')
+            | None -> Alcotest.fail ("unparseable: " ^ Decay.to_string p))
+          [
+            Decay.Unit_weights;
+            Decay.Exponential { half_life = 12.5 };
+            Decay.Sliding { window = 64 };
+          ];
+        Alcotest.(check bool) "unit alias" true
+          (Decay.of_string "unit" = Some Decay.Unit_weights);
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) ("rejects " ^ s) true (Decay.of_string s = None))
+          [ "exp:-1"; "exp:"; "window:0"; "window:x"; "junk"; "" ]);
+    Alcotest.test_case "window state validation" `Quick (fun () ->
+        let ws =
+          {
+            Decay.ws_policy = Decay.Sliding { window = 8 };
+            ws_capacity = 32;
+            ws_compact_fraction = 0.5;
+            ws_scale = 1.0;
+            ws_seqs = [| 0; 2; 5 |];
+            ws_next_seq = 6;
+          }
+        in
+        Decay.validate_window ws;
+        Alcotest.check_raises "seq range"
+          (Invalid_argument "Decay: entry sequence outside [0, next_seq)") (fun () ->
+            Decay.validate_window { ws with Decay.ws_seqs = [| 0; 6 |] });
+        Alcotest.check_raises "scale"
+          (Invalid_argument "Decay: window scale outside (0, 1]") (fun () ->
+            Decay.validate_window { ws with Decay.ws_scale = 1.5 });
+        Alcotest.check_raises "fraction"
+          (Invalid_argument "Decay: compact fraction outside (0, 1]") (fun () ->
+            Decay.validate_window { ws with Decay.ws_compact_fraction = 0.0 }));
+  ]
+
+(* ---------- The streaming recalibration loop ---------- *)
+
+let stream_service seed =
+  let model, _, cal = trained_world seed in
+  let triples =
+    Array.to_list
+      (Array.mapi (fun i x -> (x, cal.y.(i), model.Model.predict_proba x)) cal.x)
+  in
+  (model, Service.create triples)
+
+let admit_at stream model rng mu =
+  let x =
+    [| Rng.gaussian rng ~mu ~sigma:0.4; Rng.gaussian rng ~mu ~sigma:0.4 |]
+  in
+  Stream.admit stream ~features:x ~label:1 ~proba:(model.Model.predict_proba x)
+
+let stream_tests =
+  [
+    Alcotest.test_case "unit and all-ones streams serve bit-identical verdicts"
+      `Quick (fun () ->
+        let model, svc_unit = stream_service 90 in
+        let _, svc_ones = stream_service 90 in
+        let s_unit =
+          Stream.create ~policy:Decay.Unit_weights ~capacity:256 svc_unit
+        in
+        (* a window far larger than the stream keeps every weight at
+           exactly 1.0 — the weighted pipeline over unit weights *)
+        let s_ones =
+          Stream.create ~policy:(Decay.Sliding { window = 1_000_000 })
+            ~capacity:256 svc_ones
+        in
+        let rng_a = Rng.create 91 and rng_b = Rng.create 91 in
+        for _ = 1 to 12 do
+          admit_at s_unit model rng_a 3.0;
+          admit_at s_ones model rng_b 3.0
+        done;
+        let queries =
+          Array.map (fun x -> (x, model.Model.predict_proba x)) (blob_dataset 92 20).x
+        in
+        Alcotest.(check bool) "bit-identical" true
+          (Service.evaluate_batch (Stream.service s_unit) queries
+          = Service.evaluate_batch (Stream.service s_ones) queries);
+        let st = Stream.stats s_unit in
+        Alcotest.(check int) "one publish per admit" 12 st.Stream.publishes;
+        Alcotest.(check int) "weighted stream publishes at create too" 13
+          (Stream.stats s_ones).Stream.publishes);
+    Alcotest.test_case "admit validates shapes and labels" `Quick (fun () ->
+        let model, svc = stream_service 93 in
+        let s = Stream.create svc in
+        let ok = [| 0.1; 0.2 |] in
+        let proba = model.Model.predict_proba ok in
+        Alcotest.check_raises "dim"
+          (Invalid_argument "Stream.admit: feature dimension mismatch") (fun () ->
+            Stream.admit s ~features:[| 0.1 |] ~label:0 ~proba);
+        Alcotest.check_raises "proba"
+          (Invalid_argument "Stream.admit: probability vector dimension mismatch")
+          (fun () -> Stream.admit s ~features:ok ~label:0 ~proba:[| 1.0 |]);
+        Alcotest.check_raises "label"
+          (Invalid_argument "Stream.admit: label out of range") (fun () ->
+            Stream.admit s ~features:ok ~label:5 ~proba));
+    Alcotest.test_case "sliding expiry evicts stale entries via compaction" `Quick
+      (fun () ->
+        let model, svc = stream_service 94 in
+        let s =
+          Stream.create ~policy:(Decay.Sliding { window = 8 }) ~capacity:24
+            ~compact_fraction:0.5 svc
+        in
+        let rng = Rng.create 95 in
+        for _ = 1 to 30 do
+          admit_at s model rng 5.0
+        done;
+        let st = Stream.stats s in
+        Alcotest.(check bool) "compacted" true (st.Stream.compactions > 0);
+        Alcotest.(check bool) "evicted" true (st.Stream.evicted > 0);
+        Alcotest.(check bool) "bounded" true (st.Stream.resident <= 24);
+        Alcotest.(check bool) "live window honored" true (st.Stream.live <= 8);
+        Alcotest.(check bool) "never empty" true (st.Stream.live >= 1));
+    Alcotest.test_case "window of one collapses to a single survivor and serves"
+      `Quick (fun () ->
+        let model, svc = stream_service 96 in
+        let s =
+          Stream.create ~policy:(Decay.Sliding { window = 1 }) ~capacity:8
+            ~compact_fraction:0.5 svc
+        in
+        let rng = Rng.create 97 in
+        (* every admission expires everything older than itself; each
+           step must compact down to exactly the newest entry *)
+        for _ = 1 to 3 do
+          admit_at s model rng 0.0;
+          let st = Stream.stats s in
+          Alcotest.(check int) "single survivor" 1 st.Stream.resident;
+          Alcotest.(check int) "alive" 1 st.Stream.live
+        done;
+        let q = [| 0.1; -0.2 |] in
+        let v =
+          (Service.evaluate_batch (Stream.service s)
+             [| (q, model.Model.predict_proba q) |]).(0)
+        in
+        Alcotest.(check bool) "credibility in range" true
+          (v.Detector.mean_credibility >= 0.0 && v.Detector.mean_credibility <= 1.0));
+    Alcotest.test_case "monitor escalation shrinks the decay horizon" `Quick
+      (fun () ->
+        let model, svc = stream_service 98 in
+        let monitor = Monitor.create ~window:4 ~threshold:1.0 ~patience:2 () in
+        let s =
+          Stream.create ~policy:(Decay.Exponential { half_life = 32.0 })
+            ~capacity:256 ~monitor svc
+        in
+        for _ = 1 to 8 do
+          ignore (Monitor.observe monitor ~drifted:true)
+        done;
+        Alcotest.(check string) "ageing" "ageing"
+          (Monitor.status_to_string (Monitor.status monitor));
+        let rng = Rng.create 99 in
+        admit_at s model rng 3.0;
+        Alcotest.(check (float 0.0)) "quartered horizon" 0.25
+          (Stream.stats s).Stream.scale);
+    Alcotest.test_case "window state round-trips through create" `Quick (fun () ->
+        let model, svc = stream_service 100 in
+        let s =
+          Stream.create ~policy:(Decay.Sliding { window = 16 }) ~capacity:64 svc
+        in
+        let rng = Rng.create 101 in
+        for _ = 1 to 3 do
+          admit_at s model rng 4.0
+        done;
+        let st = Stream.state s in
+        let resumed = Stream.create ~state:st (Stream.service s) in
+        Alcotest.(check int) "same residency" (Stream.stats s).Stream.resident
+          (Stream.stats resumed).Stream.resident;
+        Alcotest.(check int) "same live set" (Stream.stats s).Stream.live
+          (Stream.stats resumed).Stream.live;
+        admit_at resumed model rng 4.0;
+        Alcotest.check_raises "mismatched state rejected"
+          (Invalid_argument
+             "Stream.create: window state does not match the calibration store")
+          (fun () ->
+            ignore
+              (Stream.create
+                 ~state:{ st with Decay.ws_seqs = [| 0 |] }
+                 (Stream.service s))));
+    Alcotest.test_case "environment knobs configure the stream" `Quick (fun () ->
+        Unix.putenv Stream.capacity_env "64";
+        Unix.putenv Stream.decay_env "window:3";
+        Unix.putenv Stream.compact_env "0.9";
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.putenv Stream.capacity_env "";
+            Unix.putenv Stream.decay_env "";
+            Unix.putenv Stream.compact_env "")
+          (fun () ->
+            let model, svc = stream_service 102 in
+            let s = Stream.create svc in
+            let rng = Rng.create 103 in
+            for _ = 1 to 10 do
+              admit_at s model rng 2.0
+            done;
+            let st = Stream.stats s in
+            Alcotest.(check bool) "window knob honored" true (st.Stream.live <= 3);
+            Alcotest.(check bool) "compaction triggered" true
+              (st.Stream.compactions > 0)));
+    Alcotest.test_case "weighted distance p-value hand case" `Quick (fun () ->
+        let loo = [| 1.0; 2.0; 3.0 |] in
+        (* unit weights: one of three scores is >= 2.5 *)
+        Alcotest.(check (float 0.0)) "unweighted" 0.5
+          (Calibration.distance_pvalue ~loo 2.5);
+        Alcotest.(check (float 0.0)) "unit suffix"
+          (Calibration.distance_pvalue ~loo 2.5)
+          (Calibration.distance_pvalue
+             ~suffix:(Stats.suffix_sums [| 1.0; 1.0; 1.0 |])
+             ~loo 2.5);
+        (* zeroing the two stale scores leaves only the >= mass *)
+        Alcotest.(check (float 0.0)) "stale mass dropped" 1.0
+          (Calibration.distance_pvalue
+             ~suffix:(Stats.suffix_sums [| 0.0; 0.0; 1.0 |])
+             ~loo 2.5);
+        Alcotest.check_raises "suffix length"
+          (Invalid_argument "Calibration.distance_pvalue: suffix length must be n + 1")
+          (fun () ->
+            ignore (Calibration.distance_pvalue ~suffix:[| 1.0 |] ~loo 2.5)));
+    Alcotest.test_case "reweight validates the weight vector" `Quick (fun () ->
+        let model, _, cal = trained_world 104 in
+        let c =
+          Calibration.prepare_classification ~config:Config.default ~model
+            ~feature_of:Fun.id cal
+        in
+        let n = Array.length c.Calibration.entries in
+        Alcotest.check_raises "length"
+          (Invalid_argument
+             "Calibration.reweight_cls: one weight per calibration entry required")
+          (fun () -> ignore (Calibration.reweight_cls c (Array.make (n + 1) 1.0)));
+        Alcotest.check_raises "negative"
+          (Invalid_argument
+             "Calibration.reweight_cls: weights must be finite and non-negative")
+          (fun () -> ignore (Calibration.reweight_cls c (Array.make n (-1.0))));
+        let w = Array.make n 0.5 in
+        let c' = Calibration.reweight_cls c w in
+        Alcotest.(check int) "weights folded" n
+          (Array.length c'.Calibration.ent_weights);
+        let reset = Calibration.reweight_cls c' [||] in
+        Alcotest.(check int) "empty resets to unit mode" 0
+          (Array.length reset.Calibration.ent_weights));
+    Alcotest.test_case "service_round relabels rejects into the stream" `Quick
+      (fun () ->
+        let model, svc = stream_service 105 in
+        let stream = Stream.create ~capacity:256 svc in
+        let monitor = Monitor.create ~window:8 () in
+        let rng = Rng.create 106 in
+        let outliers =
+          Array.init 10 (fun _ ->
+              [| Rng.gaussian rng ~mu:40.0 ~sigma:0.5;
+                 Rng.gaussian rng ~mu:40.0 ~sigma:0.5 |])
+        in
+        let queries =
+          Array.map
+            (fun x -> (x, model.Model.predict_proba x))
+            (Array.append (blob_dataset 107 10).x outliers)
+        in
+        let outcome =
+          Incremental.service_round ~budget_fraction:0.5 ~monitor ~stream
+            ~oracle:(fun _ -> 1) queries
+        in
+        Alcotest.(check bool) "outliers flagged" true
+          (List.length outcome.Incremental.flagged_indices > 0);
+        let st = Stream.stats stream in
+        Alcotest.(check int) "every relabel admitted"
+          (List.length outcome.Incremental.relabeled_indices)
+          st.Stream.admitted;
+        Alcotest.(check bool) "something admitted" true (st.Stream.admitted > 0);
+        Alcotest.(check int) "each admission published" st.Stream.admitted
+          st.Stream.publishes;
+        Alcotest.(check int) "monitor observed the round" (Array.length queries)
+          (Monitor.observed monitor));
+    Alcotest.test_case "hot swap under live traffic never fails a request" `Quick
+      (fun () ->
+        let model, svc = stream_service 108 in
+        let stream =
+          Stream.create ~policy:(Decay.Sliding { window = 24 }) ~capacity:48
+            ~compact_fraction:0.5 svc
+        in
+        let queries =
+          Array.map (fun x -> (x, model.Model.predict_proba x)) (blob_dataset 109 16).x
+        in
+        let stop = Atomic.make false in
+        let failures = Atomic.make 0 in
+        let batches = ref 0 in
+        let worker =
+          Thread.create
+            (fun () ->
+              while not (Atomic.get stop) do
+                (try
+                   let v = Service.evaluate_batch (Stream.service stream) queries in
+                   if Array.length v <> Array.length queries then
+                     Atomic.incr failures
+                 with _ -> Atomic.incr failures);
+                incr batches;
+                Thread.yield ()
+              done)
+            ()
+        in
+        let rng = Rng.create 110 in
+        for i = 1 to 60 do
+          admit_at stream model rng (5.0 +. (0.05 *. float_of_int i));
+          Thread.yield ()
+        done;
+        (* make sure the traffic thread was actually scheduled against
+           the swapping engine before declaring victory *)
+        while !batches = 0 do
+          Thread.yield ()
+        done;
+        Atomic.set stop true;
+        Thread.join worker;
+        let st = Stream.stats stream in
+        Alcotest.(check int) "zero failed requests" 0 (Atomic.get failures);
+        Alcotest.(check bool) "traffic actually ran" true (!batches > 0);
+        Alcotest.(check bool) "every admission published" true
+          (st.Stream.publishes >= 60);
+        Alcotest.(check bool) "compaction happened under traffic" true
+          (st.Stream.compactions > 0));
+  ]
+
+(* The tentpole promise, as a property: folding an explicit all-ones
+   weight vector into the store must leave every served verdict
+   bit-identical to the store that never heard of weights. *)
+let weighted_world =
+  lazy
+    (let model, svc = stream_service 111 in
+     let svc_ones =
+       match Service.snapshot svc with
+       | Snapshot.Cls s ->
+           let cal = s.Snapshot.cls_calibration in
+           let n = Array.length cal.Calibration.entries in
+           let cal' = Calibration.reweight_cls cal (Array.make n 1.0) in
+           Service.of_snapshot
+             (Snapshot.Cls { s with Snapshot.cls_calibration = cal' })
+       | Snapshot.Reg _ -> assert false
+     in
+     (model, svc, svc_ones))
+
+let prop_unit_weights_bit_identical =
+  QCheck2.Test.make ~name:"all-ones reweight serves bit-identical verdicts"
+    ~count:30 (gen_queries 2) (fun xs ->
+      let model, svc, svc_ones = Lazy.force weighted_world in
+      let queries = Array.map (fun x -> (x, model.Model.predict_proba x)) xs in
+      Service.evaluate_batch svc queries = Service.evaluate_batch svc_ones queries)
+
+let prop_distance_suffix_unit =
+  QCheck2.Test.make
+    ~name:"unit suffix sums reproduce the unweighted distance p-value" ~count:200
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 0 40) (float_range 0.0 50.0))
+        (float_range 0.0 80.0))
+    (fun (loo, score) ->
+      Array.sort Float.compare loo;
+      let suffix = Stats.suffix_sums (Array.make (Array.length loo) 1.0) in
+      Int64.bits_of_float (Calibration.distance_pvalue ~loo score)
+      = Int64.bits_of_float (Calibration.distance_pvalue ~suffix ~loo score))
+
 let properties =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -1816,6 +2213,8 @@ let properties =
       prop_cls_batch_equiv;
       prop_reg_batch_equiv;
       prop_weights_finite;
+      prop_unit_weights_bit_identical;
+      prop_distance_suffix_unit;
     ]
 
 let suite =
@@ -1838,6 +2237,8 @@ let suite =
     ("core.framework", framework_tests);
     ("core.tuning", tuning_tests);
     ("core.monitor", monitor_tests);
+    ("core.decay", decay_tests);
+    ("core.stream", stream_tests);
     ("core.metrics", metrics_tests);
     ("core.regressions", regression_tests);
     ("core.telemetry", telemetry_tests);

@@ -198,6 +198,23 @@ let stats_tests =
         let z, _, _ = Stats.standardize [| 2.0; 4.0; 6.0; 8.0 |] in
         Alcotest.(check bool) "mean 0" true (abs_float (Stats.mean z) < 1e-9);
         Alcotest.(check bool) "std 1" true (abs_float (Stats.std z -. 1.0) < 1e-9));
+    Alcotest.test_case "suffix_sums hand case" `Quick (fun () ->
+        Alcotest.(check (array (float 0.0)))
+          "sums" [| 6.0; 5.0; 3.0; 0.0 |]
+          (Stats.suffix_sums [| 1.0; 2.0; 3.0 |]));
+    Alcotest.test_case "suffix_sums of empty is the zero sentinel" `Quick (fun () ->
+        Alcotest.(check (array (float 0.0))) "sentinel" [| 0.0 |]
+          (Stats.suffix_sums [||]));
+    Alcotest.test_case "suffix_sums accumulates right to left exactly" `Quick
+      (fun () ->
+        (* integer-valued floats accumulate without rounding, so the
+           deterministic descending-index order is bit-checkable *)
+        let a = Array.init 17 (fun i -> float_of_int ((i * 7 mod 5) + 1)) in
+        let s = Stats.suffix_sums a in
+        Alcotest.(check int) "length" (Array.length a + 1) (Array.length s);
+        for i = Array.length a - 1 downto 0 do
+          Alcotest.(check (float 0.0)) "recurrence" (a.(i) +. s.(i + 1)) s.(i)
+        done);
   ]
 
 let distance_tests =
@@ -310,7 +327,29 @@ let select_tests =
         Array.iteri (fun i v -> Select.offer h v i) [| 3.0; 1.0; 2.0 |];
         Alcotest.check_raises "small"
           (Invalid_argument "Select.drain_into: scratch too small") (fun () ->
-            ignore (Select.drain_into h ~idxs:(Array.make 2 0) ~vals:(Array.make 2 0.0))))
+            ignore (Select.drain_into h ~idxs:(Array.make 2 0) ~vals:(Array.make 2 0.0))));
+    Alcotest.test_case "scale_by folds factors through the index map" `Quick
+      (fun () ->
+        let weights = [| 0.5; 0.25; 1.0; 9.0 |] in
+        let idxs = [| 2; 0; 1; 7 |] in
+        let factors = [| 0.5; 0.0; 2.0 |] in
+        (* n = 3: the prefix is scaled, the tail (and its out-of-range
+           idx entry) is never touched *)
+        Select.scale_by ~weights ~idxs ~factors ~n:3;
+        Alcotest.(check (array (float 0.0)))
+          "scaled prefix, untouched tail" [| 1.0; 0.125; 0.0; 9.0 |] weights);
+    Alcotest.test_case "scale_by with unit factors is the identity" `Quick
+      (fun () ->
+        let weights = [| 0.125; 0.75; 0.375 |] in
+        let before = Array.copy weights in
+        Select.scale_by ~weights ~idxs:[| 1; 2; 0 |] ~factors:(Array.make 3 1.0)
+          ~n:3;
+        Alcotest.(check (array (float 0.0))) "bit-identical" before weights);
+    Alcotest.test_case "scale_by rejects an oversized prefix" `Quick (fun () ->
+        Alcotest.check_raises "n too large"
+          (Invalid_argument "Select.scale_by: bad n") (fun () ->
+            Select.scale_by ~weights:(Array.make 2 1.0) ~idxs:[| 0; 1 |]
+              ~factors:[| 1.0 |] ~n:3))
   ]
 
 let featmat_tests =

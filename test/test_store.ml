@@ -887,6 +887,148 @@ let swap_tests =
         | exception Invalid_argument _ -> ());
   ]
 
+(* ---------- Streaming weighted snapshots (codec v3) ---------- *)
+
+(* The weighted-conformal state added in v3 — per-entry weights, the
+   sorted-LOO permutation and the streaming window state — must travel
+   through the codec without disturbing verdicts, and its absence
+   (a pre-v3 payload) must restore a store that behaves exactly like
+   one that never heard of weights. *)
+
+let stream_snapshot_tests =
+  [
+    Alcotest.test_case "weights, LOO order and window state survive codec v3"
+      `Quick (fun () ->
+        let data = cls_data ~n:60 ~seed:91 () in
+        let det = cls_detector ~seed:91 () in
+        let service = service_of_detector det data in
+        match Service.snapshot service with
+        | Snapshot.Reg _ -> Alcotest.fail "kind flipped"
+        | Snapshot.Cls s ->
+            let cal = s.Snapshot.cls_calibration in
+            let n = Array.length cal.Calibration.entries in
+            let w = Array.init n (fun i -> if i mod 3 = 0 then 0.25 else 1.0) in
+            let cal' = Calibration.reweight_cls cal w in
+            let ws =
+              {
+                Decay.ws_policy = Decay.Sliding { window = 8 };
+                ws_capacity = 64;
+                ws_compact_fraction = 0.5;
+                ws_scale = 0.5;
+                ws_seqs = Array.init n Fun.id;
+                ws_next_seq = n;
+              }
+            in
+            let snap =
+              Snapshot.Cls
+                { s with Snapshot.cls_calibration = cal'; cls_stream = Some ws }
+            in
+            (match Snapshot.decode (Snapshot.encode snap) with
+            | Snapshot.Reg _ -> Alcotest.fail "kind flipped"
+            | Snapshot.Cls s' ->
+                let c' = s'.Snapshot.cls_calibration in
+                Alcotest.(check (array int)) "loo order"
+                  cal'.Calibration.loo_order c'.Calibration.loo_order;
+                Alcotest.(check int) "weight count" n
+                  (Array.length c'.Calibration.ent_weights);
+                Array.iteri
+                  (fun i v -> check_bits "entry weight" v c'.Calibration.ent_weights.(i))
+                  cal'.Calibration.ent_weights;
+                (match s'.Snapshot.cls_stream with
+                | Some ws' -> Alcotest.(check bool) "window state" true (ws = ws')
+                | None -> Alcotest.fail "window state lost");
+                (* the decoded weighted store serves bit-identically *)
+                let model = Detector.Classification.model det in
+                let queries =
+                  Array.map
+                    (fun x -> (x, model.Model.predict_proba x))
+                    (probes ~seed:93 ())
+                in
+                let a = Service.evaluate_batch (Service.of_snapshot snap) queries in
+                let b =
+                  Service.evaluate_batch (Service.of_snapshot (Snapshot.Cls s'))
+                    queries
+                in
+                Array.iteri
+                  (fun i v ->
+                    Alcotest.(check bool) "drifted" a.(i).Detector.drifted
+                      v.Detector.drifted;
+                    check_bits "credibility" a.(i).Detector.mean_credibility
+                      v.Detector.mean_credibility;
+                    check_bits "confidence" a.(i).Detector.mean_confidence
+                      v.Detector.mean_confidence)
+                  b));
+    Alcotest.test_case "pre-v3 restore stays unit-weighted and bit-identical"
+      `Quick (fun () ->
+        let det = cls_detector ~seed:95 () in
+        let cal = Detector.Classification.calibration det in
+        (* the exact call shape the v1/v2 decode path uses: no LOO
+           permutation, no weight vector *)
+        let restored =
+          Calibration.restore_cls ~entries:cal.Calibration.entries
+            ~config:Config.default ~scaler:cal.Calibration.scaler
+            ~tau:cal.Calibration.tau ~loo_distances:cal.Calibration.loo_distances
+            ()
+        in
+        Alcotest.(check int) "no weights" 0
+          (Array.length restored.Calibration.ent_weights);
+        Alcotest.(check int) "no permutation" 0
+          (Array.length restored.Calibration.loo_order);
+        Array.iter
+          (fun x ->
+            check_bits "distance p-value"
+              (Calibration.distance_pvalue_cls cal
+                 (Calibration.standardize_cls cal x))
+              (Calibration.distance_pvalue_cls restored
+                 (Calibration.standardize_cls restored x)))
+          (probes ~seed:97 ());
+        (* reweighting a store without the permutation leaves the
+           distance test unweighted: no suffix sums appear *)
+        let n = Array.length restored.Calibration.entries in
+        let rw = Calibration.reweight_cls restored (Array.make n 0.5) in
+        Alcotest.(check int) "distance test stays unweighted" 0
+          (Array.length rw.Calibration.loo_suffix));
+    Alcotest.test_case "stream resumes from a decoded window state" `Quick
+      (fun () ->
+        let data = cls_data ~n:60 ~seed:99 () in
+        let det = cls_detector ~seed:99 () in
+        let service = service_of_detector det data in
+        let stream =
+          Stream.create ~policy:(Decay.Sliding { window = 16 }) ~capacity:64
+            service
+        in
+        let model = Detector.Classification.model det in
+        let rng = Rng.create 101 in
+        for _ = 1 to 5 do
+          let x = Array.init 3 (fun _ -> Rng.gaussian rng ~mu:1.5 ~sigma:0.8) in
+          Stream.admit stream ~features:x ~label:1
+            ~proba:(model.Model.predict_proba x)
+        done;
+        let payload = Snapshot.encode (Stream.snapshot stream) in
+        match Snapshot.decode payload with
+        | Snapshot.Reg _ -> Alcotest.fail "kind flipped"
+        | Snapshot.Cls s ->
+            (match s.Snapshot.cls_stream with
+            | None -> Alcotest.fail "window state lost"
+            | Some ws ->
+                let resumed =
+                  Stream.create ~state:ws
+                    (Service.of_snapshot (Snapshot.Cls s))
+                in
+                Alcotest.(check int) "same residency"
+                  (Stream.stats stream).Stream.resident
+                  (Stream.stats resumed).Stream.resident;
+                Alcotest.(check int) "same live set"
+                  (Stream.stats stream).Stream.live
+                  (Stream.stats resumed).Stream.live;
+                (* the resumed loop keeps ingesting *)
+                let x = Array.init 3 (fun _ -> Rng.gaussian rng ~mu:1.5 ~sigma:0.8) in
+                Stream.admit resumed ~features:x ~label:0
+                  ~proba:(model.Model.predict_proba x);
+                Alcotest.(check int) "admission continues" 1
+                  (Stream.stats resumed).Stream.admitted));
+  ]
+
 let properties =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -908,4 +1050,5 @@ let suite =
     ("store.fallback", fallback_tests);
     ("store.kill_reload", kill_reload_tests);
     ("store.hot_swap", swap_tests);
+    ("store.stream_snapshot", stream_snapshot_tests);
   ]
