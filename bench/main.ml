@@ -1657,6 +1657,318 @@ let serve_bench_smoke () =
     ~json_path:"BENCH_serve_smoke.json" ();
   serve_lifecycle_smoke ()
 
+(* Multi-tenant serving benchmark: two tenants with independent
+   deployments behind one server, a per-tenant wire-identity check,
+   solo per-tenant baselines, then a mixed 80/20-skewed closed loop —
+   and the starvation gate: deficit-round-robin batching must keep the
+   cold tenant's p99 within 3x its solo p99 while the hot tenant keeps
+   the shared queue saturated. *)
+
+(* [plan.(c)] is connection [c]'s (path, bodies): tenant routing is per
+   connection, so per-tenant latencies partition by plan row. *)
+let run_tenant_level ~port ~plan ~requests =
+  let n = Array.length plan in
+  let failures = Atomic.make 0 in
+  let lat = Array.make_matrix n requests 0.0 in
+  let threads =
+    Array.init n (fun c ->
+        Thread.create
+          (fun () ->
+            try
+              let path, bodies = plan.(c) in
+              let nb = Array.length bodies in
+              let fd = connect_loopback port in
+              let reader = Http.reader fd in
+              for k = 0 to requests - 1 do
+                let t0 = Unix.gettimeofday () in
+                Http.write_request fd ~meth:"POST" ~path bodies.((c + k) mod nb);
+                (match Http.read_response reader with
+                | Ok r when r.Http.status = 200 -> ()
+                | _ -> Atomic.incr failures);
+                lat.(c).(k) <- Unix.gettimeofday () -. t0
+              done;
+              Unix.close fd
+            with _ -> Atomic.incr failures)
+          ())
+  in
+  Array.iter Thread.join threads;
+  (Atomic.get failures, lat)
+
+let tenant_percentile_ms rows p =
+  let all = Array.concat (Array.to_list rows) in
+  Array.sort compare all;
+  percentile all p *. 1000.0
+
+let tenants_section ~n_cal ~hot_conns ~cold_conns ~requests ~json_path () =
+  section_header
+    (Printf.sprintf "Multi-tenant serving: %d/%d skewed closed loop (n_cal=%d)"
+       hot_conns cold_conns n_cal);
+  let open Prom_ml in
+  let model, calibration, _ = inference_world ~n_cal ~n_queries:1 in
+  let triples len =
+    List.init len (fun i ->
+        let x, y = Dataset.get calibration i in
+        (x, y, model.Model.predict_proba x))
+  in
+  let n = Dataset.length calibration in
+  (* Deliberately different calibration stores, so the tenants'
+     committees (and verdicts) differ and the per-tenant wire-identity
+     check below is meaningful. *)
+  let svc_hot = Service.create (triples n) in
+  let svc_cold = Service.create (triples (Stdlib.max 16 (n / 2))) in
+  let rng = Prom_linalg.Rng.create (seed + 41) in
+  let queries =
+    Array.init 64 (fun i ->
+        let x =
+          Array.init 16 (fun j ->
+              float_of_int ((i mod 4) * (1 + (j mod 3)))
+              +. Prom_linalg.Rng.gaussian rng ~mu:0.0 ~sigma:1.5)
+        in
+        (x, model.Model.predict_proba x))
+  in
+  let bodies = Array.map query_body queries in
+  let pool =
+    Prom_parallel.Pool.create (Stdlib.max 2 (Prom_parallel.Pool.default_size ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Prom_parallel.Pool.shutdown pool)
+    (fun () ->
+      let tenants = Tenant.create () in
+      ignore (Tenant.register ~service:svc_hot tenants "hot");
+      ignore (Tenant.register ~service:svc_cold tenants "cold");
+      let conns = hot_conns + cold_conns in
+      let config =
+        {
+          Server.default_config with
+          Server.max_connections =
+            Stdlib.max Server.default_config.Server.max_connections (2 * conns);
+        }
+      in
+      let server = Server.start ~config ~pool ~tenants svc_hot in
+      let port = Server.port server in
+      (* Per-tenant wire identity: what /t/<name>/predict serves must
+         bit-match that tenant's own direct evaluate_batch. *)
+      List.iter
+        (fun (tname, svc) ->
+          let direct = Service.evaluate_batch ~pool svc queries in
+          let fd = connect_loopback port in
+          let reader = Http.reader fd in
+          Array.iteri
+            (fun i body ->
+              Http.write_request fd ~meth:"POST"
+                ~path:("/t/" ^ tname ^ "/predict")
+                body;
+              match Http.read_response reader with
+              | Ok r when r.Http.status = 200 -> (
+                  match Jx.parse r.Http.resp_body with
+                  | Ok v ->
+                      let cred =
+                        Option.bind (Jx.member "credibility" v) Jx.to_float
+                      in
+                      let conf =
+                        Option.bind (Jx.member "confidence" v) Jx.to_float
+                      in
+                      if
+                        cred <> Some direct.(i).Detector.mean_credibility
+                        || conf <> Some direct.(i).Detector.mean_confidence
+                      then
+                        failwith
+                          (Printf.sprintf
+                             "tenants bench: tenant %s diverged from its direct \
+                              path"
+                             tname)
+                  | Error e -> failwith ("tenants bench: bad response JSON: " ^ e))
+              | _ -> failwith "tenants bench: identity request failed")
+            bodies;
+          Unix.close fd)
+        [ ("hot", svc_hot); ("cold", svc_cold) ];
+      Printf.printf
+        "  per-tenant served = direct evaluate_batch (bit-identical): true (%d \
+         queries x 2 tenants)\n"
+        (Array.length queries);
+      (* Solo baselines: each tenant alone on the shared server, at the
+         connection count it will hold in the mixed phase. *)
+      let solo tname nconns =
+        let plan = Array.make nconns ("/t/" ^ tname ^ "/predict", bodies) in
+        let failures, lat = run_tenant_level ~port ~plan ~requests in
+        if failures > 0 then failwith "tenants bench: failures in solo phase";
+        tenant_percentile_ms lat 0.99
+      in
+      let hot_solo_p99 = solo "hot" hot_conns in
+      let cold_solo_p99 = solo "cold" cold_conns in
+      (* Mixed phase: the 80/20 skew, one shared server and batcher. *)
+      let plan =
+        Array.init conns (fun c ->
+            if c < hot_conns then ("/t/hot/predict", bodies)
+            else ("/t/cold/predict", bodies))
+      in
+      let t0 = Unix.gettimeofday () in
+      let failures, lat = run_tenant_level ~port ~plan ~requests in
+      let wall = Unix.gettimeofday () -. t0 in
+      if failures > 0 then failwith "tenants bench: failures in mixed phase";
+      let hot_rows = Array.sub lat 0 hot_conns in
+      let cold_rows = Array.sub lat hot_conns cold_conns in
+      let hot_p50 = tenant_percentile_ms hot_rows 0.5 in
+      let hot_p99 = tenant_percentile_ms hot_rows 0.99 in
+      let cold_p50 = tenant_percentile_ms cold_rows 0.5 in
+      let cold_p99 = tenant_percentile_ms cold_rows 0.99 in
+      let metrics_text = (http_get ~port "/metrics").Http.resp_body in
+      (match Prom_obs.validate_exposition metrics_text with
+      | Ok () -> ()
+      | Error e -> failwith ("tenants bench: invalid /metrics exposition: " ^ e));
+      let share tname =
+        Option.value ~default:0.0
+          (scrape_metric metrics_text
+             (Printf.sprintf "prom_tenant_batch_share{tenant=%S}" tname))
+      in
+      let hot_share = share "hot" and cold_share = share "cold" in
+      Server.stop server;
+      let rps = float_of_int (conns * requests) /. wall in
+      Printf.printf
+        "  mixed %d/%d: %7.0f req/s   hot p50 %7.3f p99 %7.3f ms   cold p50 \
+         %7.3f p99 %7.3f ms\n"
+        hot_conns cold_conns rps hot_p50 hot_p99 cold_p50 cold_p99;
+      Printf.printf "  batch share: hot %.0f queries, cold %.0f queries\n"
+        hot_share cold_share;
+      (* Starvation gate: fair-share batching must keep the cold
+         tenant's p99 within 3x its solo p99; the 5 ms additive
+         allowance absorbs scheduler jitter at smoke scale without
+         masking real starvation (which shows up as 10-100x). *)
+      let limit = (3.0 *. cold_solo_p99) +. 5.0 in
+      let pass = cold_p99 <= limit in
+      Printf.printf
+        "  starvation gate: cold mixed p99 %.3f ms <= 3 x solo p99 %.3f ms + 5 \
+         ms: %s\n"
+        cold_p99 cold_solo_p99
+        (if pass then "pass" else "FAIL");
+      let tenant_json name nconns solo_p99 p50 p99 share_q =
+        Jx.Obj
+          [
+            ("tenant", Jx.Str name);
+            ("connections", Jx.Num (float_of_int nconns));
+            ("solo_p99_ms", Jx.Num solo_p99);
+            ("mixed_p50_ms", Jx.Num p50);
+            ("mixed_p99_ms", Jx.Num p99);
+            ("batch_share_queries", Jx.Num share_q);
+          ]
+      in
+      let doc =
+        Jx.Obj
+          [
+            ("calibration_entries", Jx.Num (float_of_int n_cal));
+            ("requests_per_connection", Jx.Num (float_of_int requests));
+            ("throughput_rps", Jx.Num rps);
+            ( "tenants",
+              Jx.Arr
+                [
+                  tenant_json "hot" hot_conns hot_solo_p99 hot_p50 hot_p99
+                    hot_share;
+                  tenant_json "cold" cold_conns cold_solo_p99 cold_p50 cold_p99
+                    cold_share;
+                ] );
+            ( "starvation_gate",
+              Jx.Obj
+                [
+                  ("cold_mixed_p99_ms", Jx.Num cold_p99);
+                  ("cold_solo_p99_ms", Jx.Num cold_solo_p99);
+                  ("limit_ms", Jx.Num limit);
+                  ("pass", Jx.Bool pass);
+                ] );
+          ]
+      in
+      let oc = open_out json_path in
+      output_string oc (Jx.to_string doc ^ "\n");
+      close_out oc;
+      Printf.printf "  wrote %s\n" json_path;
+      if not pass then failwith "tenants bench: starvation gate failed")
+
+(* Lifecycle smoke of the spawned multi-tenant CLI server: a serving
+   root with two tenant subdirectories, `prom_cli serve --tenants`,
+   predictions on both tenants, a hot-swap of one, a traversal 404,
+   then SIGTERM and a clean drained exit 0. *)
+let tenants_lifecycle_smoke () =
+  section_header "Tenants lifecycle: spawned prom_cli serve --tenants";
+  match Sys.getenv_opt "PROM_CLI" with
+  | None -> Printf.printf "  skipped (PROM_CLI not set)\n"
+  | Some cli ->
+      let root = Filename.temp_dir "prom-bench-tenants-cli" "" in
+      Unix.mkdir (Filename.concat root "a") 0o755;
+      Unix.mkdir (Filename.concat root "b") 0o755;
+      let r_out, w_out = Unix.pipe () in
+      let pid =
+        Unix.create_process cli
+          [| cli; "serve"; "--quick"; "--listen"; "0"; "--tenants"; root |]
+          Unix.stdin w_out Unix.stderr
+      in
+      Unix.close w_out;
+      let ic = Unix.in_channel_of_descr r_out in
+      let port =
+        let prefix = "listening on http://127.0.0.1:" in
+        let plen = String.length prefix in
+        let rec scan () =
+          let line = input_line ic in
+          if String.length line > plen && String.sub line 0 plen = prefix then
+            int_of_string (String.sub line plen (String.length line - plen))
+          else scan ()
+        in
+        try scan ()
+        with End_of_file ->
+          failwith "tenants lifecycle: server never announced a port"
+      in
+      let fd = connect_loopback port in
+      let reader = Http.reader fd in
+      let req meth path body =
+        Http.write_request fd ~meth ~path body;
+        match Http.read_response reader with
+        | Ok r -> r
+        | Error _ -> failwith "tenants lifecycle: unreadable response"
+      in
+      let expect name status (r : Http.response) =
+        if r.Http.status <> status then
+          failwith
+            (Printf.sprintf "tenants lifecycle: %s answered %d, wanted %d" name
+               r.Http.status status)
+      in
+      let h = req "GET" "/healthz" "" in
+      expect "healthz" 200 h;
+      let dim, n_classes =
+        match Jx.parse h.Http.resp_body with
+        | Ok v -> (
+            let geti name =
+              match Option.bind (Jx.member name v) Jx.to_float with
+              | Some f -> int_of_float f
+              | None -> failwith "tenants lifecycle: healthz missing engine dims"
+            in
+            (geti "feature_dim", geti "n_classes"))
+        | Error e -> failwith ("tenants lifecycle: healthz body: " ^ e)
+      in
+      let body =
+        query_body
+          (Array.make dim 0.5, Array.make n_classes (1.0 /. float_of_int n_classes))
+      in
+      expect "predict /t/a" 200 (req "POST" "/t/a/predict" body);
+      expect "predict /t/b" 200 (req "POST" "/t/b/predict" body);
+      expect "swap /t/a" 200 (req "POST" "/t/a/admin/swap" "");
+      expect "tenant healthz" 200 (req "GET" "/t/b/healthz" "");
+      expect "traversal 404" 404 (req "POST" "/t/a.b/predict" body);
+      Unix.close fd;
+      Unix.kill pid Sys.sigterm;
+      (match Prom_store.Iox.retry (fun () -> Unix.waitpid [] pid) with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> failwith "tenants lifecycle: prom_cli serve did not exit 0");
+      close_in ic;
+      Printf.printf
+        "  spawn -> /t/{a,b}/predict -> swap a -> SIGTERM -> exit 0: ok\n"
+
+let tenants_bench () =
+  tenants_section ~n_cal:600 ~hot_conns:16 ~cold_conns:4 ~requests:100
+    ~json_path:"BENCH_tenants.json" ()
+
+let tenants_bench_smoke () =
+  tenants_section ~n_cal:120 ~hot_conns:8 ~cold_conns:2 ~requests:25
+    ~json_path:"BENCH_tenants_smoke.json" ();
+  tenants_lifecycle_smoke ()
+
 (* The paper's motivating study (Fig. 1a): a binary vulnerability
    detector trained on 2012-2014 samples, evaluated on successive future
    time windows. Half of each window's programs carry an injected bug. *)
@@ -2104,6 +2416,8 @@ let sections =
     ("kernels-smoke", kernels_smoke);
     ("serve", serve_bench);
     ("serve-smoke", serve_bench_smoke);
+    ("tenants", tenants_bench);
+    ("tenants-smoke", tenants_bench_smoke);
     ("stream", stream_bench);
     ("stream-smoke", stream_smoke);
   ]
@@ -2119,7 +2433,8 @@ let () =
           (fun n ->
             n <> "inference-smoke" && n <> "prep-smoke"
             && n <> "snapshot-smoke" && n <> "serve-smoke" && n <> "index-smoke"
-            && n <> "kernels-smoke" && n <> "stream-smoke")
+            && n <> "kernels-smoke" && n <> "stream-smoke"
+            && n <> "tenants-smoke")
           (List.map fst sections)
   in
   let t0 = Unix.gettimeofday () in

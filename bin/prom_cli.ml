@@ -8,7 +8,8 @@
      prom_cli suite --quick
      prom_cli save --dir /tmp/snaps
      prom_cli load --dir /tmp/snaps
-     prom_cli serve --snapshot-dir /tmp/snaps                      *)
+     prom_cli serve --snapshot-dir /tmp/snaps
+     prom_cli serve --tenants /tmp/tenants --listen 0              *)
 
 open Cmdliner
 open Prom_tasks
@@ -367,8 +368,13 @@ let serve_cmd =
       & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
   in
   (* HTTP mode: same detector world as the digest mode, but wrapped in a
-     Service and served until a termination signal arrives. *)
-  let run_http ~snapshot_dir ~port ~shards ~idle_timeout_s detector origin =
+     Service and served until a termination signal arrives. With a
+     --tenants root, every immediate subdirectory becomes one named
+     tenant: resumed from its newest valid generation when one exists,
+     otherwise deployed fresh (seed perturbed per tenant name) and
+     checkpointed into its own directory. *)
+  let run_http ~quick ~seed ~snapshot_dir ~tenants_root ~port ~shards
+      ~idle_timeout_s detector origin =
     let open Prom in
     let module Pool = Prom_parallel.Pool in
     let registry = Prom_obs.create_registry () in
@@ -376,13 +382,52 @@ let serve_cmd =
     let service =
       Service.of_snapshot ~telemetry (Snapshot.of_cls_detector detector)
     in
+    let tenants = Tenant.create () in
+    (match tenants_root with
+    | None -> ()
+    | Some root ->
+        List.iter
+          (fun name ->
+            if not (Tenant.valid_name name) then
+              Printf.eprintf "tenant %S: invalid name, skipped\n" name
+            else if String.equal name Prom_server.Server.default_tenant then
+              Printf.eprintf "tenant %S: reserved name, skipped\n" name
+            else begin
+              let dir = Filename.concat root name in
+              let tenant_service, t_origin =
+                match Snapshot.load_latest ~kind:Snapshot.kind_cls ~dir () with
+                | Some (Snapshot.Cls s, info)
+                  when Option.is_some s.Snapshot.cls_model ->
+                    ( Service.of_snapshot ~telemetry (Snapshot.Cls s),
+                      Printf.sprintf "resumed from generation %d"
+                        info.Prom_store.Store.generation )
+                | _ ->
+                    let tseed =
+                      seed + (Prom_store.Crc32.digest name land 0xffff)
+                    in
+                    let data, _ = snapshot_world ~quick ~seed:tseed in
+                    let d =
+                      Framework.deploy ~snapshot_dir:dir
+                        ~trainer:(Prom_ml.Logistic.trainer ()) ~seed:tseed data
+                    in
+                    ( Service.of_snapshot ~telemetry
+                        (Snapshot.of_cls_detector d.Framework.detector),
+                      "fresh (checkpointed)" )
+              in
+              ignore
+                (Tenant.register ~snapshot_dir:dir ~service:tenant_service
+                   tenants name);
+              Printf.printf "tenant %s: %s\n" name t_origin
+            end)
+          (Prom_store.Store.subdirs root));
     let pool = Pool.create (Pool.default_size ()) in
     Pool.attach_metrics pool registry;
     let config =
       { Prom_server.Server.default_config with port; shards; idle_timeout_s }
     in
     let server =
-      Prom_server.Server.start ~config ~telemetry ~pool ?snapshot_dir service
+      Prom_server.Server.start ~config ~telemetry ~pool ?snapshot_dir ~tenants
+        service
     in
     let stop_requested = Atomic.make false in
     let request_stop _ = Atomic.set stop_requested true in
@@ -399,8 +444,24 @@ let serve_cmd =
     Pool.shutdown pool;
     prerr_endline "drained"
   in
-  let run quick seed snapshot_dir listen shards idle_timeout_s =
+  let tenants_arg =
+    let doc =
+      "Multi-tenant serving root for HTTP mode: every immediate subdirectory \
+       of $(docv) becomes one tenant named after it — resumed from its newest \
+       valid snapshot generation when one exists, otherwise deployed fresh and \
+       checkpointed into its own directory — served at \
+       $(b,/t/<name>/predict), $(b,/t/<name>/healthz) and \
+       $(b,/t/<name>/admin/swap) next to the default tenant. Requires \
+       $(b,--listen)."
+    in
+    Arg.(value & opt (some string) None & info [ "tenants" ] ~docv:"DIR" ~doc)
+  in
+  let run quick seed snapshot_dir tenants_root listen shards idle_timeout_s =
     let open Prom in
+    (if Option.is_some tenants_root && Option.is_none listen then begin
+       prerr_endline "prom_cli: --tenants requires --listen (HTTP mode)";
+       exit 2
+     end);
     let data, queries = snapshot_world ~quick ~seed in
     let fresh ?snapshot_dir () =
       let d =
@@ -422,7 +483,8 @@ let serve_cmd =
     in
     match listen with
     | Some port ->
-        run_http ~snapshot_dir ~port ~shards ~idle_timeout_s detector origin
+        run_http ~quick ~seed ~snapshot_dir ~tenants_root ~port ~shards
+          ~idle_timeout_s detector origin
     | None ->
         let verdicts = Detector.Classification.evaluate_batch detector queries in
         let drifted =
@@ -441,8 +503,8 @@ let serve_cmd =
           HTTP with $(b,--listen) — resuming from the latest valid snapshot \
           when one exists")
     Term.(
-      const run $ quick_arg $ seed_arg $ snapshot_dir_arg $ listen_arg
-      $ shards_arg $ idle_timeout_arg)
+      const run $ quick_arg $ seed_arg $ snapshot_dir_arg $ tenants_arg
+      $ listen_arg $ shards_arg $ idle_timeout_arg)
 
 (* Build scan/index twin detectors over the same blob world, check the
    invariant the index lives under (bit-identical verdicts against the

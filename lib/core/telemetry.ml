@@ -106,7 +106,15 @@ module Http = struct
     http_open_connections : Obs.Gauge.t;
     http_evloop_seconds : Obs.Histogram.t;
     lock : Mutex.t;
-    mutable by_code : (int * Obs.Counter.t) list;
+    mutable by_code : ((string * int) * Obs.Counter.t) list;
+  }
+
+  (* Per-tenant serving series, resolved once at tenant registration so
+     the dispatch path only increments. *)
+  type tenant = {
+    tn_queue_depth : Obs.Gauge.t;
+    tn_batch_share : Obs.Counter.t;
+    tn_swaps : Obs.Counter.t;
   }
 
   (* Event-loop iterations process anywhere from one readiness event to
@@ -139,22 +147,46 @@ module Http = struct
       by_code = [];
     }
 
-  let requests_total t code =
+  let requests_total ?(tenant = "") t code =
     Mutex.lock t.lock;
     let c =
-      match List.assoc_opt code t.by_code with
+      match List.assoc_opt (tenant, code) t.by_code with
       | Some c -> c
       | None ->
+          (* Endpoints outside any tenant (metrics, healthz, 404s)
+             carry no tenant label at all — an empty label value means
+             "label absent" to Prometheus, so rendering it would only
+             manufacture a second series per code. *)
+          let labels =
+            ("code", string_of_int code)
+            :: (if tenant = "" then [] else [ ("tenant", tenant) ])
+          in
           let c =
-            Obs.counter t.hregistry
-              ~labels:[ ("code", string_of_int code) ]
+            Obs.counter t.hregistry ~labels
               ~help:"HTTP requests served, by status code" "prom_http_requests_total"
           in
-          t.by_code <- (code, c) :: t.by_code;
+          t.by_code <- ((tenant, code), c) :: t.by_code;
           c
     in
     Mutex.unlock t.lock;
     c
+
+  let tenant_metrics t name =
+    let labels = [ ("tenant", name) ] in
+    {
+      tn_queue_depth =
+        Obs.gauge t.hregistry ~labels
+          ~help:"Requests a tenant has waiting in the micro-batch queue"
+          "prom_tenant_queue_depth";
+      tn_batch_share =
+        Obs.counter t.hregistry ~labels
+          ~help:"Queries a tenant contributed to shared inference batches"
+          "prom_tenant_batch_share";
+      tn_swaps =
+        Obs.counter t.hregistry ~labels
+          ~help:"Completed snapshot hot-swaps on a tenant's slot"
+          "prom_tenant_swaps_total";
+    }
 
   let batch_size t = t.http_batch_size
   let queue_depth t = t.http_queue_depth

@@ -113,11 +113,33 @@ module Http : sig
       {!create}. *)
   val create : Prom_obs.registry -> http
 
-  (** [requests_total t code] is the
-      [prom_http_requests_total{code="..."}] counter for one status
-      code, materialized on first use and cached. Safe from any
-      thread. *)
-  val requests_total : http -> int -> Prom_obs.Counter.t
+  (** [requests_total ?tenant t code] is the
+      [prom_http_requests_total{code="...",tenant="..."}] counter for
+      one (tenant, status code) pair, materialized on first use and
+      cached. An empty [tenant] (the default) omits the tenant label —
+      the series for endpoints that serve no tenant (metrics, healthz,
+      unroutable paths). Safe from any thread. *)
+  val requests_total : ?tenant:string -> http -> int -> Prom_obs.Counter.t
+
+  (** Per-tenant serving series, all labeled [{tenant="..."}] and
+      resolved once at tenant registration so the dispatch path only
+      increments. *)
+  type tenant = {
+    tn_queue_depth : Prom_obs.Gauge.t;
+        (** [prom_tenant_queue_depth]: the tenant's items waiting in
+            the shared micro-batch queue. *)
+    tn_batch_share : Prom_obs.Counter.t;
+        (** [prom_tenant_batch_share]: queries the tenant contributed
+            to shared inference batches — the fair-share audit trail
+            (rates across tenants compare directly). *)
+    tn_swaps : Prom_obs.Counter.t;
+        (** [prom_tenant_swaps_total]: completed snapshot hot-swaps on
+            the tenant's slot. *)
+  }
+
+  (** [tenant_metrics t name] registers (get-or-create) one tenant's
+      series under [{tenant=name}]. *)
+  val tenant_metrics : http -> string -> tenant
 
   (** [prom_http_batch_size]: queries per dispatched inference
       batch. *)

@@ -1,0 +1,111 @@
+type state = Loading | Ready | Draining
+
+let state_name = function
+  | Loading -> "loading"
+  | Ready -> "ready"
+  | Draining -> "draining"
+
+(* Tenant names double as URL path segments and snapshot-directory
+   names, so the alphabet is the strict intersection of what both can
+   carry safely: no separators, no dots (".", ".." traversal), no
+   percent signs (undecoded escapes), bounded length. *)
+let max_name_len = 64
+
+let valid_name s =
+  let n = String.length s in
+  n >= 1 && n <= max_name_len
+  && String.for_all
+       (function
+         | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+type slot = {
+  name : string;
+  index : int;
+  snapshot_dir : string option;
+  service : Service.t option Atomic.t;
+  state : state Atomic.t;
+  stream : Stream.t option Atomic.t;
+  swaps : int Atomic.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  by_name : (string, slot) Hashtbl.t;
+  mutable order : slot list; (* reverse registration order *)
+}
+
+let create () = { lock = Mutex.create (); by_name = Hashtbl.create 8; order = [] }
+
+let register ?snapshot_dir ?service t name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Tenant.register: invalid tenant name %S" name);
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if Hashtbl.mem t.by_name name then
+        invalid_arg
+          (Printf.sprintf "Tenant.register: tenant %S already registered" name);
+      let slot =
+        {
+          name;
+          index = Hashtbl.length t.by_name;
+          snapshot_dir;
+          service = Atomic.make service;
+          state =
+            Atomic.make (match service with Some _ -> Ready | None -> Loading);
+          stream = Atomic.make None;
+          swaps = Atomic.make 0;
+        }
+      in
+      Hashtbl.replace t.by_name name slot;
+      t.order <- slot :: t.order;
+      slot)
+
+let find t name =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.by_name name in
+  Mutex.unlock t.lock;
+  r
+
+let slots t =
+  Mutex.lock t.lock;
+  let r = List.rev t.order in
+  Mutex.unlock t.lock;
+  r
+
+let count t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.by_name in
+  Mutex.unlock t.lock;
+  n
+
+let name slot = slot.name
+let index slot = slot.index
+let snapshot_dir slot = slot.snapshot_dir
+let state slot = Atomic.get slot.state
+let service slot = Atomic.get slot.service
+let stream slot = Atomic.get slot.stream
+let set_stream slot s = Atomic.set slot.stream s
+let swaps slot = Atomic.get slot.swaps
+let count_swap slot = Atomic.incr slot.swaps
+
+let activate slot service =
+  Atomic.set slot.service (Some service);
+  (* A draining tenant stays draining: activation must not resurrect a
+     slot the server is already refusing traffic for. *)
+  ignore (Atomic.compare_and_set slot.state Loading Ready)
+
+let drain slot = Atomic.set slot.state Draining
+
+(* Serving handle: the slot must be Ready and hold a service. Checked
+   as two atomics (no lock) — the failure modes of the benign race are
+   one request answered 503 just as activation lands, or one request
+   served just as draining begins, both of which the lifecycle already
+   allows. *)
+let serving slot =
+  match Atomic.get slot.state with
+  | Ready -> Atomic.get slot.service
+  | Loading | Draining -> None

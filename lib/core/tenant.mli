@@ -1,0 +1,114 @@
+(** Multi-tenant registry: many [(model, calibration)] deployments
+    behind one serving surface.
+
+    Each tenant is a {!slot} holding its own {!Service} (its committee,
+    calibration store and swap generation are fully independent of
+    every other tenant's), an optional snapshot directory with its own
+    generation numbering (a subdirectory of the serving root — tenant
+    names are valid directory names by construction, see
+    {!valid_name}), an optional always-on {!Stream} recalibration loop,
+    and a lifecycle state: [Loading] (registered, engine not yet
+    available — requests are refused with a retryable error), [Ready]
+    (serving), and [Draining] (shutdown ordered — no new work, in-
+    flight batches finish).
+
+    Names double as URL path segments ([/t/<name>/predict]) and
+    snapshot directory names, so they are validated against the strict
+    alphabet [[A-Za-z0-9_-]{1,64}] — no dots, slashes or percent
+    signs, which makes path traversal out of the snapshot root
+    unrepresentable rather than merely rejected.
+
+    The registry hands each slot a dense registration {!index}; the
+    serving layer uses it as the tenant's fair-share batching key and
+    as the subscript for per-tenant metric handles. Slot lifecycle
+    fields are atomics: the serving hot path reads them lock-free. *)
+
+(** Lifecycle of one tenant slot. *)
+type state =
+  | Loading  (** registered; engine still being built or restored *)
+  | Ready  (** serving traffic *)
+  | Draining  (** shutdown ordered; refuses new work *)
+
+(** Lower-case state name, as exposed in diagnostics ([loading] /
+    [ready] / [draining]). *)
+val state_name : state -> string
+
+(** Upper bound on tenant-name length (64). *)
+val max_name_len : int
+
+(** [valid_name s] is [true] iff [s] matches [[A-Za-z0-9_-]{1,64}].
+    Every other string — including [.], [..], anything with a slash or
+    a percent-escape — is invalid, so a validated name can never
+    traverse outside the snapshot root. *)
+val valid_name : string -> bool
+
+(** One tenant's serving slot. *)
+type slot
+
+(** A tenant registry. *)
+type t
+
+(** An empty registry. *)
+val create : unit -> t
+
+(** [register ?snapshot_dir ?service t name] adds a tenant. With
+    [service] the slot starts [Ready]; without it the slot starts
+    [Loading] and must be {!activate}d before it serves.
+    [snapshot_dir] is the tenant's own snapshot directory (independent
+    generation numbering). Raises [Invalid_argument] when [name] fails
+    {!valid_name} or is already registered. *)
+val register : ?snapshot_dir:string -> ?service:Service.t -> t -> string -> slot
+
+(** [find t name] is the slot registered under [name], if any. Lookup
+    only — never validates or creates; route unknown or invalid names
+    to 404 before touching the filesystem. *)
+val find : t -> string -> slot option
+
+(** All slots in registration order (so {!index} [i] is element [i]). *)
+val slots : t -> slot list
+
+(** Number of registered tenants. *)
+val count : t -> int
+
+(** The slot's validated name. *)
+val name : slot -> string
+
+(** Dense registration index: 0 for the first tenant registered, 1 for
+    the second, … Used as the fair-share batching key. *)
+val index : slot -> int
+
+(** The tenant's snapshot directory, when configured. *)
+val snapshot_dir : slot -> string option
+
+(** Current lifecycle state. *)
+val state : slot -> state
+
+(** The slot's service regardless of lifecycle state ([None] while
+    [Loading]); use {!serving} on the request path. *)
+val service : slot -> Service.t option
+
+(** The tenant's recalibration loop, when one is attached. *)
+val stream : slot -> Stream.t option
+
+(** Attach (or detach) the tenant's recalibration loop. *)
+val set_stream : slot -> Stream.t option -> unit
+
+(** Completed hot-swaps on this slot, as counted by {!count_swap} —
+    the serving layer's [prom_tenant_swaps_total{tenant}] source. *)
+val swaps : slot -> int
+
+(** Record one completed hot-swap. *)
+val count_swap : slot -> unit
+
+(** [activate slot service] installs the engine and moves a [Loading]
+    slot to [Ready]. A [Draining] slot keeps draining — activation
+    never resurrects a tenant the server already stopped. *)
+val activate : slot -> Service.t -> unit
+
+(** Order the slot to stop taking new work. *)
+val drain : slot -> unit
+
+(** [serving slot] is the service to answer a request with: [Some]
+    only when the slot is [Ready] and holds an engine; [None] maps to
+    a retryable 503 at the HTTP layer. Lock-free. *)
+val serving : slot -> Service.t option

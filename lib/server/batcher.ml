@@ -11,17 +11,38 @@ type ('a, 'b) cell = {
   notify : (('b array, error) result -> unit) option;
 }
 
+(* One fairness key's queue. Keys are small dense integers (the server
+   uses the tenant's registration index; the unkeyed API uses key 0).
+   [kdeficit] is the key's deficit-round-robin credit in items: each
+   dispatcher sweep deposits [quantum] and withdraws the size of every
+   group taken, so a key that queues more than its share this round
+   carries the debt into the next one. *)
+type ('a, 'b) kq = {
+  kqueue : ('a, 'b) cell Queue.t;
+  mutable kdepth : int;
+  mutable kdeficit : int;
+}
+
 type ('a, 'b) t = {
   run : 'a array -> 'b array;
   max_batch : int;
   max_wait_s : float;
   capacity : int;
+  key_capacity : int;
+  quantum : int;
   on_depth : int -> unit;
+  on_key_depth : int -> int -> unit;
   on_batch : int -> unit;
+  on_share : int -> int -> unit;
   before_batch : unit -> unit;
   lock : Mutex.t;
   done_cond : Condition.t;
-  queue : ('a, 'b) cell Queue.t;
+  keys : (int, ('a, 'b) kq) Hashtbl.t;
+  (* Round-robin ring of keys with a non-empty queue; the dispatcher
+     pops from the head and re-appends still-active keys at the tail,
+     so every active key is visited once per sweep whatever the
+     arrival order. *)
+  ring : int Queue.t;
   mutable depth : int;
   mutable stopping : bool;
   mutable joined : bool;
@@ -63,11 +84,19 @@ let wait_for_wake t timeout =
   | `Timeout -> ()
   | `Ready -> drain_wake t
 
+let get_kq t key =
+  match Hashtbl.find_opt t.keys key with
+  | Some kq -> kq
+  | None ->
+      let kq = { kqueue = Queue.create (); kdepth = 0; kdeficit = 0 } in
+      Hashtbl.replace t.keys key kq;
+      kq
+
 let run_batch t cells n =
   t.before_batch ();
   t.on_batch n;
   let outcome =
-    match t.run (Array.concat (List.map (fun c -> c.items) cells)) with
+    match t.run (Array.concat (List.map (fun (_, c) -> c.items) cells)) with
     | outputs ->
         if Array.length outputs <> n then
           Error
@@ -83,35 +112,93 @@ let run_batch t cells n =
   | Ok outputs ->
       let off = ref 0 in
       List.iter
-        (fun c ->
+        (fun (_, c) ->
           let k = Array.length c.items in
           c.outcome <- Some (Ok (Array.sub outputs !off k));
           off := !off + k)
         cells
-  | Error _ as e -> List.iter (fun c -> c.outcome <- Some e) cells);
+  | Error _ as e -> List.iter (fun (_, c) -> c.outcome <- Some e) cells);
   Condition.broadcast t.done_cond;
   Mutex.unlock t.lock;
   (* Completion callbacks run on the dispatcher thread with no lock
      held, so a callback may call back into the batcher freely. *)
   List.iter
-    (fun c ->
+    (fun (_, c) ->
       match (c.notify, c.outcome) with
       | Some f, Some r -> ( try f r with _ -> ())
       | _ -> ())
     cells
 
+(* Drain one fair batch under the lock: sweep the ring of active keys,
+   depositing [quantum] credit per visit and taking whole groups while
+   the credit and the batch both have room; sweeps repeat until the
+   batch fills or a full sweep makes no progress (every remaining head
+   group is out of credit or would overflow the batch). At least one
+   group is always taken so an oversized group still runs, alone. *)
+let drain_round t =
+  let cells = ref [] and n = ref 0 in
+  let full = ref false in
+  let shares = Hashtbl.create 8 in
+  let progress = ref true in
+  while (not !full) && !progress && not (Queue.is_empty t.ring) do
+    progress := false;
+    let visits = Queue.length t.ring in
+    let i = ref 0 in
+    while (not !full) && !i < visits && not (Queue.is_empty t.ring) do
+      incr i;
+      let kid = Queue.pop t.ring in
+      let kq = Hashtbl.find t.keys kid in
+      kq.kdeficit <- kq.kdeficit + t.quantum;
+      let take_more = ref true in
+      while !take_more && not (Queue.is_empty kq.kqueue) do
+        let c = Queue.peek kq.kqueue in
+        let k = Array.length c.items in
+        if !n > 0 && !n + k > t.max_batch then begin
+          full := true;
+          take_more := false
+        end
+        else if k > kq.kdeficit && !n > 0 then take_more := false
+        else begin
+          ignore (Queue.pop kq.kqueue);
+          kq.kdepth <- kq.kdepth - k;
+          kq.kdeficit <- Stdlib.max 0 (kq.kdeficit - k);
+          cells := (kid, c) :: !cells;
+          n := !n + k;
+          progress := true;
+          let taken =
+            match Hashtbl.find_opt shares kid with
+            | Some (prev, _) -> prev + k
+            | None -> k
+          in
+          Hashtbl.replace shares kid (taken, kq.kdepth);
+          if !n >= t.max_batch then begin
+            full := true;
+            take_more := false
+          end
+        end
+      done;
+      if Queue.is_empty kq.kqueue then kq.kdeficit <- 0
+      else Queue.push kid t.ring;
+      (match Hashtbl.find_opt shares kid with
+      | Some (taken, _) -> Hashtbl.replace shares kid (taken, kq.kdepth)
+      | None -> ())
+    done
+  done;
+  t.depth <- t.depth - !n;
+  (List.rev !cells, !n, shares)
+
 let dispatcher_loop t =
   let running = ref true in
   while !running do
     Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.stopping do
+    while t.depth = 0 && not t.stopping do
       t.waiting <- true;
       Mutex.unlock t.lock;
       wait_for_wake t (-1.0);
       Mutex.lock t.lock;
       t.waiting <- false
     done;
-    if Queue.is_empty t.queue then begin
+    if t.depth = 0 then begin
       (* stopping && drained: exit. [stopping] is checked under the same
          lock [submit_many] takes, so no group can slip in after this. *)
       Mutex.unlock t.lock;
@@ -135,34 +222,29 @@ let dispatcher_loop t =
         in
         linger ()
       end;
-      (* Drain whole groups up to [max_batch] items; always take at
-         least one group so an oversized batch request still runs. *)
-      let cells = ref [] and n = ref 0 in
-      let full = ref false in
-      while (not !full) && not (Queue.is_empty t.queue) do
-        let c = Queue.peek t.queue in
-        let k = Array.length c.items in
-        if !n > 0 && !n + k > t.max_batch then full := true
-        else begin
-          ignore (Queue.pop t.queue);
-          cells := c :: !cells;
-          n := !n + k;
-          if !n >= t.max_batch then full := true
-        end
-      done;
-      t.depth <- t.depth - !n;
+      let cells, n, shares = drain_round t in
       let depth_now = t.depth in
       Mutex.unlock t.lock;
       t.on_depth depth_now;
-      run_batch t (List.rev !cells) !n
+      Hashtbl.iter
+        (fun kid (taken, kdepth) ->
+          t.on_share kid taken;
+          t.on_key_depth kid kdepth)
+        shares;
+      run_batch t cells n
     end
   done
 
 let create ?(max_batch = 64) ?(max_wait_us = 2000) ?(capacity = 1024)
-    ?(on_depth = fun _ -> ()) ?(on_batch = fun _ -> ())
-    ?(before_batch = fun () -> ()) run =
+    ?key_capacity ?quantum ?(on_depth = fun _ -> ())
+    ?(on_key_depth = fun _ _ -> ()) ?(on_batch = fun _ -> ())
+    ?(on_share = fun _ _ -> ()) ?(before_batch = fun () -> ()) run =
   if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1";
   if capacity < 1 then invalid_arg "Batcher.create: capacity < 1";
+  let key_capacity = Option.value ~default:capacity key_capacity in
+  if key_capacity < 1 then invalid_arg "Batcher.create: key_capacity < 1";
+  let quantum = Option.value ~default:(Stdlib.max 1 (max_batch / 2)) quantum in
+  if quantum < 1 then invalid_arg "Batcher.create: quantum < 1";
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
@@ -170,14 +252,19 @@ let create ?(max_batch = 64) ?(max_wait_us = 2000) ?(capacity = 1024)
     {
       run;
       max_batch;
-      max_wait_s = float_of_int (max 0 max_wait_us) /. 1e6;
+      max_wait_s = float_of_int (Stdlib.max 0 max_wait_us) /. 1e6;
       capacity;
+      key_capacity;
+      quantum;
       on_depth;
+      on_key_depth;
       on_batch;
+      on_share;
       before_batch;
       lock = Mutex.create ();
       done_cond = Condition.create ();
-      queue = Queue.create ();
+      keys = Hashtbl.create 8;
+      ring = Queue.create ();
       depth = 0;
       stopping = false;
       joined = false;
@@ -190,33 +277,40 @@ let create ?(max_batch = 64) ?(max_wait_us = 2000) ?(capacity = 1024)
   t.dispatcher <- Some (Thread.create dispatcher_loop t);
   t
 
-(* Validate and enqueue one group under the lock; returns the depth
-   after the enqueue so the caller can report it with the lock dropped
-   ([on_depth] with the lock held would deadlock any callback touching
-   [depth], and the dispatcher already calls it unlocked). *)
-let enqueue t cell k =
+(* Validate and enqueue one group under the lock; returns the depths
+   after the enqueue so the caller can report them with the lock
+   dropped ([on_depth] with the lock held would deadlock any callback
+   touching [depth], and the dispatcher already calls it unlocked). *)
+let enqueue t ~key cell k =
   if t.stopping then Error `Shutdown
   else if t.depth + k > t.capacity then Error `Overloaded
   else begin
-    Queue.push cell t.queue;
-    t.depth <- t.depth + k;
-    if t.waiting then wake t;
-    Ok t.depth
+    let kq = get_kq t key in
+    if kq.kdepth + k > t.key_capacity then Error `Overloaded
+    else begin
+      if kq.kdepth = 0 then Queue.push key t.ring;
+      Queue.push cell kq.kqueue;
+      kq.kdepth <- kq.kdepth + k;
+      t.depth <- t.depth + k;
+      if t.waiting then wake t;
+      Ok (t.depth, kq.kdepth)
+    end
   end
 
-let submit_many t items =
+let submit_many ?(key = 0) t items =
   let k = Array.length items in
   if k = 0 then Ok [||]
   else begin
     let cell = { items; outcome = None; notify = None } in
     Mutex.lock t.lock;
-    match enqueue t cell k with
+    match enqueue t ~key cell k with
     | Error _ as e ->
         Mutex.unlock t.lock;
         e
-    | Ok depth_now ->
+    | Ok (depth_now, kdepth_now) ->
         Mutex.unlock t.lock;
         t.on_depth depth_now;
+        t.on_key_depth key kdepth_now;
         Mutex.lock t.lock;
         let rec await () =
           match cell.outcome with
@@ -230,31 +324,40 @@ let submit_many t items =
         r
   end
 
-let submit_async t items ~notify =
+let submit_async ?(key = 0) t items ~notify =
   let k = Array.length items in
   if k = 0 then notify (Ok [||])
   else begin
     let cell = { items; outcome = None; notify = Some notify } in
     Mutex.lock t.lock;
-    match enqueue t cell k with
+    match enqueue t ~key cell k with
     | Error _ as e ->
         Mutex.unlock t.lock;
         (* Rejection is reported synchronously on the caller's thread —
            there is no batch whose completion could carry it. *)
         notify e
-    | Ok depth_now ->
+    | Ok (depth_now, kdepth_now) ->
         Mutex.unlock t.lock;
-        t.on_depth depth_now
+        t.on_depth depth_now;
+        t.on_key_depth key kdepth_now
   end
 
-let submit t item =
-  match submit_many t [| item |] with
+let submit ?key t item =
+  match submit_many ?key t [| item |] with
   | Ok outputs -> Ok outputs.(0)
   | Error _ as e -> e
 
 let depth t =
   Mutex.lock t.lock;
   let d = t.depth in
+  Mutex.unlock t.lock;
+  d
+
+let key_depth t key =
+  Mutex.lock t.lock;
+  let d =
+    match Hashtbl.find_opt t.keys key with Some kq -> kq.kdepth | None -> 0
+  in
   Mutex.unlock t.lock;
   d
 

@@ -1,16 +1,30 @@
-(** Adaptive micro-batching queue: many submitter threads hand in small
-    groups of work items; one dispatcher thread coalesces them into
-    batches and runs each batch through a single evaluation call.
+(** Adaptive micro-batching queue with fair-share scheduling: many
+    submitter threads hand in small groups of work items, each tagged
+    with a fairness key (one key per tenant; the unkeyed API uses key
+    0); one dispatcher thread coalesces groups across keys into batches
+    and runs each batch through a single evaluation call.
 
-    The dispatcher drains the queue as soon as either [max_batch] items
-    are waiting or the oldest item has waited [max_wait_us]
-    microseconds — so a lone request costs at most one micro-wait of
-    latency, while a busy queue amortizes per-batch fixed costs
-    (dispatch to the domain pool, cache warm-up) across every waiting
-    query. Under load the queue is bounded: submissions that would push
-    the total past [capacity] are rejected immediately with
-    [`Overloaded], which the HTTP layer maps to [503 Retry-After] —
-    backpressure instead of collapse.
+    The dispatcher drains as soon as either [max_batch] items are
+    waiting or the oldest item has waited [max_wait_us] microseconds —
+    so a lone request costs at most one micro-wait of latency, while a
+    busy queue amortizes per-batch fixed costs (dispatch to the domain
+    pool, cache warm-up) across every waiting query.
+
+    Batch composition is deficit round-robin across keys: every key
+    with queued work is visited in rotation, earns [quantum] items of
+    credit per visit, and contributes whole groups while its credit
+    lasts, so a hot key floods only its own queue — a cold key's lone
+    request still rides the very next batch instead of waiting behind
+    the backlog. Per-key credit carries across batches, which lets a
+    group larger than [quantum] through once its key has accumulated
+    enough turns (and an oversized group always runs alone rather than
+    being split).
+
+    Under load the queue is bounded twice over: submissions that would
+    push the total past [capacity] — or the submitting key past
+    [key_capacity] — are rejected immediately with [`Overloaded], which
+    the HTTP layer maps to [503 Retry-After]; backpressure instead of
+    collapse, per tenant before globally.
 
     Submitter groups are never split across batches (a batch request is
     answered from exactly one evaluation call), and results come back
@@ -20,58 +34,79 @@ type ('a, 'b) t
 (** A batcher accepting items of type ['a] and producing one ['b] per
     item. *)
 
-(** Why a submission failed: the queue was full ([`Overloaded]), the
+(** Why a submission failed: the queue was full ([`Overloaded] — the
+    global [capacity] or the submitting key's [key_capacity]), the
     batcher is shutting down ([`Shutdown]), or the evaluation function
     raised ([`Failed] — carries the exception; the batcher itself keeps
     running). *)
 type error = [ `Overloaded | `Shutdown | `Failed of exn ]
 
-(** [create ?max_batch ?max_wait_us ?capacity ?on_depth ?on_batch
-    ?before_batch run] starts the dispatcher thread. [run] is called
-    with between 1 and [max (max_batch) (largest single group)] items
-    and must return exactly one output per input, in order. Hooks:
-    [on_depth] observes the queue depth after every enqueue/drain (for
-    a gauge) and is always called with the batcher lock released, so it
-    may call back into {!depth}, [on_batch] the size of every
-    dispatched batch (for a histogram), [before_batch] runs just before
-    each evaluation (test seam for forcing queue buildup). All hooks
-    must be fast and must not raise. Defaults: [max_batch = 64], [max_wait_us = 2000],
-    [capacity = 1024]. Raises [Invalid_argument] if [max_batch] or
-    [capacity] is non-positive. *)
+(** [create ?max_batch ?max_wait_us ?capacity ?key_capacity ?quantum
+    ?on_depth ?on_key_depth ?on_batch ?on_share ?before_batch run]
+    starts the dispatcher thread. [run] is called with between 1 and
+    [max (max_batch) (largest single group)] items and must return
+    exactly one output per input, in order; a batch may mix items from
+    several keys (the caller's ['a] should carry whatever routing the
+    evaluation needs). Hooks, all called with the batcher lock
+    released: [on_depth] observes the total queue depth after every
+    enqueue/drain, [on_key_depth key depth] the submitting/drained
+    key's own depth, [on_batch] the size of every dispatched batch,
+    [on_share key taken] how many items each key contributed to the
+    batch just drained, [before_batch] runs just before each
+    evaluation (test seam for forcing queue buildup). All hooks must be
+    fast and must not raise. Defaults: [max_batch = 64],
+    [max_wait_us = 2000], [capacity = 1024],
+    [key_capacity = capacity], [quantum = max 1 (max_batch / 2)].
+    Raises [Invalid_argument] if [max_batch], [capacity],
+    [key_capacity] or [quantum] is non-positive. *)
 val create :
   ?max_batch:int ->
   ?max_wait_us:int ->
   ?capacity:int ->
+  ?key_capacity:int ->
+  ?quantum:int ->
   ?on_depth:(int -> unit) ->
+  ?on_key_depth:(int -> int -> unit) ->
   ?on_batch:(int -> unit) ->
+  ?on_share:(int -> int -> unit) ->
   ?before_batch:(unit -> unit) ->
   ('a array -> 'b array) ->
   ('a, 'b) t
 
-(** [submit_many t items] enqueues [items] as one indivisible group and
-    blocks until the dispatcher has evaluated them, returning the
-    outputs in item order. An empty array returns [Ok [||]] without
-    touching the queue. A group larger than [max_batch] is still
-    accepted (it becomes a batch of its own) as long as it fits the
-    remaining [capacity]. *)
-val submit_many : ('a, 'b) t -> 'a array -> ('b array, error) result
+(** [submit_many ?key t items] enqueues [items] as one indivisible
+    group under fairness key [key] (default 0) and blocks until the
+    dispatcher has evaluated them, returning the outputs in item order.
+    An empty array returns [Ok [||]] without touching the queue. A
+    group larger than [max_batch] is still accepted (it becomes a
+    batch of its own) as long as it fits the remaining capacities. *)
+val submit_many : ?key:int -> ('a, 'b) t -> 'a array -> ('b array, error) result
 
-(** [submit t item] is [submit_many t [| item |]] unwrapped. *)
-val submit : ('a, 'b) t -> 'a -> ('b, error) result
+(** [submit ?key t item] is [submit_many ?key t [| item |]]
+    unwrapped. *)
+val submit : ?key:int -> ('a, 'b) t -> 'a -> ('b, error) result
 
-(** [submit_async t items ~notify] enqueues [items] as one indivisible
-    group without blocking — the event-loop submission path, where the
-    caller cannot park a thread per request. [notify] is called exactly
-    once with the group's outcome: on the dispatcher thread (no lock
-    held) after the batch runs, or synchronously on the caller's thread
-    when the group is rejected ([`Overloaded]/[`Shutdown]) or empty.
-    [notify] must not raise; exceptions are swallowed to protect the
-    dispatcher. *)
+(** [submit_async ?key t items ~notify] enqueues [items] as one
+    indivisible group without blocking — the event-loop submission
+    path, where the caller cannot park a thread per request. [notify]
+    is called exactly once with the group's outcome: on the dispatcher
+    thread (no lock held) after the batch runs, or synchronously on the
+    caller's thread when the group is rejected
+    ([`Overloaded]/[`Shutdown]) or empty. [notify] must not raise;
+    exceptions are swallowed to protect the dispatcher. *)
 val submit_async :
-  ('a, 'b) t -> 'a array -> notify:(('b array, error) result -> unit) -> unit
+  ?key:int ->
+  ('a, 'b) t ->
+  'a array ->
+  notify:(('b array, error) result -> unit) ->
+  unit
 
-(** [depth t] is the number of items currently queued (diagnostics). *)
+(** [depth t] is the number of items currently queued across all keys
+    (diagnostics). *)
 val depth : ('a, 'b) t -> int
+
+(** [key_depth t key] is the number of items [key] currently has
+    queued; 0 for a key that never submitted. *)
+val key_depth : ('a, 'b) t -> int -> int
 
 (** [shutdown t] stops accepting new work ([`Shutdown] thereafter),
     lets the dispatcher drain and answer everything already queued,

@@ -5,12 +5,15 @@ module Service = Prom.Service
 module Telemetry = Prom.Telemetry
 module Snapshot = Prom.Snapshot
 module Detector = Prom.Detector
+module Tenant = Prom.Tenant
 
 type config = {
   port : int;
   max_batch : int;
   max_wait_us : int;
   queue_capacity : int;
+  tenant_capacity : int;
+  quantum : int;
   max_body_bytes : int;
   max_connections : int;
   shards : int;
@@ -23,10 +26,38 @@ let default_config =
     max_batch = 64;
     max_wait_us = 2000;
     queue_capacity = 1024;
+    tenant_capacity = 1024;
+    quantum = 0;
     max_body_bytes = 4 * 1024 * 1024;
     max_connections = 256;
     shards = 1;
     idle_timeout_s = 30.0;
+  }
+
+let default_tenant = "default"
+let tenant_capacity_env = "PROM_TENANT_CAPACITY"
+let quantum_env = "PROM_TENANT_QUANTUM"
+
+(* Environment overrides for the fair-share batching knobs, applied at
+   [start] only to fields left at their [default_config] value — an
+   explicit caller setting always wins over the environment. *)
+let resolve_env config =
+  let pick name current default ~lo =
+    if current <> default then current
+    else
+      match Sys.getenv_opt name with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some v when v >= lo -> v
+          | _ -> current)
+      | None -> current
+  in
+  {
+    config with
+    tenant_capacity =
+      pick tenant_capacity_env config.tenant_capacity
+        default_config.tenant_capacity ~lo:1;
+    quantum = pick quantum_env config.quantum default_config.quantum ~lo:1;
   }
 
 (* Past the soft cap ([max_connections]) new connections are still
@@ -61,6 +92,10 @@ type conn = {
   mutable out : string;
   mutable out_off : int;
   mutable out_status : int;
+  (* Tenant the request in flight resolved to; "" outside any tenant
+     (metrics, healthz, unroutable paths). Labels the request counter
+     when the response finishes. *)
+  mutable out_tenant : string;
   mutable close_after : bool;
   mutable closed : bool;
   mutable last_active : float;
@@ -96,13 +131,18 @@ type shard = {
 
 type t = {
   config : config;
-  service : Service.t;
+  tenants : Tenant.t;
+  default : Tenant.slot;
   registry : Obs.registry;
   telemetry : Telemetry.t option;
   http : Telemetry.Http.http;
+  (* Per-tenant metric handles, indexed by [Tenant.index] (the same
+     dense index the batcher uses as the fairness key). *)
+  tenant_metrics : Telemetry.Http.tenant array;
   batcher :
-    (Prom_linalg.Vec.t * Prom_linalg.Vec.t, Detector.cls_verdict) Batcher.t;
-  snapshot_dir : string option;
+    ( Tenant.slot * (Prom_linalg.Vec.t * Prom_linalg.Vec.t),
+      Detector.cls_verdict )
+    Batcher.t;
   shards : shard array;
   bound_port : int;
   stopping : bool Atomic.t;
@@ -113,7 +153,13 @@ type t = {
 }
 
 let port t = t.bound_port
-let service t = t.service
+
+let service t =
+  match Tenant.service t.default with
+  | Some s -> s
+  | None -> invalid_arg "Server.service: default tenant has no engine"
+
+let tenants t = t.tenants
 
 (* ------------------------------------------------------------------ *)
 (* Request handling. Handlers return
@@ -152,13 +198,13 @@ let parse_query ~dim ~n_classes j =
 
 (* The JSON-parsing half of /predict; raises [Reject] on client errors.
    Submission happens asynchronously in the event loop. *)
-let parse_predict t body =
+let parse_predict service body =
   let j =
     match J.parse body with
     | Ok j -> j
     | Error m -> raise (Reject (400, "invalid JSON: " ^ m))
   in
-  let dim, n_classes = Service.dims t.service in
+  let dim, n_classes = Service.dims service in
   let parse_one q = parse_query ~dim ~n_classes q in
   let queries, batched =
     match J.member "queries" j with
@@ -168,6 +214,15 @@ let parse_predict t body =
   in
   if Array.length queries = 0 then raise (Reject (422, "empty batch"));
   (queries, batched)
+
+let unavailable ~keep msg =
+  {
+    r_status = 503;
+    r_ctype = "application/json";
+    r_body = json_body (err_obj msg);
+    r_extra = [ ("Retry-After", "1") ];
+    r_keep = keep;
+  }
 
 let predict_reply ~batched ~keep = function
   | Ok verdicts ->
@@ -187,22 +242,8 @@ let predict_reply ~batched ~keep = function
         r_extra = [];
         r_keep = keep;
       }
-  | Error `Overloaded ->
-      {
-        r_status = 503;
-        r_ctype = "application/json";
-        r_body = json_body (err_obj "inference queue full");
-        r_extra = [ ("Retry-After", "1") ];
-        r_keep = keep;
-      }
-  | Error `Shutdown ->
-      {
-        r_status = 503;
-        r_ctype = "application/json";
-        r_body = json_body (err_obj "server shutting down");
-        r_extra = [ ("Retry-After", "1") ];
-        r_keep = false;
-      }
+  | Error `Overloaded -> unavailable ~keep "inference queue full"
+  | Error `Shutdown -> unavailable ~keep:false "server shutting down"
   | Error (`Failed e) ->
       {
         r_status = 500;
@@ -212,25 +253,80 @@ let predict_reply ~batched ~keep = function
         r_keep = keep;
       }
 
+(* Partition one shared batch round back into per-tenant sub-batches:
+   each tenant's queries stay in submission order and run through that
+   tenant's current engine, so a verdict is bit-identical to the same
+   query evaluated against the tenant's service directly. *)
+let run_round ?pool items =
+  let n = Array.length items in
+  let groups = ref [] in
+  (* first-seen tenant order; indices accumulate reversed *)
+  Array.iteri
+    (fun i (slot, _) ->
+      match List.assq_opt slot !groups with
+      | Some idxs -> idxs := i :: !idxs
+      | None -> groups := (slot, ref [ i ]) :: !groups)
+    items;
+  let out = Array.make n None in
+  List.iter
+    (fun (slot, idxs) ->
+      let idxs = Array.of_list (List.rev !idxs) in
+      let queries = Array.map (fun i -> snd items.(i)) idxs in
+      let svc =
+        match Tenant.service slot with
+        | Some s -> s
+        | None ->
+            (* Unreachable from dispatch (submission requires a serving
+               slot) — fail the round rather than invent a verdict. *)
+            invalid_arg
+              (Printf.sprintf "tenant %S has no serving engine"
+                 (Tenant.name slot))
+      in
+      let verdicts = Service.evaluate_batch ?pool svc queries in
+      Array.iteri (fun j i -> out.(i) <- Some verdicts.(j)) idxs)
+    (List.rev !groups);
+  Array.map (function Some v -> v | None -> assert false) out
+
 let handle_metrics t =
   let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.take t.registry) in
   (200, "text/plain; version=0.0.4", text, [])
 
+let tenant_state_json slot =
+  J.Obj
+    [
+      ("tenant", J.Str (Tenant.name slot));
+      ("state", J.Str (Tenant.state_name (Tenant.state slot)));
+      ("swaps", J.Num (float_of_int (Tenant.swaps slot)));
+      ( "generation",
+        J.Num
+          (match Tenant.service slot with
+          | Some s -> float_of_int (Service.generation s)
+          | None -> -1.0) );
+    ]
+
 let handle_healthz t =
-  let dim, n_classes = Service.dims t.service in
+  let dim, n_classes = Service.dims (service t) in
   let body =
     J.Obj
       [
         ("status", J.Str "ok");
         ("feature_dim", J.Num (float_of_int dim));
         ("n_classes", J.Num (float_of_int n_classes));
-        ("swaps", J.Num (float_of_int (Service.generation t.service)));
+        ("swaps", J.Num (float_of_int (Service.generation (service t))));
+        ( "tenants",
+          J.Arr (List.map tenant_state_json (Tenant.slots t.tenants)) );
       ]
   in
   (200, "application/json", json_body body, [])
 
-let handle_swap t =
-  match t.snapshot_dir with
+let handle_tenant_healthz slot =
+  (200, "application/json", json_body (tenant_state_json slot), [])
+
+let retry_after_503 msg =
+  (503, "application/json", json_body (err_obj msg), [ ("Retry-After", "1") ])
+
+let handle_swap t slot =
+  match Tenant.snapshot_dir slot with
   | None ->
       ( 409,
         "application/json",
@@ -246,36 +342,105 @@ let handle_swap t =
               ~dir ()
           with
           | None ->
-              ( 409,
-                "application/json",
-                json_body (err_obj ("no loadable snapshot in " ^ dir)),
-                [] )
+              (* Not a conflict: the directory is configured but holds
+                 no loadable generation yet (or every generation is
+                 corrupt). The snapshot writer may land one any moment,
+                 so this is retryable — 503, distinct from the 409
+                 configuration errors. *)
+              retry_after_503 ("no loadable snapshot in " ^ dir)
           | Some (snap, info) -> (
-              match
-                Service.swap
-                  ~store_generation:info.Prom_store.Store.generation t.service
-                  snap
-              with
-              | () ->
-                  let body =
-                    J.Obj
-                      [
-                        ("swapped", J.Bool true);
-                        ( "store_generation",
-                          J.Num
-                            (float_of_int info.Prom_store.Store.generation) );
-                        ( "swaps",
-                          J.Num (float_of_int (Service.generation t.service))
-                        );
-                      ]
-                  in
-                  (200, "application/json", json_body body, [])
-              | exception Invalid_argument m ->
-                  (409, "application/json", json_body (err_obj m), [])))
+              let swapped () =
+                Tenant.count_swap slot;
+                (match t.tenant_metrics.(Tenant.index slot) with
+                | m -> Obs.Counter.inc m.Telemetry.Http.tn_swaps
+                | exception Invalid_argument _ -> ());
+                let body =
+                  J.Obj
+                    [
+                      ("swapped", J.Bool true);
+                      ("tenant", J.Str (Tenant.name slot));
+                      ( "store_generation",
+                        J.Num (float_of_int info.Prom_store.Store.generation) );
+                      ( "swaps",
+                        J.Num
+                          (match Tenant.service slot with
+                          | Some s -> float_of_int (Service.generation s)
+                          | None -> 0.0) );
+                    ]
+                in
+                (200, "application/json", json_body body, [])
+              in
+              match Tenant.service slot with
+              | Some svc -> (
+                  match
+                    Service.swap
+                      ~store_generation:info.Prom_store.Store.generation svc
+                      snap
+                  with
+                  | () -> swapped ()
+                  | exception Invalid_argument m ->
+                      (409, "application/json", json_body (err_obj m), []))
+              | None -> (
+                  (* First snapshot for a Loading tenant: build the
+                     engine and bring the slot Ready. *)
+                  match Service.of_snapshot ?telemetry:t.telemetry snap with
+                  | svc ->
+                      Tenant.activate slot svc;
+                      swapped ()
+                  | exception Invalid_argument m ->
+                      (409, "application/json", json_body (err_obj m), []))))
 
-let known_path = function
-  | "/predict" | "/metrics" | "/healthz" | "/admin/swap" -> true
-  | _ -> false
+(* ------------------------------------------------------------------ *)
+(* Routing. Tenant-scoped paths are [/t/<name>/...]; the bare segment
+   is validated before any registry (let alone filesystem) lookup, so
+   [.]/[..]/percent-escapes and every other traversal shape die here
+   with 404. Unprefixed routes bind to the default tenant. *)
+
+type route =
+  | R_predict of Tenant.slot
+  | R_swap of Tenant.slot
+  | R_healthz_tenant of Tenant.slot
+  | R_metrics
+  | R_healthz
+  | R_not_found
+  | R_bad_method of string (* tenant label for the 405 *)
+
+let split_tenant_path path =
+  (* "/t/<seg>/<rest>" -> Some (seg, "/<rest>"); "/t/<seg>" -> Some (seg, "") *)
+  let pfx = "/t/" in
+  let lp = String.length pfx in
+  if String.length path > lp && String.sub path 0 lp = pfx then
+    let rest = String.sub path lp (String.length path - lp) in
+    match String.index_opt rest '/' with
+    | Some i ->
+        Some (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+    | None -> Some (rest, "")
+  else None
+
+let route t meth path =
+  match split_tenant_path path with
+  | Some (seg, sub) -> (
+      if not (Tenant.valid_name seg) then R_not_found
+      else
+        match Tenant.find t.tenants seg with
+        | None -> R_not_found
+        | Some slot -> (
+            match (meth, sub) with
+            | "POST", "/predict" -> R_predict slot
+            | "POST", "/admin/swap" -> R_swap slot
+            | "GET", "/healthz" -> R_healthz_tenant slot
+            | _, ("/predict" | "/admin/swap" | "/healthz") ->
+                R_bad_method (Tenant.name slot)
+            | _ -> R_not_found))
+  | None -> (
+      match (meth, path) with
+      | "POST", "/predict" -> R_predict t.default
+      | "POST", "/admin/swap" -> R_swap t.default
+      | "GET", "/metrics" -> R_metrics
+      | "GET", "/healthz" -> R_healthz
+      | _, ("/predict" | "/admin/swap") -> R_bad_method default_tenant
+      | _, ("/metrics" | "/healthz") -> R_bad_method ""
+      | _ -> R_not_found)
 
 (* ------------------------------------------------------------------ *)
 (* Event loop. One systhread per shard; each shard owns its listener
@@ -288,8 +453,8 @@ let set_conn_gauge t =
     (Telemetry.Http.open_connections t.http)
     (float_of_int (Atomic.get t.open_conns))
 
-let observe t ~t0 status =
-  Obs.Counter.inc (Telemetry.Http.requests_total t.http status);
+let observe t ~t0 ~tenant status =
+  Obs.Counter.inc (Telemetry.Http.requests_total ~tenant t.http status);
   let dt = if t0 < 0.0 then 0.0 else Unix.gettimeofday () -. t0 in
   Obs.Histogram.observe (Telemetry.Http.request_seconds t.http) dt
 
@@ -344,10 +509,11 @@ let rec flush_out t sh c =
   else finish_response t sh c
 
 and finish_response t sh c =
-  observe t ~t0:c.req_t0 c.out_status;
+  observe t ~t0:c.req_t0 ~tenant:c.out_tenant c.out_status;
   c.req_t0 <- -1.0;
   c.out <- "";
   c.out_off <- 0;
+  c.out_tenant <- "";
   if c.close_after || Atomic.get t.stopping then close_conn t sh c
   else begin
     c.phase <- Reading;
@@ -396,32 +562,52 @@ and dispatch t sh c (req : Http.request) =
         r_keep = false;
       }
   else
-    match (req.Http.meth, req.Http.path) with
-    | "POST", "/predict" -> (
-        match parse_predict t req.Http.req_body with
-        | exception Reject (status, msg) ->
-            direct (status, "application/json", json_body (err_obj msg), [])
-        | queries, batched ->
-            c.phase <- Inflight;
-            Evloop.set sh.loop c.cfd ~read:false ~write:false;
-            Batcher.submit_async t.batcher queries ~notify:(fun res ->
-                let reply = predict_reply ~batched ~keep res in
-                Mutex.lock sh.comp_lock;
-                let was_empty = Queue.is_empty sh.completions in
-                Queue.push (c, reply) sh.completions;
-                Mutex.unlock sh.comp_lock;
-                (* One wake byte per empty->nonempty transition is
-                   enough: the shard drains the whole queue after each
-                   pipe read, so later pushes ride the same wakeup. *)
-                if was_empty then wake sh))
-    | "GET", "/metrics" -> direct (handle_metrics t)
-    | "GET", "/healthz" -> direct (handle_healthz t)
-    | "POST", "/admin/swap" -> direct (handle_swap t)
-    | _, p when known_path p ->
+    match route t req.Http.meth req.Http.path with
+    | R_predict slot -> (
+        c.out_tenant <- Tenant.name slot;
+        match Tenant.serving slot with
+        | None ->
+            let msg =
+              match Tenant.state slot with
+              | Tenant.Draining -> "tenant draining"
+              | Tenant.Loading | Tenant.Ready -> "tenant loading"
+            in
+            respond t sh c (unavailable ~keep:false msg)
+        | Some svc -> (
+            match parse_predict svc req.Http.req_body with
+            | exception Reject (status, msg) ->
+                direct (status, "application/json", json_body (err_obj msg), [])
+            | queries, batched ->
+                c.phase <- Inflight;
+                Evloop.set sh.loop c.cfd ~read:false ~write:false;
+                let items = Array.map (fun q -> (slot, q)) queries in
+                Batcher.submit_async ~key:(Tenant.index slot) t.batcher items
+                  ~notify:(fun res ->
+                    let reply = predict_reply ~batched ~keep res in
+                    Mutex.lock sh.comp_lock;
+                    let was_empty = Queue.is_empty sh.completions in
+                    Queue.push (c, reply) sh.completions;
+                    Mutex.unlock sh.comp_lock;
+                    (* One wake byte per empty->nonempty transition is
+                       enough: the shard drains the whole queue after
+                       each pipe read, so later pushes ride the same
+                       wakeup. *)
+                    if was_empty then wake sh)))
+    | R_swap slot ->
+        c.out_tenant <- Tenant.name slot;
+        direct (handle_swap t slot)
+    | R_healthz_tenant slot ->
+        c.out_tenant <- Tenant.name slot;
+        direct (handle_tenant_healthz slot)
+    | R_metrics -> direct (handle_metrics t)
+    | R_healthz -> direct (handle_healthz t)
+    | R_bad_method tenant ->
+        c.out_tenant <- tenant;
         direct
           (405, "application/json", json_body (err_obj "method not allowed"), [])
-    | _ ->
-        direct (404, "application/json", json_body (err_obj "not found"), [])
+    | R_not_found ->
+        direct
+          (404, "application/json", json_body (err_obj "not found"), [])
 
 and parse_loop t sh c =
   if c.phase = Reading && not c.closed then begin
@@ -494,6 +680,7 @@ let rec accept_burst t sh =
               out = "";
               out_off = 0;
               out_status = 0;
+              out_tenant = "";
               close_after = false;
               closed = false;
               last_active = Unix.gettimeofday ();
@@ -622,25 +809,48 @@ let make_listener ~reuseport ~port =
      raise e);
   fd
 
-let start ?(config = default_config) ?telemetry ?pool ?snapshot_dir
+let start ?(config = default_config) ?telemetry ?pool ?snapshot_dir ?tenants
     ?before_batch service =
   if config.shards < 1 then invalid_arg "Server.start: shards < 1";
+  let config = resolve_env config in
   Iox.ignore_sigpipe ();
+  let tenants =
+    match tenants with Some r -> r | None -> Tenant.create ()
+  in
+  let default = Tenant.register ?snapshot_dir ~service tenants default_tenant in
   let registry =
     match telemetry with
     | Some tel -> Telemetry.registry tel
     | None -> Obs.create_registry ()
   in
   let http = Telemetry.Http.create registry in
+  let slots = Tenant.slots tenants in
+  let tenant_metrics =
+    Array.of_list
+      (List.map
+         (fun slot -> Telemetry.Http.tenant_metrics http (Tenant.name slot))
+         slots)
+  in
   let batcher =
     Batcher.create ~max_batch:config.max_batch ~max_wait_us:config.max_wait_us
-      ~capacity:config.queue_capacity
+      ~capacity:config.queue_capacity ~key_capacity:config.tenant_capacity
+      ?quantum:(if config.quantum > 0 then Some config.quantum else None)
       ~on_depth:(fun d ->
         Obs.Gauge.set (Telemetry.Http.queue_depth http) (float_of_int d))
+      ~on_key_depth:(fun key d ->
+        if key >= 0 && key < Array.length tenant_metrics then
+          Obs.Gauge.set
+            tenant_metrics.(key).Telemetry.Http.tn_queue_depth
+            (float_of_int d))
       ~on_batch:(fun n ->
         Obs.Histogram.observe (Telemetry.Http.batch_size http) (float_of_int n))
+      ~on_share:(fun key taken ->
+        if key >= 0 && key < Array.length tenant_metrics then
+          Obs.Counter.add
+            tenant_metrics.(key).Telemetry.Http.tn_batch_share
+            (float_of_int taken))
       ?before_batch
-      (fun queries -> Service.evaluate_batch ?pool service queries)
+      (fun items -> run_round ?pool items)
   in
   let reuseport = config.shards > 1 in
   let listeners = Array.make config.shards Unix.stdin in
@@ -688,12 +898,13 @@ let start ?(config = default_config) ?telemetry ?pool ?snapshot_dir
   let t =
     {
       config;
-      service;
+      tenants;
+      default;
       registry;
       telemetry;
       http;
+      tenant_metrics;
       batcher;
-      snapshot_dir;
       shards;
       bound_port;
       stopping = Atomic.make false;
@@ -715,6 +926,11 @@ let stop t =
     t.stopped <- true;
     Mutex.unlock t.stop_lock;
     Atomic.set t.stopping true;
+    (* Drain order: every tenant slot is marked Draining (new tenant
+       work refused) before the listeners close and before the batcher
+       shuts down, so in-flight batches finish against engines whose
+       slots already refuse fresh submissions. *)
+    List.iter Tenant.drain (Tenant.slots t.tenants);
     Array.iter wake t.shards;
     (* Shard loops exit once their connection tables drain (in-flight
        requests finish; idle connections are swept). The batcher stays

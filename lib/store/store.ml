@@ -26,6 +26,17 @@ let generations dir =
              | _ -> None)
       |> List.sort_uniq compare
 
+let subdirs dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun name ->
+             match Sys.is_directory (Filename.concat dir name) with
+             | is_dir -> is_dir
+             | exception Sys_error _ -> false)
+      |> List.sort compare
+
 let rec ensure_dir dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
     ensure_dir (Filename.dirname dir);

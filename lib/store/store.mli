@@ -54,6 +54,12 @@ val load_generation : ?kind:string -> dir:string -> int -> (info * string) optio
     does not exist. *)
 val generations : string -> int list
 
+(** [subdirs dir] is every immediate subdirectory name of [dir],
+    sorted. Empty when the directory does not exist. Multi-tenant
+    serving roots keep one snapshot directory per tenant as a
+    subdirectory of the root; this is the discovery walk. *)
+val subdirs : string -> string list
+
 (** [snap_path ~dir generation] is the container path [save] writes for
     [generation] — exposed so tests and tooling can corrupt or inspect
     specific generations. *)

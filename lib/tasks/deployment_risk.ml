@@ -1,0 +1,165 @@
+open Prom_linalg
+
+(* One synthetic deployment: change metrics (what is shipping) plus
+   process metrics (who ships it, and when). The latent risk the labels
+   are derived from mixes both, so a model that learns the design-time
+   correlations keeps working only while the process context — team
+   composition, time-of-week mix — stays put. Those are exactly the
+   scenario's drift knobs. *)
+type deployment = {
+  loc_changed : float;  (** lines changed *)
+  files_touched : float;
+  complexity_delta : float;  (** cyclomatic-complexity change, signed *)
+  dep_fanin : float;  (** dependents of the modules touched *)
+  review_score : float;  (** fraction of the change peer-reviewed, [0,1] *)
+  test_coverage : float;  (** coverage over the touched lines, [0,1] *)
+  author_deploys : float;  (** author's prior deploys of this service *)
+  team_tenure : float;  (** mean team tenure, months *)
+  hour_of_week : float;  (** 0..167, 0 = Monday 00:00 *)
+  hours_since_last : float;  (** since the service's previous deploy *)
+}
+
+let n_classes = 3 (* risk tiers: 0 proceed, 1 review, 2 block *)
+
+let clamp01 v = Stdlib.max 0.0 (Stdlib.min 1.0 v)
+
+(* Off-hours factor of a deploy slot: 0 mid-week business hours, up to
+   1 for weekend nights — the "nobody around to roll back" signal. *)
+let offhours hour_of_week =
+  let day = hour_of_week /. 24.0 in
+  let hod = hour_of_week -. (Float.of_int (int_of_float day) *. 24.0) in
+  let weekend = if day >= 5.0 then 1.0 else 0.0 in
+  let night = if hod < 7.0 || hod > 19.0 then 1.0 else 0.0 in
+  clamp01 ((0.6 *. weekend) +. (0.5 *. night))
+
+(* Latent risk in [0,1]: the DeploymentAnalyzer-style mix of size,
+   complexity, dependency, timing and experience scores. *)
+let latent_risk d =
+  let size = clamp01 (d.loc_changed /. 2000.0 +. (d.files_touched /. 80.0)) in
+  let complexity = clamp01 (Float.abs d.complexity_delta /. 40.0) in
+  let deps = clamp01 (d.dep_fanin /. 60.0) in
+  let timing = offhours d.hour_of_week in
+  let staleness = clamp01 (d.hours_since_last /. 720.0) in
+  let experience =
+    clamp01 ((d.author_deploys /. 50.0) +. (d.team_tenure /. 72.0))
+  in
+  let process_guard = 0.5 *. (d.review_score +. d.test_coverage) in
+  clamp01
+    ((0.30 *. size) +. (0.15 *. complexity) +. (0.15 *. deps)
+    +. (0.20 *. timing) +. (0.10 *. staleness)
+    -. (0.20 *. experience)
+    -. (0.25 *. process_guard)
+    +. 0.25)
+
+let label_of_risk r = if r < 0.30 then 0 else if r < 0.55 then 1 else 2
+
+(* A team/timing profile — the drift knobs. [juniority] shifts the
+   team-composition distributions (tenure, prior deploys) downward;
+   [offhours_bias] shifts the time-of-week mix from business hours
+   toward nights and weekends. *)
+type profile = { juniority : float; offhours_bias : float }
+
+let design_profile = { juniority = 0.0; offhours_bias = 0.0 }
+
+(* Deployment-time shift: a reorganized, greener team shipping far more
+   outside business hours. *)
+let drift_profile = { juniority = 0.7; offhours_bias = 0.6 }
+
+let sample_hour rng profile =
+  if Rng.float rng 1.0 < 0.15 +. (0.55 *. profile.offhours_bias) then
+    (* off-hours slot: weekend day, or a night hour *)
+    if Rng.float rng 1.0 < 0.5 then 120.0 +. Rng.float rng 47.0
+    else (24.0 *. float_of_int (Rng.int rng 5)) +. Rng.float rng 6.0
+  else
+    (* business hours Monday-Friday *)
+    (24.0 *. float_of_int (Rng.int rng 5)) +. 9.0 +. Rng.float rng 9.0
+
+let sample rng profile =
+  let pos mu sigma = Stdlib.max 0.0 (Rng.gaussian rng ~mu ~sigma) in
+  let seniority = clamp01 (1.0 -. profile.juniority) in
+  let d =
+    {
+      loc_changed = pos 320.0 400.0;
+      files_touched = pos 9.0 12.0;
+      complexity_delta = Rng.gaussian rng ~mu:2.0 ~sigma:9.0;
+      dep_fanin = pos 14.0 16.0;
+      review_score =
+        clamp01 (Rng.gaussian rng ~mu:(0.45 +. (0.35 *. seniority)) ~sigma:0.18);
+      test_coverage =
+        clamp01 (Rng.gaussian rng ~mu:(0.40 +. (0.30 *. seniority)) ~sigma:0.20);
+      author_deploys = pos (6.0 +. (30.0 *. seniority)) 12.0;
+      team_tenure = pos (8.0 +. (40.0 *. seniority)) 14.0;
+      hour_of_week = sample_hour rng profile;
+      hours_since_last = pos 96.0 160.0;
+    }
+  in
+  (* Label noise: borderline deployments get misjudged either way, so
+     neither tier is perfectly separable. *)
+  let r = clamp01 (latent_risk d +. Rng.gaussian rng ~mu:0.0 ~sigma:0.04) in
+  (d, label_of_risk r)
+
+let samples rng profile count =
+  Array.init count (fun _ -> sample rng profile)
+
+(* Pure classification: performance is 1 on the correct tier, 0
+   otherwise, so mean performance is accuracy. *)
+let perf w label = if label = snd w then 1.0 else 0.0
+
+let scenario ?(per_window = 60) ~seed () =
+  let rng = Rng.create seed in
+  (* Five design-time windows under the stable profile; three
+     deployment windows after the team reorganization. *)
+  let train_all = samples rng design_profile (5 * per_window) in
+  Rng.shuffle rng train_all;
+  let n_id = Array.length train_all / 5 in
+  let id_w = Array.sub train_all 0 n_id in
+  let train_w = Array.sub train_all n_id (Array.length train_all - n_id) in
+  let drift_w = samples rng drift_profile (3 * per_window) in
+  let labels = Array.map snd in
+  {
+    Case_study.cs_name = "C6-deployment-risk";
+    n_classes;
+    train_w;
+    train_y = labels train_w;
+    id_w;
+    id_y = labels id_w;
+    drift_w;
+    drift_y = labels drift_w;
+    perf;
+  }
+
+(* Tabular encoding: the raw metrics plus the derived analyzer scores
+   (size/timing), standardized by the harness ([scale_features]). *)
+let feature_vector (d, _) =
+  [|
+    d.loc_changed;
+    d.files_touched;
+    d.complexity_delta;
+    d.dep_fanin;
+    d.review_score;
+    d.test_coverage;
+    d.author_deploys;
+    d.team_tenure;
+    d.hour_of_week;
+    d.hours_since_last;
+    offhours d.hour_of_week;
+    clamp01 ((d.loc_changed /. 2000.0) +. (d.files_touched /. 80.0));
+  |]
+
+let models =
+  [
+    {
+      Case_study.spec_name = "DeployGuard-GBC";
+      encode = feature_vector;
+      scale_features = true;
+      trainer = Prom_ml.Gradient_boosting.trainer ();
+      cp_feature_of = (fun _ -> Fun.id);
+    };
+    {
+      Case_study.spec_name = "RiskForest-RF";
+      encode = feature_vector;
+      scale_features = true;
+      trainer = Prom_ml.Random_forest.trainer ();
+      cp_feature_of = (fun _ -> Fun.id);
+    };
+  ]

@@ -1,0 +1,55 @@
+(** Case study C6: deployment-risk scoring over change and process
+    metrics — the serving workload behind the multi-tenant bench.
+
+    Each sample is one synthetic deployment (churn, complexity and
+    dependency metrics for the change; review coverage, test coverage,
+    author experience, team tenure, time-of-week and deploy cadence for
+    the process). Labels are three risk tiers (proceed / review /
+    block) thresholded from a latent DeploymentAnalyzer-style risk mix
+    of size, complexity, dependency, timing and experience scores, with
+    label noise at the tier borders.
+
+    Drift: the design-time pool is drawn under a stable, senior-heavy
+    team deploying in business hours; the deployment pool is drawn
+    after a team reorganization — the team-composition knob shifts
+    tenure and prior-deploy distributions down, and the time-of-week
+    knob shifts the deploy mix toward nights and weekends. Both knobs
+    move the latent risk through features a design-time model has seen
+    only the stable side of, which is what the conformal committee has
+    to catch. *)
+
+(** One synthetic deployment record. *)
+type deployment = {
+  loc_changed : float;  (** lines changed *)
+  files_touched : float;
+  complexity_delta : float;  (** cyclomatic-complexity change, signed *)
+  dep_fanin : float;  (** dependents of the modules touched *)
+  review_score : float;  (** fraction of the change peer-reviewed, [0,1] *)
+  test_coverage : float;  (** coverage over the touched lines, [0,1] *)
+  author_deploys : float;  (** author's prior deploys of this service *)
+  team_tenure : float;  (** mean team tenure, months *)
+  hour_of_week : float;  (** 0..167, 0 = Monday 00:00 *)
+  hours_since_last : float;  (** since the service's previous deploy *)
+}
+
+(** Risk tiers ([3]): 0 proceed, 1 review, 2 block. *)
+val n_classes : int
+
+(** [scenario ?per_window ~seed ()] builds the drift scenario: five
+    design-time windows under the stable profile (split internally
+    into train/calibration/validation) and three deployment windows
+    under the reorganized one. [per_window] deployments per window
+    (default 60). *)
+val scenario :
+  ?per_window:int ->
+  seed:int ->
+  unit ->
+  (deployment * int) Case_study.scenario
+
+(** Tabular feature encoding: the ten raw metrics plus the derived
+    off-hours and size scores (12 dims, standardized by the
+    harness). *)
+val feature_vector : deployment * int -> Prom_linalg.Vec.t
+
+(** Gradient boosting and random forest over the tabular encoding. *)
+val models : (deployment * int) Case_study.model_spec list

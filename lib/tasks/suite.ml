@@ -16,6 +16,7 @@ let classification_cases ~scale ~seed =
   let c2 () = Loop_vectorization.scenario ~loops_per_family:(q 40 10) ~seed () in
   let c3 () = Hetero_mapping.scenario ~kernels_per_suite:(q 60 20) ~seed () in
   let c4 () = Vuln_detection.scenario ~per_era:(q 80 16) ~seed () in
+  let c6 () = Deployment_risk.scenario ~per_window:(q 60 20) ~seed () in
   let entries scenario models =
     List.map
       (fun spec ->
@@ -29,6 +30,7 @@ let classification_cases ~scale ~seed =
   @ entries c2 Loop_vectorization.models
   @ entries c3 Hetero_mapping.models
   @ entries c4 Vuln_detection.models
+  @ entries c6 Deployment_risk.models
 
 let run ?(config = Config.default) ~scale ~seed () =
   let classification_results =

@@ -9,7 +9,8 @@ open Prom
 type scale = Quick | Full
 
 type t = {
-  classification_results : Case_study.result list;  (** C1-C4 x models *)
+  classification_results : Case_study.result list;
+      (** C1-C4 and C6 x models *)
   c5 : Dnn_codegen.result;
   table2 : float * float * float * Detection_metrics.t;
       (** design perf, deploy perf, PROM-assisted perf, detection *)
@@ -19,9 +20,10 @@ type t = {
     takes a few minutes; [Quick] well under a minute. *)
 val run : ?config:Config.t -> scale:scale -> seed:int -> unit -> t
 
-(** [classification_cases ~scale ~seed] enumerates the C1-C4 (scenario
-    runner, model name) thunks individually, so callers (CLI, bench)
-    can run a single pair. Each thunk returns the full result. *)
+(** [classification_cases ~scale ~seed] enumerates the C1-C4 and C6
+    (scenario runner, model name) thunks individually, so callers
+    (CLI, bench) can run a single pair. Each thunk returns the full
+    result. *)
 val classification_cases :
   scale:scale -> seed:int -> (string * string * (unit -> Case_study.result)) list
 

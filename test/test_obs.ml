@@ -290,8 +290,63 @@ let prop_exposition_valid =
       Result.is_ok
         (Obs.validate_exposition (Obs.Snapshot.to_prometheus (Obs.Snapshot.take reg))))
 
+(* Property for the multi-tenant serving series: tenant names reaching
+   the exposition are free-form label values. Whatever bytes they hold
+   — quotes, backslashes, newlines, braces — the text format must
+   escape them exactly (backslash, double-quote and newline each get a
+   backslash escape) and the validator must accept the resulting
+   multi-label series ([{code,tenant}], rendered in sorted label
+   order). *)
+let prop_tenant_label_escaped =
+  let escape v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (function
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+  in
+  let label_char =
+    QCheck2.Gen.oneofl
+      [ 'a'; 'Z'; '0'; '-'; '_'; '.'; ' '; '"'; '\\'; '\n'; '{'; '}'; ','; '=' ]
+  in
+  QCheck2.Test.make
+    ~name:"tenant label values are escaped and multi-label series validate"
+    ~count:100
+    QCheck2.Gen.(string_size ~gen:label_char (int_range 0 24))
+    (fun tenant ->
+      let reg = Obs.create_registry () in
+      Obs.Counter.add
+        (Obs.counter reg
+           ~labels:[ ("code", "200"); ("tenant", tenant) ]
+           "prom_http_requests_total")
+        3.0;
+      Obs.Gauge.set
+        (Obs.gauge reg ~labels:[ ("tenant", tenant) ] "prom_tenant_queue_depth")
+        1.0;
+      let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.take reg) in
+      let contains needle =
+        let n = String.length needle and m = String.length text in
+        let rec at i =
+          i + n <= m && (String.sub text i n = needle || at (i + 1))
+        in
+        at 0
+      in
+      Result.is_ok (Obs.validate_exposition text)
+      && contains
+           (Printf.sprintf
+              "prom_http_requests_total{code=\"200\",tenant=\"%s\"} 3"
+              (escape tenant))
+      && contains
+           (Printf.sprintf "prom_tenant_queue_depth{tenant=\"%s\"} 1"
+              (escape tenant)))
+
 let properties =
-  List.map QCheck_alcotest.to_alcotest [ prop_hist_totals; prop_exposition_valid ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_hist_totals; prop_exposition_valid; prop_tenant_label_escaped ]
 
 let suite =
   [

@@ -70,9 +70,10 @@ let rpc c ~meth ~path body =
   | Error (`Bad m) -> Alcotest.fail ("bad response: " ^ m)
   | Error (`Too_large _) -> Alcotest.fail "response too large"
 
-let with_server ?config ?telemetry ?snapshot_dir ?before_batch service f =
+let with_server ?config ?telemetry ?snapshot_dir ?tenants ?before_batch service
+    f =
   let server =
-    Server.start ?config ?telemetry ?snapshot_dir ?before_batch service
+    Server.start ?config ?telemetry ?snapshot_dir ?tenants ?before_batch service
   in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
 
@@ -269,6 +270,85 @@ let batcher_tests =
         | _ -> Alcotest.fail "submission failed");
         Batcher.shutdown b;
         Alcotest.(check bool) "on_depth fired" true (!fired > 0));
+    Alcotest.test_case "deficit round robin serves a cold key ahead of a hot \
+                        backlog" `Quick (fun () ->
+        (* One hot key piles up four groups while the dispatcher is
+           busy; a cold key submits one. Under FIFO the cold item would
+           run last; under DRR it rides the very next batch. *)
+        let order = ref [] in
+        let olock = Mutex.create () in
+        let note tag =
+          Mutex.lock olock;
+          order := tag :: !order;
+          Mutex.unlock olock
+        in
+        let b =
+          Batcher.create ~max_batch:2 ~max_wait_us:100 ~quantum:1
+            ~before_batch:(fun () -> Thread.delay 0.15)
+            (Array.map succ)
+        in
+        let t0 =
+          Thread.create (fun () -> ignore (Batcher.submit ~key:0 b 100)) ()
+        in
+        Thread.delay 0.05;
+        (* the first batch is mid-evaluation; build the backlog *)
+        for i = 1 to 4 do
+          Batcher.submit_async ~key:0 b [| i |] ~notify:(fun _ -> note `Hot)
+        done;
+        Batcher.submit_async ~key:1 b [| 9 |] ~notify:(fun _ -> note `Cold);
+        Alcotest.(check int) "hot key depth" 4 (Batcher.key_depth b 0);
+        Alcotest.(check int) "cold key depth" 1 (Batcher.key_depth b 1);
+        Thread.join t0;
+        Batcher.shutdown b;
+        let seq = List.rev !order in
+        Alcotest.(check int) "everything ran" 5 (List.length seq);
+        let cold_pos =
+          let rec idx i = function
+            | [] -> Alcotest.fail "cold item never completed"
+            | `Cold :: _ -> i
+            | `Hot :: rest -> idx (i + 1) rest
+          in
+          idx 0 seq
+        in
+        Alcotest.(check bool)
+          "cold item rode the first post-backlog batch" true (cold_pos <= 1));
+    Alcotest.test_case "per-key capacity rejects the hot key only" `Quick
+      (fun () ->
+        let b =
+          Batcher.create ~max_batch:1 ~max_wait_us:0 ~capacity:16
+            ~key_capacity:2
+            ~before_batch:(fun () -> Thread.delay 0.2)
+            (Array.map succ)
+        in
+        let r1 = ref (Error `Shutdown) in
+        let r2 = ref (Error `Shutdown) and r3 = ref (Error `Shutdown) in
+        let r_cold = ref (Error `Shutdown) in
+        let t1 = Thread.create (fun () -> r1 := Batcher.submit ~key:0 b 0) () in
+        Thread.delay 0.05;
+        (* item 0 is mid-evaluation; fill key 0 to its cap *)
+        let t2 = Thread.create (fun () -> r2 := Batcher.submit ~key:0 b 1) () in
+        let t3 = Thread.create (fun () -> r3 := Batcher.submit ~key:0 b 2) () in
+        Thread.delay 0.05;
+        (match Batcher.submit ~key:0 b 3 with
+        | Error `Overloaded -> ()
+        | Ok _ -> Alcotest.fail "expected per-key overload rejection"
+        | Error _ -> Alcotest.fail "wrong rejection");
+        (* the global queue still has headroom: another key is admitted *)
+        let tc =
+          Thread.create (fun () -> r_cold := Batcher.submit ~key:1 b 7) ()
+        in
+        Thread.join t1;
+        Thread.join t2;
+        Thread.join t3;
+        Thread.join tc;
+        (match (!r1, !r2, !r3, !r_cold) with
+        | Ok 1, Ok 2, Ok 3, Ok 8 -> ()
+        | _ -> Alcotest.fail "accepted submissions must all complete");
+        (* the hot key's budget frees up after the drain *)
+        (match Batcher.submit ~key:0 b 9 with
+        | Ok 10 -> ()
+        | _ -> Alcotest.fail "hot key must recover after the drain");
+        Batcher.shutdown b);
     Alcotest.test_case "submit_async answers without a parked thread" `Quick
       (fun () ->
         let b = Batcher.create ~max_batch:4 ~max_wait_us:100 (Array.map succ) in
@@ -955,10 +1035,259 @@ let swap_live_tests =
                   (has_substring m.Http.resp_body "prom_service_swaps_total 5"))));
   ]
 
+(* ---------- multi-tenant serving ---------- *)
+
+let tenant_tests =
+  [
+    Alcotest.test_case
+      "two tenants share batches, each bit-identical to its direct path" `Quick
+      (fun () ->
+        let registry = Prom_obs.create_registry () in
+        let telemetry = Telemetry.create registry in
+        let svc_a, model_a = make_world ~telemetry ~seed:23 () in
+        let svc_b, model_b = make_world ~telemetry ~seed:41 () in
+        let tenants = Tenant.create () in
+        ignore (Tenant.register ~service:svc_b tenants "b");
+        let qa = queries_of model_a 6 in
+        let qb = queries_of ~seed:19 model_b 6 in
+        let da = Service.evaluate_batch svc_a qa in
+        let db = Service.evaluate_batch svc_b qb in
+        (* slow the batcher down so concurrent requests from both
+           tenants land in shared rounds *)
+        with_server ~telemetry ~tenants
+          ~before_batch:(fun () -> Thread.delay 0.02)
+          svc_a
+          (fun server ->
+            let port = Server.port server in
+            Alcotest.(check int)
+              "registry holds b and default" 2
+              (Tenant.count (Server.tenants server));
+            let errs = Array.make 2 None in
+            let worker w path queries direct =
+              Thread.create
+                (fun () ->
+                  try
+                    let c = connect port in
+                    Fun.protect
+                      ~finally:(fun () -> close c)
+                      (fun () ->
+                        for k = 0 to 17 do
+                          let j = k mod Array.length queries in
+                          let r =
+                            rpc c ~meth:"POST" ~path
+                              (J.to_string (query_json queries.(j)))
+                          in
+                          if r.Http.status <> 200 then
+                            errs.(w) <-
+                              Some (Printf.sprintf "status %d" r.Http.status)
+                          else
+                            check_verdict_json
+                              (Printf.sprintf "%s %d" path j)
+                              direct.(j) (parse_body r)
+                        done)
+                  with e -> errs.(w) <- Some (Printexc.to_string e))
+                ()
+            in
+            let ta = worker 0 "/predict" qa da in
+            let tb = worker 1 "/t/b/predict" qb db in
+            Thread.join ta;
+            Thread.join tb;
+            Array.iter
+              (function
+                | None -> ()
+                | Some e -> Alcotest.fail ("tenant worker failed: " ^ e))
+              errs;
+            (* unprefixed routes are the default tenant *)
+            let c = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let body = J.to_string (query_json qa.(0)) in
+                let plain = rpc c ~meth:"POST" ~path:"/predict" body in
+                let routed =
+                  rpc c ~meth:"POST" ~path:"/t/default/predict" body
+                in
+                Alcotest.(check int) "routed status" 200 routed.Http.status;
+                check_bits "unprefixed = /t/default"
+                  (ffield "credibility" (parse_body plain))
+                  (ffield "credibility" (parse_body routed));
+                let m = rpc c ~meth:"GET" ~path:"/metrics" "" in
+                (match Prom_obs.validate_exposition m.Http.resp_body with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail ("invalid exposition: " ^ e));
+                let text = m.Http.resp_body in
+                Alcotest.(check bool)
+                  "per-tenant request counter" true
+                  (has_substring text
+                     "prom_http_requests_total{code=\"200\",tenant=\"b\"}");
+                Alcotest.(check bool)
+                  "per-tenant batch share" true
+                  (has_substring text "prom_tenant_batch_share{tenant=\"b\"}");
+                Alcotest.(check bool)
+                  "per-tenant queue gauge" true
+                  (has_substring text
+                     "prom_tenant_queue_depth{tenant=\"default\"}"))));
+    Alcotest.test_case "invalid, traversal and unknown tenant paths answer 404"
+      `Quick (fun () ->
+        let service, _ = make_world () in
+        let tenants = Tenant.create () in
+        let svc_b, _ = make_world ~seed:41 () in
+        ignore (Tenant.register ~service:svc_b tenants "b");
+        with_server ~tenants service (fun server ->
+            let c = connect (Server.port server) in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                List.iter
+                  (fun path ->
+                    let r = rpc c ~meth:"POST" ~path "{}" in
+                    Alcotest.(check int) (path ^ " is 404") 404 r.Http.status)
+                  [
+                    "/t/../predict";
+                    "/t/./predict";
+                    "/t/%2e%2e/predict";
+                    "/t/a.b/predict";
+                    "/t//predict";
+                    "/t/" ^ String.make 65 'a' ^ "/predict";
+                    "/t/zzz/predict";
+                    "/t/b/nope";
+                  ];
+                let mna = rpc c ~meth:"GET" ~path:"/t/b/predict" "" in
+                Alcotest.(check int) "tenant predict GET is 405" 405
+                  mna.Http.status;
+                let h = rpc c ~meth:"GET" ~path:"/t/b/healthz" "" in
+                Alcotest.(check int) "tenant healthz" 200 h.Http.status;
+                let hv = parse_body h in
+                Alcotest.(check string) "tenant name" "b" (sfield "tenant" hv);
+                Alcotest.(check string)
+                  "tenant state" "ready" (sfield "state" hv))));
+    Alcotest.test_case
+      "swap: empty snapshot dir answers 503 retryable, no dir answers 409"
+      `Quick (fun () ->
+        let service, _ = make_world () in
+        let tenants = Tenant.create () in
+        let svc_c, _ = make_world ~seed:29 () in
+        let svc_d, _ = make_world ~seed:31 () in
+        let empty = Filename.temp_dir "prom-tenant-empty" "" in
+        ignore (Tenant.register ~snapshot_dir:empty ~service:svc_c tenants "c");
+        ignore (Tenant.register ~service:svc_d tenants "d");
+        with_server ~tenants service (fun server ->
+            let c = connect (Server.port server) in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                (* no loadable generation yet: retryable, a writer may
+                   land one any moment — 503, not 500 *)
+                let r = rpc c ~meth:"POST" ~path:"/t/c/admin/swap" "" in
+                Alcotest.(check int) "empty dir swap" 503 r.Http.status;
+                Alcotest.(check (option string))
+                  "empty dir swap carries Retry-After" (Some "1")
+                  (Http.header "retry-after" r.Http.resp_headers);
+                Alcotest.(check bool)
+                  "error mentions the directory" true
+                  (has_substring r.Http.resp_body "no loadable snapshot");
+                (* no snapshot directory configured at all: not retryable *)
+                let r = rpc c ~meth:"POST" ~path:"/t/d/admin/swap" "" in
+                Alcotest.(check int) "no dir swap" 409 r.Http.status;
+                (* a generation lands; the same swap now succeeds *)
+                ignore (Snapshot.save ~dir:empty (Service.snapshot svc_c));
+                let r = rpc c ~meth:"POST" ~path:"/t/c/admin/swap" "" in
+                Alcotest.(check int) "swap after save" 200 r.Http.status;
+                Alcotest.(check string)
+                  "swap names its tenant" "c"
+                  (sfield "tenant" (parse_body r)))));
+    Alcotest.test_case
+      "hot-swap of one tenant under live traffic on another: zero failures"
+      `Quick (fun () ->
+        let service, model = make_world () in
+        let svc_b, _ = make_world ~seed:41 () in
+        let dir = Filename.temp_dir "prom-tenant-swap" "" in
+        ignore (Snapshot.save ~dir (Service.snapshot svc_b));
+        let tenants = Tenant.create () in
+        ignore (Tenant.register ~snapshot_dir:dir ~service:svc_b tenants "b");
+        let queries = queries_of model 4 in
+        let direct = Service.evaluate_batch service queries in
+        let bodies = Array.map (fun q -> J.to_string (query_json q)) queries in
+        with_server ~tenants service (fun server ->
+            let port = Server.port server in
+            let n_workers = 4 and n_reqs = 20 in
+            let worker_err = Array.make n_workers None in
+            let workers =
+              Array.init n_workers (fun w ->
+                  Thread.create
+                    (fun () ->
+                      try
+                        let c = connect port in
+                        Fun.protect
+                          ~finally:(fun () -> close c)
+                          (fun () ->
+                            for k = 0 to n_reqs - 1 do
+                              let j = k mod Array.length queries in
+                              Http.write_request c.fd ~meth:"POST"
+                                ~path:"/predict" bodies.(j);
+                              match Http.read_response c.creader with
+                              | Ok r when r.Http.status = 200 ->
+                                  let cred =
+                                    ffield "credibility" (parse_body r)
+                                  in
+                                  if
+                                    bits cred
+                                    <> bits direct.(j).Detector.mean_credibility
+                                  then
+                                    worker_err.(w) <-
+                                      Some "verdict drifted during tenant swap"
+                              | Ok r ->
+                                  worker_err.(w) <-
+                                    Some
+                                      (Printf.sprintf "status %d" r.Http.status)
+                              | Error _ -> worker_err.(w) <- Some "read error"
+                            done)
+                      with e -> worker_err.(w) <- Some (Printexc.to_string e))
+                    ())
+            in
+            let admin = connect port in
+            Fun.protect
+              ~finally:(fun () -> close admin)
+              (fun () ->
+                for s = 1 to 3 do
+                  let r = rpc admin ~meth:"POST" ~path:"/t/b/admin/swap" "" in
+                  Alcotest.(check int) "tenant swap status" 200 r.Http.status;
+                  let v = parse_body r in
+                  Alcotest.(check string) "swapped tenant" "b"
+                    (sfield "tenant" v);
+                  Alcotest.(check int)
+                    "tenant swaps monotone" s
+                    (int_of_float (ffield "swaps" v));
+                  Thread.delay 0.03
+                done);
+            Array.iter Thread.join workers;
+            Array.iteri
+              (fun w err ->
+                match err with
+                | None -> ()
+                | Some e ->
+                    Alcotest.fail (Printf.sprintf "worker %d failed: %s" w e))
+              worker_err;
+            let c = connect port in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                let h = rpc c ~meth:"GET" ~path:"/t/b/healthz" "" in
+                Alcotest.(check int)
+                  "tenant swaps surfaced in healthz" 3
+                  (int_of_float (ffield "swaps" (parse_body h)));
+                let m = rpc c ~meth:"GET" ~path:"/metrics" "" in
+                Alcotest.(check bool)
+                  "tenant swap counter exported" true
+                  (has_substring m.Http.resp_body
+                     "prom_tenant_swaps_total{tenant=\"b\"} 3"))));
+  ]
+
 let suite =
   [
     ("server.batcher", batcher_tests);
     ("server.http", http_tests);
     ("server.e2e", e2e_tests);
     ("server.swap_live", swap_live_tests);
+    ("server.tenants", tenant_tests);
   ]

@@ -41,6 +41,26 @@ let scenario_tests =
         check_scenario "c3" (Hetero_mapping.scenario ~kernels_per_suite:20 ~seed:3 ()));
     Alcotest.test_case "C4 scenario invariants" `Quick (fun () ->
         check_scenario "c4" (Vuln_detection.scenario ~per_era:16 ~seed:4 ()));
+    Alcotest.test_case "C6 scenario invariants" `Quick (fun () ->
+        check_scenario "c6" (Deployment_risk.scenario ~per_window:20 ~seed:12 ()));
+    Alcotest.test_case "C6 drift shifts team tenure and off-hours mix" `Quick
+      (fun () ->
+        (* The deployment pool is drawn after the team reorganization:
+           tenure goes down, night/weekend deploys go up. *)
+        let s = Deployment_risk.scenario ~per_window:40 ~seed:13 () in
+        let mean f ws =
+          Array.fold_left (fun a w -> a +. f w) 0.0 ws
+          /. float_of_int (Array.length ws)
+        in
+        let tenure (d, _) = d.Deployment_risk.team_tenure in
+        let offhours w = (Deployment_risk.feature_vector w).(10) in
+        Alcotest.(check bool)
+          "drift team is greener" true
+          (mean tenure s.Case_study.drift_w < mean tenure s.Case_study.train_w);
+        Alcotest.(check bool)
+          "drift deploys lean off-hours" true
+          (mean offhours s.Case_study.drift_w
+          > mean offhours s.Case_study.train_w));
     Alcotest.test_case "C4 drift set uses late eras only" `Quick (fun () ->
         let s = Vuln_detection.scenario ~per_era:8 ~seed:5 () in
         Array.iter
@@ -198,9 +218,13 @@ let encoder_tests =
 
 let suite_tests =
   [
-    Alcotest.test_case "quick suite enumerates twelve experiments" `Quick (fun () ->
+    Alcotest.test_case "quick suite enumerates fourteen experiments" `Quick
+      (fun () ->
         let cases = Suite.classification_cases ~scale:Suite.Quick ~seed:1 in
-        Alcotest.(check int) "pairs" 12 (List.length cases));
+        Alcotest.(check int) "pairs" 14 (List.length cases);
+        Alcotest.(check bool)
+          "C6 is registered" true
+          (List.exists (fun (c, _, _) -> c = "C6-deployment-risk") cases));
   ]
 
 let suite =
